@@ -1,0 +1,86 @@
+//! Criterion microbenchmarks for the numerical substrate: the kernels
+//! every tuning step pays for (Cholesky, GP fit/predict, forest fit,
+//! acquisition maximization inputs).
+
+use autotune_linalg::{Cholesky, Matrix};
+use autotune_surrogate::{GaussianProcess, Matern52, RandomForest, Surrogate};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn training_set(n: usize, d: usize, seed: u64) -> (Vec<Vec<f64>>, Vec<f64>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let xs: Vec<Vec<f64>> = (0..n)
+        .map(|_| (0..d).map(|_| rng.gen::<f64>()).collect())
+        .collect();
+    let ys: Vec<f64> = xs
+        .iter()
+        .map(|x| x.iter().map(|&v| (v - 0.5) * (v - 0.5)).sum::<f64>())
+        .collect();
+    (xs, ys)
+}
+
+fn spd(n: usize, seed: u64) -> Matrix {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let a = Matrix::from_fn(n, n, |_, _| rng.gen::<f64>() - 0.5);
+    let mut m = a.matmul(&a.transpose()).expect("square product");
+    m.add_diag(n as f64);
+    m
+}
+
+fn bench_cholesky(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cholesky");
+    for &n in &[32usize, 64, 128] {
+        let m = spd(n, 1);
+        group.bench_with_input(BenchmarkId::new("factor", n), &m, |b, m| {
+            b.iter(|| Cholesky::new(m).expect("SPD"));
+        });
+    }
+    group.finish();
+}
+
+fn bench_gp(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gp");
+    for &n in &[25usize, 50, 100] {
+        let (xs, ys) = training_set(n, 8, 2);
+        group.bench_with_input(BenchmarkId::new("fit", n), &n, |b, _| {
+            b.iter(|| {
+                let mut gp =
+                    GaussianProcess::new(Box::new(Matern52::isotropic(0.4, 1.0)), 1e-6);
+                gp.fit(&xs, &ys).expect("fits");
+                gp
+            });
+        });
+        let mut gp = GaussianProcess::new(Box::new(Matern52::isotropic(0.4, 1.0)), 1e-6);
+        gp.fit(&xs, &ys).expect("fits");
+        let query = vec![0.3; 8];
+        group.bench_with_input(BenchmarkId::new("predict", n), &n, |b, _| {
+            b.iter(|| gp.predict(&query));
+        });
+    }
+    group.finish();
+}
+
+fn bench_forest(c: &mut Criterion) {
+    let mut group = c.benchmark_group("random_forest");
+    for &n in &[50usize, 200] {
+        let (xs, ys) = training_set(n, 8, 3);
+        group.bench_with_input(BenchmarkId::new("fit", n), &n, |b, _| {
+            b.iter(|| {
+                let mut rf = RandomForest::default_forest();
+                rf.fit(&xs, &ys).expect("fits");
+                rf
+            });
+        });
+        let mut rf = RandomForest::default_forest();
+        rf.fit(&xs, &ys).expect("fits");
+        let query = vec![0.3; 8];
+        group.bench_with_input(BenchmarkId::new("predict", n), &n, |b, _| {
+            b.iter(|| rf.predict(&query));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_cholesky, bench_gp, bench_forest);
+criterion_main!(benches);

@@ -1,0 +1,99 @@
+//! Criterion benchmarks of the end-to-end tuning loop: optimizer suggest
+//! throughput with a fitted model, simulator trial rate, and space
+//! encode/decode — the per-trial overheads of the framework itself.
+
+use autotune_optimizer::{BayesianOptimizer, CmaEs, CmaEsConfig, Optimizer, RandomSearch};
+use autotune_sim::{DbmsSim, Environment, RedisSim, SimSystem, Workload};
+use autotune_space::Space;
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn dbms_space() -> Space {
+    DbmsSim::new().space().clone()
+}
+
+fn bench_suggest(c: &mut Criterion) {
+    let mut group = c.benchmark_group("suggest");
+    group.sample_size(20);
+
+    // BO with 30 observations already in the model.
+    let seed_bo = || {
+        let mut opt = BayesianOptimizer::gp(dbms_space());
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..30 {
+            let cfg = opt.suggest(&mut rng);
+            let x: f64 = cfg.get_f64("buffer_pool_gb").unwrap_or(1.0);
+            opt.observe(&cfg, (x - 8.0).abs());
+        }
+        (opt, rng)
+    };
+    group.bench_function("bo_gp_30obs", |b| {
+        let (mut opt, mut rng) = seed_bo();
+        b.iter(|| opt.suggest(&mut rng));
+    });
+    group.bench_function("random", |b| {
+        let mut opt = RandomSearch::new(dbms_space());
+        let mut rng = StdRng::seed_from_u64(2);
+        b.iter(|| opt.suggest(&mut rng));
+    });
+    group.bench_function("cma_es", |b| {
+        let mut opt = CmaEs::new(dbms_space(), CmaEsConfig::default());
+        let mut rng = StdRng::seed_from_u64(3);
+        b.iter(|| {
+            let cfg = opt.suggest(&mut rng);
+            opt.observe(&cfg, 1.0);
+            cfg
+        });
+    });
+    group.finish();
+}
+
+fn bench_simulators(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sim_trial");
+    let env = Environment::medium();
+    {
+        let sim = RedisSim::new();
+        let cfg = sim.space().default_config();
+        let w = Workload::kv_cache(20_000.0);
+        group.bench_function("redis", |b| {
+            let mut rng = StdRng::seed_from_u64(4);
+            b.iter(|| sim.run_trial(&cfg, &w, &env, &mut rng));
+        });
+    }
+    {
+        let sim = DbmsSim::new();
+        let cfg = sim.space().default_config();
+        let w = Workload::tpcc(500.0);
+        group.bench_function("dbms", |b| {
+            let mut rng = StdRng::seed_from_u64(5);
+            b.iter(|| sim.run_trial(&cfg, &w, &env, &mut rng));
+        });
+    }
+    group.finish();
+}
+
+fn bench_space(c: &mut Criterion) {
+    let mut group = c.benchmark_group("space");
+    let space = dbms_space();
+    let mut rng = StdRng::seed_from_u64(6);
+    let cfg = space.sample(&mut rng);
+    group.bench_function("sample", |b| {
+        let mut rng = StdRng::seed_from_u64(7);
+        b.iter(|| space.sample(&mut rng));
+    });
+    group.bench_function("encode_unit", |b| {
+        b.iter(|| space.encode_unit(&cfg).expect("encodes"));
+    });
+    group.bench_function("encode_onehot", |b| {
+        b.iter(|| space.encode_onehot(&cfg).expect("encodes"));
+    });
+    let x = space.encode_unit(&cfg).expect("encodes");
+    group.bench_function("decode_unit", |b| {
+        b.iter(|| space.decode_unit(&x).expect("decodes"));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_suggest, bench_simulators, bench_space);
+criterion_main!(benches);

@@ -1,0 +1,83 @@
+//! E2-E4 (slides 29-31): grid search, random search, and Bayesian
+//! optimization on the Redis running example — the sample-efficiency
+//! figure. Reported as mean best-so-far P95 at checkpoints over 20 seeds.
+
+use crate::experiments::{mean_curve, redis_target, trials_to_reach};
+use crate::report::{f, Report};
+use autotune_optimizer::{BayesianOptimizer, GridSearch, Optimizer, RandomSearch};
+
+/// Runs the experiment.
+pub fn run() -> Report {
+    let budget = 20;
+    let seeds = 0..20u64;
+    let grid = mean_curve(
+        || Box::new(GridSearch::with_budget(redis_target().space().clone(), budget)) as Box<dyn Optimizer>,
+        redis_target,
+        budget,
+        seeds.clone(),
+    );
+    let random = mean_curve(
+        || Box::new(RandomSearch::new(redis_target().space().clone())),
+        redis_target,
+        budget,
+        seeds.clone(),
+    );
+    let bo = mean_curve(
+        || Box::new(BayesianOptimizer::gp(redis_target().space().clone())),
+        redis_target,
+        budget,
+        seeds,
+    );
+
+    let mut rows = Vec::new();
+    for t in [1usize, 5, 10, 15, 20] {
+        rows.push(vec![
+            format!("{t}"),
+            format!("{} ms", f(grid[t - 1], 3)),
+            format!("{} ms", f(random[t - 1], 3)),
+            format!("{} ms", f(bo[t - 1], 3)),
+        ]);
+    }
+    // Trials-to-target: 5% above the best cost any method ever reached.
+    let floor = grid
+        .iter()
+        .chain(&random)
+        .chain(&bo)
+        .cloned()
+        .fold(f64::INFINITY, f64::min);
+    let target = floor * 1.05;
+    let tt = |c: &[f64]| trials_to_reach(c, target).map_or("n/a".into(), |n| n.to_string());
+    rows.push(vec![
+        format!("trials to {:.2}ms", target),
+        tt(&grid),
+        tt(&random),
+        tt(&bo),
+    ]);
+
+    let bo_final = bo[budget - 1];
+    let grid_final = grid[budget - 1];
+    let random_final = random[budget - 1];
+    let bo_tt = trials_to_reach(&bo, target).unwrap_or(budget + 1);
+    let others_tt = trials_to_reach(&grid, target)
+        .unwrap_or(budget + 1)
+        .min(trials_to_reach(&random, target).unwrap_or(budget + 1));
+    let shape_holds = bo_final <= grid_final * 1.02
+        && bo_final <= random_final * 1.02
+        && bo_tt <= others_tt;
+    Report {
+        id: "E2-E4",
+        title: "Grid vs random vs BO on the Redis example (slides 29-31)",
+        headers: vec!["trial", "grid", "random", "bo_gp"],
+        rows,
+        paper_claim: "model-guided BO is the most sample-efficient; grid/random need more trials",
+        measured: format!(
+            "final P95: grid {}, random {}, BO {} ms; BO reached target in {} vs {} trials",
+            f(grid_final, 3),
+            f(random_final, 3),
+            f(bo_final, 3),
+            bo_tt,
+            others_tt
+        ),
+        shape_holds,
+    }
+}

@@ -1,0 +1,69 @@
+//! E6 (slides 43-44): kernel functions — the RBF lengthscale controls
+//! smoothness, and the Matérn family orders by roughness (ν=1/2 roughest).
+//! Wiggliness is measured as the mean absolute second difference of prior
+//! sample paths.
+
+use crate::report::{f, Report};
+use autotune_surrogate::{GaussianProcess, Kernel, Matern12, Matern32, Matern52, Rbf};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Mean absolute second difference of prior samples under a kernel.
+fn wiggliness(kernel: Box<dyn Kernel>, seed: u64) -> f64 {
+    let gp = GaussianProcess::new(kernel, 0.0);
+    let points: Vec<Vec<f64>> = (0..80).map(|i| vec![i as f64 / 79.0]).collect();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut total = 0.0;
+    let n_draws = 8;
+    for _ in 0..n_draws {
+        let y = gp.sample_function(&points, &mut rng);
+        let second_diffs: f64 = y
+            .windows(3)
+            .map(|w| (w[2] - 2.0 * w[1] + w[0]).abs())
+            .sum::<f64>()
+            / (y.len() - 2) as f64;
+        total += second_diffs;
+    }
+    total / n_draws as f64
+}
+
+/// Runs the experiment.
+pub fn run() -> Report {
+    let mut rows = Vec::new();
+    // RBF lengthscale sweep.
+    let mut rbf_w = Vec::new();
+    for &l in &[0.05, 0.15, 0.5] {
+        let w = wiggliness(Box::new(Rbf::isotropic(l, 1.0)), 42);
+        rbf_w.push(w);
+        rows.push(vec![format!("RBF l={l}"), f(w, 4)]);
+    }
+    // Matérn family at fixed lengthscale.
+    let m12 = wiggliness(Box::new(Matern12::isotropic(0.15, 1.0)), 43);
+    let m32 = wiggliness(Box::new(Matern32::isotropic(0.15, 1.0)), 44);
+    let m52 = wiggliness(Box::new(Matern52::isotropic(0.15, 1.0)), 45);
+    let rbf = rbf_w[1];
+    rows.push(vec!["Matern 1/2 l=0.15".into(), f(m12, 4)]);
+    rows.push(vec!["Matern 3/2 l=0.15".into(), f(m32, 4)]);
+    rows.push(vec!["Matern 5/2 l=0.15".into(), f(m52, 4)]);
+
+    let lengthscale_orders = rbf_w[0] > rbf_w[1] && rbf_w[1] > rbf_w[2];
+    let matern_orders = m12 > m32 && m32 > m52 && m52 > rbf;
+    Report {
+        id: "E6",
+        title: "Kernel smoothness (slides 43-44)",
+        headers: vec!["kernel", "wiggliness"],
+        rows,
+        paper_claim: "smaller lengthscale = wigglier; Matern roughness: 1/2 > 3/2 > 5/2 > RBF",
+        measured: format!(
+            "RBF l-sweep {} > {} > {}; Matern {} > {} > {} > RBF {}",
+            f(rbf_w[0], 3),
+            f(rbf_w[1], 3),
+            f(rbf_w[2], 3),
+            f(m12, 3),
+            f(m32, 3),
+            f(m52, 3),
+            f(rbf, 3)
+        ),
+        shape_holds: lengthscale_orders && matern_orders,
+    }
+}

@@ -1,0 +1,62 @@
+//! E7 (slides 47-48): acquisition functions — PI vs EI vs LCB on the Redis
+//! example, plus the LCB β sweep that dials explore vs exploit.
+
+use crate::experiments::{mean_curve, redis_target};
+use crate::report::{f, Report};
+use autotune_optimizer::{AcquisitionFunction, BayesianOptimizer, BoConfig, Optimizer};
+
+fn bo_with(acq: AcquisitionFunction) -> Box<dyn Optimizer> {
+    Box::new(BayesianOptimizer::new(
+        redis_target().space().clone(),
+        BoConfig {
+            acquisition: acq,
+            ..Default::default()
+        },
+    ))
+}
+
+/// Runs the experiment.
+pub fn run() -> Report {
+    let budget = 20;
+    let seeds = 0..15u64;
+    let variants: Vec<(&str, AcquisitionFunction)> = vec![
+        ("PI", AcquisitionFunction::ProbabilityOfImprovement),
+        ("EI", AcquisitionFunction::ExpectedImprovement),
+        ("LCB b=0", AcquisitionFunction::LowerConfidenceBound { beta: 0.0 }),
+        ("LCB b=1", AcquisitionFunction::LowerConfidenceBound { beta: 1.0 }),
+        ("LCB b=4", AcquisitionFunction::LowerConfidenceBound { beta: 4.0 }),
+        ("TS", AcquisitionFunction::ThompsonSample),
+    ];
+    let mut finals = Vec::new();
+    let mut rows = Vec::new();
+    for (name, acq) in &variants {
+        let curve = mean_curve(|| bo_with(*acq), redis_target, budget, seeds.clone());
+        rows.push(vec![
+            name.to_string(),
+            format!("{} ms", f(curve[9], 3)),
+            format!("{} ms", f(curve[budget - 1], 3)),
+        ]);
+        finals.push((name.to_string(), curve[budget - 1]));
+    }
+    let get = |n: &str| finals.iter().find(|(name, _)| name == n).expect("variant ran").1;
+    let ei = get("EI");
+    let pi = get("PI");
+    let lcb1 = get("LCB b=1");
+    // EI/LCB(moderate beta) should not lose to pure-exploit PI; a huge beta
+    // over-explores.
+    let shape_holds = ei <= pi * 1.05 && lcb1 <= pi * 1.05;
+    Report {
+        id: "E7",
+        title: "Acquisition functions (slides 47-48)",
+        headers: vec!["acquisition", "best@10", "best@20"],
+        rows,
+        paper_claim: "EI weighs improvement magnitude and beats PI; beta trades explore/exploit",
+        measured: format!(
+            "final P95: EI {} / LCB(1) {} / PI {} ms",
+            f(ei, 3),
+            f(lcb1, 3),
+            f(pi, 3)
+        ),
+        shape_holds,
+    }
+}

@@ -1,0 +1,111 @@
+//! E12 (slide 59): multi-task optimization — reuse the data collected
+//! while optimizing latency when optimizing throughput. A multi-task GP
+//! with a shared kernel predicts the sparse task from the dense one's
+//! observations; the payoff is fewer trials to locate the second task's
+//! optimum.
+
+use crate::report::{f, Report};
+use autotune::{Objective, Target};
+use autotune_sim::{Environment, RedisSim, Workload};
+use autotune_surrogate::{Matern52, MultiTaskGp, TaskObservation};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Runs the experiment.
+pub fn run() -> Report {
+    // Task 0: P95 latency; task 1: negative throughput. Correlated (both
+    // improve at the scheduler sweet spot) but not identical.
+    let t_lat = Target::simulated(
+        Box::new(RedisSim::new()),
+        Workload::kv_cache(300_000.0),
+        Environment::medium(),
+        Objective::MinimizeLatencyP95,
+    );
+    let t_thr = Target::simulated(
+        Box::new(RedisSim::new()),
+        Workload::kv_cache(300_000.0),
+        Environment::medium(),
+        Objective::MaximizeThroughput,
+    );
+    let mut rng = StdRng::seed_from_u64(3);
+
+    // Dense task-0 data (20 points), sparse task-1 data (4 points).
+    let mut obs = Vec::new();
+    let mut cfgs = Vec::new();
+    for _ in 0..20 {
+        let cfg = t_lat.space().sample(&mut rng);
+        let x = t_lat.space().encode_unit(&cfg).expect("encodes");
+        let y = t_lat.evaluate(&cfg, &mut rng).cost;
+        obs.push(TaskObservation { task: 0, x, y });
+        cfgs.push(cfg);
+    }
+    for cfg in cfgs.iter().step_by(5).take(4) {
+        let x = t_thr.space().encode_unit(cfg).expect("encodes");
+        let y = t_thr.evaluate(cfg, &mut rng).cost;
+        obs.push(TaskObservation { task: 1, x, y });
+    }
+
+    let d = t_lat.space().len();
+    let mut mt = MultiTaskGp::new(Box::new(Matern52::ard(vec![0.4; d], 1.0)), 1e-4, 2);
+    mt.fit(&obs).expect("observations are valid");
+
+    // Single-task GP on the 4 sparse points for comparison.
+    use autotune_surrogate::{GaussianProcess, Surrogate};
+    let sparse: Vec<&TaskObservation> = obs.iter().filter(|o| o.task == 1).collect();
+    let xs: Vec<Vec<f64>> = sparse.iter().map(|o| o.x.clone()).collect();
+    let ys: Vec<f64> = sparse.iter().map(|o| o.y).collect();
+    let mut st = GaussianProcess::new(Box::new(Matern52::ard(vec![0.4; d], 1.0)), 1e-4);
+    st.fit(&xs, &ys).expect("sparse data fits");
+
+    // Evaluate predictive accuracy for task 1 on held-out probes.
+    let mut mt_err = Vec::new();
+    let mut st_err = Vec::new();
+    let mut rows = Vec::new();
+    for i in 0..10 {
+        let cfg = t_thr.space().sample(&mut rng);
+        let x = t_thr.space().encode_unit(&cfg).expect("encodes");
+        let truth = (0..5).map(|_| t_thr.evaluate(&cfg, &mut rng).cost).sum::<f64>() / 5.0;
+        let pm = mt.predict(1, &x).mean;
+        let ps = st.predict(&x).mean;
+        mt_err.push((pm - truth).abs());
+        st_err.push((ps - truth).abs());
+        if i < 5 {
+            rows.push(vec![
+                format!("probe {i}"),
+                f(-truth, 0),
+                f(-pm, 0),
+                f(-ps, 0),
+            ]);
+        }
+    }
+    let mt_mae = autotune_linalg::stats::mean(&mt_err);
+    let st_mae = autotune_linalg::stats::mean(&st_err);
+    rows.push(vec![
+        "MAE".into(),
+        String::new(),
+        f(mt_mae, 0),
+        f(st_mae, 0),
+    ]);
+    rows.push(vec![
+        "fitted rho".into(),
+        f(mt.rho(), 2),
+        String::new(),
+        String::new(),
+    ]);
+
+    let shape_holds = mt_mae < st_mae && mt.rho() > 0.0;
+    Report {
+        id: "E12",
+        title: "Multi-task GP: reuse latency data for throughput (slide 59)",
+        headers: vec!["probe", "true thr", "multi-task pred", "single-task pred"],
+        rows,
+        paper_claim: "data from one target transfers to correlated targets via a shared kernel",
+        measured: format!(
+            "multi-task MAE {} vs single-task MAE {} (rho {})",
+            f(mt_mae, 0),
+            f(st_mae, 0),
+            f(mt.rho(), 2)
+        ),
+        shape_holds,
+    }
+}

@@ -1,0 +1,86 @@
+//! E23 (slides 82-83): workload shifting — context-aware tuning (hybrid
+//! bandit scoped by detected regime, OPPerTune-style) vs a context-free
+//! bandit, on a workload that flips between traffic classes.
+
+use crate::report::{f, Report};
+use autotune::{static_config_cost, Objective, OnlineTuner, OnlineTunerConfig, Target};
+use autotune_optimizer::bandit::{Bandit, BanditPolicy};
+use autotune_sim::{DbmsSim, Environment, Workload, WorkloadSchedule};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Runs the experiment.
+pub fn run() -> Report {
+    let target = Target::simulated(
+        Box::new(DbmsSim::new()),
+        Workload::ycsb_c(2_000.0),
+        Environment::medium(),
+        Objective::MinimizeLatencyAvg,
+    );
+    // Alternating phases: the best arm flips every 60 steps.
+    let schedule = WorkloadSchedule::new(vec![
+        (60, Workload::ycsb_c(2_000.0)),
+        (60, Workload::ycsb_a(2_000.0)),
+        (60, Workload::ycsb_c(2_000.0)),
+        (60, Workload::ycsb_a(2_000.0)),
+    ]);
+    let steps = 240;
+    let base = target.space().default_config().with("buffer_pool_gb", 8.0);
+    let candidates = vec![
+        base.clone().with("query_cache", true),
+        base.clone().with("query_cache", false).with("log_file_size_mb", 2048.0),
+    ];
+
+    // Context-aware: regime-scoped hybrid bandit with shift detection.
+    let mut aware = OnlineTuner::new(candidates.clone(), OnlineTunerConfig::default());
+    aware.run(&target, &schedule, steps, 5);
+    let aware_cost = aware.cumulative_cost();
+    let shifts = aware.detected_shifts();
+
+    // Context-free: one global bandit, no shift detection.
+    let mut global = Bandit::new(candidates.len(), BanditPolicy::Thompson);
+    let mut rng = StdRng::seed_from_u64(5);
+    let mut free_cost = 0.0;
+    for t in 0..steps {
+        let arm = global.select(&mut rng);
+        let e = target.evaluate_at(&candidates[arm], Some(schedule.at(t)), &mut rng);
+        if e.cost.is_finite() {
+            free_cost += e.cost;
+            global.update(arm, e.cost);
+        } else {
+            global.update(arm, 1e6);
+        }
+    }
+
+    // Static baselines.
+    let stat0 = static_config_cost(&target, &candidates[0], &schedule, steps, 5);
+    let stat1 = static_config_cost(&target, &candidates[1], &schedule, steps, 5);
+
+    let rows = vec![
+        vec!["context-aware (hybrid)".into(), f(aware_cost, 2)],
+        vec!["context-free bandit".into(), f(free_cost, 2)],
+        vec!["static cache=on".into(), f(stat0, 2)],
+        vec!["static cache=off".into(), f(stat1, 2)],
+        vec![
+            "detected shifts".into(),
+            format!("{shifts:?} (true: [60,120,180])"),
+        ],
+    ];
+    let detects = [60usize, 120, 180]
+        .iter()
+        .all(|&b| shifts.iter().any(|&s| s >= b && s <= b + 20));
+    let shape_holds = aware_cost < free_cost && detects;
+    Report {
+        id: "E23",
+        title: "Workload shifting: context-aware vs context-free (slides 82-83)",
+        headers: vec!["policy", "cumulative latency cost"],
+        rows,
+        paper_claim: "contextual tuning dominates context-free once the workload shifts",
+        measured: format!(
+            "aware {} vs free {}; shifts detected near every true boundary: {detects}",
+            f(aware_cost, 2),
+            f(free_cost, 2)
+        ),
+        shape_holds,
+    }
+}

@@ -1,0 +1,104 @@
+//! Experiment report rendering.
+
+/// One table row: cells as strings (numbers pre-formatted by the
+/// experiment so units stay attached).
+pub type Row = Vec<String>;
+
+/// The output of one experiment.
+#[derive(Debug, Clone)]
+pub struct Report {
+    /// Experiment id, e.g. "E15".
+    pub id: &'static str,
+    /// Human title (slide reference included).
+    pub title: &'static str,
+    /// Column headers.
+    pub headers: Vec<&'static str>,
+    /// Table body.
+    pub rows: Vec<Row>,
+    /// What the tutorial/paper reports (the shape to reproduce).
+    pub paper_claim: &'static str,
+    /// Our one-line measured summary.
+    pub measured: String,
+    /// Whether the measured shape matches the paper's.
+    pub shape_holds: bool,
+}
+
+impl Report {
+    /// Renders the report as an aligned text table.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("== {} — {} ==\n", self.id, self.title));
+        // Column widths.
+        let ncols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate().take(ncols) {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let fmt_row = |cells: &[String]| -> String {
+            cells
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{:>w$}", c, w = widths.get(i).copied().unwrap_or(8)))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        let headers: Vec<String> = self.headers.iter().map(|h| h.to_string()).collect();
+        out.push_str(&fmt_row(&headers));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (ncols.saturating_sub(1))));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row));
+            out.push('\n');
+        }
+        out.push_str(&format!("paper:    {}\n", self.paper_claim));
+        out.push_str(&format!("measured: {}\n", self.measured));
+        out.push_str(&format!(
+            "shape:    {}\n",
+            if self.shape_holds { "HOLDS" } else { "DOES NOT HOLD" }
+        ));
+        out
+    }
+}
+
+/// Formats a float with the given precision (helper used by experiments).
+pub fn f(v: f64, digits: usize) -> String {
+    if v.is_nan() {
+        "n/a".to_string()
+    } else {
+        format!("{v:.digits$}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_produces_aligned_table() {
+        let r = Report {
+            id: "E0",
+            title: "smoke",
+            headers: vec!["method", "value"],
+            rows: vec![
+                vec!["grid".into(), "1.0".into()],
+                vec!["random_search".into(), "2.0".into()],
+            ],
+            paper_claim: "grid < random",
+            measured: "grid 1.0 < random 2.0".into(),
+            shape_holds: true,
+        };
+        let s = r.render();
+        assert!(s.contains("E0"));
+        assert!(s.contains("HOLDS"));
+        assert!(s.contains("random_search"));
+    }
+
+    #[test]
+    fn f_formats_nan() {
+        assert_eq!(f(f64::NAN, 2), "n/a");
+        assert_eq!(f(1.23456, 2), "1.23");
+    }
+}

@@ -1,0 +1,258 @@
+//! Knob-importance analysis (tutorial slide 68: "Focus on the Important
+//! Knobs!").
+//!
+//! Two estimators over a trial history:
+//!
+//! * **Lasso** (OtterTune's approach): L1-regularized linear regression of
+//!   cost on the unit-encoded knobs; sweeping λ produces a *path* — the
+//!   order in which knobs enter the model is an importance ranking.
+//!   Solved by cyclic coordinate descent with soft thresholding.
+//! * **Permutation importance** (the SHAP-era model-agnostic stand-in):
+//!   fit a random forest, then measure how much shuffling each knob's
+//!   column degrades its predictions.
+
+use autotune_space::Space;
+use autotune_surrogate::{RandomForest, Surrogate};
+use rand::{seq::SliceRandom, Rng};
+use serde::{Deserialize, Serialize};
+
+/// Importance scores per knob, descending.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct KnobImportance {
+    /// `(knob name, score)` pairs, most important first.
+    pub ranking: Vec<(String, f64)>,
+}
+
+impl KnobImportance {
+    /// Names of the top `k` knobs.
+    pub fn top(&self, k: usize) -> Vec<&str> {
+        self.ranking.iter().take(k).map(|(n, _)| n.as_str()).collect()
+    }
+}
+
+/// Standardizes columns in place; returns per-column (mean, std).
+fn standardize(xs: &mut [Vec<f64>]) -> Vec<(f64, f64)> {
+    let n = xs.len() as f64;
+    let d = xs[0].len();
+    let mut stats = Vec::with_capacity(d);
+    for j in 0..d {
+        let col: Vec<f64> = xs.iter().map(|r| r[j]).collect();
+        let mean = autotune_linalg::stats::mean(&col);
+        let sd = autotune_linalg::stats::std_dev(&col).max(1e-12);
+        for row in xs.iter_mut() {
+            row[j] = (row[j] - mean) / sd;
+        }
+        stats.push((mean, sd));
+        let _ = n;
+    }
+    stats
+}
+
+/// Lasso via cyclic coordinate descent. Returns standardized coefficients.
+///
+/// `lambda` is the L1 penalty in standardized units.
+pub fn lasso(xs: &[Vec<f64>], ys: &[f64], lambda: f64, iters: usize) -> Vec<f64> {
+    assert_eq!(xs.len(), ys.len(), "lasso: row count mismatch");
+    assert!(!xs.is_empty(), "lasso: empty data");
+    let mut x = xs.to_vec();
+    standardize(&mut x);
+    let y_mean = autotune_linalg::stats::mean(ys);
+    let y: Vec<f64> = ys.iter().map(|&v| v - y_mean).collect();
+    let n = x.len();
+    let d = x[0].len();
+    let mut beta = vec![0.0; d];
+    // Precompute column norms (all ~n after standardization).
+    let col_sq: Vec<f64> = (0..d)
+        .map(|j| x.iter().map(|r| r[j] * r[j]).sum::<f64>().max(1e-12))
+        .collect();
+    let mut residual: Vec<f64> = y.clone();
+    for _ in 0..iters {
+        for j in 0..d {
+            // rho = x_j . (residual + beta_j * x_j)
+            let mut rho = 0.0;
+            for (r, row) in residual.iter().zip(&x) {
+                rho += row[j] * r;
+            }
+            rho += beta[j] * col_sq[j];
+            let new_beta = soft_threshold(rho, lambda * n as f64) / col_sq[j];
+            let delta = new_beta - beta[j];
+            if delta != 0.0 {
+                for (r, row) in residual.iter_mut().zip(&x) {
+                    *r -= delta * row[j];
+                }
+                beta[j] = new_beta;
+            }
+        }
+    }
+    beta
+}
+
+#[inline]
+fn soft_threshold(x: f64, t: f64) -> f64 {
+    if x > t {
+        x - t
+    } else if x < -t {
+        x + t
+    } else {
+        0.0
+    }
+}
+
+/// Lasso-path knob ranking: sweep λ from large to small and rank knobs by
+/// the λ at which their coefficient first becomes nonzero (earlier =
+/// more important), breaking ties by final |coefficient|.
+pub fn lasso_path(space: &Space, xs: &[Vec<f64>], ys: &[f64]) -> KnobImportance {
+    let d = xs[0].len();
+    let lambdas: Vec<f64> = (0..12).map(|i| 2.0_f64.powi(3 - i)).collect();
+    let mut entry_lambda = vec![f64::NEG_INFINITY; d];
+    let mut final_beta = vec![0.0; d];
+    for &lambda in &lambdas {
+        let beta = lasso(xs, ys, lambda, 200);
+        for j in 0..d {
+            if beta[j].abs() > 1e-9 && entry_lambda[j] == f64::NEG_INFINITY {
+                entry_lambda[j] = lambda;
+            }
+        }
+        final_beta = beta;
+    }
+    let names: Vec<String> = space.params().iter().map(|p| p.name.clone()).collect();
+    let mut ranking: Vec<(String, f64)> = (0..d)
+        .map(|j| {
+            // Score: entry lambda dominates, final coefficient breaks ties.
+            let entry = if entry_lambda[j] == f64::NEG_INFINITY {
+                0.0
+            } else {
+                entry_lambda[j]
+            };
+            (names[j].clone(), entry * 1e6 + final_beta[j].abs())
+        })
+        .collect();
+    ranking.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("scores finite"));
+    KnobImportance { ranking }
+}
+
+/// Permutation importance under a random-forest surrogate: the increase in
+/// mean squared prediction error when column `j` is shuffled.
+pub fn permutation_importance(
+    space: &Space,
+    xs: &[Vec<f64>],
+    ys: &[f64],
+    rng: &mut impl Rng,
+) -> KnobImportance {
+    let mut rf = RandomForest::default_forest();
+    rf.fit(xs, ys).expect("training data validated by caller");
+    let base_mse = mse(&rf, xs, ys);
+    let d = xs[0].len();
+    let names: Vec<String> = space.params().iter().map(|p| p.name.clone()).collect();
+    let mut ranking: Vec<(String, f64)> = (0..d)
+        .map(|j| {
+            // Average over a few shuffles to steady the estimate.
+            let mut deltas = Vec::with_capacity(3);
+            for _ in 0..3 {
+                let mut shuffled = xs.to_vec();
+                let mut col: Vec<f64> = xs.iter().map(|r| r[j]).collect();
+                col.shuffle(rng);
+                for (row, v) in shuffled.iter_mut().zip(col) {
+                    row[j] = v;
+                }
+                deltas.push(mse(&rf, &shuffled, ys) - base_mse);
+            }
+            (names[j].clone(), autotune_linalg::stats::mean(&deltas).max(0.0))
+        })
+        .collect();
+    ranking.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("scores finite"));
+    KnobImportance { ranking }
+}
+
+fn mse(rf: &RandomForest, xs: &[Vec<f64>], ys: &[f64]) -> f64 {
+    let errs: Vec<f64> = xs
+        .iter()
+        .zip(ys)
+        .map(|(x, &y)| {
+            let p = rf.predict(x).mean;
+            (p - y) * (p - y)
+        })
+        .collect();
+    autotune_linalg::stats::mean(&errs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use autotune_space::Param;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// 8 knobs; cost depends strongly on k1, weakly on k4, not at all on
+    /// the rest.
+    fn synthetic_history(n: usize, seed: u64) -> (Space, Vec<Vec<f64>>, Vec<f64>) {
+        let mut b = Space::builder();
+        for i in 0..8 {
+            b = b.add(Param::float(format!("k{i}"), 0.0, 1.0));
+        }
+        let space = b.build().unwrap();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut xs = Vec::with_capacity(n);
+        let mut ys = Vec::with_capacity(n);
+        for _ in 0..n {
+            let cfg = space.sample(&mut rng);
+            let x = space.encode_unit(&cfg).unwrap();
+            let y = 10.0 * x[1] + 2.0 * x[4] + 0.1 * rng.gen::<f64>();
+            xs.push(x);
+            ys.push(y);
+        }
+        (space, xs, ys)
+    }
+
+    #[test]
+    fn lasso_shrinks_irrelevant_coefficients() {
+        let (_, xs, ys) = synthetic_history(200, 1);
+        let beta = lasso(&xs, &ys, 0.05, 300);
+        assert!(beta[1].abs() > 1.0, "strong knob coefficient {}", beta[1]);
+        for j in [0, 2, 3, 5, 6, 7] {
+            assert!(
+                beta[j].abs() < 0.1,
+                "irrelevant knob {j} kept coefficient {}",
+                beta[j]
+            );
+        }
+    }
+
+    #[test]
+    fn lasso_heavy_penalty_kills_everything() {
+        let (_, xs, ys) = synthetic_history(100, 2);
+        let beta = lasso(&xs, &ys, 100.0, 100);
+        assert!(beta.iter().all(|b| b.abs() < 1e-9));
+    }
+
+    #[test]
+    fn lasso_path_ranks_true_knobs_first() {
+        let (space, xs, ys) = synthetic_history(200, 3);
+        let imp = lasso_path(&space, &xs, &ys);
+        let top2 = imp.top(2);
+        assert!(top2.contains(&"k1"), "ranking {:?}", imp.ranking);
+        assert!(top2.contains(&"k4"), "ranking {:?}", imp.ranking);
+        assert_eq!(imp.top(1)[0], "k1");
+    }
+
+    #[test]
+    fn permutation_importance_agrees() {
+        let (space, xs, ys) = synthetic_history(200, 4);
+        let mut rng = StdRng::seed_from_u64(5);
+        let imp = permutation_importance(&space, &xs, &ys, &mut rng);
+        assert_eq!(imp.top(1)[0], "k1", "ranking {:?}", imp.ranking);
+        assert!(imp.top(2).contains(&"k4"), "ranking {:?}", imp.ranking);
+        // Irrelevant knobs score near zero.
+        let k7 = imp.ranking.iter().find(|(n, _)| n == "k7").unwrap().1;
+        let k1 = imp.ranking.iter().find(|(n, _)| n == "k1").unwrap().1;
+        assert!(k7 < 0.1 * k1, "k7 {k7} should be tiny vs k1 {k1}");
+    }
+
+    #[test]
+    fn soft_threshold_cases() {
+        assert_eq!(soft_threshold(5.0, 2.0), 3.0);
+        assert_eq!(soft_threshold(-5.0, 2.0), -3.0);
+        assert_eq!(soft_threshold(1.0, 2.0), 0.0);
+        assert_eq!(soft_threshold(-1.5, 2.0), 0.0);
+    }
+}

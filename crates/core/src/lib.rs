@@ -1,0 +1,69 @@
+//! `autotune` — a generalized systems-autotuning framework.
+//!
+//! This crate ties the workspace together into the architecture of the
+//! SIGMOD 2025 tutorial "Autotuning Systems: Techniques, Challenges, and
+//! Opportunities" (slide 26): an **optimizer** proposes tunable values, a
+//! **scheduler** runs benchmarks against the target system, results flow
+//! back as scores, and systems machinery around that loop handles the
+//! parts that make real autotuning hard — noise, cost, fidelity,
+//! workload drift, crashes, and safety.
+//!
+//! # Architecture
+//!
+//! ```text
+//!  ┌────────────┐  suggest   ┌────────────────┐  config   ┌────────────┐
+//!  │ Optimizer   │──────────▶│ TuningSession  │──────────▶│ Target      │
+//!  │ (BO, SMAC,  │◀──────────│ (budget, noise │◀──────────│ (simulated  │
+//!  │  CMA-ES, …) │  observe  │  mitigation,   │  metrics  │  system +   │
+//!  └────────────┘            │  early abort)  │           │  workload)  │
+//!                            └────────────────┘           └────────────┘
+//! ```
+//!
+//! # Quick start
+//!
+//! ```
+//! use autotune::{Objective, Target, TuningSession, SessionConfig};
+//! use autotune_optimizer::BayesianOptimizer;
+//! use autotune_sim::{DbmsSim, Environment, Workload};
+//!
+//! let target = Target::simulated(
+//!     Box::new(DbmsSim::new()),
+//!     Workload::tpcc(2_000.0),
+//!     Environment::medium(),
+//!     Objective::MinimizeLatencyAvg,
+//! );
+//! let optimizer = BayesianOptimizer::gp(target.space().clone());
+//! let mut session = TuningSession::new(target, Box::new(optimizer), SessionConfig::default());
+//! let summary = session.run(30, 42);
+//! assert!(summary.best_cost.is_finite());
+//! ```
+
+mod early_abort;
+mod importance;
+mod llamatune;
+mod multifid;
+mod noise_strategy;
+mod objective;
+mod online;
+mod parallel;
+mod profile_guided;
+mod session;
+mod target;
+mod transfer;
+mod trial;
+
+pub use early_abort::EarlyAbort;
+pub use importance::{lasso_path, permutation_importance, KnobImportance};
+pub use llamatune::{LlamaTune, LlamaTuneConfig};
+pub use multifid::{FidelityLevel, Hyperband, SuccessiveHalving, SuccessiveHalvingConfig};
+pub use noise_strategy::NoiseStrategy;
+pub use objective::Objective;
+pub use online::{
+    static_config_cost, ContextualOnlineTuner, OnlineStep, OnlineTuner, OnlineTunerConfig,
+};
+pub use parallel::{run_async_parallel, run_parallel, ParallelSummary};
+pub use profile_guided::KnobComponentMap;
+pub use session::{SessionConfig, SessionSummary, TuningSession};
+pub use target::Target;
+pub use transfer::{transfer_observations, TransferPolicy};
+pub use trial::{Trial, TrialStatus, TrialStorage};

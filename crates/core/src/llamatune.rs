@@ -1,0 +1,330 @@
+//! LlamaTune-style search-space reduction (tutorial slide 62; Kanellis et
+//! al., VLDB 2022).
+//!
+//! Three tricks compose:
+//!
+//! 1. **Random linear projection** (HesBO flavour): optimize in a
+//!    low-dimensional box `[0,1]^k`; each full-space dimension `i` is tied
+//!    to one low dimension `h(i)` with a random sign, so the optimizer
+//!    explores a random k-dimensional subspace of the d-dimensional knob
+//!    cube. Correlated knobs collapse onto shared axes.
+//! 2. **Bucketization**: full-space coordinates snap to a coarse grid,
+//!    shrinking the effective cardinality the surrogate must model.
+//! 3. **Special-value biasing** lives in [`autotune_space::Param`] and
+//!    composes for free.
+//!
+//! The paper's headline: up to ~11x fewer evaluations to reach a target,
+//! and better configs at equal budget — experiment E15 reproduces the
+//! shape.
+
+use autotune_optimizer::{BayesianOptimizer, BoConfig, Observation, Optimizer};
+use autotune_space::{Config, Param, Space};
+use rand::rngs::StdRng;
+use rand::{Rng, RngCore, SeedableRng};
+use std::collections::HashMap;
+
+/// LlamaTune settings.
+#[derive(Debug, Clone)]
+pub struct LlamaTuneConfig {
+    /// Target (low) dimensionality of the projected space.
+    pub low_dim: usize,
+    /// Buckets per full-space axis (0 disables bucketization).
+    pub buckets: usize,
+    /// Seed of the projection matrix.
+    pub projection_seed: u64,
+}
+
+impl Default for LlamaTuneConfig {
+    fn default() -> Self {
+        LlamaTuneConfig {
+            low_dim: 6,
+            buckets: 20,
+            projection_seed: 0,
+        }
+    }
+}
+
+/// A projected optimizer: BO in `[0,1]^k`, evaluated in the full space.
+pub struct LlamaTune {
+    full_space: Space,
+    config: LlamaTuneConfig,
+    /// `h(i)`: which low dimension drives full dimension `i`.
+    assignment: Vec<usize>,
+    /// Sign per full dimension.
+    signs: Vec<f64>,
+    /// Inner optimizer over the synthetic low-d space.
+    inner: BayesianOptimizer,
+    /// Rendered full config -> low-d point, for observe().
+    pending: HashMap<String, Vec<f64>>,
+    best: Option<Observation>,
+    n_observed: usize,
+}
+
+impl std::fmt::Debug for LlamaTune {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LlamaTune")
+            .field("full_dim", &self.full_space.len())
+            .field("low_dim", &self.config.low_dim)
+            .field("buckets", &self.config.buckets)
+            .finish()
+    }
+}
+
+/// Builds the synthetic low-dimensional space (k floats in [0,1]).
+fn low_space(k: usize) -> Space {
+    let mut b = Space::builder();
+    for j in 0..k {
+        b = b.add(Param::float(format!("z{j}"), 0.0, 1.0));
+    }
+    b.build().expect("synthetic space is valid")
+}
+
+impl LlamaTune {
+    /// Wraps GP-BO over a random projection of `full_space`.
+    pub fn new(full_space: Space, config: LlamaTuneConfig) -> Self {
+        let d = full_space.len();
+        let k = config.low_dim.clamp(1, d.max(1));
+        let mut rng = StdRng::seed_from_u64(config.projection_seed);
+        let assignment: Vec<usize> = (0..d).map(|_| rng.gen_range(0..k)).collect();
+        let signs: Vec<f64> = (0..d)
+            .map(|_| if rng.gen::<bool>() { 1.0 } else { -1.0 })
+            .collect();
+        let inner = BayesianOptimizer::new(low_space(k), BoConfig::default());
+        LlamaTune {
+            full_space,
+            config: LlamaTuneConfig { low_dim: k, ..config },
+            assignment,
+            signs,
+            inner,
+            pending: HashMap::new(),
+            best: None,
+            n_observed: 0,
+        }
+    }
+
+    /// Maps a low-d point to a full configuration.
+    fn project_up(&self, z: &[f64]) -> Config {
+        let x: Vec<f64> = self
+            .assignment
+            .iter()
+            .zip(&self.signs)
+            .map(|(&j, &s)| {
+                let mut v = (0.5 + s * (z[j] - 0.5)).clamp(0.0, 1.0);
+                if self.config.buckets > 1 {
+                    let b = self.config.buckets as f64;
+                    v = ((v * (b - 1.0)).round()) / (b - 1.0);
+                }
+                v
+            })
+            .collect();
+        self.full_space
+            .decode_unit(&x)
+            .expect("projected vector has full dimension")
+    }
+
+    /// Approximate inverse for foreign observations: average the low-d
+    /// coordinates implied by each full dimension.
+    fn project_down(&self, config: &Config) -> Vec<f64> {
+        let x = self
+            .full_space
+            .encode_unit(config)
+            .expect("config belongs to the full space");
+        let k = self.config.low_dim;
+        let mut sums = vec![0.0; k];
+        let mut counts = vec![0usize; k];
+        for ((&xi, &j), &s) in x.iter().zip(&self.assignment).zip(&self.signs) {
+            sums[j] += 0.5 + s * (xi - 0.5);
+            counts[j] += 1;
+        }
+        sums.iter()
+            .zip(&counts)
+            .map(|(&sum, &n)| if n > 0 { (sum / n as f64).clamp(0.0, 1.0) } else { 0.5 })
+            .collect()
+    }
+
+    fn low_config(&self, z: &[f64]) -> Config {
+        let mut c = Config::new();
+        for (j, &v) in z.iter().enumerate() {
+            c.set(format!("z{j}"), v);
+        }
+        c
+    }
+}
+
+impl Optimizer for LlamaTune {
+    fn suggest(&mut self, rng: &mut dyn RngCore) -> Config {
+        let low = self.inner.suggest(rng);
+        let z: Vec<f64> = (0..self.config.low_dim)
+            .map(|j| low.get_f64(&format!("z{j}")).expect("synthetic param present"))
+            .collect();
+        let full = self.project_up(&z);
+        self.pending.insert(full.render(), z);
+        full
+    }
+
+    fn observe(&mut self, config: &Config, value: f64) {
+        self.n_observed += 1;
+        let z = self
+            .pending
+            .remove(&config.render())
+            .unwrap_or_else(|| self.project_down(config));
+        let low_cfg = self.low_config(&z);
+        self.inner.observe(&low_cfg, value);
+        if !value.is_nan() && self.best.as_ref().is_none_or(|b| value < b.value) {
+            self.best = Some(Observation {
+                config: config.clone(),
+                value,
+            });
+        }
+    }
+
+    fn best(&self) -> Option<&Observation> {
+        self.best.as_ref()
+    }
+
+    fn space(&self) -> &Space {
+        &self.full_space
+    }
+
+    fn name(&self) -> &str {
+        "llamatune"
+    }
+
+    fn n_observed(&self) -> usize {
+        self.n_observed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A 16-knob space where only three knobs matter and several are
+    /// pairwise redundant — the regime LlamaTune targets.
+    fn wide_space() -> Space {
+        let mut b = Space::builder();
+        for i in 0..16 {
+            b = b.add(Param::float(format!("k{i}"), 0.0, 1.0));
+        }
+        b.build().unwrap()
+    }
+
+    fn sparse_objective(c: &Config) -> f64 {
+        let g = |n: &str| c.get_f64(n).unwrap();
+        (g("k0") - 0.7).powi(2) + (g("k5") - 0.2).powi(2) + 0.5 * (g("k9") - 0.5).powi(2)
+    }
+
+    #[test]
+    fn projection_covers_full_space_dimensions() {
+        let lt = LlamaTune::new(wide_space(), LlamaTuneConfig::default());
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut saw_low = [false; 16];
+        let mut saw_high = [false; 16];
+        for _ in 0..200 {
+            let z: Vec<f64> = (0..6).map(|_| rng.gen::<f64>()).collect();
+            let cfg = lt.project_up(&z);
+            for i in 0..16 {
+                let v = cfg.get_f64(&format!("k{i}")).unwrap();
+                if v < 0.2 {
+                    saw_low[i] = true;
+                }
+                if v > 0.8 {
+                    saw_high[i] = true;
+                }
+            }
+        }
+        assert!(
+            saw_low.iter().all(|&b| b) && saw_high.iter().all(|&b| b),
+            "projection should reach both ends of every axis"
+        );
+    }
+
+    #[test]
+    fn bucketization_snaps_to_grid() {
+        let lt = LlamaTune::new(
+            wide_space(),
+            LlamaTuneConfig {
+                buckets: 5,
+                ..Default::default()
+            },
+        );
+        let cfg = lt.project_up(&[0.33; 6]);
+        for i in 0..16 {
+            let v = cfg.get_f64(&format!("k{i}")).unwrap();
+            let snapped = (v * 4.0).round() / 4.0;
+            assert!((v - snapped).abs() < 1e-9, "value {v} not on 5-bucket grid");
+        }
+    }
+
+    #[test]
+    fn reaches_good_region_in_fewer_trials_than_full_bo() {
+        // The LlamaTune claim is *sample efficiency*: a decent config in
+        // far fewer trials, at some risk that the projected subspace
+        // misses the exact optimum. Measured as trials-to-target at a
+        // small budget, aggregated over seeds (projections are random).
+        use autotune_optimizer::BayesianOptimizer;
+        let budget = 15;
+        let target_cost = 0.25;
+        let run = |mut opt: Box<dyn Optimizer>, seed: u64| -> Option<usize> {
+            let mut rng = StdRng::seed_from_u64(seed);
+            for i in 0..budget {
+                let c = opt.suggest(&mut rng);
+                let v = sparse_objective(&c);
+                opt.observe(&c, v);
+                if opt.best().unwrap().value <= target_cost {
+                    return Some(i + 1);
+                }
+            }
+            None
+        };
+        let mut lt_hits = 0;
+        let mut full_hits = 0;
+        for seed in 0..6 {
+            if run(
+                Box::new(LlamaTune::new(
+                    wide_space(),
+                    LlamaTuneConfig {
+                        projection_seed: seed,
+                        ..Default::default()
+                    },
+                )),
+                100 + seed,
+            )
+            .is_some()
+            {
+                lt_hits += 1;
+            }
+            if run(Box::new(BayesianOptimizer::gp(wide_space())), 100 + seed).is_some() {
+                full_hits += 1;
+            }
+        }
+        assert!(
+            lt_hits >= full_hits,
+            "LlamaTune reached the target in {lt_hits}/6 seeds vs full BO {full_hits}/6"
+        );
+        assert!(lt_hits >= 3, "LlamaTune should usually reach {target_cost} in {budget} trials");
+    }
+
+    #[test]
+    fn foreign_observation_via_pseudo_inverse() {
+        let space = wide_space();
+        let mut lt = LlamaTune::new(space.clone(), LlamaTuneConfig::default());
+        // A config LlamaTune never suggested (e.g. imported history).
+        let foreign = space.default_config();
+        lt.observe(&foreign, 3.0);
+        assert_eq!(lt.n_observed(), 1);
+        assert_eq!(lt.best().unwrap().value, 3.0);
+    }
+
+    #[test]
+    fn suggested_configs_are_valid() {
+        let space = wide_space();
+        let mut lt = LlamaTune::new(space.clone(), LlamaTuneConfig::default());
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..20 {
+            let c = lt.suggest(&mut rng);
+            assert!(space.validate_config(&c).is_ok());
+            lt.observe(&c, 1.0);
+        }
+    }
+}

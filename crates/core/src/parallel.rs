@@ -1,0 +1,311 @@
+//! Parallel trial execution (tutorial slide 57).
+//!
+//! The cloud lets us run k trials at once; the optimizer supplies a
+//! diverse batch (constant liar for BO), crossbeam scoped threads evaluate
+//! them concurrently, and all results are reported back before the next
+//! batch. Wall-clock accounting is per-batch `max` (the batch is as slow
+//! as its slowest member), while total machine-seconds stay the `sum` —
+//! the trade the tutorial points at with "ignores the $$ and WHr cost".
+
+use crate::{Target, Trial, TrialStatus, TrialStorage};
+use autotune_optimizer::Optimizer;
+use autotune_space::Config;
+use rand::rngs::StdRng;
+use rand::{RngCore, SeedableRng};
+
+/// Outcome of a parallel campaign.
+#[derive(Debug, Clone)]
+pub struct ParallelSummary {
+    /// Best configuration found.
+    pub best_config: Config,
+    /// Its cost.
+    pub best_cost: f64,
+    /// Wall-clock under perfect batch parallelism, seconds.
+    pub wall_clock_s: f64,
+    /// Total machine-seconds consumed (the bill).
+    pub machine_seconds: f64,
+    /// All trials.
+    pub storage: TrialStorage,
+}
+
+/// Runs `n_batches` batches of `batch_size` parallel trials.
+pub fn run_parallel(
+    target: &Target,
+    optimizer: &mut dyn Optimizer,
+    n_batches: usize,
+    batch_size: usize,
+    seed: u64,
+) -> ParallelSummary {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut storage = TrialStorage::new();
+    let mut wall_clock = 0.0;
+    let mut machine_seconds = 0.0;
+    for batch_idx in 0..n_batches {
+        let batch = optimizer.suggest_batch(batch_size, &mut rng);
+        // Deterministic per-trial RNG streams so thread scheduling cannot
+        // perturb results.
+        let seeds: Vec<u64> = (0..batch.len())
+            .map(|i| seed ^ (batch_idx as u64) << 32 ^ i as u64 ^ 0xA5A5_5A5A)
+            .collect();
+        let results: Vec<(f64, f64)> = crossbeam::thread::scope(|scope| {
+            let handles: Vec<_> = batch
+                .iter()
+                .zip(&seeds)
+                .map(|(config, &s)| {
+                    scope.spawn(move |_| {
+                        let mut trial_rng = StdRng::seed_from_u64(s);
+                        let rng_dyn: &mut dyn RngCore = &mut trial_rng;
+                        let e = target.evaluate(config, rng_dyn);
+                        (e.cost, e.result.elapsed_s)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("trial thread panicked"))
+                .collect()
+        })
+        .expect("crossbeam scope");
+        let batch_max = results.iter().map(|(_, e)| *e).fold(0.0_f64, f64::max);
+        wall_clock += batch_max;
+        for (config, (cost, elapsed)) in batch.iter().zip(&results) {
+            machine_seconds += elapsed;
+            optimizer.observe(config, *cost);
+            storage.record(Trial {
+                id: 0,
+                config: config.clone(),
+                cost: *cost,
+                elapsed_s: *elapsed,
+                fidelity: 1.0,
+                machine_id: None,
+                status: if cost.is_nan() {
+                    TrialStatus::Crashed
+                } else {
+                    TrialStatus::Complete
+                },
+            });
+        }
+    }
+    let best = storage
+        .best()
+        .expect("at least one successful trial expected");
+    ParallelSummary {
+        best_config: best.config.clone(),
+        best_cost: best.cost,
+        wall_clock_s: wall_clock,
+        machine_seconds,
+        storage,
+    }
+}
+
+/// Asynchronous parallel execution (slide 57's "asynchronous: suggest 1
+/// point at a time, track up to k in-progress configurations").
+///
+/// Event-driven simulation over the benchmark durations the target
+/// reports: up to `max_in_flight` trials run concurrently; the moment one
+/// finishes, its result is observed and a fresh suggestion is dispatched —
+/// no batch barrier. With heterogeneous trial durations this keeps all
+/// slots busy, where the synchronous runner idles every slot until the
+/// slowest batch member finishes.
+pub fn run_async_parallel(
+    target: &Target,
+    optimizer: &mut dyn Optimizer,
+    total_trials: usize,
+    max_in_flight: usize,
+    seed: u64,
+) -> ParallelSummary {
+    use std::cmp::Reverse;
+    use std::collections::BinaryHeap;
+
+    assert!(max_in_flight >= 1, "need at least one execution slot");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut storage = TrialStorage::new();
+    // Min-heap of in-flight trials keyed by virtual finish time.
+    // (OrderedFloat stand-in: durations are finite positive.)
+    #[derive(PartialEq)]
+    struct InFlight {
+        finish: f64,
+        config: Config,
+        cost: f64,
+        elapsed: f64,
+    }
+    impl Eq for InFlight {}
+    impl PartialOrd for InFlight {
+        fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+            Some(self.cmp(other))
+        }
+    }
+    impl Ord for InFlight {
+        fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+            self.finish
+                .partial_cmp(&other.finish)
+                .expect("finish times are finite")
+        }
+    }
+
+    let mut heap: BinaryHeap<Reverse<InFlight>> = BinaryHeap::new();
+    let mut clock = 0.0_f64;
+    let mut dispatched = 0;
+    let mut machine_seconds = 0.0;
+
+    let dispatch = |optimizer: &mut dyn Optimizer,
+                        heap: &mut BinaryHeap<Reverse<InFlight>>,
+                        rng: &mut StdRng,
+                        now: f64| {
+        let config = optimizer.suggest(rng);
+        let e = target.evaluate(&config, rng);
+        heap.push(Reverse(InFlight {
+            finish: now + e.result.elapsed_s,
+            config,
+            cost: e.cost,
+            elapsed: e.result.elapsed_s,
+        }));
+    };
+
+    while dispatched < total_trials.min(max_in_flight) {
+        dispatch(optimizer, &mut heap, &mut rng, clock);
+        dispatched += 1;
+    }
+    while let Some(Reverse(done)) = heap.pop() {
+        clock = clock.max(done.finish);
+        machine_seconds += done.elapsed;
+        optimizer.observe(&done.config, done.cost);
+        storage.record(Trial {
+            id: 0,
+            config: done.config,
+            cost: done.cost,
+            elapsed_s: done.elapsed,
+            fidelity: 1.0,
+            machine_id: None,
+            status: if done.cost.is_nan() {
+                TrialStatus::Crashed
+            } else {
+                TrialStatus::Complete
+            },
+        });
+        if dispatched < total_trials {
+            dispatch(optimizer, &mut heap, &mut rng, done.finish);
+            dispatched += 1;
+        }
+    }
+    let best = storage
+        .best()
+        .expect("at least one successful trial expected");
+    ParallelSummary {
+        best_config: best.config.clone(),
+        best_cost: best.cost,
+        wall_clock_s: clock,
+        machine_seconds,
+        storage,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Objective;
+    use autotune_optimizer::BayesianOptimizer;
+    use autotune_sim::{Environment, RedisSim, Workload};
+
+    fn redis_target() -> Target {
+        Target::simulated(
+            Box::new(RedisSim::new()),
+            Workload::kv_cache(20_000.0),
+            Environment::medium(),
+            Objective::MinimizeLatencyP95,
+        )
+    }
+
+    #[test]
+    fn parallel_campaign_finds_good_config() {
+        let target = redis_target();
+        let mut opt = BayesianOptimizer::gp(target.space().clone());
+        let summary = run_parallel(&target, &mut opt, 8, 4, 3);
+        assert_eq!(summary.storage.len(), 32);
+        assert!(summary.best_cost.is_finite());
+        // Machine seconds = sum; wall clock = sum of per-batch maxima, so
+        // parallelism must buy roughly batch_size x wall-clock reduction.
+        assert!(
+            summary.wall_clock_s < summary.machine_seconds / 3.0,
+            "wall {} vs machine {}",
+            summary.wall_clock_s,
+            summary.machine_seconds
+        );
+    }
+
+    #[test]
+    fn batch_of_one_equals_sequential_accounting() {
+        let target = redis_target();
+        let mut opt = BayesianOptimizer::gp(target.space().clone());
+        let summary = run_parallel(&target, &mut opt, 6, 1, 5);
+        assert!((summary.wall_clock_s - summary.machine_seconds).abs() < 1e-9);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let run = || {
+            let target = redis_target();
+            let mut opt = BayesianOptimizer::gp(target.space().clone());
+            run_parallel(&target, &mut opt, 4, 4, 9).best_cost
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn async_beats_sync_on_heterogeneous_durations() {
+        // Spark runtimes vary wildly with the config, so a synchronous
+        // batch idles on its slowest member while async refills slots.
+        let make_target = || {
+            Target::simulated(
+                Box::new(autotune_sim::SparkSim::new()),
+                Workload::tpch(20.0),
+                Environment::large(),
+                Objective::MinimizeElapsed,
+            )
+        };
+        let total = 32;
+        let k = 4;
+        let sync = {
+            let target = make_target();
+            let mut opt = BayesianOptimizer::gp(target.space().clone());
+            run_parallel(&target, &mut opt, total / k, k, 21)
+        };
+        let asyn = {
+            let target = make_target();
+            let mut opt = BayesianOptimizer::gp(target.space().clone());
+            run_async_parallel(&target, &mut opt, total, k, 21)
+        };
+        assert_eq!(asyn.storage.len(), total);
+        assert!(
+            asyn.wall_clock_s < sync.wall_clock_s,
+            "async wall clock {} should beat sync {}",
+            asyn.wall_clock_s,
+            sync.wall_clock_s
+        );
+        assert!(asyn.best_cost.is_finite());
+    }
+
+    #[test]
+    fn async_single_slot_is_sequential() {
+        let target = redis_target();
+        let mut opt = BayesianOptimizer::gp(target.space().clone());
+        let s = run_async_parallel(&target, &mut opt, 8, 1, 23);
+        assert!((s.wall_clock_s - s.machine_seconds).abs() < 1e-9);
+        assert_eq!(s.storage.len(), 8);
+    }
+
+    #[test]
+    fn larger_batches_reach_quality_in_less_wall_clock() {
+        // Same total trial count; batch=4 should use ~1/3 the wall clock
+        // of batch=1 while finding a comparable optimum.
+        let run = |batches: usize, k: usize| {
+            let target = redis_target();
+            let mut opt = BayesianOptimizer::gp(target.space().clone());
+            run_parallel(&target, &mut opt, batches, k, 13)
+        };
+        let serial = run(24, 1);
+        let par = run(6, 4);
+        assert!(par.wall_clock_s < serial.wall_clock_s * 0.5);
+        assert!(par.best_cost < serial.best_cost * 2.0, "parallel quality collapsed");
+    }
+}

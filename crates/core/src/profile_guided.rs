@@ -1,0 +1,225 @@
+//! Profile-guided knob prioritization — the tutorial's explicitly-flagged
+//! open opportunity (slide 68):
+//!
+//! > "PGO or FDO: use stack profiles captured from real runs to focus
+//! > compiler optimizations in the right places. Could do similar for
+//! > other systems tuning: run workload, capture stack traces, identify
+//! > hotspots, search surrounding code for tunables, prioritize tuning
+//! > those. Opportunity: to our knowledge no system currently does this."
+//!
+//! The implementation here: a system declares which knobs influence which
+//! runtime *components* (the "search surrounding code for tunables" step,
+//! done once per system); a profiled run reports where the time goes (the
+//! simulated analogue of a stack profile, see
+//! [`autotune_sim::TrialResult::profile`]); knobs are then ranked by the
+//! profile mass of the components they touch. Unlike OtterTune-style
+//! importance analysis (slide 68's Lasso/SHAP route, [`crate::lasso_path`])
+//! this needs **zero tuning history** — one profiled run of the current
+//! configuration suffices.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Which runtime components each knob influences. The per-system analogue
+/// of "search surrounding code for tunables".
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct KnobComponentMap {
+    /// knob name → components it influences.
+    map: BTreeMap<String, Vec<String>>,
+}
+
+impl KnobComponentMap {
+    /// Empty map.
+    pub fn new() -> Self {
+        KnobComponentMap::default()
+    }
+
+    /// Declares that `knob` influences `components` (builder style).
+    pub fn with(mut self, knob: &str, components: &[&str]) -> Self {
+        self.map
+            .insert(knob.to_string(), components.iter().map(|s| s.to_string()).collect());
+        self
+    }
+
+    /// Knobs declared in the map.
+    pub fn knobs(&self) -> impl Iterator<Item = &String> {
+        self.map.keys()
+    }
+
+    /// The component map for [`autotune_sim::DbmsSim`]'s knob space,
+    /// matching the components its trial profiles report.
+    pub fn dbms() -> Self {
+        KnobComponentMap::new()
+            .with("buffer_pool_gb", &["io_point", "io_scan"])
+            .with("buffer_pool_instances", &["contention"])
+            .with("buffer_pool_chunk_gb", &["io_point"])
+            .with("io_threads", &["io_point", "io_scan"])
+            .with("flush_method", &["wal_flush"])
+            .with("wal_buffer_mb", &["wal_flush"])
+            .with("sync_commit", &["wal_flush"])
+            .with("log_file_size_mb", &["checkpoint"])
+            .with("worker_threads", &["contention"])
+            .with("query_cache", &["cpu"])
+            .with("jit", &["cpu"])
+            .with("jit_above_cost", &["cpu"])
+    }
+
+    /// Ranks knobs by the total profile share of the components they
+    /// influence, descending. Knobs whose components do not appear in the
+    /// profile score 0 (they still appear in the ranking, last).
+    pub fn rank_knobs(&self, profile: &[(String, f64)]) -> Vec<(String, f64)> {
+        let shares: BTreeMap<&str, f64> = profile
+            .iter()
+            .map(|(name, share)| (name.as_str(), *share))
+            .collect();
+        let mut ranking: Vec<(String, f64)> = self
+            .map
+            .iter()
+            .map(|(knob, components)| {
+                let score: f64 = components
+                    .iter()
+                    .map(|c| shares.get(c.as_str()).copied().unwrap_or(0.0))
+                    .sum();
+                (knob.clone(), score)
+            })
+            .collect();
+        ranking.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("profile shares are finite"));
+        ranking
+    }
+
+    /// The `k` highest-scoring knobs for a profile.
+    pub fn top_knobs(&self, profile: &[(String, f64)], k: usize) -> Vec<String> {
+        self.rank_knobs(profile)
+            .into_iter()
+            .take(k)
+            .map(|(n, _)| n)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Objective, Target};
+    use autotune_sim::{DbmsSim, Environment, SimSystem, Workload};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn profile_of(config: &autotune_space::Config, w: &Workload) -> Vec<(String, f64)> {
+        let sim = DbmsSim::new();
+        let mut rng = StdRng::seed_from_u64(1);
+        let r = sim.run_trial(config, w, &Environment::medium(), &mut rng);
+        assert!(!r.crashed);
+        r.profile
+    }
+
+    #[test]
+    fn dbms_profile_sums_to_one_and_reacts_to_knobs() {
+        let sim = DbmsSim::new();
+        let w = Workload::tpcc(500.0);
+        let p = profile_of(&sim.space().default_config(), &w);
+        let total: f64 = p.iter().map(|(_, v)| v).sum();
+        assert!((total - 1.0).abs() < 1e-9, "profile sums to {total}");
+        // Default config has a tiny buffer pool: I/O should dominate.
+        let io: f64 = p
+            .iter()
+            .filter(|(n, _)| n.starts_with("io"))
+            .map(|(_, v)| v)
+            .sum();
+        assert!(io > 0.3, "tiny pool should be I/O bound, io share {io}");
+        // A big pool shifts the profile away from I/O.
+        let tuned = sim.space().default_config().with("buffer_pool_gb", 12.0);
+        let p2 = profile_of(&tuned, &w);
+        let io2: f64 = p2
+            .iter()
+            .filter(|(n, _)| n.starts_with("io"))
+            .map(|(_, v)| v)
+            .sum();
+        assert!(io2 < io, "bigger pool should cut I/O share: {io2} vs {io}");
+    }
+
+    #[test]
+    fn ranking_tracks_the_bottleneck() {
+        let sim = DbmsSim::new();
+        let map = KnobComponentMap::dbms();
+        // I/O-starved config: buffer knobs must rank on top.
+        let io_bound = sim.space().default_config(); // 0.125 GB pool
+        let top = map.top_knobs(&profile_of(&io_bound, &Workload::tpcc(500.0)), 3);
+        assert!(
+            top.contains(&"buffer_pool_gb".to_string()),
+            "I/O-bound profile must prioritize the buffer pool: {top:?}"
+        );
+        // WAL-bound config: big pool, fsync, write-heavy workload.
+        let wal_bound = sim
+            .space()
+            .default_config()
+            .with("buffer_pool_gb", 12.0)
+            .with("flush_method", "fsync");
+        let top = map.top_knobs(&profile_of(&wal_bound, &Workload::ycsb_a(2_000.0)), 3);
+        assert!(
+            top.contains(&"flush_method".to_string()) || top.contains(&"wal_buffer_mb".to_string()),
+            "WAL-bound profile must prioritize flush knobs: {top:?}"
+        );
+    }
+
+    #[test]
+    fn unknown_components_score_zero() {
+        let map = KnobComponentMap::new().with("ghost_knob", &["nonexistent"]);
+        let ranking = map.rank_knobs(&[("cpu".into(), 1.0)]);
+        assert_eq!(ranking, vec![("ghost_knob".to_string(), 0.0)]);
+    }
+
+    #[test]
+    fn zero_history_prioritization_beats_random_knob_choice() {
+        // The headline claim: one profiled run picks better knobs to tune
+        // than a random subset — with zero tuning history.
+        use autotune_optimizer::{BayesianOptimizer, Optimizer};
+        let target = Target::simulated(
+            Box::new(DbmsSim::new()),
+            Workload::tpcc(500.0),
+            Environment::medium(),
+            Objective::MinimizeLatencyAvg,
+        );
+        let space = target.space().clone();
+        let map = KnobComponentMap::dbms();
+        let profile = profile_of(&space.default_config(), &Workload::tpcc(500.0));
+        let pgo_knobs = map.top_knobs(&profile, 3);
+        // A deliberately unhelpful subset for contrast.
+        let bad_knobs: Vec<String> = vec![
+            "query_cache".into(),
+            "buffer_pool_instances".into(),
+            "wal_buffer_mb".into(),
+        ];
+        let tune_subset = |knobs: &[String], seed: u64| -> f64 {
+            let mut b = autotune_space::Space::builder();
+            for p in space.params() {
+                if knobs.contains(&p.name) {
+                    b = b.add(p.clone());
+                }
+            }
+            let sub = b.build().expect("subset valid");
+            let mut opt = BayesianOptimizer::gp(sub);
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut best = f64::INFINITY;
+            for _ in 0..20 {
+                let c = opt.suggest(&mut rng);
+                let mut full = space.default_config();
+                for (name, value) in c.iter() {
+                    full.set(name.clone(), value.clone());
+                }
+                let e = target.evaluate(&full, &mut rng);
+                opt.observe(&c, e.cost);
+                if e.cost.is_finite() {
+                    best = best.min(e.cost);
+                }
+            }
+            best
+        };
+        let pgo: f64 = (0..3).map(|s| tune_subset(&pgo_knobs, 70 + s)).sum::<f64>() / 3.0;
+        let bad: f64 = (0..3).map(|s| tune_subset(&bad_knobs, 70 + s)).sum::<f64>() / 3.0;
+        assert!(
+            pgo < bad * 0.8,
+            "profile-guided knobs ({pgo}) should clearly beat an unrelated subset ({bad})"
+        );
+    }
+}

@@ -1,0 +1,285 @@
+//! The tuning session: the sequential experiment loop of slide 33,
+//! hardened with the systems machinery of slides 55-71.
+
+use crate::{EarlyAbort, NoiseStrategy, Objective, Target, Trial, TrialStatus, TrialStorage};
+use autotune_optimizer::Optimizer;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Session-level options.
+#[derive(Debug, Clone)]
+pub struct SessionConfig {
+    /// Measurement policy per logical trial.
+    pub noise_strategy: NoiseStrategy,
+    /// Early-abort ratio for elapsed-time objectives (None disables).
+    pub early_abort_ratio: Option<f64>,
+}
+
+impl Default for SessionConfig {
+    fn default() -> Self {
+        SessionConfig {
+            noise_strategy: NoiseStrategy::Single,
+            early_abort_ratio: None,
+        }
+    }
+}
+
+/// Outcome of a tuning campaign.
+#[derive(Debug, Clone)]
+pub struct SessionSummary {
+    /// Best configuration found.
+    pub best_config: autotune_space::Config,
+    /// Its cost (minimization convention; see
+    /// [`Objective::display_value`] for the natural reading).
+    pub best_cost: f64,
+    /// Best-so-far cost after each logical trial.
+    pub convergence: Vec<f64>,
+    /// Total benchmark seconds consumed.
+    pub total_elapsed_s: f64,
+    /// Crashed trials.
+    pub n_crashed: usize,
+    /// Early-aborted trials.
+    pub n_aborted: usize,
+    /// Benchmark seconds saved by early abort.
+    pub saved_s: f64,
+}
+
+/// A sequential tuning campaign binding a target and an optimizer.
+pub struct TuningSession {
+    target: Target,
+    optimizer: Box<dyn Optimizer>,
+    storage: TrialStorage,
+    config: SessionConfig,
+    early_abort: Option<EarlyAbort>,
+}
+
+impl TuningSession {
+    /// Creates a session.
+    pub fn new(target: Target, optimizer: Box<dyn Optimizer>, config: SessionConfig) -> Self {
+        let early_abort = config.early_abort_ratio.map(EarlyAbort::new);
+        TuningSession {
+            target,
+            optimizer,
+            storage: TrialStorage::new(),
+            config,
+            early_abort,
+        }
+    }
+
+    /// The trial history.
+    pub fn storage(&self) -> &TrialStorage {
+        &self.storage
+    }
+
+    /// The target under tuning.
+    pub fn target(&self) -> &Target {
+        &self.target
+    }
+
+    /// The optimizer (e.g. to export its observation history for
+    /// transfer).
+    pub fn optimizer(&self) -> &dyn Optimizer {
+        self.optimizer.as_ref()
+    }
+
+    /// Mutable optimizer access (warm starting).
+    pub fn optimizer_mut(&mut self) -> &mut dyn Optimizer {
+        self.optimizer.as_mut()
+    }
+
+    /// Runs one logical trial; returns the recorded [`Trial`] id.
+    pub fn step(&mut self, rng: &mut StdRng) -> u64 {
+        let config = self.optimizer.suggest(rng);
+        let baseline = self.target.space().default_config();
+        let (raw_cost, elapsed) =
+            self.config
+                .noise_strategy
+                .measure(&self.target, &config, &baseline, rng);
+
+        let cost_is_elapsed = matches!(self.target.objective(), Objective::MinimizeElapsed);
+        let (cost, charged_elapsed, aborted) = match &mut self.early_abort {
+            Some(ea) => ea.process(raw_cost, elapsed, cost_is_elapsed),
+            None => (raw_cost, elapsed, false),
+        };
+
+        self.optimizer.observe(&config, cost);
+        let status = if cost.is_nan() {
+            TrialStatus::Crashed
+        } else if aborted {
+            TrialStatus::Aborted
+        } else {
+            TrialStatus::Complete
+        };
+        self.storage.record(Trial {
+            id: 0,
+            config,
+            cost,
+            elapsed_s: charged_elapsed,
+            fidelity: 1.0,
+            machine_id: None,
+            status,
+        })
+    }
+
+    /// Runs `budget` logical trials and summarizes.
+    pub fn run(&mut self, budget: usize, seed: u64) -> SessionSummary {
+        let mut rng = StdRng::seed_from_u64(seed);
+        for _ in 0..budget {
+            self.step(&mut rng);
+        }
+        self.summary()
+    }
+
+    /// Summary of everything run so far.
+    ///
+    /// # Panics
+    /// Panics if no successful trial exists yet.
+    pub fn summary(&self) -> SessionSummary {
+        let best = self
+            .storage
+            .best()
+            .expect("summary requires at least one successful trial");
+        SessionSummary {
+            best_config: best.config.clone(),
+            best_cost: best.cost,
+            convergence: self.storage.convergence_curve(),
+            total_elapsed_s: self.storage.total_elapsed_s(),
+            n_crashed: self.storage.n_crashed(),
+            n_aborted: self
+                .storage
+                .trials()
+                .iter()
+                .filter(|t| t.status == TrialStatus::Aborted)
+                .count(),
+            saved_s: self
+                .early_abort
+                .as_ref()
+                .map_or(0.0, |ea| ea.total_saved_s()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use autotune_optimizer::{BayesianOptimizer, RandomSearch};
+    use autotune_sim::{DbmsSim, Environment, RedisSim, Workload};
+
+    #[test]
+    fn bo_session_tunes_redis_example() {
+        // The tutorial's running example end to end: minimize Redis P95 by
+        // tuning the scheduler knob.
+        let target = Target::simulated(
+            Box::new(RedisSim::new()),
+            Workload::kv_cache(20_000.0),
+            Environment::medium(),
+            Objective::MinimizeLatencyP95,
+        );
+        let default_cfg = target.space().default_config();
+        let mut probe_rng = StdRng::seed_from_u64(99);
+        let default_cost: f64 = (0..5)
+            .map(|_| target.evaluate(&default_cfg, &mut probe_rng).cost)
+            .sum::<f64>()
+            / 5.0;
+
+        let opt = BayesianOptimizer::gp(target.space().clone());
+        let mut session = TuningSession::new(target, Box::new(opt), SessionConfig::default());
+        let summary = session.run(40, 7);
+        assert!(
+            summary.best_cost < default_cost * 0.6,
+            "tuned {} should cut >40% off default {default_cost}",
+            summary.best_cost
+        );
+        // Convergence curve is monotone non-increasing once finite.
+        let finite: Vec<f64> = summary
+            .convergence
+            .iter()
+            .cloned()
+            .filter(|c| c.is_finite())
+            .collect();
+        for w in finite.windows(2) {
+            assert!(w[1] <= w[0] + 1e-12);
+        }
+    }
+
+    #[test]
+    fn crashes_are_recorded_and_survived() {
+        // DBMS with tight RAM: random search will hit the OOM region.
+        let target = Target::simulated(
+            Box::new(DbmsSim::new()),
+            Workload::tpcc(2_000.0),
+            Environment::small(),
+            Objective::MinimizeLatencyAvg,
+        );
+        let opt = RandomSearch::new(target.space().clone());
+        let mut session = TuningSession::new(target, Box::new(opt), SessionConfig::default());
+        let summary = session.run(60, 11);
+        assert!(summary.n_crashed > 0, "expected some OOM crashes on a small VM");
+        assert!(summary.best_cost.is_finite());
+    }
+
+    #[test]
+    fn early_abort_saves_time_without_changing_winner() {
+        let make_target = || {
+            Target::simulated(
+                Box::new(autotune_sim::SparkSim::new()),
+                Workload::tpch(20.0),
+                Environment::large(),
+                Objective::MinimizeElapsed,
+            )
+        };
+        let run = |abort: Option<f64>, seed: u64| {
+            let target = make_target();
+            let opt = RandomSearch::new(target.space().clone());
+            let mut session = TuningSession::new(
+                target,
+                Box::new(opt),
+                SessionConfig {
+                    early_abort_ratio: abort,
+                    ..Default::default()
+                },
+            );
+            session.run(40, seed)
+        };
+        let plain = run(None, 13);
+        let abort = run(Some(1.3), 13);
+        assert!(abort.n_aborted > 5, "expected aborted trials, got {}", abort.n_aborted);
+        assert!(
+            abort.total_elapsed_s < plain.total_elapsed_s * 0.9,
+            "abort should save >10% time: {} vs {}",
+            abort.total_elapsed_s,
+            plain.total_elapsed_s
+        );
+        // Same seeds, same suggestions: the winner is identical.
+        assert!((abort.best_cost - plain.best_cost).abs() < 1e-9);
+    }
+
+    #[test]
+    fn repeat_strategy_charges_more_time() {
+        let make = |strategy: NoiseStrategy| {
+            let target = Target::simulated(
+                Box::new(RedisSim::new()),
+                Workload::kv_cache(10_000.0),
+                Environment::medium(),
+                Objective::MinimizeLatencyP95,
+            );
+            let opt = RandomSearch::new(target.space().clone());
+            TuningSession::new(
+                target,
+                Box::new(opt),
+                SessionConfig {
+                    noise_strategy: strategy,
+                    ..Default::default()
+                },
+            )
+        };
+        let single = make(NoiseStrategy::Single).run(10, 17);
+        let repeat = make(NoiseStrategy::Repeat { n: 3, median: false }).run(10, 17);
+        assert!(
+            repeat.total_elapsed_s > 2.5 * single.total_elapsed_s,
+            "3x repeats should cost ~3x time: {} vs {}",
+            repeat.total_elapsed_s,
+            single.total_elapsed_s
+        );
+    }
+}

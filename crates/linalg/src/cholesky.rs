@@ -1,0 +1,243 @@
+//! Cholesky factorization of symmetric positive-definite matrices.
+//!
+//! This is the workhorse of Gaussian-process regression: the posterior mean
+//! and variance are both triangular solves against the factor of
+//! `K + sigma^2 I`, and the log marginal likelihood needs the
+//! log-determinant, which falls out of the factor's diagonal for free.
+
+#![allow(clippy::needless_range_loop)] // offset-indexed triangular loops
+use crate::{LinalgError, Matrix, Result};
+
+/// Lower-triangular Cholesky factor `L` with `A = L * L^T`.
+#[derive(Debug, Clone)]
+pub struct Cholesky {
+    l: Matrix,
+    /// Jitter that had to be added to the diagonal for the factorization to
+    /// succeed (0.0 when the input was well-conditioned).
+    jitter: f64,
+}
+
+impl Cholesky {
+    /// Factorizes a symmetric positive-definite matrix.
+    ///
+    /// Kernel matrices are often *numerically* semi-definite (duplicated
+    /// trial configurations produce identical rows), so on failure the
+    /// factorization retries with exponentially growing diagonal jitter up
+    /// to `1e-4 * mean(diag)`. The jitter actually used is reported by
+    /// [`Cholesky::jitter`].
+    pub fn new(a: &Matrix) -> Result<Self> {
+        if !a.is_square() {
+            return Err(LinalgError::ShapeMismatch {
+                context: "cholesky: matrix must be square",
+            });
+        }
+        let n = a.rows();
+        let mean_diag = if n == 0 {
+            1.0
+        } else {
+            a.diag().iter().map(|d| d.abs()).sum::<f64>() / n as f64
+        };
+        let mut jitter = 0.0;
+        // 1e-12 .. 1e-4 of the mean diagonal, one decade per retry.
+        for attempt in 0..=9 {
+            if attempt > 0 {
+                jitter = mean_diag.max(1e-300) * 1e-12 * 10f64.powi(attempt - 1);
+            }
+            if let Some(l) = Self::try_factor(a, jitter) {
+                return Ok(Cholesky { l, jitter });
+            }
+        }
+        Err(LinalgError::NotPositiveDefinite)
+    }
+
+    /// Single factorization attempt with the given diagonal jitter;
+    /// returns `None` when a pivot is non-positive.
+    fn try_factor(a: &Matrix, jitter: f64) -> Option<Matrix> {
+        let n = a.rows();
+        let mut l = Matrix::zeros(n, n);
+        for i in 0..n {
+            for j in 0..=i {
+                // sum_{k<j} L[i,k] * L[j,k]
+                let s = crate::vector::dot(&l.row(i)[..j], &l.row(j)[..j]);
+                if i == j {
+                    let d = a[(i, i)] + jitter - s;
+                    if d <= 0.0 || !d.is_finite() {
+                        return None;
+                    }
+                    l[(i, j)] = d.sqrt();
+                } else {
+                    l[(i, j)] = (a[(i, j)] - s) / l[(j, j)];
+                }
+            }
+        }
+        Some(l)
+    }
+
+    /// The lower-triangular factor `L`.
+    pub fn l(&self) -> &Matrix {
+        &self.l
+    }
+
+    /// Diagonal jitter that was added to make the factorization succeed.
+    pub fn jitter(&self) -> f64 {
+        self.jitter
+    }
+
+    /// Dimension of the factored matrix.
+    pub fn dim(&self) -> usize {
+        self.l.rows()
+    }
+
+    /// Solves `L y = b` (forward substitution).
+    pub fn solve_lower(&self, b: &[f64]) -> Vec<f64> {
+        let n = self.dim();
+        assert_eq!(b.len(), n, "solve_lower: rhs length mismatch");
+        let mut y = vec![0.0; n];
+        for i in 0..n {
+            let s = crate::vector::dot(&self.l.row(i)[..i], &y[..i]);
+            y[i] = (b[i] - s) / self.l[(i, i)];
+        }
+        y
+    }
+
+    /// Solves `L^T x = y` (back substitution).
+    pub fn solve_upper(&self, y: &[f64]) -> Vec<f64> {
+        let n = self.dim();
+        assert_eq!(y.len(), n, "solve_upper: rhs length mismatch");
+        let mut x = vec![0.0; n];
+        for i in (0..n).rev() {
+            let mut s = 0.0;
+            for k in (i + 1)..n {
+                s += self.l[(k, i)] * x[k];
+            }
+            x[i] = (y[i] - s) / self.l[(i, i)];
+        }
+        x
+    }
+
+    /// Solves `A x = b` via the two triangular solves.
+    pub fn solve_vec(&self, b: &[f64]) -> Vec<f64> {
+        self.solve_upper(&self.solve_lower(b))
+    }
+
+    /// Solves `A X = B` column by column.
+    pub fn solve_matrix(&self, b: &Matrix) -> Result<Matrix> {
+        if b.rows() != self.dim() {
+            return Err(LinalgError::ShapeMismatch {
+                context: "cholesky solve: rhs rows must match dimension",
+            });
+        }
+        let mut out = Matrix::zeros(b.rows(), b.cols());
+        for j in 0..b.cols() {
+            let col = b.col(j);
+            let x = self.solve_vec(&col);
+            for (i, v) in x.into_iter().enumerate() {
+                out[(i, j)] = v;
+            }
+        }
+        Ok(out)
+    }
+
+    /// `log det(A) = 2 * sum_i log L[i,i]`.
+    pub fn log_det(&self) -> f64 {
+        (0..self.dim()).map(|i| self.l[(i, i)].ln()).sum::<f64>() * 2.0
+    }
+
+    /// Explicit inverse of `A`. Prefer the `solve_*` methods; the explicit
+    /// inverse is only needed by multi-task kernels.
+    pub fn inverse(&self) -> Matrix {
+        let n = self.dim();
+        self.solve_matrix(&Matrix::identity(n))
+            .expect("identity always matches dimension")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spd3() -> Matrix {
+        Matrix::from_rows(&[&[4.0, 12.0, -16.0], &[12.0, 37.0, -43.0], &[-16.0, -43.0, 98.0]])
+    }
+
+    #[test]
+    fn factor_reconstructs_input() {
+        let a = spd3();
+        let c = Cholesky::new(&a).unwrap();
+        let back = c.l().matmul(&c.l().transpose()).unwrap();
+        assert!(back.approx_eq(&a, 1e-9));
+        assert_eq!(c.jitter(), 0.0);
+    }
+
+    #[test]
+    fn known_factor() {
+        // Classic textbook example: L = [[2,0,0],[6,1,0],[-8,5,3]].
+        let c = Cholesky::new(&spd3()).unwrap();
+        let l = c.l();
+        assert!((l[(0, 0)] - 2.0).abs() < 1e-12);
+        assert!((l[(1, 0)] - 6.0).abs() < 1e-12);
+        assert!((l[(2, 2)] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn solve_recovers_solution() {
+        let a = spd3();
+        let x_true = vec![1.0, -2.0, 0.5];
+        let b = a.matvec(&x_true).unwrap();
+        let c = Cholesky::new(&a).unwrap();
+        let x = c.solve_vec(&b);
+        for (got, want) in x.iter().zip(&x_true) {
+            assert!((got - want).abs() < 1e-9, "got {got}, want {want}");
+        }
+    }
+
+    #[test]
+    fn log_det_matches_direct() {
+        let a = Matrix::from_rows(&[&[2.0, 0.0], &[0.0, 8.0]]);
+        let c = Cholesky::new(&a).unwrap();
+        assert!((c.log_det() - (16.0f64).ln()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn inverse_times_matrix_is_identity() {
+        let a = spd3();
+        let inv = Cholesky::new(&a).unwrap().inverse();
+        let eye = a.matmul(&inv).unwrap();
+        assert!(eye.approx_eq(&Matrix::identity(3), 1e-8));
+    }
+
+    #[test]
+    fn indefinite_matrix_rejected() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 1.0]]); // eigenvalues 3, -1
+        assert_eq!(Cholesky::new(&a).unwrap_err(), LinalgError::NotPositiveDefinite);
+    }
+
+    #[test]
+    fn semidefinite_rescued_by_jitter() {
+        // Rank-1 matrix: vv^T with v = [1, 1] — singular but PSD.
+        let a = Matrix::from_rows(&[&[1.0, 1.0], &[1.0, 1.0]]);
+        let c = Cholesky::new(&a).unwrap();
+        assert!(c.jitter() > 0.0);
+        let back = c.l().matmul(&c.l().transpose()).unwrap();
+        assert!(back.approx_eq(&a, 1e-4));
+    }
+
+    #[test]
+    fn non_square_rejected() {
+        let a = Matrix::zeros(2, 3);
+        assert!(matches!(
+            Cholesky::new(&a),
+            Err(LinalgError::ShapeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn solve_matrix_multiple_rhs() {
+        let a = spd3();
+        let c = Cholesky::new(&a).unwrap();
+        let b = Matrix::from_rows(&[&[1.0, 0.0], &[0.0, 1.0], &[0.0, 0.0]]);
+        let x = c.solve_matrix(&b).unwrap();
+        let back = a.matmul(&x).unwrap();
+        assert!(back.approx_eq(&b, 1e-8));
+    }
+}

@@ -1,0 +1,167 @@
+//! Symmetric eigendecomposition via the cyclic Jacobi method.
+//!
+//! CMA-ES updates its sampling ellipsoid from the eigendecomposition of the
+//! covariance matrix, and PCA embeddings need the top eigenvectors of a
+//! feature covariance. Jacobi is slow in the large-n limit but bulletproof
+//! and exactly the right tool for the <100-dimensional matrices both
+//! consumers produce.
+
+use crate::{LinalgError, Matrix, Result};
+
+/// Eigendecomposition `A = V diag(lambda) V^T` of a symmetric matrix.
+#[derive(Debug, Clone)]
+pub struct SymmetricEigen {
+    /// Eigenvalues, sorted descending.
+    pub values: Vec<f64>,
+    /// Column `j` of this matrix is the eigenvector for `values[j]`.
+    pub vectors: Matrix,
+}
+
+/// Computes the eigendecomposition of a symmetric matrix with the cyclic
+/// Jacobi method. Eigenvalues are returned sorted descending, eigenvectors
+/// as columns in matching order.
+pub fn symmetric_eigen(a: &Matrix) -> Result<SymmetricEigen> {
+    if !a.is_square() {
+        return Err(LinalgError::ShapeMismatch {
+            context: "eigen: matrix must be square",
+        });
+    }
+    if !a.is_symmetric(1e-8 * a.max_abs().max(1.0)) {
+        return Err(LinalgError::ShapeMismatch {
+            context: "eigen: matrix must be symmetric",
+        });
+    }
+    let n = a.rows();
+    let mut m = a.clone();
+    let mut v = Matrix::identity(n);
+    let tol = 1e-14 * a.frobenius_norm().max(1e-300);
+
+    // Cyclic sweeps over all off-diagonal pairs.
+    for _sweep in 0..100 {
+        let mut off = 0.0;
+        for i in 0..n {
+            for j in (i + 1)..n {
+                off += m[(i, j)] * m[(i, j)];
+            }
+        }
+        if off.sqrt() <= tol {
+            return Ok(sorted(m, v));
+        }
+        for p in 0..n {
+            for q in (p + 1)..n {
+                let apq = m[(p, q)];
+                if apq.abs() <= tol / (n as f64) {
+                    continue;
+                }
+                // Compute the Jacobi rotation that zeroes m[p][q].
+                let theta = (m[(q, q)] - m[(p, p)]) / (2.0 * apq);
+                let t = if theta >= 0.0 {
+                    1.0 / (theta + (1.0 + theta * theta).sqrt())
+                } else {
+                    1.0 / (theta - (1.0 + theta * theta).sqrt())
+                };
+                let c = 1.0 / (1.0 + t * t).sqrt();
+                let s = t * c;
+                // Apply the rotation: A <- J^T A J.
+                for k in 0..n {
+                    let akp = m[(k, p)];
+                    let akq = m[(k, q)];
+                    m[(k, p)] = c * akp - s * akq;
+                    m[(k, q)] = s * akp + c * akq;
+                }
+                for k in 0..n {
+                    let apk = m[(p, k)];
+                    let aqk = m[(q, k)];
+                    m[(p, k)] = c * apk - s * aqk;
+                    m[(q, k)] = s * apk + c * aqk;
+                }
+                // Accumulate eigenvectors: V <- V J.
+                for k in 0..n {
+                    let vkp = v[(k, p)];
+                    let vkq = v[(k, q)];
+                    v[(k, p)] = c * vkp - s * vkq;
+                    v[(k, q)] = s * vkp + c * vkq;
+                }
+            }
+        }
+    }
+    Err(LinalgError::NoConvergence)
+}
+
+/// Sorts eigenpairs descending by eigenvalue.
+fn sorted(m: Matrix, v: Matrix) -> SymmetricEigen {
+    let n = m.rows();
+    let mut order: Vec<usize> = (0..n).collect();
+    let diag = m.diag();
+    order.sort_by(|&a, &b| diag[b].partial_cmp(&diag[a]).expect("eigenvalues are finite"));
+    let values: Vec<f64> = order.iter().map(|&i| diag[i]).collect();
+    let vectors = Matrix::from_fn(n, n, |i, j| v[(i, order[j])]);
+    SymmetricEigen { values, vectors }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn diagonal_matrix_eigenvalues() {
+        let a = Matrix::from_diag(&[3.0, 1.0, 2.0]);
+        let e = symmetric_eigen(&a).unwrap();
+        assert!((e.values[0] - 3.0).abs() < 1e-10);
+        assert!((e.values[1] - 2.0).abs() < 1e-10);
+        assert!((e.values[2] - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn known_2x2() {
+        // [[2,1],[1,2]] has eigenvalues 3 and 1.
+        let a = Matrix::from_rows(&[&[2.0, 1.0], &[1.0, 2.0]]);
+        let e = symmetric_eigen(&a).unwrap();
+        assert!((e.values[0] - 3.0).abs() < 1e-10);
+        assert!((e.values[1] - 1.0).abs() < 1e-10);
+        // Eigenvector for 3 is (1,1)/sqrt(2) up to sign.
+        let v0 = e.vectors.col(0);
+        assert!((v0[0].abs() - std::f64::consts::FRAC_1_SQRT_2).abs() < 1e-8);
+        assert!((v0[0] - v0[1]).abs() < 1e-8);
+    }
+
+    #[test]
+    fn reconstruction() {
+        let a = Matrix::from_rows(&[
+            &[4.0, 1.0, 0.5],
+            &[1.0, 3.0, -0.5],
+            &[0.5, -0.5, 2.0],
+        ]);
+        let e = symmetric_eigen(&a).unwrap();
+        let lambda = Matrix::from_diag(&e.values);
+        let back = e
+            .vectors
+            .matmul(&lambda)
+            .unwrap()
+            .matmul(&e.vectors.transpose())
+            .unwrap();
+        assert!(back.approx_eq(&a, 1e-8));
+    }
+
+    #[test]
+    fn eigenvectors_orthonormal() {
+        let a = Matrix::from_rows(&[&[5.0, 2.0], &[2.0, 1.0]]);
+        let e = symmetric_eigen(&a).unwrap();
+        let vtv = e.vectors.transpose().matmul(&e.vectors).unwrap();
+        assert!(vtv.approx_eq(&Matrix::identity(2), 1e-8));
+    }
+
+    #[test]
+    fn trace_equals_eigenvalue_sum() {
+        let a = Matrix::from_rows(&[&[1.0, 0.3, 0.1], &[0.3, 2.0, 0.2], &[0.1, 0.2, 3.0]]);
+        let e = symmetric_eigen(&a).unwrap();
+        let sum: f64 = e.values.iter().sum();
+        assert!((sum - a.trace()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn asymmetric_rejected() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[0.0, 1.0]]);
+        assert!(symmetric_eigen(&a).is_err());
+    }
+}

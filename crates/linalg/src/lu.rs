@@ -1,0 +1,154 @@
+//! LU factorization with partial pivoting, for general (non-SPD) square
+//! systems — used by the linear-model surrogates and the structured-space
+//! decision-tree fits where normal equations can be indefinite.
+
+#![allow(clippy::needless_range_loop)] // offset-indexed triangular loops
+use crate::{LinalgError, Matrix, Result};
+
+/// LU factorization `P A = L U` with partial pivoting.
+#[derive(Debug, Clone)]
+pub struct Lu {
+    /// Packed factors: strictly-lower part holds `L` (unit diagonal
+    /// implied), upper triangle holds `U`.
+    lu: Matrix,
+    /// Row permutation: `perm[i]` is the original row now in position `i`.
+    perm: Vec<usize>,
+    /// Sign of the permutation, for the determinant.
+    sign: f64,
+}
+
+impl Lu {
+    /// Factorizes a square matrix. Returns [`LinalgError::Singular`] when a
+    /// pivot column is entirely below `1e-12 * max_abs(A)`.
+    pub fn new(a: &Matrix) -> Result<Self> {
+        if !a.is_square() {
+            return Err(LinalgError::ShapeMismatch {
+                context: "lu: matrix must be square",
+            });
+        }
+        let n = a.rows();
+        let mut lu = a.clone();
+        let mut perm: Vec<usize> = (0..n).collect();
+        let mut sign = 1.0;
+        let tol = 1e-12 * a.max_abs().max(1.0);
+        for k in 0..n {
+            // Find pivot row.
+            let mut p = k;
+            let mut pmax = lu[(k, k)].abs();
+            for i in (k + 1)..n {
+                let v = lu[(i, k)].abs();
+                if v > pmax {
+                    pmax = v;
+                    p = i;
+                }
+            }
+            if pmax < tol {
+                return Err(LinalgError::Singular);
+            }
+            if p != k {
+                for j in 0..n {
+                    let tmp = lu[(k, j)];
+                    lu[(k, j)] = lu[(p, j)];
+                    lu[(p, j)] = tmp;
+                }
+                perm.swap(k, p);
+                sign = -sign;
+            }
+            let pivot = lu[(k, k)];
+            for i in (k + 1)..n {
+                let m = lu[(i, k)] / pivot;
+                lu[(i, k)] = m;
+                for j in (k + 1)..n {
+                    let ukj = lu[(k, j)];
+                    lu[(i, j)] -= m * ukj;
+                }
+            }
+        }
+        Ok(Lu { lu, perm, sign })
+    }
+
+    /// Dimension of the factored matrix.
+    pub fn dim(&self) -> usize {
+        self.lu.rows()
+    }
+
+    /// Solves `A x = b`.
+    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>> {
+        let n = self.dim();
+        if b.len() != n {
+            return Err(LinalgError::ShapeMismatch {
+                context: "lu solve: rhs length must match dimension",
+            });
+        }
+        // Apply permutation, then forward- and back-substitute.
+        let mut x: Vec<f64> = self.perm.iter().map(|&i| b[i]).collect();
+        for i in 1..n {
+            let s = crate::vector::dot(&self.lu.row(i)[..i], &x[..i]);
+            x[i] -= s;
+        }
+        for i in (0..n).rev() {
+            let mut s = 0.0;
+            for k in (i + 1)..n {
+                s += self.lu[(i, k)] * x[k];
+            }
+            x[i] = (x[i] - s) / self.lu[(i, i)];
+        }
+        Ok(x)
+    }
+
+    /// Determinant of the original matrix.
+    pub fn det(&self) -> f64 {
+        self.sign * (0..self.dim()).map(|i| self.lu[(i, i)]).product::<f64>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solve_general_system() {
+        let a = Matrix::from_rows(&[&[0.0, 2.0, 1.0], &[1.0, -2.0, -3.0], &[-1.0, 1.0, 2.0]]);
+        let x_true = vec![2.0, -1.0, 3.0];
+        let b = a.matvec(&x_true).unwrap();
+        let lu = Lu::new(&a).unwrap();
+        let x = lu.solve(&b).unwrap();
+        for (got, want) in x.iter().zip(&x_true) {
+            assert!((got - want).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn det_with_row_swaps() {
+        // Permutation of identity: det = -1.
+        let a = Matrix::from_rows(&[&[0.0, 1.0], &[1.0, 0.0]]);
+        let lu = Lu::new(&a).unwrap();
+        assert!((lu.det() + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn det_known_value() {
+        let a = Matrix::from_rows(&[&[3.0, 8.0], &[4.0, 6.0]]);
+        assert!((Lu::new(&a).unwrap().det() + 14.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn singular_detected() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 4.0]]);
+        assert_eq!(Lu::new(&a).unwrap_err(), LinalgError::Singular);
+    }
+
+    #[test]
+    fn non_square_rejected() {
+        assert!(matches!(
+            Lu::new(&Matrix::zeros(2, 3)),
+            Err(LinalgError::ShapeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn rhs_length_checked() {
+        let lu = Lu::new(&Matrix::identity(3)).unwrap();
+        assert!(lu.solve(&[1.0, 2.0]).is_err());
+    }
+}

@@ -1,0 +1,187 @@
+//! Householder QR factorization and least-squares solves.
+//!
+//! Knob-importance analysis (OtterTune-style Lasso pre-screening and linear
+//! probes) fits overdetermined linear models `X beta ~ y`; QR solves these
+//! without squaring the condition number the way normal equations would.
+
+#![allow(clippy::needless_range_loop)] // offset-indexed triangular loops
+use crate::{LinalgError, Matrix, Result};
+
+/// Householder QR factorization of an `m x n` matrix with `m >= n`.
+///
+/// `Q` is stored implicitly as the sequence of Householder reflectors; `R`
+/// is the upper triangle left in place. This is all that is needed to solve
+/// least squares, which is the only consumer.
+#[derive(Debug, Clone)]
+pub struct Qr {
+    /// Packed reflectors (below diagonal) and R (upper triangle).
+    qr: Matrix,
+    /// Scalar `beta_k` of each reflector `H_k = I - beta v v^T`.
+    betas: Vec<f64>,
+    rank_deficient: bool,
+}
+
+impl Qr {
+    /// Factorizes `a`. Requires `a.rows() >= a.cols()`.
+    pub fn new(a: &Matrix) -> Result<Self> {
+        let (m, n) = (a.rows(), a.cols());
+        if m < n {
+            return Err(LinalgError::ShapeMismatch {
+                context: "qr: requires rows >= cols",
+            });
+        }
+        let mut qr = a.clone();
+        let mut betas = Vec::with_capacity(n);
+        let mut rank_deficient = false;
+        let scale = a.max_abs().max(1.0);
+        for k in 0..n {
+            // Build the Householder reflector for column k.
+            let mut norm = 0.0;
+            for i in k..m {
+                norm += qr[(i, k)] * qr[(i, k)];
+            }
+            let norm = norm.sqrt();
+            if norm < 1e-13 * scale {
+                rank_deficient = true;
+                betas.push(0.0);
+                continue;
+            }
+            let alpha = if qr[(k, k)] >= 0.0 { -norm } else { norm };
+            // v = x - alpha * e1, stored in place with v[k] implicit.
+            let v0 = qr[(k, k)] - alpha;
+            for i in (k + 1)..m {
+                qr[(i, k)] /= v0;
+            }
+            let beta = -v0 / alpha;
+            qr[(k, k)] = alpha;
+            // Apply H to the trailing columns.
+            for j in (k + 1)..n {
+                let mut s = qr[(k, j)];
+                for i in (k + 1)..m {
+                    s += qr[(i, k)] * qr[(i, j)];
+                }
+                s *= beta;
+                qr[(k, j)] -= s;
+                for i in (k + 1)..m {
+                    let vik = qr[(i, k)];
+                    qr[(i, j)] -= s * vik;
+                }
+            }
+            betas.push(beta);
+        }
+        Ok(Qr { qr, betas, rank_deficient })
+    }
+
+    /// Whether any pivot column was numerically zero. Least-squares solves
+    /// on a rank-deficient factorization return
+    /// [`LinalgError::Singular`].
+    pub fn is_rank_deficient(&self) -> bool {
+        self.rank_deficient
+    }
+
+    /// Solves the least-squares problem `min ||a x - b||_2`.
+    pub fn solve_least_squares(&self, b: &[f64]) -> Result<Vec<f64>> {
+        let (m, n) = (self.qr.rows(), self.qr.cols());
+        if b.len() != m {
+            return Err(LinalgError::ShapeMismatch {
+                context: "qr solve: rhs length must match rows",
+            });
+        }
+        if self.rank_deficient {
+            return Err(LinalgError::Singular);
+        }
+        // Apply Q^T to b.
+        let mut y = b.to_vec();
+        for k in 0..n {
+            let beta = self.betas[k];
+            if beta == 0.0 {
+                continue;
+            }
+            let mut s = y[k];
+            for i in (k + 1)..m {
+                s += self.qr[(i, k)] * y[i];
+            }
+            s *= beta;
+            y[k] -= s;
+            for i in (k + 1)..m {
+                y[i] -= s * self.qr[(i, k)];
+            }
+        }
+        // Back-substitute R x = y[..n].
+        let mut x = vec![0.0; n];
+        for i in (0..n).rev() {
+            let mut s = 0.0;
+            for j in (i + 1)..n {
+                s += self.qr[(i, j)] * x[j];
+            }
+            let r = self.qr[(i, i)];
+            if r.abs() < 1e-300 {
+                return Err(LinalgError::Singular);
+            }
+            x[i] = (y[i] - s) / r;
+        }
+        Ok(x)
+    }
+}
+
+/// Ordinary least squares `min ||x beta - y||` via QR. Convenience wrapper
+/// for one-shot fits.
+pub fn least_squares(x: &Matrix, y: &[f64]) -> Result<Vec<f64>> {
+    Qr::new(x)?.solve_least_squares(y)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_square_system() {
+        let a = Matrix::from_rows(&[&[2.0, 1.0], &[1.0, 3.0]]);
+        let x_true = vec![1.0, 2.0];
+        let b = a.matvec(&x_true).unwrap();
+        let x = least_squares(&a, &b).unwrap();
+        for (got, want) in x.iter().zip(&x_true) {
+            assert!((got - want).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn overdetermined_regression_line() {
+        // Fit y = 2x + 1 through noiseless points.
+        let xs = [0.0, 1.0, 2.0, 3.0];
+        let a = Matrix::from_fn(4, 2, |i, j| if j == 0 { 1.0 } else { xs[i] });
+        let y: Vec<f64> = xs.iter().map(|&x| 2.0 * x + 1.0).collect();
+        let beta = least_squares(&a, &y).unwrap();
+        assert!((beta[0] - 1.0).abs() < 1e-10);
+        assert!((beta[1] - 2.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn least_squares_minimizes_residual() {
+        // Inconsistent system: best fit is the mean.
+        let a = Matrix::from_fn(3, 1, |_, _| 1.0);
+        let y = vec![1.0, 2.0, 6.0];
+        let beta = least_squares(&a, &y).unwrap();
+        assert!((beta[0] - 3.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn rank_deficient_reported() {
+        // Second column is a multiple of the first.
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 4.0], &[3.0, 6.0]]);
+        let qr = Qr::new(&a).unwrap();
+        assert!(qr.is_rank_deficient());
+        assert_eq!(
+            qr.solve_least_squares(&[1.0, 2.0, 3.0]).unwrap_err(),
+            LinalgError::Singular
+        );
+    }
+
+    #[test]
+    fn underdetermined_rejected() {
+        assert!(matches!(
+            Qr::new(&Matrix::zeros(2, 3)),
+            Err(LinalgError::ShapeMismatch { .. })
+        ));
+    }
+}

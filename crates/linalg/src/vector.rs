@@ -1,0 +1,113 @@
+//! Free functions on `&[f64]` vectors.
+//!
+//! These are the hot inner-loop primitives for kernel evaluation and
+//! gradient updates; they are kept as plain slice functions so callers never
+//! pay for a wrapper type.
+
+/// Dot product of two equal-length slices.
+///
+/// # Panics
+/// Panics (debug builds) if lengths differ; in release the shorter length
+/// wins, so callers must pass equal lengths.
+#[inline]
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len(), "dot: length mismatch");
+    a.iter().zip(b).map(|(&x, &y)| x * y).sum()
+}
+
+/// Euclidean norm.
+#[inline]
+pub fn norm2(a: &[f64]) -> f64 {
+    dot(a, a).sqrt()
+}
+
+/// Squared Euclidean distance between two points.
+#[inline]
+pub fn squared_distance(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len(), "squared_distance: length mismatch");
+    a.iter()
+        .zip(b)
+        .map(|(&x, &y)| {
+            let d = x - y;
+            d * d
+        })
+        .sum()
+}
+
+/// In-place `y += alpha * x`.
+#[inline]
+pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
+    debug_assert_eq!(x.len(), y.len(), "axpy: length mismatch");
+    for (yi, &xi) in y.iter_mut().zip(x) {
+        *yi += alpha * xi;
+    }
+}
+
+/// Returns `a + alpha * b` as a new vector.
+#[inline]
+pub fn scaled_add(a: &[f64], alpha: f64, b: &[f64]) -> Vec<f64> {
+    debug_assert_eq!(a.len(), b.len(), "scaled_add: length mismatch");
+    a.iter().zip(b).map(|(&x, &y)| x + alpha * y).collect()
+}
+
+/// Normalizes `v` to unit Euclidean norm in place. A zero vector is left
+/// unchanged (there is no meaningful direction to preserve).
+pub fn normalize(v: &mut [f64]) {
+    let n = norm2(v);
+    if n > 0.0 {
+        for x in v.iter_mut() {
+            *x /= n;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_orthogonal_is_zero() {
+        assert_eq!(dot(&[1.0, 0.0], &[0.0, 1.0]), 0.0);
+    }
+
+    #[test]
+    fn norm_of_345_triangle() {
+        assert!((norm2(&[3.0, 4.0]) - 5.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn squared_distance_symmetric() {
+        let a = [1.0, 2.0, 3.0];
+        let b = [4.0, 6.0, 3.0];
+        assert_eq!(squared_distance(&a, &b), squared_distance(&b, &a));
+        assert_eq!(squared_distance(&a, &b), 25.0);
+    }
+
+    #[test]
+    fn axpy_accumulates() {
+        let mut y = vec![1.0, 1.0];
+        axpy(2.0, &[3.0, 4.0], &mut y);
+        assert_eq!(y, vec![7.0, 9.0]);
+    }
+
+    #[test]
+    fn scaled_add_matches_axpy() {
+        let a = [1.0, 2.0];
+        let b = [10.0, 20.0];
+        assert_eq!(scaled_add(&a, 0.5, &b), vec![6.0, 12.0]);
+    }
+
+    #[test]
+    fn normalize_unit_norm() {
+        let mut v = vec![3.0, 4.0];
+        normalize(&mut v);
+        assert!((norm2(&v) - 1.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn normalize_zero_vector_is_noop() {
+        let mut v = vec![0.0, 0.0];
+        normalize(&mut v);
+        assert_eq!(v, vec![0.0, 0.0]);
+    }
+}

@@ -1,0 +1,183 @@
+//! Acquisition functions (tutorial slides 47-48).
+//!
+//! Given the surrogate's posterior at a candidate point, an acquisition
+//! function scores how "interesting" that point is to evaluate next,
+//! trading off exploitation (low predicted mean) against exploration (high
+//! predictive uncertainty). All definitions below follow the
+//! **minimization** convention used throughout the workspace:
+//!
+//! * [`AcquisitionFunction::ProbabilityOfImprovement`] — `P(f(x) < f*)`;
+//! * [`AcquisitionFunction::ExpectedImprovement`] —
+//!   `E[max(f* - f(x), 0)]`, which also weighs the *magnitude* of
+//!   improvement;
+//! * [`AcquisitionFunction::LowerConfidenceBound`] — `-(m(x) - βσ(x))`
+//!   scored for maximization; β ≥ 0 sets explore/exploit (slide 48);
+//! * [`AcquisitionFunction::ThompsonSample`] — draw from the posterior at
+//!   the point; the argmin of a draw is a Thompson sample, a natural fit
+//!   for bandit-style discrete spaces (slide 51).
+
+use autotune_linalg::stats::{normal_cdf, normal_pdf};
+use autotune_surrogate::Prediction;
+use rand::Rng;
+
+/// Acquisition-function selector.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum AcquisitionFunction {
+    /// Probability of improving on the incumbent.
+    ProbabilityOfImprovement,
+    /// Expected improvement over the incumbent (the BO default).
+    ExpectedImprovement,
+    /// Lower confidence bound `m - βσ` (minimization analogue of UCB).
+    LowerConfidenceBound {
+        /// Exploration weight β ≥ 0.
+        beta: f64,
+    },
+    /// One posterior draw per candidate; maximizing the score across
+    /// candidates approximates Thompson sampling.
+    ThompsonSample,
+}
+
+impl AcquisitionFunction {
+    /// Scores a candidate; **larger is better** regardless of variant.
+    ///
+    /// `best` is the incumbent objective value (minimization). `rng` is
+    /// only consulted by [`AcquisitionFunction::ThompsonSample`].
+    pub fn score(&self, pred: &Prediction, best: f64, rng: &mut impl Rng) -> f64 {
+        let sigma = pred.std_dev();
+        match *self {
+            AcquisitionFunction::ProbabilityOfImprovement => {
+                if sigma < 1e-12 {
+                    // Degenerate posterior: improvement is 0/1.
+                    return if pred.mean < best { 1.0 } else { 0.0 };
+                }
+                normal_cdf((best - pred.mean) / sigma)
+            }
+            AcquisitionFunction::ExpectedImprovement => {
+                if sigma < 1e-12 {
+                    return (best - pred.mean).max(0.0);
+                }
+                let z = (best - pred.mean) / sigma;
+                (best - pred.mean) * normal_cdf(z) + sigma * normal_pdf(z)
+            }
+            AcquisitionFunction::LowerConfidenceBound { beta } => {
+                // Minimize m - βσ  ==  maximize -(m - βσ).
+                -(pred.mean - beta * sigma)
+            }
+            AcquisitionFunction::ThompsonSample => {
+                let u1: f64 = rng.gen::<f64>().max(1e-12);
+                let u2: f64 = rng.gen();
+                let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+                -(pred.mean + sigma * z)
+            }
+        }
+    }
+
+    /// Short name for experiment tables.
+    pub fn name(&self) -> &'static str {
+        match self {
+            AcquisitionFunction::ProbabilityOfImprovement => "PI",
+            AcquisitionFunction::ExpectedImprovement => "EI",
+            AcquisitionFunction::LowerConfidenceBound { .. } => "LCB",
+            AcquisitionFunction::ThompsonSample => "TS",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn pred(mean: f64, variance: f64) -> Prediction {
+        Prediction { mean, variance }
+    }
+
+    #[test]
+    fn ei_zero_when_certain_and_worse() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let af = AcquisitionFunction::ExpectedImprovement;
+        let s = af.score(&pred(5.0, 0.0), 1.0, &mut rng);
+        assert_eq!(s, 0.0);
+    }
+
+    #[test]
+    fn ei_equals_gap_when_certain_and_better() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let af = AcquisitionFunction::ExpectedImprovement;
+        let s = af.score(&pred(0.5, 0.0), 1.0, &mut rng);
+        assert!((s - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ei_increases_with_uncertainty_at_equal_mean() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let af = AcquisitionFunction::ExpectedImprovement;
+        let low = af.score(&pred(1.0, 0.01), 1.0, &mut rng);
+        let high = af.score(&pred(1.0, 1.0), 1.0, &mut rng);
+        assert!(high > low);
+    }
+
+    #[test]
+    fn ei_closed_form_value() {
+        // mean = best -> z = 0 -> EI = sigma * phi(0).
+        let mut rng = StdRng::seed_from_u64(0);
+        let af = AcquisitionFunction::ExpectedImprovement;
+        let s = af.score(&pred(1.0, 4.0), 1.0, &mut rng);
+        assert!((s - 2.0 * 0.3989422804).abs() < 1e-6);
+    }
+
+    #[test]
+    fn pi_is_a_probability() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let af = AcquisitionFunction::ProbabilityOfImprovement;
+        for (m, v, b) in [(0.0, 1.0, 1.0), (5.0, 2.0, 1.0), (-3.0, 0.5, 0.0)] {
+            let s = af.score(&pred(m, v), b, &mut rng);
+            assert!((0.0..=1.0).contains(&s), "PI {s} out of [0,1]");
+        }
+        // Better mean -> higher PI.
+        let good = af.score(&pred(0.0, 1.0), 1.0, &mut rng);
+        let bad = af.score(&pred(2.0, 1.0), 1.0, &mut rng);
+        assert!(good > bad);
+    }
+
+    #[test]
+    fn pi_degenerate_posterior() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let af = AcquisitionFunction::ProbabilityOfImprovement;
+        assert_eq!(af.score(&pred(0.5, 0.0), 1.0, &mut rng), 1.0);
+        assert_eq!(af.score(&pred(1.5, 0.0), 1.0, &mut rng), 0.0);
+    }
+
+    #[test]
+    fn lcb_beta_controls_exploration() {
+        let mut rng = StdRng::seed_from_u64(0);
+        // Candidate A: good mean, no variance. B: worse mean, high variance.
+        let a = pred(1.0, 0.0);
+        let b = pred(2.0, 4.0);
+        let exploit = AcquisitionFunction::LowerConfidenceBound { beta: 0.0 };
+        let explore = AcquisitionFunction::LowerConfidenceBound { beta: 2.0 };
+        assert!(exploit.score(&a, 0.0, &mut rng) > exploit.score(&b, 0.0, &mut rng));
+        assert!(explore.score(&b, 0.0, &mut rng) > explore.score(&a, 0.0, &mut rng));
+    }
+
+    #[test]
+    fn thompson_sampling_varies_but_tracks_mean() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let af = AcquisitionFunction::ThompsonSample;
+        let scores: Vec<f64> = (0..200).map(|_| af.score(&pred(3.0, 1.0), 0.0, &mut rng)).collect();
+        let mean = autotune_linalg::stats::mean(&scores);
+        let sd = autotune_linalg::stats::std_dev(&scores);
+        assert!((mean + 3.0).abs() < 0.3, "TS mean {mean} should be near -3");
+        assert!((sd - 1.0).abs() < 0.3, "TS spread {sd} should be near 1");
+    }
+
+    #[test]
+    fn names() {
+        assert_eq!(AcquisitionFunction::ExpectedImprovement.name(), "EI");
+        assert_eq!(
+            AcquisitionFunction::LowerConfidenceBound { beta: 1.0 }.name(),
+            "LCB"
+        );
+    }
+}

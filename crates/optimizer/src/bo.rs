@@ -1,0 +1,466 @@
+//! Sequential model-based (Bayesian) optimization (tutorial slides 32-50).
+//!
+//! The loop (slide 33):
+//! 1. evaluate the expensive function,
+//! 2. update the statistical model,
+//! 3. maximize the acquisition function to pick the next configuration,
+//! 4. repeat.
+//!
+//! Two surrogate choices are built in: a Gaussian process over the one-hot
+//! encoding (the classic), and a SMAC-style random forest over the unit
+//! encoding (better for conditional/categorical spaces, slide 50-51).
+//! Acquisition maximization is random multi-start plus coordinate-wise
+//! local refinement — derivative-free so it works identically for both
+//! surrogates.
+
+use crate::{AcquisitionFunction, BestTracker, Observation, Optimizer};
+use autotune_space::{Config, Space};
+use autotune_surrogate::{
+    GaussianProcess, HyperFitConfig, Matern52, RandomForest, RandomForestConfig, Surrogate,
+};
+use rand::{RngCore, SeedableRng};
+
+/// Which surrogate model drives the optimization.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SurrogateChoice {
+    /// Gaussian process with a Matérn-5/2 ARD kernel over the one-hot
+    /// encoding.
+    GaussianProcess,
+    /// Random forest over the unit encoding (SMAC).
+    RandomForest,
+}
+
+/// Tunables of the BO loop itself.
+#[derive(Debug, Clone)]
+pub struct BoConfig {
+    /// Random configurations evaluated before the model kicks in.
+    pub n_init: usize,
+    /// Acquisition function.
+    pub acquisition: AcquisitionFunction,
+    /// Random candidates scored per suggestion.
+    pub n_candidates: usize,
+    /// Local-refinement iterations around the best random candidate.
+    pub n_local_steps: usize,
+    /// Refit kernel hyperparameters every this many observations
+    /// (0 disables refitting).
+    pub refit_every: usize,
+    /// Surrogate family.
+    pub surrogate: SurrogateChoice,
+}
+
+impl Default for BoConfig {
+    fn default() -> Self {
+        BoConfig {
+            n_init: 8,
+            acquisition: AcquisitionFunction::ExpectedImprovement,
+            n_candidates: 256,
+            n_local_steps: 20,
+            refit_every: 5,
+            surrogate: SurrogateChoice::GaussianProcess,
+        }
+    }
+}
+
+/// Bayesian optimizer over a configuration space.
+pub struct BayesianOptimizer {
+    space: Space,
+    config: BoConfig,
+    model: Box<dyn Surrogate>,
+    /// All observations as (encoded point, value).
+    xs: Vec<Vec<f64>>,
+    ys: Vec<f64>,
+    /// Raw observations for warm-start export.
+    history: Vec<Observation>,
+    /// Constant-liar values currently pinned for in-flight batch points.
+    liars: Vec<Vec<f64>>,
+    dirty: bool,
+    observations_since_refit: usize,
+    /// Finite-valued observations seen (crashes excluded): the random-init
+    /// phase must collect this many *informative* points. A warm start
+    /// consisting purely of crash penalties gives the surrogate no
+    /// contrast, so it must not satisfy `n_init` by itself.
+    n_finite: usize,
+    tracker: BestTracker,
+}
+
+impl std::fmt::Debug for BayesianOptimizer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BayesianOptimizer")
+            .field("surrogate", &self.config.surrogate)
+            .field("acquisition", &self.config.acquisition)
+            .field("n_observed", &self.ys.len())
+            .finish()
+    }
+}
+
+impl BayesianOptimizer {
+    /// Creates a BO instance with explicit configuration.
+    pub fn new(space: Space, config: BoConfig) -> Self {
+        let model: Box<dyn Surrogate> = match config.surrogate {
+            SurrogateChoice::GaussianProcess => {
+                let d = space.onehot_dim().max(1);
+                Box::new(GaussianProcess::new(
+                    Box::new(Matern52::ard(vec![0.5; d], 1.0)),
+                    1e-6,
+                ))
+            }
+            SurrogateChoice::RandomForest => {
+                Box::new(RandomForest::new(RandomForestConfig::default()))
+            }
+        };
+        BayesianOptimizer {
+            space,
+            config,
+            model,
+            xs: Vec::new(),
+            ys: Vec::new(),
+            history: Vec::new(),
+            liars: Vec::new(),
+            dirty: false,
+            observations_since_refit: 0,
+            n_finite: 0,
+            tracker: BestTracker::default(),
+        }
+    }
+
+    /// GP-surrogate BO with default settings.
+    pub fn gp(space: Space) -> Self {
+        BayesianOptimizer::new(space, BoConfig::default())
+    }
+
+    /// SMAC: random-forest surrogate with EI.
+    pub fn smac(space: Space) -> Self {
+        BayesianOptimizer::new(
+            space,
+            BoConfig {
+                surrogate: SurrogateChoice::RandomForest,
+                ..Default::default()
+            },
+        )
+    }
+
+    /// Encodes a config per the surrogate's preferred layout.
+    fn encode(&self, config: &Config) -> Vec<f64> {
+        let r = match self.config.surrogate {
+            SurrogateChoice::GaussianProcess => self.space.encode_onehot(config),
+            SurrogateChoice::RandomForest => self.space.encode_unit(config),
+        };
+        r.expect("configs produced against this space must encode")
+    }
+
+    /// Imports prior observations (knowledge transfer / warm start,
+    /// tutorial slide 67) without counting them against `n_init`.
+    pub fn warm_start(&mut self, observations: &[Observation]) {
+        for obs in observations {
+            self.observe(&obs.config, obs.value);
+        }
+    }
+
+    /// All raw observations so far (for exporting to another tuner).
+    pub fn history(&self) -> &[Observation] {
+        &self.history
+    }
+
+    /// Refits the surrogate if new data arrived since the last fit.
+    fn ensure_fitted(&mut self) {
+        if !self.dirty || self.ys.is_empty() {
+            return;
+        }
+        // Include constant liars while a batch is in flight.
+        let (xs, ys): (Vec<Vec<f64>>, Vec<f64>) = if self.liars.is_empty() {
+            (self.xs.clone(), self.ys.clone())
+        } else {
+            let lie = autotune_linalg::stats::mean(&self.ys);
+            let mut xs = self.xs.clone();
+            let mut ys = self.ys.clone();
+            for l in &self.liars {
+                xs.push(l.clone());
+                ys.push(lie);
+            }
+            (xs, ys)
+        };
+        if self.model.fit(&xs, &ys).is_err() {
+            // A degenerate fit (e.g. all-identical points) falls back to
+            // whatever the previous model state was; suggestions degrade to
+            // prior-driven sampling rather than crashing the tuner.
+        }
+        self.dirty = false;
+    }
+
+    /// Maybe refit GP hyperparameters on the refit cadence.
+    fn maybe_refit_hypers(&mut self, rng: &mut dyn RngCore) {
+        if self.config.refit_every == 0
+            || self.config.surrogate != SurrogateChoice::GaussianProcess
+            || self.observations_since_refit < self.config.refit_every
+            || self.n_finite < self.config.n_init
+        {
+            return;
+        }
+        self.observations_since_refit = 0;
+        self.ensure_fitted();
+        // Downcast-free: rebuild a GP, fit hypers on the raw data.
+        let d = self.space.onehot_dim().max(1);
+        let mut gp = GaussianProcess::new(Box::new(Matern52::ard(vec![0.5; d], 1.0)), 1e-6);
+        if gp.fit(&self.xs, &self.ys).is_ok() {
+            let mut r = rand::rngs::StdRng::from_seed({
+                let mut seed = [0u8; 32];
+                rng.fill_bytes(&mut seed);
+                seed
+            });
+            let cfg = HyperFitConfig::default();
+            if gp.fit_hyperparameters(&cfg, &mut r).is_ok() {
+                self.model = Box::new(gp);
+                self.dirty = false;
+            }
+        }
+    }
+
+    /// Proposes the next point by maximizing the acquisition function over
+    /// random candidates plus local refinement.
+    fn propose(&mut self, rng: &mut dyn RngCore) -> Config {
+        self.ensure_fitted();
+        let best_val = self.tracker.best().map_or(0.0, |b| b.value);
+        let mut rng = rng;
+        // Random candidates.
+        let mut best_cfg: Option<(Config, Vec<f64>, f64)> = None;
+        for _ in 0..self.config.n_candidates {
+            let cfg = self.space.sample(&mut rng);
+            let x = self.encode(&cfg);
+            let score = {
+                let pred = self.model.predict(&x);
+                self.config.acquisition.score(&pred, best_val, &mut rng)
+            };
+            if best_cfg.as_ref().is_none_or(|(_, _, s)| score > *s) {
+                best_cfg = Some((cfg, x, score));
+            }
+        }
+        let (mut cfg, mut x, mut score) =
+            best_cfg.expect("n_candidates >= 1 guarantees a candidate");
+        // Local refinement: perturb the winner, keep improvements.
+        for step in 0..self.config.n_local_steps {
+            let scale = 0.1 * (1.0 - step as f64 / self.config.n_local_steps.max(1) as f64);
+            let neighbor = self.space.neighbor(&cfg, scale.max(0.01), &mut rng);
+            let nx = self.encode(&neighbor);
+            let nscore = {
+                let pred = self.model.predict(&nx);
+                self.config.acquisition.score(&pred, best_val, &mut rng)
+            };
+            if nscore > score {
+                cfg = neighbor;
+                x = nx;
+                score = nscore;
+            }
+        }
+        let _ = (x, score);
+        cfg
+    }
+}
+
+impl Optimizer for BayesianOptimizer {
+    fn suggest(&mut self, rng: &mut dyn RngCore) -> Config {
+        let mut r = rng;
+        if self.n_finite < self.config.n_init {
+            return self.space.sample(&mut r);
+        }
+        self.maybe_refit_hypers(r);
+        self.propose(r)
+    }
+
+    fn observe(&mut self, config: &Config, value: f64) {
+        self.tracker.observe(config, value);
+        let x = self.encode(config);
+        // Resolve any constant liar pinned at this point.
+        if let Some(pos) = self
+            .liars
+            .iter()
+            .position(|l| autotune_linalg::squared_distance(l, &x) < 1e-18)
+        {
+            self.liars.swap_remove(pos);
+        }
+        // Crashed trials (NaN) are recorded at a pessimistic value so the
+        // model learns to avoid the region (slide 67: "bad samples: make it
+        // up — N * worst_score_measured").
+        if value.is_finite() {
+            self.n_finite += 1;
+        }
+        let recorded = if value.is_nan() {
+            let worst = self
+                .ys
+                .iter()
+                .cloned()
+                .fold(f64::NEG_INFINITY, f64::max);
+            if worst.is_finite() {
+                worst + (worst.abs() + 1.0)
+            } else {
+                1e9
+            }
+        } else {
+            value
+        };
+        self.xs.push(x);
+        self.ys.push(recorded);
+        self.history.push(Observation {
+            config: config.clone(),
+            value: recorded,
+        });
+        self.observations_since_refit += 1;
+        self.dirty = true;
+    }
+
+    fn best(&self) -> Option<&Observation> {
+        self.tracker.best()
+    }
+
+    fn space(&self) -> &Space {
+        &self.space
+    }
+
+    fn name(&self) -> &str {
+        match self.config.surrogate {
+            SurrogateChoice::GaussianProcess => "bo_gp",
+            SurrogateChoice::RandomForest => "smac",
+        }
+    }
+
+    /// Constant-liar batch proposal (slide 57, synchronous parallel
+    /// optimization): after each proposal, pin a pessimistic pseudo-
+    /// observation at the proposed point so subsequent proposals in the
+    /// same batch spread out instead of piling onto one optimum.
+    fn suggest_batch(&mut self, k: usize, rng: &mut dyn RngCore) -> Vec<Config> {
+        let mut out = Vec::with_capacity(k);
+        for _ in 0..k {
+            let cfg = self.suggest(rng);
+            if self.n_finite >= self.config.n_init {
+                let x = self.encode(&cfg);
+                self.liars.push(x);
+                self.dirty = true;
+            }
+            out.push(cfg);
+        }
+        // Liars stay pinned until the real observations arrive.
+        out
+    }
+
+    fn n_observed(&self) -> usize {
+        self.tracker.n()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_util::{run_loop, sphere, sphere_space};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn gp_bo_beats_budget_on_sphere() {
+        let mut opt = BayesianOptimizer::gp(sphere_space());
+        let best = run_loop(&mut opt, sphere, 40, 11);
+        assert!(best < 0.05, "GP-BO best {best} after 40 trials");
+    }
+
+    #[test]
+    fn smac_solves_sphere() {
+        let mut opt = BayesianOptimizer::smac(sphere_space());
+        let best = run_loop(&mut opt, sphere, 60, 12);
+        assert!(best < 0.15, "SMAC best {best} after 60 trials");
+    }
+
+    #[test]
+    fn first_suggestions_are_random_init() {
+        let mut opt = BayesianOptimizer::gp(sphere_space());
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..opt.config.n_init {
+            let c = opt.suggest(&mut rng);
+            opt.observe(&c, 1.0);
+        }
+        assert_eq!(opt.n_observed(), opt.config.n_init);
+    }
+
+    #[test]
+    fn batch_suggestions_are_diverse() {
+        let space = sphere_space();
+        let mut opt = BayesianOptimizer::gp(space.clone());
+        let mut rng = StdRng::seed_from_u64(4);
+        // Seed the model.
+        for _ in 0..10 {
+            let c = opt.suggest(&mut rng);
+            let v = sphere(&c);
+            opt.observe(&c, v);
+        }
+        let batch = opt.suggest_batch(4, &mut rng);
+        assert_eq!(batch.len(), 4);
+        // Pairwise distances in encoded space must be nonzero: the constant
+        // liar must prevent duplicate proposals.
+        for i in 0..batch.len() {
+            for j in (i + 1)..batch.len() {
+                let a = space.encode_unit(&batch[i]).unwrap();
+                let b = space.encode_unit(&batch[j]).unwrap();
+                let d = autotune_linalg::squared_distance(&a, &b);
+                assert!(d > 1e-12, "batch points {i} and {j} identical");
+            }
+        }
+        // Observing the real values releases the liars.
+        for c in &batch {
+            let v = sphere(c);
+            opt.observe(c, v);
+        }
+        assert!(opt.liars.is_empty());
+    }
+
+    #[test]
+    fn nan_recorded_as_pessimistic() {
+        let space = sphere_space();
+        let mut opt = BayesianOptimizer::gp(space.clone());
+        opt.observe(&space.default_config(), 2.0);
+        opt.observe(&space.default_config().with("x", 1.0), f64::NAN);
+        // The NaN trial must not be best, and must be stored worse than 2.0.
+        assert_eq!(opt.best().unwrap().value, 2.0);
+        assert!(opt.ys[1] > 2.0);
+    }
+
+    #[test]
+    fn warm_start_counts_as_observations() {
+        let space = sphere_space();
+        let mut donor = BayesianOptimizer::gp(space.clone());
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..12 {
+            let c = donor.suggest(&mut rng);
+            let v = sphere(&c);
+            donor.observe(&c, v);
+        }
+        let mut recipient = BayesianOptimizer::gp(space);
+        recipient.warm_start(donor.history());
+        assert_eq!(recipient.n_observed(), 12);
+        // Next suggestion is model-driven (past n_init) and valid.
+        let c = recipient.suggest(&mut rng);
+        assert!(recipient.space().validate_config(&c).is_ok());
+    }
+
+    #[test]
+    fn handles_categorical_space() {
+        use autotune_space::{Param, Space};
+        let space = Space::builder()
+            .add(Param::float("x", 0.0, 1.0))
+            .add(Param::categorical("mode", &["slow", "fast", "turbo"]))
+            .build()
+            .unwrap();
+        let objective = |c: &Config| {
+            let x = c.get_f64("x").unwrap();
+            let penalty = match c.get_str("mode").unwrap() {
+                "turbo" => 0.0,
+                "fast" => 0.5,
+                _ => 1.0,
+            };
+            (x - 0.3).powi(2) + penalty
+        };
+        for mut opt in [
+            BayesianOptimizer::gp(space.clone()),
+            BayesianOptimizer::smac(space.clone()),
+        ] {
+            let best = run_loop(&mut opt, objective, 50, 21);
+            assert!(best < 0.3, "{} best {best}", opt.name());
+        }
+    }
+}

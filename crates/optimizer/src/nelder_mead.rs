@@ -1,0 +1,278 @@
+//! Nelder–Mead downhill simplex, for local refinement of a tuned
+//! configuration (the last mile after a global search).
+//!
+//! Runs in the unit cube; reflection/expansion/contraction points are
+//! clamped to bounds. Ask/tell adaptation: the simplex algorithm is driven
+//! lazily, emitting one probe point per `suggest` call.
+
+use crate::{BestTracker, Observation, Optimizer};
+use autotune_space::{Config, Space};
+use rand::RngCore;
+
+/// Phase of the simplex update awaiting an evaluation.
+#[derive(Debug, Clone, PartialEq)]
+enum Phase {
+    /// Still evaluating the initial simplex; index of the next vertex.
+    Init(usize),
+    /// Awaiting the reflection point's value.
+    Reflect,
+    /// Awaiting the expansion point's value.
+    Expand,
+    /// Awaiting the contraction point's value.
+    Contract,
+    /// Shrinking: evaluating replacement vertices one at a time.
+    Shrink(usize),
+}
+
+/// Nelder–Mead simplex optimizer.
+#[derive(Debug)]
+pub struct NelderMead {
+    space: Space,
+    /// Simplex vertices (unit cube) with values; NaN value = unevaluated.
+    simplex: Vec<(Vec<f64>, f64)>,
+    phase: Phase,
+    /// Point whose evaluation we are waiting for.
+    probe: Vec<f64>,
+    /// Value of the reflected point (needed in the expand branch).
+    reflected: Option<(Vec<f64>, f64)>,
+    tracker: BestTracker,
+}
+
+impl NelderMead {
+    /// Standard coefficients.
+    const ALPHA: f64 = 1.0; // reflection
+    const GAMMA: f64 = 2.0; // expansion
+    const RHO: f64 = 0.5; // contraction
+    const SIGMA: f64 = 0.5; // shrink
+
+    /// Creates a simplex around `start` with edge length `step` (unit-cube
+    /// units).
+    pub fn new(space: Space, start: &Config, step: f64) -> Self {
+        let x0 = space
+            .encode_unit(start)
+            .expect("start config must belong to the space");
+        let d = x0.len();
+        let mut simplex = vec![(x0.clone(), f64::NAN)];
+        for i in 0..d {
+            let mut v = x0.clone();
+            v[i] = (v[i] + step).min(1.0);
+            if (v[i] - x0[i]).abs() < 1e-12 {
+                v[i] = (x0[i] - step).max(0.0);
+            }
+            simplex.push((v, f64::NAN));
+        }
+        let probe = simplex[0].0.clone();
+        NelderMead {
+            space,
+            simplex,
+            phase: Phase::Init(0),
+            probe,
+            reflected: None,
+            tracker: BestTracker::default(),
+        }
+    }
+
+    fn decode(&self, x: &[f64]) -> Config {
+        self.space
+            .decode_unit(x)
+            .expect("unit points of space dimension decode")
+    }
+
+    /// Centroid of all vertices except the worst (last after sorting).
+    fn centroid(&self) -> Vec<f64> {
+        let n = self.simplex.len() - 1;
+        let d = self.simplex[0].0.len();
+        let mut c = vec![0.0; d];
+        for (v, _) in &self.simplex[..n] {
+            autotune_linalg::axpy(1.0, v, &mut c);
+        }
+        for x in c.iter_mut() {
+            *x /= n as f64;
+        }
+        c
+    }
+
+    fn point_along(&self, coeff: f64) -> Vec<f64> {
+        // centroid + coeff * (centroid - worst), clamped.
+        let c = self.centroid();
+        let worst = &self.simplex.last().expect("simplex non-empty").0;
+        c.iter()
+            .zip(worst.iter())
+            .map(|(&ci, &wi)| (ci + coeff * (ci - wi)).clamp(0.0, 1.0))
+            .collect()
+    }
+
+    fn sort_simplex(&mut self) {
+        self.simplex.sort_by(|a, b| {
+            a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal)
+        });
+    }
+
+    /// Decides the next probe after the simplex is fully evaluated.
+    fn plan_next(&mut self) {
+        self.sort_simplex();
+        self.probe = self.point_along(Self::ALPHA);
+        self.phase = Phase::Reflect;
+    }
+}
+
+impl Optimizer for NelderMead {
+    fn suggest(&mut self, _rng: &mut dyn RngCore) -> Config {
+        match self.phase {
+            Phase::Init(i) => {
+                self.probe = self.simplex[i].0.clone();
+                self.decode(&self.probe)
+            }
+            Phase::Shrink(i) => {
+                let best = self.simplex[0].0.clone();
+                let target = &self.simplex[i].0;
+                self.probe = best
+                    .iter()
+                    .zip(target)
+                    .map(|(&b, &t)| b + Self::SIGMA * (t - b))
+                    .collect();
+                self.decode(&self.probe)
+            }
+            _ => self.decode(&self.probe),
+        }
+    }
+
+    fn observe(&mut self, config: &Config, value: f64) {
+        self.tracker.observe(config, value);
+        let value = if value.is_nan() { f64::INFINITY } else { value };
+        match self.phase {
+            Phase::Init(i) => {
+                self.simplex[i].1 = value;
+                if i + 1 < self.simplex.len() {
+                    self.phase = Phase::Init(i + 1);
+                } else {
+                    self.plan_next();
+                }
+            }
+            Phase::Reflect => {
+                let best = self.simplex[0].1;
+                let second_worst = self.simplex[self.simplex.len() - 2].1;
+                if value < best {
+                    // Try expanding further.
+                    self.reflected = Some((self.probe.clone(), value));
+                    self.probe = self.point_along(Self::GAMMA);
+                    self.phase = Phase::Expand;
+                } else if value < second_worst {
+                    // Accept reflection, replace worst.
+                    let worst = self.simplex.len() - 1;
+                    self.simplex[worst] = (self.probe.clone(), value);
+                    self.plan_next();
+                } else {
+                    // Contract toward the centroid.
+                    self.reflected = Some((self.probe.clone(), value));
+                    self.probe = self.point_along(-Self::RHO);
+                    self.phase = Phase::Contract;
+                }
+            }
+            Phase::Expand => {
+                let worst = self.simplex.len() - 1;
+                let (rx, rv) = self.reflected.take().expect("expand follows reflect");
+                if value < rv {
+                    self.simplex[worst] = (self.probe.clone(), value);
+                } else {
+                    self.simplex[worst] = (rx, rv);
+                }
+                self.plan_next();
+            }
+            Phase::Contract => {
+                let worst_idx = self.simplex.len() - 1;
+                let worst_val = self.simplex[worst_idx].1;
+                let reflected_val = self.reflected.take().map_or(f64::INFINITY, |(_, v)| v);
+                if value < worst_val.min(reflected_val) {
+                    self.simplex[worst_idx] = (self.probe.clone(), value);
+                    self.plan_next();
+                } else {
+                    // Shrink everything toward the best vertex.
+                    self.phase = Phase::Shrink(1);
+                }
+            }
+            Phase::Shrink(i) => {
+                self.simplex[i] = (self.probe.clone(), value);
+                if i + 1 < self.simplex.len() {
+                    self.phase = Phase::Shrink(i + 1);
+                } else {
+                    self.plan_next();
+                }
+            }
+        }
+    }
+
+    fn best(&self) -> Option<&Observation> {
+        self.tracker.best()
+    }
+
+    fn space(&self) -> &Space {
+        &self.space
+    }
+
+    fn name(&self) -> &str {
+        "nelder_mead"
+    }
+
+    fn n_observed(&self) -> usize {
+        self.tracker.n()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_util::{run_loop, sphere, sphere_space};
+
+    #[test]
+    fn refines_to_sphere_optimum() {
+        let space = sphere_space();
+        let start = space.default_config().with("x", -1.0).with("y", 1.5);
+        let mut opt = NelderMead::new(space, &start, 0.2);
+        let best = run_loop(&mut opt, sphere, 120, 1);
+        assert!(best < 1e-3, "Nelder-Mead best {best}");
+    }
+
+    #[test]
+    fn quadratic_1d_converges_fast() {
+        use autotune_space::{Param, Space};
+        let space = Space::builder()
+            .add(Param::float("x", 0.0, 10.0))
+            .build()
+            .unwrap();
+        let start = space.default_config().with("x", 9.0);
+        let mut opt = NelderMead::new(space, &start, 0.1);
+        let best = run_loop(&mut opt, |c| (c.get_f64("x").unwrap() - 3.0).powi(2), 60, 2);
+        assert!(best < 1e-3, "best {best}");
+    }
+
+    #[test]
+    fn all_probes_in_bounds() {
+        let space = sphere_space();
+        // Start at a corner so reflections try to escape the box.
+        let start = space.default_config().with("x", 2.0).with("y", 2.0);
+        let mut opt = NelderMead::new(space.clone(), &start, 0.3);
+        let mut rng = rand::rngs::mock::StepRng::new(0, 1);
+        for _ in 0..80 {
+            let c = opt.suggest(&mut rng);
+            assert!(space.validate_config(&c).is_ok());
+            let v = sphere(&c);
+            opt.observe(&c, v);
+        }
+    }
+
+    #[test]
+    fn nan_handled_as_infinite() {
+        let space = sphere_space();
+        let start = space.default_config();
+        let mut opt = NelderMead::new(space, &start, 0.2);
+        let mut rng = rand::rngs::mock::StepRng::new(0, 1);
+        for i in 0..30 {
+            let c = opt.suggest(&mut rng);
+            let v = if i % 7 == 0 { f64::NAN } else { sphere(&c) };
+            opt.observe(&c, v);
+        }
+        // Simplex values stay finite-or-inf, never NaN (sort would break).
+        assert!(opt.simplex.iter().all(|(_, v)| !v.is_nan()));
+    }
+}

@@ -1,0 +1,102 @@
+//! Random search (tutorial slide 30): fixed trial budget, configurations
+//! sampled independently from the space's priors.
+//!
+//! The baseline every model-guided method must beat — and, thanks to
+//! priors and special-value biasing in [`autotune_space`], a surprisingly
+//! strong one in high dimensions.
+
+use crate::{BestTracker, Observation, Optimizer};
+use autotune_space::{Config, Space};
+use rand::RngCore;
+
+/// Independent random sampling from the configuration space.
+#[derive(Debug)]
+pub struct RandomSearch {
+    space: Space,
+    tracker: BestTracker,
+}
+
+impl RandomSearch {
+    /// Creates a random-search optimizer over `space`.
+    pub fn new(space: Space) -> Self {
+        RandomSearch {
+            space,
+            tracker: BestTracker::default(),
+        }
+    }
+}
+
+impl Optimizer for RandomSearch {
+    fn suggest(&mut self, mut rng: &mut dyn RngCore) -> Config {
+        self.space.sample(&mut rng)
+    }
+
+    fn observe(&mut self, config: &Config, value: f64) {
+        self.tracker.observe(config, value);
+    }
+
+    fn best(&self) -> Option<&Observation> {
+        self.tracker.best()
+    }
+
+    fn space(&self) -> &Space {
+        &self.space
+    }
+
+    fn name(&self) -> &str {
+        "random"
+    }
+
+    fn n_observed(&self) -> usize {
+        self.tracker.n()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_util::{run_loop, sphere, sphere_space};
+
+    #[test]
+    fn finds_decent_sphere_solution() {
+        let mut opt = RandomSearch::new(sphere_space());
+        let best = run_loop(&mut opt, sphere, 200, 1);
+        assert!(best < 0.3, "random search best {best} too poor after 200 trials");
+        assert_eq!(opt.n_observed(), 200);
+    }
+
+    #[test]
+    fn best_tracks_minimum() {
+        let space = sphere_space();
+        let mut opt = RandomSearch::new(space.clone());
+        let c1 = space.default_config();
+        let c2 = space.default_config().with("x", 0.5).with("y", -0.5);
+        opt.observe(&c1, 5.0);
+        opt.observe(&c2, 1.0);
+        opt.observe(&c1, 3.0);
+        let best = opt.best().unwrap();
+        assert_eq!(best.value, 1.0);
+        assert_eq!(best.config.get_f64("x"), Some(0.5));
+    }
+
+    #[test]
+    fn nan_observation_never_wins() {
+        let space = sphere_space();
+        let mut opt = RandomSearch::new(space.clone());
+        opt.observe(&space.default_config(), f64::NAN);
+        assert!(opt.best().is_none());
+        opt.observe(&space.default_config(), 2.0);
+        assert_eq!(opt.best().unwrap().value, 2.0);
+    }
+
+    #[test]
+    fn suggestions_are_valid() {
+        let space = sphere_space();
+        let mut opt = RandomSearch::new(space.clone());
+        let mut rng = rand::rngs::mock::StepRng::new(42, 0x9E3779B97F4A7C15);
+        for _ in 0..50 {
+            let c = opt.suggest(&mut rng);
+            assert!(space.validate_config(&c).is_ok());
+        }
+    }
+}

@@ -1,0 +1,235 @@
+//! Contextual bandits (tutorial slides 82-83).
+//!
+//! Workload-aware online tuning: each decision sees a *context* vector
+//! (workload features, requests/sec, data size) and must pick an arm
+//! (configuration). [`LinUcb`] assumes linear reward in the context with
+//! per-arm ridge-regression posteriors; [`ContextualEpsilonGreedy`] is the
+//! simple baseline.
+//!
+//! Reward convention: **maximize**.
+
+use crate::{Result, RlError};
+use autotune_linalg::{Cholesky, Matrix};
+use rand::Rng;
+
+/// LinUCB: per-arm linear payoff model with an optimism bonus
+/// (Li et al. 2010, used by OPPerTune-style tuners).
+#[derive(Debug)]
+pub struct LinUcb {
+    n_arms: usize,
+    dim: usize,
+    /// Exploration weight α.
+    alpha: f64,
+    /// Per-arm ridge Gram matrix `A = λI + Σ x xᵀ`.
+    a: Vec<Matrix>,
+    /// Per-arm response vector `b = Σ r x`.
+    b: Vec<Vec<f64>>,
+}
+
+impl LinUcb {
+    /// Creates a LinUCB policy. `alpha` scales the exploration bonus;
+    /// `ridge` is the regularization λ.
+    pub fn new(n_arms: usize, dim: usize, alpha: f64, ridge: f64) -> Self {
+        assert!(n_arms > 0 && dim > 0, "dimensions must be positive");
+        assert!(ridge > 0.0, "ridge must be positive");
+        let mut eye = Matrix::identity(dim);
+        eye = eye.scale(ridge);
+        LinUcb {
+            n_arms,
+            dim,
+            alpha,
+            a: vec![eye; n_arms],
+            b: vec![vec![0.0; dim]; n_arms],
+        }
+    }
+
+    /// Number of arms.
+    pub fn n_arms(&self) -> usize {
+        self.n_arms
+    }
+
+    fn check_context(&self, x: &[f64]) -> Result<()> {
+        if x.len() != self.dim {
+            return Err(RlError::FeatureDimension {
+                expected: self.dim,
+                actual: x.len(),
+            });
+        }
+        Ok(())
+    }
+
+    /// UCB score of one arm at context `x`: `θ̂ᵀx + α √(xᵀA⁻¹x)`.
+    pub fn score(&self, arm: usize, x: &[f64]) -> Result<f64> {
+        self.check_context(x)?;
+        if arm >= self.n_arms {
+            return Err(RlError::IndexOutOfRange {
+                what: "arm",
+                index: arm,
+                bound: self.n_arms,
+            });
+        }
+        let chol = Cholesky::new(&self.a[arm]).expect("ridge Gram matrix is SPD");
+        let theta = chol.solve_vec(&self.b[arm]);
+        let a_inv_x = chol.solve_vec(x);
+        let mean = autotune_linalg::dot(&theta, x);
+        let bonus = self.alpha * autotune_linalg::dot(x, &a_inv_x).max(0.0).sqrt();
+        Ok(mean + bonus)
+    }
+
+    /// Selects the arm with the highest UCB score at context `x`.
+    pub fn select(&self, x: &[f64]) -> Result<usize> {
+        self.check_context(x)?;
+        let mut best = 0;
+        let mut best_score = f64::NEG_INFINITY;
+        for arm in 0..self.n_arms {
+            let s = self.score(arm, x)?;
+            if s > best_score {
+                best_score = s;
+                best = arm;
+            }
+        }
+        Ok(best)
+    }
+
+    /// Records the observed reward for pulling `arm` at context `x`.
+    pub fn update(&mut self, arm: usize, x: &[f64], reward: f64) -> Result<()> {
+        self.check_context(x)?;
+        if arm >= self.n_arms {
+            return Err(RlError::IndexOutOfRange {
+                what: "arm",
+                index: arm,
+                bound: self.n_arms,
+            });
+        }
+        if reward.is_nan() {
+            return Ok(());
+        }
+        for i in 0..self.dim {
+            for j in 0..self.dim {
+                self.a[arm][(i, j)] += x[i] * x[j];
+            }
+            self.b[arm][i] += reward * x[i];
+        }
+        Ok(())
+    }
+}
+
+/// ε-greedy contextual bandit with per-arm linear models — the simple
+/// baseline LinUCB is measured against.
+#[derive(Debug)]
+pub struct ContextualEpsilonGreedy {
+    inner: LinUcb,
+    epsilon: f64,
+}
+
+impl ContextualEpsilonGreedy {
+    /// Creates an ε-greedy contextual bandit.
+    pub fn new(n_arms: usize, dim: usize, epsilon: f64, ridge: f64) -> Self {
+        assert!((0.0..=1.0).contains(&epsilon), "epsilon must be in [0,1]");
+        ContextualEpsilonGreedy {
+            // alpha = 0 disables the UCB bonus: scores are plain means.
+            inner: LinUcb::new(n_arms, dim, 0.0, ridge),
+            epsilon,
+        }
+    }
+
+    /// Selects an arm: uniform with probability ε, otherwise greedy.
+    pub fn select(&self, x: &[f64], rng: &mut impl Rng) -> Result<usize> {
+        if rng.gen::<f64>() < self.epsilon {
+            Ok(rng.gen_range(0..self.inner.n_arms()))
+        } else {
+            self.inner.select(x)
+        }
+    }
+
+    /// Records an observed reward.
+    pub fn update(&mut self, arm: usize, x: &[f64], reward: f64) -> Result<()> {
+        self.inner.update(arm, x, reward)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Two contexts, two arms, payoffs flipped per context.
+    fn contextual_world(arm: usize, ctx: &[f64], rng: &mut StdRng) -> f64 {
+        let good = (ctx[0] > 0.5 && arm == 0) || (ctx[1] > 0.5 && arm == 1);
+        let base = if good { 1.0 } else { 0.0 };
+        base + 0.1 * rng.gen::<f64>()
+    }
+
+    #[test]
+    fn linucb_learns_context_dependent_arms() {
+        let mut policy = LinUcb::new(2, 2, 0.5, 1.0);
+        let mut rng = StdRng::seed_from_u64(1);
+        let contexts = [[1.0, 0.0], [0.0, 1.0]];
+        for step in 0..400 {
+            let ctx = contexts[step % 2];
+            let arm = policy.select(&ctx).unwrap();
+            let r = contextual_world(arm, &ctx, &mut rng);
+            policy.update(arm, &ctx, r).unwrap();
+        }
+        assert_eq!(policy.select(&contexts[0]).unwrap(), 0);
+        assert_eq!(policy.select(&contexts[1]).unwrap(), 1);
+    }
+
+    #[test]
+    fn linucb_bonus_shrinks_with_data() {
+        let mut policy = LinUcb::new(1, 2, 1.0, 1.0);
+        let ctx = [1.0, 0.5];
+        let before = policy.score(0, &ctx).unwrap();
+        for _ in 0..100 {
+            policy.update(0, &ctx, 0.0).unwrap();
+        }
+        let after = policy.score(0, &ctx).unwrap();
+        // All rewards are 0, so the score is purely the bonus; it must fall.
+        assert!(after < before * 0.2, "bonus {after} vs initial {before}");
+    }
+
+    #[test]
+    fn epsilon_greedy_learns_with_exploration() {
+        let mut policy = ContextualEpsilonGreedy::new(2, 2, 0.1, 1.0);
+        let mut rng = StdRng::seed_from_u64(2);
+        let contexts = [[1.0, 0.0], [0.0, 1.0]];
+        let mut correct = 0;
+        for step in 0..600 {
+            let ctx = contexts[step % 2];
+            let arm = policy.select(&ctx, &mut rng).unwrap();
+            let r = contextual_world(arm, &ctx, &mut rng);
+            policy.update(arm, &ctx, r).unwrap();
+            if step >= 400 {
+                let good = (ctx[0] > 0.5 && arm == 0) || (ctx[1] > 0.5 && arm == 1);
+                if good {
+                    correct += 1;
+                }
+            }
+        }
+        // Late-phase accuracy should be near 1-ε.
+        assert!(correct > 150, "late accuracy too low: {correct}/200");
+    }
+
+    #[test]
+    fn dimension_checks() {
+        let mut policy = LinUcb::new(2, 3, 1.0, 1.0);
+        assert!(matches!(
+            policy.select(&[1.0]),
+            Err(RlError::FeatureDimension { .. })
+        ));
+        assert!(matches!(
+            policy.update(5, &[1.0, 0.0, 0.0], 1.0),
+            Err(RlError::IndexOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn nan_reward_ignored() {
+        let mut policy = LinUcb::new(1, 1, 1.0, 1.0);
+        let before = policy.score(0, &[1.0]).unwrap();
+        policy.update(0, &[1.0], f64::NAN).unwrap();
+        let after = policy.score(0, &[1.0]).unwrap();
+        assert_eq!(before, after);
+    }
+}

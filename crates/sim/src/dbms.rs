@@ -1,0 +1,490 @@
+//! Queueing-theoretic DBMS simulator — the MySQL/PostgreSQL stand-in.
+//!
+//! Models the knob interactions the tutorial keeps returning to:
+//!
+//! * buffer-pool sizing vs RAM and working set (slide 60's marginal
+//!   constraint: "on 8 GB of RAM the pool should be 6-7 GB"), with an OOM
+//!   **crash region** above ~90 % of RAM (knowledge-transfer experiments
+//!   need trials that fail hard);
+//! * `flush_method` categorical with durability/throughput trade-offs
+//!   (slide 51's `innodb_flush_method` example);
+//! * the `chunk_size <= pool / instances` constraint (slide 60);
+//! * PG-style conditional JIT knobs (slide 61): `jit_above_cost` only
+//!   matters when `jit=on`, JIT helps scans and taxes cheap queries;
+//! * thread-pool contention hump, query-cache write penalty, WAL/
+//!   checkpoint pressure from undersized logs.
+//!
+//! Latency comes from an M/M/c-flavoured service model: per-op service
+//! time from CPU + buffer-miss I/O, utilization against the VM's cores and
+//! IOPS, tail inflation with utilization.
+
+use crate::{Environment, SimSystem, TrialResult, Workload};
+use autotune_space::{Condition, Config, Constraint, Param, Space};
+use rand::RngCore;
+
+/// Simulated relational database server.
+#[derive(Debug)]
+pub struct DbmsSim {
+    space: Space,
+}
+
+impl DbmsSim {
+    /// Creates the simulator with a 12-knob MySQL/PG-flavoured space.
+    ///
+    /// Defaults deliberately mirror stock database defaults (tiny buffer
+    /// pool, small logs): the tutorial's "4-10x from tuning" claim is
+    /// measured against exactly such defaults.
+    pub fn new() -> Self {
+        let space = Space::builder()
+            .add(
+                Param::float("buffer_pool_gb", 0.125, 64.0)
+                    .log_scale()
+                    .default_value(0.125),
+            )
+            .add(Param::int("buffer_pool_instances", 1, 16).default_value(1i64))
+            .add(
+                Param::float("buffer_pool_chunk_gb", 0.125, 8.0)
+                    .log_scale()
+                    .default_value(0.125),
+            )
+            .add(
+                Param::categorical(
+                    "flush_method",
+                    &["fsync", "O_DSYNC", "O_DIRECT", "O_DIRECT_NO_FSYNC", "littlesync", "nosync"],
+                )
+                .default_value("fsync"),
+            )
+            .add(
+                Param::float("log_file_size_mb", 48.0, 4096.0)
+                    .log_scale()
+                    .default_value(48.0),
+            )
+            .add(Param::float("wal_buffer_mb", 1.0, 256.0).log_scale().default_value(16.0))
+            .add(Param::int("io_threads", 1, 64).log_scale().default_value(4i64))
+            .add(Param::int("worker_threads", 1, 512).log_scale().default_value(16i64))
+            .add(Param::bool("query_cache").default_value(false))
+            .add(Param::bool("jit").default_value(false))
+            .add(
+                Param::float("jit_above_cost", 1e3, 1e6)
+                    .log_scale()
+                    .default_value(1e5),
+            )
+            .add(Param::bool("sync_commit").default_value(true))
+            .condition(Condition::equals("jit_above_cost", "jit", true))
+            .constraint(Constraint::black_box(
+                "chunk*instances <= pool",
+                |cfg: &Config| {
+                    match (
+                        cfg.get_f64("buffer_pool_chunk_gb"),
+                        cfg.get_i64("buffer_pool_instances"),
+                        cfg.get_f64("buffer_pool_gb"),
+                    ) {
+                        (Some(chunk), Some(inst), Some(pool)) => {
+                            chunk * inst as f64 <= pool + 1e-9
+                        }
+                        _ => true,
+                    }
+                },
+            ))
+            .build()
+            .expect("static space definition is valid");
+        DbmsSim { space }
+    }
+
+    /// Buffer hit ratio for a working set under Zipfian skew: skewed
+    /// workloads get more out of a small cache.
+    fn hit_ratio(buffer_gb: f64, working_set_gb: f64, skew: f64) -> f64 {
+        if working_set_gb <= 0.0 {
+            return 1.0;
+        }
+        let frac = (buffer_gb / working_set_gb).min(1.0);
+        frac.powf(1.0 - 0.7 * skew)
+    }
+
+    /// Per-write WAL/flush overhead, milliseconds.
+    fn flush_cost_ms(method: &str, sync_commit: bool, wal_buffer_mb: f64, env: &Environment) -> f64 {
+        // One fsync ≈ 1000/IOPS ms; methods change how many and whether
+        // the OS cache double-buffers.
+        let sync_ms = 1000.0 / env.disk_iops.max(1.0);
+        let method_factor = match method {
+            "fsync" => 1.6,               // data + OS double buffering
+            "O_DSYNC" => 1.3,
+            "O_DIRECT" => 1.0,            // no double buffering
+            "O_DIRECT_NO_FSYNC" => 0.8,
+            "littlesync" => 0.5,
+            "nosync" => 0.15,             // unsafe but fast
+            _ => 1.6,
+        };
+        let group_commit = (1.0 + (wal_buffer_mb / 16.0).ln_1p()).max(1.0);
+        let per_commit = if sync_commit { 1.0 } else { 0.25 };
+        sync_ms * method_factor * per_commit / group_commit
+    }
+}
+
+impl Default for DbmsSim {
+    fn default() -> Self {
+        DbmsSim::new()
+    }
+}
+
+impl SimSystem for DbmsSim {
+    fn name(&self) -> &str {
+        "dbms"
+    }
+
+    fn space(&self) -> &Space {
+        &self.space
+    }
+
+    fn run_trial(
+        &self,
+        config: &Config,
+        workload: &Workload,
+        env: &Environment,
+        rng: &mut dyn RngCore,
+    ) -> TrialResult {
+        let bp = config.get_f64("buffer_pool_gb").unwrap_or(0.125);
+        let flush = config.get_str("flush_method").unwrap_or("fsync");
+        let log_mb = config.get_f64("log_file_size_mb").unwrap_or(48.0);
+        let wal_mb = config.get_f64("wal_buffer_mb").unwrap_or(16.0);
+        let io_threads = config.get_i64("io_threads").unwrap_or(4).max(1) as f64;
+        let workers = config.get_i64("worker_threads").unwrap_or(16).max(1) as f64;
+        let query_cache = config.get_bool("query_cache").unwrap_or(false);
+        let jit = config.get_bool("jit").unwrap_or(false);
+        let jit_cost = config.get_f64("jit_above_cost").unwrap_or(1e5);
+        let sync_commit = config.get_bool("sync_commit").unwrap_or(true);
+
+        // OOM crash region: the process plus pool cannot exceed RAM.
+        if bp > 0.9 * env.ram_gb {
+            return TrialResult::crash(5.0);
+        }
+
+        let ws = workload.effective_working_set_gb();
+        let hit = Self::hit_ratio(bp, ws, workload.skew);
+        let io_ms = 1000.0 / env.disk_iops.max(1.0);
+        let io_parallel = io_threads.min(env.cores as f64 * 4.0).sqrt();
+
+        // --- point reads ---
+        let cpu_read_ms = 0.02;
+        let read_ms = cpu_read_ms + (1.0 - hit) * io_ms / io_parallel;
+        // Query cache accelerates repeat reads but invalidation taxes writes.
+        let qc_read = if query_cache {
+            1.0 - 0.35 * workload.read_fraction * workload.skew
+        } else {
+            1.0
+        };
+        let qc_write = if query_cache { 1.6 } else { 1.0 };
+
+        // --- scans ---
+        // Scan touches the whole working set; buffered fraction is free-ish
+        // and async prefetch threads overlap the rest.
+        let scan_io_s =
+            ws * 1024.0 * (1.0 - 0.9 * hit) / (env.disk_mbps.max(1.0) * io_parallel);
+        let mut scan_cpu_s = ws * 0.15; // per-GiB aggregation CPU
+        if jit {
+            // JIT compiles expensive queries: scans speed up, but a low
+            // threshold wastes compile time on cheap statements.
+            scan_cpu_s *= 0.65;
+            let threshold_penalty = if jit_cost < 2e4 { 0.4 } else { 0.0 };
+            scan_cpu_s += threshold_penalty;
+        }
+        let scan_ms = (scan_io_s + scan_cpu_s) * 1000.0 / env.cores as f64;
+
+        // --- writes ---
+        let flush_ms = Self::flush_cost_ms(flush, sync_commit, wal_mb, env);
+        // Undersized redo logs force frequent checkpoints: stall factor.
+        let checkpoint = 1.0 + (256.0 / log_mb.max(1.0)).min(8.0) * 0.35 * workload.write_fraction();
+        let write_ms = (0.03 + (1.0 - hit) * io_ms / io_parallel + flush_ms) * checkpoint;
+
+        // --- mix ---
+        let point_fraction = 1.0 - workload.scan_fraction;
+        let read_mix = workload.read_fraction * point_fraction;
+        let write_mix = workload.write_fraction() * point_fraction;
+        let service_ms =
+            read_mix * read_ms * qc_read + write_mix * write_ms * qc_write + workload.scan_fraction * scan_ms;
+
+        // --- concurrency ---
+        // Workers add useful parallelism up to ~2x cores, then the
+        // context-switch/latch hump takes over.
+        let useful = workers.min(2.0 * env.cores as f64);
+        let contention = 1.0 + 0.002 * (workers / env.cores as f64).powi(2);
+        // Component profile: where one average operation's time goes.
+        // This is the simulated analogue of a stack profile (slide 68's
+        // PGO/FDO opportunity): each share maps back to the knobs that
+        // influence that component.
+        let profile = vec![
+            (
+                "cpu".to_string(),
+                read_mix * cpu_read_ms * qc_read
+                    + write_mix * 0.03 * qc_write
+                    + workload.scan_fraction * scan_cpu_s * 1000.0 / env.cores as f64,
+            ),
+            (
+                "io_point".to_string(),
+                (read_mix + write_mix) * (1.0 - hit) * io_ms / io_parallel,
+            ),
+            (
+                "io_scan".to_string(),
+                workload.scan_fraction * scan_io_s * 1000.0 / env.cores as f64,
+            ),
+            ("wal_flush".to_string(), write_mix * flush_ms * qc_write),
+            (
+                "checkpoint".to_string(),
+                write_mix * write_ms * qc_write * (checkpoint - 1.0) / checkpoint,
+            ),
+            (
+                "contention".to_string(),
+                service_ms * (contention - 1.0),
+            ),
+        ];
+
+        let capacity_ops = useful * 1000.0 / (service_ms.max(1e-3) * contention);
+        let raw_util = workload.offered_ops / capacity_ops.max(1e-9);
+        let utilization = raw_util.min(0.999);
+        let queueing = 1.0 / (1.0 - utilization);
+        // Past saturation the backlog grows with the overload ratio, so
+        // higher-capacity configs still separate under a flood.
+        let overload = raw_util.max(1.0);
+        let mean_latency = service_ms * contention * (0.3 + 0.7 * queueing) * overload;
+        let throughput = workload.offered_ops.min(capacity_ops);
+        let elapsed = workload.duration_s();
+
+        crate::finish_trial(
+            mean_latency,
+            utilization,
+            throughput,
+            elapsed,
+            env.cost_per_hour,
+            workload,
+            env,
+            rng,
+        )
+        .with_profile(profile)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn avg_result(
+        sim: &DbmsSim,
+        cfg: &Config,
+        w: &Workload,
+        env: &Environment,
+        seed: u64,
+    ) -> (f64, f64) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut lat = Vec::new();
+        let mut thr = Vec::new();
+        for _ in 0..8 {
+            let r = sim.run_trial(cfg, w, env, &mut rng);
+            assert!(!r.crashed, "unexpected crash for {cfg}");
+            lat.push(r.latency_avg_ms);
+            thr.push(r.throughput_ops);
+        }
+        (
+            autotune_linalg::stats::mean(&lat),
+            autotune_linalg::stats::mean(&thr),
+        )
+    }
+
+    /// A hand-tuned "good" config for a 16 GB / TPC-C-ish environment.
+    fn tuned_config(sim: &DbmsSim) -> Config {
+        sim.space()
+            .default_config()
+            .with("buffer_pool_gb", 12.0)
+            .with("buffer_pool_instances", 8i64)
+            .with("buffer_pool_chunk_gb", 1.0)
+            .with("flush_method", "O_DIRECT")
+            .with("log_file_size_mb", 2048.0)
+            .with("wal_buffer_mb", 64.0)
+            .with("io_threads", 16i64)
+            .with("worker_threads", 8i64)
+            .with("sync_commit", true)
+    }
+
+    #[test]
+    fn tuning_yields_tutorial_scale_throughput_gain() {
+        // Slide 10: "properly tuned database systems can achieve 4-10x
+        // higher throughput". Offered load far above default capacity so
+        // throughput reflects capacity.
+        let sim = DbmsSim::new();
+        let env = Environment::medium();
+        let w = Workload::tpcc(200_000.0);
+        let (_, thr_default) = avg_result(&sim, &sim.space().default_config(), &w, &env, 1);
+        let (_, thr_tuned) = avg_result(&sim, &tuned_config(&sim), &w, &env, 2);
+        let gain = thr_tuned / thr_default;
+        assert!(
+            (3.0..20.0).contains(&gain),
+            "throughput gain {gain:.1}x outside the expected 4-10x ballpark"
+        );
+    }
+
+    #[test]
+    fn oversized_buffer_pool_crashes() {
+        let sim = DbmsSim::new();
+        let env = Environment::medium(); // 16 GB
+        let cfg = sim.space().default_config().with("buffer_pool_gb", 15.5);
+        let mut rng = StdRng::seed_from_u64(3);
+        let r = sim.run_trial(&cfg, &Workload::tpcc(1000.0), &env, &mut rng);
+        assert!(r.crashed);
+        assert!(r.latency_avg_ms.is_nan());
+    }
+
+    #[test]
+    fn bigger_buffer_pool_helps_until_ram() {
+        let sim = DbmsSim::new();
+        let env = Environment::medium();
+        let w = Workload::tpcc(2_000.0);
+        let lat = |bp: f64, seed| {
+            let cfg = sim.space().default_config().with("buffer_pool_gb", bp);
+            avg_result(&sim, &cfg, &w, &env, seed).0
+        };
+        let small = lat(0.25, 4);
+        let medium = lat(4.0, 5);
+        let large = lat(12.0, 6);
+        assert!(medium < small, "4 GB {medium} should beat 0.25 GB {small}");
+        assert!(large < medium, "12 GB {large} should beat 4 GB {medium}");
+    }
+
+    #[test]
+    fn o_direct_beats_fsync_for_writes() {
+        let sim = DbmsSim::new();
+        let env = Environment::medium();
+        let w = Workload::ycsb_a(2_000.0); // write-heavy
+        let lat = |m: &str, seed| {
+            let cfg = sim.space().default_config().with("flush_method", m);
+            avg_result(&sim, &cfg, &w, &env, seed).0
+        };
+        let fsync = lat("fsync", 7);
+        let direct = lat("O_DIRECT", 8);
+        let nosync = lat("nosync", 9);
+        assert!(direct < fsync, "O_DIRECT {direct} should beat fsync {fsync}");
+        assert!(nosync < direct, "nosync {nosync} is unsafe but fastest");
+    }
+
+    #[test]
+    fn flush_method_irrelevant_for_read_only() {
+        let sim = DbmsSim::new();
+        let env = Environment::medium();
+        let w = Workload::ycsb_c(2_000.0);
+        let lat = |m: &str, seed| {
+            let cfg = sim.space().default_config().with("flush_method", m);
+            avg_result(&sim, &cfg, &w, &env, seed).0
+        };
+        let a = lat("fsync", 10);
+        let b = lat("nosync", 11);
+        assert!(
+            (a - b).abs() / a < 0.1,
+            "flush method should not matter read-only: {a} vs {b}"
+        );
+    }
+
+    #[test]
+    fn jit_helps_analytics_hurts_oltp_when_threshold_low() {
+        let sim = DbmsSim::new();
+        let env = Environment::large();
+        let tpch = Workload::tpch(5.0);
+        let lat = |jit: bool, threshold: f64, w: &Workload, seed| {
+            let mut cfg = sim.space().default_config().with("jit", jit);
+            if jit {
+                cfg = cfg.with("jit_above_cost", threshold);
+            } else {
+                cfg.remove("jit_above_cost");
+            }
+            avg_result(&sim, &cfg, w, &env, seed).0
+        };
+        let no_jit = lat(false, 0.0, &tpch, 12);
+        let good_jit = lat(true, 1e5, &tpch, 13);
+        assert!(good_jit < no_jit, "JIT should speed analytics: {good_jit} vs {no_jit}");
+        let low_threshold = lat(true, 2e3, &tpch, 14);
+        assert!(
+            low_threshold > good_jit,
+            "too-low threshold {low_threshold} should tax vs {good_jit}"
+        );
+    }
+
+    #[test]
+    fn query_cache_helps_reads_hurts_writes() {
+        let sim = DbmsSim::new();
+        let env = Environment::medium();
+        let lat = |qc: bool, w: &Workload, seed| {
+            let cfg = sim.space().default_config().with("query_cache", qc);
+            avg_result(&sim, &cfg, w, &env, seed).0
+        };
+        let reads = Workload::ycsb_c(2_000.0);
+        let writes = Workload::ycsb_a(2_000.0);
+        assert!(lat(true, &reads, 15) < lat(false, &reads, 16));
+        assert!(lat(true, &writes, 17) > lat(false, &writes, 18));
+    }
+
+    #[test]
+    fn worker_thread_contention_hump() {
+        let sim = DbmsSim::new();
+        let env = Environment::medium(); // 4 cores
+        let w = Workload::tpcc(3_000.0);
+        let lat = |threads: i64, seed| {
+            let cfg = sim.space().default_config().with("worker_threads", threads);
+            avg_result(&sim, &cfg, &w, &env, seed).0
+        };
+        let few = lat(2, 19);
+        let right = lat(8, 20);
+        let too_many = lat(512, 21);
+        assert!(right < few, "8 workers {right} should beat 2 {few}");
+        assert!(too_many > right, "512 workers {too_many} should thrash vs {right}");
+    }
+
+    #[test]
+    fn small_logs_stall_write_workloads() {
+        let sim = DbmsSim::new();
+        let env = Environment::medium();
+        let w = Workload::ycsb_a(2_000.0);
+        let lat = |log_mb: f64, seed| {
+            let cfg = sim.space().default_config().with("log_file_size_mb", log_mb);
+            avg_result(&sim, &cfg, &w, &env, seed).0
+        };
+        assert!(lat(2048.0, 22) < lat(48.0, 23));
+    }
+
+    #[test]
+    fn chunk_constraint_enforced_by_space() {
+        let sim = DbmsSim::new();
+        let bad = sim
+            .space()
+            .default_config()
+            .with("buffer_pool_gb", 1.0)
+            .with("buffer_pool_instances", 16i64)
+            .with("buffer_pool_chunk_gb", 1.0);
+        assert!(!sim.space().is_feasible(&bad));
+        let mut rng = StdRng::seed_from_u64(24);
+        for _ in 0..50 {
+            let c = sim.space().sample(&mut rng);
+            assert!(sim.space().is_feasible(&c), "sampler violated constraint: {c}");
+        }
+    }
+
+    #[test]
+    fn multi_fidelity_shift_io_knobs_matter_only_at_scale() {
+        // Slide 66: at SF-1 everything fits in memory — I/O knobs are
+        // irrelevant; at SF-10 they dominate.
+        let sim = DbmsSim::new();
+        let env = Environment::medium();
+        let lat_gap = |sf: f64, seeds: (u64, u64)| {
+            let w = Workload::tpch(sf);
+            let base = sim.space().default_config().with("buffer_pool_gb", 2.0);
+            let more_io = base.clone().with("io_threads", 32i64);
+            let a = avg_result(&sim, &base, &w, &env, seeds.0).0;
+            let b = avg_result(&sim, &more_io, &w, &env, seeds.1).0;
+            (a - b) / a
+        };
+        let gap_small = lat_gap(1.0, (25, 26)).abs();
+        let gap_large = lat_gap(10.0, (27, 28));
+        assert!(
+            gap_large > gap_small + 0.02,
+            "I/O knob should matter more at SF-10: {gap_small} vs {gap_large}"
+        );
+    }
+}

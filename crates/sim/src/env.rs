@@ -1,0 +1,111 @@
+//! Execution environment (tutorial slide 8: the "context").
+//!
+//! Hardware configuration, VM size, and the per-machine performance factor
+//! injected by [`crate::CloudNoise`]. Changing the environment shifts which
+//! knob values are optimal (slide 67's VM-resize discussion), which the
+//! simulators model by scaling service times and capacity limits from these
+//! fields.
+
+use serde::{Deserialize, Serialize};
+
+/// The hardware/VM context a trial runs in.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Environment {
+    /// VM memory, GiB.
+    pub ram_gb: f64,
+    /// vCPU count.
+    pub cores: u32,
+    /// Sequential disk bandwidth, MiB/s.
+    pub disk_mbps: f64,
+    /// Random-read IOPS capability of the storage.
+    pub disk_iops: f64,
+    /// Hourly price of this VM size, dollars.
+    pub cost_per_hour: f64,
+    /// Multiplicative performance factor of the specific machine the trial
+    /// landed on (1.0 = nominal; cloud noise sets this).
+    pub machine_factor: f64,
+}
+
+impl Environment {
+    /// A small cloud VM: 2 vCPU / 8 GiB / modest SSD.
+    pub fn small() -> Self {
+        Environment {
+            ram_gb: 8.0,
+            cores: 2,
+            disk_mbps: 250.0,
+            disk_iops: 8_000.0,
+            cost_per_hour: 0.10,
+            machine_factor: 1.0,
+        }
+    }
+
+    /// A medium cloud VM: 4 vCPU / 16 GiB.
+    pub fn medium() -> Self {
+        Environment {
+            ram_gb: 16.0,
+            cores: 4,
+            disk_mbps: 500.0,
+            disk_iops: 16_000.0,
+            cost_per_hour: 0.20,
+            machine_factor: 1.0,
+        }
+    }
+
+    /// A large cloud VM: 16 vCPU / 64 GiB / fast NVMe.
+    pub fn large() -> Self {
+        Environment {
+            ram_gb: 64.0,
+            cores: 16,
+            disk_mbps: 2_000.0,
+            disk_iops: 64_000.0,
+            cost_per_hour: 0.80,
+            machine_factor: 1.0,
+        }
+    }
+
+    /// Returns a copy pinned to a specific machine factor.
+    pub fn on_machine(&self, factor: f64) -> Self {
+        Environment {
+            machine_factor: factor,
+            ..self.clone()
+        }
+    }
+}
+
+impl Default for Environment {
+    fn default() -> Self {
+        Environment::medium()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_are_ordered_by_size() {
+        let s = Environment::small();
+        let m = Environment::medium();
+        let l = Environment::large();
+        assert!(s.ram_gb < m.ram_gb && m.ram_gb < l.ram_gb);
+        assert!(s.cores < m.cores && m.cores < l.cores);
+        assert!(s.cost_per_hour < m.cost_per_hour && m.cost_per_hour < l.cost_per_hour);
+    }
+
+    #[test]
+    fn on_machine_only_changes_factor() {
+        let base = Environment::medium();
+        let noisy = base.on_machine(1.2);
+        assert_eq!(noisy.machine_factor, 1.2);
+        assert_eq!(noisy.ram_gb, base.ram_gb);
+        assert_eq!(noisy.cores, base.cores);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let e = Environment::large();
+        let json = serde_json::to_string(&e).unwrap();
+        let back: Environment = serde_json::from_str(&json).unwrap();
+        assert_eq!(e, back);
+    }
+}

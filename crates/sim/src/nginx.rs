@@ -1,0 +1,302 @@
+//! Web-server simulator — the Nginx stand-in (slide 8 lists "Redis,
+//! MySQL, Postgres, Nginx" as tuned systems).
+//!
+//! Models the classic reverse-proxy knob interactions:
+//!
+//! * `worker_processes`: parallelism up to the core count, then context
+//!   switching; the famous default (`auto` = cores) is near-optimal, so
+//!   this knob mostly *punishes* deviation;
+//! * `worker_connections`: a per-worker admission limit — too low rejects
+//!   (or queues) traffic under load, too high thrashes memory with idle
+//!   connection state;
+//! * `keepalive_timeout`: long keepalives save TCP/TLS handshakes for
+//!   think-time traffic but pin connection slots;
+//! * `gzip` + `gzip_level`: trades CPU per response for bytes on the wire
+//!   — pays on slow client links, hurts on fast ones;
+//! * `access_log_buffered`: unbuffered logging costs a write per request;
+//! * `open_file_cache`: metadata-lookup savings for static content.
+
+use crate::{Environment, SimSystem, TrialResult, Workload};
+use autotune_space::{Condition, Config, Param, Space};
+use rand::RngCore;
+
+/// Simulated Nginx-like web server.
+#[derive(Debug)]
+pub struct NginxSim {
+    space: Space,
+}
+
+impl NginxSim {
+    /// Creates the simulator with an 8-knob Nginx-flavoured space.
+    pub fn new() -> Self {
+        let space = Space::builder()
+            .add(Param::int("worker_processes", 1, 64).log_scale().default_value(1i64))
+            .add(
+                Param::int("worker_connections", 64, 65_536)
+                    .log_scale()
+                    .default_value(512i64),
+            )
+            .add(
+                Param::float("keepalive_timeout_s", 0.0, 300.0)
+                    .default_value(75.0)
+                    .with_special_values(&[0.0]),
+            )
+            .add(Param::bool("gzip").default_value(false))
+            .add(Param::int("gzip_level", 1, 9).default_value(6i64))
+            .add(Param::bool("access_log_buffered").default_value(false))
+            .add(Param::bool("open_file_cache").default_value(false))
+            .add(
+                Param::int("client_body_buffer_kb", 8, 1024)
+                    .log_scale()
+                    .default_value(16i64),
+            )
+            .condition(Condition::equals("gzip_level", "gzip", true))
+            .build()
+            .expect("static space definition is valid");
+        NginxSim { space }
+    }
+}
+
+impl Default for NginxSim {
+    fn default() -> Self {
+        NginxSim::new()
+    }
+}
+
+impl SimSystem for NginxSim {
+    fn name(&self) -> &str {
+        "nginx"
+    }
+
+    fn space(&self) -> &Space {
+        &self.space
+    }
+
+    fn run_trial(
+        &self,
+        config: &Config,
+        workload: &Workload,
+        env: &Environment,
+        rng: &mut dyn RngCore,
+    ) -> TrialResult {
+        let workers = config.get_i64("worker_processes").unwrap_or(1).max(1) as f64;
+        let connections = config.get_i64("worker_connections").unwrap_or(512).max(1) as f64;
+        let keepalive = config.get_f64("keepalive_timeout_s").unwrap_or(75.0);
+        let gzip = config.get_bool("gzip").unwrap_or(false);
+        let gzip_level = config.get_i64("gzip_level").unwrap_or(6).clamp(1, 9) as f64;
+        let log_buffered = config.get_bool("access_log_buffered").unwrap_or(false);
+        let file_cache = config.get_bool("open_file_cache").unwrap_or(false);
+        let body_buffer_kb = config.get_f64("client_body_buffer_kb").unwrap_or(16.0);
+
+        // Connection-state memory: too many slots on a small box = OOM.
+        let conn_memory_gb = workers * connections * (16.0 + body_buffer_kb) / 1e6;
+        if conn_memory_gb > 0.5 * env.ram_gb {
+            return TrialResult::crash(3.0);
+        }
+
+        // --- per-request service time (ms) ---
+        let mut cpu_ms = 0.12; // parse + route + respond
+        if !log_buffered {
+            cpu_ms += 0.05; // one write syscall per request
+        }
+        if !file_cache {
+            cpu_ms += 0.04; // stat()/open() per static hit
+        }
+        // Response transfer: ~24 KB average page at client link speed.
+        let mut transfer_ms = 0.8;
+        if gzip {
+            // Compression shrinks the body (diminishing past level ~6) and
+            // charges CPU superlinearly with the level.
+            let ratio = 0.32 + 0.30 / gzip_level;
+            transfer_ms *= ratio;
+            cpu_ms += 0.03 * gzip_level.powf(1.4);
+        }
+        // Keepalive: with think-time traffic, short timeouts force fresh
+        // TCP/TLS handshakes on a fraction of requests.
+        let handshake_ms = 1.1;
+        let reuse_prob = (keepalive / (keepalive + 10.0)).clamp(0.0, 0.98);
+        let connect_ms = handshake_ms * (1.0 - reuse_prob);
+
+        // --- capacity ---
+        let useful_workers = workers.min(env.cores as f64);
+        let oversub = 1.0 + 0.03 * (workers - env.cores as f64).max(0.0);
+        let per_worker_rps = 1000.0 / (cpu_ms * oversub);
+        // Connection slots bound throughput via Little's law: each request
+        // holds a slot for its service time, plus idle keepalive holds
+        // (~1% of the timeout per request on average with think time).
+        let hold_s = ((cpu_ms + transfer_ms) / 1000.0).max(keepalive * 0.01);
+        let slot_limit = workers * connections / hold_s.max(1e-6);
+        let capacity = (useful_workers * per_worker_rps).min(slot_limit.max(1.0));
+
+        let raw_util = workload.offered_ops / capacity.max(1e-9);
+        let utilization = raw_util.min(0.999);
+        let queueing = 1.0 / (1.0 - utilization);
+        let overload = raw_util.max(1.0);
+        let mean_latency =
+            (cpu_ms * oversub * (0.3 + 0.7 * queueing) + transfer_ms + connect_ms) * overload;
+        let throughput = workload.offered_ops.min(capacity);
+        let elapsed = workload.duration_s();
+
+        crate::finish_trial(
+            mean_latency,
+            utilization,
+            throughput,
+            elapsed,
+            env.cost_per_hour,
+            workload,
+            env,
+            rng,
+        )
+        .with_profile(vec![
+            ("cpu".to_string(), cpu_ms * oversub),
+            ("transfer".to_string(), transfer_ms),
+            ("handshake".to_string(), connect_ms),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn web_workload(rps: f64) -> Workload {
+        Workload::kv_cache(rps) // request/response shape is close enough
+    }
+
+    fn avg_latency(sim: &NginxSim, cfg: &Config, rps: f64, seed: u64) -> f64 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let env = Environment::medium();
+        let runs: Vec<f64> = (0..8)
+            .map(|_| {
+                let r = sim.run_trial(cfg, &web_workload(rps), &env, &mut rng);
+                assert!(!r.crashed, "unexpected crash for {cfg}");
+                r.latency_avg_ms
+            })
+            .collect();
+        autotune_linalg::stats::mean(&runs)
+    }
+
+    #[test]
+    fn workers_help_up_to_core_count() {
+        let sim = NginxSim::new();
+        let lat = |w: i64, seed| {
+            let cfg = sim.space().default_config().with("worker_processes", w);
+            avg_latency(&sim, &cfg, 12_000.0, seed)
+        };
+        let one = lat(1, 1);
+        let four = lat(4, 2); // medium env: 4 cores
+        let many = lat(64, 3);
+        assert!(four < one, "4 workers {four} should beat 1 {one}");
+        assert!(many > four, "64 workers on 4 cores {many} should thrash vs {four}");
+    }
+
+    #[test]
+    fn keepalive_sweet_spot() {
+        let sim = NginxSim::new();
+        let lat = |ka: f64, seed| {
+            let cfg = sim
+                .space()
+                .default_config()
+                .with("worker_processes", 4i64)
+                .with("keepalive_timeout_s", ka);
+            avg_latency(&sim, &cfg, 1_500.0, seed)
+        };
+        let none = lat(0.0, 4);
+        let moderate = lat(60.0, 5);
+        let extreme = lat(300.0, 6);
+        assert!(
+            moderate < none,
+            "keepalive 60s {moderate} should beat handshakes-every-time {none}"
+        );
+        assert!(
+            extreme > moderate,
+            "keepalive 300s {extreme} should pin slots and lose to 60s {moderate}"
+        );
+    }
+
+    #[test]
+    fn gzip_helps_transfer_but_high_levels_diminish() {
+        let sim = NginxSim::new();
+        let base = sim.space().default_config().with("worker_processes", 4i64);
+        let lat_off = avg_latency(&sim, &base.clone().with("gzip", false), 800.0, 6);
+        let cfg_on = |lvl: i64| {
+            base.clone().with("gzip", true).with("gzip_level", lvl)
+        };
+        let lat_l4 = avg_latency(&sim, &cfg_on(4), 800.0, 7);
+        let lat_l9 = avg_latency(&sim, &cfg_on(9), 800.0, 8);
+        assert!(lat_l4 < lat_off, "gzip@4 {lat_l4} should beat no gzip {lat_off}");
+        assert!(
+            lat_l9 > lat_l4,
+            "gzip@9 {lat_l9} burns CPU past the payoff vs @4 {lat_l4}"
+        );
+    }
+
+    #[test]
+    fn buffered_logging_and_file_cache_shave_cpu() {
+        let sim = NginxSim::new();
+        let base = sim.space().default_config().with("worker_processes", 4i64);
+        let plain = avg_latency(&sim, &base, 12_000.0, 9);
+        let tuned = avg_latency(
+            &sim,
+            &base
+                .clone()
+                .with("access_log_buffered", true)
+                .with("open_file_cache", true),
+            12_000.0,
+            10,
+        );
+        assert!(tuned < plain, "cpu shavings should show under load: {tuned} vs {plain}");
+    }
+
+    #[test]
+    fn connection_state_oom_crashes() {
+        let sim = NginxSim::new();
+        let cfg = sim
+            .space()
+            .default_config()
+            .with("worker_processes", 64i64)
+            .with("worker_connections", 65_536i64)
+            .with("client_body_buffer_kb", 1024.0);
+        let mut rng = StdRng::seed_from_u64(11);
+        let r = sim.run_trial(&cfg, &web_workload(1_000.0), &Environment::small(), &mut rng);
+        assert!(r.crashed, "4M connection slots on 8 GB must OOM");
+    }
+
+    #[test]
+    fn gzip_level_is_conditional() {
+        let sim = NginxSim::new();
+        let mut rng = StdRng::seed_from_u64(12);
+        for _ in 0..50 {
+            let c = sim.space().sample(&mut rng);
+            assert_eq!(
+                c.get_bool("gzip").unwrap(),
+                c.get("gzip_level").is_some(),
+                "gzip_level present iff gzip on: {c}"
+            );
+        }
+    }
+
+    #[test]
+    fn tuning_wins_end_to_end() {
+        // Sanity: the tuned config beats stock defaults, same shape as E1.
+        let sim = NginxSim::new();
+        let default = avg_latency(&sim, &sim.space().default_config(), 12_000.0, 13);
+        let tuned = sim
+            .space()
+            .default_config()
+            .with("worker_processes", 4i64)
+            .with("worker_connections", 4096i64)
+            .with("keepalive_timeout_s", 60.0)
+            .with("gzip", true)
+            .with("gzip_level", 4i64)
+            .with("access_log_buffered", true)
+            .with("open_file_cache", true);
+        let tuned_lat = avg_latency(&sim, &tuned, 12_000.0, 14);
+        assert!(
+            tuned_lat < default * 0.5,
+            "tuned {tuned_lat} should at least halve default {default}"
+        );
+    }
+}

@@ -1,0 +1,237 @@
+//! "Manual-derived" knob hints (tutorial slides 63-64).
+//!
+//! DB-BERT and GPTuner use language models to extract tuning knowledge
+//! from manuals, docs, and StackOverflow: which knobs matter, what ranges
+//! are sensible on this hardware, which special values exist. The
+//! *downstream artifact* of that extraction is a biased search space —
+//! and that artifact is what this module provides, as curated hint tables
+//! per simulated system (standing in for the LLM pass, which needs no
+//! reproduction: its output format is the interesting part).
+
+use crate::Environment;
+use autotune_space::{Param, Space};
+use serde::{Deserialize, Serialize};
+
+/// One extracted hint about a knob.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct KnobHint {
+    /// Knob name in the system's space.
+    pub knob: String,
+    /// Biased sub-range in unit-cube coordinates of the knob's axis
+    /// (`(0.0, 1.0)` = no restriction).
+    pub range01: (f64, f64),
+    /// Optional truncated-normal prior `(mean01, std01)` inside the range.
+    pub prior01: Option<(f64, f64)>,
+    /// Importance rank among the system's knobs (1 = most important).
+    pub importance_rank: usize,
+    /// The "manual quote" motivating the hint.
+    pub rationale: &'static str,
+}
+
+/// Hints for the DBMS simulator's knobs on a given environment —
+/// the kind of advice a model reads out of MySQL/PostgreSQL manuals.
+pub fn dbms_manual_hints(env: &Environment) -> Vec<KnobHint> {
+    // "innodb_buffer_pool_size: typically 50-75% of system memory."
+    // Map the GB recommendation into unit coords of the log-scaled axis
+    // [0.125, 64] GB: u = ln(v/0.125) / ln(64/0.125).
+    let bp_unit = |gb: f64| ((gb / 0.125).ln() / (64.0 / 0.125f64).ln()).clamp(0.0, 1.0);
+    let lo = bp_unit(0.5 * env.ram_gb);
+    let hi = bp_unit(0.8 * env.ram_gb);
+    vec![
+        KnobHint {
+            knob: "buffer_pool_gb".into(),
+            range01: (lo, hi),
+            prior01: Some(((lo + hi) / 2.0, 0.1)),
+            importance_rank: 1,
+            rationale: "buffer pool: 50-80% of system memory; the single most impactful setting",
+        },
+        KnobHint {
+            knob: "flush_method".into(),
+            range01: (0.0, 1.0),
+            prior01: None,
+            importance_rank: 2,
+            rationale: "O_DIRECT avoids double buffering on most Linux filesystems",
+        },
+        KnobHint {
+            knob: "log_file_size_mb".into(),
+            range01: (0.6, 1.0), // favour large logs on the log-scaled axis
+            prior01: Some((0.8, 0.15)),
+            importance_rank: 3,
+            rationale: "redo logs sized for ~1h of writes; small logs cause checkpoint storms",
+        },
+        KnobHint {
+            knob: "worker_threads".into(),
+            range01: (0.2, 0.7),
+            prior01: Some((0.45, 0.15)),
+            importance_rank: 4,
+            rationale: "threads ~ 2x cores; beyond that context switching dominates",
+        },
+        KnobHint {
+            knob: "io_threads".into(),
+            range01: (0.3, 1.0),
+            prior01: None,
+            importance_rank: 5,
+            rationale: "more background I/O threads help on SSD/NVMe",
+        },
+    ]
+}
+
+/// Hints for the Redis simulator (the scheduler-knob running example).
+pub fn redis_manual_hints() -> Vec<KnobHint> {
+    vec![
+        KnobHint {
+            knob: "sched_migration_cost_ns".into(),
+            // Community wisdom: well below the kernel default of 500µs.
+            range01: (0.1, 0.7),
+            prior01: Some((0.4, 0.2)),
+            importance_rank: 1,
+            rationale: "raising migration cost pins the event loop; the sweet spot is 10-100µs",
+        },
+        KnobHint {
+            knob: "io_threads".into(),
+            range01: (0.0, 0.6),
+            prior01: None,
+            importance_rank: 2,
+            rationale: "io-threads up to the core count; more threads thrash",
+        },
+    ]
+}
+
+/// Applies hints to a space: narrows numeric ranges to the biased
+/// sub-range and installs the priors. Unhinted knobs pass through
+/// untouched, so the tuner can still correct a wrong manual.
+///
+/// Categorical/bool knobs cannot be range-narrowed (the hint's
+/// `range01` is ignored for them); priors apply to numeric axes only.
+pub fn apply_hints(space: &Space, hints: &[KnobHint]) -> Space {
+    let mut builder = Space::builder();
+    for p in space.params() {
+        let hint = hints.iter().find(|h| h.knob == p.name);
+        let mut param: Param = p.clone();
+        if let Some(h) = hint {
+            param = narrow_param(param, h);
+        }
+        builder = builder.add(param);
+    }
+    for c in space.conditions() {
+        builder = builder.condition(c.clone());
+    }
+    for c in space.constraints() {
+        builder = builder.constraint(c.clone());
+    }
+    builder.build().expect("narrowing preserves validity")
+}
+
+/// Narrows one parameter to a hint's sub-range (numeric domains only).
+fn narrow_param(mut param: Param, hint: &KnobHint) -> Param {
+    use autotune_space::{Domain, Value};
+    let (lo01, hi01) = hint.range01;
+    let lo01 = lo01.clamp(0.0, 1.0);
+    let hi01 = hi01.clamp(lo01 + 1e-9, 1.0);
+    match &param.domain {
+        Domain::Float { .. } | Domain::Int { .. } | Domain::Quantized { .. } => {
+            let new_low = param.from_unit(lo01);
+            let new_high = param.from_unit(hi01);
+            match (&mut param.domain, new_low, new_high) {
+                (Domain::Float { low, high, .. }, Value::Float(l), Value::Float(h)) if l < h => {
+                    *low = l;
+                    *high = h;
+                }
+                (Domain::Int { low, high, .. }, Value::Int(l), Value::Int(h)) if l < h => {
+                    *low = l;
+                    *high = h;
+                }
+                (Domain::Quantized { low, high, .. }, Value::Float(l), Value::Float(h))
+                    if l < h =>
+                {
+                    *low = l;
+                    *high = h;
+                }
+                _ => {}
+            }
+            // Re-anchor the default inside the narrowed range.
+            param.default = param.from_unit(0.5);
+            if let Some((mean01, std01)) = hint.prior01 {
+                // The prior's coordinates are in the *original* axis; remap
+                // into the narrowed axis.
+                let remapped = ((mean01 - lo01) / (hi01 - lo01)).clamp(0.0, 1.0);
+                param = param.prior_normal(remapped, std01 / (hi01 - lo01));
+            }
+        }
+        _ => {}
+    }
+    param
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{DbmsSim, RedisSim, SimSystem};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn dbms_hints_narrow_buffer_pool_to_ram_share() {
+        let env = Environment::medium(); // 16 GB
+        let hints = dbms_manual_hints(&env);
+        let space = apply_hints(DbmsSim::new().space(), &hints);
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..100 {
+            let cfg = space.sample(&mut rng);
+            let bp = cfg.get_f64("buffer_pool_gb").expect("present");
+            assert!(
+                (0.45 * env.ram_gb..=0.85 * env.ram_gb).contains(&bp),
+                "buffer pool {bp} escaped the hinted 50-80% RAM band"
+            );
+        }
+    }
+
+    #[test]
+    fn hinted_space_keeps_conditions_and_constraints() {
+        let env = Environment::medium();
+        let space = apply_hints(DbmsSim::new().space(), &dbms_manual_hints(&env));
+        assert_eq!(space.conditions().len(), DbmsSim::new().space().conditions().len());
+        assert_eq!(space.constraints().len(), DbmsSim::new().space().constraints().len());
+        // Conditional structure still applies.
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..50 {
+            let c = space.sample(&mut rng);
+            assert!(space.validate_config(&c).is_ok());
+            assert!(space.is_feasible(&c));
+        }
+    }
+
+    #[test]
+    fn unhinted_knobs_untouched() {
+        let env = Environment::medium();
+        let orig = DbmsSim::new();
+        let space = apply_hints(orig.space(), &dbms_manual_hints(&env));
+        let orig_qc = orig.space().param("query_cache").expect("exists");
+        let new_qc = space.param("query_cache").expect("exists");
+        assert_eq!(orig_qc.domain, new_qc.domain);
+    }
+
+    #[test]
+    fn redis_hint_excludes_kernel_default_region() {
+        let hints = redis_manual_hints();
+        let space = apply_hints(RedisSim::new().space(), &hints);
+        let p = space.param("sched_migration_cost_ns").expect("exists");
+        // The hinted range caps well below the 1e6 upper bound.
+        match &p.domain {
+            autotune_space::Domain::Float { high, .. } => {
+                assert!(*high < 500_000.0, "hint should exclude the slow region: {high}")
+            }
+            other => panic!("unexpected domain {other:?}"),
+        }
+    }
+
+    #[test]
+    fn hints_sorted_by_importance_are_complete() {
+        let env = Environment::small();
+        let hints = dbms_manual_hints(&env);
+        let mut ranks: Vec<usize> = hints.iter().map(|h| h.importance_rank).collect();
+        ranks.sort_unstable();
+        assert_eq!(ranks, vec![1, 2, 3, 4, 5]);
+        assert!(hints.iter().all(|h| !h.rationale.is_empty()));
+    }
+}

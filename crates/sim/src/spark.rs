@@ -1,0 +1,240 @@
+//! Spark job simulator — the tutorial's "Spark Tuning Game" (slide 14:
+//! manually optimize TPC-H Q1 runtime in 100 tries).
+//!
+//! Models a scan-aggregate job (TPC-H Q1 shape) with the classic Spark
+//! knob interactions:
+//!
+//! * executor count: near-linear speedup, then coordination overhead;
+//! * executor memory: a *spill cliff* when partitions no longer fit;
+//! * shuffle partitions: a U-shaped sweet spot (few = skew + spill,
+//!   many = per-task overhead);
+//! * codec: compression trades CPU for shuffle bytes;
+//! * broadcast join threshold: helps only the join-bearing queries.
+
+use crate::{Environment, SimSystem, TrialResult, Workload};
+use autotune_space::{Config, Param, Space};
+use rand::RngCore;
+
+/// Simulated Spark cluster running a TPC-H-like query.
+#[derive(Debug)]
+pub struct SparkSim {
+    space: Space,
+}
+
+impl SparkSim {
+    /// Creates the simulator with the tuning game's knobs.
+    pub fn new() -> Self {
+        let space = Space::builder()
+            .add(Param::int("executor_count", 1, 32).default_value(2i64))
+            .add(
+                Param::float("executor_memory_gb", 1.0, 16.0)
+                    .log_scale()
+                    .default_value(2.0),
+            )
+            .add(
+                Param::int("shuffle_partitions", 8, 4096)
+                    .log_scale()
+                    .default_value(200i64),
+            )
+            .add(Param::categorical("compression_codec", &["none", "lz4", "zstd"]).default_value("lz4"))
+            .add(Param::bool("broadcast_join").default_value(false))
+            .build()
+            .expect("static space definition is valid");
+        SparkSim { space }
+    }
+}
+
+impl Default for SparkSim {
+    fn default() -> Self {
+        SparkSim::new()
+    }
+}
+
+impl SimSystem for SparkSim {
+    fn name(&self) -> &str {
+        "spark"
+    }
+
+    fn space(&self) -> &Space {
+        &self.space
+    }
+
+    fn run_trial(
+        &self,
+        config: &Config,
+        workload: &Workload,
+        env: &Environment,
+        rng: &mut dyn RngCore,
+    ) -> TrialResult {
+        let executors = config.get_i64("executor_count").unwrap_or(2).max(1) as f64;
+        let mem_gb = config.get_f64("executor_memory_gb").unwrap_or(2.0);
+        let partitions = config.get_i64("shuffle_partitions").unwrap_or(200).max(1) as f64;
+        let codec = config.get_str("compression_codec").unwrap_or("lz4");
+        let broadcast = config.get_bool("broadcast_join").unwrap_or(false);
+
+        // Cluster capacity limits how many executors actually run.
+        let max_executors = (env.ram_gb / mem_gb).floor().max(1.0);
+        if executors > max_executors * 4.0 {
+            // Wildly over-provisioned: the resource manager refuses.
+            return TrialResult::crash(3.0);
+        }
+        let running = executors.min(max_executors);
+
+        let data_gb = workload.effective_working_set_gb().max(0.1);
+
+        // --- scan + map phase ---
+        // Per-executor scan bandwidth shares the node's disk.
+        let scan_bw = env.disk_mbps / 1024.0; // GiB/s aggregate
+        let scan_s = data_gb / (scan_bw * (0.4 + 0.6 * (running / (running + 2.0)) * running).max(0.1));
+
+        // --- shuffle phase ---
+        let shuffle_gb = data_gb * 0.3;
+        let (codec_ratio, codec_cpu) = match codec {
+            "zstd" => (0.35, 1.5),
+            "lz4" => (0.55, 1.1),
+            _ => (1.0, 1.0),
+        };
+        let partition_gb = shuffle_gb / partitions;
+        // Spill cliff: a partition must fit in ~40% of executor memory.
+        let spill = if partition_gb > 0.4 * mem_gb {
+            3.0 + 4.0 * (partition_gb / (0.4 * mem_gb)).ln()
+        } else {
+            1.0
+        };
+        // Per-task scheduling overhead: 15 ms per task per wave.
+        let waves = (partitions / running).max(1.0);
+        let task_overhead_s = waves * 0.015;
+        let shuffle_s =
+            (shuffle_gb * codec_ratio / (0.2 * running)) * codec_cpu * spill + task_overhead_s;
+
+        // --- join/aggregate phase ---
+        let join_s = if broadcast && data_gb < 8.0 {
+            0.3 * data_gb / running
+        } else {
+            0.6 * data_gb / running
+        };
+
+        let runtime_s = (scan_s + shuffle_s + join_s).max(0.5) + 2.0; // +driver startup
+        let utilization = (running / max_executors).min(0.95);
+        // "Latency" for a batch job is runtime; throughput is GB/s processed.
+        crate::finish_trial(
+            runtime_s * 1000.0,
+            utilization,
+            data_gb / runtime_s,
+            runtime_s,
+            env.cost_per_hour * running,
+            workload,
+            env,
+            rng,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn runtime(sim: &SparkSim, cfg: &Config, sf: f64, seed: u64) -> f64 {
+        let env = Environment::large();
+        let w = Workload::tpch(sf);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let runs: Vec<f64> = (0..6)
+            .map(|_| {
+                let r = sim.run_trial(cfg, &w, &env, &mut rng);
+                assert!(!r.crashed);
+                r.elapsed_s
+            })
+            .collect();
+        autotune_linalg::stats::mean(&runs)
+    }
+
+    #[test]
+    fn more_executors_speed_up_until_saturation() {
+        let sim = SparkSim::new();
+        let t = |n: i64, seed| {
+            let cfg = sim.space().default_config().with("executor_count", n);
+            runtime(&sim, &cfg, 20.0, seed)
+        };
+        let two = t(2, 1);
+        let eight = t(8, 2);
+        assert!(eight < two * 0.7, "8 executors {eight} vs 2 executors {two}");
+    }
+
+    #[test]
+    fn shuffle_partitions_sweet_spot() {
+        let sim = SparkSim::new();
+        // Small executor memory so few partitions spill.
+        let base = sim
+            .space()
+            .default_config()
+            .with("executor_count", 8i64)
+            .with("executor_memory_gb", 1.0);
+        let t = |p: i64, seed| {
+            let cfg = base.clone().with("shuffle_partitions", p);
+            runtime(&sim, &cfg, 40.0, seed)
+        };
+        let too_few = t(8, 3);
+        let right = t(256, 4);
+        let too_many = t(4096, 5);
+        assert!(right < too_few, "256 partitions {right} vs 8 {too_few} (spill)");
+        assert!(
+            right < too_many,
+            "256 partitions {right} vs 4096 {too_many} (task overhead)"
+        );
+    }
+
+    #[test]
+    fn memory_spill_cliff() {
+        let sim = SparkSim::new();
+        let base = sim
+            .space()
+            .default_config()
+            .with("executor_count", 8i64)
+            .with("shuffle_partitions", 16i64);
+        let tight = runtime(&sim, &base.clone().with("executor_memory_gb", 1.0), 40.0, 6);
+        let roomy = runtime(&sim, &base.clone().with("executor_memory_gb", 8.0), 40.0, 7);
+        assert!(roomy < tight * 0.6, "8 GB {roomy} should clear the spill cliff vs 1 GB {tight}");
+    }
+
+    #[test]
+    fn compression_tradeoff_visible() {
+        let sim = SparkSim::new();
+        let base = sim.space().default_config().with("executor_count", 8i64);
+        let none = runtime(&sim, &base.clone().with("compression_codec", "none"), 40.0, 8);
+        let lz4 = runtime(&sim, &base.clone().with("compression_codec", "lz4"), 40.0, 9);
+        assert!(lz4 < none, "lz4 {lz4} should beat uncompressed {none} on shuffle-heavy data");
+    }
+
+    #[test]
+    fn broadcast_helps_small_inputs_only() {
+        let sim = SparkSim::new();
+        let base = sim.space().default_config().with("executor_count", 8i64);
+        let on = base.clone().with("broadcast_join", true);
+        let small_gain =
+            runtime(&sim, &base, 2.0, 10) - runtime(&sim, &on, 2.0, 11);
+        let large_gain =
+            runtime(&sim, &base, 40.0, 12) - runtime(&sim, &on, 40.0, 13);
+        assert!(small_gain > 0.0, "broadcast should help at SF-2");
+        assert!(
+            large_gain.abs() < small_gain.max(0.2) * 3.0,
+            "broadcast must not scale its benefit to huge inputs"
+        );
+    }
+
+    #[test]
+    fn absurd_overprovisioning_crashes() {
+        let sim = SparkSim::new();
+        let cfg = sim
+            .space()
+            .default_config()
+            .with("executor_count", 32i64)
+            .with("executor_memory_gb", 16.0);
+        // 32 executors x 16 GB on a 64 GB node = 8x over capacity.
+        let env = Environment::large();
+        let mut rng = StdRng::seed_from_u64(14);
+        let r = sim.run_trial(&cfg, &Workload::tpch(1.0), &env, &mut rng);
+        assert!(r.crashed);
+    }
+}

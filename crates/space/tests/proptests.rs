@@ -1,0 +1,143 @@
+//! Property-based tests for configuration-space invariants.
+
+use autotune_space::{Condition, Config, Constraint, Param, Space};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn mixed_space() -> Space {
+    Space::builder()
+        .add(Param::float("f_lin", -5.0, 5.0))
+        .add(Param::float("f_log", 0.001, 1000.0).log_scale())
+        .add(Param::int("i_lin", -10, 10))
+        .add(Param::int("i_log", 1, 4096).log_scale())
+        .add(Param::quantized("q", 0.0, 2.0, 0.5))
+        .add(Param::categorical("cat", &["a", "b", "c", "d"]))
+        .add(Param::bool("flag"))
+        .build()
+        .unwrap()
+}
+
+proptest! {
+    /// decode(encode(decode(x))) == decode(x): decoding is idempotent under
+    /// the round trip, even though raw x snaps to grids.
+    #[test]
+    fn decode_encode_decode_is_identity(x in proptest::collection::vec(0.0..=1.0f64, 7)) {
+        let space = mixed_space();
+        let cfg = space.decode_unit(&x).unwrap();
+        let x2 = space.encode_unit(&cfg).unwrap();
+        let cfg2 = space.decode_unit(&x2).unwrap();
+        prop_assert_eq!(cfg, cfg2);
+    }
+
+    /// Every decoded config validates against the space.
+    #[test]
+    fn decoded_configs_validate(x in proptest::collection::vec(0.0..=1.0f64, 7)) {
+        let space = mixed_space();
+        let cfg = space.decode_unit(&x).unwrap();
+        prop_assert!(space.validate_config(&cfg).is_ok());
+    }
+
+    /// Unit encodings always land in [0, 1].
+    #[test]
+    fn encodings_in_unit_cube(seed in 0u64..1000) {
+        let space = mixed_space();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let cfg = space.sample(&mut rng);
+        let x = space.encode_unit(&cfg).unwrap();
+        prop_assert!(x.iter().all(|&v| (0.0..=1.0).contains(&v)));
+        let oh = space.encode_onehot(&cfg).unwrap();
+        prop_assert_eq!(oh.len(), space.onehot_dim());
+        prop_assert!(oh.iter().all(|&v| (0.0..=1.0).contains(&v)));
+    }
+
+    /// One-hot groups contain exactly one 1 per categorical.
+    #[test]
+    fn onehot_groups_sum_to_one(seed in 0u64..1000) {
+        let space = mixed_space();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let cfg = space.sample(&mut rng);
+        let oh = space.encode_onehot(&cfg).unwrap();
+        // Layout: 5 scalars, then 4 categorical indicators, then bool.
+        let group = &oh[5..9];
+        let sum: f64 = group.iter().sum();
+        prop_assert!((sum - 1.0).abs() < 1e-12);
+        prop_assert!(group.iter().all(|&v| v == 0.0 || v == 1.0));
+    }
+
+    /// Sampled configs always validate and encode.
+    #[test]
+    fn samples_validate(seed in 0u64..1000) {
+        let space = mixed_space();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let cfg = space.sample(&mut rng);
+        prop_assert!(space.validate_config(&cfg).is_ok());
+    }
+
+    /// Samples from a constrained space are feasible.
+    #[test]
+    fn constrained_samples_feasible(seed in 0u64..500) {
+        let space = Space::builder()
+            .add(Param::float("a", 0.0, 10.0))
+            .add(Param::float("b", 0.0, 10.0))
+            .constraint(Constraint::linear_le(&[("a", 1.0), ("b", 1.0)], 12.0))
+            .build()
+            .unwrap();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let cfg = space.sample(&mut rng);
+        prop_assert!(space.is_feasible(&cfg));
+    }
+
+    /// Neighbors of valid configs are valid.
+    #[test]
+    fn neighbors_valid(seed in 0u64..500, scale in 0.01..0.5f64) {
+        let space = mixed_space();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let cfg = space.sample(&mut rng);
+        let n = space.neighbor(&cfg, scale, &mut rng);
+        prop_assert!(space.validate_config(&n).is_ok());
+    }
+
+    /// Conditional spaces: decode never leaves an orphaned child.
+    #[test]
+    fn conditional_decode_consistent(x in proptest::collection::vec(0.0..=1.0f64, 3)) {
+        let space = Space::builder()
+            .add(Param::bool("jit"))
+            .add(Param::float("jit_cost", 1.0, 100.0))
+            .add(Param::float("always", 0.0, 1.0))
+            .condition(Condition::equals("jit_cost", "jit", true))
+            .build()
+            .unwrap();
+        let cfg = space.decode_unit(&x).unwrap();
+        let jit = cfg.get_bool("jit").unwrap();
+        prop_assert_eq!(jit, cfg.get("jit_cost").is_some());
+        prop_assert!(cfg.get("always").is_some());
+    }
+
+    /// Config serde round-trips through JSON.
+    #[test]
+    fn config_serde_roundtrip(seed in 0u64..500) {
+        let space = mixed_space();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let cfg = space.sample(&mut rng);
+        let json = serde_json::to_string(&cfg).unwrap();
+        let back: Config = serde_json::from_str(&json).unwrap();
+        prop_assert_eq!(cfg, back);
+    }
+
+    /// Grid points are distinct and feasible.
+    #[test]
+    fn grid_points_distinct(per_dim in 1usize..4) {
+        let space = Space::builder()
+            .add(Param::float("x", 0.0, 1.0))
+            .add(Param::int("n", 1, 5))
+            .build()
+            .unwrap();
+        let grid = space.grid(per_dim);
+        let mut seen = std::collections::BTreeSet::new();
+        for c in &grid {
+            prop_assert!(space.validate_config(c).is_ok());
+            prop_assert!(seen.insert(c.render()), "duplicate grid point {}", c);
+        }
+    }
+}

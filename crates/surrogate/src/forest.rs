@@ -1,0 +1,410 @@
+//! SMAC-style random-forest surrogate (tutorial slide 50).
+//!
+//! Hutter et al.'s insight: an ensemble of randomized regression trees
+//! yields both a mean *and* a variance estimate (the spread of per-tree
+//! predictions plus within-leaf variance, by the law of total variance),
+//! which is all an acquisition function needs. Trees natively handle the
+//! axis-aligned, conditional, and categorical structure of real
+//! configuration spaces where GP distance metrics struggle (slide 51).
+
+use crate::{check_training_set, Prediction, Result, Surrogate};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Tuning parameters for [`RandomForest`].
+#[derive(Debug, Clone)]
+pub struct RandomForestConfig {
+    /// Number of trees in the ensemble.
+    pub n_trees: usize,
+    /// Maximum tree depth.
+    pub max_depth: usize,
+    /// Minimum samples per leaf.
+    pub min_samples_leaf: usize,
+    /// Fraction of features considered at each split (0, 1]; SMAC uses
+    /// ~5/6, classic random forests use sqrt(d)/d.
+    pub feature_fraction: f64,
+    /// Bootstrap-resample the training set per tree.
+    pub bootstrap: bool,
+    /// RNG seed for reproducible fits.
+    pub seed: u64,
+}
+
+impl Default for RandomForestConfig {
+    fn default() -> Self {
+        RandomForestConfig {
+            n_trees: 30,
+            max_depth: 16,
+            min_samples_leaf: 3,
+            feature_fraction: 5.0 / 6.0,
+            bootstrap: true,
+            seed: 0,
+        }
+    }
+}
+
+/// One node of a regression tree, arena-allocated.
+#[derive(Debug, Clone)]
+enum Node {
+    Leaf {
+        mean: f64,
+        variance: f64,
+    },
+    Split {
+        feature: usize,
+        threshold: f64,
+        /// Arena index of the `x[feature] <= threshold` child.
+        left: usize,
+        /// Arena index of the other child.
+        right: usize,
+    },
+}
+
+/// A single randomized regression tree.
+#[derive(Debug, Clone)]
+struct Tree {
+    nodes: Vec<Node>,
+}
+
+impl Tree {
+    fn fit(
+        xs: &[Vec<f64>],
+        ys: &[f64],
+        idx: &mut [usize],
+        config: &RandomForestConfig,
+        rng: &mut StdRng,
+    ) -> Tree {
+        let mut tree = Tree { nodes: Vec::new() };
+        let d = xs[0].len();
+        let n_features = ((d as f64 * config.feature_fraction).ceil() as usize).clamp(1, d);
+        tree.build(xs, ys, idx, 0, n_features, config, rng);
+        tree
+    }
+
+    /// Recursively builds the subtree over `idx`, returning its arena index.
+    #[allow(clippy::too_many_arguments)]
+    fn build(
+        &mut self,
+        xs: &[Vec<f64>],
+        ys: &[f64],
+        idx: &mut [usize],
+        depth: usize,
+        n_features: usize,
+        config: &RandomForestConfig,
+        rng: &mut StdRng,
+    ) -> usize {
+        let targets: Vec<f64> = idx.iter().map(|&i| ys[i]).collect();
+        let mean = autotune_linalg::stats::mean(&targets);
+        let variance = autotune_linalg::stats::variance(&targets);
+        let make_leaf = |nodes: &mut Vec<Node>| {
+            nodes.push(Node::Leaf { mean, variance });
+            nodes.len() - 1
+        };
+        if depth >= config.max_depth
+            || idx.len() < 2 * config.min_samples_leaf
+            || variance <= 1e-24
+        {
+            return make_leaf(&mut self.nodes);
+        }
+
+        // Random feature subset, best variance-reduction split within it.
+        let d = xs[0].len();
+        let mut features: Vec<usize> = (0..d).collect();
+        // Partial Fisher-Yates: the first n_features entries become the subset.
+        for i in 0..n_features.min(d) {
+            let j = rng.gen_range(i..d);
+            features.swap(i, j);
+        }
+        let mut best: Option<(usize, f64, f64)> = None; // (feature, threshold, score)
+        for &f in &features[..n_features.min(d)] {
+            // Sort indices by this feature and scan split points.
+            let mut order: Vec<usize> = idx.to_vec();
+            order.sort_by(|&a, &b| {
+                xs[a][f]
+                    .partial_cmp(&xs[b][f])
+                    .expect("training inputs are finite")
+            });
+            // Prefix sums for O(1) variance evaluation per split.
+            let n = order.len();
+            let values: Vec<f64> = order.iter().map(|&i| ys[i]).collect();
+            let mut prefix_sum = vec![0.0; n + 1];
+            let mut prefix_sq = vec![0.0; n + 1];
+            for (i, &v) in values.iter().enumerate() {
+                prefix_sum[i + 1] = prefix_sum[i] + v;
+                prefix_sq[i + 1] = prefix_sq[i] + v * v;
+            }
+            let total_sq_err = prefix_sq[n] - prefix_sum[n] * prefix_sum[n] / n as f64;
+            for split in config.min_samples_leaf..=(n - config.min_samples_leaf) {
+                let xa = xs[order[split - 1]][f];
+                let xb = xs[order[split]][f];
+                if xb - xa < 1e-12 {
+                    continue; // ties cannot be separated
+                }
+                let nl = split as f64;
+                let nr = (n - split) as f64;
+                let left_err = prefix_sq[split] - prefix_sum[split] * prefix_sum[split] / nl;
+                let rsum = prefix_sum[n] - prefix_sum[split];
+                let right_err = (prefix_sq[n] - prefix_sq[split]) - rsum * rsum / nr;
+                let reduction = total_sq_err - left_err - right_err;
+                if best.is_none_or(|(_, _, s)| reduction > s) {
+                    best = Some((f, 0.5 * (xa + xb), reduction));
+                }
+            }
+        }
+        let Some((feature, threshold, score)) = best else {
+            return make_leaf(&mut self.nodes);
+        };
+        if score <= 1e-24 {
+            return make_leaf(&mut self.nodes);
+        }
+        // Partition in place.
+        let split_at = partition(idx, |&i| xs[i][feature] <= threshold);
+        if split_at == 0 || split_at == idx.len() {
+            return make_leaf(&mut self.nodes);
+        }
+        let node_idx = self.nodes.len();
+        self.nodes.push(Node::Split {
+            feature,
+            threshold,
+            left: usize::MAX,
+            right: usize::MAX,
+        });
+        let (left_idx, right_idx) = idx.split_at_mut(split_at);
+        let left = self.build(xs, ys, left_idx, depth + 1, n_features, config, rng);
+        let right = self.build(xs, ys, right_idx, depth + 1, n_features, config, rng);
+        if let Node::Split { left: l, right: r, .. } = &mut self.nodes[node_idx] {
+            *l = left;
+            *r = right;
+        }
+        node_idx
+    }
+
+    /// Walks the tree to the leaf for `x`.
+    fn predict(&self, x: &[f64]) -> (f64, f64) {
+        // Root is node 0 when the tree is non-trivial; build() pushes the
+        // root first for splits and leaves alike.
+        let mut node = 0;
+        loop {
+            match &self.nodes[node] {
+                Node::Leaf { mean, variance } => return (*mean, *variance),
+                Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    node = if x[*feature] <= *threshold { *left } else { *right };
+                }
+            }
+        }
+    }
+}
+
+/// Stable partition: reorders `xs` so elements satisfying `pred` come
+/// first; returns the boundary.
+fn partition<T: Copy>(xs: &mut [T], pred: impl Fn(&T) -> bool) -> usize {
+    let mut out: Vec<T> = Vec::with_capacity(xs.len());
+    let mut rest: Vec<T> = Vec::new();
+    for &x in xs.iter() {
+        if pred(&x) {
+            out.push(x);
+        } else {
+            rest.push(x);
+        }
+    }
+    let boundary = out.len();
+    out.extend(rest);
+    xs.copy_from_slice(&out);
+    boundary
+}
+
+/// Random-forest regressor with SMAC-style uncertainty estimates.
+#[derive(Debug, Clone)]
+pub struct RandomForest {
+    config: RandomForestConfig,
+    trees: Vec<Tree>,
+    n_train: usize,
+}
+
+impl RandomForest {
+    /// Creates an unfitted forest.
+    pub fn new(config: RandomForestConfig) -> Self {
+        RandomForest {
+            config,
+            trees: Vec::new(),
+            n_train: 0,
+        }
+    }
+
+    /// Creates a forest with default settings.
+    pub fn default_forest() -> Self {
+        RandomForest::new(RandomForestConfig::default())
+    }
+
+    /// Per-tree predictions at `x` (useful for Thompson-style sampling:
+    /// pick one tree's opinion at random).
+    pub fn tree_predictions(&self, x: &[f64]) -> Vec<f64> {
+        self.trees.iter().map(|t| t.predict(x).0).collect()
+    }
+}
+
+impl Surrogate for RandomForest {
+    fn fit(&mut self, xs: &[Vec<f64>], ys: &[f64]) -> Result<()> {
+        check_training_set(xs, ys)?;
+        let n = xs.len();
+        let mut rng = StdRng::seed_from_u64(self.config.seed);
+        self.trees = (0..self.config.n_trees)
+            .map(|_| {
+                let mut idx: Vec<usize> = if self.config.bootstrap && n > 1 {
+                    (0..n).map(|_| rng.gen_range(0..n)).collect()
+                } else {
+                    (0..n).collect()
+                };
+                Tree::fit(xs, ys, &mut idx, &self.config, &mut rng)
+            })
+            .collect();
+        self.n_train = n;
+        Ok(())
+    }
+
+    fn predict(&self, x: &[f64]) -> Prediction {
+        if self.trees.is_empty() {
+            return Prediction {
+                mean: 0.0,
+                variance: 1.0,
+            };
+        }
+        // Law of total variance across trees:
+        //   Var = Var_trees(mean_t) + Mean_trees(var_t)
+        let preds: Vec<(f64, f64)> = self.trees.iter().map(|t| t.predict(x)).collect();
+        let means: Vec<f64> = preds.iter().map(|p| p.0).collect();
+        let mean = autotune_linalg::stats::mean(&means);
+        let between = autotune_linalg::stats::variance(&means);
+        let within = autotune_linalg::stats::mean(
+            &preds.iter().map(|p| p.1).collect::<Vec<_>>(),
+        );
+        Prediction {
+            mean,
+            variance: (between + within).max(0.0),
+        }
+    }
+
+    fn n_train(&self) -> usize {
+        self.n_train
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn step_data() -> (Vec<Vec<f64>>, Vec<f64>) {
+        // A step function: y = 1 for x < 0.5, y = 5 otherwise. Trees should
+        // nail this; a smooth GP would ring.
+        let xs: Vec<Vec<f64>> = (0..40).map(|i| vec![i as f64 / 39.0]).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| if x[0] < 0.5 { 1.0 } else { 5.0 }).collect();
+        (xs, ys)
+    }
+
+    #[test]
+    fn learns_step_function() {
+        let (xs, ys) = step_data();
+        let mut rf = RandomForest::default_forest();
+        rf.fit(&xs, &ys).unwrap();
+        assert!((rf.predict(&[0.2]).mean - 1.0).abs() < 0.3);
+        assert!((rf.predict(&[0.8]).mean - 5.0).abs() < 0.3);
+    }
+
+    #[test]
+    fn variance_rises_at_the_boundary() {
+        let (xs, ys) = step_data();
+        let mut rf = RandomForest::default_forest();
+        rf.fit(&xs, &ys).unwrap();
+        let at_edge = rf.predict(&[0.5]).variance;
+        let in_bulk = rf.predict(&[0.1]).variance;
+        assert!(
+            at_edge > in_bulk,
+            "edge variance {at_edge} should exceed bulk variance {in_bulk}"
+        );
+    }
+
+    #[test]
+    fn two_dimensional_interaction() {
+        // y = 10 only when both features are high: requires two splits.
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        for i in 0..10 {
+            for j in 0..10 {
+                let a = i as f64 / 9.0;
+                let b = j as f64 / 9.0;
+                xs.push(vec![a, b]);
+                ys.push(if a > 0.6 && b > 0.6 { 10.0 } else { 0.0 });
+            }
+        }
+        let mut rf = RandomForest::new(RandomForestConfig {
+            n_trees: 50,
+            ..Default::default()
+        });
+        rf.fit(&xs, &ys).unwrap();
+        assert!(rf.predict(&[0.9, 0.9]).mean > 7.0);
+        assert!(rf.predict(&[0.9, 0.1]).mean < 3.0);
+        assert!(rf.predict(&[0.1, 0.9]).mean < 3.0);
+    }
+
+    #[test]
+    fn deterministic_under_fixed_seed() {
+        let (xs, ys) = step_data();
+        let mut a = RandomForest::default_forest();
+        let mut b = RandomForest::default_forest();
+        a.fit(&xs, &ys).unwrap();
+        b.fit(&xs, &ys).unwrap();
+        for x in [[0.3], [0.5], [0.7]] {
+            assert_eq!(a.predict(&x), b.predict(&x));
+        }
+    }
+
+    #[test]
+    fn unfitted_forest_is_uninformative() {
+        let rf = RandomForest::default_forest();
+        let p = rf.predict(&[0.5]);
+        assert_eq!(p.mean, 0.0);
+        assert_eq!(p.variance, 1.0);
+        assert_eq!(rf.n_train(), 0);
+    }
+
+    #[test]
+    fn constant_targets_produce_zero_variance_leaf() {
+        let xs: Vec<Vec<f64>> = (0..10).map(|i| vec![i as f64]).collect();
+        let ys = vec![3.0; 10];
+        let mut rf = RandomForest::default_forest();
+        rf.fit(&xs, &ys).unwrap();
+        let p = rf.predict(&[4.5]);
+        assert!((p.mean - 3.0).abs() < 1e-9);
+        assert!(p.variance < 1e-9);
+    }
+
+    #[test]
+    fn tree_predictions_expose_ensemble_spread() {
+        let (xs, ys) = step_data();
+        let mut rf = RandomForest::default_forest();
+        rf.fit(&xs, &ys).unwrap();
+        let preds = rf.tree_predictions(&[0.5]);
+        assert_eq!(preds.len(), rf.config.n_trees);
+        // Boundary point: trees should disagree.
+        let spread = autotune_linalg::stats::std_dev(&preds);
+        assert!(spread > 0.0);
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        let mut rf = RandomForest::default_forest();
+        assert!(rf.fit(&[], &[]).is_err());
+        assert!(rf.fit(&[vec![1.0]], &[1.0, 2.0]).is_err());
+    }
+
+    #[test]
+    fn single_sample_fits_as_leaf() {
+        let mut rf = RandomForest::default_forest();
+        rf.fit(&[vec![0.5]], &[2.0]).unwrap();
+        assert!((rf.predict(&[0.9]).mean - 2.0).abs() < 1e-12);
+    }
+}

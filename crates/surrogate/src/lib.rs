@@ -1,0 +1,144 @@
+//! Surrogate models for sample-efficient black-box optimization.
+//!
+//! Sequential model-based optimization replaces the expensive target
+//! function with a cheap statistical model fitted to the trials observed so
+//! far (tutorial slides 32-44). This crate provides the two model families
+//! the tutorial covers:
+//!
+//! * [`GaussianProcess`] — the classic Bayesian-optimization surrogate:
+//!   closed-form posterior mean and variance under a positive-definite
+//!   [`Kernel`] (RBF, Matérn ½/3⁄2/5⁄2, periodic, linear, plus sum/product
+//!   composition), with marginal-likelihood-based hyperparameter fitting.
+//! * [`RandomForest`] — the SMAC-style alternative: an ensemble of
+//!   randomized regression trees whose spread estimates predictive
+//!   variance. Handles conditional/categorical spaces gracefully where a
+//!   GP's distance metric struggles.
+//!
+//! Both implement the common [`Surrogate`] trait that the optimizer crate
+//! programs against.
+//!
+//! # Example
+//!
+//! ```
+//! use autotune_surrogate::{GaussianProcess, Matern52, Surrogate};
+//!
+//! let xs: Vec<Vec<f64>> = (0..8).map(|i| vec![i as f64 / 7.0]).collect();
+//! let ys: Vec<f64> = xs.iter().map(|x| (6.0 * x[0]).sin()).collect();
+//! let mut gp = GaussianProcess::new(Box::new(Matern52::isotropic(0.3, 1.0)), 1e-6);
+//! gp.fit(&xs, &ys).unwrap();
+//! let p = gp.predict(&[0.5]);
+//! assert!((p.mean - (3.0f64).sin()).abs() < 0.2);
+//! ```
+
+mod forest;
+mod gp;
+mod kernel;
+mod multitask;
+
+pub use forest::{RandomForest, RandomForestConfig};
+pub use gp::{GaussianProcess, HyperFitConfig};
+pub use kernel::{
+    ConstantKernel, Kernel, LinearKernel, Matern12, Matern32, Matern52, PeriodicKernel,
+    ProductKernel, Rbf, SumKernel,
+};
+pub use multitask::{MultiTaskGp, TaskObservation};
+
+/// A predictive distribution at a query point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Prediction {
+    /// Posterior mean.
+    pub mean: f64,
+    /// Posterior variance (>= 0).
+    pub variance: f64,
+}
+
+impl Prediction {
+    /// Posterior standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance.max(0.0).sqrt()
+    }
+}
+
+/// Errors produced by surrogate-model fitting.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SurrogateError {
+    /// No training data was supplied.
+    EmptyTrainingSet,
+    /// Rows of the design matrix have inconsistent dimensionality, or the
+    /// target vector length does not match.
+    DimensionMismatch {
+        /// Description of the mismatch.
+        context: String,
+    },
+    /// Training targets contain NaN or infinity.
+    NonFiniteTarget,
+    /// The kernel matrix could not be factorized.
+    NumericalFailure,
+}
+
+impl std::fmt::Display for SurrogateError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SurrogateError::EmptyTrainingSet => write!(f, "empty training set"),
+            SurrogateError::DimensionMismatch { context } => {
+                write!(f, "dimension mismatch: {context}")
+            }
+            SurrogateError::NonFiniteTarget => write!(f, "training targets must be finite"),
+            SurrogateError::NumericalFailure => write!(f, "numerical failure during fit"),
+        }
+    }
+}
+
+impl std::error::Error for SurrogateError {}
+
+/// Convenience alias for results from this crate.
+pub type Result<T> = std::result::Result<T, SurrogateError>;
+
+/// Common interface for surrogate models over `R^d -> R`.
+///
+/// Inputs are points in the optimizer's encoded space (unit cube or one-hot
+/// layout — the surrogate does not care which).
+pub trait Surrogate: Send + Sync {
+    /// Fits the model to `(xs, ys)` pairs, replacing any previous fit.
+    fn fit(&mut self, xs: &[Vec<f64>], ys: &[f64]) -> Result<()>;
+
+    /// Predictive mean and variance at `x`.
+    fn predict(&self, x: &[f64]) -> Prediction;
+
+    /// Number of training points in the current fit (0 before fitting).
+    fn n_train(&self) -> usize;
+}
+
+/// Validates a design matrix / target pair, returning the input dimension.
+pub(crate) fn check_training_set(xs: &[Vec<f64>], ys: &[f64]) -> Result<usize> {
+    if xs.is_empty() {
+        return Err(SurrogateError::EmptyTrainingSet);
+    }
+    if xs.len() != ys.len() {
+        return Err(SurrogateError::DimensionMismatch {
+            context: format!("{} inputs but {} targets", xs.len(), ys.len()),
+        });
+    }
+    let d = xs[0].len();
+    if d == 0 {
+        return Err(SurrogateError::DimensionMismatch {
+            context: "zero-dimensional inputs".into(),
+        });
+    }
+    for (i, x) in xs.iter().enumerate() {
+        if x.len() != d {
+            return Err(SurrogateError::DimensionMismatch {
+                context: format!("row {i} has dimension {} (expected {d})", x.len()),
+            });
+        }
+        if x.iter().any(|v| !v.is_finite()) {
+            return Err(SurrogateError::DimensionMismatch {
+                context: format!("row {i} contains non-finite values"),
+            });
+        }
+    }
+    if ys.iter().any(|y| !y.is_finite()) {
+        return Err(SurrogateError::NonFiniteTarget);
+    }
+    Ok(d)
+}

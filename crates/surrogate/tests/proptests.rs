@@ -1,0 +1,106 @@
+//! Property-based tests for surrogate-model invariants.
+
+use autotune_surrogate::{
+    GaussianProcess, Kernel, Matern12, Matern32, Matern52, RandomForest, Rbf, Surrogate,
+};
+use proptest::prelude::*;
+
+fn points_strategy(n: usize, d: usize) -> impl Strategy<Value = Vec<Vec<f64>>> {
+    proptest::collection::vec(proptest::collection::vec(0.0..1.0f64, d), n)
+}
+
+proptest! {
+    /// Kernel matrices are symmetric with the signal variance on the
+    /// diagonal — for every stationary kernel.
+    #[test]
+    fn kernels_symmetric_with_unit_diag(
+        xs in points_strategy(6, 2),
+        l in 0.05..5.0f64,
+        s in 0.1..3.0f64,
+    ) {
+        let kernels: Vec<Box<dyn Kernel>> = vec![
+            Box::new(Rbf::isotropic(l, s)),
+            Box::new(Matern12::isotropic(l, s)),
+            Box::new(Matern32::isotropic(l, s)),
+            Box::new(Matern52::isotropic(l, s)),
+        ];
+        for k in &kernels {
+            for a in &xs {
+                prop_assert!((k.eval(a, a) - s * s).abs() < 1e-9);
+                for b in &xs {
+                    prop_assert!((k.eval(a, b) - k.eval(b, a)).abs() < 1e-12);
+                    // PD kernels satisfy |k(a,b)| <= sqrt(k(a,a) k(b,b)).
+                    prop_assert!(k.eval(a, b) <= s * s + 1e-9);
+                }
+            }
+        }
+    }
+
+    /// Stationary kernels decay monotonically with distance.
+    #[test]
+    fn kernel_monotone_decay(d1 in 0.0..2.0f64, d2 in 0.0..2.0f64) {
+        let k = Matern52::isotropic(0.5, 1.0);
+        let (near, far) = if d1 <= d2 { (d1, d2) } else { (d2, d1) };
+        prop_assert!(k.eval(&[0.0], &[near]) >= k.eval(&[0.0], &[far]) - 1e-12);
+    }
+
+    /// GP predictions at training points match targets (small noise), and
+    /// predictive variance is non-negative everywhere.
+    #[test]
+    fn gp_interpolation_and_nonneg_variance(
+        xs in points_strategy(8, 1),
+        seed_vals in proptest::collection::vec(-5.0..5.0f64, 8),
+    ) {
+        // Deduplicate inputs (identical points with different targets are
+        // legitimately non-interpolable).
+        let mut seen: Vec<Vec<f64>> = Vec::new();
+        let mut uxs = Vec::new();
+        let mut uys = Vec::new();
+        for (x, &y) in xs.iter().zip(&seed_vals) {
+            if !seen.iter().any(|s| autotune_linalg::squared_distance(s, x) < 1e-4) {
+                seen.push(x.clone());
+                uxs.push(x.clone());
+                uys.push(y);
+            }
+        }
+        prop_assume!(uxs.len() >= 3);
+        let mut gp = GaussianProcess::new(Box::new(Matern52::isotropic(0.3, 1.0)), 1e-8);
+        gp.fit(&uxs, &uys).unwrap();
+        for (x, &y) in uxs.iter().zip(&uys) {
+            let p = gp.predict(x);
+            prop_assert!(p.variance >= 0.0);
+            prop_assert!((p.mean - y).abs() < 0.15 * (y.abs() + 1.0),
+                "mean {} vs target {y}", p.mean);
+        }
+        // Off-data variance also non-negative.
+        let p = gp.predict(&[0.5]);
+        prop_assert!(p.variance >= 0.0);
+    }
+
+    /// Random forest predictions stay within the convex hull of targets.
+    #[test]
+    fn rf_predictions_bounded_by_targets(
+        xs in points_strategy(20, 2),
+        ys in proptest::collection::vec(-10.0..10.0f64, 20),
+        q in proptest::collection::vec(0.0..1.0f64, 2),
+    ) {
+        let mut rf = RandomForest::default_forest();
+        rf.fit(&xs, &ys).unwrap();
+        let lo = ys.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = ys.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let p = rf.predict(&q);
+        prop_assert!(p.mean >= lo - 1e-9 && p.mean <= hi + 1e-9);
+        prop_assert!(p.variance >= 0.0);
+    }
+
+    /// Kernel params round-trip through set_params.
+    #[test]
+    fn kernel_params_roundtrip(l in 0.05..5.0f64, s in 0.1..3.0f64) {
+        let mut k = Rbf::ard(vec![l, l * 2.0], s);
+        let p = k.params();
+        let before = k.eval(&[0.1, 0.2], &[0.8, 0.4]);
+        k.set_params(&p);
+        let after = k.eval(&[0.1, 0.2], &[0.8, 0.4]);
+        prop_assert!((before - after).abs() < 1e-12);
+    }
+}

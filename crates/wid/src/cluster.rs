@@ -1,0 +1,258 @@
+//! K-means clustering of workload embeddings.
+//!
+//! Groups workloads into families so one tuned configuration can serve a
+//! whole cluster (slide 88: "optimize one system, reuse on similar ones").
+//! K-means++ seeding plus Lloyd iterations; deterministic under a seed.
+
+use crate::{Result, WidError};
+use rand::{Rng, SeedableRng};
+
+/// A fitted k-means model.
+#[derive(Debug, Clone)]
+pub struct KMeans {
+    centroids: Vec<Vec<f64>>,
+    /// Training-set assignments (cluster index per input row).
+    assignments: Vec<usize>,
+    /// Sum of squared distances to assigned centroids.
+    inertia: f64,
+}
+
+impl KMeans {
+    /// Fits `k` clusters to `points` (rows), deterministically per seed.
+    pub fn fit(points: &[Vec<f64>], k: usize, seed: u64) -> Result<Self> {
+        if points.len() < k || k == 0 {
+            return Err(WidError::NotEnoughData {
+                what: "k-means",
+                needed: k.max(1),
+                got: points.len(),
+            });
+        }
+        let d = points[0].len();
+        for p in points {
+            if p.len() != d {
+                return Err(WidError::DimensionMismatch {
+                    expected: d,
+                    actual: p.len(),
+                });
+            }
+        }
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut centroids = kmeanspp_init(points, k, &mut rng);
+        let mut assignments = vec![0usize; points.len()];
+        let mut inertia = f64::INFINITY;
+        for _iter in 0..100 {
+            // Assign.
+            let mut changed = false;
+            let mut new_inertia = 0.0;
+            for (i, p) in points.iter().enumerate() {
+                let (best, dist) = nearest(&centroids, p);
+                new_inertia += dist;
+                if assignments[i] != best {
+                    assignments[i] = best;
+                    changed = true;
+                }
+            }
+            inertia = new_inertia;
+            if !changed {
+                break;
+            }
+            // Update.
+            let mut sums = vec![vec![0.0; d]; k];
+            let mut counts = vec![0usize; k];
+            for (p, &a) in points.iter().zip(&assignments) {
+                autotune_linalg::axpy(1.0, p, &mut sums[a]);
+                counts[a] += 1;
+            }
+            // Re-seed empty clusters at the point farthest from any
+            // current centroid (computed before mutation to keep the
+            // borrow checker and the semantics honest).
+            let far = points
+                .iter()
+                .max_by(|a, b| {
+                    let da = nearest(&centroids, a).1;
+                    let db = nearest(&centroids, b).1;
+                    da.partial_cmp(&db).expect("distances are finite")
+                })
+                .expect("points non-empty")
+                .clone();
+            for (c, (sum, &count)) in centroids.iter_mut().zip(sums.iter().zip(&counts)) {
+                if count > 0 {
+                    *c = sum.iter().map(|s| s / count as f64).collect();
+                } else {
+                    *c = far.clone();
+                }
+            }
+        }
+        Ok(KMeans {
+            centroids,
+            assignments,
+            inertia,
+        })
+    }
+
+    /// Cluster centroids.
+    pub fn centroids(&self) -> &[Vec<f64>] {
+        &self.centroids
+    }
+
+    /// Training-set assignments.
+    pub fn assignments(&self) -> &[usize] {
+        &self.assignments
+    }
+
+    /// Final inertia (sum of squared distances).
+    pub fn inertia(&self) -> f64 {
+        self.inertia
+    }
+
+    /// Predicts the cluster of a new point.
+    pub fn predict(&self, point: &[f64]) -> usize {
+        nearest(&self.centroids, point).0
+    }
+}
+
+/// Returns `(index, squared_distance)` of the nearest centroid.
+fn nearest(centroids: &[Vec<f64>], p: &[f64]) -> (usize, f64) {
+    let mut best = 0;
+    let mut best_d = f64::INFINITY;
+    for (i, c) in centroids.iter().enumerate() {
+        let d = autotune_linalg::squared_distance(c, p);
+        if d < best_d {
+            best_d = d;
+            best = i;
+        }
+    }
+    (best, best_d)
+}
+
+/// K-means++ seeding: spread the initial centroids proportionally to
+/// squared distance from those already chosen.
+fn kmeanspp_init(points: &[Vec<f64>], k: usize, rng: &mut impl Rng) -> Vec<Vec<f64>> {
+    let mut centroids = Vec::with_capacity(k);
+    centroids.push(points[rng.gen_range(0..points.len())].clone());
+    while centroids.len() < k {
+        let dists: Vec<f64> = points
+            .iter()
+            .map(|p| nearest(&centroids, p).1)
+            .collect();
+        let total: f64 = dists.iter().sum();
+        if total <= 0.0 {
+            // All points coincide with existing centroids: duplicate one.
+            centroids.push(points[rng.gen_range(0..points.len())].clone());
+            continue;
+        }
+        let mut target = rng.gen::<f64>() * total;
+        let mut chosen = points.len() - 1;
+        for (i, &d) in dists.iter().enumerate() {
+            target -= d;
+            if target <= 0.0 {
+                chosen = i;
+                break;
+            }
+        }
+        centroids.push(points[chosen].clone());
+    }
+    centroids
+}
+
+/// Clustering purity against known labels: the fraction of points whose
+/// cluster's majority label matches their own. 1.0 = perfect.
+pub fn purity(assignments: &[usize], labels: &[usize]) -> f64 {
+    assert_eq!(assignments.len(), labels.len(), "purity: length mismatch");
+    if assignments.is_empty() {
+        return 1.0;
+    }
+    let k = assignments.iter().max().map_or(0, |&m| m + 1);
+    let l = labels.iter().max().map_or(0, |&m| m + 1);
+    let mut counts = vec![vec![0usize; l]; k];
+    for (&a, &lab) in assignments.iter().zip(labels) {
+        counts[a][lab] += 1;
+    }
+    let majority_sum: usize = counts
+        .iter()
+        .map(|row| row.iter().max().copied().unwrap_or(0))
+        .sum();
+    majority_sum as f64 / assignments.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+
+    fn blobs(centers: &[Vec<f64>], per: usize, spread: f64, seed: u64) -> (Vec<Vec<f64>>, Vec<usize>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut pts = Vec::new();
+        let mut labels = Vec::new();
+        for (li, c) in centers.iter().enumerate() {
+            for _ in 0..per {
+                let p: Vec<f64> = c
+                    .iter()
+                    .map(|&x| x + spread * (rng.gen::<f64>() - 0.5))
+                    .collect();
+                pts.push(p);
+                labels.push(li);
+            }
+        }
+        (pts, labels)
+    }
+
+    #[test]
+    fn recovers_well_separated_blobs() {
+        let centers = vec![vec![0.0, 0.0], vec![10.0, 0.0], vec![0.0, 10.0]];
+        let (pts, labels) = blobs(&centers, 30, 1.0, 1);
+        let km = KMeans::fit(&pts, 3, 42).unwrap();
+        assert!(purity(km.assignments(), &labels) > 0.95);
+    }
+
+    #[test]
+    fn predict_matches_training_assignment() {
+        let centers = vec![vec![0.0], vec![100.0]];
+        let (pts, _) = blobs(&centers, 10, 1.0, 2);
+        let km = KMeans::fit(&pts, 2, 3).unwrap();
+        for (p, &a) in pts.iter().zip(km.assignments()) {
+            assert_eq!(km.predict(p), a);
+        }
+    }
+
+    #[test]
+    fn inertia_decreases_with_more_clusters() {
+        let centers = vec![vec![0.0, 0.0], vec![5.0, 5.0], vec![10.0, 0.0]];
+        let (pts, _) = blobs(&centers, 20, 2.0, 4);
+        let i1 = KMeans::fit(&pts, 1, 5).unwrap().inertia();
+        let i3 = KMeans::fit(&pts, 3, 5).unwrap().inertia();
+        assert!(i3 < i1 * 0.5, "inertia k=3 {i3} vs k=1 {i1}");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let (pts, _) = blobs(&[vec![0.0], vec![8.0]], 15, 1.0, 6);
+        let a = KMeans::fit(&pts, 2, 7).unwrap();
+        let b = KMeans::fit(&pts, 2, 7).unwrap();
+        assert_eq!(a.assignments(), b.assignments());
+    }
+
+    #[test]
+    fn too_few_points_rejected() {
+        let pts = vec![vec![1.0]];
+        assert!(matches!(
+            KMeans::fit(&pts, 2, 0),
+            Err(WidError::NotEnoughData { .. })
+        ));
+    }
+
+    #[test]
+    fn purity_extremes() {
+        assert_eq!(purity(&[0, 0, 1, 1], &[0, 0, 1, 1]), 1.0);
+        assert_eq!(purity(&[0, 1, 0, 1], &[0, 0, 1, 1]), 0.5);
+        assert_eq!(purity(&[], &[]), 1.0);
+    }
+
+    #[test]
+    fn duplicate_points_handled() {
+        let pts = vec![vec![1.0, 1.0]; 10];
+        let km = KMeans::fit(&pts, 2, 8).unwrap();
+        assert_eq!(km.assignments().len(), 10);
+        assert!(km.inertia() < 1e-12);
+    }
+}

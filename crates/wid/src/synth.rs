@@ -1,0 +1,211 @@
+//! Synthetic benchmark generation (tutorial slide 92; Stitcher, EDBT 2019).
+//!
+//! Given production telemetry (a target fingerprint) and a dictionary of
+//! base benchmarks with known fingerprints, find non-negative mixture
+//! weights summing to one whose blended fingerprint best matches the
+//! target. The system can then be tuned offline against that synthetic
+//! mixture and the resulting configuration deployed to production — all
+//! without ever replaying (or seeing) customer queries.
+//!
+//! Solved as simplex-constrained least squares by projected gradient
+//! descent — small (a handful of base benchmarks), so robustness beats
+//! sophistication.
+
+use crate::{Fingerprint, Result, WidError};
+
+/// Finds mixture weights over `basis` fingerprints approximating `target`.
+///
+/// Returns `(weights, residual_norm)`; weights are non-negative and sum
+/// to 1.
+pub fn synthesize_mixture(basis: &[Fingerprint], target: &Fingerprint) -> Result<(Vec<f64>, f64)> {
+    if basis.is_empty() {
+        return Err(WidError::NotEnoughData {
+            what: "mixture basis",
+            needed: 1,
+            got: 0,
+        });
+    }
+    let d = target.dim();
+    for b in basis {
+        if b.dim() != d {
+            return Err(WidError::DimensionMismatch {
+                expected: d,
+                actual: b.dim(),
+            });
+        }
+    }
+    let k = basis.len();
+    // Normalize feature scales so large-magnitude channels (ops/s) do not
+    // drown the utilization channels.
+    let scale: Vec<f64> = (0..d)
+        .map(|j| {
+            let mut m = target.features()[j].abs();
+            for b in basis {
+                m = m.max(b.features()[j].abs());
+            }
+            m.max(1e-9)
+        })
+        .collect();
+    let scaled = |f: &Fingerprint| -> Vec<f64> {
+        f.features()
+            .iter()
+            .zip(&scale)
+            .map(|(&x, &s)| x / s)
+            .collect()
+    };
+    let b_scaled: Vec<Vec<f64>> = basis.iter().map(scaled).collect();
+    let t_scaled = scaled(target);
+
+    let mut w = vec![1.0 / k as f64; k];
+    let mut best_w = w.clone();
+    let mut best_res = residual(&b_scaled, &t_scaled, &w);
+    // Projected gradient descent with a fixed step and simplex projection.
+    let step = 0.5 / k as f64;
+    for _ in 0..2000 {
+        // Gradient of ||B^T w - t||^2 wrt w: 2 B (B^T w - t).
+        let blend = blend(&b_scaled, &w);
+        let err: Vec<f64> = blend.iter().zip(&t_scaled).map(|(&a, &b)| a - b).collect();
+        for (wi, bi) in w.iter_mut().zip(&b_scaled) {
+            *wi -= step * 2.0 * autotune_linalg::dot(bi, &err);
+        }
+        project_to_simplex(&mut w);
+        let res = residual(&b_scaled, &t_scaled, &w);
+        if res < best_res {
+            best_res = res;
+            best_w = w.clone();
+        }
+    }
+    Ok((best_w, best_res))
+}
+
+/// Weighted blend of basis vectors.
+fn blend(basis: &[Vec<f64>], w: &[f64]) -> Vec<f64> {
+    let d = basis[0].len();
+    let mut out = vec![0.0; d];
+    for (b, &wi) in basis.iter().zip(w) {
+        autotune_linalg::axpy(wi, b, &mut out);
+    }
+    out
+}
+
+fn residual(basis: &[Vec<f64>], target: &[f64], w: &[f64]) -> f64 {
+    let b = blend(basis, w);
+    autotune_linalg::squared_distance(&b, target).sqrt()
+}
+
+/// Euclidean projection onto the probability simplex
+/// (Duchi et al. 2008).
+fn project_to_simplex(w: &mut [f64]) {
+    let n = w.len();
+    let mut sorted = w.to_vec();
+    sorted.sort_by(|a, b| b.partial_cmp(a).expect("weights are finite"));
+    let mut cum = 0.0;
+    let mut theta = 0.0;
+    let mut found = false;
+    for (i, &v) in sorted.iter().enumerate() {
+        cum += v;
+        let candidate = (cum - 1.0) / (i + 1) as f64;
+        if v - candidate > 0.0 {
+            theta = candidate;
+        } else {
+            found = true;
+            break;
+        }
+    }
+    if !found {
+        theta = (cum - 1.0) / n as f64;
+    }
+    for x in w.iter_mut() {
+        *x = (*x - theta).max(0.0);
+    }
+    // Guard against accumulated round-off.
+    let sum: f64 = w.iter().sum();
+    if sum > 0.0 {
+        for x in w.iter_mut() {
+            *x /= sum;
+        }
+    } else {
+        let uniform = 1.0 / n as f64;
+        w.iter_mut().for_each(|x| *x = uniform);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fp(v: &[f64]) -> Fingerprint {
+        Fingerprint::from_features(v.to_vec())
+    }
+
+    #[test]
+    fn recovers_exact_member() {
+        let basis = vec![fp(&[1.0, 0.0, 0.0]), fp(&[0.0, 1.0, 0.0]), fp(&[0.0, 0.0, 1.0])];
+        let (w, res) = synthesize_mixture(&basis, &fp(&[0.0, 1.0, 0.0])).unwrap();
+        assert!(res < 1e-3, "residual {res}");
+        assert!(w[1] > 0.95, "weights {w:?}");
+    }
+
+    #[test]
+    fn recovers_known_mixture() {
+        let basis = vec![fp(&[1.0, 0.0]), fp(&[0.0, 1.0])];
+        let target = fp(&[0.3, 0.7]);
+        let (w, res) = synthesize_mixture(&basis, &target).unwrap();
+        assert!(res < 1e-3, "residual {res}");
+        assert!((w[0] - 0.3).abs() < 0.02, "weights {w:?}");
+        assert!((w[1] - 0.7).abs() < 0.02, "weights {w:?}");
+    }
+
+    #[test]
+    fn weights_form_a_distribution() {
+        let basis = vec![fp(&[3.0, 1.0]), fp(&[1.0, 3.0]), fp(&[2.0, 2.0])];
+        let (w, _) = synthesize_mixture(&basis, &fp(&[10.0, -5.0])).unwrap();
+        assert!((w.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        assert!(w.iter().all(|&x| x >= 0.0));
+    }
+
+    #[test]
+    fn unreachable_target_reports_residual() {
+        // Target outside the simplex hull: nonzero residual.
+        let basis = vec![fp(&[1.0, 0.0]), fp(&[0.0, 1.0])];
+        let (_, res) = synthesize_mixture(&basis, &fp(&[2.0, 2.0])).unwrap();
+        assert!(res > 0.1, "impossible target should leave residual, got {res}");
+    }
+
+    #[test]
+    fn scale_invariance_across_channels() {
+        // Second channel is 1000x larger; the solver must still balance.
+        let basis = vec![fp(&[1.0, 0.0]), fp(&[0.0, 1000.0])];
+        let target = fp(&[0.5, 500.0]);
+        let (w, res) = synthesize_mixture(&basis, &target).unwrap();
+        assert!(res < 1e-2, "residual {res}");
+        assert!((w[0] - 0.5).abs() < 0.05, "weights {w:?}");
+    }
+
+    #[test]
+    fn errors_on_empty_or_mismatched() {
+        assert!(matches!(
+            synthesize_mixture(&[], &fp(&[1.0])),
+            Err(WidError::NotEnoughData { .. })
+        ));
+        let basis = vec![fp(&[1.0, 2.0])];
+        assert!(matches!(
+            synthesize_mixture(&basis, &fp(&[1.0])),
+            Err(WidError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn simplex_projection_properties() {
+        let mut w = vec![0.5, 0.5, 2.0];
+        project_to_simplex(&mut w);
+        assert!((w.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        assert!(w.iter().all(|&x| x >= 0.0));
+        // Dominant entry keeps the lead.
+        assert!(w[2] > w[0] && w[2] > w[1]);
+
+        let mut neg = vec![-1.0, -2.0, -3.0];
+        project_to_simplex(&mut neg);
+        assert!((neg.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,70 @@
+//! Quickstart: the tutorial's running example, end to end.
+//!
+//! Tunes the Linux scheduler knob `sched_migration_cost_ns` (plus two
+//! Redis knobs) to minimize Redis P95 tail latency, exactly as in slides
+//! 26-31 — grid search, random search, and Bayesian optimization on the
+//! same budget, printing the best-so-far curves side by side.
+//!
+//! Run with:
+//! ```text
+//! cargo run -p autotune-examples --bin quickstart --release
+//! ```
+
+use autotune::{Objective, SessionConfig, Target, TuningSession};
+use autotune_optimizer::{BayesianOptimizer, GridSearch, Optimizer, RandomSearch};
+use autotune_sim::{Environment, RedisSim, Workload};
+
+fn main() {
+    let budget = 24;
+    println!("== Redis tail-latency tuning (tutorial running example) ==");
+    println!("knob: kernel.sched_migration_cost_ns in [1e3, 1e6] (log scale)");
+    println!("objective: minimize P95 latency, budget {budget} trials\n");
+
+    let make_target = || {
+        Target::simulated(
+            Box::new(RedisSim::new()),
+            Workload::kv_cache(20_000.0),
+            Environment::medium(),
+            Objective::MinimizeLatencyP95,
+        )
+    };
+
+    // Baseline: the kernel default.
+    let target = make_target();
+    let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(0);
+    let default_cfg = target.space().default_config();
+    let default_cost: f64 = (0..5)
+        .map(|_| target.evaluate(&default_cfg, &mut rng).cost)
+        .sum::<f64>()
+        / 5.0;
+    println!("kernel-default P95: {default_cost:.3} ms\n");
+
+    let optimizers: Vec<(&str, Box<dyn Optimizer>)> = vec![
+        ("grid", Box::new(GridSearch::with_budget(target.space().clone(), budget))),
+        ("random", Box::new(RandomSearch::new(target.space().clone()))),
+        ("bo_gp", Box::new(BayesianOptimizer::gp(target.space().clone()))),
+    ];
+
+    println!(
+        "{:<8} {:>10} {:>10} {:>12} {:>8}",
+        "method", "best_p95", "vs_default", "bench_secs", "trials"
+    );
+    for (name, opt) in optimizers {
+        let mut session = TuningSession::new(make_target(), opt, SessionConfig::default());
+        let summary = session.run(budget, 42);
+        let reduction = 100.0 * (1.0 - summary.best_cost / default_cost);
+        println!(
+            "{:<8} {:>8.3}ms {:>9.1}% {:>11.0}s {:>8}",
+            name, summary.best_cost, reduction, summary.total_elapsed_s, budget
+        );
+        if name == "bo_gp" {
+            println!("\nBO convergence (best-so-far P95 per trial):");
+            for (i, c) in summary.convergence.iter().enumerate() {
+                if i % 4 == 0 || i + 1 == summary.convergence.len() {
+                    println!("  trial {:>2}: {:.3} ms", i + 1, c);
+                }
+            }
+            println!("\nbest config: {}", summary.best_config);
+        }
+    }
+}

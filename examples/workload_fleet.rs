@@ -1,0 +1,119 @@
+//! Workload identification across a fleet (slides 88-93).
+//!
+//! A cloud provider runs hundreds of database instances. This example:
+//! 1. collects telemetry fingerprints from a fleet running mixed
+//!    workloads,
+//! 2. embeds and clusters them into workload families,
+//! 3. tunes **one** representative per family,
+//! 4. serves every other instance its family's tuned config, and measures
+//!    how close that gets to individually tuning each instance.
+//!
+//! Run with:
+//! ```text
+//! cargo run -p autotune-examples --bin workload_fleet --release
+//! ```
+
+use autotune::{Objective, SessionConfig, Target, TuningSession};
+use autotune_optimizer::BayesianOptimizer;
+use autotune_sim::{DbmsSim, Environment, SimSystem, Workload};
+use autotune_wid::{purity, ConfigStore, Embedder, EmbedderKind, Fingerprint, KMeans, StoredConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn workload_families() -> Vec<(&'static str, Workload)> {
+    vec![
+        ("oltp-read", Workload::ycsb_c(2_000.0)),
+        ("oltp-write", Workload::ycsb_a(2_000.0)),
+        ("analytics", Workload::tpch(2.0)),
+    ]
+}
+
+fn main() {
+    println!("== Workload identification & config reuse across a fleet ==\n");
+    let env = Environment::medium();
+    let sim = DbmsSim::new();
+    let mut rng = StdRng::seed_from_u64(3);
+
+    // 1. Fingerprint a fleet of 60 instances (20 per hidden family).
+    let families = workload_families();
+    let mut prints = Vec::new();
+    let mut labels = Vec::new();
+    for (label, w) in families.iter().enumerate().flat_map(|(i, fw)| {
+        std::iter::repeat_with(move || (i, fw.1.clone())).take(20)
+    }) {
+        let r = sim.run_trial(&sim.space().default_config(), &w, &env, &mut rng);
+        prints.push(Fingerprint::from_telemetry(&r.telemetry));
+        labels.push(label);
+    }
+    println!("fingerprinted {} instances (14 telemetry features each)", prints.len());
+
+    // 2. Embed + cluster.
+    let embedder = Embedder::fit(&prints, 4, EmbedderKind::Pca).expect("corpus is large enough");
+    let points = embedder.embed_all(&prints).expect("all fingerprints embed");
+    let km = KMeans::fit(&points, families.len(), 7).expect("enough points");
+    let pur = purity(km.assignments(), &labels);
+    println!("k-means into {} families: purity {:.2}\n", families.len(), pur);
+
+    // 3. Tune one representative per family; store tuned configs.
+    let mut store = ConfigStore::new();
+    for (fam_idx, (name, w)) in families.iter().enumerate() {
+        let target = Target::simulated(
+            Box::new(DbmsSim::new()),
+            w.clone(),
+            env.clone(),
+            Objective::MinimizeLatencyAvg,
+        );
+        let opt = BayesianOptimizer::gp(target.space().clone());
+        let mut session = TuningSession::new(target, Box::new(opt), SessionConfig::default());
+        let summary = session.run(30, 100 + fam_idx as u64);
+        println!(
+            "tuned representative '{name}': latency {:.3} ms after 30 trials",
+            summary.best_cost
+        );
+        // Index the tuned config by the family's centroid embedding.
+        let members: Vec<Vec<f64>> = points
+            .iter()
+            .zip(&labels)
+            .filter(|(_, &l)| l == fam_idx)
+            .map(|(p, _)| p.clone())
+            .collect();
+        let mut centroid = vec![0.0; members[0].len()];
+        for m in &members {
+            autotune_linalg::axpy(1.0, m, &mut centroid);
+        }
+        centroid.iter_mut().for_each(|c| *c /= members.len() as f64);
+        store.insert(StoredConfig {
+            label: name.to_string(),
+            embedding: centroid,
+            config: summary.best_config,
+            score: summary.best_cost,
+        });
+    }
+
+    // 4. Serve new, unseen instances via nearest-neighbour reuse.
+    println!("\nreuse check on 12 fresh instances:");
+    let mut hits = 0;
+    for trial in 0..12 {
+        let true_family = trial % families.len();
+        let w = &families[true_family].1;
+        let r = sim.run_trial(&sim.space().default_config(), w, &env, &mut rng);
+        let fp = Fingerprint::from_telemetry(&r.telemetry);
+        let emb = embedder.embed(&fp).expect("fingerprint embeds");
+        let rec = store.nearest(&emb).expect("store non-empty").0;
+        let correct = rec.label == families[true_family].0;
+        hits += correct as usize;
+        if trial < 3 {
+            let tuned = sim.run_trial(&rec.config, w, &env, &mut rng);
+            let default = sim.run_trial(&sim.space().default_config(), w, &env, &mut rng);
+            println!(
+                "  instance {trial} ({}): matched '{}' {} | reused-config latency {:.3} ms vs default {:.3} ms",
+                families[true_family].0,
+                rec.label,
+                if correct { "[ok]" } else { "[miss]" },
+                tuned.latency_avg_ms,
+                default.latency_avg_ms,
+            );
+        }
+    }
+    println!("  family-match accuracy: {hits}/12");
+}

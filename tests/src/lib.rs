@@ -1,0 +1,2 @@
+//! Cross-crate integration-test package. All tests live in `tests/tests/`
+//! and exercise the public APIs of multiple workspace crates together.
