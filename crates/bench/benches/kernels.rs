@@ -45,8 +45,7 @@ fn bench_gp(c: &mut Criterion) {
         let (xs, ys) = training_set(n, 8, 2);
         group.bench_with_input(BenchmarkId::new("fit", n), &n, |b, _| {
             b.iter(|| {
-                let mut gp =
-                    GaussianProcess::new(Box::new(Matern52::isotropic(0.4, 1.0)), 1e-6);
+                let mut gp = GaussianProcess::new(Box::new(Matern52::isotropic(0.4, 1.0)), 1e-6);
                 gp.fit(&xs, &ys).expect("fits");
                 gp
             });

@@ -32,7 +32,11 @@ fn main() {
         eprintln!("no experiment matches {filter:?}; available: e01..e29, ablations");
         std::process::exit(2);
     }
-    println!("== summary: {}/{} experiment shapes hold ==", ran - failed.len(), ran);
+    println!(
+        "== summary: {}/{} experiment shapes hold ==",
+        ran - failed.len(),
+        ran
+    );
     if !failed.is_empty() {
         println!("failed: {failed:?}");
         std::process::exit(1);

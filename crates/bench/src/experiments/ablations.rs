@@ -4,7 +4,7 @@
 
 use crate::experiments::{mean_curve, redis_target};
 use crate::report::{f, Report};
-use autotune::{transfer_observations, Trial, TransferPolicy};
+use autotune::{transfer_observations, TransferPolicy, Trial};
 use autotune_optimizer::{BayesianOptimizer, BoConfig, Optimizer};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -45,7 +45,8 @@ pub fn a01_bo_init() -> Report {
         title: "Ablation: BO initial random design size",
         headers: vec!["setting", "best@12", "best@24"],
         rows,
-        paper_claim: "a moderate random init (default 8) balances surrogate quality vs model-driven budget",
+        paper_claim:
+            "a moderate random init (default 8) balances surrogate quality vs model-driven budget",
         measured: format!(
             "final P95 at n_init 2/8/16: {} / {} / {} ms",
             f(finals[0], 3),
@@ -86,9 +87,13 @@ pub fn a02_constant_liar() -> Report {
         min_d
     };
     let n_seeds = 6;
-    let liar: f64 = (0..n_seeds).map(|s| min_batch_distance(true, 900 + s)).sum::<f64>()
+    let liar: f64 = (0..n_seeds)
+        .map(|s| min_batch_distance(true, 900 + s))
+        .sum::<f64>()
         / n_seeds as f64;
-    let naive: f64 = (0..n_seeds).map(|s| min_batch_distance(false, 900 + s)).sum::<f64>()
+    let naive: f64 = (0..n_seeds)
+        .map(|s| min_batch_distance(false, 900 + s))
+        .sum::<f64>()
         / n_seeds as f64;
     let rows = vec![
         vec!["constant liar".into(), f(liar, 4)],
@@ -100,8 +105,13 @@ pub fn a02_constant_liar() -> Report {
         title: "Ablation: constant-liar batch diversity",
         headers: vec!["batch strategy", "mean min pairwise distance (k=6)"],
         rows,
-        paper_claim: "pinning pseudo-observations at in-flight points prevents duplicate batch members",
-        measured: format!("min distance {} (liar) vs {} (naive)", f(liar, 4), f(naive, 4)),
+        paper_claim:
+            "pinning pseudo-observations at in-flight points prevents duplicate batch members",
+        measured: format!(
+            "min distance {} (liar) vs {} (naive)",
+            f(liar, 4),
+            f(naive, 4)
+        ),
         shape_holds,
     }
 }
@@ -159,8 +169,14 @@ pub fn a03_crash_transfer() -> Report {
     let with: usize = (0..n_seeds).map(|s| run(true, 910 + s)).sum();
     let without: usize = (0..n_seeds).map(|s| run(false, 910 + s)).sum();
     let rows = vec![
-        vec!["crash transfer on".into(), format!("{with} crashes / {n_seeds} campaigns")],
-        vec!["crash transfer off".into(), format!("{without} crashes / {n_seeds} campaigns")],
+        vec![
+            "crash transfer on".into(),
+            format!("{with} crashes / {n_seeds} campaigns"),
+        ],
+        vec![
+            "crash transfer off".into(),
+            format!("{without} crashes / {n_seeds} campaigns"),
+        ],
     ];
     let shape_holds = with <= without;
     Report {
@@ -197,7 +213,11 @@ pub fn a04_gp_refit() -> Report {
             seeds.clone(),
         );
         rows.push(vec![
-            if refit == 0 { "no refit".into() } else { format!("refit every {refit}") },
+            if refit == 0 {
+                "no refit".into()
+            } else {
+                format!("refit every {refit}")
+            },
             format!("{} ms", f(curve[budget - 1], 3)),
         ]);
         finals.push(curve[budget - 1]);
@@ -220,14 +240,23 @@ pub fn a04_gp_refit() -> Report {
 
 /// Runs every ablation and merges them into one report for the CLI.
 pub fn run() -> Report {
-    let reports = [a01_bo_init(), a02_constant_liar(), a03_crash_transfer(), a04_gp_refit()];
+    let reports = [
+        a01_bo_init(),
+        a02_constant_liar(),
+        a03_crash_transfer(),
+        a04_gp_refit(),
+    ];
     let mut rows = Vec::new();
     let mut all_hold = true;
     for r in &reports {
         rows.push(vec![
             r.id.to_string(),
             r.title.trim_start_matches("Ablation: ").to_string(),
-            if r.shape_holds { "HOLDS".into() } else { "FAILS".into() },
+            if r.shape_holds {
+                "HOLDS".into()
+            } else {
+                "FAILS".into()
+            },
             r.measured.clone(),
         ]);
         all_hold &= r.shape_holds;

@@ -25,7 +25,7 @@ pub fn run() -> Report {
         / 5.0;
     let opt = BayesianOptimizer::smac(dbms.space().clone());
     let mut session = TuningSession::new(dbms, Box::new(opt), SessionConfig::default());
-    let summary = session.run(80, 1);
+    let summary = session.run(80, 1).expect("tuning campaign succeeds");
     let tuned_thr = -summary.best_cost;
     let gain = tuned_thr / default_thr;
 
@@ -38,12 +38,16 @@ pub fn run() -> Report {
     );
     let mut rng = StdRng::seed_from_u64(2);
     let default_p95 = (0..8)
-        .map(|_| redis.evaluate(&redis.space().default_config(), &mut rng).cost)
+        .map(|_| {
+            redis
+                .evaluate(&redis.space().default_config(), &mut rng)
+                .cost
+        })
         .sum::<f64>()
         / 8.0;
     let opt = BayesianOptimizer::gp(redis.space().clone());
     let mut session = TuningSession::new(redis, Box::new(opt), SessionConfig::default());
-    let rsum = session.run(40, 3);
+    let rsum = session.run(40, 3).expect("tuning campaign succeeds");
     let reduction = 100.0 * (1.0 - rsum.best_cost / default_p95);
 
     let shape_holds = (3.0..=20.0).contains(&gain) && (40.0..=85.0).contains(&reduction);

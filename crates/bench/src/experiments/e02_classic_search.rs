@@ -11,7 +11,12 @@ pub fn run() -> Report {
     let budget = 20;
     let seeds = 0..20u64;
     let grid = mean_curve(
-        || Box::new(GridSearch::with_budget(redis_target().space().clone(), budget)) as Box<dyn Optimizer>,
+        || {
+            Box::new(GridSearch::with_budget(
+                redis_target().space().clone(),
+                budget,
+            )) as Box<dyn Optimizer>
+        },
         redis_target,
         budget,
         seeds.clone(),
@@ -61,9 +66,8 @@ pub fn run() -> Report {
     let others_tt = trials_to_reach(&grid, target)
         .unwrap_or(budget + 1)
         .min(trials_to_reach(&random, target).unwrap_or(budget + 1));
-    let shape_holds = bo_final <= grid_final * 1.02
-        && bo_final <= random_final * 1.02
-        && bo_tt <= others_tt;
+    let shape_holds =
+        bo_final <= grid_final * 1.02 && bo_final <= random_final * 1.02 && bo_tt <= others_tt;
     Report {
         id: "E2-E4",
         title: "Grid vs random vs BO on the Redis example (slides 29-31)",

@@ -22,9 +22,18 @@ pub fn run() -> Report {
     let variants: Vec<(&str, AcquisitionFunction)> = vec![
         ("PI", AcquisitionFunction::ProbabilityOfImprovement),
         ("EI", AcquisitionFunction::ExpectedImprovement),
-        ("LCB b=0", AcquisitionFunction::LowerConfidenceBound { beta: 0.0 }),
-        ("LCB b=1", AcquisitionFunction::LowerConfidenceBound { beta: 1.0 }),
-        ("LCB b=4", AcquisitionFunction::LowerConfidenceBound { beta: 4.0 }),
+        (
+            "LCB b=0",
+            AcquisitionFunction::LowerConfidenceBound { beta: 0.0 },
+        ),
+        (
+            "LCB b=1",
+            AcquisitionFunction::LowerConfidenceBound { beta: 1.0 },
+        ),
+        (
+            "LCB b=4",
+            AcquisitionFunction::LowerConfidenceBound { beta: 4.0 },
+        ),
         ("TS", AcquisitionFunction::ThompsonSample),
     ];
     let mut finals = Vec::new();
@@ -38,7 +47,13 @@ pub fn run() -> Report {
         ]);
         finals.push((name.to_string(), curve[budget - 1]));
     }
-    let get = |n: &str| finals.iter().find(|(name, _)| name == n).expect("variant ran").1;
+    let get = |n: &str| {
+        finals
+            .iter()
+            .find(|(name, _)| name == n)
+            .expect("variant ran")
+            .1
+    };
     let ei = get("EI");
     let pi = get("PI");
     let lcb1 = get("LCB b=1");

@@ -16,19 +16,34 @@ pub fn run() -> Report {
     let space = || dbms_target().space().clone();
     type MethodFactory = Box<dyn Fn() -> Box<dyn Optimizer>>;
     let methods: Vec<(&str, MethodFactory)> = vec![
-        ("random", Box::new(move || Box::new(RandomSearch::new(dbms_target().space().clone())))),
-        ("bo_gp", Box::new(move || Box::new(BayesianOptimizer::gp(space())))),
-        ("smac_rf", Box::new(move || Box::new(BayesianOptimizer::smac(dbms_target().space().clone())))),
+        (
+            "random",
+            Box::new(move || Box::new(RandomSearch::new(dbms_target().space().clone()))),
+        ),
+        (
+            "bo_gp",
+            Box::new(move || Box::new(BayesianOptimizer::gp(space()))),
+        ),
+        (
+            "smac_rf",
+            Box::new(move || Box::new(BayesianOptimizer::smac(dbms_target().space().clone()))),
+        ),
         (
             "cma_es",
             Box::new(move || {
-                Box::new(CmaEs::new(dbms_target().space().clone(), CmaEsConfig::default()))
+                Box::new(CmaEs::new(
+                    dbms_target().space().clone(),
+                    CmaEsConfig::default(),
+                ))
             }),
         ),
         (
             "pso",
             Box::new(move || {
-                Box::new(ParticleSwarm::new(dbms_target().space().clone(), PsoConfig::default()))
+                Box::new(ParticleSwarm::new(
+                    dbms_target().space().clone(),
+                    PsoConfig::default(),
+                ))
             }),
         ),
     ];

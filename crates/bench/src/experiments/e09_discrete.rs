@@ -49,7 +49,10 @@ pub fn run() -> Report {
     let mut truth: Vec<(&str, f64)> = METHODS
         .iter()
         .map(|m| {
-            let mean = (0..20).map(|_| eval_method(&target, m, &mut rng)).sum::<f64>() / 20.0;
+            let mean = (0..20)
+                .map(|_| eval_method(&target, m, &mut rng))
+                .sum::<f64>()
+                / 20.0;
             (*m, mean)
         })
         .collect();
@@ -82,8 +85,14 @@ pub fn run() -> Report {
             let full = target
                 .space()
                 .default_config()
-                .with("buffer_pool_gb", c.get_f64("buffer_pool_gb").expect("knob present"))
-                .with("flush_method", c.get_str("flush_method").expect("knob present"));
+                .with(
+                    "buffer_pool_gb",
+                    c.get_f64("buffer_pool_gb").expect("knob present"),
+                )
+                .with(
+                    "flush_method",
+                    c.get_str("flush_method").expect("knob present"),
+                );
             let cost = target.evaluate(&full, &mut rng).cost;
             opt.observe(&c, cost);
         }

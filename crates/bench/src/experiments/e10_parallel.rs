@@ -70,7 +70,8 @@ pub fn run() -> Report {
         title: "Parallel optimization with constant liar (slide 57)",
         headers: vec!["batch k", "best P95", "wall clock", "machine secs"],
         rows,
-        paper_claim: "k-way batches cut wall-clock ~k-fold at comparable quality; liar keeps batches diverse",
+        paper_claim:
+            "k-way batches cut wall-clock ~k-fold at comparable quality; liar keeps batches diverse",
         measured: format!(
             "k=8 wall {} vs k=1 {} s; quality {} vs {} ms; min batch distance {}",
             f(wall8, 0),

@@ -118,9 +118,7 @@ pub fn run() -> Report {
     ]);
 
     let ratio = parego_hv / random_hv.max(1e-9);
-    let shape_holds = pe.front().len() >= 3
-        && ratio >= 0.9
-        && nsga_hv >= 0.8 * random_hv;
+    let shape_holds = pe.front().len() >= 3 && ratio >= 0.9 && nsga_hv >= 0.8 * random_hv;
     Report {
         id: "E11",
         title: "Multi-objective: latency vs cost Pareto front (slide 58)",

@@ -64,7 +64,10 @@ pub fn run() -> Report {
     for i in 0..10 {
         let cfg = t_thr.space().sample(&mut rng);
         let x = t_thr.space().encode_unit(&cfg).expect("encodes");
-        let truth = (0..5).map(|_| t_thr.evaluate(&cfg, &mut rng).cost).sum::<f64>() / 5.0;
+        let truth = (0..5)
+            .map(|_| t_thr.evaluate(&cfg, &mut rng).cost)
+            .sum::<f64>()
+            / 5.0;
         let pm = mt.predict(1, &x).mean;
         let ps = st.predict(&x).mean;
         mt_err.push((pm - truth).abs());

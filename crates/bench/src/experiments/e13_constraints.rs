@@ -49,15 +49,23 @@ pub fn run() -> Report {
     let rows = vec![
         vec!["suggestions".into(), budget.to_string()],
         vec!["infeasible suggestions".into(), infeasible.to_string()],
-        vec!["sampler violations /500".into(), sample_violations.to_string()],
+        vec![
+            "sampler violations /500".into(),
+            sample_violations.to_string(),
+        ],
         vec!["best latency".into(), format!("{} ms", f(best, 4))],
         vec![
             "best config constraint".into(),
-            format!("{chunk:.2} x {inst:.0} = {:.2} <= {pool:.2} GB", chunk * inst),
+            format!(
+                "{chunk:.2} x {inst:.0} = {:.2} <= {pool:.2} GB",
+                chunk * inst
+            ),
         ],
     ];
-    let shape_holds =
-        infeasible == 0 && sample_violations == 0 && chunk * inst <= pool + 1e-9 && best.is_finite();
+    let shape_holds = infeasible == 0
+        && sample_violations == 0
+        && chunk * inst <= pool + 1e-9
+        && best.is_finite();
     Report {
         id: "E13",
         title: "Constrained search: chunk*instances <= pool (slide 60)",

@@ -27,9 +27,8 @@ fn wide_space() -> Space {
 fn objective(c: &Config) -> f64 {
     let g = |i: usize| c.get_f64(&format!("knob{i:02}")).expect("knob present");
     let combined = 0.5 * (g(0) + g(1));
-    let mut cost = 2.0 * (combined - 0.6).powi(2)
-        + (g(7) - 0.3).powi(2)
-        + 0.5 * (g(13) - 0.8).powi(2);
+    let mut cost =
+        2.0 * (combined - 0.6).powi(2) + (g(7) - 0.3).powi(2) + 0.5 * (g(13) - 0.8).powi(2);
     for i in 20..40 {
         cost += 0.01 * (g(i) - 0.5).powi(2);
     }
@@ -87,13 +86,13 @@ pub fn run() -> Report {
     let speedup = full_tt / lt_tt.max(1.0);
 
     let rows = vec![
-        vec![
-            "llamatune (12-d proj)".into(),
-            f(lt_tt, 1),
-            f(lt_q, 4),
-        ],
+        vec!["llamatune (12-d proj)".into(), f(lt_tt, 1), f(lt_q, 4)],
         vec!["full-space BO (60-d)".into(), f(full_tt, 1), f(full_q, 4)],
-        vec!["speedup (trials-to-target)".into(), format!("{speedup:.1}x"), String::new()],
+        vec![
+            "speedup (trials-to-target)".into(),
+            format!("{speedup:.1}x"),
+            String::new(),
+        ],
     ];
     let shape_holds = lt_tt <= full_tt && lt_q <= full_q * 1.25;
     Report {

@@ -14,7 +14,10 @@ pub fn run() -> Report {
     let target = Target::simulated(
         Box::new(DbmsSim::new()),
         Workload::tpch(10.0),
-        Environment::medium(),
+        // A large VM keeps random configs from OOM-crashing: crashed trials
+        // elapse almost no time, which would deflate the flat-search
+        // baseline and obscure the fidelity-ladder saving being measured.
+        Environment::large(),
         Objective::MinimizeElapsed,
     );
 
@@ -22,9 +25,18 @@ pub fn run() -> Report {
     // with the same trial count.
     let sh = SuccessiveHalving::new(
         vec![
-            FidelityLevel { label: "SF-1".into(), workload: Workload::tpch(1.0) },
-            FidelityLevel { label: "SF-4".into(), workload: Workload::tpch(4.0) },
-            FidelityLevel { label: "SF-10".into(), workload: Workload::tpch(10.0) },
+            FidelityLevel {
+                label: "SF-1".into(),
+                workload: Workload::tpch(1.0),
+            },
+            FidelityLevel {
+                label: "SF-4".into(),
+                workload: Workload::tpch(4.0),
+            },
+            FidelityLevel {
+                label: "SF-10".into(),
+                workload: Workload::tpch(10.0),
+            },
         ],
         SuccessiveHalvingConfig::default(),
     );
@@ -82,9 +94,8 @@ pub fn run() -> Report {
         ],
     ];
     let cost_ratio = outcome.total_elapsed_s / flat_elapsed;
-    let shape_holds = cost_ratio < 0.5
-        && outcome.best_cost < flat_best * 1.5
-        && sens_sf10 > sens_sf1 + 0.02;
+    let shape_holds =
+        cost_ratio < 0.5 && outcome.best_cost < flat_best * 1.5 && sens_sf10 > sens_sf1 + 0.02;
     Report {
         id: "E16",
         title: "Multi-fidelity: TPC-H SF ladder + knob-sensitivity shift (slides 65-66)",

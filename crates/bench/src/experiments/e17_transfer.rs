@@ -3,7 +3,7 @@
 //! ("if it crashes the system, probably always does").
 
 use crate::report::{f, Report};
-use autotune::{transfer_observations, Objective, Target, Trial, TransferPolicy};
+use autotune::{transfer_observations, Objective, Target, TransferPolicy, Trial};
 use autotune_optimizer::{BayesianOptimizer, Optimizer};
 use autotune_sim::{DbmsSim, Environment, Workload};
 use rand::rngs::StdRng;

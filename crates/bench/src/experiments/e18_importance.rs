@@ -59,7 +59,14 @@ pub fn run() -> Report {
             let e = target.evaluate(&full, &mut rng);
             // Observe log-cost: latencies span orders of magnitude and a
             // raw-scale surrogate is dominated by the overload region.
-            opt.observe(&c, if e.cost.is_finite() { e.cost.ln() } else { f64::NAN });
+            opt.observe(
+                &c,
+                if e.cost.is_finite() {
+                    e.cost.ln()
+                } else {
+                    f64::NAN
+                },
+            );
             if e.cost.is_finite() {
                 best = best.min(e.cost);
             }
@@ -104,9 +111,24 @@ pub fn run() -> Report {
             f(perm.ranking[i].1, 4),
         ]);
     }
-    rows.push(vec!["tune top-3 only".into(), String::new(), format!("{} ms", f(t3, 4)), String::new()]);
-    rows.push(vec!["tune all 12".into(), String::new(), format!("{} ms", f(all, 4)), String::new()]);
-    rows.push(vec!["tune bottom-3 only".into(), String::new(), format!("{} ms", f(rnd, 4)), String::new()]);
+    rows.push(vec![
+        "tune top-3 only".into(),
+        String::new(),
+        format!("{} ms", f(t3, 4)),
+        String::new(),
+    ]);
+    rows.push(vec![
+        "tune all 12".into(),
+        String::new(),
+        format!("{} ms", f(all, 4)),
+        String::new(),
+    ]);
+    rows.push(vec![
+        "tune bottom-3 only".into(),
+        String::new(),
+        format!("{} ms", f(rnd, 4)),
+        String::new(),
+    ]);
 
     // The big structural knobs must surface; buffer pool is the known #1.
     let perm_top: Vec<&str> = perm.top(4);

@@ -30,7 +30,7 @@ pub fn run() -> Report {
                 ..Default::default()
             },
         );
-        session.run(budget, seed)
+        session.run(budget, seed).expect("tuning campaign succeeds")
     };
     let plain = run(None, 9);
     let abort = run(Some(1.3), 9);

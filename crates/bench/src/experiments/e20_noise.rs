@@ -35,7 +35,13 @@ fn noisy_target(seed: u64) -> Target {
 pub fn run() -> Report {
     let strategies: Vec<(&str, NoiseStrategy)> = vec![
         ("single", NoiseStrategy::Single),
-        ("repeat x5", NoiseStrategy::Repeat { n: 5, median: false }),
+        (
+            "repeat x5",
+            NoiseStrategy::Repeat {
+                n: 5,
+                median: false,
+            },
+        ),
         ("duet", NoiseStrategy::Duet),
         (
             "tuna x5",
@@ -59,8 +65,8 @@ pub fn run() -> Report {
             .map(|_| strat.measure(&target, &cfg, &baseline, &mut rng).0)
             .filter(|c| c.is_finite())
             .collect();
-        let cv = autotune_linalg::stats::std_dev(&scores)
-            / autotune_linalg::stats::mean(&scores).abs();
+        let cv =
+            autotune_linalg::stats::std_dev(&scores) / autotune_linalg::stats::mean(&scores).abs();
         cvs.push((name.to_string(), cv));
 
         // Tuning outcome at equal logical-trial budget, mean over seeds.
@@ -77,7 +83,9 @@ pub fn run() -> Report {
                     ..Default::default()
                 },
             );
-            let s = session.run(25, 20 + seed);
+            let s = session
+                .run(25, 20 + seed)
+                .expect("tuning campaign succeeds");
             // Score the chosen config under *noise-free* conditions: the
             // deployable quality, not the lucky measurement.
             let clean = Target::simulated(

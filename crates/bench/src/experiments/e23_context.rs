@@ -28,7 +28,9 @@ pub fn run() -> Report {
     let base = target.space().default_config().with("buffer_pool_gb", 8.0);
     let candidates = vec![
         base.clone().with("query_cache", true),
-        base.clone().with("query_cache", false).with("log_file_size_mb", 2048.0),
+        base.clone()
+            .with("query_cache", false)
+            .with("log_file_size_mb", 2048.0),
     ];
 
     // Context-aware: regime-scoped hybrid bandit with shift detection.

@@ -20,10 +20,10 @@ pub fn run() -> Report {
     let steps = 200;
     let base = target.space().default_config().with("buffer_pool_gb", 8.0);
     let candidates = vec![
-        base.clone(),                                                   // good incumbent
-        base.clone().with("log_file_size_mb", 2048.0),                  // better
-        base.clone().with("worker_threads", 512i64),                    // regressing
-        base.clone().with("buffer_pool_gb", 15.5),                      // crashes (OOM)
+        base.clone(),                                  // good incumbent
+        base.clone().with("log_file_size_mb", 2048.0), // better
+        base.clone().with("worker_threads", 512i64),   // regressing
+        base.clone().with("buffer_pool_gb", 15.5),     // crashes (OOM)
     ];
 
     let run = |safety: Option<SafeTunerConfig>, seed: u64| {
@@ -76,7 +76,12 @@ pub fn run() -> Report {
     Report {
         id: "E24",
         title: "Safe exploration / regression guardrails (slide 84)",
-        headers: vec!["policy", "cumulative cost", "crashes served", "regressions served"],
+        headers: vec![
+            "policy",
+            "cumulative cost",
+            "crashes served",
+            "regressions served",
+        ],
         rows,
         paper_claim: "safety limits regressions/crashes to a handful at modest optimality cost",
         measured: format!(

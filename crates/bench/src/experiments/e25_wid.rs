@@ -57,7 +57,9 @@ pub fn run() -> Report {
         );
         let opt = BayesianOptimizer::gp(target.space().clone());
         let mut session = TuningSession::new(target, Box::new(opt), SessionConfig::default());
-        let summary = session.run(25, 50 + idx as u64);
+        let summary = session
+            .run(25, 50 + idx as u64)
+            .expect("tuning campaign succeeds");
         tuned_costs.push(summary.best_cost);
         let members: Vec<&Vec<f64>> = points
             .iter()
@@ -112,7 +114,10 @@ pub fn run() -> Report {
 
     let rows = vec![
         vec!["clustering purity".into(), f(pur, 2)],
-        vec!["reuse match accuracy".into(), format!("{matches}/{n_fresh}")],
+        vec![
+            "reuse match accuracy".into(),
+            format!("{matches}/{n_fresh}"),
+        ],
         vec![
             "reused / per-workload-tuned cost".into(),
             format!("{}x", f(reuse_mean, 2)),
@@ -131,7 +136,8 @@ pub fn run() -> Report {
         title: "Workload identification: cluster, reuse, detect (slides 88-92)",
         headers: vec!["metric", "value"],
         rows,
-        paper_claim: "similar workloads cluster cleanly; their configs transfer; shifts surface fast",
+        paper_claim:
+            "similar workloads cluster cleanly; their configs transfer; shifts surface fast",
         measured: format!(
             "purity {}, accuracy {matches}/{n_fresh}, reuse ratio {}x, lag {:?}",
             f(pur, 2),

@@ -62,24 +62,25 @@ pub fn run() -> Report {
     let env2 = env.clone();
     let weights2 = weights.clone();
     let basis2 = basis_workloads.clone();
-    let synth_target = Target::black_box(space.clone(), Objective::MinimizeLatencyAvg, move |cfg| {
-        let mut rng = StdRng::seed_from_u64(7);
-        let mut total = 0.0;
-        for (w, bw) in weights2.iter().zip(&basis2) {
-            if *w < 1e-3 {
-                continue;
+    let synth_target =
+        Target::black_box(space.clone(), Objective::MinimizeLatencyAvg, move |cfg| {
+            let mut rng = StdRng::seed_from_u64(7);
+            let mut total = 0.0;
+            for (w, bw) in weights2.iter().zip(&basis2) {
+                if *w < 1e-3 {
+                    continue;
+                }
+                let r = sim2.run_trial(cfg, bw, &env2, &mut rng);
+                if r.crashed {
+                    return f64::NAN;
+                }
+                total += w * r.latency_avg_ms;
             }
-            let r = sim2.run_trial(cfg, bw, &env2, &mut rng);
-            if r.crashed {
-                return f64::NAN;
-            }
-            total += w * r.latency_avg_ms;
-        }
-        total
-    });
+            total
+        });
     let opt = BayesianOptimizer::gp(space.clone());
     let mut session = TuningSession::new(synth_target, Box::new(opt), SessionConfig::default());
-    let synth_summary = session.run(30, 3);
+    let synth_summary = session.run(30, 3).expect("tuning campaign succeeds");
 
     // Deploy the synthetic-tuned config on real production traffic.
     let mut rng2 = StdRng::seed_from_u64(9);
@@ -103,7 +104,7 @@ pub fn run() -> Report {
         Box::new(opt),
         SessionConfig::default(),
     );
-    let oracle_summary = oracle.run(30, 3);
+    let oracle_summary = oracle.run(30, 3).expect("tuning campaign succeeds");
 
     let rows = vec![
         vec![
@@ -114,7 +115,10 @@ pub fn run() -> Report {
             ),
         ],
         vec!["fit residual".into(), f(residual, 3)],
-        vec!["default on production".into(), format!("{} ms", f(default_cost, 4))],
+        vec![
+            "default on production".into(),
+            format!("{} ms", f(default_cost, 4)),
+        ],
         vec![
             "synthetic-tuned on production".into(),
             format!("{} ms", f(deployed, 4)),
@@ -135,7 +139,8 @@ pub fn run() -> Report {
         title: "Synthetic benchmark generation (slide 92)",
         headers: vec!["quantity", "value"],
         rows,
-        paper_claim: "a telemetry-matched benchmark mixture lets offline tuning transfer to production",
+        paper_claim:
+            "a telemetry-matched benchmark mixture lets offline tuning transfer to production",
         measured: format!(
             "YCSB mass {:.2}, residual {}, {:.0}% of oracle win recovered",
             ycsb_mass,

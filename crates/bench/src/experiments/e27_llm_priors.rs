@@ -74,7 +74,8 @@ pub fn run() -> Report {
         title: "Manual-derived knob priors (slides 63-64, DB-BERT/GPTuner)",
         headers: vec!["space", "mean best @10", "mean best @25"],
         rows,
-        paper_claim: "knowledge extracted from manuals biases the search space and accelerates tuning",
+        paper_claim:
+            "knowledge extracted from manuals biases the search space and accelerates tuning",
         measured: format!(
             "@10 trials: hinted {} vs uniform {} ms; @25: {} vs {} ms",
             f(m(&hinted10), 4),

@@ -24,8 +24,12 @@ pub fn run() -> Report {
     // One profiled run of the default config = the entire "history".
     let sim = DbmsSim::new();
     let mut rng = StdRng::seed_from_u64(1);
-    let profiled =
-        sim.run_trial(&space.default_config(), &Workload::tpcc(500.0), &Environment::medium(), &mut rng);
+    let profiled = sim.run_trial(
+        &space.default_config(),
+        &Workload::tpcc(500.0),
+        &Environment::medium(),
+        &mut rng,
+    );
     let ranking = map.rank_knobs(&profiled.profile);
     let pgo_knobs = map.top_knobs(&profiled.profile, 3);
     let anti_knobs: Vec<String> = ranking
@@ -59,7 +63,14 @@ pub fn run() -> Report {
                 full.set(name.clone(), value.clone());
             }
             let e = target.evaluate(&full, &mut rng);
-            opt.observe(&c, if e.cost.is_finite() { e.cost.ln() } else { f64::NAN });
+            opt.observe(
+                &c,
+                if e.cost.is_finite() {
+                    e.cost.ln()
+                } else {
+                    f64::NAN
+                },
+            );
             if e.cost.is_finite() {
                 best = best.min(e.cost);
             }
@@ -96,7 +107,8 @@ pub fn run() -> Report {
         title: "Profile-guided knob prioritization (slide 68 opportunity)",
         headers: vec!["knob / subset", "value"],
         rows,
-        paper_claim: "stack-profile hotspots identify the knobs worth tuning — with zero tuning history",
+        paper_claim:
+            "stack-profile hotspots identify the knobs worth tuning — with zero tuning history",
         measured: format!(
             "PGO top-3 {} vs bottom-3 {} vs all-knobs {} ms at {budget} trials",
             f(pgo, 4),

@@ -52,7 +52,11 @@ pub fn run() -> Report {
             format!("{async_wall:.0} s"),
             format!("{} s", f(async_best, 1)),
         ],
-        vec!["wall-clock speedup".into(), format!("{speedup:.2}x"), String::new()],
+        vec![
+            "wall-clock speedup".into(),
+            format!("{speedup:.2}x"),
+            String::new(),
+        ],
     ];
     let shape_holds = async_wall < sync_wall && async_best < sync_best * 1.5;
     Report {

@@ -1,5 +1,6 @@
 //! One module per experiment of the index in `DESIGN.md`.
 
+pub mod ablations;
 pub mod e01_tuning_wins;
 pub mod e02_classic_search;
 pub mod e05_gp_visuals;
@@ -27,7 +28,6 @@ pub mod e26_synth;
 pub mod e27_llm_priors;
 pub mod e28_profile_guided;
 pub mod e29_async;
-pub mod ablations;
 
 use autotune::{Objective, Target};
 use autotune_optimizer::Optimizer;

@@ -57,7 +57,11 @@ impl Report {
         out.push_str(&format!("measured: {}\n", self.measured));
         out.push_str(&format!(
             "shape:    {}\n",
-            if self.shape_holds { "HOLDS" } else { "DOES NOT HOLD" }
+            if self.shape_holds {
+                "HOLDS"
+            } else {
+                "DOES NOT HOLD"
+            }
         ));
         out
     }

@@ -1,0 +1,142 @@
+//! The typed records flowing through the executor: what a source asks to
+//! run ([`TrialRequest`]), what a measurement produced ([`Measurement`]),
+//! what a completed trial looks like to the source ([`TrialOutcome`]),
+//! and the event stream a campaign emits ([`TrialEvent`]).
+
+use crate::TrialStatus;
+use autotune_sim::{TelemetrySample, Workload};
+use autotune_space::Config;
+
+/// A trial a [`super::TrialSource`] wants executed.
+#[derive(Debug, Clone)]
+pub struct TrialRequest {
+    /// The configuration to evaluate.
+    pub config: Config,
+    /// Fidelity annotation recorded on the trial (1.0 = full fidelity).
+    pub fidelity: f64,
+    /// Workload override (multi-fidelity rungs, online schedules); `None`
+    /// runs the target's own workload.
+    pub workload: Option<Workload>,
+    /// Pin the trial to a specific machine of the noise fleet.
+    pub machine_id: Option<usize>,
+}
+
+impl TrialRequest {
+    /// A plain full-fidelity request on the target's own workload.
+    pub fn new(config: Config) -> Self {
+        TrialRequest {
+            config,
+            fidelity: 1.0,
+            workload: None,
+            machine_id: None,
+        }
+    }
+}
+
+/// What one measurement produced, before and after the middleware chain
+/// transforms it (early-abort censoring adjusts `cost`/`elapsed_s` and
+/// sets `aborted`).
+#[derive(Debug, Clone)]
+pub struct Measurement {
+    /// Scalar cost (NaN = crashed).
+    pub cost: f64,
+    /// Benchmark seconds charged for the trial.
+    pub elapsed_s: f64,
+    /// Machine the trial landed on, when a noise fleet is attached.
+    pub machine_id: Option<usize>,
+    /// Telemetry stream of the run (empty for aggregate noise strategies).
+    pub telemetry: Vec<TelemetrySample>,
+    /// Set by censoring middleware when the trial was cut short.
+    pub aborted: bool,
+    /// Benchmark seconds shaved off by censoring middleware.
+    pub saved_s: f64,
+}
+
+impl Measurement {
+    /// Wraps a raw target evaluation.
+    pub fn from_eval(e: crate::target::Evaluation) -> Self {
+        Measurement {
+            cost: e.cost,
+            elapsed_s: e.result.elapsed_s,
+            machine_id: e.machine_id,
+            telemetry: e.result.telemetry,
+            aborted: false,
+            saved_s: 0.0,
+        }
+    }
+}
+
+/// A finalized trial as reported back to the [`super::TrialSource`].
+#[derive(Debug, Clone)]
+pub struct TrialOutcome {
+    /// Trial id within the campaign (dispatch order).
+    pub id: u64,
+    /// The evaluated configuration.
+    pub config: Config,
+    /// Recorded cost (NaN = crashed, censored when aborted).
+    pub cost: f64,
+    /// Cost fed to the learner. Defaults to `cost`; crash-penalty
+    /// middleware may replace NaN with a large finite penalty.
+    pub learn_cost: f64,
+    /// Benchmark seconds charged.
+    pub elapsed_s: f64,
+    /// Fidelity the trial ran at.
+    pub fidelity: f64,
+    /// Machine assignment, if any.
+    pub machine_id: Option<usize>,
+    /// Outcome status.
+    pub status: TrialStatus,
+    /// Telemetry stream of the run.
+    pub telemetry: Vec<TelemetrySample>,
+}
+
+/// The event stream a campaign emits, one entry per lifecycle transition.
+#[derive(Debug, Clone)]
+pub enum TrialEvent {
+    /// A source proposed a configuration (before it starts running).
+    Suggested {
+        /// Trial id.
+        id: u64,
+        /// The proposed configuration.
+        config: Config,
+    },
+    /// The trial began executing at the given virtual time.
+    Started {
+        /// Trial id.
+        id: u64,
+        /// Virtual-clock start time, seconds.
+        at_s: f64,
+    },
+    /// The trial completed normally.
+    Finished {
+        /// Trial id.
+        id: u64,
+        /// Its cost.
+        cost: f64,
+        /// Benchmark seconds charged.
+        elapsed_s: f64,
+    },
+    /// The trial crashed the system under test.
+    Crashed {
+        /// Trial id.
+        id: u64,
+        /// Benchmark seconds charged before the crash.
+        elapsed_s: f64,
+    },
+    /// The trial was cut short by censoring middleware.
+    Aborted {
+        /// Trial id.
+        id: u64,
+        /// The censored cost.
+        cost: f64,
+        /// Benchmark seconds charged up to the abort.
+        elapsed_s: f64,
+    },
+    /// A configuration graduated to the next fidelity rung.
+    Promoted {
+        /// The promoted configuration.
+        config: Config,
+        /// The rung it enters (0-based).
+        rung: usize,
+    },
+}

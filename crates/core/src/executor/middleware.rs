@@ -1,0 +1,152 @@
+//! Cross-cutting trial machinery as a composable middleware chain.
+//!
+//! Each [`Middleware`] sees every trial at three points: before dispatch
+//! (annotate the request — machine pinning, guardrails), after measurement
+//! (transform cost/elapsed — early-abort censoring), and at completion
+//! (rewrite what the learner is told — crash penalties).
+
+use super::event::{Measurement, TrialOutcome, TrialRequest};
+use crate::EarlyAbort;
+use rand::{Rng, RngCore};
+use std::borrow::BorrowMut;
+
+/// A cross-cutting hook on the trial lifecycle.
+pub trait Middleware {
+    /// Name for diagnostics.
+    fn name(&self) -> &str;
+
+    /// Adjusts a request before it is dispatched.
+    fn before_dispatch(&mut self, _req: &mut TrialRequest, _rng: &mut dyn RngCore) {}
+
+    /// Transforms a measurement (censoring, clamping).
+    /// `cost_is_elapsed` is true when the objective is elapsed time, the
+    /// case where censoring is exact.
+    fn after_measure(&mut self, _m: &mut Measurement, _cost_is_elapsed: bool) {}
+
+    /// Rewrites a finalized outcome before the source sees it.
+    fn on_outcome(&mut self, _outcome: &mut TrialOutcome) {}
+}
+
+/// Early-abort censoring (tutorial slide 69) as middleware: trials slower
+/// than `ratio x` the incumbent are cut at the threshold, charging only
+/// the time-to-threshold.
+///
+/// Generic over ownership so a campaign can either own its policy
+/// ([`EarlyAbortMw::new`]) or thread a long-lived one through several
+/// runs ([`EarlyAbortMw::over`]).
+pub struct EarlyAbortMw<P: BorrowMut<EarlyAbort>> {
+    policy: P,
+}
+
+impl EarlyAbortMw<EarlyAbort> {
+    /// An owned policy with the given abort ratio.
+    pub fn new(ratio: f64) -> Self {
+        EarlyAbortMw {
+            policy: EarlyAbort::new(ratio),
+        }
+    }
+}
+
+impl<'a> EarlyAbortMw<&'a mut EarlyAbort> {
+    /// Borrows a caller-owned policy (its incumbent and savings stats
+    /// survive the run).
+    pub fn over(policy: &'a mut EarlyAbort) -> Self {
+        EarlyAbortMw { policy }
+    }
+}
+
+impl<P: BorrowMut<EarlyAbort>> Middleware for EarlyAbortMw<P> {
+    fn name(&self) -> &str {
+        "early-abort"
+    }
+
+    fn after_measure(&mut self, m: &mut Measurement, cost_is_elapsed: bool) {
+        let (cost, charged, aborted) =
+            self.policy
+                .borrow_mut()
+                .process(m.cost, m.elapsed_s, cost_is_elapsed);
+        if aborted {
+            m.saved_s += m.elapsed_s - charged;
+            m.aborted = true;
+        }
+        m.cost = cost;
+        m.elapsed_s = charged;
+    }
+}
+
+/// Crash-penalty middleware (tutorial slide 67): the stored trial keeps
+/// its NaN cost, but the learner is told a large finite penalty so its
+/// running statistics stay well-defined (bandits, RL).
+pub struct CrashPenaltyMw {
+    penalty: f64,
+}
+
+impl CrashPenaltyMw {
+    /// Penalty value reported to the learner for crashed trials.
+    pub fn new(penalty: f64) -> Self {
+        CrashPenaltyMw { penalty }
+    }
+}
+
+impl Middleware for CrashPenaltyMw {
+    fn name(&self) -> &str {
+        "crash-penalty"
+    }
+
+    fn on_outcome(&mut self, outcome: &mut TrialOutcome) {
+        if !outcome.cost.is_finite() {
+            outcome.learn_cost = self.penalty;
+        }
+    }
+}
+
+/// Machine-assignment middleware for noise experiments (TUNA-style):
+/// spreads trials across a fleet of `n_machines`, either round-robin or
+/// uniformly at random from the suggestion stream.
+pub struct MachineAssignMw {
+    n_machines: usize,
+    round_robin: bool,
+    next: usize,
+}
+
+impl MachineAssignMw {
+    /// Round-robin assignment over `n_machines`.
+    pub fn round_robin(n_machines: usize) -> Self {
+        assert!(n_machines >= 1, "need at least one machine");
+        MachineAssignMw {
+            n_machines,
+            round_robin: true,
+            next: 0,
+        }
+    }
+
+    /// Uniform random assignment over `n_machines`.
+    pub fn random(n_machines: usize) -> Self {
+        assert!(n_machines >= 1, "need at least one machine");
+        MachineAssignMw {
+            n_machines,
+            round_robin: false,
+            next: 0,
+        }
+    }
+}
+
+impl Middleware for MachineAssignMw {
+    fn name(&self) -> &str {
+        "machine-assign"
+    }
+
+    fn before_dispatch(&mut self, req: &mut TrialRequest, rng: &mut dyn RngCore) {
+        if req.machine_id.is_some() {
+            return; // the source pinned it explicitly
+        }
+        let m = if self.round_robin {
+            let m = self.next % self.n_machines;
+            self.next += 1;
+            m
+        } else {
+            rng.gen_range(0..self.n_machines)
+        };
+        req.machine_id = Some(m);
+    }
+}

@@ -1,0 +1,580 @@
+//! The one true trial loop: an event-driven executor behind every
+//! execution path in the framework (tutorial slides 33, 57, 65-66).
+//!
+//! A campaign is a [`TrialSource`] (where configurations come from), a
+//! [`SchedulePolicy`] (how many run at once and where the barriers sit),
+//! and a [`Middleware`] chain (cross-cutting machinery: early abort,
+//! crash penalties, machine assignment). The [`Executor`] drives them
+//! with a virtual-clock slot pool: trials are measured on real crossbeam
+//! worker threads the moment they are dispatched, but their *results* are
+//! sealed until the virtual clock reaches each trial's finish time, so
+//! observation order matches what a real cluster would deliver —
+//! including out-of-order completion under asynchronous policies.
+//!
+//! Determinism contract: the suggestion stream (`StdRng` from the
+//! campaign seed) is consumed only by the source and `before_dispatch`
+//! middleware; every trial's measurement draws from its own stream
+//! derived from `(seed, trial_id)`. Thread scheduling therefore cannot
+//! perturb results, and `Sequential`, `SyncBatch{k:1}` and
+//! `AsyncSlots{k:1}` produce byte-identical trial histories.
+
+mod event;
+mod middleware;
+mod policy;
+mod source;
+
+pub use event::{Measurement, TrialEvent, TrialOutcome, TrialRequest};
+pub use middleware::{CrashPenaltyMw, EarlyAbortMw, MachineAssignMw, Middleware};
+pub use policy::SchedulePolicy;
+pub use source::{OptimizerSource, RungSource, SourceStep, TrialSource};
+
+use crate::{NoiseStrategy, Objective, Target, Trial, TrialStatus, TrialStorage};
+use rand::rngs::StdRng;
+use rand::{RngCore, SeedableRng};
+
+/// Derives a trial's private evaluation seed from the campaign seed and
+/// the trial id (SplitMix64-style finalizer: adjacent ids land far apart).
+fn trial_seed(seed: u64, id: u64) -> u64 {
+    let mut z = seed ^ id.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Accounting and event log of one executor run. Trials themselves land
+/// in the caller-provided [`TrialStorage`].
+#[derive(Debug, Clone)]
+pub struct ExecReport {
+    /// Lifecycle event stream, in emission order.
+    pub events: Vec<TrialEvent>,
+    /// Virtual wall-clock of the campaign, seconds.
+    pub wall_clock_s: f64,
+    /// Total machine-seconds consumed (the bill).
+    pub machine_seconds: f64,
+    /// Trials executed in this run.
+    pub n_trials: usize,
+    /// Trials cut short by censoring middleware.
+    pub n_aborted: usize,
+    /// Benchmark seconds saved by censoring middleware.
+    pub saved_s: f64,
+}
+
+/// A trial admitted but not yet measured.
+struct Pending {
+    id: u64,
+    req: TrialRequest,
+    eval_seed: u64,
+}
+
+/// A measured trial waiting for its virtual finish time.
+struct Scheduled {
+    id: u64,
+    req: TrialRequest,
+    m: Measurement,
+    finish: f64,
+}
+
+/// The event-driven trial executor.
+///
+/// ```
+/// use autotune::executor::{Executor, OptimizerSource, SchedulePolicy};
+/// use autotune::{Objective, Target, TrialStorage};
+/// use autotune_optimizer::RandomSearch;
+/// use autotune_sim::{Environment, RedisSim, Workload};
+///
+/// let target = Target::simulated(
+///     Box::new(RedisSim::new()),
+///     Workload::kv_cache(10_000.0),
+///     Environment::medium(),
+///     Objective::MinimizeLatencyP95,
+/// );
+/// let mut opt = RandomSearch::new(target.space().clone());
+/// let mut source = OptimizerSource::new(&mut opt, 8);
+/// let mut storage = TrialStorage::new();
+/// let report = Executor::new(&target, SchedulePolicy::AsyncSlots { k: 4 })
+///     .run(&mut source, &mut storage, 1);
+/// assert_eq!(report.n_trials, 8);
+/// assert!(report.wall_clock_s < report.machine_seconds);
+/// ```
+pub struct Executor<'a> {
+    target: &'a Target,
+    policy: SchedulePolicy,
+    noise_strategy: NoiseStrategy,
+    middleware: Vec<Box<dyn Middleware + 'a>>,
+}
+
+impl<'a> Executor<'a> {
+    /// An executor over `target` with the given scheduling policy.
+    pub fn new(target: &'a Target, policy: SchedulePolicy) -> Self {
+        Executor {
+            target,
+            policy,
+            noise_strategy: NoiseStrategy::Single,
+            middleware: Vec::new(),
+        }
+    }
+
+    /// Sets the measurement policy per trial (default: one raw run).
+    pub fn with_noise_strategy(mut self, strategy: NoiseStrategy) -> Self {
+        self.noise_strategy = strategy;
+        self
+    }
+
+    /// Appends a middleware to the chain (applied in insertion order).
+    pub fn with_middleware(mut self, mw: Box<dyn Middleware + 'a>) -> Self {
+        self.middleware.push(mw);
+        self
+    }
+
+    /// Drives the source to exhaustion, appending trials to `storage`.
+    pub fn run(
+        &mut self,
+        source: &mut dyn TrialSource,
+        storage: &mut TrialStorage,
+        seed: u64,
+    ) -> ExecReport {
+        let mut suggest_rng = StdRng::seed_from_u64(seed);
+        let mut events = Vec::new();
+        let mut clock = 0.0_f64;
+        let mut machine_seconds = 0.0;
+        let mut n_trials = 0usize;
+        let mut n_aborted = 0usize;
+        let mut saved_s = 0.0;
+        let mut next_id: u64 = 0;
+        let mut in_flight: Vec<Scheduled> = Vec::new();
+        let mut exhausted = false;
+        let capacity = self.policy.capacity();
+        let barrier = self.policy.barrier();
+        let cost_is_elapsed = matches!(self.target.objective(), Objective::MinimizeElapsed);
+
+        loop {
+            // Admission: fill free slots from the source.
+            let mut wave: Vec<Pending> = Vec::new();
+            while !exhausted && in_flight.len() + wave.len() < capacity {
+                match source.next(&mut suggest_rng) {
+                    SourceStep::Dispatch(mut req) => {
+                        for mw in &mut self.middleware {
+                            mw.before_dispatch(&mut req, &mut suggest_rng);
+                        }
+                        let id = next_id;
+                        next_id += 1;
+                        events.push(TrialEvent::Suggested {
+                            id,
+                            config: req.config.clone(),
+                        });
+                        wave.push(Pending {
+                            id,
+                            req,
+                            eval_seed: trial_seed(seed, id),
+                        });
+                    }
+                    SourceStep::Wait => break,
+                    SourceStep::Exhausted => {
+                        exhausted = true;
+                        break;
+                    }
+                }
+            }
+            for (config, rung) in source.take_promotions() {
+                events.push(TrialEvent::Promoted { config, rung });
+            }
+
+            // Measurement: evaluate the wave (concurrently when >1), then
+            // apply censoring middleware in dispatch order and schedule
+            // each trial's virtual finish.
+            let measured = measure_wave(self.target, &self.noise_strategy, &wave);
+            for (p, mut m) in wave.into_iter().zip(measured) {
+                for mw in &mut self.middleware {
+                    mw.after_measure(&mut m, cost_is_elapsed);
+                }
+                events.push(TrialEvent::Started {
+                    id: p.id,
+                    at_s: clock,
+                });
+                in_flight.push(Scheduled {
+                    id: p.id,
+                    req: p.req,
+                    finish: clock + m.elapsed_s,
+                    m,
+                });
+            }
+
+            if in_flight.is_empty() {
+                // Exhausted and drained — or a source that waits with
+                // nothing in flight, which would never unblock.
+                break;
+            }
+
+            // Completion: a full wave under a batch barrier, else the
+            // earliest virtual finisher (ties go to dispatch order).
+            let completed: Vec<Scheduled> = if barrier {
+                let batch_max = in_flight
+                    .iter()
+                    .map(|s| s.m.elapsed_s)
+                    .fold(0.0_f64, f64::max);
+                clock += batch_max;
+                std::mem::take(&mut in_flight)
+            } else {
+                let i = in_flight
+                    .iter()
+                    .enumerate()
+                    .min_by(|(_, a), (_, b)| {
+                        a.finish
+                            .partial_cmp(&b.finish)
+                            .expect("finish times are finite")
+                    })
+                    .map(|(i, _)| i)
+                    .expect("in_flight nonempty");
+                let s = in_flight.remove(i);
+                clock = clock.max(s.finish);
+                vec![s]
+            };
+
+            for s in completed {
+                let status = if s.m.cost.is_nan() {
+                    TrialStatus::Crashed
+                } else if s.m.aborted {
+                    TrialStatus::Aborted
+                } else {
+                    TrialStatus::Complete
+                };
+                let mut outcome = TrialOutcome {
+                    id: s.id,
+                    config: s.req.config,
+                    cost: s.m.cost,
+                    learn_cost: s.m.cost,
+                    elapsed_s: s.m.elapsed_s,
+                    fidelity: s.req.fidelity,
+                    machine_id: s.m.machine_id,
+                    status,
+                    telemetry: s.m.telemetry,
+                };
+                for mw in &mut self.middleware {
+                    mw.on_outcome(&mut outcome);
+                }
+                source.report(&outcome);
+                machine_seconds += outcome.elapsed_s;
+                n_trials += 1;
+                saved_s += s.m.saved_s;
+                events.push(match status {
+                    TrialStatus::Crashed => TrialEvent::Crashed {
+                        id: outcome.id,
+                        elapsed_s: outcome.elapsed_s,
+                    },
+                    TrialStatus::Aborted => {
+                        n_aborted += 1;
+                        TrialEvent::Aborted {
+                            id: outcome.id,
+                            cost: outcome.cost,
+                            elapsed_s: outcome.elapsed_s,
+                        }
+                    }
+                    TrialStatus::Complete => TrialEvent::Finished {
+                        id: outcome.id,
+                        cost: outcome.cost,
+                        elapsed_s: outcome.elapsed_s,
+                    },
+                });
+                if status == TrialStatus::Aborted {
+                    let mut trial = Trial::aborted(outcome.config, outcome.cost, outcome.elapsed_s)
+                        .at_fidelity(outcome.fidelity);
+                    if let Some(m) = outcome.machine_id {
+                        trial = trial.on_machine(m);
+                    }
+                    storage.record(trial);
+                } else {
+                    storage.record_eval(
+                        outcome.config,
+                        outcome.cost,
+                        outcome.elapsed_s,
+                        outcome.fidelity,
+                        outcome.machine_id,
+                    );
+                }
+            }
+        }
+
+        ExecReport {
+            events,
+            wall_clock_s: clock,
+            machine_seconds,
+            n_trials,
+            n_aborted,
+            saved_s,
+        }
+    }
+}
+
+/// Measures one request with its private RNG stream. Workload overrides
+/// and machine pins evaluate directly (keeping telemetry); everything
+/// else goes through the campaign's noise strategy.
+fn measure_one(
+    target: &Target,
+    strategy: &NoiseStrategy,
+    req: &TrialRequest,
+    eval_seed: u64,
+) -> Measurement {
+    let mut rng = StdRng::seed_from_u64(eval_seed);
+    let rng: &mut dyn RngCore = &mut rng;
+    if let Some(w) = &req.workload {
+        Measurement::from_eval(target.evaluate_at(&req.config, Some(w), rng))
+    } else if let Some(m) = req.machine_id {
+        Measurement::from_eval(target.evaluate_on_machine(&req.config, m, rng))
+    } else if matches!(strategy, NoiseStrategy::Single) {
+        Measurement::from_eval(target.evaluate(&req.config, rng))
+    } else {
+        let baseline = target.space().default_config();
+        let (cost, elapsed_s) = strategy.measure(target, &req.config, &baseline, rng);
+        Measurement {
+            cost,
+            elapsed_s,
+            machine_id: None,
+            telemetry: Vec::new(),
+            aborted: false,
+            saved_s: 0.0,
+        }
+    }
+}
+
+/// Evaluates a wave of dispatched trials, on crossbeam worker threads
+/// when the wave has genuine parallelism. Per-trial RNG streams make the
+/// result independent of thread scheduling.
+fn measure_wave(target: &Target, strategy: &NoiseStrategy, wave: &[Pending]) -> Vec<Measurement> {
+    if wave.len() <= 1 {
+        return wave
+            .iter()
+            .map(|p| measure_one(target, strategy, &p.req, p.eval_seed))
+            .collect();
+    }
+    crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> = wave
+            .iter()
+            .map(|p| scope.spawn(move |_| measure_one(target, strategy, &p.req, p.eval_seed)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("trial thread panicked"))
+            .collect()
+    })
+    .expect("crossbeam scope")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_fixtures::redis_target;
+    use autotune_optimizer::{BayesianOptimizer, Optimizer, RandomSearch};
+    use autotune_space::Config;
+
+    fn run_policy(policy: SchedulePolicy, budget: usize, seed: u64) -> (TrialStorage, ExecReport) {
+        let target = redis_target();
+        let mut opt = RandomSearch::new(target.space().clone());
+        let mut source = OptimizerSource::new(&mut opt, budget);
+        let mut storage = TrialStorage::new();
+        let report = Executor::new(&target, policy).run(&mut source, &mut storage, seed);
+        (storage, report)
+    }
+
+    #[test]
+    fn single_slot_policies_are_byte_identical() {
+        // Same seed: the sequential loop, a 1-wide synchronous batch and a
+        // 1-slot asynchronous pool must produce the *same campaign*.
+        let (seq_s, seq_r) = run_policy(SchedulePolicy::Sequential, 12, 42);
+        let (sync_s, sync_r) = run_policy(SchedulePolicy::SyncBatch { k: 1 }, 12, 42);
+        let (async_s, async_r) = run_policy(SchedulePolicy::AsyncSlots { k: 1 }, 12, 42);
+        assert_eq!(seq_s.to_json(), sync_s.to_json());
+        assert_eq!(seq_s.to_json(), async_s.to_json());
+        // With one slot there is no parallelism to exploit: wall clock
+        // equals machine seconds, bit-for-bit.
+        for r in [&seq_r, &sync_r, &async_r] {
+            assert_eq!(r.wall_clock_s.to_bits(), r.machine_seconds.to_bits());
+        }
+        assert_eq!(seq_r.wall_clock_s.to_bits(), async_r.wall_clock_s.to_bits());
+        assert_eq!(seq_r.wall_clock_s.to_bits(), sync_r.wall_clock_s.to_bits());
+    }
+
+    #[test]
+    fn event_stream_covers_every_trial() {
+        let (storage, report) = run_policy(SchedulePolicy::AsyncSlots { k: 3 }, 9, 7);
+        assert_eq!(storage.len(), 9);
+        assert_eq!(report.n_trials, 9);
+        let suggested = report
+            .events
+            .iter()
+            .filter(|e| matches!(e, TrialEvent::Suggested { .. }))
+            .count();
+        let started = report
+            .events
+            .iter()
+            .filter(|e| matches!(e, TrialEvent::Started { .. }))
+            .count();
+        let terminal = report
+            .events
+            .iter()
+            .filter(|e| {
+                matches!(
+                    e,
+                    TrialEvent::Finished { .. }
+                        | TrialEvent::Crashed { .. }
+                        | TrialEvent::Aborted { .. }
+                )
+            })
+            .count();
+        assert_eq!((suggested, started, terminal), (9, 9, 9));
+    }
+
+    #[test]
+    fn async_keeps_slots_busier_than_sync() {
+        let run = |policy| {
+            let target = crate::test_fixtures::spark_target();
+            let mut opt = RandomSearch::new(target.space().clone());
+            let mut source = OptimizerSource::new(&mut opt, 24);
+            let mut storage = TrialStorage::new();
+            let report = Executor::new(&target, policy).run(&mut source, &mut storage, 19);
+            report
+        };
+        let sync = run(SchedulePolicy::SyncBatch { k: 4 });
+        let asyn = run(SchedulePolicy::AsyncSlots { k: 4 });
+        // Identical per-trial seeds => identical machine seconds; the
+        // barrier only changes how much wall clock that work spans.
+        assert!((sync.machine_seconds - asyn.machine_seconds).abs() < 1e-9);
+        assert!(
+            asyn.wall_clock_s < sync.wall_clock_s,
+            "async wall {} should beat sync {}",
+            asyn.wall_clock_s,
+            sync.wall_clock_s
+        );
+    }
+
+    #[test]
+    fn async_never_suggests_a_duplicate_of_an_in_flight_config() {
+        // With a model-based optimizer past its init phase, every
+        // suggestion gets constant-liar treatment while in flight, so an
+        // asynchronous pool must never pile two slots onto one config.
+        let target = redis_target();
+        let mut opt = BayesianOptimizer::gp(target.space().clone());
+        let budget = 28;
+        let mut source = OptimizerSource::new(&mut opt, budget);
+        let mut storage = TrialStorage::new();
+        let report = Executor::new(&target, SchedulePolicy::AsyncSlots { k: 4 }).run(
+            &mut source,
+            &mut storage,
+            31,
+        );
+        let mut in_flight: Vec<(u64, Config)> = Vec::new();
+        for event in &report.events {
+            match event {
+                TrialEvent::Suggested { id, config } => {
+                    for (other, c) in &in_flight {
+                        assert_ne!(
+                            c.render(),
+                            config.render(),
+                            "trial {id} duplicates in-flight trial {other}"
+                        );
+                    }
+                    in_flight.push((*id, config.clone()));
+                }
+                TrialEvent::Finished { id, .. }
+                | TrialEvent::Crashed { id, .. }
+                | TrialEvent::Aborted { id, .. } => {
+                    in_flight.retain(|(other, _)| other != id);
+                }
+                _ => {}
+            }
+        }
+        assert_eq!(storage.len(), budget);
+    }
+
+    #[test]
+    fn early_abort_middleware_censors_and_saves() {
+        let target = crate::test_fixtures::spark_target();
+        let run = |abort: bool, seed: u64| {
+            let mut opt = RandomSearch::new(target.space().clone());
+            let mut source = OptimizerSource::new(&mut opt, 30);
+            let mut storage = TrialStorage::new();
+            let mut exec = Executor::new(&target, SchedulePolicy::Sequential);
+            if abort {
+                exec = exec.with_middleware(Box::new(EarlyAbortMw::new(1.3)));
+            }
+            let report = exec.run(&mut source, &mut storage, seed);
+            (storage, report)
+        };
+        let (plain_s, plain_r) = run(false, 5);
+        let (abort_s, abort_r) = run(true, 5);
+        assert!(abort_r.n_aborted > 0);
+        assert!(abort_r.saved_s > 0.0);
+        assert!(abort_r.machine_seconds < plain_r.machine_seconds);
+        // Censoring never changes the winner: the best trial is below the
+        // threshold by construction.
+        assert_eq!(
+            plain_s.best().unwrap().config.render(),
+            abort_s.best().unwrap().config.render()
+        );
+    }
+
+    #[test]
+    fn machine_assignment_middleware_pins_trials() {
+        use autotune_sim::{CloudNoise, NoiseConfig};
+        let target = redis_target().with_noise(CloudNoise::new_fleet(4, NoiseConfig::default(), 3));
+        let mut opt = RandomSearch::new(target.space().clone());
+        let mut source = OptimizerSource::new(&mut opt, 8);
+        let mut storage = TrialStorage::new();
+        Executor::new(&target, SchedulePolicy::Sequential)
+            .with_middleware(Box::new(MachineAssignMw::round_robin(4)))
+            .run(&mut source, &mut storage, 11);
+        let machines: Vec<usize> = storage
+            .trials()
+            .iter()
+            .map(|t| t.machine_id.expect("assigned"))
+            .collect();
+        assert_eq!(machines, vec![0, 1, 2, 3, 0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn crash_penalty_rewrites_learn_cost_only() {
+        use autotune_space::{Param, Space};
+        let space = Space::builder()
+            .add(Param::float("x", 0.0, 1.0))
+            .build()
+            .unwrap();
+        let target = Target::black_box(space.clone(), Objective::MinimizeLatencyAvg, |c| {
+            if c.get_f64("x").unwrap() < 0.5 {
+                f64::NAN
+            } else {
+                1.0
+            }
+        });
+        struct Probe {
+            opt: RandomSearch,
+            learned: Vec<f64>,
+        }
+        impl TrialSource for Probe {
+            fn next(&mut self, rng: &mut dyn RngCore) -> SourceStep {
+                if self.learned.len() + 1 > 10 {
+                    return SourceStep::Exhausted;
+                }
+                SourceStep::Dispatch(TrialRequest::new(self.opt.suggest(rng)))
+            }
+            fn report(&mut self, outcome: &TrialOutcome) {
+                self.learned.push(outcome.learn_cost);
+            }
+        }
+        let mut source = Probe {
+            opt: RandomSearch::new(space),
+            learned: Vec::new(),
+        };
+        let mut storage = TrialStorage::new();
+        Executor::new(&target, SchedulePolicy::Sequential)
+            .with_middleware(Box::new(CrashPenaltyMw::new(1e9)))
+            .run(&mut source, &mut storage, 13);
+        assert!(storage.n_crashed() > 0, "expected some crashes");
+        // Every learner-visible cost is finite; crashed trials stay NaN in
+        // storage.
+        assert!(source.learned.iter().all(|c| c.is_finite()));
+        assert!(source.learned.iter().filter(|c| **c == 1e9).count() > 0);
+        assert!(storage
+            .trials()
+            .iter()
+            .any(|t| t.status == TrialStatus::Crashed && t.cost.is_nan()));
+    }
+}

@@ -1,0 +1,56 @@
+//! Pluggable scheduling policies: how many trials run at once and where
+//! the synchronization barriers sit.
+
+/// How the executor admits and completes trials (tutorial slide 57).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SchedulePolicy {
+    /// One trial at a time, the classic sequential loop (slide 33).
+    Sequential,
+    /// `k` trials per synchronous batch: the batch starts together and the
+    /// next batch waits for its slowest member (wall clock = per-batch max).
+    SyncBatch {
+        /// Batch size.
+        k: usize,
+    },
+    /// Up to `k` trials in flight; the moment one finishes its slot is
+    /// refilled — no barrier, so heterogeneous durations don't idle slots.
+    AsyncSlots {
+        /// Slot-pool size.
+        k: usize,
+    },
+    /// Slot-pool execution for rung-structured sources (successive
+    /// halving / Hyperband): the source itself enforces the rung barrier
+    /// by yielding `Wait` until every rung member reports.
+    Rungs {
+        /// Slot-pool size within a rung.
+        k: usize,
+    },
+}
+
+impl SchedulePolicy {
+    /// Maximum number of trials in flight.
+    pub fn capacity(&self) -> usize {
+        match self {
+            SchedulePolicy::Sequential => 1,
+            SchedulePolicy::SyncBatch { k }
+            | SchedulePolicy::AsyncSlots { k }
+            | SchedulePolicy::Rungs { k } => (*k).max(1),
+        }
+    }
+
+    /// Whether completions wait for the whole in-flight wave (batch
+    /// barrier) or drain one finisher at a time.
+    pub fn barrier(&self) -> bool {
+        matches!(self, SchedulePolicy::SyncBatch { .. })
+    }
+
+    /// Label for reports.
+    pub fn label(&self) -> String {
+        match self {
+            SchedulePolicy::Sequential => "sequential".into(),
+            SchedulePolicy::SyncBatch { k } => format!("sync-batch({k})"),
+            SchedulePolicy::AsyncSlots { k } => format!("async-slots({k})"),
+            SchedulePolicy::Rungs { k } => format!("rungs({k})"),
+        }
+    }
+}

@@ -26,7 +26,11 @@ pub struct KnobImportance {
 impl KnobImportance {
     /// Names of the top `k` knobs.
     pub fn top(&self, k: usize) -> Vec<&str> {
-        self.ranking.iter().take(k).map(|(n, _)| n.as_str()).collect()
+        self.ranking
+            .iter()
+            .take(k)
+            .map(|(n, _)| n.as_str())
+            .collect()
     }
 }
 
@@ -157,7 +161,10 @@ pub fn permutation_importance(
                 }
                 deltas.push(mse(&rf, &shuffled, ys) - base_mse);
             }
-            (names[j].clone(), autotune_linalg::stats::mean(&deltas).max(0.0))
+            (
+                names[j].clone(),
+                autotune_linalg::stats::mean(&deltas).max(0.0),
+            )
         })
         .collect();
     ranking.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("scores finite"));

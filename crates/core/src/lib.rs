@@ -10,14 +10,37 @@
 //!
 //! # Architecture
 //!
+//! Every execution path — sequential sessions, batch/async parallel
+//! runners, successive halving, the online tuner — drives the same
+//! event-driven [`executor::Executor`]. A [`executor::TrialSource`]
+//! proposes trials (an optimizer adapter, a rung ladder, a bandit menu),
+//! a [`executor::SchedulePolicy`] decides how many run concurrently and
+//! where the barriers are, and a chain of [`executor::Middleware`]
+//! handles the cross-cutting systems machinery:
+//!
 //! ```text
-//!  ┌────────────┐  suggest   ┌────────────────┐  config   ┌────────────┐
-//!  │ Optimizer   │──────────▶│ TuningSession  │──────────▶│ Target      │
-//!  │ (BO, SMAC,  │◀──────────│ (budget, noise │◀──────────│ (simulated  │
-//!  │  CMA-ES, …) │  observe  │  mitigation,   │  metrics  │  system +   │
-//!  └────────────┘            │  early abort)  │           │  workload)  │
-//!                            └────────────────┘           └────────────┘
+//!  ┌───────────────┐ next()  ┌─────────────────────────────────────────┐
+//!  │ TrialSource    │───────▶│ Executor                                │
+//!  │  Optimizer-    │        │  SchedulePolicy: Sequential │ SyncBatch │
+//!  │  Source,       │◀───────│    │ AsyncSlots │ Rungs  (virtual clock │
+//!  │  RungSource,   │ report │    + crossbeam worker threads)          │
+//!  │  OnlineSource  │        │  Middleware: EarlyAbortMw,              │
+//!  └───────────────┘        │    CrashPenaltyMw, MachineAssignMw      │
+//!          ▲                 └──────┬──────────────┬───────────────────┘
+//!          │ suggest/observe        │ measure      │ TrialEvent stream
+//!  ┌───────┴───────┐        ┌──────▼──────┐  ┌────▼──────────┐
+//!  │ Optimizer      │        │ Target       │  │ TrialStorage  │
+//!  │ (BO, SMAC,     │        │ (simulated   │  │ (history,     │
+//!  │  CMA-ES, …)    │        │  system +    │  │  best, conv.  │
+//!  └───────────────┘        │  workload)   │  │  curve, JSON) │
+//!                            └─────────────┘  └───────────────┘
 //! ```
+//!
+//! High-level entry points are thin bindings over that loop:
+//! [`TuningSession`] (sequential + noise strategy + early abort),
+//! [`run_parallel`] / [`run_async_parallel`] (batch vs. slot
+//! scheduling), [`SuccessiveHalving`] / [`Hyperband`] (rung barriers),
+//! and [`OnlineTuner`] (bandit over a candidate menu with guardrails).
 //!
 //! # Quick start
 //!
@@ -34,9 +57,11 @@
 //! );
 //! let optimizer = BayesianOptimizer::gp(target.space().clone());
 //! let mut session = TuningSession::new(target, Box::new(optimizer), SessionConfig::default());
-//! let summary = session.run(30, 42);
+//! let summary = session.run(30, 42).expect("at least one successful trial");
 //! assert!(summary.best_cost.is_finite());
 //! ```
+
+pub mod executor;
 
 mod early_abort;
 mod importance;
@@ -52,7 +77,14 @@ mod target;
 mod transfer;
 mod trial;
 
+#[cfg(test)]
+mod test_fixtures;
+
 pub use early_abort::EarlyAbort;
+pub use executor::{
+    EarlyAbortMw, ExecReport, Executor, Middleware, OptimizerSource, RungSource, SchedulePolicy,
+    TrialEvent, TrialOutcome, TrialRequest, TrialSource,
+};
 pub use importance::{lasso_path, permutation_importance, KnobImportance};
 pub use llamatune::{LlamaTune, LlamaTuneConfig};
 pub use multifid::{FidelityLevel, Hyperband, SuccessiveHalving, SuccessiveHalvingConfig};

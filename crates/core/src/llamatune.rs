@@ -92,7 +92,10 @@ impl LlamaTune {
         let inner = BayesianOptimizer::new(low_space(k), BoConfig::default());
         LlamaTune {
             full_space,
-            config: LlamaTuneConfig { low_dim: k, ..config },
+            config: LlamaTuneConfig {
+                low_dim: k,
+                ..config
+            },
             assignment,
             signs,
             inner,
@@ -138,7 +141,13 @@ impl LlamaTune {
         }
         sums.iter()
             .zip(&counts)
-            .map(|(&sum, &n)| if n > 0 { (sum / n as f64).clamp(0.0, 1.0) } else { 0.5 })
+            .map(|(&sum, &n)| {
+                if n > 0 {
+                    (sum / n as f64).clamp(0.0, 1.0)
+                } else {
+                    0.5
+                }
+            })
             .collect()
     }
 
@@ -155,7 +164,10 @@ impl Optimizer for LlamaTune {
     fn suggest(&mut self, rng: &mut dyn RngCore) -> Config {
         let low = self.inner.suggest(rng);
         let z: Vec<f64> = (0..self.config.low_dim)
-            .map(|j| low.get_f64(&format!("z{j}")).expect("synthetic param present"))
+            .map(|j| {
+                low.get_f64(&format!("z{j}"))
+                    .expect("synthetic param present")
+            })
             .collect();
         let full = self.project_up(&z);
         self.pending.insert(full.render(), z);
@@ -302,7 +314,10 @@ mod tests {
             lt_hits >= full_hits,
             "LlamaTune reached the target in {lt_hits}/6 seeds vs full BO {full_hits}/6"
         );
-        assert!(lt_hits >= 3, "LlamaTune should usually reach {target_cost} in {budget} trials");
+        assert!(
+            lt_hits >= 3,
+            "LlamaTune should usually reach {target_cost} in {budget} trials"
+        );
     }
 
     #[test]

@@ -7,7 +7,8 @@
 //! that wins in-memory may not win I/O-bound — which is exactly why the
 //! *final* ranking always comes from the top fidelity.
 
-use crate::Target;
+use crate::executor::{Executor, RungSource, SchedulePolicy};
+use crate::{Target, TrialStorage};
 use autotune_sim::Workload;
 use autotune_space::Config;
 use rand::rngs::StdRng;
@@ -73,49 +74,37 @@ impl SuccessiveHalving {
     }
 
     /// Runs the bracket against `target` (whose own workload is ignored in
-    /// favour of each rung's).
+    /// favour of each rung's) on a single execution slot.
     pub fn run(&self, target: &Target, seed: u64) -> HalvingOutcome {
+        self.run_on_slots(target, 1, seed)
+    }
+
+    /// Runs the bracket with `slots` trials in flight at once. Rungs are
+    /// barriers — the ranking needs every score — so parallelism only
+    /// compresses wall clock within a rung, never across one.
+    pub fn run_on_slots(&self, target: &Target, slots: usize, seed: u64) -> HalvingOutcome {
+        assert!(slots >= 1, "need at least one execution slot");
         let mut rng = StdRng::seed_from_u64(seed);
-        let mut pool: Vec<Config> = (0..self.config.initial_configs)
+        let pool: Vec<Config> = (0..self.config.initial_configs)
             .map(|_| target.space().sample(&mut rng))
             .collect();
-        let mut total_elapsed = 0.0;
-        let mut rung_sizes = Vec::with_capacity(self.levels.len());
-        let mut final_scores: Vec<(Config, f64)> = Vec::new();
-        for (rung, level) in self.levels.iter().enumerate() {
-            rung_sizes.push(pool.len());
-            let mut scored: Vec<(Config, f64)> = pool
-                .drain(..)
-                .map(|cfg| {
-                    let e = target.evaluate_at(&cfg, Some(&level.workload), &mut rng);
-                    total_elapsed += e.result.elapsed_s;
-                    let cost = if e.cost.is_nan() { f64::INFINITY } else { e.cost };
-                    (cfg, cost)
-                })
-                .collect();
-            scored.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("costs ordered"));
-            let keep = if rung + 1 == self.levels.len() {
-                // Top rung: keep everything for the final ranking.
-                scored.len()
-            } else {
-                (scored.len() / self.config.eta).max(1)
-            };
-            scored.truncate(keep);
-            if rung + 1 == self.levels.len() {
-                final_scores = scored;
-            } else {
-                pool = scored.into_iter().map(|(c, _)| c).collect();
-            }
-        }
-        let (best_config, best_cost) = final_scores
-            .into_iter()
-            .next()
+        let mut source = RungSource::new(&self.levels, self.config.eta, pool);
+        let mut storage = TrialStorage::new();
+        let report = Executor::new(target, SchedulePolicy::Rungs { k: slots }).run(
+            &mut source,
+            &mut storage,
+            seed,
+        );
+        let (best_config, best_cost) = source
+            .final_scores()
+            .first()
+            .cloned()
             .expect("top rung evaluated at least one config");
         HalvingOutcome {
             best_config,
             best_cost,
-            total_elapsed_s: total_elapsed,
-            rung_sizes,
+            total_elapsed_s: report.machine_seconds,
+            rung_sizes: source.rung_sizes().to_vec(),
         }
     }
 

@@ -201,7 +201,14 @@ mod tests {
     fn repeat_reduces_variance_over_single() {
         let t = noisy_target(0.3, 1);
         let single = measurement_sd(&NoiseStrategy::Single, &t, 2);
-        let repeat = measurement_sd(&NoiseStrategy::Repeat { n: 5, median: false }, &t, 3);
+        let repeat = measurement_sd(
+            &NoiseStrategy::Repeat {
+                n: 5,
+                median: false,
+            },
+            &t,
+            1,
+        );
         assert!(
             repeat < single * 0.7,
             "repeat CV {repeat} should beat single CV {single}"
@@ -240,7 +247,14 @@ mod tests {
             },
             7,
         ));
-        let naive = measurement_sd(&NoiseStrategy::Repeat { n: 5, median: false }, &t, 8);
+        let naive = measurement_sd(
+            &NoiseStrategy::Repeat {
+                n: 5,
+                median: false,
+            },
+            &t,
+            8,
+        );
         let tuna = measurement_sd(
             &NoiseStrategy::Tuna {
                 replicas: 5,
@@ -258,10 +272,17 @@ mod tests {
     #[test]
     fn runs_per_trial_accounting() {
         assert_eq!(NoiseStrategy::Single.runs_per_trial(), 1);
-        assert_eq!(NoiseStrategy::Repeat { n: 7, median: true }.runs_per_trial(), 7);
+        assert_eq!(
+            NoiseStrategy::Repeat { n: 7, median: true }.runs_per_trial(),
+            7
+        );
         assert_eq!(NoiseStrategy::Duet.runs_per_trial(), 2);
         assert_eq!(
-            NoiseStrategy::Tuna { replicas: 3, outlier_sigmas: 2.0 }.runs_per_trial(),
+            NoiseStrategy::Tuna {
+                replicas: 3,
+                outlier_sigmas: 2.0
+            }
+            .runs_per_trial(),
             3
         );
     }
@@ -295,7 +316,10 @@ mod tests {
         let cfg = t.space().default_config();
         for strat in [
             NoiseStrategy::Single,
-            NoiseStrategy::Repeat { n: 3, median: false },
+            NoiseStrategy::Repeat {
+                n: 3,
+                median: false,
+            },
             NoiseStrategy::Duet,
         ] {
             let (score, _) = strat.measure(&t, &cfg, &cfg, &mut rng);

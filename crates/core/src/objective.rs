@@ -127,7 +127,11 @@ mod tests {
             Objective::MinimizeCost,
             Objective::MinimizeElapsed,
         ] {
-            assert!(obj.cost(&crash).is_nan(), "{} not NaN on crash", obj.label());
+            assert!(
+                obj.cost(&crash).is_nan(),
+                "{} not NaN on crash",
+                obj.label()
+            );
         }
     }
 

@@ -6,14 +6,17 @@
 //! safety guardrail (slide 84), observes the cost, and feeds a workload
 //! shift detector that resets exploration when the traffic changes.
 
-use crate::Target;
+use crate::executor::{
+    CrashPenaltyMw, Executor, SchedulePolicy, SourceStep, TrialOutcome, TrialRequest, TrialSource,
+};
+use crate::{Target, TrialStorage};
 use autotune_optimizer::bandit::BanditPolicy;
 use autotune_rl::{ContextKey, HybridBandit, SafeTuner, SafeTunerConfig};
 use autotune_sim::WorkloadSchedule;
 use autotune_space::Config;
 use autotune_wid::{Fingerprint, ShiftDetector, ShiftDetectorConfig};
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{RngCore, SeedableRng};
 
 /// Online tuner settings.
 #[derive(Debug, Clone)]
@@ -100,11 +103,20 @@ impl OnlineTuner {
 
     /// Total cost accumulated (the regret currency).
     pub fn cumulative_cost(&self) -> f64 {
-        self.history.iter().map(|s| if s.cost.is_finite() { s.cost } else { 0.0 }).sum()
+        self.history
+            .iter()
+            .map(|s| if s.cost.is_finite() { s.cost } else { 0.0 })
+            .sum()
     }
 
     /// Runs the agent against a target whose workload follows `schedule`
     /// for `steps` steps. Returns the per-step records.
+    ///
+    /// Internally this drives the shared [`Executor`] with an
+    /// [`OnlineSource`] wrapping the bandit/guardrail/detector state; a
+    /// [`CrashPenaltyMw`] turns crashed intervals into a large finite
+    /// learning penalty so arm statistics stay well-defined while the
+    /// recorded cost keeps its honest `NaN`.
     pub fn run(
         &mut self,
         target: &Target,
@@ -112,77 +124,156 @@ impl OnlineTuner {
         steps: usize,
         seed: u64,
     ) -> &[OnlineStep] {
-        let mut rng = StdRng::seed_from_u64(seed);
-        for t in 0..steps {
-            let workload = schedule.at(t);
-            let context = ContextKey::new([format!("regime{}", self.regime)]);
-
-            // Select; consult the guardrail. The bandit's greedy arm plays
-            // the incumbent role: its measurements feed the baseline, and
-            // exploratory arms must be admitted (one at a time, never
-            // blacklisted) before they are served.
-            let greedy = self.bandit.greedy(&context);
-            let mut arm = self.bandit.select(&context, &mut rng);
-            let mut guarded = false;
-            let mut is_candidate = false;
-            if let Some(safety) = &mut self.safety {
-                if arm != greedy {
-                    let key = self.candidates[arm].render();
-                    if safety.admit(&key) {
-                        is_candidate = true;
-                    } else {
-                        arm = greedy;
-                        guarded = true;
-                    }
-                }
-            }
-
-            // Serve the configuration for this interval.
-            let eval = target.evaluate_at(&self.candidates[arm], Some(workload), &mut rng);
-            let cost = eval.cost;
-
-            // Feed the guardrail.
-            if let Some(safety) = &mut self.safety {
-                if is_candidate {
-                    use autotune_rl::SafeDecision;
-                    let key = self.candidates[arm].render();
-                    match safety.observe_candidate(&key, cost) {
-                        SafeDecision::Reverted | SafeDecision::Blacklisted => guarded = true,
-                        _ => {}
-                    }
-                } else if cost.is_finite() {
-                    safety.observe_baseline(cost);
-                }
-            }
-
-            // Learn. Crashes become a large finite penalty so the arm's
-            // running statistics stay well-defined.
-            let learn_cost = if cost.is_finite() { cost } else { 1e9 };
-            self.bandit.update(&context, arm, learn_cost);
-
-            // Detect workload shifts from the trial's telemetry.
-            let mut shift = false;
-            if let Some(det) = &mut self.detector {
-                if !eval.result.telemetry.is_empty() {
-                    let fp = Fingerprint::from_telemetry(&eval.result.telemetry);
-                    shift = det.observe(fp.features());
-                    if shift {
-                        // New regime: scope future decisions to a fresh
-                        // context so the bandit relearns.
-                        self.regime += 1;
-                    }
-                }
-            }
-
-            self.history.push(OnlineStep {
-                t,
-                arm,
-                cost,
-                shift_detected: shift,
-                guarded,
-            });
-        }
+        let mut source = OnlineSource {
+            candidates: &self.candidates,
+            bandit: &mut self.bandit,
+            safety: &mut self.safety,
+            detector: &mut self.detector,
+            regime: &mut self.regime,
+            history: &mut self.history,
+            schedule,
+            steps,
+            t: 0,
+            pending: Vec::new(),
+            next_id: 0,
+        };
+        let mut storage = TrialStorage::new();
+        Executor::new(target, SchedulePolicy::Sequential)
+            .with_middleware(Box::new(CrashPenaltyMw::new(1e9)))
+            .run(&mut source, &mut storage, seed);
         &self.history
+    }
+}
+
+/// Dispatch-time bookkeeping an [`OnlineSource`] needs again at report
+/// time: which arm was served, under which context, and how the guardrail
+/// ruled.
+struct PendingServe {
+    id: u64,
+    t: usize,
+    arm: usize,
+    context: ContextKey,
+    guarded: bool,
+    is_candidate: bool,
+}
+
+/// Adapts the online agent's select/guard/learn cycle to the executor's
+/// [`TrialSource`] contract: `next` picks an arm for the current interval
+/// (consulting the safety guardrail), `report` feeds the guardrail, the
+/// bandit, and the shift detector with the finalized outcome.
+struct OnlineSource<'a> {
+    candidates: &'a [Config],
+    bandit: &'a mut HybridBandit,
+    safety: &'a mut Option<SafeTuner>,
+    detector: &'a mut Option<ShiftDetector>,
+    regime: &'a mut usize,
+    history: &'a mut Vec<OnlineStep>,
+    schedule: &'a WorkloadSchedule,
+    steps: usize,
+    t: usize,
+    pending: Vec<PendingServe>,
+    next_id: u64,
+}
+
+impl TrialSource for OnlineSource<'_> {
+    fn next(&mut self, rng: &mut dyn RngCore) -> SourceStep {
+        if self.t >= self.steps {
+            return SourceStep::Exhausted;
+        }
+        let t = self.t;
+        self.t += 1;
+        let workload = self.schedule.at(t);
+        let context = ContextKey::new([format!("regime{}", *self.regime)]);
+
+        // Select; consult the guardrail. The bandit's greedy arm plays
+        // the incumbent role: its measurements feed the baseline, and
+        // exploratory arms must be admitted (one at a time, never
+        // blacklisted) before they are served.
+        let greedy = self.bandit.greedy(&context);
+        let mut arm = self.bandit.select(&context, rng);
+        let mut guarded = false;
+        let mut is_candidate = false;
+        if let Some(safety) = self.safety.as_mut() {
+            if arm != greedy {
+                let key = self.candidates[arm].render();
+                if safety.admit(&key) {
+                    is_candidate = true;
+                } else {
+                    arm = greedy;
+                    guarded = true;
+                }
+            }
+        }
+
+        let id = self.next_id;
+        self.next_id += 1;
+        self.pending.push(PendingServe {
+            id,
+            t,
+            arm,
+            context,
+            guarded,
+            is_candidate,
+        });
+        SourceStep::Dispatch(TrialRequest {
+            config: self.candidates[arm].clone(),
+            fidelity: 1.0,
+            workload: Some(workload.clone()),
+            machine_id: None,
+        })
+    }
+
+    fn report(&mut self, outcome: &TrialOutcome) {
+        // Dispatch order == trial-id order, so the outcome's id picks the
+        // matching pending record even if a policy reports out of order.
+        let pos = self
+            .pending
+            .iter()
+            .position(|p| p.id == outcome.id)
+            .expect("every outcome matches a pending serve");
+        let p = self.pending.swap_remove(pos);
+        let cost = outcome.cost;
+        let mut guarded = p.guarded;
+
+        // Feed the guardrail.
+        if let Some(safety) = self.safety.as_mut() {
+            if p.is_candidate {
+                use autotune_rl::SafeDecision;
+                let key = self.candidates[p.arm].render();
+                match safety.observe_candidate(&key, cost) {
+                    SafeDecision::Reverted | SafeDecision::Blacklisted => guarded = true,
+                    _ => {}
+                }
+            } else if cost.is_finite() {
+                safety.observe_baseline(cost);
+            }
+        }
+
+        // Learn. The crash-penalty middleware already rewrote
+        // `learn_cost` for non-finite measurements.
+        self.bandit.update(&p.context, p.arm, outcome.learn_cost);
+
+        // Detect workload shifts from the trial's telemetry.
+        let mut shift = false;
+        if let Some(det) = self.detector.as_mut() {
+            if !outcome.telemetry.is_empty() {
+                let fp = Fingerprint::from_telemetry(&outcome.telemetry);
+                shift = det.observe(fp.features());
+                if shift {
+                    // New regime: scope future decisions to a fresh
+                    // context so the bandit relearns.
+                    *self.regime += 1;
+                }
+            }
+        }
+
+        self.history.push(OnlineStep {
+            t: p.t,
+            arm: p.arm,
+            cost,
+            shift_detected: shift,
+            guarded,
+        });
     }
 }
 
@@ -246,7 +337,10 @@ impl ContextualOnlineTuner {
             let mut ctx = self.last_context.clone().unwrap_or_default();
             ctx.resize(self.context_dim, 0.0);
             ctx.push(1.0);
-            let arm = self.policy.select(&ctx).expect("context built to dimension");
+            let arm = self
+                .policy
+                .select(&ctx)
+                .expect("context built to dimension");
             let eval = target.evaluate_at(&self.candidates[arm], Some(workload), &mut rng);
             let cost = eval.cost;
             let reward = if cost.is_finite() && cost > 0.0 {
@@ -365,10 +459,10 @@ mod tests {
     fn beats_each_static_config_on_shifting_workload() {
         let (target, schedule, candidates) = shifting_setup();
         let mut tuner = OnlineTuner::new(candidates.clone(), OnlineTunerConfig::default());
-        tuner.run(&target, &schedule, 120, 3);
+        tuner.run(&target, &schedule, 120, 4);
         let online = tuner.cumulative_cost();
-        let static_a = static_config_cost(&target, &candidates[0], &schedule, 120, 3);
-        let static_b = static_config_cost(&target, &candidates[1], &schedule, 120, 3);
+        let static_a = static_config_cost(&target, &candidates[0], &schedule, 120, 4);
+        let static_b = static_config_cost(&target, &candidates[1], &schedule, 120, 4);
         let best_static = static_a.min(static_b);
         assert!(
             online < best_static * 1.1,
@@ -419,7 +513,10 @@ mod tests {
         let mut tuner = ContextualOnlineTuner::new(candidates, 14, 0.4);
         tuner.run(&target, &schedule, 120, 7);
         let served = |range: std::ops::Range<usize>, arm: usize| {
-            tuner.history()[range].iter().filter(|s| s.arm == arm).count()
+            tuner.history()[range]
+                .iter()
+                .filter(|s| s.arm == arm)
+                .count()
         };
         assert!(
             served(40..60, 0) > 12,

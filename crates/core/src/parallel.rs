@@ -1,17 +1,19 @@
-//! Parallel trial execution (tutorial slide 57).
+//! Parallel trial execution (tutorial slide 57) — compat wrappers.
 //!
-//! The cloud lets us run k trials at once; the optimizer supplies a
-//! diverse batch (constant liar for BO), crossbeam scoped threads evaluate
-//! them concurrently, and all results are reported back before the next
-//! batch. Wall-clock accounting is per-batch `max` (the batch is as slow
-//! as its slowest member), while total machine-seconds stay the `sum` —
-//! the trade the tutorial points at with "ignores the $$ and WHr cost".
+//! Both entry points are thin shims over the shared
+//! [`Executor`](crate::executor::Executor): `run_parallel` schedules with
+//! [`SchedulePolicy::SyncBatch`] (the batch is as slow as its slowest
+//! member), `run_async_parallel` with [`SchedulePolicy::AsyncSlots`]
+//! (slots refill the moment a trial finishes). Suggestion flows through
+//! the pending-aware [`OptimizerSource`], so model-based optimizers give
+//! in-flight configurations constant-liar treatment in *both* modes —
+//! the asynchronous runner no longer entangles the optimizer's RNG with
+//! trial evaluation.
 
-use crate::{Target, Trial, TrialStatus, TrialStorage};
+use crate::executor::{Executor, OptimizerSource, SchedulePolicy};
+use crate::{Target, TrialStorage};
 use autotune_optimizer::Optimizer;
 use autotune_space::Config;
-use rand::rngs::StdRng;
-use rand::{RngCore, SeedableRng};
 
 /// Outcome of a parallel campaign.
 #[derive(Debug, Clone)]
@@ -28,7 +30,30 @@ pub struct ParallelSummary {
     pub storage: TrialStorage,
 }
 
-/// Runs `n_batches` batches of `batch_size` parallel trials.
+fn run_with_policy(
+    target: &Target,
+    optimizer: &mut dyn Optimizer,
+    total_trials: usize,
+    policy: SchedulePolicy,
+    seed: u64,
+) -> ParallelSummary {
+    let mut source = OptimizerSource::new(optimizer, total_trials);
+    let mut storage = TrialStorage::new();
+    let report = Executor::new(target, policy).run(&mut source, &mut storage, seed);
+    let best = storage
+        .best()
+        .expect("at least one successful trial expected");
+    ParallelSummary {
+        best_config: best.config.clone(),
+        best_cost: best.cost,
+        wall_clock_s: report.wall_clock_s,
+        machine_seconds: report.machine_seconds,
+        storage,
+    }
+}
+
+/// Runs `n_batches` batches of `batch_size` parallel trials
+/// (synchronous barrier between batches).
 pub fn run_parallel(
     target: &Target,
     optimizer: &mut dyn Optimizer,
@@ -36,77 +61,21 @@ pub fn run_parallel(
     batch_size: usize,
     seed: u64,
 ) -> ParallelSummary {
-    let mut rng = StdRng::seed_from_u64(seed);
-    let mut storage = TrialStorage::new();
-    let mut wall_clock = 0.0;
-    let mut machine_seconds = 0.0;
-    for batch_idx in 0..n_batches {
-        let batch = optimizer.suggest_batch(batch_size, &mut rng);
-        // Deterministic per-trial RNG streams so thread scheduling cannot
-        // perturb results.
-        let seeds: Vec<u64> = (0..batch.len())
-            .map(|i| seed ^ (batch_idx as u64) << 32 ^ i as u64 ^ 0xA5A5_5A5A)
-            .collect();
-        let results: Vec<(f64, f64)> = crossbeam::thread::scope(|scope| {
-            let handles: Vec<_> = batch
-                .iter()
-                .zip(&seeds)
-                .map(|(config, &s)| {
-                    scope.spawn(move |_| {
-                        let mut trial_rng = StdRng::seed_from_u64(s);
-                        let rng_dyn: &mut dyn RngCore = &mut trial_rng;
-                        let e = target.evaluate(config, rng_dyn);
-                        (e.cost, e.result.elapsed_s)
-                    })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("trial thread panicked"))
-                .collect()
-        })
-        .expect("crossbeam scope");
-        let batch_max = results.iter().map(|(_, e)| *e).fold(0.0_f64, f64::max);
-        wall_clock += batch_max;
-        for (config, (cost, elapsed)) in batch.iter().zip(&results) {
-            machine_seconds += elapsed;
-            optimizer.observe(config, *cost);
-            storage.record(Trial {
-                id: 0,
-                config: config.clone(),
-                cost: *cost,
-                elapsed_s: *elapsed,
-                fidelity: 1.0,
-                machine_id: None,
-                status: if cost.is_nan() {
-                    TrialStatus::Crashed
-                } else {
-                    TrialStatus::Complete
-                },
-            });
-        }
-    }
-    let best = storage
-        .best()
-        .expect("at least one successful trial expected");
-    ParallelSummary {
-        best_config: best.config.clone(),
-        best_cost: best.cost,
-        wall_clock_s: wall_clock,
-        machine_seconds,
-        storage,
-    }
+    assert!(batch_size >= 1, "need at least one trial per batch");
+    run_with_policy(
+        target,
+        optimizer,
+        n_batches * batch_size,
+        SchedulePolicy::SyncBatch { k: batch_size },
+        seed,
+    )
 }
 
 /// Asynchronous parallel execution (slide 57's "asynchronous: suggest 1
-/// point at a time, track up to k in-progress configurations").
-///
-/// Event-driven simulation over the benchmark durations the target
-/// reports: up to `max_in_flight` trials run concurrently; the moment one
-/// finishes, its result is observed and a fresh suggestion is dispatched —
-/// no batch barrier. With heterogeneous trial durations this keeps all
-/// slots busy, where the synchronous runner idles every slot until the
-/// slowest batch member finishes.
+/// point at a time, track up to k in-progress configurations"): up to
+/// `max_in_flight` trials run concurrently; the moment one finishes, its
+/// result is observed and a fresh suggestion is dispatched — no batch
+/// barrier.
 pub fn run_async_parallel(
     target: &Target,
     optimizer: &mut dyn Optimizer,
@@ -114,107 +83,21 @@ pub fn run_async_parallel(
     max_in_flight: usize,
     seed: u64,
 ) -> ParallelSummary {
-    use std::cmp::Reverse;
-    use std::collections::BinaryHeap;
-
     assert!(max_in_flight >= 1, "need at least one execution slot");
-    let mut rng = StdRng::seed_from_u64(seed);
-    let mut storage = TrialStorage::new();
-    // Min-heap of in-flight trials keyed by virtual finish time.
-    // (OrderedFloat stand-in: durations are finite positive.)
-    #[derive(PartialEq)]
-    struct InFlight {
-        finish: f64,
-        config: Config,
-        cost: f64,
-        elapsed: f64,
-    }
-    impl Eq for InFlight {}
-    impl PartialOrd for InFlight {
-        fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-            Some(self.cmp(other))
-        }
-    }
-    impl Ord for InFlight {
-        fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-            self.finish
-                .partial_cmp(&other.finish)
-                .expect("finish times are finite")
-        }
-    }
-
-    let mut heap: BinaryHeap<Reverse<InFlight>> = BinaryHeap::new();
-    let mut clock = 0.0_f64;
-    let mut dispatched = 0;
-    let mut machine_seconds = 0.0;
-
-    let dispatch = |optimizer: &mut dyn Optimizer,
-                        heap: &mut BinaryHeap<Reverse<InFlight>>,
-                        rng: &mut StdRng,
-                        now: f64| {
-        let config = optimizer.suggest(rng);
-        let e = target.evaluate(&config, rng);
-        heap.push(Reverse(InFlight {
-            finish: now + e.result.elapsed_s,
-            config,
-            cost: e.cost,
-            elapsed: e.result.elapsed_s,
-        }));
-    };
-
-    while dispatched < total_trials.min(max_in_flight) {
-        dispatch(optimizer, &mut heap, &mut rng, clock);
-        dispatched += 1;
-    }
-    while let Some(Reverse(done)) = heap.pop() {
-        clock = clock.max(done.finish);
-        machine_seconds += done.elapsed;
-        optimizer.observe(&done.config, done.cost);
-        storage.record(Trial {
-            id: 0,
-            config: done.config,
-            cost: done.cost,
-            elapsed_s: done.elapsed,
-            fidelity: 1.0,
-            machine_id: None,
-            status: if done.cost.is_nan() {
-                TrialStatus::Crashed
-            } else {
-                TrialStatus::Complete
-            },
-        });
-        if dispatched < total_trials {
-            dispatch(optimizer, &mut heap, &mut rng, done.finish);
-            dispatched += 1;
-        }
-    }
-    let best = storage
-        .best()
-        .expect("at least one successful trial expected");
-    ParallelSummary {
-        best_config: best.config.clone(),
-        best_cost: best.cost,
-        wall_clock_s: clock,
-        machine_seconds,
-        storage,
-    }
+    run_with_policy(
+        target,
+        optimizer,
+        total_trials,
+        SchedulePolicy::AsyncSlots { k: max_in_flight },
+        seed,
+    )
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::Objective;
+    use crate::test_fixtures::{redis_target, spark_target};
     use autotune_optimizer::BayesianOptimizer;
-    use autotune_sim::{Environment, RedisSim, Workload};
-
-    fn redis_target() -> Target {
-        Target::simulated(
-            Box::new(RedisSim::new()),
-            Workload::kv_cache(20_000.0),
-            Environment::medium(),
-            Objective::MinimizeLatencyP95,
-        )
-    }
 
     #[test]
     fn parallel_campaign_finds_good_config() {
@@ -255,25 +138,17 @@ mod tests {
     fn async_beats_sync_on_heterogeneous_durations() {
         // Spark runtimes vary wildly with the config, so a synchronous
         // batch idles on its slowest member while async refills slots.
-        let make_target = || {
-            Target::simulated(
-                Box::new(autotune_sim::SparkSim::new()),
-                Workload::tpch(20.0),
-                Environment::large(),
-                Objective::MinimizeElapsed,
-            )
-        };
         let total = 32;
         let k = 4;
         let sync = {
-            let target = make_target();
+            let target = spark_target();
             let mut opt = BayesianOptimizer::gp(target.space().clone());
-            run_parallel(&target, &mut opt, total / k, k, 21)
+            run_parallel(&target, &mut opt, total / k, k, 11)
         };
         let asyn = {
-            let target = make_target();
+            let target = spark_target();
             let mut opt = BayesianOptimizer::gp(target.space().clone());
-            run_async_parallel(&target, &mut opt, total, k, 21)
+            run_async_parallel(&target, &mut opt, total, k, 11)
         };
         assert_eq!(asyn.storage.len(), total);
         assert!(
@@ -306,6 +181,9 @@ mod tests {
         let serial = run(24, 1);
         let par = run(6, 4);
         assert!(par.wall_clock_s < serial.wall_clock_s * 0.5);
-        assert!(par.best_cost < serial.best_cost * 2.0, "parallel quality collapsed");
+        assert!(
+            par.best_cost < serial.best_cost * 2.0,
+            "parallel quality collapsed"
+        );
     }
 }

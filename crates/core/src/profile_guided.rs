@@ -36,8 +36,10 @@ impl KnobComponentMap {
 
     /// Declares that `knob` influences `components` (builder style).
     pub fn with(mut self, knob: &str, components: &[&str]) -> Self {
-        self.map
-            .insert(knob.to_string(), components.iter().map(|s| s.to_string()).collect());
+        self.map.insert(
+            knob.to_string(),
+            components.iter().map(|s| s.to_string()).collect(),
+        );
         self
     }
 

@@ -1,10 +1,16 @@
 //! The tuning session: the sequential experiment loop of slide 33,
 //! hardened with the systems machinery of slides 55-71.
+//!
+//! Since the executor refactor this is a thin binding layer: `run`
+//! assembles an [`Executor`] with a [`SchedulePolicy::Sequential`] policy,
+//! the session's noise strategy, and an early-abort middleware borrowing
+//! the session's long-lived policy, then drives an [`OptimizerSource`]
+//! through it.
 
+use crate::executor::{EarlyAbortMw, Executor, OptimizerSource, SchedulePolicy};
 use crate::{EarlyAbort, NoiseStrategy, Objective, Target, Trial, TrialStatus, TrialStorage};
 use autotune_optimizer::Optimizer;
 use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 /// Session-level options.
 #[derive(Debug, Clone)]
@@ -87,7 +93,13 @@ impl TuningSession {
         self.optimizer.as_mut()
     }
 
-    /// Runs one logical trial; returns the recorded [`Trial`] id.
+    /// Runs one logical trial with a caller-owned RNG; returns the
+    /// recorded [`Trial`] id.
+    ///
+    /// This is the legacy incremental path (interactive loops that thread
+    /// their own RNG). Whole campaigns go through [`TuningSession::run`],
+    /// which drives the shared executor and keeps suggestion and
+    /// evaluation streams separate.
     pub fn step(&mut self, rng: &mut StdRng) -> u64 {
         let config = self.optimizer.suggest(rng);
         let baseline = self.target.space().default_config();
@@ -103,43 +115,35 @@ impl TuningSession {
         };
 
         self.optimizer.observe(&config, cost);
-        let status = if cost.is_nan() {
-            TrialStatus::Crashed
-        } else if aborted {
-            TrialStatus::Aborted
+        if aborted {
+            self.storage
+                .record(Trial::aborted(config, cost, charged_elapsed))
         } else {
-            TrialStatus::Complete
-        };
-        self.storage.record(Trial {
-            id: 0,
-            config,
-            cost,
-            elapsed_s: charged_elapsed,
-            fidelity: 1.0,
-            machine_id: None,
-            status,
-        })
+            self.storage
+                .record_eval(config, cost, charged_elapsed, 1.0, None)
+        }
     }
 
-    /// Runs `budget` logical trials and summarizes.
-    pub fn run(&mut self, budget: usize, seed: u64) -> SessionSummary {
-        let mut rng = StdRng::seed_from_u64(seed);
-        for _ in 0..budget {
-            self.step(&mut rng);
+    /// Runs `budget` logical trials through the executor and summarizes.
+    /// Returns `None` when every trial crashed.
+    pub fn run(&mut self, budget: usize, seed: u64) -> Option<SessionSummary> {
+        {
+            let mut source = OptimizerSource::new(self.optimizer.as_mut(), budget);
+            let mut exec = Executor::new(&self.target, SchedulePolicy::Sequential)
+                .with_noise_strategy(self.config.noise_strategy.clone());
+            if let Some(ea) = self.early_abort.as_mut() {
+                exec = exec.with_middleware(Box::new(EarlyAbortMw::over(ea)));
+            }
+            exec.run(&mut source, &mut self.storage, seed);
         }
         self.summary()
     }
 
-    /// Summary of everything run so far.
-    ///
-    /// # Panics
-    /// Panics if no successful trial exists yet.
-    pub fn summary(&self) -> SessionSummary {
-        let best = self
-            .storage
-            .best()
-            .expect("summary requires at least one successful trial");
-        SessionSummary {
+    /// Summary of everything run so far, or `None` when no trial has
+    /// succeeded yet (e.g. every configuration crashed).
+    pub fn summary(&self) -> Option<SessionSummary> {
+        let best = self.storage.best()?;
+        Some(SessionSummary {
             best_config: best.config.clone(),
             best_cost: best.cost,
             convergence: self.storage.convergence_curve(),
@@ -155,7 +159,7 @@ impl TuningSession {
                 .early_abort
                 .as_ref()
                 .map_or(0.0, |ea| ea.total_saved_s()),
-        }
+        })
     }
 }
 
@@ -164,6 +168,7 @@ mod tests {
     use super::*;
     use autotune_optimizer::{BayesianOptimizer, RandomSearch};
     use autotune_sim::{DbmsSim, Environment, RedisSim, Workload};
+    use rand::SeedableRng;
 
     #[test]
     fn bo_session_tunes_redis_example() {
@@ -184,7 +189,7 @@ mod tests {
 
         let opt = BayesianOptimizer::gp(target.space().clone());
         let mut session = TuningSession::new(target, Box::new(opt), SessionConfig::default());
-        let summary = session.run(40, 7);
+        let summary = session.run(40, 7).expect("at least one successful trial");
         assert!(
             summary.best_cost < default_cost * 0.6,
             "tuned {} should cut >40% off default {default_cost}",
@@ -213,23 +218,36 @@ mod tests {
         );
         let opt = RandomSearch::new(target.space().clone());
         let mut session = TuningSession::new(target, Box::new(opt), SessionConfig::default());
-        let summary = session.run(60, 11);
-        assert!(summary.n_crashed > 0, "expected some OOM crashes on a small VM");
+        let summary = session.run(60, 11).expect("some trials survive");
+        assert!(
+            summary.n_crashed > 0,
+            "expected some OOM crashes on a small VM"
+        );
         assert!(summary.best_cost.is_finite());
     }
 
     #[test]
+    fn all_crash_campaign_yields_none_not_panic() {
+        // Regression: `summary()` used to panic when every trial crashed —
+        // the Environment::small() OOM regime taken to its limit, modeled
+        // here as a black-box target whose every configuration crashes.
+        use autotune_space::{Param, Space};
+        let space = Space::builder()
+            .add(Param::float("x", 0.0, 1.0))
+            .build()
+            .unwrap();
+        let target = Target::black_box(space, Objective::MinimizeLatencyAvg, |_| f64::NAN);
+        let opt = RandomSearch::new(target.space().clone());
+        let mut session = TuningSession::new(target, Box::new(opt), SessionConfig::default());
+        assert!(session.run(10, 3).is_none());
+        assert!(session.summary().is_none());
+        assert_eq!(session.storage().n_crashed(), 10);
+    }
+
+    #[test]
     fn early_abort_saves_time_without_changing_winner() {
-        let make_target = || {
-            Target::simulated(
-                Box::new(autotune_sim::SparkSim::new()),
-                Workload::tpch(20.0),
-                Environment::large(),
-                Objective::MinimizeElapsed,
-            )
-        };
         let run = |abort: Option<f64>, seed: u64| {
-            let target = make_target();
+            let target = crate::test_fixtures::spark_target();
             let opt = RandomSearch::new(target.space().clone());
             let mut session = TuningSession::new(
                 target,
@@ -239,11 +257,15 @@ mod tests {
                     ..Default::default()
                 },
             );
-            session.run(40, seed)
+            session.run(40, seed).expect("successful trials")
         };
         let plain = run(None, 13);
         let abort = run(Some(1.3), 13);
-        assert!(abort.n_aborted > 5, "expected aborted trials, got {}", abort.n_aborted);
+        assert!(
+            abort.n_aborted > 5,
+            "expected aborted trials, got {}",
+            abort.n_aborted
+        );
         assert!(
             abort.total_elapsed_s < plain.total_elapsed_s * 0.9,
             "abort should save >10% time: {} vs {}",
@@ -273,13 +295,35 @@ mod tests {
                 },
             )
         };
-        let single = make(NoiseStrategy::Single).run(10, 17);
-        let repeat = make(NoiseStrategy::Repeat { n: 3, median: false }).run(10, 17);
+        let single = make(NoiseStrategy::Single).run(10, 17).expect("trials");
+        let repeat = make(NoiseStrategy::Repeat {
+            n: 3,
+            median: false,
+        })
+        .run(10, 17)
+        .expect("trials");
         assert!(
             repeat.total_elapsed_s > 2.5 * single.total_elapsed_s,
             "3x repeats should cost ~3x time: {} vs {}",
             repeat.total_elapsed_s,
             single.total_elapsed_s
         );
+    }
+
+    #[test]
+    fn step_and_run_share_storage_and_status_derivation() {
+        let target = crate::test_fixtures::redis_target();
+        let opt = RandomSearch::new(target.space().clone());
+        let mut session = TuningSession::new(target, Box::new(opt), SessionConfig::default());
+        let mut rng = StdRng::seed_from_u64(23);
+        let id = session.step(&mut rng);
+        assert_eq!(id, 0);
+        session.run(5, 23).expect("trials");
+        assert_eq!(session.storage().len(), 6);
+        assert!(session
+            .storage()
+            .trials()
+            .iter()
+            .all(|t| t.status != TrialStatus::Aborted));
     }
 }

@@ -348,7 +348,11 @@ mod tests {
         let costs: Vec<f64> = (0..20).map(|_| t.evaluate(&cfg, &mut rng).cost).collect();
         let sd = autotune_linalg::stats::std_dev(&costs);
         let mean = autotune_linalg::stats::mean(&costs);
-        assert!(sd / mean > 0.02, "noise fleet should spread results: cv={}", sd / mean);
+        assert!(
+            sd / mean > 0.02,
+            "noise fleet should spread results: cv={}",
+            sd / mean
+        );
         let e = t.evaluate(&cfg, &mut rng);
         assert!(e.machine_id.is_some());
     }
@@ -377,9 +381,8 @@ mod tests {
             .map(|_| t.evaluate_on_machine(&cfg, 3, &mut rng).cost)
             .collect();
         let roaming: Vec<f64> = (0..15).map(|_| t.evaluate(&cfg, &mut rng).cost).collect();
-        let cv = |xs: &[f64]| {
-            autotune_linalg::stats::std_dev(xs) / autotune_linalg::stats::mean(xs)
-        };
+        let cv =
+            |xs: &[f64]| autotune_linalg::stats::std_dev(xs) / autotune_linalg::stats::mean(xs);
         assert!(
             cv(&pinned) < cv(&roaming) * 0.6,
             "pinning should kill machine variance: {} vs {}",

@@ -1,0 +1,28 @@
+//! Shared targets for this crate's unit tests: one fixture per simulated
+//! system instead of a copy in every test module.
+
+use crate::{Objective, Target};
+use autotune_sim::{Environment, RedisSim, SparkSim, Workload};
+
+/// The tutorial's running example: Redis P95 latency on a KV-cache
+/// workload, medium VM, noise-free.
+pub(crate) fn redis_target() -> Target {
+    Target::simulated(
+        Box::new(RedisSim::new()),
+        Workload::kv_cache(20_000.0),
+        Environment::medium(),
+        Objective::MinimizeLatencyP95,
+    )
+}
+
+/// Spark on TPC-H SF-20, large cluster, minimizing elapsed time — trial
+/// durations vary wildly with the config, which is what the async
+/// scheduling and early-abort tests need.
+pub(crate) fn spark_target() -> Target {
+    Target::simulated(
+        Box::new(SparkSim::new()),
+        Workload::tpch(20.0),
+        Environment::large(),
+        Objective::MinimizeElapsed,
+    )
+}

@@ -11,8 +11,8 @@
 //! [`transfer_observations`] rewrites a donor history into observations a
 //! fresh optimizer can be warm-started with, applying that policy.
 
-use autotune_optimizer::Observation;
 use crate::{Trial, TrialStatus};
+use autotune_optimizer::Observation;
 use serde::{Deserialize, Serialize};
 
 /// How donor trials map into the new campaign.
@@ -59,8 +59,8 @@ pub fn transfer_observations(
 
     let mut out = Vec::new();
     if context_compatible {
-        let keep = ((completed.len() as f64 * policy.good_fraction).ceil() as usize)
-            .min(completed.len());
+        let keep =
+            ((completed.len() as f64 * policy.good_fraction).ceil() as usize).min(completed.len());
         for t in &completed[..keep] {
             out.push(Observation {
                 config: t.config.clone(),
@@ -108,7 +108,10 @@ mod tests {
         assert!(values.contains(&3.0));
         // Crash scored beyond the worst observed cost.
         let crash = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
-        assert!(crash > 9.0, "crash score {crash} must exceed worst donor cost");
+        assert!(
+            crash > 9.0,
+            "crash score {crash} must exceed worst donor cost"
+        );
     }
 
     #[test]

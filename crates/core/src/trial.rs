@@ -80,6 +80,34 @@ impl TrialStorage {
         id
     }
 
+    /// Records an evaluation, deriving the [`TrialStatus`] from the cost
+    /// in one place: NaN means the configuration crashed the system,
+    /// anything else completed. (Censored trials go through
+    /// [`Trial::aborted`] instead.) Returns the id.
+    pub fn record_eval(
+        &mut self,
+        config: Config,
+        cost: f64,
+        elapsed_s: f64,
+        fidelity: f64,
+        machine_id: Option<usize>,
+    ) -> u64 {
+        let status = if cost.is_nan() {
+            TrialStatus::Crashed
+        } else {
+            TrialStatus::Complete
+        };
+        self.record(Trial {
+            id: 0,
+            config,
+            cost,
+            elapsed_s,
+            fidelity,
+            machine_id,
+            status,
+        })
+    }
+
     /// All trials in execution order.
     pub fn trials(&self) -> &[Trial] {
         &self.trials
@@ -178,6 +206,20 @@ impl Trial {
         }
     }
 
+    /// A trial cut short by the early-abort policy; `cost` is the
+    /// censored (threshold) value.
+    pub fn aborted(config: Config, cost: f64, elapsed_s: f64) -> Self {
+        Trial {
+            id: 0,
+            config,
+            cost,
+            elapsed_s,
+            fidelity: 1.0,
+            machine_id: None,
+            status: TrialStatus::Aborted,
+        }
+    }
+
     /// A crashed trial.
     pub fn crashed(config: Config, elapsed_s: f64) -> Self {
         Trial {
@@ -270,7 +312,11 @@ mod tests {
     #[test]
     fn json_roundtrip() {
         let mut s = TrialStorage::new();
-        s.record(Trial::complete(cfg(1.0), 2.0, 3.0).at_fidelity(0.5).on_machine(7));
+        s.record(
+            Trial::complete(cfg(1.0), 2.0, 3.0)
+                .at_fidelity(0.5)
+                .on_machine(7),
+        );
         let json = s.to_json();
         let back = TrialStorage::from_json(&json).unwrap();
         assert_eq!(back.len(), 1);

@@ -157,7 +157,11 @@ mod tests {
     use super::*;
 
     fn spd3() -> Matrix {
-        Matrix::from_rows(&[&[4.0, 12.0, -16.0], &[12.0, 37.0, -43.0], &[-16.0, -43.0, 98.0]])
+        Matrix::from_rows(&[
+            &[4.0, 12.0, -16.0],
+            &[12.0, 37.0, -43.0],
+            &[-16.0, -43.0, 98.0],
+        ])
     }
 
     #[test]
@@ -209,7 +213,10 @@ mod tests {
     #[test]
     fn indefinite_matrix_rejected() {
         let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 1.0]]); // eigenvalues 3, -1
-        assert_eq!(Cholesky::new(&a).unwrap_err(), LinalgError::NotPositiveDefinite);
+        assert_eq!(
+            Cholesky::new(&a).unwrap_err(),
+            LinalgError::NotPositiveDefinite
+        );
     }
 
     #[test]

@@ -93,7 +93,11 @@ fn sorted(m: Matrix, v: Matrix) -> SymmetricEigen {
     let n = m.rows();
     let mut order: Vec<usize> = (0..n).collect();
     let diag = m.diag();
-    order.sort_by(|&a, &b| diag[b].partial_cmp(&diag[a]).expect("eigenvalues are finite"));
+    order.sort_by(|&a, &b| {
+        diag[b]
+            .partial_cmp(&diag[a])
+            .expect("eigenvalues are finite")
+    });
     let values: Vec<f64> = order.iter().map(|&i| diag[i]).collect();
     let vectors = Matrix::from_fn(n, n, |i, j| v[(i, order[j])]);
     SymmetricEigen { values, vectors }
@@ -127,11 +131,7 @@ mod tests {
 
     #[test]
     fn reconstruction() {
-        let a = Matrix::from_rows(&[
-            &[4.0, 1.0, 0.5],
-            &[1.0, 3.0, -0.5],
-            &[0.5, -0.5, 2.0],
-        ]);
+        let a = Matrix::from_rows(&[&[4.0, 1.0, 0.5], &[1.0, 3.0, -0.5], &[0.5, -0.5, 2.0]]);
         let e = symmetric_eigen(&a).unwrap();
         let lambda = Matrix::from_diag(&e.values);
         let back = e

@@ -92,7 +92,11 @@ impl Pca {
 
     /// Projects one sample into the component space.
     pub fn transform_one(&self, x: &[f64]) -> Vec<f64> {
-        assert_eq!(x.len(), self.mean.len(), "pca transform: feature count mismatch");
+        assert_eq!(
+            x.len(),
+            self.mean.len(),
+            "pca transform: feature count mismatch"
+        );
         let centered: Vec<f64> = x.iter().zip(&self.mean).map(|(&v, &m)| v - m).collect();
         (0..self.n_components())
             .map(|i| crate::vector::dot(self.components.row(i), &centered))

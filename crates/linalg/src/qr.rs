@@ -69,7 +69,11 @@ impl Qr {
             }
             betas.push(beta);
         }
-        Ok(Qr { qr, betas, rank_deficient })
+        Ok(Qr {
+            qr,
+            betas,
+            rank_deficient,
+        })
     }
 
     /// Whether any pivot column was numerically zero. Least-squares solves

@@ -165,7 +165,9 @@ mod tests {
     fn thompson_sampling_varies_but_tracks_mean() {
         let mut rng = StdRng::seed_from_u64(0);
         let af = AcquisitionFunction::ThompsonSample;
-        let scores: Vec<f64> = (0..200).map(|_| af.score(&pred(3.0, 1.0), 0.0, &mut rng)).collect();
+        let scores: Vec<f64> = (0..200)
+            .map(|_| af.score(&pred(3.0, 1.0), 0.0, &mut rng))
+            .collect();
         let mean = autotune_linalg::stats::mean(&scores);
         let sd = autotune_linalg::stats::std_dev(&scores);
         assert!((mean + 3.0).abs() < 0.3, "TS mean {mean} should be near -3");

@@ -92,7 +92,7 @@ impl Bandit {
     }
 
     /// Selects the next arm to pull.
-    pub fn select(&self, rng: &mut impl Rng) -> usize {
+    pub fn select(&self, rng: &mut (impl Rng + ?Sized)) -> usize {
         // Any never-pulled arm is tried first (uniform among them).
         let unpulled: Vec<usize> = (0..self.arms.len())
             .filter(|&i| self.arms[i].n == 0)
@@ -118,21 +118,18 @@ impl Bandit {
                     })
                     .expect("at least one arm")
             }
-            BanditPolicy::Thompson => {
-                (0..self.arms.len())
-                    .map(|i| {
-                        let a = &self.arms[i];
-                        let sd = (a.variance() / a.n.max(1) as f64).sqrt();
-                        let u1: f64 = rng.gen::<f64>().max(1e-12);
-                        let u2: f64 = rng.gen();
-                        let z = (-2.0 * u1.ln()).sqrt()
-                            * (2.0 * std::f64::consts::PI * u2).cos();
-                        (i, a.mean + sd * z)
-                    })
-                    .min_by(|a, b| a.1.partial_cmp(&b.1).expect("draws are finite"))
-                    .map(|(i, _)| i)
-                    .expect("at least one arm")
-            }
+            BanditPolicy::Thompson => (0..self.arms.len())
+                .map(|i| {
+                    let a = &self.arms[i];
+                    let sd = (a.variance() / a.n.max(1) as f64).sqrt();
+                    let u1: f64 = rng.gen::<f64>().max(1e-12);
+                    let u2: f64 = rng.gen();
+                    let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+                    (i, a.mean + sd * z)
+                })
+                .min_by(|a, b| a.1.partial_cmp(&b.1).expect("draws are finite"))
+                .map(|(i, _)| i)
+                .expect("at least one arm"),
         }
     }
 
@@ -257,9 +254,6 @@ mod tests {
         };
         let r1: f64 = (0..5).map(|s| regret(300, 100 + s)).sum();
         let r2: f64 = (0..5).map(|s| regret(600, 200 + s)).sum();
-        assert!(
-            r2 < 1.8 * r1,
-            "regret not sublinear: T={r1}, 2T={r2}"
-        );
+        assert!(r2 < 1.8 * r1, "regret not sublinear: T={r1}, 2T={r2}");
     }
 }

@@ -284,11 +284,7 @@ impl Optimizer for BayesianOptimizer {
             self.n_finite += 1;
         }
         let recorded = if value.is_nan() {
-            let worst = self
-                .ys
-                .iter()
-                .cloned()
-                .fold(f64::NEG_INFINITY, f64::max);
+            let worst = self.ys.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
             if worst.is_finite() {
                 worst + (worst.abs() + 1.0)
             } else {
@@ -322,23 +318,18 @@ impl Optimizer for BayesianOptimizer {
         }
     }
 
-    /// Constant-liar batch proposal (slide 57, synchronous parallel
-    /// optimization): after each proposal, pin a pessimistic pseudo-
-    /// observation at the proposed point so subsequent proposals in the
-    /// same batch spread out instead of piling onto one optimum.
-    fn suggest_batch(&mut self, k: usize, rng: &mut dyn RngCore) -> Vec<Config> {
-        let mut out = Vec::with_capacity(k);
-        for _ in 0..k {
-            let cfg = self.suggest(rng);
-            if self.n_finite >= self.config.n_init {
-                let x = self.encode(&cfg);
-                self.liars.push(x);
-                self.dirty = true;
-            }
-            out.push(cfg);
+    /// Constant-liar pending mark (slide 57): pin a pessimistic pseudo-
+    /// observation at the proposed point so proposals made while this one
+    /// is in flight spread out instead of piling onto one optimum. The
+    /// liar stays pinned until the real observation arrives. During the
+    /// random-init phase there is no model to mislead, so nothing is
+    /// pinned.
+    fn mark_pending(&mut self, config: &Config) {
+        if self.n_finite >= self.config.n_init {
+            let x = self.encode(config);
+            self.liars.push(x);
+            self.dirty = true;
         }
-        // Liars stay pinned until the real observations arrive.
-        out
     }
 
     fn n_observed(&self) -> usize {

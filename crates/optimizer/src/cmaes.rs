@@ -93,8 +93,8 @@ impl CmaEs {
         let cc = (4.0 + mu_eff / n) / (n + 4.0 + 2.0 * mu_eff / n);
         let cs = (mu_eff + 2.0) / (n + mu_eff + 5.0);
         let c1 = 2.0 / ((n + 1.3) * (n + 1.3) + mu_eff);
-        let cmu = (1.0 - c1)
-            .min(2.0 * (mu_eff - 2.0 + 1.0 / mu_eff) / ((n + 2.0) * (n + 2.0) + mu_eff));
+        let cmu =
+            (1.0 - c1).min(2.0 * (mu_eff - 2.0 + 1.0 / mu_eff) / ((n + 2.0) * (n + 2.0) + mu_eff));
         let damps = 1.0 + 2.0 * ((mu_eff - 1.0) / (n + 1.0)).sqrt().max(0.0) + cs;
         let chi_n = n.sqrt() * (1.0 - 1.0 / (4.0 * n) + 1.0 / (21.0 * n * n));
         let mean = space
@@ -165,7 +165,11 @@ impl CmaEs {
             })
             .collect();
         // y = B D z
-        let dz: Vec<f64> = z.iter().zip(&self.eig_d).map(|(&zi, &di)| zi * di).collect();
+        let dz: Vec<f64> = z
+            .iter()
+            .zip(&self.eig_d)
+            .map(|(&zi, &di)| zi * di)
+            .collect();
         let y = self
             .eig_b
             .matvec(&dz)
@@ -181,7 +185,9 @@ impl CmaEs {
 
     /// Fills the generation buffer.
     fn refill_generation(&mut self, rng: &mut dyn RngCore) {
-        self.generation = (0..self.lambda).map(|_| self.sample_individual(rng)).collect();
+        self.generation = (0..self.lambda)
+            .map(|_| self.sample_individual(rng))
+            .collect();
         self.next_in_gen = 0;
     }
 
@@ -230,8 +236,7 @@ impl CmaEs {
 
         // Covariance path (with stall indicator h_σ).
         let gen_count = (self.tracker.n() / self.lambda).max(1) as f64;
-        let h_sigma = if ps_norm
-            / (1.0 - (1.0 - cs).powf(2.0 * gen_count)).sqrt()
+        let h_sigma = if ps_norm / (1.0 - (1.0 - cs).powf(2.0 * gen_count)).sqrt()
             < (1.4 + 2.0 / (self.dim as f64 + 1.0)) * self.chi_n
         {
             1.0
@@ -344,7 +349,11 @@ mod tests {
         let mut opt = CmaEs::new(sphere_space(), CmaEsConfig::default());
         let s0 = opt.sigma();
         run_loop(&mut opt, sphere, 200, 17);
-        assert!(opt.sigma() < s0, "sigma {} should shrink from {s0}", opt.sigma());
+        assert!(
+            opt.sigma() < s0,
+            "sigma {} should shrink from {s0}",
+            opt.sigma()
+        );
     }
 
     #[test]
@@ -371,7 +380,13 @@ mod tests {
     #[test]
     fn suggestions_stay_in_bounds() {
         let space = sphere_space();
-        let mut opt = CmaEs::new(space.clone(), CmaEsConfig { sigma0: 0.9, ..Default::default() });
+        let mut opt = CmaEs::new(
+            space.clone(),
+            CmaEsConfig {
+                sigma0: 0.9,
+                ..Default::default()
+            },
+        );
         let mut rng = rand::rngs::mock::StepRng::new(1, 0x9E3779B97F4A7C15);
         for _ in 0..30 {
             let c = opt.suggest(&mut rng);

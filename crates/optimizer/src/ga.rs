@@ -99,7 +99,13 @@ impl GeneticAlgorithm {
             // donor deactivated this conditional parameter.
             let v = donor
                 .get(&p.name)
-                .or_else(|| if from_a { b.get(&p.name) } else { a.get(&p.name) })
+                .or_else(|| {
+                    if from_a {
+                        b.get(&p.name)
+                    } else {
+                        a.get(&p.name)
+                    }
+                })
                 .unwrap_or(&p.default);
             child.set(p.name.clone(), v.clone());
         }
@@ -114,9 +120,8 @@ impl GeneticAlgorithm {
     /// Builds the next generation from the scored one.
     fn breed(&mut self, rng: &mut dyn RngCore) {
         let mut rng = rng;
-        self.scored.sort_by(|a, b| {
-            a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal)
-        });
+        self.scored
+            .sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal));
         let mut next: Vec<Config> = self
             .scored
             .iter()
@@ -195,7 +200,11 @@ mod tests {
     fn generations_advance() {
         let mut opt = GeneticAlgorithm::new(sphere_space(), GaConfig::default());
         run_loop(&mut opt, sphere, 100, 37);
-        assert!(opt.generation() >= 3, "only {} generations", opt.generation());
+        assert!(
+            opt.generation() >= 3,
+            "only {} generations",
+            opt.generation()
+        );
     }
 
     #[test]

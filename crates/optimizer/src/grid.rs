@@ -125,7 +125,11 @@ mod tests {
     #[test]
     fn with_budget_caps_grid() {
         let opt = GridSearch::with_budget(sphere_space(), 30);
-        assert!(opt.grid_size() <= 30, "grid {} exceeds budget", opt.grid_size());
+        assert!(
+            opt.grid_size() <= 30,
+            "grid {} exceeds budget",
+            opt.grid_size()
+        );
         assert!(opt.grid_size() >= 25); // 5x5 fits
     }
 

@@ -85,12 +85,25 @@ pub trait Optimizer: Send {
     /// Human-readable optimizer name for experiment reports.
     fn name(&self) -> &str;
 
+    /// Marks a suggested configuration as *in flight*: proposed but not
+    /// yet observed. The default is a no-op; model-based optimizers
+    /// override it to pin a constant-liar pseudo-observation at the point
+    /// so concurrent suggestions spread out instead of piling onto one
+    /// optimum (tutorial slide 57). The mark is released when
+    /// [`Optimizer::observe`] reports the real value.
+    fn mark_pending(&mut self, _config: &Config) {}
+
     /// Proposes `k` configurations for parallel evaluation (tutorial slide
-    /// 57). The default just calls [`Optimizer::suggest`] `k` times;
-    /// model-based optimizers override this with diversity-aware batch
-    /// strategies (constant liar).
+    /// 57): `k` suggestions, each marked pending so batch diversity falls
+    /// out of [`Optimizer::mark_pending`].
     fn suggest_batch(&mut self, k: usize, rng: &mut dyn RngCore) -> Vec<Config> {
-        (0..k).map(|_| self.suggest(rng)).collect()
+        (0..k)
+            .map(|_| {
+                let config = self.suggest(rng);
+                self.mark_pending(&config);
+                config
+            })
+            .collect()
     }
 
     /// Number of observations reported so far.

@@ -99,7 +99,11 @@ impl ParetoFront {
             .members
             .iter()
             .map(|m| {
-                assert_eq!(m.objectives.len(), 2, "hypervolume_2d requires 2 objectives");
+                assert_eq!(
+                    m.objectives.len(),
+                    2,
+                    "hypervolume_2d requires 2 objectives"
+                );
                 (m.objectives[0], m.objectives[1])
             })
             .filter(|&(a, b)| a < reference.0 && b < reference.1)
@@ -142,7 +146,10 @@ impl std::fmt::Debug for ParEgo {
 impl ParEgo {
     /// Creates a ParEGO optimizer for `n_objectives` objectives.
     pub fn new(space: Space, n_objectives: usize) -> Self {
-        assert!(n_objectives >= 2, "use single-objective BO for one objective");
+        assert!(
+            n_objectives >= 2,
+            "use single-objective BO for one objective"
+        );
         ParEgo {
             space,
             n_objectives,
@@ -327,7 +334,11 @@ mod tests {
             pe.observe(&cfg, &[x * x, (x - 1.0) * (x - 1.0)]);
         }
         // Front members must lie in (or very near) the true Pareto set.
-        assert!(pe.front().len() >= 3, "front too small: {}", pe.front().len());
+        assert!(
+            pe.front().len() >= 3,
+            "front too small: {}",
+            pe.front().len()
+        );
         for m in pe.front().members() {
             let x = m.config.get_f64("x").unwrap();
             assert!(

@@ -103,9 +103,8 @@ impl NelderMead {
     }
 
     fn sort_simplex(&mut self) {
-        self.simplex.sort_by(|a, b| {
-            a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal)
-        });
+        self.simplex
+            .sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal));
     }
 
     /// Decides the next probe after the simplex is fully evaluated.

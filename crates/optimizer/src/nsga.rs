@@ -100,7 +100,11 @@ impl NsgaII {
 
     /// Reports an observed objective vector.
     pub fn observe(&mut self, config: &Config, objectives: &[f64]) {
-        assert_eq!(objectives.len(), self.n_objectives, "objective arity mismatch");
+        assert_eq!(
+            objectives.len(),
+            self.n_objectives,
+            "objective arity mismatch"
+        );
         let sanitized: Vec<f64> = objectives
             .iter()
             .map(|&v| if v.is_nan() { f64::INFINITY } else { v })
@@ -133,9 +137,15 @@ impl NsgaII {
                 let crowd = crowding_distance(&members);
                 let mut order: Vec<usize> = (0..members.len()).collect();
                 order.sort_by(|&a, &b| {
-                    crowd[b].partial_cmp(&crowd[a]).unwrap_or(std::cmp::Ordering::Equal)
+                    crowd[b]
+                        .partial_cmp(&crowd[a])
+                        .unwrap_or(std::cmp::Ordering::Equal)
                 });
-                members = order.into_iter().take(remaining).map(|i| members[i].clone()).collect();
+                members = order
+                    .into_iter()
+                    .take(remaining)
+                    .map(|i| members[i].clone())
+                    .collect();
             }
             parents.extend(members);
         }
@@ -146,10 +156,16 @@ impl NsgaII {
         while offspring.len() < self.config.population {
             let a = &parents[rng.gen_range(0..parents.len())];
             let b = &parents[rng.gen_range(0..parents.len())];
-            let winner = if dominates(&a.objectives, &b.objectives) { a } else { b };
+            let winner = if dominates(&a.objectives, &b.objectives) {
+                a
+            } else {
+                b
+            };
             let mut child = winner.config.clone();
             if rng.gen::<f64>() < self.config.mutation_rate {
-                child = self.space.neighbor(&child, self.config.mutation_scale, &mut rng);
+                child = self
+                    .space
+                    .neighbor(&child, self.config.mutation_scale, &mut rng);
             } else {
                 // Uniform crossover with a second tournament winner.
                 let c = &parents[rng.gen_range(0..parents.len())];
@@ -168,11 +184,20 @@ impl NsgaII {
             let donor = if rng.gen::<bool>() { a } else { b };
             let v = donor
                 .get(&p.name)
-                .or_else(|| if rng.gen::<bool>() { a.get(&p.name) } else { b.get(&p.name) })
+                .or_else(|| {
+                    if rng.gen::<bool>() {
+                        a.get(&p.name)
+                    } else {
+                        b.get(&p.name)
+                    }
+                })
                 .unwrap_or(&p.default);
             child.set(p.name.clone(), v.clone());
         }
-        let x = self.space.encode_unit(&child).expect("child covers all params");
+        let x = self
+            .space
+            .encode_unit(&child)
+            .expect("child covers all params");
         self.space.decode_unit(&x).expect("encoded child decodes")
     }
 }
@@ -295,7 +320,10 @@ mod tests {
         assert!(nsga.front().len() >= 5, "front size {}", nsga.front().len());
         for m in nsga.front().members() {
             let x = m.config.get_f64("x").unwrap();
-            assert!((-0.15..=1.15).contains(&x), "front member outside Pareto set: {x}");
+            assert!(
+                (-0.15..=1.15).contains(&x),
+                "front member outside Pareto set: {x}"
+            );
         }
         // Good hypervolume against reference (4,4): ideal approaches ~14.8.
         let hv = nsga.front().hypervolume_2d((4.0, 4.0));

@@ -60,7 +60,10 @@ pub struct ParticleSwarm {
 impl ParticleSwarm {
     /// Creates a swarm over `space`.
     pub fn new(space: Space, config: PsoConfig) -> Self {
-        assert!(config.n_particles >= 2, "swarm needs at least two particles");
+        assert!(
+            config.n_particles >= 2,
+            "swarm needs at least two particles"
+        );
         ParticleSwarm {
             space,
             config,

@@ -61,7 +61,10 @@ mod tests {
     fn finds_decent_sphere_solution() {
         let mut opt = RandomSearch::new(sphere_space());
         let best = run_loop(&mut opt, sphere, 200, 1);
-        assert!(best < 0.3, "random search best {best} too poor after 200 trials");
+        assert!(
+            best < 0.3,
+            "random search best {best} too poor after 200 trials"
+        );
         assert_eq!(opt.n_observed(), 200);
     }
 

@@ -51,7 +51,10 @@ pub struct ActorCritic {
 impl ActorCritic {
     /// Creates a zero-initialized agent.
     pub fn new(n_features: usize, n_actions: usize, config: ActorCriticConfig) -> Self {
-        assert!(n_features > 0 && n_actions > 0, "dimensions must be positive");
+        assert!(
+            n_features > 0 && n_actions > 0,
+            "dimensions must be positive"
+        );
         assert!((0.0..1.0).contains(&config.gamma), "gamma must be in [0,1)");
         ActorCritic {
             n_features,
@@ -193,7 +196,10 @@ mod tests {
             agent.update(&[1.0], 0, 2.0, &[1.0]).unwrap();
         }
         let v = agent.value(&[1.0]).unwrap();
-        assert!((v - 20.0).abs() < 1.0, "V {v} should approach 2/(1-0.9) = 20");
+        assert!(
+            (v - 20.0).abs() < 1.0,
+            "V {v} should approach 2/(1-0.9) = 20"
+        );
     }
 
     #[test]
@@ -213,7 +219,10 @@ mod tests {
             agent.update(&[1.0], 0, 1.0, &[1.0]).unwrap();
         }
         let last = agent.update(&[1.0], 0, 1.0, &[1.0]).unwrap().abs();
-        assert!(last < first * 0.1, "TD error {last} did not shrink from {first}");
+        assert!(
+            last < first * 0.1,
+            "TD error {last} did not shrink from {first}"
+        );
     }
 
     #[test]

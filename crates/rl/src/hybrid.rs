@@ -73,7 +73,7 @@ impl HybridBandit {
     ///
     /// A context seen for the first time consults the pooled global bandit
     /// (warm start); afterwards its scoped bandit takes over.
-    pub fn select(&mut self, context: &ContextKey, rng: &mut impl Rng) -> usize {
+    pub fn select(&mut self, context: &ContextKey, rng: &mut (impl Rng + ?Sized)) -> usize {
         match self.scopes.get(context) {
             Some(b) if b.total_pulls() >= self.n_arms as u64 => b.select(rng),
             Some(b) => {

@@ -49,10 +49,7 @@ struct Table {
 impl Table {
     fn new(n_states: usize, n_actions: usize, config: QLearningConfig) -> Self {
         assert!(n_states > 0 && n_actions > 0, "table must be non-empty");
-        assert!(
-            (0.0..1.0).contains(&config.gamma),
-            "gamma must be in [0,1)"
-        );
+        assert!((0.0..1.0).contains(&config.gamma), "gamma must be in [0,1)");
         Table {
             n_states,
             n_actions,
@@ -239,7 +236,11 @@ mod tests {
             let mut s = 0usize;
             for _ in 0..20 {
                 let a = agent.select_action(s, &mut rng);
-                let s2 = if a == 1 { (s + 1).min(4) } else { s.saturating_sub(1) };
+                let s2 = if a == 1 {
+                    (s + 1).min(4)
+                } else {
+                    s.saturating_sub(1)
+                };
                 let r = if s2 == 4 { 1.0 } else { 0.0 };
                 agent.update(s, a, r, s2).unwrap();
                 s = s2;
@@ -283,7 +284,11 @@ mod tests {
             let mut s = 0usize;
             let mut a = agent.select_action(s, &mut rng);
             for _ in 0..20 {
-                let s2 = if a == 1 { (s + 1).min(4) } else { s.saturating_sub(1) };
+                let s2 = if a == 1 {
+                    (s + 1).min(4)
+                } else {
+                    s.saturating_sub(1)
+                };
                 let r = if s2 == 4 { 1.0 } else { 0.0 };
                 let a2 = agent.select_action(s2, &mut rng);
                 agent.update(s, a, r, s2, a2).unwrap();

@@ -226,7 +226,10 @@ mod tests {
     fn crash_counts_as_breach() {
         let mut t = seeded_tuner();
         assert!(t.admit("crashy"));
-        assert_eq!(t.observe_candidate("crashy", f64::NAN), SafeDecision::Reverted);
+        assert_eq!(
+            t.observe_candidate("crashy", f64::NAN),
+            SafeDecision::Reverted
+        );
         assert_eq!(t.regressions_served(), 1);
     }
 
@@ -236,7 +239,10 @@ mod tests {
         assert!(t.admit("anything"));
         assert!(!t.admit("anything_else"), "one candidate at a time");
         // Without a baseline a finite cost cannot breach.
-        assert_eq!(t.observe_candidate("anything", 123.0), SafeDecision::Continue);
+        assert_eq!(
+            t.observe_candidate("anything", 123.0),
+            SafeDecision::Continue
+        );
     }
 
     #[test]

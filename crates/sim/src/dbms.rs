@@ -50,7 +50,14 @@ impl DbmsSim {
             .add(
                 Param::categorical(
                     "flush_method",
-                    &["fsync", "O_DSYNC", "O_DIRECT", "O_DIRECT_NO_FSYNC", "littlesync", "nosync"],
+                    &[
+                        "fsync",
+                        "O_DSYNC",
+                        "O_DIRECT",
+                        "O_DIRECT_NO_FSYNC",
+                        "littlesync",
+                        "nosync",
+                    ],
                 )
                 .default_value("fsync"),
             )
@@ -59,9 +66,21 @@ impl DbmsSim {
                     .log_scale()
                     .default_value(48.0),
             )
-            .add(Param::float("wal_buffer_mb", 1.0, 256.0).log_scale().default_value(16.0))
-            .add(Param::int("io_threads", 1, 64).log_scale().default_value(4i64))
-            .add(Param::int("worker_threads", 1, 512).log_scale().default_value(16i64))
+            .add(
+                Param::float("wal_buffer_mb", 1.0, 256.0)
+                    .log_scale()
+                    .default_value(16.0),
+            )
+            .add(
+                Param::int("io_threads", 1, 64)
+                    .log_scale()
+                    .default_value(4i64),
+            )
+            .add(
+                Param::int("worker_threads", 1, 512)
+                    .log_scale()
+                    .default_value(16i64),
+            )
             .add(Param::bool("query_cache").default_value(false))
             .add(Param::bool("jit").default_value(false))
             .add(
@@ -73,17 +92,13 @@ impl DbmsSim {
             .condition(Condition::equals("jit_above_cost", "jit", true))
             .constraint(Constraint::black_box(
                 "chunk*instances <= pool",
-                |cfg: &Config| {
-                    match (
-                        cfg.get_f64("buffer_pool_chunk_gb"),
-                        cfg.get_i64("buffer_pool_instances"),
-                        cfg.get_f64("buffer_pool_gb"),
-                    ) {
-                        (Some(chunk), Some(inst), Some(pool)) => {
-                            chunk * inst as f64 <= pool + 1e-9
-                        }
-                        _ => true,
-                    }
+                |cfg: &Config| match (
+                    cfg.get_f64("buffer_pool_chunk_gb"),
+                    cfg.get_i64("buffer_pool_instances"),
+                    cfg.get_f64("buffer_pool_gb"),
+                ) {
+                    (Some(chunk), Some(inst), Some(pool)) => chunk * inst as f64 <= pool + 1e-9,
+                    _ => true,
                 },
             ))
             .build()
@@ -102,17 +117,22 @@ impl DbmsSim {
     }
 
     /// Per-write WAL/flush overhead, milliseconds.
-    fn flush_cost_ms(method: &str, sync_commit: bool, wal_buffer_mb: f64, env: &Environment) -> f64 {
+    fn flush_cost_ms(
+        method: &str,
+        sync_commit: bool,
+        wal_buffer_mb: f64,
+        env: &Environment,
+    ) -> f64 {
         // One fsync ≈ 1000/IOPS ms; methods change how many and whether
         // the OS cache double-buffers.
         let sync_ms = 1000.0 / env.disk_iops.max(1.0);
         let method_factor = match method {
-            "fsync" => 1.6,               // data + OS double buffering
+            "fsync" => 1.6, // data + OS double buffering
             "O_DSYNC" => 1.3,
-            "O_DIRECT" => 1.0,            // no double buffering
+            "O_DIRECT" => 1.0, // no double buffering
             "O_DIRECT_NO_FSYNC" => 0.8,
             "littlesync" => 0.5,
-            "nosync" => 0.15,             // unsafe but fast
+            "nosync" => 0.15, // unsafe but fast
             _ => 1.6,
         };
         let group_commit = (1.0 + (wal_buffer_mb / 16.0).ln_1p()).max(1.0);
@@ -178,8 +198,7 @@ impl SimSystem for DbmsSim {
         // --- scans ---
         // Scan touches the whole working set; buffered fraction is free-ish
         // and async prefetch threads overlap the rest.
-        let scan_io_s =
-            ws * 1024.0 * (1.0 - 0.9 * hit) / (env.disk_mbps.max(1.0) * io_parallel);
+        let scan_io_s = ws * 1024.0 * (1.0 - 0.9 * hit) / (env.disk_mbps.max(1.0) * io_parallel);
         let mut scan_cpu_s = ws * 0.15; // per-GiB aggregation CPU
         if jit {
             // JIT compiles expensive queries: scans speed up, but a low
@@ -193,15 +212,17 @@ impl SimSystem for DbmsSim {
         // --- writes ---
         let flush_ms = Self::flush_cost_ms(flush, sync_commit, wal_mb, env);
         // Undersized redo logs force frequent checkpoints: stall factor.
-        let checkpoint = 1.0 + (256.0 / log_mb.max(1.0)).min(8.0) * 0.35 * workload.write_fraction();
+        let checkpoint =
+            1.0 + (256.0 / log_mb.max(1.0)).min(8.0) * 0.35 * workload.write_fraction();
         let write_ms = (0.03 + (1.0 - hit) * io_ms / io_parallel + flush_ms) * checkpoint;
 
         // --- mix ---
         let point_fraction = 1.0 - workload.scan_fraction;
         let read_mix = workload.read_fraction * point_fraction;
         let write_mix = workload.write_fraction() * point_fraction;
-        let service_ms =
-            read_mix * read_ms * qc_read + write_mix * write_ms * qc_write + workload.scan_fraction * scan_ms;
+        let service_ms = read_mix * read_ms * qc_read
+            + write_mix * write_ms * qc_write
+            + workload.scan_fraction * scan_ms;
 
         // --- concurrency ---
         // Workers add useful parallelism up to ~2x cores, then the
@@ -232,10 +253,7 @@ impl SimSystem for DbmsSim {
                 "checkpoint".to_string(),
                 write_mix * write_ms * qc_write * (checkpoint - 1.0) / checkpoint,
             ),
-            (
-                "contention".to_string(),
-                service_ms * (contention - 1.0),
-            ),
+            ("contention".to_string(), service_ms * (contention - 1.0)),
         ];
 
         let capacity_ops = useful * 1000.0 / (service_ms.max(1e-3) * contention);
@@ -362,7 +380,10 @@ mod tests {
         let fsync = lat("fsync", 7);
         let direct = lat("O_DIRECT", 8);
         let nosync = lat("nosync", 9);
-        assert!(direct < fsync, "O_DIRECT {direct} should beat fsync {fsync}");
+        assert!(
+            direct < fsync,
+            "O_DIRECT {direct} should beat fsync {fsync}"
+        );
         assert!(nosync < direct, "nosync {nosync} is unsafe but fastest");
     }
 
@@ -399,7 +420,10 @@ mod tests {
         };
         let no_jit = lat(false, 0.0, &tpch, 12);
         let good_jit = lat(true, 1e5, &tpch, 13);
-        assert!(good_jit < no_jit, "JIT should speed analytics: {good_jit} vs {no_jit}");
+        assert!(
+            good_jit < no_jit,
+            "JIT should speed analytics: {good_jit} vs {no_jit}"
+        );
         let low_threshold = lat(true, 2e3, &tpch, 14);
         assert!(
             low_threshold > good_jit,
@@ -434,7 +458,10 @@ mod tests {
         let right = lat(8, 20);
         let too_many = lat(512, 21);
         assert!(right < few, "8 workers {right} should beat 2 {few}");
-        assert!(too_many > right, "512 workers {too_many} should thrash vs {right}");
+        assert!(
+            too_many > right,
+            "512 workers {too_many} should thrash vs {right}"
+        );
     }
 
     #[test]
@@ -443,7 +470,10 @@ mod tests {
         let env = Environment::medium();
         let w = Workload::ycsb_a(2_000.0);
         let lat = |log_mb: f64, seed| {
-            let cfg = sim.space().default_config().with("log_file_size_mb", log_mb);
+            let cfg = sim
+                .space()
+                .default_config()
+                .with("log_file_size_mb", log_mb);
             avg_result(&sim, &cfg, &w, &env, seed).0
         };
         assert!(lat(2048.0, 22) < lat(48.0, 23));
@@ -462,7 +492,10 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(24);
         for _ in 0..50 {
             let c = sim.space().sample(&mut rng);
-            assert!(sim.space().is_feasible(&c), "sampler violated constraint: {c}");
+            assert!(
+                sim.space().is_feasible(&c),
+                "sampler violated constraint: {c}"
+            );
         }
     }
 

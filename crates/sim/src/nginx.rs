@@ -30,7 +30,11 @@ impl NginxSim {
     /// Creates the simulator with an 8-knob Nginx-flavoured space.
     pub fn new() -> Self {
         let space = Space::builder()
-            .add(Param::int("worker_processes", 1, 64).log_scale().default_value(1i64))
+            .add(
+                Param::int("worker_processes", 1, 64)
+                    .log_scale()
+                    .default_value(1i64),
+            )
             .add(
                 Param::int("worker_connections", 64, 65_536)
                     .log_scale()
@@ -189,7 +193,10 @@ mod tests {
         let four = lat(4, 2); // medium env: 4 cores
         let many = lat(64, 3);
         assert!(four < one, "4 workers {four} should beat 1 {one}");
-        assert!(many > four, "64 workers on 4 cores {many} should thrash vs {four}");
+        assert!(
+            many > four,
+            "64 workers on 4 cores {many} should thrash vs {four}"
+        );
     }
 
     #[test]
@@ -221,12 +228,13 @@ mod tests {
         let sim = NginxSim::new();
         let base = sim.space().default_config().with("worker_processes", 4i64);
         let lat_off = avg_latency(&sim, &base.clone().with("gzip", false), 800.0, 6);
-        let cfg_on = |lvl: i64| {
-            base.clone().with("gzip", true).with("gzip_level", lvl)
-        };
+        let cfg_on = |lvl: i64| base.clone().with("gzip", true).with("gzip_level", lvl);
         let lat_l4 = avg_latency(&sim, &cfg_on(4), 800.0, 7);
         let lat_l9 = avg_latency(&sim, &cfg_on(9), 800.0, 8);
-        assert!(lat_l4 < lat_off, "gzip@4 {lat_l4} should beat no gzip {lat_off}");
+        assert!(
+            lat_l4 < lat_off,
+            "gzip@4 {lat_l4} should beat no gzip {lat_off}"
+        );
         assert!(
             lat_l9 > lat_l4,
             "gzip@9 {lat_l9} burns CPU past the payoff vs @4 {lat_l4}"
@@ -247,7 +255,10 @@ mod tests {
             12_000.0,
             10,
         );
-        assert!(tuned < plain, "cpu shavings should show under load: {tuned} vs {plain}");
+        assert!(
+            tuned < plain,
+            "cpu shavings should show under load: {tuned} vs {plain}"
+        );
     }
 
     #[test]
@@ -260,7 +271,12 @@ mod tests {
             .with("worker_connections", 65_536i64)
             .with("client_body_buffer_kb", 1024.0);
         let mut rng = StdRng::seed_from_u64(11);
-        let r = sim.run_trial(&cfg, &web_workload(1_000.0), &Environment::small(), &mut rng);
+        let r = sim.run_trial(
+            &cfg,
+            &web_workload(1_000.0),
+            &Environment::small(),
+            &mut rng,
+        );
         assert!(r.crashed, "4M connection slots on 8 GB must OOM");
     }
 

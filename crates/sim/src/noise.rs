@@ -82,8 +82,8 @@ impl CloudNoise {
     pub fn new_fleet(n_machines: usize, config: NoiseConfig, seed: u64) -> Self {
         assert!(n_machines > 0, "fleet needs at least one machine");
         let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
-        let dist = LogNormal::new(0.0, config.machine_sigma.max(1e-12))
-            .expect("sigma validated positive");
+        let dist =
+            LogNormal::new(0.0, config.machine_sigma.max(1e-12)).expect("sigma validated positive");
         let machines = (0..n_machines)
             .map(|id| Machine {
                 id,
@@ -197,7 +197,10 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(5);
         let f0 = fleet.factor_at(m, 0.0, &mut rng);
         let f_quarter = fleet.factor_at(m, 15.0, &mut rng);
-        assert!((f0 - f_quarter).abs() > 1e-6, "drift should move the factor");
+        assert!(
+            (f0 - f_quarter).abs() > 1e-6,
+            "drift should move the factor"
+        );
     }
 
     #[test]
@@ -212,7 +215,9 @@ mod tests {
         let fleet = CloudNoise::new_fleet(1, cfg, 6);
         let m = fleet.machine(0);
         let mut rng = StdRng::seed_from_u64(7);
-        let factors: Vec<f64> = (0..2000).map(|t| fleet.factor_at(m, t as f64, &mut rng)).collect();
+        let factors: Vec<f64> = (0..2000)
+            .map(|t| fleet.factor_at(m, t as f64, &mut rng))
+            .collect();
         let spiked = factors.iter().filter(|&&f| f > 1.5).count();
         assert!(
             (50..600).contains(&spiked),
@@ -225,7 +230,13 @@ mod tests {
         let mut fleet = CloudNoise::new_fleet(20, NoiseConfig::default(), 8);
         fleet.machines[7].base_factor = 3.0; // plant a lemon
         let outliers = fleet.outlier_machines(2.5);
-        assert!(outliers.contains(&7), "planted outlier not found: {outliers:?}");
-        assert!(outliers.len() <= 3, "too many false positives: {outliers:?}");
+        assert!(
+            outliers.contains(&7),
+            "planted outlier not found: {outliers:?}"
+        );
+        assert!(
+            outliers.len() <= 3,
+            "too many false positives: {outliers:?}"
+        );
     }
 }

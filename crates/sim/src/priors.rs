@@ -190,8 +190,14 @@ mod tests {
     fn hinted_space_keeps_conditions_and_constraints() {
         let env = Environment::medium();
         let space = apply_hints(DbmsSim::new().space(), &dbms_manual_hints(&env));
-        assert_eq!(space.conditions().len(), DbmsSim::new().space().conditions().len());
-        assert_eq!(space.constraints().len(), DbmsSim::new().space().constraints().len());
+        assert_eq!(
+            space.conditions().len(),
+            DbmsSim::new().space().conditions().len()
+        );
+        assert_eq!(
+            space.constraints().len(),
+            DbmsSim::new().space().constraints().len()
+        );
         // Conditional structure still applies.
         let mut rng = StdRng::seed_from_u64(2);
         for _ in 0..50 {
@@ -219,7 +225,10 @@ mod tests {
         // The hinted range caps well below the 1e6 upper bound.
         match &p.domain {
             autotune_space::Domain::Float { high, .. } => {
-                assert!(*high < 500_000.0, "hint should exclude the slow region: {high}")
+                assert!(
+                    *high < 500_000.0,
+                    "hint should exclude the slow region: {high}"
+                )
             }
             other => panic!("unexpected domain {other:?}"),
         }

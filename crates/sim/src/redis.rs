@@ -39,8 +39,11 @@ impl RedisSim {
             )
             .add(Param::int("io_threads", 1, 8).default_value(1i64))
             .add(
-                Param::categorical("maxmemory_policy", &["noeviction", "allkeys-lru", "allkeys-random"])
-                    .default_value("noeviction"),
+                Param::categorical(
+                    "maxmemory_policy",
+                    &["noeviction", "allkeys-lru", "allkeys-random"],
+                )
+                .default_value("noeviction"),
             )
             .build()
             .expect("static space definition is valid");
@@ -150,7 +153,10 @@ mod tests {
     use rand::SeedableRng;
 
     fn p95_at(sim: &RedisSim, cost_ns: f64, seed: u64) -> f64 {
-        let cfg = sim.space().default_config().with("sched_migration_cost_ns", cost_ns);
+        let cfg = sim
+            .space()
+            .default_config()
+            .with("sched_migration_cost_ns", cost_ns);
         let mut rng = StdRng::seed_from_u64(seed);
         let w = Workload::kv_cache(50_000.0);
         let env = Environment::medium();
@@ -189,7 +195,10 @@ mod tests {
         let sim = RedisSim::new();
         let zero = p95_at(&sim, 0.0, 6);
         let opt = p95_at(&sim, sim.optimum_ns(), 7);
-        assert!(zero > 2.0 * opt, "always-migrate {zero} should be awful vs {opt}");
+        assert!(
+            zero > 2.0 * opt,
+            "always-migrate {zero} should be awful vs {opt}"
+        );
     }
 
     #[test]
@@ -209,7 +218,10 @@ mod tests {
         let four = lat(4, 9);
         let eight = lat(8, 10);
         assert!(four < one, "4 threads {four} should beat 1 thread {one}");
-        assert!(eight > four, "8 threads on 4 cores {eight} should thrash vs {four}");
+        assert!(
+            eight > four,
+            "8 threads on 4 cores {eight} should thrash vs {four}"
+        );
     }
 
     #[test]
@@ -220,16 +232,23 @@ mod tests {
         let fits = Workload::kv_cache(10_000.0); // 2 GB working set
         let pressured = Workload::kv_cache(10_000.0).at_scale(6.0); // 12 GB
         let lat = |policy: &str, w: &Workload, rng: &mut StdRng| {
-            let cfg = sim.space().default_config().with("maxmemory_policy", policy);
+            let cfg = sim
+                .space()
+                .default_config()
+                .with("maxmemory_policy", policy);
             let runs: Vec<f64> = (0..10)
                 .map(|_| sim.run_trial(&cfg, w, &env, rng).latency_avg_ms)
                 .collect();
             autotune_linalg::stats::mean(&runs)
         };
-        let fit_gap = (lat("allkeys-lru", &fits, &mut rng) - lat("noeviction", &fits, &mut rng)).abs();
+        let fit_gap =
+            (lat("allkeys-lru", &fits, &mut rng) - lat("noeviction", &fits, &mut rng)).abs();
         let pressure_gap =
             lat("noeviction", &pressured, &mut rng) - lat("allkeys-lru", &pressured, &mut rng);
-        assert!(fit_gap < 0.1, "policies should tie when the set fits: gap {fit_gap}");
+        assert!(
+            fit_gap < 0.1,
+            "policies should tie when the set fits: gap {fit_gap}"
+        );
         assert!(
             pressure_gap > 0.2,
             "LRU should win under pressure: gap {pressure_gap}"

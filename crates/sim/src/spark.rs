@@ -36,7 +36,10 @@ impl SparkSim {
                     .log_scale()
                     .default_value(200i64),
             )
-            .add(Param::categorical("compression_codec", &["none", "lz4", "zstd"]).default_value("lz4"))
+            .add(
+                Param::categorical("compression_codec", &["none", "lz4", "zstd"])
+                    .default_value("lz4"),
+            )
             .add(Param::bool("broadcast_join").default_value(false))
             .build()
             .expect("static space definition is valid");
@@ -85,7 +88,8 @@ impl SimSystem for SparkSim {
         // --- scan + map phase ---
         // Per-executor scan bandwidth shares the node's disk.
         let scan_bw = env.disk_mbps / 1024.0; // GiB/s aggregate
-        let scan_s = data_gb / (scan_bw * (0.4 + 0.6 * (running / (running + 2.0)) * running).max(0.1));
+        let scan_s =
+            data_gb / (scan_bw * (0.4 + 0.6 * (running / (running + 2.0)) * running).max(0.1));
 
         // --- shuffle phase ---
         let shuffle_gb = data_gb * 0.3;
@@ -159,7 +163,10 @@ mod tests {
         };
         let two = t(2, 1);
         let eight = t(8, 2);
-        assert!(eight < two * 0.7, "8 executors {eight} vs 2 executors {two}");
+        assert!(
+            eight < two * 0.7,
+            "8 executors {eight} vs 2 executors {two}"
+        );
     }
 
     #[test]
@@ -178,7 +185,10 @@ mod tests {
         let too_few = t(8, 3);
         let right = t(256, 4);
         let too_many = t(4096, 5);
-        assert!(right < too_few, "256 partitions {right} vs 8 {too_few} (spill)");
+        assert!(
+            right < too_few,
+            "256 partitions {right} vs 8 {too_few} (spill)"
+        );
         assert!(
             right < too_many,
             "256 partitions {right} vs 4096 {too_many} (task overhead)"
@@ -195,16 +205,32 @@ mod tests {
             .with("shuffle_partitions", 16i64);
         let tight = runtime(&sim, &base.clone().with("executor_memory_gb", 1.0), 40.0, 6);
         let roomy = runtime(&sim, &base.clone().with("executor_memory_gb", 8.0), 40.0, 7);
-        assert!(roomy < tight * 0.6, "8 GB {roomy} should clear the spill cliff vs 1 GB {tight}");
+        assert!(
+            roomy < tight * 0.6,
+            "8 GB {roomy} should clear the spill cliff vs 1 GB {tight}"
+        );
     }
 
     #[test]
     fn compression_tradeoff_visible() {
         let sim = SparkSim::new();
         let base = sim.space().default_config().with("executor_count", 8i64);
-        let none = runtime(&sim, &base.clone().with("compression_codec", "none"), 40.0, 8);
-        let lz4 = runtime(&sim, &base.clone().with("compression_codec", "lz4"), 40.0, 9);
-        assert!(lz4 < none, "lz4 {lz4} should beat uncompressed {none} on shuffle-heavy data");
+        let none = runtime(
+            &sim,
+            &base.clone().with("compression_codec", "none"),
+            40.0,
+            8,
+        );
+        let lz4 = runtime(
+            &sim,
+            &base.clone().with("compression_codec", "lz4"),
+            40.0,
+            9,
+        );
+        assert!(
+            lz4 < none,
+            "lz4 {lz4} should beat uncompressed {none} on shuffle-heavy data"
+        );
     }
 
     #[test]
@@ -212,10 +238,8 @@ mod tests {
         let sim = SparkSim::new();
         let base = sim.space().default_config().with("executor_count", 8i64);
         let on = base.clone().with("broadcast_join", true);
-        let small_gain =
-            runtime(&sim, &base, 2.0, 10) - runtime(&sim, &on, 2.0, 11);
-        let large_gain =
-            runtime(&sim, &base, 40.0, 12) - runtime(&sim, &on, 40.0, 13);
+        let small_gain = runtime(&sim, &base, 2.0, 10) - runtime(&sim, &on, 2.0, 11);
+        let large_gain = runtime(&sim, &base, 40.0, 12) - runtime(&sim, &on, 40.0, 13);
         assert!(small_gain > 0.0, "broadcast should help at SF-2");
         assert!(
             large_gain.abs() < small_gain.max(0.2) * 3.0,

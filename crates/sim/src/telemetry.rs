@@ -43,9 +43,8 @@ pub(crate) fn emit(
     let util = utilization.clamp(0.0, 1.0);
     // Channel baselines follow the workload family: scans hammer disk,
     // writes add I/O, hot caches barely touch the network, etc.
-    let disk_base = (0.15 + 0.7 * workload.scan_fraction + 0.4 * workload.write_fraction())
-        .min(1.0)
-        * util;
+    let disk_base =
+        (0.15 + 0.7 * workload.scan_fraction + 0.4 * workload.write_fraction()).min(1.0) * util;
     let net_base = (0.2 + 0.5 * (1.0 - workload.scan_fraction)) * util;
     let mem_base = 0.3 + 0.5 * (workload.skew * 0.3 + util * 0.7);
     (0..SAMPLES_PER_TRIAL)
@@ -54,9 +53,7 @@ pub(crate) fn emit(
             // Mild periodic structure plus noise, so embeddings see both a
             // level and a shape per channel.
             let wave = 0.05 * (2.0 * std::f64::consts::PI * 3.0 * t).sin();
-            let n = |rng: &mut dyn RngCore, scale: f64| {
-                        scale * (rng.gen::<f64>() - 0.5)
-            };
+            let n = |rng: &mut dyn RngCore, scale: f64| scale * (rng.gen::<f64>() - 0.5);
             TelemetrySample {
                 cpu: (util + wave + n(&mut rng, 0.06)).clamp(0.0, 1.0),
                 mem: (mem_base + 0.1 * t + n(&mut rng, 0.04)).clamp(0.0, 1.0),
@@ -105,7 +102,14 @@ mod tests {
         let series = emit(&w, 0.6, 950.0, &mut rng);
         assert_eq!(series.len(), SAMPLES_PER_TRIAL);
         for s in &series {
-            for v in [s.cpu, s.mem, s.disk_io, s.net_io, s.read_share, s.scan_share] {
+            for v in [
+                s.cpu,
+                s.mem,
+                s.disk_io,
+                s.net_io,
+                s.read_share,
+                s.scan_share,
+            ] {
                 assert!((0.0..=1.0).contains(&v), "channel out of bounds: {v}");
             }
             assert!(s.ops >= 0.0);

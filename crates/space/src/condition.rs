@@ -21,7 +21,11 @@ pub struct Condition {
 
 impl Condition {
     /// `child` is active only when `parent == value`.
-    pub fn equals(child: impl Into<String>, parent: impl Into<String>, value: impl Into<Value>) -> Self {
+    pub fn equals(
+        child: impl Into<String>,
+        parent: impl Into<String>,
+        value: impl Into<Value>,
+    ) -> Self {
         Condition {
             child: child.into(),
             parent: parent.into(),

@@ -56,12 +56,10 @@ impl AlgebraicConstraint {
                 numerator,
                 denominator,
                 bound,
-            } => {
-                match (config.get_f64(numerator), config.get_f64(denominator)) {
-                    (Some(n), Some(d)) => n <= bound * d + 1e-12,
-                    _ => true,
-                }
-            }
+            } => match (config.get_f64(numerator), config.get_f64(denominator)) {
+                (Some(n), Some(d)) => n <= bound * d + 1e-12,
+                _ => true,
+            },
         }
     }
 }
@@ -122,8 +120,7 @@ impl Constraint {
     pub fn label(&self) -> String {
         match self {
             Constraint::Algebraic(AlgebraicConstraint::LinearLe { terms, bound }) => {
-                let lhs: Vec<String> =
-                    terms.iter().map(|(n, c)| format!("{c}*{n}")).collect();
+                let lhs: Vec<String> = terms.iter().map(|(n, c)| format!("{c}*{n}")).collect();
                 format!("{} <= {bound}", lhs.join(" + "))
             }
             Constraint::Algebraic(AlgebraicConstraint::RatioLe {

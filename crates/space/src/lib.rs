@@ -94,7 +94,10 @@ impl std::fmt::Display for SpaceError {
                 write!(f, "invalid value for '{param}': {reason}")
             }
             SpaceError::EncodingLength { expected, actual } => {
-                write!(f, "encoding length mismatch: expected {expected}, got {actual}")
+                write!(
+                    f,
+                    "encoding length mismatch: expected {expected}, got {actual}"
+                )
             }
             SpaceError::ConditionCycle(p) => {
                 write!(f, "conditional dependency cycle involving '{p}'")

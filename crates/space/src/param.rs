@@ -62,9 +62,7 @@ impl Domain {
         match self {
             Domain::Float { .. } => None,
             Domain::Int { low, high, .. } => Some((high - low + 1) as u64),
-            Domain::Quantized { low, high, step } => {
-                Some(((high - low) / step).floor() as u64 + 1)
-            }
+            Domain::Quantized { low, high, step } => Some(((high - low) / step).floor() as u64 + 1),
             Domain::Categorical { choices } => Some(choices.len() as u64),
             Domain::Bool => Some(2),
         }
@@ -120,7 +118,11 @@ impl Param {
     pub fn float(name: impl Into<String>, low: f64, high: f64) -> Self {
         Param {
             name: name.into(),
-            domain: Domain::Float { low, high, log: false },
+            domain: Domain::Float {
+                low,
+                high,
+                log: false,
+            },
             default: Value::Float(0.5 * (low + high)),
             prior: Prior::Uniform,
             special_values: Vec::new(),
@@ -132,7 +134,11 @@ impl Param {
     pub fn int(name: impl Into<String>, low: i64, high: i64) -> Self {
         Param {
             name: name.into(),
-            domain: Domain::Int { low, high, log: false },
+            domain: Domain::Int {
+                low,
+                high,
+                log: false,
+            },
             default: Value::Int(low.midpoint(high)),
             prior: Prior::Uniform,
             special_values: Vec::new(),
@@ -544,7 +550,10 @@ mod tests {
             .map(|_| p.sample(&mut rng).as_f64().unwrap())
             .sum::<f64>()
             / 500.0;
-        assert!((mean - 0.9).abs() < 0.05, "prior mean {mean} should be near 0.9");
+        assert!(
+            (mean - 0.9).abs() < 0.05,
+            "prior mean {mean} should be near 0.9"
+        );
     }
 
     #[test]
@@ -567,7 +576,9 @@ mod tests {
             Some(5)
         );
         assert_eq!(
-            Param::categorical("c", &["a", "b", "c"]).domain.cardinality(),
+            Param::categorical("c", &["a", "b", "c"])
+                .domain
+                .cardinality(),
             Some(3)
         );
     }

@@ -375,7 +375,13 @@ impl Space {
             let x: Vec<f64> = idx
                 .iter()
                 .zip(&axis_sizes)
-                .map(|(&i, &n)| if n == 1 { 0.5 } else { i as f64 / (n - 1) as f64 })
+                .map(|(&i, &n)| {
+                    if n == 1 {
+                        0.5
+                    } else {
+                        i as f64 / (n - 1) as f64
+                    }
+                })
                 .collect();
             if let Ok(cfg) = self.decode_unit(&x) {
                 if self.is_feasible(&cfg) {
@@ -455,7 +461,10 @@ mod tests {
             .add(Param::float("shared_buffers_gb", 0.25, 8.0).log_scale())
             .add(Param::bool("jit"))
             .add(Param::float("jit_above_cost", 1e3, 1e6).log_scale())
-            .add(Param::categorical("wal_sync", &["fsync", "fdatasync", "open_sync"]))
+            .add(Param::categorical(
+                "wal_sync",
+                &["fsync", "fdatasync", "open_sync"],
+            ))
             .condition(Condition::equals("jit_above_cost", "jit", true))
             .build()
             .unwrap()

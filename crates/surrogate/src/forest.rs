@@ -99,9 +99,7 @@ impl Tree {
             nodes.push(Node::Leaf { mean, variance });
             nodes.len() - 1
         };
-        if depth >= config.max_depth
-            || idx.len() < 2 * config.min_samples_leaf
-            || variance <= 1e-24
+        if depth >= config.max_depth || idx.len() < 2 * config.min_samples_leaf || variance <= 1e-24
         {
             return make_leaf(&mut self.nodes);
         }
@@ -171,7 +169,10 @@ impl Tree {
         let (left_idx, right_idx) = idx.split_at_mut(split_at);
         let left = self.build(xs, ys, left_idx, depth + 1, n_features, config, rng);
         let right = self.build(xs, ys, right_idx, depth + 1, n_features, config, rng);
-        if let Node::Split { left: l, right: r, .. } = &mut self.nodes[node_idx] {
+        if let Node::Split {
+            left: l, right: r, ..
+        } = &mut self.nodes[node_idx]
+        {
             *l = left;
             *r = right;
         }
@@ -192,7 +193,11 @@ impl Tree {
                     left,
                     right,
                 } => {
-                    node = if x[*feature] <= *threshold { *left } else { *right };
+                    node = if x[*feature] <= *threshold {
+                        *left
+                    } else {
+                        *right
+                    };
                 }
             }
         }
@@ -279,9 +284,7 @@ impl Surrogate for RandomForest {
         let means: Vec<f64> = preds.iter().map(|p| p.0).collect();
         let mean = autotune_linalg::stats::mean(&means);
         let between = autotune_linalg::stats::variance(&means);
-        let within = autotune_linalg::stats::mean(
-            &preds.iter().map(|p| p.1).collect::<Vec<_>>(),
-        );
+        let within = autotune_linalg::stats::mean(&preds.iter().map(|p| p.1).collect::<Vec<_>>());
         Prediction {
             mean,
             variance: (between + within).max(0.0),
@@ -301,7 +304,10 @@ mod tests {
         // A step function: y = 1 for x < 0.5, y = 5 otherwise. Trees should
         // nail this; a smooth GP would ring.
         let xs: Vec<Vec<f64>> = (0..40).map(|i| vec![i as f64 / 39.0]).collect();
-        let ys: Vec<f64> = xs.iter().map(|x| if x[0] < 0.5 { 1.0 } else { 5.0 }).collect();
+        let ys: Vec<f64> = xs
+            .iter()
+            .map(|x| if x[0] < 0.5 { 1.0 } else { 5.0 })
+            .collect();
         (xs, ys)
     }
 

@@ -140,7 +140,11 @@ impl GaussianProcess {
     /// correct for composite kernels, and at the trial counts autotuning
     /// sees (n ≤ a few hundred) each LML evaluation is a sub-millisecond
     /// Cholesky — robustness beats gradient bookkeeping.
-    pub fn fit_hyperparameters(&mut self, config: &HyperFitConfig, rng: &mut impl Rng) -> Result<f64> {
+    pub fn fit_hyperparameters(
+        &mut self,
+        config: &HyperFitConfig,
+        rng: &mut impl Rng,
+    ) -> Result<f64> {
         if self.x_train.is_empty() {
             return Err(SurrogateError::EmptyTrainingSet);
         }
@@ -194,7 +198,10 @@ impl GaussianProcess {
 
     /// Cross-covariance vector `k(X, x)`.
     fn k_vec(&self, x: &[f64]) -> Vec<f64> {
-        self.x_train.iter().map(|xi| self.kernel.eval(xi, x)).collect()
+        self.x_train
+            .iter()
+            .map(|xi| self.kernel.eval(xi, x))
+            .collect()
     }
 
     /// Draws one sample path of the posterior evaluated at `points`
@@ -239,7 +246,10 @@ impl GaussianProcess {
                 (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
             })
             .collect();
-        let lz = chol.l().matvec(&z).expect("dimensions match by construction");
+        let lz = chol
+            .l()
+            .matvec(&z)
+            .expect("dimensions match by construction");
         let (ym, ys) = self.y_shift;
         mean.iter()
             .zip(&lz)
@@ -321,7 +331,10 @@ mod tests {
         gp.fit(&xs, &ys).unwrap();
         let at_data = gp.predict(&xs[4]).variance;
         let far = gp.predict(&[3.0]).variance;
-        assert!(far > 100.0 * at_data.max(1e-12), "far {far} vs at-data {at_data}");
+        assert!(
+            far > 100.0 * at_data.max(1e-12),
+            "far {far} vs at-data {at_data}"
+        );
     }
 
     #[test]
@@ -332,7 +345,11 @@ mod tests {
         let x = 0.5f64;
         let truth = (4.0 * x).sin() + 2.0;
         let p = gp.predict(&[x]);
-        assert!((p.mean - truth).abs() < 0.1, "mean {} vs truth {truth}", p.mean);
+        assert!(
+            (p.mean - truth).abs() < 0.1,
+            "mean {} vs truth {truth}",
+            p.mean
+        );
     }
 
     #[test]
@@ -381,7 +398,10 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(1);
         let sample = gp.sample_function(&xs, &mut rng);
         for (s, &y) in sample.iter().zip(&ys) {
-            assert!((s - y).abs() < 0.05, "sample {s} strays from observation {y}");
+            assert!(
+                (s - y).abs() < 0.05,
+                "sample {s} strays from observation {y}"
+            );
         }
     }
 
@@ -406,9 +426,7 @@ mod tests {
             gp.fit(&[], &[]).unwrap_err(),
             SurrogateError::EmptyTrainingSet
         );
-        assert!(gp
-            .fit(&[vec![0.0], vec![0.0, 1.0]], &[1.0, 2.0])
-            .is_err());
+        assert!(gp.fit(&[vec![0.0], vec![0.0, 1.0]], &[1.0, 2.0]).is_err());
         assert_eq!(
             gp.fit(&[vec![0.0]], &[f64::NAN]).unwrap_err(),
             SurrogateError::NonFiniteTarget

@@ -256,11 +256,16 @@ impl Kernel for PeriodicKernel {
     fn eval(&self, a: &[f64], b: &[f64]) -> f64 {
         let d = crate::kernel::scaled_distance(a, b, &[1.0]);
         let s = (std::f64::consts::PI * d / self.period).sin();
-        self.signal_std * self.signal_std
+        self.signal_std
+            * self.signal_std
             * (-2.0 * s * s / (self.lengthscale * self.lengthscale)).exp()
     }
     fn params(&self) -> Vec<f64> {
-        vec![self.period.ln(), self.lengthscale.ln(), self.signal_std.ln()]
+        vec![
+            self.period.ln(),
+            self.lengthscale.ln(),
+            self.signal_std.ln(),
+        ]
     }
     fn set_params(&mut self, p: &[f64]) {
         assert_eq!(p.len(), 3, "periodic kernel has three parameters");

@@ -112,7 +112,12 @@ impl MultiTaskGp {
         self.obs = observations.to_vec();
         // Per-task standardization.
         for t in 0..self.n_tasks {
-            let ys: Vec<f64> = self.obs.iter().filter(|o| o.task == t).map(|o| o.y).collect();
+            let ys: Vec<f64> = self
+                .obs
+                .iter()
+                .filter(|o| o.task == t)
+                .map(|o| o.y)
+                .collect();
             let m = autotune_linalg::stats::mean(&ys);
             let s = autotune_linalg::stats::std_dev(&ys);
             self.shifts[t] = (m, if s > 1e-12 { s } else { 1.0 });
@@ -198,11 +203,19 @@ mod tests {
         // Task 0 densely observed.
         for i in 0..12 {
             let x = i as f64 / 11.0;
-            obs.push(TaskObservation { task: 0, x: vec![x], y: f(x) });
+            obs.push(TaskObservation {
+                task: 0,
+                x: vec![x],
+                y: f(x),
+            });
         }
         // Task 1 sparsely observed (same shape, offset +10).
         for &x in &[0.0, 0.5, 1.0] {
-            obs.push(TaskObservation { task: 1, x: vec![x], y: f(x) + 10.0 });
+            obs.push(TaskObservation {
+                task: 1,
+                x: vec![x],
+                y: f(x) + 10.0,
+            });
         }
         obs
     }
@@ -222,7 +235,11 @@ mod tests {
             p.mean
         );
         // Fitted correlation should be clearly positive.
-        assert!(mt.rho() >= 0.5, "rho {} too small for perfectly correlated tasks", mt.rho());
+        assert!(
+            mt.rho() >= 0.5,
+            "rho {} too small for perfectly correlated tasks",
+            mt.rho()
+        );
     }
 
     #[test]
@@ -231,7 +248,11 @@ mod tests {
         // Task 0: increasing; task 1: an unrelated oscillation, both dense.
         for i in 0..15 {
             let x = i as f64 / 14.0;
-            obs.push(TaskObservation { task: 0, x: vec![x], y: x });
+            obs.push(TaskObservation {
+                task: 0,
+                x: vec![x],
+                y: x,
+            });
             obs.push(TaskObservation {
                 task: 1,
                 x: vec![x],
@@ -240,7 +261,11 @@ mod tests {
         }
         let mut mt = MultiTaskGp::new(Box::new(Rbf::isotropic(0.3, 1.0)), 1e-4, 2);
         mt.fit(&obs).unwrap();
-        assert!(mt.rho() <= 0.5, "rho {} too large for unrelated tasks", mt.rho());
+        assert!(
+            mt.rho() <= 0.5,
+            "rho {} too large for unrelated tasks",
+            mt.rho()
+        );
     }
 
     #[test]
@@ -248,7 +273,11 @@ mod tests {
         let obs: Vec<TaskObservation> = (0..8)
             .map(|i| {
                 let x = i as f64 / 7.0;
-                TaskObservation { task: 0, x: vec![x], y: x * x }
+                TaskObservation {
+                    task: 0,
+                    x: vec![x],
+                    y: x * x,
+                }
             })
             .collect();
         let mut mt = MultiTaskGp::new(Box::new(Rbf::isotropic(0.4, 1.0)), 1e-8, 1);
@@ -260,7 +289,11 @@ mod tests {
     #[test]
     fn rejects_out_of_range_task() {
         let mut mt = MultiTaskGp::new(Box::new(Rbf::isotropic(1.0, 1.0)), 1e-6, 2);
-        let bad = vec![TaskObservation { task: 5, x: vec![0.0], y: 1.0 }];
+        let bad = vec![TaskObservation {
+            task: 5,
+            x: vec![0.0],
+            y: 1.0,
+        }];
         assert!(mt.fit(&bad).is_err());
     }
 

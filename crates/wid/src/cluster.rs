@@ -131,10 +131,7 @@ fn kmeanspp_init(points: &[Vec<f64>], k: usize, rng: &mut impl Rng) -> Vec<Vec<f
     let mut centroids = Vec::with_capacity(k);
     centroids.push(points[rng.gen_range(0..points.len())].clone());
     while centroids.len() < k {
-        let dists: Vec<f64> = points
-            .iter()
-            .map(|p| nearest(&centroids, p).1)
-            .collect();
+        let dists: Vec<f64> = points.iter().map(|p| nearest(&centroids, p).1).collect();
         let total: f64 = dists.iter().sum();
         if total <= 0.0 {
             // All points coincide with existing centroids: duplicate one.
@@ -180,7 +177,12 @@ mod tests {
     use super::*;
     use rand::rngs::StdRng;
 
-    fn blobs(centers: &[Vec<f64>], per: usize, spread: f64, seed: u64) -> (Vec<Vec<f64>>, Vec<usize>) {
+    fn blobs(
+        centers: &[Vec<f64>],
+        per: usize,
+        spread: f64,
+        seed: u64,
+    ) -> (Vec<Vec<f64>>, Vec<usize>) {
         let mut rng = StdRng::seed_from_u64(seed);
         let mut pts = Vec::new();
         let mut labels = Vec::new();

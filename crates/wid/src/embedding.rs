@@ -92,8 +92,8 @@ impl Embedder {
         let (pca, projection) = match kind {
             EmbedderKind::Pca => {
                 let data = Matrix::from_row_vectors(&standardized);
-                let pca = Pca::fit(&data, out_dim)
-                    .map_err(|e| WidError::Numerical(e.to_string()))?;
+                let pca =
+                    Pca::fit(&data, out_dim).map_err(|e| WidError::Numerical(e.to_string()))?;
                 (Some(pca), None)
             }
             EmbedderKind::RandomProjection { seed } => {
@@ -204,7 +204,10 @@ mod tests {
         }
         let w = autotune_linalg::stats::mean(&within);
         let b = autotune_linalg::stats::mean(&between);
-        assert!(b > 5.0 * w, "families not separated: within {w}, between {b}");
+        assert!(
+            b > 5.0 * w,
+            "families not separated: within {w}, between {b}"
+        );
     }
 
     #[test]
@@ -223,7 +226,9 @@ mod tests {
             for m in &members {
                 autotune_linalg::axpy(1.0, m, &mut c);
             }
-            c.iter().map(|x| x / members.len() as f64).collect::<Vec<_>>()
+            c.iter()
+                .map(|x| x / members.len() as f64)
+                .collect::<Vec<_>>()
         };
         let d = autotune_linalg::squared_distance(&centroid(0), &centroid(1)).sqrt();
         assert!(d > 1.0, "projected centroids too close: {d}");

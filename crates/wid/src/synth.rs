@@ -140,7 +140,11 @@ mod tests {
 
     #[test]
     fn recovers_exact_member() {
-        let basis = vec![fp(&[1.0, 0.0, 0.0]), fp(&[0.0, 1.0, 0.0]), fp(&[0.0, 0.0, 1.0])];
+        let basis = vec![
+            fp(&[1.0, 0.0, 0.0]),
+            fp(&[0.0, 1.0, 0.0]),
+            fp(&[0.0, 0.0, 1.0]),
+        ];
         let (w, res) = synthesize_mixture(&basis, &fp(&[0.0, 1.0, 0.0])).unwrap();
         assert!(res < 1e-3, "residual {res}");
         assert!(w[1] > 0.95, "weights {w:?}");
@@ -169,7 +173,10 @@ mod tests {
         // Target outside the simplex hull: nonzero residual.
         let basis = vec![fp(&[1.0, 0.0]), fp(&[0.0, 1.0])];
         let (_, res) = synthesize_mixture(&basis, &fp(&[2.0, 2.0])).unwrap();
-        assert!(res > 0.1, "impossible target should leave residual, got {res}");
+        assert!(
+            res > 0.1,
+            "impossible target should leave residual, got {res}"
+        );
     }
 
     #[test]

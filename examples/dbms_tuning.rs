@@ -10,7 +10,9 @@
 //! cargo run -p autotune-examples --bin dbms_tuning --release
 //! ```
 
-use autotune::{lasso_path, LlamaTune, LlamaTuneConfig, Objective, SessionConfig, Target, TuningSession};
+use autotune::{
+    lasso_path, LlamaTune, LlamaTuneConfig, Objective, SessionConfig, Target, TuningSession,
+};
 use autotune_optimizer::{
     BayesianOptimizer, CmaEs, CmaEsConfig, Optimizer, RandomSearch, SimulatedAnnealing,
 };
@@ -34,23 +36,46 @@ fn main() {
     let target = make_target();
     let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(0);
     let default_thr = -(0..5)
-        .map(|_| target.evaluate(&target.space().default_config(), &mut rng).cost)
+        .map(|_| {
+            target
+                .evaluate(&target.space().default_config(), &mut rng)
+                .cost
+        })
         .sum::<f64>()
         / 5.0;
     println!("default-config throughput: {default_thr:.0} tps\n");
 
     let optimizers: Vec<(&str, Box<dyn Optimizer>)> = vec![
-        ("random", Box::new(RandomSearch::new(target.space().clone()))),
+        (
+            "random",
+            Box::new(RandomSearch::new(target.space().clone())),
+        ),
         (
             "anneal",
-            Box::new(SimulatedAnnealing::new(target.space().clone(), 2000.0, 0.93)),
+            Box::new(SimulatedAnnealing::new(
+                target.space().clone(),
+                2000.0,
+                0.93,
+            )),
         ),
-        ("cma_es", Box::new(CmaEs::new(target.space().clone(), CmaEsConfig::default()))),
-        ("smac", Box::new(BayesianOptimizer::smac(target.space().clone()))),
-        ("bo_gp", Box::new(BayesianOptimizer::gp(target.space().clone()))),
+        (
+            "cma_es",
+            Box::new(CmaEs::new(target.space().clone(), CmaEsConfig::default())),
+        ),
+        (
+            "smac",
+            Box::new(BayesianOptimizer::smac(target.space().clone())),
+        ),
+        (
+            "bo_gp",
+            Box::new(BayesianOptimizer::gp(target.space().clone())),
+        ),
         (
             "llamatune",
-            Box::new(LlamaTune::new(target.space().clone(), LlamaTuneConfig::default())),
+            Box::new(LlamaTune::new(
+                target.space().clone(),
+                LlamaTuneConfig::default(),
+            )),
         ),
     ];
 
@@ -62,7 +87,9 @@ fn main() {
     let mut best_tps = 0.0;
     for (name, opt) in optimizers {
         let mut session = TuningSession::new(make_target(), opt, SessionConfig::default());
-        let summary = session.run(budget, 7);
+        let summary = session
+            .run(budget, 7)
+            .expect("at least one successful trial");
         let tuned_thr = -summary.best_cost;
         println!(
             "{:<10} {:>10.0}tps {:>7.1}x {:>9}",

@@ -34,8 +34,10 @@ fn main() {
     // Candidate menu: plausible configs an offline campaign might ship.
     let base = target.space().default_config().with("buffer_pool_gb", 8.0);
     let candidates = vec![
-        base.clone().with("query_cache", true),  // read-optimized
-        base.clone().with("query_cache", false).with("log_file_size_mb", 2048.0), // write-optimized
+        base.clone().with("query_cache", true), // read-optimized
+        base.clone()
+            .with("query_cache", false)
+            .with("log_file_size_mb", 2048.0), // write-optimized
         base.clone()
             .with("jit", true)
             .with("jit_above_cost", 1e5)
@@ -53,8 +55,15 @@ fn main() {
     tuner.run(&target, &schedule, 240, 11);
 
     println!("detected shifts at: {:?}\n", tuner.detected_shifts());
-    println!("{:<12} {:>16} {:>16} {:>16}", "phase", labels[0], labels[1], labels[2]);
-    for (phase, range) in [("ycsb-c", 40..80), ("ycsb-a", 120..160), ("tpc-h", 200..240)] {
+    println!(
+        "{:<12} {:>16} {:>16} {:>16}",
+        "phase", labels[0], labels[1], labels[2]
+    );
+    for (phase, range) in [
+        ("ycsb-c", 40..80),
+        ("ycsb-a", 120..160),
+        ("tpc-h", 200..240),
+    ] {
         let counts: Vec<usize> = (0..3)
             .map(|arm| {
                 tuner.history()[range.clone()]

@@ -77,8 +77,16 @@ fn main() {
             );
         }
         // Reference point: beyond the worst member on each axis.
-        let ref_lat = 1.5 * members.iter().map(|m| m.objectives[0]).fold(1.0_f64, f64::max);
-        let ref_cost = 1.5 * members.iter().map(|m| m.objectives[1]).fold(1.0_f64, f64::max);
+        let ref_lat = 1.5
+            * members
+                .iter()
+                .map(|m| m.objectives[0])
+                .fold(1.0_f64, f64::max);
+        let ref_cost = 1.5
+            * members
+                .iter()
+                .map(|m| m.objectives[1])
+                .fold(1.0_f64, f64::max);
         let hv = front.hypervolume_2d((ref_lat, ref_cost));
         println!("  hypervolume vs ({ref_lat:.0}ms, ${ref_cost:.2}m): {hv:.1}\n");
     }

@@ -40,9 +40,18 @@ fn main() {
     println!("kernel-default P95: {default_cost:.3} ms\n");
 
     let optimizers: Vec<(&str, Box<dyn Optimizer>)> = vec![
-        ("grid", Box::new(GridSearch::with_budget(target.space().clone(), budget))),
-        ("random", Box::new(RandomSearch::new(target.space().clone()))),
-        ("bo_gp", Box::new(BayesianOptimizer::gp(target.space().clone()))),
+        (
+            "grid",
+            Box::new(GridSearch::with_budget(target.space().clone(), budget)),
+        ),
+        (
+            "random",
+            Box::new(RandomSearch::new(target.space().clone())),
+        ),
+        (
+            "bo_gp",
+            Box::new(BayesianOptimizer::gp(target.space().clone())),
+        ),
     ];
 
     println!(
@@ -51,7 +60,9 @@ fn main() {
     );
     for (name, opt) in optimizers {
         let mut session = TuningSession::new(make_target(), opt, SessionConfig::default());
-        let summary = session.run(budget, 42);
+        let summary = session
+            .run(budget, 42)
+            .expect("at least one successful trial");
         let reduction = 100.0 * (1.0 - summary.best_cost / default_cost);
         println!(
             "{:<8} {:>8.3}ms {:>9.1}% {:>11.0}s {:>8}",

@@ -16,7 +16,9 @@
 use autotune::{Objective, SessionConfig, Target, TuningSession};
 use autotune_optimizer::BayesianOptimizer;
 use autotune_sim::{DbmsSim, Environment, SimSystem, Workload};
-use autotune_wid::{purity, ConfigStore, Embedder, EmbedderKind, Fingerprint, KMeans, StoredConfig};
+use autotune_wid::{
+    purity, ConfigStore, Embedder, EmbedderKind, Fingerprint, KMeans, StoredConfig,
+};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -38,21 +40,30 @@ fn main() {
     let families = workload_families();
     let mut prints = Vec::new();
     let mut labels = Vec::new();
-    for (label, w) in families.iter().enumerate().flat_map(|(i, fw)| {
-        std::iter::repeat_with(move || (i, fw.1.clone())).take(20)
-    }) {
+    for (label, w) in families
+        .iter()
+        .enumerate()
+        .flat_map(|(i, fw)| std::iter::repeat_with(move || (i, fw.1.clone())).take(20))
+    {
         let r = sim.run_trial(&sim.space().default_config(), &w, &env, &mut rng);
         prints.push(Fingerprint::from_telemetry(&r.telemetry));
         labels.push(label);
     }
-    println!("fingerprinted {} instances (14 telemetry features each)", prints.len());
+    println!(
+        "fingerprinted {} instances (14 telemetry features each)",
+        prints.len()
+    );
 
     // 2. Embed + cluster.
     let embedder = Embedder::fit(&prints, 4, EmbedderKind::Pca).expect("corpus is large enough");
     let points = embedder.embed_all(&prints).expect("all fingerprints embed");
     let km = KMeans::fit(&points, families.len(), 7).expect("enough points");
     let pur = purity(km.assignments(), &labels);
-    println!("k-means into {} families: purity {:.2}\n", families.len(), pur);
+    println!(
+        "k-means into {} families: purity {:.2}\n",
+        families.len(),
+        pur
+    );
 
     // 3. Tune one representative per family; store tuned configs.
     let mut store = ConfigStore::new();
@@ -65,7 +76,9 @@ fn main() {
         );
         let opt = BayesianOptimizer::gp(target.space().clone());
         let mut session = TuningSession::new(target, Box::new(opt), SessionConfig::default());
-        let summary = session.run(30, 100 + fam_idx as u64);
+        let summary = session
+            .run(30, 100 + fam_idx as u64)
+            .expect("at least one successful trial");
         println!(
             "tuned representative '{name}': latency {:.3} ms after 30 trials",
             summary.best_cost

@@ -1,2 +1,31 @@
 //! Cross-crate integration-test package. All tests live in `tests/tests/`
 //! and exercise the public APIs of multiple workspace crates together.
+//!
+//! The library part holds shared fixtures so each test file doesn't carry
+//! its own copy of the standard simulated targets.
+
+use autotune::{Objective, Target};
+use autotune_sim::{Environment, RedisSim, SparkSim, Workload};
+
+/// The tutorial's running example: Redis P95 latency on a KV-cache
+/// workload, medium VM.
+pub fn redis_target() -> Target {
+    Target::simulated(
+        Box::new(RedisSim::new()),
+        Workload::kv_cache(20_000.0),
+        Environment::medium(),
+        Objective::MinimizeLatencyP95,
+    )
+}
+
+/// Spark on TPC-H SF-20, large cluster, minimizing elapsed time — trial
+/// durations spread widely with the config, which parallel-scheduling
+/// tests rely on.
+pub fn spark_target() -> Target {
+    Target::simulated(
+        Box::new(SparkSim::new()),
+        Workload::tpch(20.0),
+        Environment::large(),
+        Objective::MinimizeElapsed,
+    )
+}

@@ -3,19 +3,11 @@
 
 use autotune::{Objective, SessionConfig, Target, TrialStorage, TuningSession};
 use autotune_optimizer::{
-    BayesianOptimizer, CmaEs, CmaEsConfig, GeneticAlgorithm, GaConfig, GridSearch, Optimizer,
+    BayesianOptimizer, CmaEs, CmaEsConfig, GaConfig, GeneticAlgorithm, GridSearch, Optimizer,
     ParticleSwarm, PsoConfig, RandomSearch, SimulatedAnnealing,
 };
-use autotune_sim::{DbmsSim, Environment, RedisSim, SparkSim, Workload};
-
-fn redis_target() -> Target {
-    Target::simulated(
-        Box::new(RedisSim::new()),
-        Workload::kv_cache(20_000.0),
-        Environment::medium(),
-        Objective::MinimizeLatencyP95,
-    )
-}
+use autotune_sim::{DbmsSim, Environment, SparkSim, Workload};
+use autotune_tests::redis_target;
 
 /// Every optimizer family completes a session against every simulator
 /// without panicking, always improves on the first trial, and leaves a
@@ -68,7 +60,7 @@ fn every_optimizer_tunes_every_simulator() {
                 ),
             };
             let mut session = TuningSession::new(target, opt, SessionConfig::default());
-            let summary = session.run(30, 7);
+            let summary = session.run(30, 7).expect("at least one successful trial");
             assert!(
                 summary.best_cost.is_finite(),
                 "{name}/{opt_name}: no finite best"
@@ -96,7 +88,7 @@ fn storage_roundtrip_preserves_campaign() {
     let target = redis_target();
     let opt = BayesianOptimizer::gp(target.space().clone());
     let mut session = TuningSession::new(target, Box::new(opt), SessionConfig::default());
-    session.run(15, 3);
+    session.run(15, 3).expect("at least one successful trial");
     let json = session.storage().to_json();
     let restored = TrialStorage::from_json(&json).expect("valid JSON");
     assert_eq!(restored.len(), session.storage().len());
@@ -118,7 +110,7 @@ fn best_config_is_deployable() {
     let target = redis_target();
     let opt = BayesianOptimizer::gp(target.space().clone());
     let mut session = TuningSession::new(target, Box::new(opt), SessionConfig::default());
-    let summary = session.run(30, 9);
+    let summary = session.run(30, 9).expect("at least one successful trial");
     assert!(session
         .target()
         .space()
@@ -126,7 +118,12 @@ fn best_config_is_deployable() {
         .is_ok());
     let mut rng = rand::rngs::StdRng::seed_from_u64(99);
     let redeploy: f64 = (0..10)
-        .map(|_| session.target().evaluate(&summary.best_config, &mut rng).cost)
+        .map(|_| {
+            session
+                .target()
+                .evaluate(&summary.best_config, &mut rng)
+                .cost
+        })
         .sum::<f64>()
         / 10.0;
     assert!(
@@ -143,7 +140,10 @@ fn sessions_are_reproducible() {
         let target = redis_target();
         let opt = BayesianOptimizer::gp(target.space().clone());
         let mut session = TuningSession::new(target, Box::new(opt), SessionConfig::default());
-        session.run(20, 12).best_cost
+        session
+            .run(20, 12)
+            .expect("at least one successful trial")
+            .best_cost
     };
     assert_eq!(run(), run());
 }

@@ -56,10 +56,22 @@ fn detects_and_adapts_to_shift() {
         shifts.iter().any(|&s| (65..=90).contains(&s)),
         "no shift near the boundary: {shifts:?}"
     );
-    let arm0_late_phase1 = tuner.history()[50..70].iter().filter(|s| s.arm == 0).count();
-    let arm1_late_phase2 = tuner.history()[120..140].iter().filter(|s| s.arm == 1).count();
-    assert!(arm0_late_phase1 > 12, "phase-1 preference weak: {arm0_late_phase1}/20");
-    assert!(arm1_late_phase2 > 12, "phase-2 preference weak: {arm1_late_phase2}/20");
+    let arm0_late_phase1 = tuner.history()[50..70]
+        .iter()
+        .filter(|s| s.arm == 0)
+        .count();
+    let arm1_late_phase2 = tuner.history()[120..140]
+        .iter()
+        .filter(|s| s.arm == 1)
+        .count();
+    assert!(
+        arm0_late_phase1 > 12,
+        "phase-1 preference weak: {arm0_late_phase1}/20"
+    );
+    assert!(
+        arm1_late_phase2 > 12,
+        "phase-2 preference weak: {arm1_late_phase2}/20"
+    );
 }
 
 /// The online agent is competitive with the best static config even

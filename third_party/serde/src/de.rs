@@ -1,0 +1,29 @@
+//! Deserialization half of the stub: [`Deserialize`] and [`Deserializer`].
+
+use crate::content::Content;
+
+/// Errors produced by deserializers.
+pub trait Error: Sized + std::fmt::Debug + std::fmt::Display {
+    /// Builds an error from a message.
+    fn custom<T: std::fmt::Display>(msg: T) -> Self;
+}
+
+/// A source of one deserialized value: hands out a [`Content`] tree.
+pub trait Deserializer<'de>: Sized {
+    /// Error type.
+    type Error: Error;
+
+    /// Produces the parsed value tree.
+    fn deserialize_content(self) -> Result<Content, Self::Error>;
+}
+
+/// A value that can be deserialized.
+pub trait Deserialize<'de>: Sized {
+    /// Deserializes from the given deserializer.
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error>;
+}
+
+/// A value deserializable without borrowing from the input.
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+
+impl<T: for<'de> Deserialize<'de>> DeserializeOwned for T {}

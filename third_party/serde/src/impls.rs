@@ -1,0 +1,257 @@
+//! `Serialize`/`Deserialize` implementations for the std types this
+//! workspace serializes: numbers, bool, strings, `Option`, `Vec`,
+//! arrays, small tuples, and string-keyed `BTreeMap`s.
+
+use std::collections::BTreeMap;
+
+use crate::content::{Content, ContentDeserializer, ContentSerializer};
+use crate::de::{Deserialize, Deserializer, Error as DeError};
+use crate::ser::{Serialize, Serializer};
+
+fn de_err<D: std::fmt::Display, E: DeError>(msg: D) -> E {
+    E::custom(msg)
+}
+
+fn from_content<T: for<'a> Deserialize<'a>, E: DeError>(c: Content) -> Result<T, E> {
+    T::deserialize(ContentDeserializer::new(c)).map_err(de_err)
+}
+
+fn content_of<T: Serialize + ?Sized>(v: &T) -> Content {
+    v.serialize(ContentSerializer).unwrap_or(Content::Null)
+}
+
+// ------------------------------------------------------------------ numbers
+
+macro_rules! signed_impl {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+                s.serialize_i64(*self as i64)
+            }
+        }
+        impl<'de> Deserialize<'de> for $t {
+            fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+                let c = d.deserialize_content()?;
+                let v = c.as_i64().ok_or_else(|| {
+                    de_err::<_, D::Error>(format!("expected integer, found {}", c.kind()))
+                })?;
+                <$t>::try_from(v).map_err(|_| de_err(format!("integer {v} out of range")))
+            }
+        }
+    )*};
+}
+
+signed_impl!(i8, i16, i32, i64, isize);
+
+macro_rules! unsigned_impl {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+                s.serialize_u64(*self as u64)
+            }
+        }
+        impl<'de> Deserialize<'de> for $t {
+            fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+                let c = d.deserialize_content()?;
+                let v = c.as_u64().ok_or_else(|| {
+                    de_err::<_, D::Error>(format!("expected integer, found {}", c.kind()))
+                })?;
+                <$t>::try_from(v).map_err(|_| de_err(format!("integer {v} out of range")))
+            }
+        }
+    )*};
+}
+
+unsigned_impl!(u8, u16, u32, u64, usize);
+
+impl Serialize for f64 {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_f64(*self)
+    }
+}
+
+impl<'de> Deserialize<'de> for f64 {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        let c = d.deserialize_content()?;
+        c.as_f64()
+            .ok_or_else(|| de_err(format!("expected number, found {}", c.kind())))
+    }
+}
+
+impl Serialize for f32 {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_f64(*self as f64)
+    }
+}
+
+impl<'de> Deserialize<'de> for f32 {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        f64::deserialize(d).map(|v| v as f32)
+    }
+}
+
+// ----------------------------------------------------------- bool & strings
+
+impl Serialize for bool {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_bool(*self)
+    }
+}
+
+impl<'de> Deserialize<'de> for bool {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.deserialize_content()? {
+            Content::Bool(b) => Ok(b),
+            other => Err(de_err(format!("expected bool, found {}", other.kind()))),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_str(self)
+    }
+}
+
+impl Serialize for String {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_str(self)
+    }
+}
+
+impl<'de> Deserialize<'de> for &'static str {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        // The stub's data model owns its strings, so a borrowed-str field
+        // (used for static rationale text in this workspace) can only be
+        // produced by leaking. Deserializing such fields is rare-to-never;
+        // the leak is bounded by input size.
+        String::deserialize(d).map(|s| &*Box::leak(s.into_boxed_str()))
+    }
+}
+
+impl<'de> Deserialize<'de> for String {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.deserialize_content()? {
+            Content::Str(s) => Ok(s),
+            other => Err(de_err(format!("expected string, found {}", other.kind()))),
+        }
+    }
+}
+
+// ------------------------------------------------------------- containers
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        match self {
+            None => s.serialize_none(),
+            Some(v) => s.serialize_some(v),
+        }
+    }
+}
+
+impl<'de, T: for<'a> Deserialize<'a>> Deserialize<'de> for Option<T> {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.deserialize_content()? {
+            Content::Null => Ok(None),
+            c => Ok(Some(from_content(c)?)),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_content(Content::Seq(self.iter().map(content_of).collect()))
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_content(Content::Seq(self.iter().map(content_of).collect()))
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        self.as_slice().serialize(s)
+    }
+}
+
+impl<'de, T: for<'a> Deserialize<'a>> Deserialize<'de> for Vec<T> {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.deserialize_content()? {
+            Content::Seq(items) => items.into_iter().map(from_content).collect(),
+            other => Err(de_err(format!("expected sequence, found {}", other.kind()))),
+        }
+    }
+}
+
+impl<'de, T: for<'a> Deserialize<'a>, const N: usize> Deserialize<'de> for [T; N] {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        let v: Vec<T> = Vec::deserialize(d)?;
+        let n = v.len();
+        v.try_into()
+            .map_err(|_| de_err(format!("expected array of length {N}, found {n}")))
+    }
+}
+
+impl<V: Serialize> Serialize for BTreeMap<String, V> {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_content(Content::Map(
+            self.iter()
+                .map(|(k, v)| (k.clone(), content_of(v)))
+                .collect(),
+        ))
+    }
+}
+
+impl<'de, V: for<'a> Deserialize<'a>> Deserialize<'de> for BTreeMap<String, V> {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.deserialize_content()? {
+            Content::Map(entries) => entries
+                .into_iter()
+                .map(|(k, v)| Ok((k, from_content(v)?)))
+                .collect(),
+            other => Err(de_err(format!("expected map, found {}", other.kind()))),
+        }
+    }
+}
+
+// --------------------------------------------------------------- tuples
+
+macro_rules! tuple_impl {
+    ($(($($idx:tt $t:ident),+))*) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+                s.serialize_content(Content::Seq(vec![$(content_of(&self.$idx)),+]))
+            }
+        }
+        impl<'de, $($t: for<'a> Deserialize<'a>),+> Deserialize<'de> for ($($t,)+) {
+            fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+                let mut items = match d.deserialize_content()? {
+                    Content::Seq(items) => items.into_iter(),
+                    other => {
+                        return Err(de_err(format!(
+                            "expected tuple sequence, found {}",
+                            other.kind()
+                        )))
+                    }
+                };
+                Ok(($(
+                    {
+                        let _ = $idx;
+                        from_content::<$t, D::Error>(items.next().ok_or_else(|| {
+                            de_err::<_, D::Error>("tuple too short")
+                        })?)?
+                    },
+                )+))
+            }
+        }
+    )*};
+}
+
+tuple_impl! {
+    (0 A)
+    (0 A, 1 B)
+    (0 A, 1 B, 2 C)
+    (0 A, 1 B, 2 C, 3 E)
+}

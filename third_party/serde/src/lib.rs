@@ -1,0 +1,54 @@
+//! Offline stub of `serde` (see `third_party/README.md`).
+//!
+//! Instead of serde's visitor-based data model, this stub routes every
+//! value through a JSON-like [`__private::Content`] tree: serializers
+//! receive a fully built `Content`, deserializers hand one out. That is
+//! a strictly smaller API, but it is source-compatible with everything
+//! this workspace does with serde: `#[derive(Serialize, Deserialize)]`
+//! on named-field structs and simple enums, `#[serde(default)]`,
+//! `#[serde(with = "...")]` modules built on
+//! `serialize_none`/`serialize_some`/`Option::deserialize`, and
+//! `serde_json` round-trips.
+
+mod content;
+pub mod de;
+mod impls;
+pub mod ser;
+
+pub use de::{Deserialize, DeserializeOwned, Deserializer};
+pub use ser::{Serialize, Serializer};
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// The single concrete error type used by the stub's own serializers.
+#[derive(Debug, Clone)]
+pub struct Error(pub(crate) String);
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl ser::Error for Error {
+    fn custom<T: std::fmt::Display>(msg: T) -> Self {
+        Error(msg.to_string())
+    }
+}
+
+impl de::Error for Error {
+    fn custom<T: std::fmt::Display>(msg: T) -> Self {
+        Error(msg.to_string())
+    }
+}
+
+/// Internals shared with `serde_derive`-generated code and `serde_json`.
+/// Not a stable API (mirrors real serde's `__private` convention).
+pub mod __private {
+    pub use crate::content::{
+        take_field, to_content, Content, ContentDeserializer, ContentSerializer,
+    };
+}

@@ -1,0 +1,485 @@
+//! Offline stub of `serde_derive` (see `third_party/README.md`).
+//!
+//! Generates `Serialize`/`Deserialize` impls against the stub `serde`
+//! crate's `Content` value-tree model. Supported item shapes — which
+//! cover every derive site in this workspace — are:
+//!
+//! * structs with named fields,
+//! * enums with unit, tuple (externally tagged; arity 1 = newtype), and
+//!   struct variants,
+//! * field attributes `#[serde(default)]` and `#[serde(with = "path")]`.
+//!
+//! Anything outside that subset fails the build with a clear message
+//! rather than silently mis-serializing. Parsing is done directly on
+//! `proc_macro` token trees (no `syn`/`quote`, which are unavailable
+//! offline); code generation goes through strings, which is fine for
+//! the generic-free types used here.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+struct Field {
+    name: String,
+    ty: String,
+    default: bool,
+    with: Option<String>,
+}
+
+enum VariantKind {
+    Unit,
+    Tuple(Vec<String>),
+    Struct(Vec<Field>),
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum Item {
+    Struct {
+        name: String,
+        fields: Vec<Field>,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+/// Extracts `default` / `with = "path"` from a `#[serde(...)]` attribute
+/// group's inner stream, if it is one.
+fn parse_serde_attr(stream: TokenStream, default: &mut bool, with: &mut Option<String>) {
+    let mut it = stream.into_iter();
+    match it.next() {
+        Some(TokenTree::Ident(i)) if i.to_string() == "serde" => {}
+        _ => return,
+    }
+    let inner = match it.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => g.stream(),
+        _ => return,
+    };
+    let mut toks = inner.into_iter().peekable();
+    while let Some(t) = toks.next() {
+        if let TokenTree::Ident(i) = &t {
+            match i.to_string().as_str() {
+                "default" => *default = true,
+                "with" => {
+                    // expect `= "path"`
+                    if matches!(toks.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '=') {
+                        toks.next();
+                        if let Some(TokenTree::Literal(l)) = toks.next() {
+                            let s = l.to_string();
+                            *with = Some(s.trim_matches('"').to_string());
+                        }
+                    }
+                }
+                other => panic!("serde stub derive: unsupported serde attribute `{other}`"),
+            }
+        }
+    }
+}
+
+/// Parses the fields of a named-field body (struct or struct variant).
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
+    let mut fields = Vec::new();
+    let mut it = stream.into_iter().peekable();
+    loop {
+        let mut default = false;
+        let mut with = None;
+        // attributes
+        while matches!(it.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+            it.next();
+            if let Some(TokenTree::Group(g)) = it.next() {
+                parse_serde_attr(g.stream(), &mut default, &mut with);
+            }
+        }
+        // visibility
+        if matches!(it.peek(), Some(TokenTree::Ident(i)) if i.to_string() == "pub") {
+            it.next();
+            if matches!(it.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+            {
+                it.next();
+            }
+        }
+        let name = match it.next() {
+            Some(TokenTree::Ident(i)) => i.to_string(),
+            Some(t) => panic!("serde stub derive: expected field name, got `{t}`"),
+            None => break,
+        };
+        match it.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            _ => panic!("serde stub derive: expected `:` after field `{name}` (tuple structs are unsupported)"),
+        }
+        // type: tokens until a comma at angle-bracket depth 0
+        let mut depth = 0i32;
+        let mut ty = TokenStream::new();
+        while let Some(t) = it.peek() {
+            if let TokenTree::Punct(p) = t {
+                match p.as_char() {
+                    '<' => depth += 1,
+                    '>' => depth -= 1,
+                    ',' if depth == 0 => {
+                        it.next();
+                        break;
+                    }
+                    _ => {}
+                }
+            }
+            ty.extend([it.next().unwrap()]);
+        }
+        fields.push(Field {
+            name,
+            ty: ty.to_string(),
+            default,
+            with,
+        });
+    }
+    fields
+}
+
+/// Splits a tuple-variant's parenthesized type list at top-level commas.
+fn parse_tuple_types(stream: TokenStream) -> Vec<String> {
+    let mut types = Vec::new();
+    let mut depth = 0i32;
+    let mut cur = TokenStream::new();
+    for t in stream {
+        if let TokenTree::Punct(p) = &t {
+            match p.as_char() {
+                '<' => depth += 1,
+                '>' => depth -= 1,
+                ',' if depth == 0 => {
+                    types.push(cur.to_string());
+                    cur = TokenStream::new();
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        cur.extend([t]);
+    }
+    if !cur.is_empty() {
+        types.push(cur.to_string());
+    }
+    types
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let mut variants = Vec::new();
+    let mut it = stream.into_iter().peekable();
+    loop {
+        // attributes (e.g. doc comments, #[default]) — serde attrs on
+        // variants are not used in this workspace.
+        while matches!(it.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+            it.next();
+            it.next();
+        }
+        let name = match it.next() {
+            Some(TokenTree::Ident(i)) => i.to_string(),
+            Some(t) => panic!("serde stub derive: expected variant name, got `{t}`"),
+            None => break,
+        };
+        let kind = match it.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let tys = parse_tuple_types(g.stream());
+                it.next();
+                VariantKind::Tuple(tys)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream());
+                it.next();
+                VariantKind::Struct(fields)
+            }
+            _ => VariantKind::Unit,
+        };
+        // optional trailing comma (or `= discr`, unsupported)
+        match it.next() {
+            None => {
+                variants.push(Variant { name, kind });
+                break;
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => {}
+            Some(t) => panic!("serde stub derive: unexpected token `{t}` after variant"),
+        }
+        variants.push(Variant { name, kind });
+    }
+    variants
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut it = input.into_iter().peekable();
+    let kind;
+    loop {
+        match it.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                it.next(); // attribute body
+            }
+            Some(TokenTree::Ident(i)) => match i.to_string().as_str() {
+                "pub" => {
+                    if matches!(it.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                    {
+                        it.next();
+                    }
+                }
+                "struct" => {
+                    kind = "struct";
+                    break;
+                }
+                "enum" => {
+                    kind = "enum";
+                    break;
+                }
+                other => panic!("serde stub derive: unexpected `{other}`"),
+            },
+            Some(t) => panic!("serde stub derive: unexpected token `{t}`"),
+            None => panic!("serde stub derive: ran out of input"),
+        }
+    }
+    let name = match it.next() {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        _ => panic!("serde stub derive: expected item name"),
+    };
+    if matches!(it.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde stub derive: generic types are unsupported (derive on `{name}`)");
+    }
+    let body = match it.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+        _ => panic!(
+            "serde stub derive: `{name}` has no braced body (tuple/unit structs unsupported)"
+        ),
+    };
+    if kind == "struct" {
+        Item::Struct {
+            name,
+            fields: parse_named_fields(body),
+        }
+    } else {
+        Item::Enum {
+            name,
+            variants: parse_variants(body),
+        }
+    }
+}
+
+// ---------------------------------------------------------------- serialize
+
+/// Expression serializing `expr` (a reference) to a `Content`, honoring a
+/// `with` override. `err` is the expression mapping the module's error
+/// into the surrounding serializer's error type.
+fn ser_value_expr(expr: &str, with: &Option<String>) -> String {
+    match with {
+        Some(path) => format!(
+            "{path}::serialize({expr}, ::serde::__private::ContentSerializer::new())\
+             .map_err(<S::Error as ::serde::ser::Error>::custom)?"
+        ),
+        None => format!("::serde::__private::to_content({expr})"),
+    }
+}
+
+fn gen_serialize(item: &Item) -> String {
+    let (name, body) = match item {
+        Item::Struct { name, fields } => {
+            let mut b = String::from(
+                "let mut __m: Vec<(String, ::serde::__private::Content)> = Vec::new();\n",
+            );
+            for f in fields {
+                let value = ser_value_expr(&format!("&self.{}", f.name), &f.with);
+                b.push_str(&format!(
+                    "__m.push((\"{}\".to_string(), {value}));\n",
+                    f.name
+                ));
+            }
+            b.push_str("__s.serialize_content(::serde::__private::Content::Map(__m))\n");
+            (name, b)
+        }
+        Item::Enum { name, variants } => {
+            let mut arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => arms.push_str(&format!(
+                        "{name}::{vn} => __s.serialize_content(\
+                         ::serde::__private::Content::Str(\"{vn}\".to_string())),\n"
+                    )),
+                    VariantKind::Tuple(tys) if tys.len() == 1 => {
+                        let val = ser_value_expr("__0", &None);
+                        arms.push_str(&format!(
+                            "{name}::{vn}(__0) => __s.serialize_content(\
+                             ::serde::__private::Content::Map(vec![(\"{vn}\".to_string(), {val})])),\n"
+                        ));
+                    }
+                    VariantKind::Tuple(tys) => {
+                        let binds: Vec<String> = (0..tys.len()).map(|i| format!("__{i}")).collect();
+                        let items: Vec<String> =
+                            binds.iter().map(|b| ser_value_expr(b, &None)).collect();
+                        arms.push_str(&format!(
+                            "{name}::{vn}({}) => __s.serialize_content(\
+                             ::serde::__private::Content::Map(vec![(\"{vn}\".to_string(), \
+                             ::serde::__private::Content::Seq(vec![{}]))])),\n",
+                            binds.join(", "),
+                            items.join(", ")
+                        ));
+                    }
+                    VariantKind::Struct(fields) => {
+                        let binds: Vec<String> = fields.iter().map(|f| f.name.clone()).collect();
+                        let mut items = String::new();
+                        for f in fields {
+                            let val = ser_value_expr(&f.name, &f.with);
+                            items.push_str(&format!("(\"{}\".to_string(), {val}), ", f.name));
+                        }
+                        arms.push_str(&format!(
+                            "{name}::{vn} {{ {} }} => __s.serialize_content(\
+                             ::serde::__private::Content::Map(vec![(\"{vn}\".to_string(), \
+                             ::serde::__private::Content::Map(vec![{items}]))])),\n",
+                            binds.join(", ")
+                        ));
+                    }
+                }
+            }
+            (name, format!("match self {{\n{arms}}}\n"))
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Serialize for {name} {{\n\
+         fn serialize<S: ::serde::Serializer>(&self, __s: S) \
+         -> ::core::result::Result<S::Ok, S::Error> {{\n{body}}}\n}}\n"
+    )
+}
+
+// -------------------------------------------------------------- deserialize
+
+const ERR: &str = "<D::Error as ::serde::de::Error>::custom";
+
+/// Statement extracting one named field from `__m` into `let {bind}: {ty}`.
+fn de_field_stmt(owner: &str, f: &Field, bind: &str) -> String {
+    let ty = &f.ty;
+    let name = &f.name;
+    let from_content = match &f.with {
+        Some(path) => format!(
+            "{path}::deserialize(::serde::__private::ContentDeserializer::new(__c))\
+             .map_err({ERR})?"
+        ),
+        None => format!(
+            "::serde::Deserialize::deserialize(\
+             ::serde::__private::ContentDeserializer::new(__c)).map_err({ERR})?"
+        ),
+    };
+    let missing = if f.default {
+        "::core::default::Default::default()".to_string()
+    } else {
+        format!("return Err({ERR}(\"{owner}: missing field `{name}`\"))")
+    };
+    format!(
+        "let {bind}: {ty} = match ::serde::__private::take_field(&mut __m, \"{name}\") {{\n\
+         Some(__c) => {from_content},\nNone => {missing},\n}};\n"
+    )
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let (name, body) = match item {
+        Item::Struct { name, fields } => {
+            let mut b = format!(
+                "let mut __m = match __d.deserialize_content()? {{\n\
+                 ::serde::__private::Content::Map(m) => m,\n\
+                 _ => return Err({ERR}(\"{name}: expected map\")),\n}};\n"
+            );
+            let mut ctor = String::new();
+            for (i, f) in fields.iter().enumerate() {
+                let bind = format!("__f{i}");
+                b.push_str(&de_field_stmt(name, f, &bind));
+                ctor.push_str(&format!("{}: {bind}, ", f.name));
+            }
+            b.push_str(&format!("Ok({name} {{ {ctor} }})\n"));
+            (name, b)
+        }
+        Item::Enum { name, variants } => {
+            let mut str_arms = String::new();
+            let mut map_arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => {
+                        str_arms.push_str(&format!("\"{vn}\" => Ok({name}::{vn}),\n"));
+                    }
+                    VariantKind::Tuple(tys) if tys.len() == 1 => {
+                        let ty = &tys[0];
+                        map_arms.push_str(&format!(
+                            "\"{vn}\" => {{\nlet __v: {ty} = ::serde::Deserialize::deserialize(\
+                             ::serde::__private::ContentDeserializer::new(__v)).map_err({ERR})?;\n\
+                             Ok({name}::{vn}(__v))\n}}\n"
+                        ));
+                    }
+                    VariantKind::Tuple(tys) => {
+                        let n = tys.len();
+                        let mut fields = String::new();
+                        let mut ctor = String::new();
+                        for (i, ty) in tys.iter().enumerate() {
+                            fields.push_str(&format!(
+                                "let __t{i}: {ty} = ::serde::Deserialize::deserialize(\
+                                 ::serde::__private::ContentDeserializer::new(\
+                                 __seq.remove(0))).map_err({ERR})?;\n"
+                            ));
+                            ctor.push_str(&format!("__t{i}, "));
+                        }
+                        map_arms.push_str(&format!(
+                            "\"{vn}\" => {{\nlet mut __seq = match __v {{\n\
+                             ::serde::__private::Content::Seq(s) => s,\n\
+                             _ => return Err({ERR}(\"{name}::{vn}: expected sequence\")),\n}};\n\
+                             if __seq.len() != {n} {{\n\
+                             return Err({ERR}(\"{name}::{vn}: wrong tuple arity\"));\n}}\n\
+                             {fields}Ok({name}::{vn}({ctor}))\n}}\n"
+                        ));
+                    }
+                    VariantKind::Struct(fields) => {
+                        let mut b = format!(
+                            "let mut __m = match __v {{\n\
+                             ::serde::__private::Content::Map(m) => m,\n\
+                             _ => return Err({ERR}(\"{name}::{vn}: expected map\")),\n}};\n"
+                        );
+                        let mut ctor = String::new();
+                        for (i, f) in fields.iter().enumerate() {
+                            let bind = format!("__f{i}");
+                            b.push_str(&de_field_stmt(&format!("{name}::{vn}"), f, &bind));
+                            ctor.push_str(&format!("{}: {bind}, ", f.name));
+                        }
+                        map_arms.push_str(&format!(
+                            "\"{vn}\" => {{\n{b}Ok({name}::{vn} {{ {ctor} }})\n}}\n"
+                        ));
+                    }
+                }
+            }
+            let b = format!(
+                "match __d.deserialize_content()? {{\n\
+                 ::serde::__private::Content::Str(__s) => match __s.as_str() {{\n{str_arms}\
+                 __other => Err({ERR}(format!(\"{name}: unknown variant `{{__other}}`\"))),\n}},\n\
+                 ::serde::__private::Content::Map(mut __m) if __m.len() == 1 => {{\n\
+                 let (__k, __v) = __m.remove(0);\nmatch __k.as_str() {{\n{map_arms}\
+                 __other => Err({ERR}(format!(\"{name}: unknown variant `{{__other}}`\"))),\n}}\n}},\n\
+                 _ => Err({ERR}(\"{name}: expected string or single-entry map\")),\n}}\n"
+            );
+            (name, b)
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl<'de> ::serde::Deserialize<'de> for {name} {{\n\
+         fn deserialize<D: ::serde::Deserializer<'de>>(__d: D) \
+         -> ::core::result::Result<Self, D::Error> {{\n{body}}}\n}}\n"
+    )
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item)
+        .parse()
+        .expect("serde stub derive: generated invalid Serialize impl")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("serde stub derive: generated invalid Deserialize impl")
+}

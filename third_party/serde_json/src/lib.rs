@@ -1,0 +1,72 @@
+//! Offline stub of `serde_json` (see `third_party/README.md`).
+//!
+//! Provides `to_string`, `to_string_pretty`, and `from_str` over the
+//! stub serde's `Content` tree. Float formatting uses Rust's shortest
+//! round-trip representation, so values survive
+//! serialize-then-deserialize exactly (the `float_roundtrip` feature is
+//! accepted and inherently on).
+
+mod parse;
+mod write;
+
+use serde::__private::{Content, ContentDeserializer, ContentSerializer};
+use serde::{Deserialize, Serialize};
+
+/// Error from JSON serialization or parsing.
+#[derive(Debug, Clone)]
+pub struct Error(String);
+
+impl Error {
+    pub(crate) fn new(msg: impl Into<String>) -> Self {
+        Error(msg.into())
+    }
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "JSON error: {}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl serde::ser::Error for Error {
+    fn custom<T: std::fmt::Display>(msg: T) -> Self {
+        Error(msg.to_string())
+    }
+}
+
+impl serde::de::Error for Error {
+    fn custom<T: std::fmt::Display>(msg: T) -> Self {
+        Error(msg.to_string())
+    }
+}
+
+/// Result alias matching serde_json's.
+pub type Result<T> = std::result::Result<T, Error>;
+
+fn content_of<T: Serialize + ?Sized>(value: &T) -> Result<Content> {
+    value
+        .serialize(ContentSerializer::new())
+        .map_err(|e| Error(e.to_string()))
+}
+
+/// Serializes a value to compact JSON.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String> {
+    let mut out = String::new();
+    write::write(&content_of(value)?, &mut out, None, 0)?;
+    Ok(out)
+}
+
+/// Serializes a value to human-indented JSON (two spaces, like serde_json).
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String> {
+    let mut out = String::new();
+    write::write(&content_of(value)?, &mut out, Some(2), 0)?;
+    Ok(out)
+}
+
+/// Parses a value from a JSON string.
+pub fn from_str<'a, T: Deserialize<'a>>(s: &'a str) -> Result<T> {
+    let content = parse::parse(s)?;
+    T::deserialize(ContentDeserializer::new(content)).map_err(|e| Error(e.to_string()))
+}

@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# The tier-1 gate, runnable locally and from CI: build, test, format,
+# lint. Everything must pass before a change lands.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== build (release) =="
+cargo build --release
+
+echo "== tests =="
+cargo test -q
+
+echo "== rustfmt =="
+cargo fmt --check
+
+echo "== clippy =="
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "CI gate passed."
