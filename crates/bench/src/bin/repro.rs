@@ -29,7 +29,7 @@ fn main() {
         }
     }
     if ran == 0 {
-        eprintln!("no experiment matches {filter:?}; available: e01..e29, ablations");
+        eprintln!("no experiment matches {filter:?}; available: e01..e30, ablations");
         std::process::exit(2);
     }
     println!(

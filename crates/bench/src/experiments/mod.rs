@@ -28,6 +28,7 @@ pub mod e26_synth;
 pub mod e27_llm_priors;
 pub mod e28_profile_guided;
 pub mod e29_async;
+pub mod e30_faults;
 
 use autotune::{Objective, Target};
 use autotune_optimizer::Optimizer;

@@ -50,6 +50,7 @@ pub fn all_experiments() -> Vec<Experiment> {
         ("e27", experiments::e27_llm_priors::run),
         ("e28", experiments::e28_profile_guided::run),
         ("e29", experiments::e29_async::run),
+        ("e30", experiments::e30_faults::run),
         ("ablations", experiments::ablations::run),
     ]
 }

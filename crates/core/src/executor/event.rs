@@ -4,7 +4,7 @@
 //! and the event stream a campaign emits ([`TrialEvent`]).
 
 use crate::TrialStatus;
-use autotune_sim::{TelemetrySample, Workload};
+use autotune_sim::{FailureKind, TelemetrySample, Workload};
 use autotune_space::Config;
 
 /// A trial a [`super::TrialSource`] wants executed.
@@ -50,6 +50,11 @@ pub struct Measurement {
     pub aborted: bool,
     /// Benchmark seconds shaved off by censoring middleware.
     pub saved_s: f64,
+    /// Fault annotation: a deterministic config crash reported by the
+    /// target, or the fault a [`autotune_sim::FaultPlan`] injected into
+    /// this attempt. Stragglers and corruptions keep their (suspect)
+    /// measurement; the transient kinds carry a NaN cost.
+    pub fault: Option<FailureKind>,
 }
 
 impl Measurement {
@@ -62,6 +67,7 @@ impl Measurement {
             telemetry: e.result.telemetry,
             aborted: false,
             saved_s: 0.0,
+            fault: e.failure,
         }
     }
 }
@@ -86,6 +92,10 @@ pub struct TrialOutcome {
     pub machine_id: Option<usize>,
     /// Outcome status.
     pub status: TrialStatus,
+    /// Retry attempts consumed before this outcome (0 = first try).
+    pub retries: u32,
+    /// Fault annotation of the final attempt, if any.
+    pub fault: Option<FailureKind>,
     /// Telemetry stream of the run.
     pub telemetry: Vec<TelemetrySample>,
 }
@@ -131,6 +141,36 @@ pub enum TrialEvent {
         cost: f64,
         /// Benchmark seconds charged up to the abort.
         elapsed_s: f64,
+    },
+    /// The trial was lost to infrastructure with every retry exhausted.
+    FailedTransient {
+        /// Trial id.
+        id: u64,
+        /// What finally took it down.
+        kind: FailureKind,
+        /// Benchmark seconds burned across all attempts.
+        elapsed_s: f64,
+    },
+    /// An attempt failed transiently and the trial is being re-measured.
+    Retried {
+        /// Trial id.
+        id: u64,
+        /// The attempt about to run (1 = first retry).
+        attempt: u32,
+        /// Virtual-clock backoff before the new attempt, seconds.
+        backoff_s: f64,
+    },
+    /// A machine's failure rate crossed the quarantine threshold; no new
+    /// trials are steered to it until probation.
+    Quarantined {
+        /// The machine taken out of rotation.
+        machine_id: usize,
+    },
+    /// A quarantined machine finished its cooldown and re-entered the
+    /// rotation on probation.
+    Released {
+        /// The machine returning to rotation.
+        machine_id: usize,
     },
     /// A configuration graduated to the next fidelity rung.
     Promoted {

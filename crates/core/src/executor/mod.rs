@@ -24,13 +24,17 @@ mod policy;
 mod source;
 
 pub use event::{Measurement, TrialEvent, TrialOutcome, TrialRequest};
-pub use middleware::{CrashPenaltyMw, EarlyAbortMw, MachineAssignMw, Middleware};
+pub use middleware::{
+    CrashPenaltyMw, EarlyAbortMw, MachineAssignMw, Middleware, QuarantineMw, RetryMw, TimeoutMw,
+};
 pub use policy::SchedulePolicy;
 pub use source::{OptimizerSource, RungSource, SourceStep, TrialSource};
 
 use crate::{NoiseStrategy, Objective, Target, Trial, TrialStatus, TrialStorage};
+use autotune_sim::{FailureKind, Fault};
 use rand::rngs::StdRng;
 use rand::{RngCore, SeedableRng};
+use std::collections::BTreeSet;
 
 /// Derives a trial's private evaluation seed from the campaign seed and
 /// the trial id (SplitMix64-style finalizer: adjacent ids land far apart).
@@ -55,6 +59,12 @@ pub struct ExecReport {
     pub n_trials: usize,
     /// Trials cut short by censoring middleware.
     pub n_aborted: usize,
+    /// Trials lost to infrastructure with retries exhausted.
+    pub n_transient: usize,
+    /// Retry attempts consumed across all trials.
+    pub n_retried: usize,
+    /// Distinct machines quarantined at least once during the run.
+    pub n_quarantined_machines: usize,
     /// Benchmark seconds saved by censoring middleware.
     pub saved_s: f64,
 }
@@ -72,6 +82,7 @@ struct Scheduled {
     req: TrialRequest,
     m: Measurement,
     finish: f64,
+    retries: u32,
 }
 
 /// The event-driven trial executor.
@@ -139,6 +150,9 @@ impl<'a> Executor<'a> {
         let mut machine_seconds = 0.0;
         let mut n_trials = 0usize;
         let mut n_aborted = 0usize;
+        let mut n_transient = 0usize;
+        let mut n_retried = 0usize;
+        let mut quarantined: BTreeSet<usize> = BTreeSet::new();
         let mut saved_s = 0.0;
         let mut next_id: u64 = 0;
         let mut in_flight: Vec<Scheduled> = Vec::new();
@@ -180,21 +194,62 @@ impl<'a> Executor<'a> {
             }
 
             // Measurement: evaluate the wave (concurrently when >1), then
-            // apply censoring middleware in dispatch order and schedule
-            // each trial's virtual finish.
+            // per trial: inject any planned fault, run censoring
+            // middleware, and loop on retries — a retry re-measures with a
+            // fresh per-attempt seed and a fresh fault roll, charging the
+            // failed attempt plus backoff to the trial's elapsed time.
             let measured = measure_wave(self.target, &self.noise_strategy, &wave);
-            for (p, mut m) in wave.into_iter().zip(measured) {
-                for mw in &mut self.middleware {
-                    mw.after_measure(&mut m, cost_is_elapsed);
-                }
+            for (p, m) in wave.into_iter().zip(measured) {
                 events.push(TrialEvent::Started {
                     id: p.id,
                     at_s: clock,
                 });
+                let mut m = m;
+                let mut attempt: u32 = 0;
+                let mut carried_s = 0.0_f64;
+                loop {
+                    if m.fault.is_none() {
+                        // ConfigCrash already set by the target; otherwise
+                        // roll this attempt's infrastructure fate.
+                        if let Some(plan) = self.target.faults() {
+                            let machine = m.machine_id.or(p.req.machine_id);
+                            if let Some(f) = plan.roll(p.id, attempt, machine, clock + carried_s) {
+                                apply_fault(&f, &mut m, cost_is_elapsed);
+                            }
+                        }
+                    }
+                    for mw in &mut self.middleware {
+                        mw.after_measure(&mut m, cost_is_elapsed);
+                    }
+                    let backoff = self
+                        .middleware
+                        .iter_mut()
+                        .find_map(|mw| mw.retry_after(&m, attempt));
+                    match backoff {
+                        Some(backoff_s) => {
+                            carried_s += m.elapsed_s + backoff_s;
+                            attempt += 1;
+                            events.push(TrialEvent::Retried {
+                                id: p.id,
+                                attempt,
+                                backoff_s,
+                            });
+                            m = measure_one(
+                                self.target,
+                                &self.noise_strategy,
+                                &p.req,
+                                trial_seed(p.eval_seed, u64::from(attempt)),
+                            );
+                        }
+                        None => break,
+                    }
+                }
+                m.elapsed_s += carried_s;
                 in_flight.push(Scheduled {
                     id: p.id,
                     req: p.req,
                     finish: clock + m.elapsed_s,
+                    retries: attempt,
                     m,
                 });
             }
@@ -231,10 +286,12 @@ impl<'a> Executor<'a> {
             };
 
             for s in completed {
-                let status = if s.m.cost.is_nan() {
-                    TrialStatus::Crashed
-                } else if s.m.aborted {
+                let status = if s.m.aborted {
                     TrialStatus::Aborted
+                } else if s.m.cost.is_nan() && s.m.fault.is_some_and(|f| f.is_transient()) {
+                    TrialStatus::TransientFailure
+                } else if !s.m.cost.is_finite() {
+                    TrialStatus::Crashed
                 } else {
                     TrialStatus::Complete
                 };
@@ -247,6 +304,8 @@ impl<'a> Executor<'a> {
                     fidelity: s.req.fidelity,
                     machine_id: s.m.machine_id,
                     status,
+                    retries: s.retries,
+                    fault: s.m.fault,
                     telemetry: s.m.telemetry,
                 };
                 for mw in &mut self.middleware {
@@ -255,6 +314,7 @@ impl<'a> Executor<'a> {
                 source.report(&outcome);
                 machine_seconds += outcome.elapsed_s;
                 n_trials += 1;
+                n_retried += s.retries as usize;
                 saved_s += s.m.saved_s;
                 events.push(match status {
                     TrialStatus::Crashed => TrialEvent::Crashed {
@@ -269,27 +329,51 @@ impl<'a> Executor<'a> {
                             elapsed_s: outcome.elapsed_s,
                         }
                     }
+                    TrialStatus::TransientFailure => {
+                        n_transient += 1;
+                        TrialEvent::FailedTransient {
+                            id: outcome.id,
+                            kind: outcome.fault.unwrap_or(FailureKind::Transient),
+                            elapsed_s: outcome.elapsed_s,
+                        }
+                    }
                     TrialStatus::Complete => TrialEvent::Finished {
                         id: outcome.id,
                         cost: outcome.cost,
                         elapsed_s: outcome.elapsed_s,
                     },
                 });
-                if status == TrialStatus::Aborted {
-                    let mut trial = Trial::aborted(outcome.config, outcome.cost, outcome.elapsed_s)
-                        .at_fidelity(outcome.fidelity);
-                    if let Some(m) = outcome.machine_id {
-                        trial = trial.on_machine(m);
+                let mut trial = match status {
+                    TrialStatus::Aborted => {
+                        Trial::aborted(outcome.config, outcome.cost, outcome.elapsed_s)
                     }
-                    storage.record(trial);
-                } else {
-                    storage.record_eval(
-                        outcome.config,
-                        outcome.cost,
-                        outcome.elapsed_s,
-                        outcome.fidelity,
-                        outcome.machine_id,
-                    );
+                    TrialStatus::TransientFailure => {
+                        Trial::transient_failure(outcome.config, outcome.elapsed_s)
+                    }
+                    TrialStatus::Crashed => {
+                        let mut t = Trial::crashed(outcome.config, outcome.elapsed_s);
+                        t.cost = outcome.cost; // preserve ±inf vs NaN
+                        t
+                    }
+                    TrialStatus::Complete => {
+                        Trial::complete(outcome.config, outcome.cost, outcome.elapsed_s)
+                    }
+                }
+                .at_fidelity(outcome.fidelity)
+                .with_retries(outcome.retries);
+                if let Some(m) = outcome.machine_id {
+                    trial = trial.on_machine(m);
+                }
+                storage.record(trial);
+            }
+
+            // Drain middleware lifecycle events (quarantines, releases).
+            for mw in &mut self.middleware {
+                for ev in mw.take_events() {
+                    if let TrialEvent::Quarantined { machine_id } = ev {
+                        quarantined.insert(machine_id);
+                    }
+                    events.push(ev);
                 }
             }
         }
@@ -300,7 +384,46 @@ impl<'a> Executor<'a> {
             machine_seconds,
             n_trials,
             n_aborted,
+            n_transient,
+            n_retried,
+            n_quarantined_machines: quarantined.len(),
             saved_s,
+        }
+    }
+}
+
+/// Applies an injected fault to a raw measurement. The transient kinds
+/// (machine death, outage, hang) lose the measurement — cost NaN,
+/// telemetry dropped — while stragglers and corruptions keep a degraded
+/// one. Severity semantics are documented on [`Fault`].
+fn apply_fault(f: &Fault, m: &mut Measurement, cost_is_elapsed: bool) {
+    m.fault = Some(f.kind);
+    match f.kind {
+        FailureKind::Transient | FailureKind::Outage => {
+            // Died `severity` of the way through the run.
+            m.cost = f64::NAN;
+            m.elapsed_s *= f.severity;
+            m.telemetry.clear();
+        }
+        FailureKind::Hang => {
+            // Wedged: never reports a cost; only a timeout frees the slot.
+            m.cost = f64::NAN;
+            m.elapsed_s *= f.severity;
+            m.telemetry.clear();
+        }
+        FailureKind::Straggler => {
+            // Slow but complete. When the objective *is* elapsed time the
+            // slowdown contaminates the cost too.
+            m.elapsed_s *= f.severity;
+            if cost_is_elapsed {
+                m.cost *= f.severity;
+            }
+        }
+        FailureKind::Corruption => {
+            m.cost *= f.severity;
+        }
+        FailureKind::ConfigCrash => {
+            m.cost = f64::NAN;
         }
     }
 }
@@ -332,6 +455,7 @@ fn measure_one(
             telemetry: Vec::new(),
             aborted: false,
             saved_s: 0.0,
+            fault: None,
         }
     }
 }
@@ -476,7 +600,8 @@ mod tests {
                 }
                 TrialEvent::Finished { id, .. }
                 | TrialEvent::Crashed { id, .. }
-                | TrialEvent::Aborted { id, .. } => {
+                | TrialEvent::Aborted { id, .. }
+                | TrialEvent::FailedTransient { id, .. } => {
                     in_flight.retain(|(other, _)| other != id);
                 }
                 _ => {}
@@ -576,5 +701,197 @@ mod tests {
             .trials()
             .iter()
             .any(|t| t.status == TrialStatus::Crashed && t.cost.is_nan()));
+    }
+
+    fn faulty_target(seed: u64) -> Target {
+        use autotune_sim::{CloudNoise, FaultPlan, NoiseConfig};
+        redis_target()
+            .with_noise(CloudNoise::new_fleet(4, NoiseConfig::default(), seed))
+            .with_faults(FaultPlan::aggressive(seed))
+    }
+
+    fn resilient_exec(target: &Target, policy: SchedulePolicy) -> Executor<'_> {
+        Executor::new(target, policy)
+            .with_middleware(Box::new(MachineAssignMw::round_robin(4)))
+            .with_middleware(Box::new(QuarantineMw::with_defaults(4)))
+            .with_middleware(Box::new(RetryMw::new(3, 5.0)))
+            .with_middleware(Box::new(TimeoutMw::new(600.0)))
+            .with_middleware(Box::new(CrashPenaltyMw::new(1e9)))
+    }
+
+    #[test]
+    fn single_slot_policies_stay_identical_under_faults() {
+        // The PR 1 determinism contract must survive the full resilience
+        // stack: faults, retries, timeouts and quarantine are all driven
+        // by (seed, trial, attempt), never by wall-clock or thread timing.
+        let run = |policy| {
+            let target = faulty_target(5);
+            let mut opt = RandomSearch::new(target.space().clone());
+            let mut source = OptimizerSource::new(&mut opt, 16);
+            let mut storage = TrialStorage::new();
+            let report = resilient_exec(&target, policy).run(&mut source, &mut storage, 5);
+            (storage.to_json(), report)
+        };
+        let (seq_j, seq_r) = run(SchedulePolicy::Sequential);
+        let (sync_j, _) = run(SchedulePolicy::SyncBatch { k: 1 });
+        let (async_j, async_r) = run(SchedulePolicy::AsyncSlots { k: 1 });
+        assert_eq!(seq_j, sync_j);
+        assert_eq!(seq_j, async_j);
+        assert_eq!(seq_r.wall_clock_s.to_bits(), async_r.wall_clock_s.to_bits());
+        assert_eq!(seq_r.n_retried, async_r.n_retried);
+    }
+
+    #[test]
+    fn retries_recover_transient_failures() {
+        let run = |retry: bool| {
+            let target = faulty_target(21);
+            let mut opt = RandomSearch::new(target.space().clone());
+            let mut source = OptimizerSource::new(&mut opt, 40);
+            let mut storage = TrialStorage::new();
+            let mut exec = Executor::new(&target, SchedulePolicy::Sequential);
+            if retry {
+                exec = exec.with_middleware(Box::new(RetryMw::new(3, 5.0)));
+            }
+            let report = exec.run(&mut source, &mut storage, 21);
+            (storage, report)
+        };
+        let (naive_s, naive_r) = run(false);
+        let (retry_s, retry_r) = run(true);
+        assert_eq!(naive_r.n_retried, 0);
+        assert!(
+            retry_r.n_retried > 0,
+            "aggressive plan should trigger retries"
+        );
+        // Retrying transient losses converts most of them back into
+        // completed measurements.
+        assert!(
+            retry_s.n_transient_failures() < naive_s.n_transient_failures(),
+            "retries should recover trials: {} vs {}",
+            retry_s.n_transient_failures(),
+            naive_s.n_transient_failures()
+        );
+        // Retried trials carry their attempt count into storage.
+        assert!(retry_s.trials().iter().any(|t| t.retries > 0));
+    }
+
+    #[test]
+    fn timeout_converts_hangs_into_aborts() {
+        use autotune_sim::FaultPlan;
+        let mut plan = FaultPlan::new(9);
+        plan.hang_prob = 0.3; // force plenty of hangs
+        let target = redis_target().with_faults(plan);
+        let budget_s = 400.0;
+        let run = |timeout: bool| {
+            let mut opt = RandomSearch::new(target.space().clone());
+            let mut source = OptimizerSource::new(&mut opt, 30);
+            let mut storage = TrialStorage::new();
+            let mut exec = Executor::new(&target, SchedulePolicy::Sequential);
+            if timeout {
+                exec = exec.with_middleware(Box::new(TimeoutMw::new(budget_s)));
+            }
+            let report = exec.run(&mut source, &mut storage, 9);
+            (storage, report)
+        };
+        let (hang_s, hang_r) = run(false);
+        let (cut_s, cut_r) = run(true);
+        assert!(cut_r.n_aborted > 0, "hangs should be timed out");
+        assert!(cut_s
+            .trials()
+            .iter()
+            .all(|t| t.elapsed_s <= budget_s + 1e-9));
+        // Without the timeout the hangs burn their full inflated runtime.
+        assert!(hang_s.trials().iter().any(|t| t.elapsed_s > budget_s));
+        assert!(cut_r.machine_seconds < hang_r.machine_seconds);
+        // A timed-out hang is an abort, not a crash: the learner is not
+        // told the configuration was bad.
+        assert_eq!(hang_r.n_aborted, 0);
+        assert!(cut_s
+            .trials()
+            .iter()
+            .any(|t| t.status == TrialStatus::Aborted));
+    }
+
+    #[test]
+    fn quarantine_steers_trials_off_a_sick_machine() {
+        use autotune_sim::{CloudNoise, FaultPlan, NoiseConfig};
+        let target = redis_target()
+            .with_noise(CloudNoise::new_fleet(4, NoiseConfig::default(), 7))
+            .with_faults(FaultPlan::new(7).with_sick_machine(0, 20.0));
+        let mut opt = RandomSearch::new(target.space().clone());
+        let mut source = OptimizerSource::new(&mut opt, 60);
+        let mut storage = TrialStorage::new();
+        let report = Executor::new(&target, SchedulePolicy::Sequential)
+            .with_middleware(Box::new(MachineAssignMw::round_robin(4)))
+            .with_middleware(Box::new(QuarantineMw::with_defaults(4)))
+            .run(&mut source, &mut storage, 7);
+        assert!(
+            report.n_quarantined_machines >= 1,
+            "the sick machine should get quarantined"
+        );
+        assert!(report
+            .events
+            .iter()
+            .any(|e| matches!(e, TrialEvent::Quarantined { machine_id: 0 })));
+        // While quarantined, machine 0 receives no trials: round-robin
+        // would land every 4th trial there, so it must see fewer.
+        let on_sick = storage
+            .trials()
+            .iter()
+            .filter(|t| t.machine_id == Some(0))
+            .count();
+        assert!(
+            on_sick < storage.len() / 4,
+            "quarantine should deflect trials: {on_sick}/{}",
+            storage.len()
+        );
+    }
+
+    #[test]
+    fn transient_failures_bypass_the_learner() {
+        use autotune_sim::FaultPlan;
+        struct Probe {
+            opt: RandomSearch,
+            n: usize,
+            learned: Vec<f64>,
+        }
+        impl TrialSource for Probe {
+            fn next(&mut self, rng: &mut dyn RngCore) -> SourceStep {
+                if self.n >= 40 {
+                    return SourceStep::Exhausted;
+                }
+                self.n += 1;
+                SourceStep::Dispatch(TrialRequest::new(self.opt.suggest(rng)))
+            }
+            fn report(&mut self, outcome: &TrialOutcome) {
+                if outcome.status == TrialStatus::TransientFailure {
+                    self.learned.push(outcome.learn_cost);
+                }
+            }
+        }
+        let target = redis_target().with_faults(FaultPlan::aggressive(13));
+        let run = |naive: bool| {
+            let mut source = Probe {
+                opt: RandomSearch::new(target.space().clone()),
+                n: 0,
+                learned: Vec::new(),
+            };
+            let mut storage = TrialStorage::new();
+            let mw: Box<dyn Middleware> = if naive {
+                Box::new(CrashPenaltyMw::naive(1e9))
+            } else {
+                Box::new(CrashPenaltyMw::new(1e9))
+            };
+            Executor::new(&target, SchedulePolicy::Sequential)
+                .with_middleware(mw)
+                .run(&mut source, &mut storage, 13);
+            source.learned
+        };
+        let strict = run(false);
+        let naive = run(true);
+        assert!(!strict.is_empty(), "aggressive plan should lose trials");
+        // Status-gated penalty leaves transient losses NaN (the source
+        // drops them); the naive variant feeds them in as crash penalties.
+        assert!(strict.iter().all(|c| c.is_nan()));
+        assert!(naive.iter().all(|c| *c == 1e9));
     }
 }

@@ -77,6 +77,16 @@ impl TrialSource for OptimizerSource<'_> {
     }
 
     fn report(&mut self, outcome: &TrialOutcome) {
+        // A trial lost to infrastructure carries no information about its
+        // configuration: feeding it to the learner as a crash would
+        // mis-train the surrogate (the naive behaviour E30 measures).
+        // Unless middleware substituted a finite learn cost, just release
+        // the pending mark and move on. Covers both exhausted retries
+        // (`TransientFailure`) and hangs censored to NaN by `TimeoutMw`.
+        if outcome.learn_cost.is_nan() && outcome.fault.is_some_and(|f| f.is_transient()) {
+            self.optimizer.unmark_pending(&outcome.config);
+            return;
+        }
         self.optimizer.observe(&outcome.config, outcome.learn_cost);
     }
 }

@@ -25,7 +25,8 @@
 //!  │  Source,       │◀───────│    │ AsyncSlots │ Rungs  (virtual clock │
 //!  │  RungSource,   │ report │    + crossbeam worker threads)          │
 //!  │  OnlineSource  │        │  Middleware: EarlyAbortMw,              │
-//!  └───────────────┘        │    CrashPenaltyMw, MachineAssignMw      │
+//!  └───────────────┘        │    CrashPenaltyMw, MachineAssignMw,     │
+//!                           │    RetryMw, TimeoutMw, QuarantineMw     │
 //!          ▲                 └──────┬──────────────┬───────────────────┘
 //!          │ suggest/observe        │ measure      │ TrialEvent stream
 //!  ┌───────┴───────┐        ┌──────▼──────┐  ┌────▼──────────┐
@@ -82,8 +83,9 @@ mod test_fixtures;
 
 pub use early_abort::EarlyAbort;
 pub use executor::{
-    EarlyAbortMw, ExecReport, Executor, Middleware, OptimizerSource, RungSource, SchedulePolicy,
-    TrialEvent, TrialOutcome, TrialRequest, TrialSource,
+    CrashPenaltyMw, EarlyAbortMw, ExecReport, Executor, MachineAssignMw, Middleware,
+    OptimizerSource, QuarantineMw, RetryMw, RungSource, SchedulePolicy, TimeoutMw, TrialEvent,
+    TrialOutcome, TrialRequest, TrialSource,
 };
 pub use importance::{lasso_path, permutation_importance, KnobImportance};
 pub use llamatune::{LlamaTune, LlamaTuneConfig};

@@ -93,6 +93,7 @@ mod tests {
             cost_units: 0.02,
             elapsed_s: 60.0,
             crashed: false,
+            failure: None,
             telemetry: Vec::new(),
             profile: Vec::new(),
         }

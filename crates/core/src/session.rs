@@ -46,6 +46,12 @@ pub struct SessionSummary {
     pub n_crashed: usize,
     /// Early-aborted trials.
     pub n_aborted: usize,
+    /// Trials lost to infrastructure with retries exhausted.
+    pub n_transient: usize,
+    /// Retry attempts consumed across all trials.
+    pub n_retried: usize,
+    /// Distinct machines quarantined at least once.
+    pub n_quarantined_machines: usize,
     /// Benchmark seconds saved by early abort.
     pub saved_s: f64,
 }
@@ -57,6 +63,7 @@ pub struct TuningSession {
     storage: TrialStorage,
     config: SessionConfig,
     early_abort: Option<EarlyAbort>,
+    n_quarantined_machines: usize,
 }
 
 impl TuningSession {
@@ -69,6 +76,7 @@ impl TuningSession {
             storage: TrialStorage::new(),
             config,
             early_abort,
+            n_quarantined_machines: 0,
         }
     }
 
@@ -134,7 +142,8 @@ impl TuningSession {
             if let Some(ea) = self.early_abort.as_mut() {
                 exec = exec.with_middleware(Box::new(EarlyAbortMw::over(ea)));
             }
-            exec.run(&mut source, &mut self.storage, seed);
+            let report = exec.run(&mut source, &mut self.storage, seed);
+            self.n_quarantined_machines += report.n_quarantined_machines;
         }
         self.summary()
     }
@@ -155,6 +164,9 @@ impl TuningSession {
                 .iter()
                 .filter(|t| t.status == TrialStatus::Aborted)
                 .count(),
+            n_transient: self.storage.n_transient_failures(),
+            n_retried: self.storage.n_retried(),
+            n_quarantined_machines: self.n_quarantined_machines,
             saved_s: self
                 .early_abort
                 .as_ref()

@@ -5,7 +5,9 @@
 //! trial passes through, and the objective that scalarizes the result.
 
 use crate::Objective;
-use autotune_sim::{CloudNoise, Environment, SimSystem, TrialResult, Workload};
+use autotune_sim::{
+    CloudNoise, Environment, FailureKind, FaultPlan, SimSystem, TrialResult, Workload,
+};
 use autotune_space::{Config, Space};
 use rand::RngCore;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -20,6 +22,9 @@ pub struct Evaluation {
     pub result: TrialResult,
     /// Machine the trial ran on, when a noise fleet is attached.
     pub machine_id: Option<usize>,
+    /// Why the trial failed, when it did: a deterministic
+    /// [`FailureKind::ConfigCrash`] or an injected infrastructure fault.
+    pub failure: Option<FailureKind>,
 }
 
 enum Backend {
@@ -43,6 +48,7 @@ pub struct Target {
     /// Logical trial clock, drives the noise model's temporal drift.
     clock: AtomicU64,
     name: String,
+    faults: Option<FaultPlan>,
 }
 
 impl std::fmt::Debug for Target {
@@ -73,6 +79,7 @@ impl Target {
             objective,
             clock: AtomicU64::new(0),
             name,
+            faults: None,
         }
     }
 
@@ -83,6 +90,20 @@ impl Target {
             *n = Some(noise);
         }
         self
+    }
+
+    /// Attaches a deterministic fault-injection plan. The executor rolls
+    /// the plan for every trial attempt and degrades the measurement
+    /// accordingly (transient failure, hang, straggler, corruption,
+    /// outage); works for both simulated and black-box backends.
+    pub fn with_faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = Some(plan);
+        self
+    }
+
+    /// The fault-injection plan, if attached.
+    pub fn faults(&self) -> Option<&FaultPlan> {
+        self.faults.as_ref()
     }
 
     /// A closure-backed target for algorithm tests and pure-math
@@ -101,6 +122,7 @@ impl Target {
             objective,
             clock: AtomicU64::new(0),
             name: "black_box".into(),
+            faults: None,
         }
     }
 
@@ -163,6 +185,7 @@ impl Target {
                 let result = system.run_trial(config, w, &env, rng);
                 Evaluation {
                     cost: self.objective.cost(&result),
+                    failure: result.failure,
                     result,
                     machine_id,
                 }
@@ -181,12 +204,14 @@ impl Target {
                         cost_units: 0.0,
                         elapsed_s: *elapsed_s,
                         crashed: false,
+                        failure: None,
                         telemetry: Vec::new(),
                         profile: Vec::new(),
                     }
                 };
                 Evaluation {
                     cost: self.objective.cost(&result),
+                    failure: result.failure,
                     result,
                     machine_id: None,
                 }
@@ -226,11 +251,13 @@ impl Target {
                 (
                     Evaluation {
                         cost: self.objective.cost(&ra),
+                        failure: ra.failure,
                         result: ra,
                         machine_id: None,
                     },
                     Evaluation {
                         cost: self.objective.cost(&rb),
+                        failure: rb.failure,
                         result: rb,
                         machine_id: None,
                     },
@@ -266,6 +293,7 @@ impl Target {
                 let result = system.run_trial(config, workload, &env.on_machine(factor), rng);
                 Evaluation {
                     cost: self.objective.cost(&result),
+                    failure: result.failure,
                     result,
                     machine_id: Some(machine_id),
                 }

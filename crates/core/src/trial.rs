@@ -33,8 +33,13 @@ pub enum TrialStatus {
     Complete,
     /// The configuration crashed the system under test.
     Crashed,
-    /// Cut short by the early-abort policy; cost is right-censored.
+    /// Cut short by censoring middleware (early abort or a wall-clock
+    /// timeout); cost is right-censored.
     Aborted,
+    /// Lost to infrastructure (machine blip, outage, unrecovered hang)
+    /// with every retry exhausted. Carries no information about the
+    /// configuration, so it never reaches the learner as a crash.
+    TransientFailure,
 }
 
 /// One recorded benchmark run.
@@ -58,6 +63,9 @@ pub struct Trial {
     pub machine_id: Option<usize>,
     /// Outcome.
     pub status: TrialStatus,
+    /// Retry attempts consumed before this outcome (0 = first try).
+    #[serde(default)]
+    pub retries: u32,
 }
 
 /// In-memory experiment history with JSON import/export.
@@ -81,9 +89,11 @@ impl TrialStorage {
     }
 
     /// Records an evaluation, deriving the [`TrialStatus`] from the cost
-    /// in one place: NaN means the configuration crashed the system,
-    /// anything else completed. (Censored trials go through
-    /// [`Trial::aborted`] instead.) Returns the id.
+    /// in one place: any non-finite cost (NaN *or* a diverging ±inf)
+    /// means the configuration crashed the system and must not enter the
+    /// learner as a real observation; anything else completed. (Censored
+    /// trials go through [`Trial::aborted`], infrastructure losses
+    /// through [`Trial::transient_failure`].) Returns the id.
     pub fn record_eval(
         &mut self,
         config: Config,
@@ -92,10 +102,10 @@ impl TrialStorage {
         fidelity: f64,
         machine_id: Option<usize>,
     ) -> u64 {
-        let status = if cost.is_nan() {
-            TrialStatus::Crashed
-        } else {
+        let status = if cost.is_finite() {
             TrialStatus::Complete
+        } else {
+            TrialStatus::Crashed
         };
         self.record(Trial {
             id: 0,
@@ -105,6 +115,7 @@ impl TrialStorage {
             fidelity,
             machine_id,
             status,
+            retries: 0,
         })
     }
 
@@ -173,6 +184,19 @@ impl TrialStorage {
             .count()
     }
 
+    /// Number of trials lost to infrastructure after exhausting retries.
+    pub fn n_transient_failures(&self) -> usize {
+        self.trials
+            .iter()
+            .filter(|t| t.status == TrialStatus::TransientFailure)
+            .count()
+    }
+
+    /// Total retry attempts consumed across all trials.
+    pub fn n_retried(&self) -> usize {
+        self.trials.iter().map(|t| t.retries as usize).sum()
+    }
+
     /// Whether a configuration was already evaluated (exact match on the
     /// rendered form).
     pub fn contains_config(&self, config: &Config) -> bool {
@@ -203,6 +227,7 @@ impl Trial {
             fidelity: 1.0,
             machine_id: None,
             status: TrialStatus::Complete,
+            retries: 0,
         }
     }
 
@@ -217,6 +242,7 @@ impl Trial {
             fidelity: 1.0,
             machine_id: None,
             status: TrialStatus::Aborted,
+            retries: 0,
         }
     }
 
@@ -230,6 +256,23 @@ impl Trial {
             fidelity: 1.0,
             machine_id: None,
             status: TrialStatus::Crashed,
+            retries: 0,
+        }
+    }
+
+    /// A trial lost to infrastructure with retries exhausted; the cost is
+    /// unknown (NaN) and the elapsed time is what the failed attempts
+    /// (plus backoff) burned.
+    pub fn transient_failure(config: Config, elapsed_s: f64) -> Self {
+        Trial {
+            id: 0,
+            config,
+            cost: f64::NAN,
+            elapsed_s,
+            fidelity: 1.0,
+            machine_id: None,
+            status: TrialStatus::TransientFailure,
+            retries: 0,
         }
     }
 
@@ -242,6 +285,12 @@ impl Trial {
     /// Builder-style machine annotation.
     pub fn on_machine(mut self, machine_id: usize) -> Self {
         self.machine_id = Some(machine_id);
+        self
+    }
+
+    /// Builder-style retry count annotation.
+    pub fn with_retries(mut self, retries: u32) -> Self {
+        self.retries = retries;
         self
     }
 }
@@ -335,7 +384,48 @@ mod tests {
             fidelity: 1.0,
             machine_id: None,
             status: TrialStatus::Complete,
+            retries: 0,
         });
         assert!(s.best().is_none());
+    }
+
+    #[test]
+    fn infinite_cost_is_classified_as_crash() {
+        // A diverging simulated cost must not enter the history as a real
+        // observation (regression: only NaN used to count as a crash).
+        let mut s = TrialStorage::new();
+        s.record_eval(cfg(1.0), f64::INFINITY, 1.0, 1.0, None);
+        s.record_eval(cfg(2.0), f64::NEG_INFINITY, 1.0, 1.0, None);
+        s.record_eval(cfg(3.0), 2.0, 1.0, 1.0, None);
+        assert_eq!(s.n_crashed(), 2);
+        assert_eq!(s.best().unwrap().cost, 2.0);
+        assert!(s
+            .trials()
+            .iter()
+            .filter(|t| !t.cost.is_finite())
+            .all(|t| t.status == TrialStatus::Crashed));
+    }
+
+    #[test]
+    fn transient_failures_are_counted_separately_from_crashes() {
+        let mut s = TrialStorage::new();
+        s.record(Trial::crashed(cfg(1.0), 1.0));
+        s.record(Trial::transient_failure(cfg(2.0), 4.0).with_retries(3));
+        s.record(Trial::complete(cfg(3.0), 1.5, 1.0).with_retries(1));
+        assert_eq!(s.n_crashed(), 1);
+        assert_eq!(s.n_transient_failures(), 1);
+        assert_eq!(s.n_retried(), 4);
+        // A transient failure is never the best and never bends the curve.
+        assert_eq!(s.best().unwrap().cost, 1.5);
+    }
+
+    #[test]
+    fn retries_survive_json_roundtrip() {
+        let mut s = TrialStorage::new();
+        s.record(Trial::transient_failure(cfg(1.0), 2.0).with_retries(2));
+        let back = TrialStorage::from_json(&s.to_json()).unwrap();
+        assert_eq!(back.trials()[0].retries, 2);
+        assert_eq!(back.trials()[0].status, TrialStatus::TransientFailure);
+        assert!(back.trials()[0].cost.is_nan());
     }
 }

@@ -332,6 +332,18 @@ impl Optimizer for BayesianOptimizer {
         }
     }
 
+    fn unmark_pending(&mut self, config: &Config) {
+        let x = self.encode(config);
+        if let Some(pos) = self
+            .liars
+            .iter()
+            .position(|l| autotune_linalg::squared_distance(l, &x) < 1e-18)
+        {
+            self.liars.swap_remove(pos);
+            self.dirty = true;
+        }
+    }
+
     fn n_observed(&self) -> usize {
         self.tracker.n()
     }

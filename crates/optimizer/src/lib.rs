@@ -93,6 +93,12 @@ pub trait Optimizer: Send {
     /// [`Optimizer::observe`] reports the real value.
     fn mark_pending(&mut self, _config: &Config) {}
 
+    /// Releases a pending mark without reporting an observation — the
+    /// trial was lost to infrastructure and carries no information about
+    /// the configuration. The default is a no-op, matching the default
+    /// [`Optimizer::mark_pending`].
+    fn unmark_pending(&mut self, _config: &Config) {}
+
     /// Proposes `k` configurations for parallel evaluation (tutorial slide
     /// 57): `k` suggestions, each marked pending so batch diversity falls
     /// out of [`Optimizer::mark_pending`].

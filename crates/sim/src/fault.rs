@@ -1,0 +1,397 @@
+//! Deterministic fault injection for tuning campaigns.
+//!
+//! Real tuning campaigns lose trials to *infrastructure*, not just to
+//! deterministically-bad configurations: machines blip, benchmarks hang,
+//! co-tenants turn a run into a straggler, a harness reports a corrupted
+//! number, a whole VM drops out for an hour. Production tuners (MLOS,
+//! TUNA, HUNTER) retry, time out and route around sick machines instead
+//! of feeding every failure to the learner as a crash penalty — and a
+//! simulator has to model those failure modes for results to transfer.
+//!
+//! A [`FaultPlan`] is a seeded, virtual-clock-driven fault schedule,
+//! orthogonal to the [`crate::CloudNoise`] fleet: given a trial id, a
+//! retry attempt, the machine the trial landed on and the virtual time it
+//! started, it deterministically decides whether the trial is hit by a
+//! fault and how hard. The same `(seed, trial, attempt)` always rolls the
+//! same fault, so campaigns replay byte-for-byte — a retry is a *new*
+//! attempt and may genuinely succeed, which is what makes retrying
+//! transient failures worthwhile.
+
+use serde::{Deserialize, Serialize};
+
+/// Why a trial failed (or got a degraded measurement).
+///
+/// The key distinction the executor acts on: [`FailureKind::ConfigCrash`]
+/// is *deterministic* — this configuration kills the system and a retry
+/// is wasted money — while the infrastructure kinds are *transient* and
+/// worth retrying on a (possibly different) machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FailureKind {
+    /// The configuration itself crashes the system under test (OOM,
+    /// failed start). Deterministic: retries fail the same way.
+    ConfigCrash,
+    /// Transient machine failure mid-trial (process killed, network
+    /// partition). A retry draws a fresh fate.
+    Transient,
+    /// The machine was inside a scheduled outage window.
+    Outage,
+    /// The trial wedged and would never finish on its own; only a
+    /// wall-clock timeout gets the slot back.
+    Hang,
+    /// The trial finished, but a noisy neighbour made it pathologically
+    /// slow. The measurement is suspect.
+    Straggler,
+    /// The trial finished, but the reported measurement is corrupted
+    /// (inflated by a multiplicative factor).
+    Corruption,
+}
+
+impl FailureKind {
+    /// True for failures caused by infrastructure rather than the
+    /// configuration — the retryable kinds.
+    pub fn is_transient(&self) -> bool {
+        matches!(
+            self,
+            FailureKind::Transient | FailureKind::Outage | FailureKind::Hang
+        )
+    }
+
+    /// Short label for reports and event logs.
+    pub fn label(&self) -> &'static str {
+        match self {
+            FailureKind::ConfigCrash => "config-crash",
+            FailureKind::Transient => "transient",
+            FailureKind::Outage => "outage",
+            FailureKind::Hang => "hang",
+            FailureKind::Straggler => "straggler",
+            FailureKind::Corruption => "corruption",
+        }
+    }
+}
+
+/// A fault rolled for one trial attempt.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Fault {
+    /// What went wrong.
+    pub kind: FailureKind,
+    /// Kind-specific magnitude: for [`FailureKind::Transient`] /
+    /// [`FailureKind::Outage`] the fraction of the run completed before
+    /// dying (in `(0, 1)`); for [`FailureKind::Hang`] /
+    /// [`FailureKind::Straggler`] the elapsed-time multiplier; for
+    /// [`FailureKind::Corruption`] the cost-inflation multiplier.
+    pub severity: f64,
+}
+
+/// A scheduled machine outage: `machine_id` is down (every trial started
+/// on it fails) for virtual times in `[start_s, end_s)`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OutageWindow {
+    /// The machine that is down.
+    pub machine_id: usize,
+    /// Window start, virtual-clock seconds.
+    pub start_s: f64,
+    /// Window end (exclusive), virtual-clock seconds.
+    pub end_s: f64,
+}
+
+/// A seeded, deterministic per-trial fault schedule.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FaultPlan {
+    seed: u64,
+    /// Probability a trial attempt dies to a transient machine failure.
+    pub transient_prob: f64,
+    /// Probability a trial attempt hangs.
+    pub hang_prob: f64,
+    /// Minimum elapsed-time multiplier of a hang (a hung trial runs
+    /// `[hang_factor, 2*hang_factor)` times longer than the benchmark).
+    pub hang_factor: f64,
+    /// Probability a trial attempt is a straggler.
+    pub straggler_prob: f64,
+    /// Maximum slowdown of a straggler (drawn from `[1.5, factor)`).
+    pub straggler_factor: f64,
+    /// Probability the measurement comes back corrupted.
+    pub corruption_prob: f64,
+    /// Maximum multiplicative cost inflation of a corrupted measurement
+    /// (drawn from `[1.5, factor)`).
+    pub corruption_factor: f64,
+    /// Scheduled machine outage windows.
+    pub outages: Vec<OutageWindow>,
+    /// Per-machine fault-rate multipliers: `(machine_id, factor)` scales
+    /// the transient/straggler/corruption probabilities for trials on
+    /// that machine (a "sick" machine that quarantine should catch).
+    pub sick_machines: Vec<(usize, f64)>,
+}
+
+/// SplitMix64 finalizer: decorrelates adjacent inputs.
+fn splitmix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Uniform `[0, 1)` from a hash.
+fn unit(h: u64) -> f64 {
+    (h >> 11) as f64 / (1u64 << 53) as f64
+}
+
+impl FaultPlan {
+    /// A mild plan: occasional transient failures and stragglers, rare
+    /// hangs and corruption. Representative of a healthy cloud fleet.
+    pub fn new(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            transient_prob: 0.04,
+            hang_prob: 0.01,
+            hang_factor: 25.0,
+            straggler_prob: 0.04,
+            straggler_factor: 4.0,
+            corruption_prob: 0.02,
+            corruption_factor: 3.0,
+            outages: Vec::new(),
+            sick_machines: Vec::new(),
+        }
+    }
+
+    /// An aggressive plan: the stress regime of `E30` — enough transient
+    /// loss that a naive crash-penalty campaign visibly degrades.
+    pub fn aggressive(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            transient_prob: 0.15,
+            hang_prob: 0.05,
+            hang_factor: 30.0,
+            straggler_prob: 0.10,
+            straggler_factor: 4.0,
+            corruption_prob: 0.06,
+            corruption_factor: 4.0,
+            outages: Vec::new(),
+            sick_machines: Vec::new(),
+        }
+    }
+
+    /// Adds a scheduled outage window for a machine.
+    pub fn with_outage(mut self, machine_id: usize, start_s: f64, end_s: f64) -> Self {
+        assert!(end_s > start_s, "outage window must have positive length");
+        self.outages.push(OutageWindow {
+            machine_id,
+            start_s,
+            end_s,
+        });
+        self
+    }
+
+    /// Marks a machine as sick: its transient/straggler/corruption
+    /// probabilities are multiplied by `factor`.
+    pub fn with_sick_machine(mut self, machine_id: usize, factor: f64) -> Self {
+        assert!(factor >= 1.0, "sickness factor must be >= 1");
+        self.sick_machines.push((machine_id, factor));
+        self
+    }
+
+    /// Hash stream for `(trial, attempt, salt)`, decorrelated from both
+    /// the suggestion RNG and the per-trial measurement streams.
+    fn hash(&self, trial_id: u64, attempt: u32, salt: u64) -> u64 {
+        splitmix(
+            self.seed
+                ^ trial_id.wrapping_mul(0xA076_1D64_78BD_642F)
+                ^ (u64::from(attempt) + 1).wrapping_mul(0xE703_7ED1_A0B4_28DB)
+                ^ salt.wrapping_mul(0x8EBC_6AF0_9C88_C6E3),
+        )
+    }
+
+    /// Rolls the fault (if any) for one trial attempt.
+    ///
+    /// Deterministic in `(seed, trial_id, attempt)` plus the outage
+    /// schedule evaluated at `at_s`; independent of every RNG stream, so
+    /// fault injection composes with noise models without perturbing
+    /// them.
+    pub fn roll(
+        &self,
+        trial_id: u64,
+        attempt: u32,
+        machine_id: Option<usize>,
+        at_s: f64,
+    ) -> Option<Fault> {
+        // Outage windows dominate: a down machine fails every trial.
+        if let Some(mid) = machine_id {
+            let down = self
+                .outages
+                .iter()
+                .any(|w| w.machine_id == mid && at_s >= w.start_s && at_s < w.end_s);
+            if down {
+                let sev = 0.05 + 0.5 * unit(self.hash(trial_id, attempt, 0xA));
+                return Some(Fault {
+                    kind: FailureKind::Outage,
+                    severity: sev,
+                });
+            }
+        }
+        let boost = machine_id.map_or(1.0, |mid| {
+            self.sick_machines
+                .iter()
+                .find(|(m, _)| *m == mid)
+                .map_or(1.0, |(_, f)| *f)
+        });
+        let u = unit(self.hash(trial_id, attempt, 0xB));
+        let sev_u = unit(self.hash(trial_id, attempt, 0xC));
+        // Cumulative thresholds; the boosted kinds are capped so even a
+        // very sick machine occasionally returns a real measurement.
+        let mut acc = (self.transient_prob * boost).min(0.45);
+        if u < acc {
+            return Some(Fault {
+                kind: FailureKind::Transient,
+                severity: 0.05 + 0.9 * sev_u,
+            });
+        }
+        acc += self.hang_prob;
+        if u < acc {
+            return Some(Fault {
+                kind: FailureKind::Hang,
+                severity: self.hang_factor * (1.0 + sev_u),
+            });
+        }
+        acc += (self.straggler_prob * boost).min(0.3);
+        if u < acc {
+            return Some(Fault {
+                kind: FailureKind::Straggler,
+                severity: 1.5 + (self.straggler_factor - 1.5).max(0.0) * sev_u,
+            });
+        }
+        acc += (self.corruption_prob * boost).min(0.3);
+        if u < acc {
+            return Some(Fault {
+                kind: FailureKind::Corruption,
+                severity: 1.5 + (self.corruption_factor - 1.5).max(0.0) * sev_u,
+            });
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rolls_are_deterministic() {
+        let plan = FaultPlan::aggressive(42);
+        for trial in 0..200u64 {
+            for attempt in 0..3u32 {
+                assert_eq!(
+                    plan.roll(trial, attempt, Some(3), 100.0),
+                    plan.roll(trial, attempt, Some(3), 100.0)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn attempts_draw_fresh_fates() {
+        // A transient failure on attempt 0 must not doom every retry:
+        // across many trials, some attempt-1 rolls succeed where attempt-0
+        // failed.
+        let plan = FaultPlan::aggressive(7);
+        let mut recovered = 0;
+        let mut failed0 = 0;
+        for trial in 0..500u64 {
+            if plan
+                .roll(trial, 0, None, 0.0)
+                .is_some_and(|f| f.kind == FailureKind::Transient)
+            {
+                failed0 += 1;
+                if plan.roll(trial, 1, None, 0.0).is_none() {
+                    recovered += 1;
+                }
+            }
+        }
+        assert!(failed0 > 20, "aggressive plan should fail some trials");
+        assert!(
+            recovered > failed0 / 3,
+            "retries should frequently succeed: {recovered}/{failed0}"
+        );
+    }
+
+    #[test]
+    fn fault_rates_match_probabilities() {
+        let plan = FaultPlan::aggressive(3);
+        let n = 4000u64;
+        let mut counts = [0usize; 4];
+        for trial in 0..n {
+            match plan.roll(trial, 0, None, 0.0).map(|f| f.kind) {
+                Some(FailureKind::Transient) => counts[0] += 1,
+                Some(FailureKind::Hang) => counts[1] += 1,
+                Some(FailureKind::Straggler) => counts[2] += 1,
+                Some(FailureKind::Corruption) => counts[3] += 1,
+                _ => {}
+            }
+        }
+        let rate = |c: usize| c as f64 / n as f64;
+        assert!((rate(counts[0]) - plan.transient_prob).abs() < 0.03);
+        assert!((rate(counts[1]) - plan.hang_prob).abs() < 0.02);
+        assert!((rate(counts[2]) - plan.straggler_prob).abs() < 0.03);
+        assert!((rate(counts[3]) - plan.corruption_prob).abs() < 0.02);
+    }
+
+    #[test]
+    fn outage_window_is_total_within_and_absent_outside() {
+        let plan = FaultPlan::new(5).with_outage(2, 100.0, 200.0);
+        for trial in 0..100u64 {
+            let inside = plan.roll(trial, 0, Some(2), 150.0);
+            assert_eq!(inside.unwrap().kind, FailureKind::Outage);
+            // Other machines and other times roll the ordinary fates.
+            if let Some(f) = plan.roll(trial, 0, Some(1), 150.0) {
+                assert_ne!(f.kind, FailureKind::Outage);
+            }
+            if let Some(f) = plan.roll(trial, 0, Some(2), 250.0) {
+                assert_ne!(f.kind, FailureKind::Outage);
+            }
+        }
+    }
+
+    #[test]
+    fn sick_machine_fails_more_often() {
+        let plan = FaultPlan::new(9).with_sick_machine(0, 8.0);
+        let n = 2000u64;
+        let fails = |mid: usize| {
+            (0..n)
+                .filter(|t| {
+                    plan.roll(*t, 0, Some(mid), 0.0)
+                        .is_some_and(|f| f.kind != FailureKind::Hang)
+                })
+                .count()
+        };
+        let sick = fails(0);
+        let healthy = fails(1);
+        assert!(
+            sick > healthy * 3,
+            "sick machine should fail much more: {sick} vs {healthy}"
+        );
+    }
+
+    #[test]
+    fn severities_land_in_documented_ranges() {
+        let plan = FaultPlan::aggressive(11);
+        for trial in 0..3000u64 {
+            if let Some(f) = plan.roll(trial, 0, Some(4), 0.0) {
+                match f.kind {
+                    FailureKind::Transient | FailureKind::Outage => {
+                        assert!(f.severity > 0.0 && f.severity < 1.0)
+                    }
+                    FailureKind::Hang => {
+                        assert!(
+                            f.severity >= plan.hang_factor && f.severity < 2.0 * plan.hang_factor
+                        )
+                    }
+                    FailureKind::Straggler => {
+                        assert!(f.severity >= 1.5 && f.severity <= plan.straggler_factor)
+                    }
+                    FailureKind::Corruption => {
+                        assert!(f.severity >= 1.5 && f.severity <= plan.corruption_factor)
+                    }
+                    FailureKind::ConfigCrash => unreachable!("plans never roll config crashes"),
+                }
+            }
+        }
+    }
+}

@@ -31,6 +31,7 @@
 
 mod dbms;
 mod env;
+mod fault;
 mod nginx;
 mod noise;
 pub mod priors;
@@ -41,6 +42,7 @@ mod workload;
 
 pub use dbms::DbmsSim;
 pub use env::Environment;
+pub use fault::{FailureKind, Fault, FaultPlan, OutageWindow};
 pub use nginx::NginxSim;
 pub use noise::{CloudNoise, Machine, NoiseConfig};
 pub use redis::RedisSim;
@@ -70,6 +72,11 @@ pub struct TrialResult {
     pub elapsed_s: f64,
     /// True when the configuration crashed the system (OOM, failed start).
     pub crashed: bool,
+    /// Why the trial failed, when it did. Distinguishes a deterministic
+    /// [`FailureKind::ConfigCrash`] from transient infrastructure faults
+    /// (injected by a [`FaultPlan`]); `None` for clean runs.
+    #[serde(default)]
+    pub failure: Option<FailureKind>,
     /// Telemetry time series sampled during the trial.
     pub telemetry: Vec<TelemetrySample>,
     /// Component time profile: `(component, share of service time)` pairs
@@ -90,6 +97,7 @@ impl TrialResult {
             cost_units: 0.0,
             elapsed_s,
             crashed: true,
+            failure: Some(FailureKind::ConfigCrash),
             telemetry: Vec::new(),
             profile: Vec::new(),
         }
@@ -168,6 +176,7 @@ pub(crate) fn finish_trial(
         cost_units: cost_per_hour * elapsed_s / 3600.0,
         elapsed_s,
         crashed: false,
+        failure: None,
         telemetry,
         profile: Vec::new(),
     }

@@ -16,4 +16,11 @@ cargo fmt --check
 echo "== clippy =="
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "== fault determinism (release) =="
+# The resilience stack (retries, timeouts, quarantine) must keep the
+# byte-identical k=1 schedule-policy contract; run its regression test
+# against the optimized build, where any wall-clock/thread-timing leak
+# would surface.
+cargo test -q --release -p autotune-tests --test fault_resilience
+
 echo "CI gate passed."
