@@ -7,6 +7,11 @@
 //!
 //! Exit code is non-zero when any executed experiment's shape check fails,
 //! so CI can gate on reproduction quality.
+//!
+//! A full (unfiltered) run also rewrites `repro_shapes.txt` — one
+//! deterministic `<id> HOLDS|FAILS <title>` line per experiment. The file
+//! is checked in; CI diffs it against the fresh run so shape drift (an
+//! experiment silently flipping, appearing, or vanishing) fails the gate.
 
 use autotune_bench::all_experiments;
 
@@ -15,6 +20,7 @@ fn main() {
     let experiments = all_experiments();
     let mut ran = 0;
     let mut failed = Vec::new();
+    let mut shapes = String::new();
     for (key, run) in experiments {
         if !filter.is_empty() && !filter.iter().any(|f| key.starts_with(f.as_str())) {
             continue;
@@ -24,13 +30,24 @@ fn main() {
         let report = run();
         println!("{}", report.render());
         println!("({:.1}s)\n", start.elapsed().as_secs_f64());
+        shapes.push_str(&format!(
+            "{} {} {}\n",
+            report.id,
+            if report.shape_holds { "HOLDS" } else { "FAILS" },
+            report.title
+        ));
         if !report.shape_holds {
             failed.push(report.id);
         }
     }
     if ran == 0 {
-        eprintln!("no experiment matches {filter:?}; available: e01..e30, ablations");
+        eprintln!("no experiment matches {filter:?}; available: e01..e31, ablations");
         std::process::exit(2);
+    }
+    if filter.is_empty() {
+        if let Err(e) = std::fs::write("repro_shapes.txt", &shapes) {
+            eprintln!("could not write repro_shapes.txt: {e}");
+        }
     }
     println!(
         "== summary: {}/{} experiment shapes hold ==",

@@ -29,6 +29,7 @@ pub mod e27_llm_priors;
 pub mod e28_profile_guided;
 pub mod e29_async;
 pub mod e30_faults;
+pub mod e31_overhead;
 
 use autotune::{Objective, Target};
 use autotune_optimizer::Optimizer;

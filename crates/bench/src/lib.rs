@@ -51,6 +51,7 @@ pub fn all_experiments() -> Vec<Experiment> {
         ("e28", experiments::e28_profile_guided::run),
         ("e29", experiments::e29_async::run),
         ("e30", experiments::e30_faults::run),
+        ("e31", experiments::e31_overhead::run),
         ("ablations", experiments::ablations::run),
     ]
 }

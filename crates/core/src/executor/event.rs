@@ -116,6 +116,8 @@ pub enum TrialEvent {
         id: u64,
         /// Virtual-clock start time, seconds.
         at_s: f64,
+        /// Machine the first attempt landed on, when a fleet is attached.
+        machine_id: Option<usize>,
     },
     /// The trial completed normally.
     Finished {
@@ -159,6 +161,9 @@ pub enum TrialEvent {
         attempt: u32,
         /// Virtual-clock backoff before the new attempt, seconds.
         backoff_s: f64,
+        /// Virtual-clock time at which the new attempt begins; the failed
+        /// attempt ended and the backoff started at `at_s - backoff_s`.
+        at_s: f64,
     },
     /// A machine's failure rate crossed the quarantine threshold; no new
     /// trials are steered to it until probation.

@@ -30,6 +30,9 @@ pub use middleware::{
 pub use policy::SchedulePolicy;
 pub use source::{OptimizerSource, RungSource, SourceStep, TrialSource};
 
+use crate::telemetry::{
+    MetricsCollector, MetricsSnapshot, NullTimer, OptEvent, Subscriber, WallTimer,
+};
 use crate::{NoiseStrategy, Objective, Target, Trial, TrialStatus, TrialStorage};
 use autotune_sim::{FailureKind, Fault};
 use rand::rngs::StdRng;
@@ -67,6 +70,10 @@ pub struct ExecReport {
     pub n_quarantined_machines: usize,
     /// Benchmark seconds saved by censoring middleware.
     pub saved_s: f64,
+    /// Rolled-up telemetry of the run (counters, latency/queue/overhead
+    /// histograms, per-machine utilization) — collected by the always-on
+    /// internal [`MetricsCollector`].
+    pub metrics: MetricsSnapshot,
 }
 
 /// A trial admitted but not yet measured.
@@ -112,6 +119,8 @@ pub struct Executor<'a> {
     policy: SchedulePolicy,
     noise_strategy: NoiseStrategy,
     middleware: Vec<Box<dyn Middleware + 'a>>,
+    subscribers: Vec<Box<dyn Subscriber + 'a>>,
+    timer: Box<dyn WallTimer + 'a>,
 }
 
 impl<'a> Executor<'a> {
@@ -122,6 +131,8 @@ impl<'a> Executor<'a> {
             policy,
             noise_strategy: NoiseStrategy::Single,
             middleware: Vec::new(),
+            subscribers: Vec::new(),
+            timer: Box::new(NullTimer),
         }
     }
 
@@ -134,6 +145,23 @@ impl<'a> Executor<'a> {
     /// Appends a middleware to the chain (applied in insertion order).
     pub fn with_middleware(mut self, mw: Box<dyn Middleware + 'a>) -> Self {
         self.middleware.push(mw);
+        self
+    }
+
+    /// Attaches a telemetry subscriber (notified in attachment order, on
+    /// the driver thread, with virtual-clock timestamps). Subscribers are
+    /// pure observers: attaching any combination leaves campaign results
+    /// byte-identical.
+    pub fn with_subscriber(mut self, sub: Box<dyn Subscriber + 'a>) -> Self {
+        self.subscribers.push(sub);
+        self
+    }
+
+    /// Injects a real-time source for optimizer overhead attribution
+    /// (default: [`NullTimer`], every reading 0). Readings flow only into
+    /// subscriber-side metrics, never into the clock or the event log.
+    pub fn with_timer(mut self, timer: Box<dyn WallTimer + 'a>) -> Self {
+        self.timer = timer;
         self
     }
 
@@ -160,22 +188,54 @@ impl<'a> Executor<'a> {
         let capacity = self.policy.capacity();
         let barrier = self.policy.barrier();
         let cost_is_elapsed = matches!(self.target.objective(), Objective::MinimizeElapsed);
+        let mut fan = FanOut {
+            collector: MetricsCollector::new(),
+            subs: std::mem::take(&mut self.subscribers),
+        };
+        let mut timer = std::mem::replace(&mut self.timer, Box::new(NullTimer));
+        let mut last_refits = source.n_refits();
 
         loop {
             // Admission: fill free slots from the source.
             let mut wave: Vec<Pending> = Vec::new();
             while !exhausted && in_flight.len() + wave.len() < capacity {
-                match source.next(&mut suggest_rng) {
+                let prospective = next_id;
+                fan.opt(clock, &OptEvent::SuggestBegin { id: prospective });
+                let t0 = timer.now_ns();
+                let step = source.next(&mut suggest_rng);
+                let wall_ns = timer.now_ns().saturating_sub(t0);
+                fan.opt(
+                    clock,
+                    &OptEvent::SuggestEnd {
+                        id: prospective,
+                        wall_ns,
+                        dispatched: matches!(step, SourceStep::Dispatch(_)),
+                    },
+                );
+                let refits = source.n_refits();
+                if refits > last_refits {
+                    last_refits = refits;
+                    fan.opt(
+                        clock,
+                        &OptEvent::SurrogateRefit {
+                            id: prospective,
+                            n_refits: refits,
+                        },
+                    );
+                }
+                match step {
                     SourceStep::Dispatch(mut req) => {
                         for mw in &mut self.middleware {
                             mw.before_dispatch(&mut req, &mut suggest_rng);
                         }
                         let id = next_id;
                         next_id += 1;
-                        events.push(TrialEvent::Suggested {
+                        let ev = TrialEvent::Suggested {
                             id,
                             config: req.config.clone(),
-                        });
+                        };
+                        fan.trial(clock, &ev);
+                        events.push(ev);
                         wave.push(Pending {
                             id,
                             req,
@@ -190,7 +250,9 @@ impl<'a> Executor<'a> {
                 }
             }
             for (config, rung) in source.take_promotions() {
-                events.push(TrialEvent::Promoted { config, rung });
+                let ev = TrialEvent::Promoted { config, rung };
+                fan.trial(clock, &ev);
+                events.push(ev);
             }
 
             // Measurement: evaluate the wave (concurrently when >1), then
@@ -200,10 +262,13 @@ impl<'a> Executor<'a> {
             // failed attempt plus backoff to the trial's elapsed time.
             let measured = measure_wave(self.target, &self.noise_strategy, &wave);
             for (p, m) in wave.into_iter().zip(measured) {
-                events.push(TrialEvent::Started {
+                let ev = TrialEvent::Started {
                     id: p.id,
                     at_s: clock,
-                });
+                    machine_id: m.machine_id.or(p.req.machine_id),
+                };
+                fan.trial(clock, &ev);
+                events.push(ev);
                 let mut m = m;
                 let mut attempt: u32 = 0;
                 let mut carried_s = 0.0_f64;
@@ -229,11 +294,14 @@ impl<'a> Executor<'a> {
                         Some(backoff_s) => {
                             carried_s += m.elapsed_s + backoff_s;
                             attempt += 1;
-                            events.push(TrialEvent::Retried {
+                            let ev = TrialEvent::Retried {
                                 id: p.id,
                                 attempt,
                                 backoff_s,
-                            });
+                                at_s: clock + carried_s,
+                            };
+                            fan.trial(clock + carried_s, &ev);
+                            events.push(ev);
                             m = measure_one(
                                 self.target,
                                 &self.noise_strategy,
@@ -311,12 +379,33 @@ impl<'a> Executor<'a> {
                 for mw in &mut self.middleware {
                     mw.on_outcome(&mut outcome);
                 }
+                fan.opt(clock, &OptEvent::ObserveBegin { id: outcome.id });
+                let t0 = timer.now_ns();
                 source.report(&outcome);
+                let wall_ns = timer.now_ns().saturating_sub(t0);
+                fan.opt(
+                    clock,
+                    &OptEvent::ObserveEnd {
+                        id: outcome.id,
+                        wall_ns,
+                    },
+                );
+                let refits = source.n_refits();
+                if refits > last_refits {
+                    last_refits = refits;
+                    fan.opt(
+                        clock,
+                        &OptEvent::SurrogateRefit {
+                            id: outcome.id,
+                            n_refits: refits,
+                        },
+                    );
+                }
                 machine_seconds += outcome.elapsed_s;
                 n_trials += 1;
                 n_retried += s.retries as usize;
                 saved_s += s.m.saved_s;
-                events.push(match status {
+                let ev = match status {
                     TrialStatus::Crashed => TrialEvent::Crashed {
                         id: outcome.id,
                         elapsed_s: outcome.elapsed_s,
@@ -342,7 +431,10 @@ impl<'a> Executor<'a> {
                         cost: outcome.cost,
                         elapsed_s: outcome.elapsed_s,
                     },
-                });
+                };
+                fan.trial(clock, &ev);
+                events.push(ev);
+                fan.outcome(clock, &outcome);
                 let mut trial = match status {
                     TrialStatus::Aborted => {
                         Trial::aborted(outcome.config, outcome.cost, outcome.elapsed_s)
@@ -373,11 +465,15 @@ impl<'a> Executor<'a> {
                     if let TrialEvent::Quarantined { machine_id } = ev {
                         quarantined.insert(machine_id);
                     }
+                    fan.trial(clock, &ev);
                     events.push(ev);
                 }
             }
         }
 
+        fan.end(clock);
+        self.subscribers = fan.subs;
+        self.timer = timer;
         ExecReport {
             events,
             wall_clock_s: clock,
@@ -388,6 +484,44 @@ impl<'a> Executor<'a> {
             n_retried,
             n_quarantined_machines: quarantined.len(),
             saved_s,
+            metrics: fan.collector.snapshot(),
+        }
+    }
+}
+
+/// Fans every event out to the internal metrics collector and the
+/// attached subscribers, in attachment order, on the driver thread.
+struct FanOut<'a> {
+    collector: MetricsCollector,
+    subs: Vec<Box<dyn Subscriber + 'a>>,
+}
+
+impl FanOut<'_> {
+    fn trial(&mut self, at_s: f64, ev: &TrialEvent) {
+        self.collector.on_trial_event(at_s, ev);
+        for s in &mut self.subs {
+            s.on_trial_event(at_s, ev);
+        }
+    }
+
+    fn opt(&mut self, at_s: f64, ev: &OptEvent) {
+        self.collector.on_opt_event(at_s, ev);
+        for s in &mut self.subs {
+            s.on_opt_event(at_s, ev);
+        }
+    }
+
+    fn outcome(&mut self, at_s: f64, outcome: &TrialOutcome) {
+        self.collector.on_outcome(at_s, outcome);
+        for s in &mut self.subs {
+            s.on_outcome(at_s, outcome);
+        }
+    }
+
+    fn end(&mut self, at_s: f64) {
+        self.collector.on_campaign_end(at_s);
+        for s in &mut self.subs {
+            s.on_campaign_end(at_s);
         }
     }
 }

@@ -39,6 +39,14 @@ pub trait TrialSource {
     fn take_promotions(&mut self) -> Vec<(Config, usize)> {
         Vec::new()
     }
+
+    /// Surrogate hyperparameter refits performed so far by whatever
+    /// optimizer backs this source (0 for model-free sources). The
+    /// executor polls this around every suggest/observe and announces
+    /// increases as [`crate::telemetry::OptEvent::SurrogateRefit`].
+    fn n_refits(&self) -> usize {
+        0
+    }
 }
 
 /// Adapts an ask/tell [`Optimizer`] into a [`TrialSource`] with a fixed
@@ -88,6 +96,10 @@ impl TrialSource for OptimizerSource<'_> {
             return;
         }
         self.optimizer.observe(&outcome.config, outcome.learn_cost);
+    }
+
+    fn n_refits(&self) -> usize {
+        self.optimizer.n_refits()
     }
 }
 

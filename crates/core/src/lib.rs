@@ -27,14 +27,20 @@
 //!  │  OnlineSource  │        │  Middleware: EarlyAbortMw,              │
 //!  └───────────────┘        │    CrashPenaltyMw, MachineAssignMw,     │
 //!                           │    RetryMw, TimeoutMw, QuarantineMw     │
-//!          ▲                 └──────┬──────────────┬───────────────────┘
-//!          │ suggest/observe        │ measure      │ TrialEvent stream
-//!  ┌───────┴───────┐        ┌──────▼──────┐  ┌────▼──────────┐
-//!  │ Optimizer      │        │ Target       │  │ TrialStorage  │
-//!  │ (BO, SMAC,     │        │ (simulated   │  │ (history,     │
-//!  │  CMA-ES, …)    │        │  system +    │  │  best, conv.  │
-//!  └───────────────┘        │  workload)   │  │  curve, JSON) │
-//!                            └─────────────┘  └───────────────┘
+//!          ▲                 └──────┬──────┬───────┬─────────────────────┘
+//!          │ suggest/observe        │      │       │ TrialEvent + OptEvent
+//!  ┌───────┴───────┐        ┌──────▼──────┐│  ┌───▼───────────────────┐
+//!  │ Optimizer      │        │ Target       ││  │ telemetry::Subscriber │
+//!  │ (BO, SMAC,     │        │ (simulated   ││  │  MetricsCollector,    │
+//!  │  CMA-ES, …)    │        │  system +    ││  │  SpanRecorder (Chrome │
+//!  └───────────────┘        │  workload)   ││  │  trace), Progress-    │
+//!                            └─────────────┘│  │  Reporter             │
+//!                        ┌─────────────────▼┐ └───────────────────────┘
+//!                        │ TrialStorage      │
+//!                        │ (history, best,   │
+//!                        │  conv. curve,     │
+//!                        │  JSON)            │
+//!                        └──────────────────┘
 //! ```
 //!
 //! High-level entry points are thin bindings over that loop:
@@ -63,6 +69,7 @@
 //! ```
 
 pub mod executor;
+pub mod telemetry;
 
 mod early_abort;
 mod importance;
@@ -99,5 +106,9 @@ pub use parallel::{run_async_parallel, run_parallel, ParallelSummary};
 pub use profile_guided::KnobComponentMap;
 pub use session::{SessionConfig, SessionSummary, TuningSession};
 pub use target::Target;
+pub use telemetry::{
+    LogHistogram, MetricsCollector, MetricsSnapshot, NullTimer, OptEvent, ProgressReporter,
+    SpanRecorder, Subscriber, TrialSpan, WallTimer,
+};
 pub use transfer::{transfer_observations, TransferPolicy};
 pub use trial::{Trial, TrialStatus, TrialStorage};

@@ -9,6 +9,7 @@
 use crate::executor::{
     CrashPenaltyMw, Executor, SchedulePolicy, SourceStep, TrialOutcome, TrialRequest, TrialSource,
 };
+use crate::telemetry::Subscriber;
 use crate::{Target, TrialStorage};
 use autotune_optimizer::bandit::BanditPolicy;
 use autotune_rl::{ContextKey, HybridBandit, SafeTuner, SafeTunerConfig};
@@ -113,7 +114,7 @@ impl OnlineTuner {
     /// for `steps` steps. Returns the per-step records.
     ///
     /// Internally this drives the shared [`Executor`] with an
-    /// [`OnlineSource`] wrapping the bandit/guardrail/detector state; a
+    /// `OnlineSource` wrapping the bandit/guardrail/detector state; a
     /// [`CrashPenaltyMw`] turns crashed intervals into a large finite
     /// learning penalty so arm statistics stay well-defined while the
     /// recorded cost keeps its honest `NaN`.
@@ -123,6 +124,20 @@ impl OnlineTuner {
         schedule: &WorkloadSchedule,
         steps: usize,
         seed: u64,
+    ) -> &[OnlineStep] {
+        self.run_with_subscribers(target, schedule, steps, seed, &mut [])
+    }
+
+    /// [`OnlineTuner::run`] with telemetry subscribers attached to the
+    /// underlying executor (each step is one trial on the virtual clock,
+    /// so progress lines and spans describe production intervals).
+    pub fn run_with_subscribers(
+        &mut self,
+        target: &Target,
+        schedule: &WorkloadSchedule,
+        steps: usize,
+        seed: u64,
+        subscribers: &mut [&mut dyn Subscriber],
     ) -> &[OnlineStep] {
         let mut source = OnlineSource {
             candidates: &self.candidates,
@@ -138,9 +153,12 @@ impl OnlineTuner {
             next_id: 0,
         };
         let mut storage = TrialStorage::new();
-        Executor::new(target, SchedulePolicy::Sequential)
-            .with_middleware(Box::new(CrashPenaltyMw::new(1e9)))
-            .run(&mut source, &mut storage, seed);
+        let mut exec = Executor::new(target, SchedulePolicy::Sequential)
+            .with_middleware(Box::new(CrashPenaltyMw::new(1e9)));
+        for sub in subscribers.iter_mut() {
+            exec = exec.with_subscriber(Box::new(&mut **sub));
+        }
+        exec.run(&mut source, &mut storage, seed);
         &self.history
     }
 }

@@ -8,6 +8,7 @@
 //! through it.
 
 use crate::executor::{EarlyAbortMw, Executor, OptimizerSource, SchedulePolicy};
+use crate::telemetry::{MetricsSnapshot, Subscriber};
 use crate::{EarlyAbort, NoiseStrategy, Objective, Target, Trial, TrialStatus, TrialStorage};
 use autotune_optimizer::Optimizer;
 use rand::rngs::StdRng;
@@ -54,6 +55,9 @@ pub struct SessionSummary {
     pub n_quarantined_machines: usize,
     /// Benchmark seconds saved by early abort.
     pub saved_s: f64,
+    /// Rolled-up telemetry across every executor run of this session
+    /// (empty for legacy [`TuningSession::step`]-only sessions).
+    pub metrics: MetricsSnapshot,
 }
 
 /// A sequential tuning campaign binding a target and an optimizer.
@@ -64,6 +68,7 @@ pub struct TuningSession {
     config: SessionConfig,
     early_abort: Option<EarlyAbort>,
     n_quarantined_machines: usize,
+    metrics: MetricsSnapshot,
 }
 
 impl TuningSession {
@@ -77,6 +82,7 @@ impl TuningSession {
             config,
             early_abort,
             n_quarantined_machines: 0,
+            metrics: MetricsSnapshot::default(),
         }
     }
 
@@ -135,6 +141,19 @@ impl TuningSession {
     /// Runs `budget` logical trials through the executor and summarizes.
     /// Returns `None` when every trial crashed.
     pub fn run(&mut self, budget: usize, seed: u64) -> Option<SessionSummary> {
+        self.run_observed(budget, seed, &mut [])
+    }
+
+    /// [`TuningSession::run`] with telemetry subscribers attached to the
+    /// underlying executor. Subscribers are pure observers (virtual-clock
+    /// timestamps, driver-thread delivery): attaching any combination
+    /// leaves the campaign byte-identical with a plain `run`.
+    pub fn run_observed(
+        &mut self,
+        budget: usize,
+        seed: u64,
+        subscribers: &mut [&mut dyn Subscriber],
+    ) -> Option<SessionSummary> {
         {
             let mut source = OptimizerSource::new(self.optimizer.as_mut(), budget);
             let mut exec = Executor::new(&self.target, SchedulePolicy::Sequential)
@@ -142,8 +161,12 @@ impl TuningSession {
             if let Some(ea) = self.early_abort.as_mut() {
                 exec = exec.with_middleware(Box::new(EarlyAbortMw::over(ea)));
             }
+            for sub in subscribers.iter_mut() {
+                exec = exec.with_subscriber(Box::new(&mut **sub));
+            }
             let report = exec.run(&mut source, &mut self.storage, seed);
             self.n_quarantined_machines += report.n_quarantined_machines;
+            self.metrics.merge(&report.metrics);
         }
         self.summary()
     }
@@ -171,6 +194,7 @@ impl TuningSession {
                 .early_abort
                 .as_ref()
                 .map_or(0.0, |ea| ea.total_saved_s()),
+            metrics: self.metrics.clone(),
         })
     }
 }

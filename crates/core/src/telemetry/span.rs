@@ -1,0 +1,541 @@
+//! Per-trial spans on the virtual clock, exportable as Chrome
+//! `trace_event` JSON (loadable in `chrome://tracing` and Perfetto).
+
+use super::{OptEvent, Subscriber};
+use crate::executor::{TrialEvent, TrialOutcome};
+use crate::TrialStatus;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// One phase of a trial's lifetime, in virtual seconds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SpanSegment {
+    /// Between suggestion and execution start (slot/barrier wait).
+    Queued {
+        /// Segment bounds, virtual seconds.
+        begin_s: f64,
+        /// End of the wait.
+        end_s: f64,
+    },
+    /// One measurement attempt running on the target.
+    Attempt {
+        /// Attempt index (0 = first try).
+        attempt: u32,
+        /// Attempt start, virtual seconds.
+        begin_s: f64,
+        /// Attempt end.
+        end_s: f64,
+    },
+    /// Retry backoff between two attempts; `end_s` is the backoff
+    /// deadline at which the next attempt starts.
+    Backoff {
+        /// The attempt the backoff precedes (1 = first retry).
+        attempt: u32,
+        /// Backoff start, virtual seconds.
+        begin_s: f64,
+        /// Backoff deadline.
+        end_s: f64,
+    },
+    /// Between the trial's virtual finish and the moment the source
+    /// observed it (batch barriers delay observation).
+    ObserveWait {
+        /// Finish time, virtual seconds.
+        begin_s: f64,
+        /// Observation time.
+        end_s: f64,
+    },
+}
+
+impl SpanSegment {
+    fn bounds(&self) -> (f64, f64) {
+        match *self {
+            SpanSegment::Queued { begin_s, end_s }
+            | SpanSegment::Attempt { begin_s, end_s, .. }
+            | SpanSegment::Backoff { begin_s, end_s, .. }
+            | SpanSegment::ObserveWait { begin_s, end_s } => (begin_s, end_s),
+        }
+    }
+
+    fn trace_name(&self) -> String {
+        match self {
+            SpanSegment::Queued { .. } => "queued".into(),
+            SpanSegment::Attempt { attempt, .. } => format!("run a{attempt}"),
+            SpanSegment::Backoff { attempt, .. } => format!("backoff→a{attempt}"),
+            SpanSegment::ObserveWait { .. } => "await observe".into(),
+        }
+    }
+
+    fn trace_cat(&self) -> &'static str {
+        match self {
+            SpanSegment::Queued { .. } => "queue",
+            SpanSegment::Attempt { .. } => "run",
+            SpanSegment::Backoff { .. } => "retry",
+            SpanSegment::ObserveWait { .. } => "observe",
+        }
+    }
+}
+
+/// A finalized trial span: suggest → queued → running attempts (with
+/// retry backoffs) → observed, all on the virtual clock.
+#[derive(Debug, Clone)]
+pub struct TrialSpan {
+    /// Trial id.
+    pub id: u64,
+    /// Rendered configuration.
+    pub label: String,
+    /// Virtual time the source proposed the configuration.
+    pub suggested_at: f64,
+    /// Virtual time the first attempt started.
+    pub started_at: f64,
+    /// Virtual time the trial's charged duration ended.
+    pub finished_at: f64,
+    /// Virtual time the source observed the outcome.
+    pub observed_at: f64,
+    /// Machine of the final attempt, if a fleet is attached.
+    pub machine_id: Option<usize>,
+    /// Ordered lifecycle segments.
+    pub segments: Vec<SpanSegment>,
+    /// Final status.
+    pub status: TrialStatus,
+    /// Recorded cost.
+    pub cost: f64,
+    /// Retry attempts consumed.
+    pub retries: u32,
+}
+
+impl TrialSpan {
+    /// Checks the span's internal consistency: bounds ordered, segments
+    /// contiguous and non-overlapping, attempts/backoffs alternating, and
+    /// the observation never preceding the finish.
+    pub fn validate(&self) -> Result<(), String> {
+        let err = |msg: String| Err(format!("trial {}: {msg}", self.id));
+        if self.suggested_at > self.started_at + 1e-9 {
+            return err(format!(
+                "suggested at {} after start {}",
+                self.suggested_at, self.started_at
+            ));
+        }
+        if self.finished_at > self.observed_at + 1e-9 {
+            return err(format!(
+                "finished {} after observed {}",
+                self.finished_at, self.observed_at
+            ));
+        }
+        if self.segments.is_empty() {
+            return err("no segments".into());
+        }
+        let mut cursor = self.suggested_at;
+        for seg in &self.segments {
+            let (b, e) = seg.bounds();
+            if b > e + 1e-9 {
+                return err(format!("segment {seg:?} ends before it begins"));
+            }
+            if b + 1e-9 < cursor {
+                return err(format!(
+                    "segment {seg:?} overlaps previous (cursor {cursor})"
+                ));
+            }
+            cursor = e;
+        }
+        let n_attempts = self
+            .segments
+            .iter()
+            .filter(|s| matches!(s, SpanSegment::Attempt { .. }))
+            .count();
+        if n_attempts != self.retries as usize + 1 {
+            return err(format!(
+                "{} attempt segments vs {} retries",
+                n_attempts, self.retries
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// A fleet lifecycle marker (quarantine entry / probation release).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MachineMark {
+    /// Virtual time of the transition.
+    pub at_s: f64,
+    /// The machine.
+    pub machine_id: usize,
+    /// True for quarantine entry, false for probation release.
+    pub quarantined: bool,
+}
+
+/// In-flight bookkeeping for one trial.
+#[derive(Debug, Clone)]
+struct OpenSpan {
+    label: String,
+    suggested_at: f64,
+    started_at: f64,
+    machine_id: Option<usize>,
+    attempt_start: f64,
+    segments: Vec<SpanSegment>,
+}
+
+/// A [`Subscriber`] reconstructing per-trial spans from the event stream
+/// and exporting them as Chrome `trace_event` JSON.
+#[derive(Debug, Clone, Default)]
+pub struct SpanRecorder {
+    open: BTreeMap<u64, OpenSpan>,
+    spans: Vec<TrialSpan>,
+    marks: Vec<MachineMark>,
+    /// Opt-phase begin/end pairing check: open suggest/observe ids.
+    open_phases: Vec<(u64, bool)>,
+    /// Begin/end pairs that never matched (should stay 0).
+    unbalanced: usize,
+    end_s: f64,
+}
+
+impl SpanRecorder {
+    /// A fresh recorder.
+    pub fn new() -> Self {
+        SpanRecorder::default()
+    }
+
+    /// Finalized spans, in completion order.
+    pub fn spans(&self) -> &[TrialSpan] {
+        &self.spans
+    }
+
+    /// Fleet quarantine/release markers, in emission order.
+    pub fn machine_marks(&self) -> &[MachineMark] {
+        &self.marks
+    }
+
+    /// Optimizer-side begin events that never saw their end (plus ends
+    /// without a begin). Non-zero means the executor mis-paired events.
+    pub fn unbalanced_opt_events(&self) -> usize {
+        self.unbalanced + self.open_phases.len()
+    }
+
+    /// Validates every finalized span; `Ok` when all are well-formed.
+    pub fn validate_all(&self) -> Result<(), String> {
+        for s in &self.spans {
+            s.validate()?;
+        }
+        if self.unbalanced_opt_events() != 0 {
+            return Err(format!(
+                "{} unbalanced optimizer begin/end events",
+                self.unbalanced_opt_events()
+            ));
+        }
+        Ok(())
+    }
+
+    /// Exports the recorded campaign as Chrome `trace_event` JSON: open
+    /// the string (saved as a `.json` file) directly in `chrome://tracing`
+    /// or <https://ui.perfetto.dev>. Virtual seconds map to trace
+    /// microseconds, trials are packed onto the smallest set of
+    /// non-overlapping lanes, and fleet quarantine/release transitions
+    /// appear as instant events on a second process.
+    pub fn to_chrome_trace(&self) -> String {
+        let mut events: Vec<String> = Vec::new();
+        let us = |s: f64| (s * 1e6).max(0.0);
+
+        // Greedy interval packing: lane i is free once its last span ends.
+        let mut order: Vec<&TrialSpan> = self.spans.iter().collect();
+        order.sort_by(|a, b| {
+            (a.suggested_at, a.id)
+                .partial_cmp(&(b.suggested_at, b.id))
+                .expect("virtual times are finite")
+        });
+        let mut lane_free: Vec<f64> = Vec::new();
+        events.push(meta_name(
+            "process_name",
+            1,
+            None,
+            "campaign (virtual time)",
+        ));
+        events.push(meta_name("process_name", 2, None, "fleet"));
+        for span in order {
+            let lane = lane_free
+                .iter()
+                .position(|f| *f <= span.suggested_at + 1e-9)
+                .unwrap_or_else(|| {
+                    lane_free.push(0.0);
+                    events.push(meta_name(
+                        "thread_name",
+                        1,
+                        Some(lane_free.len() - 1),
+                        &format!("lane {}", lane_free.len() - 1),
+                    ));
+                    lane_free.len() - 1
+                });
+            lane_free[lane] = span.observed_at;
+            let machine = span
+                .machine_id
+                .map_or("null".to_string(), |m| m.to_string());
+            let args = format!(
+                "{{\"cost\":{},\"status\":\"{:?}\",\"machine\":{},\"retries\":{},\"config\":\"{}\"}}",
+                json_f64(span.cost),
+                span.status,
+                machine,
+                span.retries,
+                escape(&span.label),
+            );
+            events.push(format!(
+                "{{\"name\":\"trial {}\",\"cat\":\"trial\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\
+                 \"pid\":1,\"tid\":{},\"args\":{}}}",
+                span.id,
+                json_f64(us(span.suggested_at)),
+                json_f64(us(span.observed_at) - us(span.suggested_at)),
+                lane,
+                args,
+            ));
+            for seg in &span.segments {
+                let (b, e) = seg.bounds();
+                if e - b <= 0.0 && !matches!(seg, SpanSegment::Attempt { .. }) {
+                    continue; // zero-width waits add nothing but clutter
+                }
+                events.push(format!(
+                    "{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\
+                     \"pid\":1,\"tid\":{}}}",
+                    escape(&seg.trace_name()),
+                    seg.trace_cat(),
+                    json_f64(us(b)),
+                    json_f64(us(e) - us(b)),
+                    lane,
+                ));
+            }
+        }
+        for mark in &self.marks {
+            events.push(meta_name(
+                "thread_name",
+                2,
+                Some(mark.machine_id),
+                &format!("machine {}", mark.machine_id),
+            ));
+            events.push(format!(
+                "{{\"name\":\"{}\",\"cat\":\"fleet\",\"ph\":\"i\",\"s\":\"p\",\"ts\":{},\
+                 \"pid\":2,\"tid\":{}}}",
+                if mark.quarantined {
+                    "quarantined"
+                } else {
+                    "released (probation)"
+                },
+                json_f64(us(mark.at_s)),
+                mark.machine_id,
+            ));
+        }
+        let mut out = String::from("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n");
+        for (i, e) in events.iter().enumerate() {
+            if i > 0 {
+                out.push_str(",\n");
+            }
+            out.push_str(e);
+        }
+        out.push_str("\n]}\n");
+        out
+    }
+}
+
+/// A Chrome-trace metadata event naming a process or thread.
+fn meta_name(kind: &str, pid: usize, tid: Option<usize>, name: &str) -> String {
+    let mut s = format!("{{\"name\":\"{kind}\",\"ph\":\"M\",\"pid\":{pid}");
+    if let Some(t) = tid {
+        let _ = write!(s, ",\"tid\":{t}");
+    }
+    let _ = write!(s, ",\"args\":{{\"name\":\"{}\"}}}}", escape(name));
+    s
+}
+
+/// JSON-safe float rendering (`NaN`/`inf` are not JSON numbers).
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".into()
+    }
+}
+
+/// Minimal JSON string escaping.
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+impl Subscriber for SpanRecorder {
+    fn name(&self) -> &str {
+        "spans"
+    }
+
+    fn on_trial_event(&mut self, at_s: f64, event: &TrialEvent) {
+        self.end_s = self.end_s.max(at_s);
+        match event {
+            TrialEvent::Suggested { id, config } => {
+                self.open.insert(
+                    *id,
+                    OpenSpan {
+                        label: config.render(),
+                        suggested_at: at_s,
+                        started_at: at_s,
+                        machine_id: None,
+                        attempt_start: at_s,
+                        segments: Vec::new(),
+                    },
+                );
+            }
+            TrialEvent::Started {
+                id,
+                at_s: start,
+                machine_id,
+            } => {
+                if let Some(open) = self.open.get_mut(id) {
+                    open.started_at = *start;
+                    open.machine_id = *machine_id;
+                    open.attempt_start = *start;
+                    if *start > open.suggested_at {
+                        open.segments.push(SpanSegment::Queued {
+                            begin_s: open.suggested_at,
+                            end_s: *start,
+                        });
+                    }
+                }
+            }
+            TrialEvent::Retried {
+                id,
+                attempt,
+                backoff_s,
+                at_s: resume,
+            } => {
+                if let Some(open) = self.open.get_mut(id) {
+                    let failed_end = resume - backoff_s;
+                    open.segments.push(SpanSegment::Attempt {
+                        attempt: attempt - 1,
+                        begin_s: open.attempt_start,
+                        end_s: failed_end,
+                    });
+                    open.segments.push(SpanSegment::Backoff {
+                        attempt: *attempt,
+                        begin_s: failed_end,
+                        end_s: *resume,
+                    });
+                    open.attempt_start = *resume;
+                }
+            }
+            TrialEvent::Quarantined { machine_id } => self.marks.push(MachineMark {
+                at_s,
+                machine_id: *machine_id,
+                quarantined: true,
+            }),
+            TrialEvent::Released { machine_id } => self.marks.push(MachineMark {
+                at_s,
+                machine_id: *machine_id,
+                quarantined: false,
+            }),
+            _ => {}
+        }
+    }
+
+    fn on_opt_event(&mut self, _at_s: f64, event: &OptEvent) {
+        match event {
+            OptEvent::SuggestBegin { id } => self.open_phases.push((*id, true)),
+            OptEvent::ObserveBegin { id } => self.open_phases.push((*id, false)),
+            OptEvent::SuggestEnd { id, .. } => {
+                match self.open_phases.pop() {
+                    Some((open_id, true)) if open_id == *id => {}
+                    _ => self.unbalanced += 1,
+                };
+            }
+            OptEvent::ObserveEnd { id, .. } => {
+                match self.open_phases.pop() {
+                    Some((open_id, false)) if open_id == *id => {}
+                    _ => self.unbalanced += 1,
+                };
+            }
+            OptEvent::SurrogateRefit { .. } => {}
+        }
+    }
+
+    fn on_outcome(&mut self, at_s: f64, outcome: &TrialOutcome) {
+        self.end_s = self.end_s.max(at_s);
+        let Some(mut open) = self.open.remove(&outcome.id) else {
+            return;
+        };
+        let finished = open.started_at + outcome.elapsed_s;
+        open.segments.push(SpanSegment::Attempt {
+            attempt: outcome.retries,
+            begin_s: open.attempt_start,
+            end_s: finished,
+        });
+        if at_s > finished + 1e-12 {
+            open.segments.push(SpanSegment::ObserveWait {
+                begin_s: finished,
+                end_s: at_s,
+            });
+        }
+        self.spans.push(TrialSpan {
+            id: outcome.id,
+            label: open.label,
+            suggested_at: open.suggested_at,
+            started_at: open.started_at,
+            finished_at: finished,
+            observed_at: at_s,
+            machine_id: outcome.machine_id.or(open.machine_id),
+            segments: open.segments,
+            status: outcome.status,
+            cost: outcome.cost,
+            retries: outcome.retries,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escape_handles_specials() {
+        assert_eq!(escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(escape("plain"), "plain");
+    }
+
+    #[test]
+    fn json_f64_rejects_nonfinite() {
+        assert_eq!(json_f64(f64::NAN), "null");
+        assert_eq!(json_f64(1.5), "1.5");
+    }
+
+    #[test]
+    fn validate_flags_overlapping_segments() {
+        let span = TrialSpan {
+            id: 0,
+            label: String::new(),
+            suggested_at: 0.0,
+            started_at: 0.0,
+            finished_at: 2.0,
+            observed_at: 2.0,
+            machine_id: None,
+            segments: vec![
+                SpanSegment::Attempt {
+                    attempt: 0,
+                    begin_s: 0.0,
+                    end_s: 1.5,
+                },
+                SpanSegment::Attempt {
+                    attempt: 1,
+                    begin_s: 1.0,
+                    end_s: 2.0,
+                },
+            ],
+            status: TrialStatus::Complete,
+            cost: 1.0,
+            retries: 1,
+        };
+        assert!(span.validate().is_err());
+    }
+}

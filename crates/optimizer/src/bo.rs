@@ -75,6 +75,7 @@ pub struct BayesianOptimizer {
     liars: Vec<Vec<f64>>,
     dirty: bool,
     observations_since_refit: usize,
+    n_refits: usize,
     /// Finite-valued observations seen (crashes excluded): the random-init
     /// phase must collect this many *informative* points. A warm start
     /// consisting purely of crash penalties gives the surrogate no
@@ -118,6 +119,7 @@ impl BayesianOptimizer {
             liars: Vec::new(),
             dirty: false,
             observations_since_refit: 0,
+            n_refits: 0,
             n_finite: 0,
             tracker: BestTracker::default(),
         }
@@ -211,6 +213,7 @@ impl BayesianOptimizer {
             if gp.fit_hyperparameters(&cfg, &mut r).is_ok() {
                 self.model = Box::new(gp);
                 self.dirty = false;
+                self.n_refits += 1;
             }
         }
     }
@@ -346,6 +349,10 @@ impl Optimizer for BayesianOptimizer {
 
     fn n_observed(&self) -> usize {
         self.tracker.n()
+    }
+
+    fn n_refits(&self) -> usize {
+        self.n_refits
     }
 }
 

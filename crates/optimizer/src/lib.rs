@@ -114,6 +114,15 @@ pub trait Optimizer: Send {
 
     /// Number of observations reported so far.
     fn n_observed(&self) -> usize;
+
+    /// Number of surrogate hyperparameter refits performed so far. The
+    /// default is 0 for optimizers without a refitted model; model-based
+    /// optimizers override it so campaign telemetry can attribute tuner
+    /// overhead to refit cycles (executors poll this counter after each
+    /// `observe`/`suggest` round and emit a refit event when it advances).
+    fn n_refits(&self) -> usize {
+        0
+    }
 }
 
 /// Shared best-tracking bookkeeping used by every optimizer.

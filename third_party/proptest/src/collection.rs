@@ -5,7 +5,7 @@ use rand::Rng;
 
 use crate::Strategy;
 
-/// Sizes accepted by [`vec`]: an exact length or a half-open range.
+/// Sizes accepted by [`vec()`]: an exact length or a half-open range.
 pub trait SizeRange {
     /// Draws a concrete length.
     fn pick(&self, rng: &mut StdRng) -> usize;
@@ -34,7 +34,7 @@ pub fn vec<S: Strategy, Z: SizeRange>(element: S, size: Z) -> VecStrategy<S, Z> 
     VecStrategy { element, size }
 }
 
-/// Strategy returned by [`vec`].
+/// Strategy returned by [`vec()`].
 pub struct VecStrategy<S, Z> {
     element: S,
     size: Z,

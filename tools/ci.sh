@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
-# The tier-1 gate, runnable locally and from CI: build, test, format,
-# lint. Everything must pass before a change lands.
+# The tier-1 gate, runnable locally; CI runs the same steps split across
+# the build-test / lint / determinism matrix jobs in
+# .github/workflows/ci.yml. Everything must pass before a change lands.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -16,11 +17,28 @@ cargo fmt --check
 echo "== clippy =="
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "== rustdoc (warnings are errors) =="
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
+
+echo "== no wall-clock reads in core =="
+# Core derives every timestamp from the virtual clock; real time enters
+# only through an injected WallTimer. A stray Instant::now() would break
+# byte-identical replay.
+if grep -rn "Instant::now\|SystemTime::now" crates/core/src | grep -v "^[^:]*:[0-9]*: *//"; then
+  echo "wall-clock read in crates/core — inject a WallTimer instead" >&2
+  exit 1
+fi
+
 echo "== fault determinism (release) =="
 # The resilience stack (retries, timeouts, quarantine) must keep the
 # byte-identical k=1 schedule-policy contract; run its regression test
 # against the optimized build, where any wall-clock/thread-timing leak
 # would surface.
 cargo test -q --release -p autotune-tests --test fault_resilience
+
+echo "== telemetry purity (release) =="
+# ISSUE 3 acceptance: enabling every telemetry subscriber leaves k=1
+# campaigns byte-identical.
+cargo test -q --release -p autotune-tests --test telemetry
 
 echo "CI gate passed."
