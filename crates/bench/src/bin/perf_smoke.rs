@@ -1,0 +1,77 @@
+//! CI perf-smoke gate for the incremental surrogate hot path.
+//!
+//! Measures the mean suggest time per trial of an incremental BO campaign
+//! at n = 500 observations (the E32 A/B arm, see
+//! `experiments::e32_hotpath`) and compares it against the committed
+//! baseline in `tools/perf_baseline.json`. Exits non-zero when the
+//! measurement regresses more than 2x over the baseline — a cheap,
+//! criterion-free tripwire against reintroducing an O(n³) fit into the
+//! suggest path. The committed baseline already carries generous headroom
+//! over the reference measurement, so ordinary CI-machine jitter passes.
+//!
+//! ```text
+//! cargo run -p autotune-bench --release --bin perf_smoke
+//! cargo run -p autotune-bench --release --bin perf_smoke -- --write-baseline
+//! ```
+
+use autotune_bench::experiments::e32_hotpath::incremental_suggest_ns_at_n500;
+
+const BASELINE_PATH: &str = "tools/perf_baseline.json";
+const KEY: &str = "suggest_ns_per_trial_n500";
+/// Regression threshold: fail when measured > `MAX_RATIO` x baseline.
+const MAX_RATIO: f64 = 2.0;
+/// Headroom folded into a freshly written baseline, so the committed
+/// number already absorbs machine-to-machine variance.
+const WRITE_HEADROOM: f64 = 2.0;
+
+/// Pulls `"<KEY>": <number>` out of the baseline JSON. The file is a flat
+/// object written by `--write-baseline`; a two-line scan keeps the bench
+/// crate free of a JSON dependency.
+fn parse_baseline(text: &str) -> Option<f64> {
+    let start = text.find(&format!("\"{KEY}\""))? + KEY.len() + 2;
+    let rest = text[start..].trim_start().strip_prefix(':')?.trim_start();
+    let end = rest
+        .find(|c: char| c == ',' || c == '}' || c.is_whitespace())
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+fn main() {
+    let write = std::env::args().any(|a| a == "--write-baseline");
+    eprintln!("measuring incremental suggest time at n=500 (3 reps, best kept)...");
+    // Best-of-3 rejects one-off scheduler hiccups without hiding a real
+    // algorithmic regression, which slows every repetition alike.
+    let measured = (0..3)
+        .map(|_| incremental_suggest_ns_at_n500())
+        .fold(f64::INFINITY, f64::min);
+    println!("measured: {:.0} ns/trial", measured);
+
+    if write {
+        let baseline = measured * WRITE_HEADROOM;
+        let json = format!(
+            "{{\n  \"metric\": \"incremental BO mean suggest ns per trial at n=500 (bench e32 A/B arm, best of 3)\",\n  \"{KEY}\": {baseline:.0},\n  \"note\": \"written with {WRITE_HEADROOM}x headroom over the reference measurement; perf_smoke fails at >{MAX_RATIO}x this value\"\n}}\n"
+        );
+        std::fs::write(BASELINE_PATH, json).expect("write baseline");
+        println!("baseline written to {BASELINE_PATH}: {baseline:.0} ns/trial");
+        return;
+    }
+
+    let text = match std::fs::read_to_string(BASELINE_PATH) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("cannot read {BASELINE_PATH} ({e}); run with --write-baseline first");
+            std::process::exit(2);
+        }
+    };
+    let Some(baseline) = parse_baseline(&text) else {
+        eprintln!("no \"{KEY}\" number in {BASELINE_PATH}");
+        std::process::exit(2);
+    };
+    let ratio = measured / baseline;
+    println!("baseline: {baseline:.0} ns/trial -> ratio {ratio:.2} (limit {MAX_RATIO:.1})");
+    if ratio > MAX_RATIO {
+        println!("PERF SMOKE FAILED: suggest path regressed {ratio:.2}x over baseline");
+        std::process::exit(1);
+    }
+    println!("perf smoke OK");
+}

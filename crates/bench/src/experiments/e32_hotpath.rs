@@ -1,0 +1,181 @@
+//! E32 (systems challenges): the incremental surrogate hot path. The
+//! historical BO loop refit its GP from scratch before every suggestion
+//! — O(n³) per trial, O(n⁴) per campaign — which is exactly the
+//! "optimizer overhead grows with history" wall long campaigns hit.
+//! PR 4 replaced it with rank-1 Cholesky extension
+//! ([`autotune_linalg::Cholesky::extend`]): each `observe` borders the
+//! cached kernel matrix and factor in O(n²), bitwise-identical to the
+//! full refit.
+//!
+//! Two measurements, both on the telemetry wall timer (the virtual-clock
+//! campaign stays deterministic):
+//!
+//! * **A/B at n = 500** — two identically warm-started BO instances run
+//!   the same 20-trial campaign, one with `incremental: true`, one on the
+//!   historical fit-per-suggest path. Mean suggest time must drop ≥ 5x.
+//! * **Scaling** — fresh incremental campaigns at budgets 1000 and 2000.
+//!   Mean per-observe time follows the average of n² over the campaign,
+//!   so doubling the budget multiplies it by ~4; the historical O(n³)
+//!   path would give ~8. Asserting the ratio ≤ 6 pins the exponent, and
+//!   `MetricsSnapshot::n_model_updates` confirms every trial was absorbed
+//!   in place (0 full hyperparameter refits).
+
+use crate::report::{f, Report};
+use autotune::executor::{Executor, OptimizerSource, SchedulePolicy};
+use autotune::telemetry::{MetricsSnapshot, WallTimer};
+use autotune::TrialStorage;
+use autotune_optimizer::{
+    AcquisitionFunction, BayesianOptimizer, BoConfig, Observation, SurrogateChoice,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Instant;
+
+/// Warm-start history size for the A/B comparison.
+const WARM_N: usize = 500;
+/// Trials run on top of the warm start by each A/B arm.
+const AB_BUDGET: usize = 20;
+/// Budgets of the two scaling campaigns (2x apart, so the observe-time
+/// ratio pins the per-observe exponent).
+const SCALE_BUDGETS: [usize; 2] = [1_000, 2_000];
+
+/// A real wall timer for overhead attribution (core itself never reads
+/// real time; the bench harness injects this).
+struct StdTimer(Instant);
+
+impl WallTimer for StdTimer {
+    fn now_ns(&mut self) -> u64 {
+        self.0.elapsed().as_nanos() as u64
+    }
+}
+
+/// BO tuned for overhead measurement: hyperparameter refits off so the
+/// A/B isolates fit-vs-extend, and a small candidate batch so posterior
+/// prediction (identical on both arms) doesn't drown the difference.
+fn hot_config(incremental: bool, n_candidates: usize) -> BoConfig {
+    BoConfig {
+        n_init: 8,
+        acquisition: AcquisitionFunction::ExpectedImprovement,
+        n_candidates,
+        n_local_steps: 0,
+        refit_every: 0,
+        surrogate: SurrogateChoice::GaussianProcess,
+        incremental,
+    }
+}
+
+/// `n` pre-evaluated observations of the DBMS target (the warm start both
+/// A/B arms share).
+fn warm_history(n: usize, seed: u64) -> Vec<Observation> {
+    let target = super::dbms_target();
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            let config = target.space().sample(&mut rng);
+            let value = target.evaluate(&config, &mut rng).cost;
+            Observation { config, value }
+        })
+        .collect()
+}
+
+fn run_instrumented(opt: &mut BayesianOptimizer, budget: usize, seed: u64) -> MetricsSnapshot {
+    let target = super::dbms_target();
+    let mut source = OptimizerSource::new(opt, budget);
+    let mut storage = TrialStorage::new();
+    let report = Executor::new(&target, SchedulePolicy::Sequential)
+        .with_timer(Box::new(StdTimer(Instant::now())))
+        .run(&mut source, &mut storage, seed);
+    report.metrics
+}
+
+/// One A/B arm: warm-start to [`WARM_N`] observations, then run
+/// [`AB_BUDGET`] instrumented trials. Returns the campaign metrics.
+fn ab_arm(incremental: bool, history: &[Observation]) -> MetricsSnapshot {
+    let mut opt = BayesianOptimizer::new(
+        super::dbms_target().space().clone(),
+        hot_config(incremental, 8),
+    );
+    opt.warm_start(history);
+    run_instrumented(&mut opt, AB_BUDGET, 3_201)
+}
+
+/// Mean incremental suggest nanoseconds per trial at n = 500 warm-start
+/// observations; the quantity the CI perf-smoke gate tracks against a
+/// committed baseline.
+pub fn incremental_suggest_ns_at_n500() -> f64 {
+    let history = warm_history(WARM_N, 3_202);
+    ab_arm(true, &history).suggest_ns.mean()
+}
+
+fn scaling_arm(budget: usize) -> MetricsSnapshot {
+    let mut opt = BayesianOptimizer::new(super::dbms_target().space().clone(), hot_config(true, 4));
+    run_instrumented(&mut opt, budget, 3_203)
+}
+
+fn row(label: &str, m: &MetricsSnapshot) -> Vec<String> {
+    vec![
+        label.into(),
+        format!("{} us", f(m.suggest_ns.mean() / 1e3, 1)),
+        format!("{} us", f(m.observe_ns.mean() / 1e3, 1)),
+        m.n_refits.to_string(),
+        m.n_model_updates.to_string(),
+        format!("{} ms", f(m.tuner_wall_ns as f64 / 1e6, 1)),
+    ]
+}
+
+/// Runs the experiment.
+pub fn run() -> Report {
+    let history = warm_history(WARM_N, 3_202);
+    let seed_path = ab_arm(false, &history);
+    let incremental = ab_arm(true, &history);
+    let scale: Vec<MetricsSnapshot> = SCALE_BUDGETS.iter().map(|&b| scaling_arm(b)).collect();
+
+    let speedup = seed_path.suggest_ns.mean() / incremental.suggest_ns.mean().max(1.0);
+    let observe_ratio = scale[1].observe_ns.mean() / scale[0].observe_ns.mean().max(1.0);
+
+    let rows = vec![
+        row("fit-per-suggest, n=500", &seed_path),
+        row("incremental, n=500", &incremental),
+        row("incremental, budget 1000", &scale[0]),
+        row("incremental, budget 2000", &scale[1]),
+    ];
+
+    // Shape: (a) at n=500 the incremental path suggests ≥5x faster than
+    // refitting per suggestion; (b) the scaling campaigns absorbed ≥90% of
+    // trials in place with zero hyper refits (crashed trials report NaN
+    // and legitimately skip absorption); (c) doubling the budget
+    // multiplies mean observe time by ~4 (O(n²)), well under the ~8x a
+    // cubic per-observe cost would show.
+    let faster = speedup >= 5.0;
+    let absorbed = scale
+        .iter()
+        .zip(SCALE_BUDGETS)
+        .all(|(m, b)| m.n_model_updates as usize >= b * 9 / 10 && m.n_refits == 0);
+    let quadratic = observe_ratio <= 6.0;
+    Report {
+        id: "E32",
+        title: "Incremental surrogate hot path (O(n²) observe, cached factors)",
+        headers: vec![
+            "campaign",
+            "suggest mean",
+            "observe mean",
+            "refits",
+            "in-place updates",
+            "tuner total",
+        ],
+        rows,
+        paper_claim: "rank-1 factor updates make per-trial surrogate cost quadratic instead of \
+                      cubic, so optimizer overhead stays tractable as campaign histories grow",
+        measured: format!(
+            "suggest at n=500: {} us -> {} us ({}x); observe mean 2000-vs-1000 budget ratio \
+             {} (~4 = quadratic, ~8 = cubic); in-place updates {}/{} with 0 refits",
+            f(seed_path.suggest_ns.mean() / 1e3, 1),
+            f(incremental.suggest_ns.mean() / 1e3, 1),
+            f(speedup, 1),
+            f(observe_ratio, 2),
+            scale[1].n_model_updates,
+            SCALE_BUDGETS[1],
+        ),
+        shape_holds: faster && absorbed && quadratic,
+    }
+}

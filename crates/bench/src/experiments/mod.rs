@@ -30,6 +30,7 @@ pub mod e28_profile_guided;
 pub mod e29_async;
 pub mod e30_faults;
 pub mod e31_overhead;
+pub mod e32_hotpath;
 
 use autotune::{Objective, Target};
 use autotune_optimizer::Optimizer;

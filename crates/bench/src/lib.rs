@@ -52,6 +52,7 @@ pub fn all_experiments() -> Vec<Experiment> {
         ("e29", experiments::e29_async::run),
         ("e30", experiments::e30_faults::run),
         ("e31", experiments::e31_overhead::run),
+        ("e32", experiments::e32_hotpath::run),
         ("ablations", experiments::ablations::run),
     ]
 }

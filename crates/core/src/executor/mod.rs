@@ -194,6 +194,7 @@ impl<'a> Executor<'a> {
         };
         let mut timer = std::mem::replace(&mut self.timer, Box::new(NullTimer));
         let mut last_refits = source.n_refits();
+        let mut last_updates = source.n_model_updates();
 
         loop {
             // Admission: fill free slots from the source.
@@ -220,6 +221,17 @@ impl<'a> Executor<'a> {
                         &OptEvent::SurrogateRefit {
                             id: prospective,
                             n_refits: refits,
+                        },
+                    );
+                }
+                let updates = source.n_model_updates();
+                if updates > last_updates {
+                    last_updates = updates;
+                    fan.opt(
+                        clock,
+                        &OptEvent::ModelUpdate {
+                            id: prospective,
+                            n_updates: updates,
                         },
                     );
                 }
@@ -398,6 +410,17 @@ impl<'a> Executor<'a> {
                         &OptEvent::SurrogateRefit {
                             id: outcome.id,
                             n_refits: refits,
+                        },
+                    );
+                }
+                let updates = source.n_model_updates();
+                if updates > last_updates {
+                    last_updates = updates;
+                    fan.opt(
+                        clock,
+                        &OptEvent::ModelUpdate {
+                            id: outcome.id,
+                            n_updates: updates,
                         },
                     );
                 }
@@ -594,27 +617,14 @@ fn measure_one(
     }
 }
 
-/// Evaluates a wave of dispatched trials, on crossbeam worker threads
-/// when the wave has genuine parallelism. Per-trial RNG streams make the
-/// result independent of thread scheduling.
+/// Evaluates a wave of dispatched trials, on scoped worker threads when
+/// the wave has genuine parallelism (shared [`autotune_linalg::par_map`]
+/// machinery). Per-trial RNG streams make the result independent of
+/// thread scheduling.
 fn measure_wave(target: &Target, strategy: &NoiseStrategy, wave: &[Pending]) -> Vec<Measurement> {
-    if wave.len() <= 1 {
-        return wave
-            .iter()
-            .map(|p| measure_one(target, strategy, &p.req, p.eval_seed))
-            .collect();
-    }
-    crossbeam::thread::scope(|scope| {
-        let handles: Vec<_> = wave
-            .iter()
-            .map(|p| scope.spawn(move |_| measure_one(target, strategy, &p.req, p.eval_seed)))
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("trial thread panicked"))
-            .collect()
+    autotune_linalg::par_map(wave, 2, |_, p| {
+        measure_one(target, strategy, &p.req, p.eval_seed)
     })
-    .expect("crossbeam scope")
 }
 
 #[cfg(test)]

@@ -47,6 +47,13 @@ pub trait TrialSource {
     fn n_refits(&self) -> usize {
         0
     }
+
+    /// In-place incremental surrogate updates performed so far (0 for
+    /// model-free sources). Polled alongside [`TrialSource::n_refits`] and
+    /// announced as [`crate::telemetry::OptEvent::ModelUpdate`].
+    fn n_model_updates(&self) -> usize {
+        0
+    }
 }
 
 /// Adapts an ask/tell [`Optimizer`] into a [`TrialSource`] with a fixed
@@ -100,6 +107,10 @@ impl TrialSource for OptimizerSource<'_> {
 
     fn n_refits(&self) -> usize {
         self.optimizer.n_refits()
+    }
+
+    fn n_model_updates(&self) -> usize {
+        self.optimizer.n_model_updates()
     }
 }
 

@@ -150,6 +150,8 @@ pub struct MetricsSnapshot {
     pub n_promotions: u64,
     /// Surrogate hyperparameter refits.
     pub n_refits: u64,
+    /// In-place O(n²) surrogate updates (incremental alternative to refits).
+    pub n_model_updates: u64,
     /// Source polls that returned `Wait` (slot idle on a barrier).
     pub n_wait_polls: u64,
     /// Per-trial charged benchmark seconds.
@@ -200,6 +202,7 @@ impl MetricsSnapshot {
         self.n_releases += other.n_releases;
         self.n_promotions += other.n_promotions;
         self.n_refits += other.n_refits;
+        self.n_model_updates += other.n_model_updates;
         self.n_wait_polls += other.n_wait_polls;
         self.trial_latency_s.merge(&other.trial_latency_s);
         self.queue_wait_s.merge(&other.queue_wait_s);
@@ -236,11 +239,12 @@ impl fmt::Display for MetricsSnapshot {
         writeln!(
             f,
             "tuner overhead: suggest mean {:.3} ms (p95 {:.3}), observe mean {:.3} ms, \
-             {} refits, {:.1} ms total",
+             {} refits, {} incremental updates, {:.1} ms total",
             self.suggest_ns.mean() / 1e6,
             self.suggest_ns.quantile(0.95) / 1e6,
             self.observe_ns.mean() / 1e6,
             self.n_refits,
+            self.n_model_updates,
             self.tuner_wall_ns as f64 / 1e6
         )?;
         if !self.machine_busy_s.is_empty() {
@@ -275,6 +279,7 @@ pub struct MetricsCollector {
     /// Suggestion time per in-flight trial id, for queue-wait stamping.
     suggested_at: BTreeMap<u64, f64>,
     last_refits: u64,
+    last_updates: u64,
 }
 
 impl MetricsCollector {
@@ -344,6 +349,11 @@ impl Subscriber for MetricsCollector {
                 self.snap.n_refits += n.saturating_sub(self.last_refits);
                 self.last_refits = n;
             }
+            OptEvent::ModelUpdate { n_updates, .. } => {
+                let n = *n_updates as u64;
+                self.snap.n_model_updates += n.saturating_sub(self.last_updates);
+                self.last_updates = n;
+            }
             OptEvent::SuggestBegin { .. } | OptEvent::ObserveBegin { .. } => {}
         }
     }
@@ -412,6 +422,71 @@ mod tests {
         assert_eq!(h.count(), 2);
         // Both land in the bottom bucket without panicking.
         assert!(h.quantile(0.5).is_finite() || h.quantile(0.5).is_infinite());
+    }
+
+    #[test]
+    fn quantile_of_empty_histogram_is_zero() {
+        let h = LogHistogram::default();
+        for q in [0.0, 0.5, 0.95, 1.0] {
+            assert_eq!(h.quantile(q), 0.0, "empty histogram quantile({q})");
+        }
+    }
+
+    #[test]
+    fn quantile_of_single_sample_is_that_sample() {
+        let mut h = LogHistogram::default();
+        h.record(7.0);
+        for q in [0.0, 0.5, 1.0] {
+            assert_eq!(h.quantile(q), 7.0, "single-sample quantile({q})");
+        }
+    }
+
+    #[test]
+    fn utilization_is_zero_when_wall_clock_is_zero() {
+        // A campaign observed only under NullTimer and zero virtual time
+        // (e.g. snapshot taken before any event) must report 0 utilization,
+        // never NaN from busy/0.
+        let mut snap = MetricsSnapshot::default();
+        snap.machine_busy_s.insert(0, 5.0);
+        assert_eq!(snap.wall_clock_s, 0.0);
+        assert_eq!(snap.machine_utilization(0), 0.0);
+        assert_eq!(snap.fleet_utilization(), 0.0);
+        assert!(!format!("{snap}").contains("NaN"));
+    }
+
+    #[test]
+    fn model_update_events_count_deltas() {
+        let mut c = MetricsCollector::new();
+        c.on_opt_event(
+            0.0,
+            &OptEvent::ModelUpdate {
+                id: 0,
+                n_updates: 1,
+            },
+        );
+        c.on_opt_event(
+            0.0,
+            &OptEvent::ModelUpdate {
+                id: 1,
+                n_updates: 4,
+            },
+        );
+        // Replays of the same cumulative counter add nothing.
+        c.on_opt_event(
+            0.0,
+            &OptEvent::ModelUpdate {
+                id: 2,
+                n_updates: 4,
+            },
+        );
+        assert_eq!(c.snapshot().n_model_updates, 4);
+        let other = MetricsSnapshot {
+            n_model_updates: 3,
+            ..Default::default()
+        };
+        let mut snap = c.snapshot();
+        snap.merge(&other);
+        assert_eq!(snap.n_model_updates, 7);
     }
 
     #[test]

@@ -93,6 +93,15 @@ pub enum OptEvent {
         /// Total refits so far in this campaign.
         n_refits: usize,
     },
+    /// The source's optimizer absorbed data into its surrogate with one or
+    /// more O(n²) in-place updates (no full refit) while digesting trial
+    /// `id`'s outcome or proposing trial `id`.
+    ModelUpdate {
+        /// Trial id being observed/suggested when the update happened.
+        id: u64,
+        /// Total in-place updates so far in this campaign.
+        n_updates: usize,
+    },
 }
 
 /// A campaign observer. All hooks run on the executor's driver thread in

@@ -92,9 +92,16 @@ impl<W: Write> ProgressReporter<W> {
             line += &format!(" | refits {}", self.n_refits);
         }
         if let Some(b) = self.budget {
-            if self.n_done > 0 && self.n_done < b && at_s > 0.0 {
+            // `n_done` can overshoot a declared budget (retried trials
+            // reported past it, or a budget declared for a different unit
+            // than outcomes); saturate so the remaining-count arithmetic
+            // can never underflow to a garbage ETA.
+            let remaining = b.saturating_sub(self.n_done);
+            if self.n_done > b {
+                line += " | eta ~0s";
+            } else if self.n_done > 0 && remaining > 0 && at_s > 0.0 {
                 let rate = self.n_done as f64 / at_s;
-                line += &format!(" | eta ~{:.0}s", (b - self.n_done) as f64 / rate);
+                line += &format!(" | eta ~{:.0}s", remaining as f64 / rate);
             }
         }
         line
@@ -200,5 +207,52 @@ mod tests {
         assert!(lines.last().unwrap().contains("best 7.0000 (trial 3"));
         // Mid-campaign lines estimate time remaining.
         assert!(out.contains("eta ~"), "{out}");
+    }
+
+    fn outcome(id: u64) -> TrialOutcome {
+        TrialOutcome {
+            id,
+            config: autotune_space::Config::new(),
+            cost: 1.0,
+            learn_cost: 1.0,
+            elapsed_s: 1.0,
+            fidelity: 1.0,
+            machine_id: None,
+            status: crate::TrialStatus::Complete,
+            retries: 0,
+            fault: None,
+            telemetry: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn overrunning_a_declared_budget_never_underflows_the_eta() {
+        // Budget 2, but 3 outcomes arrive (e.g. retried trials reported
+        // past the declared budget). The remaining-trials subtraction must
+        // saturate: "eta ~0s", not a u64-underflow ETA of ~10^19 seconds.
+        let mut rep = ProgressReporter::new(Vec::new(), 1.0).with_budget(2);
+        for i in 0..3u64 {
+            rep.on_outcome((i + 1) as f64, &outcome(i));
+        }
+        rep.on_campaign_end(3.0);
+        let out = String::from_utf8(rep.into_sink()).unwrap();
+        let last = out.lines().last().unwrap();
+        assert!(last.contains("3/2 done"), "{out}");
+        assert!(last.contains("eta ~0s"), "{out}");
+        // No line anywhere carries an absurd underflow ETA.
+        assert!(!out.contains("e19"), "{out}");
+    }
+
+    #[test]
+    fn eta_is_omitted_exactly_at_budget() {
+        let mut rep = ProgressReporter::new(Vec::new(), 1.0).with_budget(2);
+        for i in 0..2u64 {
+            rep.on_outcome((i + 1) as f64, &outcome(i));
+        }
+        rep.on_campaign_end(2.0);
+        let out = String::from_utf8(rep.into_sink()).unwrap();
+        let last = out.lines().last().unwrap();
+        assert!(last.contains("2/2 done"), "{out}");
+        assert!(!last.contains("eta"), "{out}");
     }
 }

@@ -457,7 +457,7 @@ impl Subscriber for SpanRecorder {
                     _ => self.unbalanced += 1,
                 };
             }
-            OptEvent::SurrogateRefit { .. } => {}
+            OptEvent::SurrogateRefit { .. } | OptEvent::ModelUpdate { .. } => {}
         }
     }
 

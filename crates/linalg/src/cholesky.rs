@@ -150,6 +150,42 @@ impl Cholesky {
         self.solve_matrix(&Matrix::identity(n))
             .expect("identity always matches dimension")
     }
+
+    /// Rank-1 extension: given the factor of the leading n×n principal
+    /// submatrix, absorbs one bordering row/column in O(n²).
+    ///
+    /// `col` holds the off-diagonal covariances `A[0..n, n]` and `diag` the
+    /// new diagonal entry `A[n, n]`. The jitter chosen when this factor was
+    /// built is applied to the new diagonal entry too, so the extended
+    /// factor is exactly the factor of the bordered `A + jitter * I`.
+    ///
+    /// With `w = L⁻¹ col` and `d = diag + jitter − ‖w‖²`, the new factor row
+    /// is `[wᵀ, √d]`. When `d` is non-positive (the new point is linearly
+    /// dependent on the existing ones to working precision) the extension
+    /// is rejected with [`LinalgError::NotPositiveDefinite`] and the factor
+    /// is left untouched — callers should fall back to a full, re-jittered
+    /// factorization.
+    pub fn extend(&mut self, col: &[f64], diag: f64) -> Result<()> {
+        let n = self.dim();
+        if col.len() != n {
+            return Err(LinalgError::ShapeMismatch {
+                context: "cholesky extend: column length must match dimension",
+            });
+        }
+        let w = self.solve_lower(col);
+        let d = diag + self.jitter - crate::vector::dot(&w, &w);
+        if d <= 0.0 || !d.is_finite() {
+            return Err(LinalgError::NotPositiveDefinite);
+        }
+        let mut l = Matrix::zeros(n + 1, n + 1);
+        for i in 0..n {
+            l.row_mut(i)[..=i].copy_from_slice(&self.l.row(i)[..=i]);
+        }
+        l.row_mut(n)[..n].copy_from_slice(&w);
+        l[(n, n)] = d.sqrt();
+        self.l = l;
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -236,6 +272,75 @@ mod tests {
             Cholesky::new(&a),
             Err(LinalgError::ShapeMismatch { .. })
         ));
+    }
+
+    #[test]
+    fn extend_matches_from_scratch_on_random_spd() {
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        // 100 random well-conditioned SPD matrices: factor the leading
+        // (n-1)-dimensional principal submatrix, extend by the last
+        // row/column, and demand entrywise agreement with a from-scratch
+        // factorization of the full matrix.
+        for seed in 0..100u64 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let n = 3 + (seed % 6) as usize;
+            let b = Matrix::from_fn(n, n, |_, _| rng.gen_range(-1.0..1.0));
+            let mut a = b.matmul(&b.transpose()).unwrap();
+            a.add_diag(n as f64); // keep it far from singular
+            let lead = Matrix::from_fn(n - 1, n - 1, |i, j| a[(i, j)]);
+            let mut inc = Cholesky::new(&lead).unwrap();
+            assert_eq!(inc.jitter(), 0.0, "seed {seed}: unexpected jitter");
+            let col: Vec<f64> = (0..n - 1).map(|i| a[(i, n - 1)]).collect();
+            inc.extend(&col, a[(n - 1, n - 1)]).unwrap();
+            let full = Cholesky::new(&a).unwrap();
+            assert!(
+                inc.l().approx_eq(full.l(), 1e-10),
+                "seed {seed}: incremental factor diverged from scratch"
+            );
+        }
+    }
+
+    #[test]
+    fn extend_rejects_linearly_dependent_point() {
+        // Bordering [[1]] with a duplicate row gives the singular matrix
+        // [[1,1],[1,1]]: the Schur complement d = 1 - 1 = 0 must be
+        // rejected and the factor left untouched.
+        let mut c = Cholesky::new(&Matrix::from_rows(&[&[1.0]])).unwrap();
+        assert_eq!(
+            c.extend(&[1.0], 1.0).unwrap_err(),
+            LinalgError::NotPositiveDefinite
+        );
+        assert_eq!(c.dim(), 1, "failed extend must not grow the factor");
+        assert!((c.l()[(0, 0)] - 1.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn extend_rejects_shape_mismatch_and_nonfinite() {
+        let mut c = Cholesky::new(&spd3()).unwrap();
+        assert!(matches!(
+            c.extend(&[1.0], 1.0),
+            Err(LinalgError::ShapeMismatch { .. })
+        ));
+        assert_eq!(
+            c.extend(&[1.0, 2.0, 3.0], f64::NAN).unwrap_err(),
+            LinalgError::NotPositiveDefinite
+        );
+        assert_eq!(c.dim(), 3);
+    }
+
+    #[test]
+    fn extend_applies_existing_jitter_to_new_diagonal() {
+        // A factor that needed jitter keeps using it: the extended factor
+        // reconstructs A + jitter * I, not A.
+        let a = Matrix::from_rows(&[&[1.0, 1.0], &[1.0, 1.0]]);
+        let mut c = Cholesky::new(&a).unwrap();
+        let j = c.jitter();
+        assert!(j > 0.0);
+        c.extend(&[0.5, 0.5], 2.0).unwrap();
+        let back = c.l().matmul(&c.l().transpose()).unwrap();
+        let mut want = Matrix::from_rows(&[&[1.0, 1.0, 0.5], &[1.0, 1.0, 0.5], &[0.5, 0.5, 2.0]]);
+        want.add_diag(j);
+        assert!(back.approx_eq(&want, 1e-9));
     }
 
     #[test]

@@ -29,6 +29,7 @@ mod cholesky;
 mod eigen;
 mod lu;
 mod matrix;
+mod par;
 mod pca;
 mod qr;
 pub mod stats;
@@ -38,6 +39,7 @@ pub use cholesky::Cholesky;
 pub use eigen::{symmetric_eigen, SymmetricEigen};
 pub use lu::Lu;
 pub use matrix::Matrix;
+pub use par::par_map;
 pub use pca::Pca;
 pub use qr::{least_squares, Qr};
 pub use vector::{axpy, dot, norm2, normalize, scaled_add, squared_distance};

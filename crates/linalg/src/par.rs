@@ -1,0 +1,106 @@
+//! Deterministic wave-parallel map over a slice.
+//!
+//! The autotuning hot paths (acquisition candidate scoring, marginal-
+//! likelihood restarts, wave measurement in the executor) all share the
+//! same shape: a batch of independent, pure computations whose *results*
+//! must not depend on thread count or interleaving. [`par_map`] encodes
+//! that contract once: items are split into contiguous chunks, one scoped
+//! thread per chunk, and outputs are concatenated in chunk order, so the
+//! returned vector is always exactly `items.iter().map(f)` regardless of
+//! scheduling. Callers that need a reduction (e.g. argmax) fold the
+//! returned vector sequentially in index order.
+
+/// Maps `f` over `items` on scoped threads, returning outputs in input
+/// order.
+///
+/// `f` is called with `(index, &item)` exactly once per item. Falls back
+/// to a plain sequential map when there are fewer than `min_parallel`
+/// items or the host reports a single hardware thread, so tiny batches
+/// don't pay thread spawn costs.
+///
+/// # Determinism
+/// `f` must be pure with respect to ordering: it may not mutate shared
+/// state or consume an RNG stream whose draw order matters. Under that
+/// contract the output is bitwise identical to the sequential map for any
+/// thread count.
+///
+/// # Panics
+/// Propagates a panic from any worker thread.
+pub fn par_map<T, R, F>(items: &[T], min_parallel: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+    if threads < 2 || items.len() < min_parallel.max(2) {
+        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+    let chunk = items.len().div_ceil(threads.min(items.len()));
+    crossbeam::thread::scope(|scope| {
+        let f = &f;
+        let handles: Vec<_> = items
+            .chunks(chunk)
+            .enumerate()
+            .map(|(ci, slice)| {
+                scope.spawn(move |_| {
+                    slice
+                        .iter()
+                        .enumerate()
+                        .map(|(j, t)| f(ci * chunk + j, t))
+                        .collect::<Vec<R>>()
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("par_map worker panicked"))
+            .collect()
+    })
+    .expect("par_map scope panicked")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_sequential_map_in_order() {
+        let items: Vec<u64> = (0..1000).collect();
+        let seq: Vec<u64> = items
+            .iter()
+            .enumerate()
+            .map(|(i, x)| x * 3 + i as u64)
+            .collect();
+        let par = par_map(&items, 2, |i, x| x * 3 + i as u64);
+        assert_eq!(par, seq);
+    }
+
+    #[test]
+    fn small_batches_stay_sequential_and_identical() {
+        for n in 0..8usize {
+            let items: Vec<usize> = (0..n).collect();
+            let got = par_map(&items, 64, |i, x| (i, *x));
+            let want: Vec<(usize, usize)> =
+                items.iter().enumerate().map(|(i, x)| (i, *x)).collect();
+            assert_eq!(got, want);
+        }
+    }
+
+    #[test]
+    fn index_argument_matches_position() {
+        let items = vec!["a", "b", "c", "d", "e"];
+        let idx = par_map(&items, 2, |i, _| i);
+        assert_eq!(idx, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "boom")]
+    fn worker_panic_propagates() {
+        let items: Vec<u32> = (0..64).collect();
+        let _ = par_map(&items, 2, |_, x| {
+            assert!(*x < 63, "boom");
+            *x
+        });
+    }
+}

@@ -43,6 +43,28 @@ impl AcquisitionFunction {
     /// `best` is the incumbent objective value (minimization). `rng` is
     /// only consulted by [`AcquisitionFunction::ThompsonSample`].
     pub fn score(&self, pred: &Prediction, best: f64, rng: &mut impl Rng) -> f64 {
+        match *self {
+            AcquisitionFunction::ThompsonSample => {
+                let sigma = pred.std_dev();
+                let u1: f64 = rng.gen::<f64>().max(1e-12);
+                let u2: f64 = rng.gen();
+                let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+                -(pred.mean + sigma * z)
+            }
+            _ => self.score_pure(pred, best),
+        }
+    }
+
+    /// Scores a candidate without consulting an RNG. Identical to
+    /// [`AcquisitionFunction::score`] for the deterministic variants; this
+    /// is what parallel candidate scoring calls so that threads never touch
+    /// the suggestion stream.
+    ///
+    /// # Panics
+    /// Panics for [`AcquisitionFunction::ThompsonSample`], whose score *is*
+    /// a posterior draw — check [`AcquisitionFunction::consumes_rng`]
+    /// first.
+    pub fn score_pure(&self, pred: &Prediction, best: f64) -> f64 {
         let sigma = pred.std_dev();
         match *self {
             AcquisitionFunction::ProbabilityOfImprovement => {
@@ -64,12 +86,16 @@ impl AcquisitionFunction {
                 -(pred.mean - beta * sigma)
             }
             AcquisitionFunction::ThompsonSample => {
-                let u1: f64 = rng.gen::<f64>().max(1e-12);
-                let u2: f64 = rng.gen();
-                let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
-                -(pred.mean + sigma * z)
+                panic!("Thompson sampling draws from the posterior; use score() with an RNG")
             }
         }
+    }
+
+    /// Whether [`AcquisitionFunction::score`] consumes random draws. RNG-
+    /// consuming acquisitions must be scored sequentially in candidate
+    /// order to keep suggestion streams deterministic.
+    pub fn consumes_rng(&self) -> bool {
+        matches!(self, AcquisitionFunction::ThompsonSample)
     }
 
     /// Short name for experiment tables.

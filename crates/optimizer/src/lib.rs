@@ -123,6 +123,14 @@ pub trait Optimizer: Send {
     fn n_refits(&self) -> usize {
         0
     }
+
+    /// Number of O(n²) in-place surrogate updates performed so far (the
+    /// incremental alternative to a full refit). Default 0 for optimizers
+    /// without an incremental model path; executors poll this counter and
+    /// emit a model-update event when it advances.
+    fn n_model_updates(&self) -> usize {
+        0
+    }
 }
 
 /// Shared best-tracking bookkeeping used by every optimizer.

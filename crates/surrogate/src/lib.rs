@@ -74,6 +74,9 @@ pub enum SurrogateError {
     NonFiniteTarget,
     /// The kernel matrix could not be factorized.
     NumericalFailure,
+    /// The model does not support incremental single-point updates;
+    /// callers should fall back to a full [`Surrogate::fit`].
+    IncrementalUnsupported,
 }
 
 impl std::fmt::Display for SurrogateError {
@@ -85,6 +88,9 @@ impl std::fmt::Display for SurrogateError {
             }
             SurrogateError::NonFiniteTarget => write!(f, "training targets must be finite"),
             SurrogateError::NumericalFailure => write!(f, "numerical failure during fit"),
+            SurrogateError::IncrementalUnsupported => {
+                write!(f, "model does not support incremental updates")
+            }
         }
     }
 }
@@ -107,6 +113,18 @@ pub trait Surrogate: Send + Sync {
 
     /// Number of training points in the current fit (0 before fitting).
     fn n_train(&self) -> usize;
+
+    /// Absorbs a single `(x, y)` pair into the current fit *in place*,
+    /// without discarding the previous training set.
+    ///
+    /// Models with an incremental path (the GP's rank-1 Cholesky
+    /// extension) implement this in O(n²); the default returns
+    /// [`SurrogateError::IncrementalUnsupported`] so callers fall back to
+    /// a full [`Surrogate::fit`]. On any error the model must be left
+    /// exactly as it was before the call.
+    fn observe(&mut self, _x: &[f64], _y: f64) -> Result<()> {
+        Err(SurrogateError::IncrementalUnsupported)
+    }
 }
 
 /// Validates a design matrix / target pair, returning the input dimension.

@@ -140,6 +140,68 @@ impl MultiTaskGp {
         self.refit()
     }
 
+    /// Absorbs one observation in O(n²) by extending the Cholesky factor
+    /// of the ICM kernel matrix in place instead of rebuilding it.
+    ///
+    /// The cross-task correlation ρ is kept fixed (it is re-selected by
+    /// the grid search on the next full [`MultiTaskGp::fit`]); the
+    /// per-task standardization of the observation's task is refreshed,
+    /// and `alpha` is recomputed with two triangular solves. Falls back to a
+    /// full factorization when the new point is numerically dependent on
+    /// the training set; on error the model is left as it was.
+    pub fn observe(&mut self, obs: TaskObservation) -> Result<()> {
+        if obs.task >= self.n_tasks {
+            return Err(SurrogateError::DimensionMismatch {
+                context: format!("task {} out of range (n_tasks={})", obs.task, self.n_tasks),
+            });
+        }
+        if !obs.y.is_finite() || obs.x.iter().any(|v| !v.is_finite()) {
+            return Err(SurrogateError::NonFiniteTarget);
+        }
+        if self.obs.is_empty() {
+            return self.fit(std::slice::from_ref(&obs));
+        }
+        if obs.x.len() != self.obs[0].x.len() {
+            return Err(SurrogateError::DimensionMismatch {
+                context: "inconsistent input dimensions".into(),
+            });
+        }
+        let k_col: Vec<f64> = self
+            .obs
+            .iter()
+            .map(|o| self.b(o.task, obs.task) * self.kernel.eval(&o.x, &obs.x))
+            .collect();
+        let k_diag = self.kernel.eval(&obs.x, &obs.x) + self.noise.max(1e-10);
+        let extended = match &mut self.chol {
+            Some(chol) => chol.extend(&k_col, k_diag).is_ok(),
+            None => false,
+        };
+        self.obs.push(obs);
+        let task = self.obs.last().expect("just pushed").task;
+        let saved_shift = self.shifts[task];
+        let ys: Vec<f64> = self
+            .obs
+            .iter()
+            .filter(|o| o.task == task)
+            .map(|o| o.y)
+            .collect();
+        let m = autotune_linalg::stats::mean(&ys);
+        let s = autotune_linalg::stats::std_dev(&ys);
+        self.shifts[task] = (m, if s > 1e-12 { s } else { 1.0 });
+        if extended {
+            let chol = self.chol.as_ref().expect("factor present when extended");
+            let y: Vec<f64> = self.obs.iter().map(|o| self.y_std(o)).collect();
+            self.alpha = chol.solve_vec(&y);
+            return Ok(());
+        }
+        if let Err(e) = self.refit() {
+            self.obs.pop();
+            self.shifts[task] = saved_shift;
+            return Err(e);
+        }
+        Ok(())
+    }
+
     fn refit(&mut self) -> Result<()> {
         let n = self.obs.len();
         let mut k = Matrix::from_fn(n, n, |i, j| {
@@ -301,6 +363,113 @@ mod tests {
     fn rejects_empty() {
         let mut mt = MultiTaskGp::new(Box::new(Rbf::isotropic(1.0, 1.0)), 1e-6, 2);
         assert_eq!(mt.fit(&[]).unwrap_err(), SurrogateError::EmptyTrainingSet);
+    }
+
+    #[test]
+    fn incremental_observe_matches_full_refit() {
+        let obs = correlated_observations();
+        // Seed both models with the same prefix so they share the same
+        // fitted rho, then feed the tail incrementally vs. via full fit
+        // with that rho frozen.
+        let (head, tail) = obs.split_at(obs.len() - 4);
+        let mut inc = MultiTaskGp::new(Box::new(Rbf::isotropic(0.3, 1.0)), 1e-6, 2);
+        inc.fit(head).unwrap();
+        let rho = inc.rho();
+        for o in tail {
+            inc.observe(o.clone()).unwrap();
+        }
+        assert_eq!(inc.rho(), rho, "observe must not move rho");
+        let mut full = MultiTaskGp::new(Box::new(Rbf::isotropic(0.3, 1.0)), 1e-6, 2);
+        full.fit(head).unwrap();
+        full.obs = obs.clone();
+        for t in 0..2 {
+            let ys: Vec<f64> = obs.iter().filter(|o| o.task == t).map(|o| o.y).collect();
+            let m = autotune_linalg::stats::mean(&ys);
+            let s = autotune_linalg::stats::std_dev(&ys);
+            full.shifts[t] = (m, if s > 1e-12 { s } else { 1.0 });
+        }
+        full.rho = rho;
+        full.refit().unwrap();
+        for task in 0..2 {
+            for q in [0.1, 0.25, 0.6, 0.9] {
+                let a = inc.predict(task, &[q]);
+                let b = full.predict(task, &[q]);
+                assert!(
+                    (a.mean - b.mean).abs() < 1e-7,
+                    "task {task} mean at {q}: {} vs {}",
+                    a.mean,
+                    b.mean
+                );
+                assert!(
+                    (a.variance - b.variance).abs() < 1e-7,
+                    "task {task} variance at {q}: {} vs {}",
+                    a.variance,
+                    b.variance
+                );
+            }
+        }
+        assert_eq!(inc.n_obs(), full.n_obs());
+    }
+
+    #[test]
+    fn observe_from_empty_bootstraps_a_fit() {
+        let mut mt = MultiTaskGp::new(Box::new(Rbf::isotropic(0.4, 1.0)), 1e-6, 2);
+        mt.observe(TaskObservation {
+            task: 0,
+            x: vec![0.2],
+            y: 3.0,
+        })
+        .unwrap();
+        assert_eq!(mt.n_obs(), 1);
+        let p = mt.predict(0, &[0.2]);
+        assert!((p.mean - 3.0).abs() < 0.1, "mean {}", p.mean);
+    }
+
+    #[test]
+    fn observe_duplicate_point_falls_back_to_full_refit() {
+        let mut mt = MultiTaskGp::new(Box::new(Rbf::isotropic(0.4, 1.0)), 0.0, 1);
+        for y in [1.0, 1.1, 0.9] {
+            mt.observe(TaskObservation {
+                task: 0,
+                x: vec![0.5],
+                y,
+            })
+            .unwrap();
+        }
+        assert_eq!(mt.n_obs(), 3);
+        let p = mt.predict(0, &[0.5]);
+        assert!((p.mean - 1.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn observe_rejects_bad_input_without_mutating() {
+        let obs = correlated_observations();
+        let mut mt = MultiTaskGp::new(Box::new(Rbf::isotropic(0.3, 1.0)), 1e-6, 2);
+        mt.fit(&obs).unwrap();
+        let before = mt.predict(1, &[0.4]);
+        assert!(mt
+            .observe(TaskObservation {
+                task: 7,
+                x: vec![0.1],
+                y: 1.0,
+            })
+            .is_err());
+        assert!(mt
+            .observe(TaskObservation {
+                task: 0,
+                x: vec![0.1, 0.2],
+                y: 1.0,
+            })
+            .is_err());
+        assert!(mt
+            .observe(TaskObservation {
+                task: 0,
+                x: vec![0.1],
+                y: f64::NAN,
+            })
+            .is_err());
+        assert_eq!(mt.n_obs(), obs.len());
+        assert_eq!(mt.predict(1, &[0.4]), before);
     }
 
     #[test]

@@ -41,4 +41,10 @@ echo "== telemetry purity (release) =="
 # campaigns byte-identical.
 cargo test -q --release -p autotune-tests --test telemetry
 
+echo "== perf smoke (incremental suggest path) =="
+# ISSUE 4 acceptance: mean suggest time per trial at n=500 on the
+# incremental path must stay within 2x of tools/perf_baseline.json —
+# a cheap tripwire against reintroducing an O(n³) fit per suggestion.
+cargo run -q --release -p autotune-bench --bin perf_smoke
+
 echo "CI gate passed."
