@@ -56,7 +56,7 @@ pub fn run() -> Report {
             (*m, mean)
         })
         .collect();
-    truth.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"));
+    truth.sort_by(|a, b| a.1.total_cmp(&b.1));
     // "nosync" is unsafe-but-fastest; the *durable* optimum is the best
     // of the safe methods. We let optimizers find the global optimum.
     let true_best = truth[0].0;

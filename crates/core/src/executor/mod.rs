@@ -353,13 +353,9 @@ impl<'a> Executor<'a> {
                 let i = in_flight
                     .iter()
                     .enumerate()
-                    .min_by(|(_, a), (_, b)| {
-                        a.finish
-                            .partial_cmp(&b.finish)
-                            .expect("finish times are finite")
-                    })
+                    .min_by(|(_, a), (_, b)| a.finish.total_cmp(&b.finish))
                     .map(|(i, _)| i)
-                    .expect("in_flight nonempty");
+                    .expect("in_flight nonempty"); // lint: allow(D5) empty in_flight breaks the loop above
                 let s = in_flight.remove(i);
                 clock = clock.max(s.finish);
                 vec![s]

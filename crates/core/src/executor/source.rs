@@ -167,8 +167,7 @@ impl<'a> RungSource<'a> {
     fn advance_rung(&mut self) {
         // Stable sort: ties keep completion order, so single-slot execution
         // reproduces the classic sequential bracket exactly.
-        self.scored
-            .sort_by(|a, b| a.1.partial_cmp(&b.1).expect("costs ordered"));
+        self.scored.sort_by(|a, b| a.1.total_cmp(&b.1));
         if self.rung + 1 == self.levels.len() {
             self.final_scores = std::mem::take(&mut self.scored);
             self.done = true;

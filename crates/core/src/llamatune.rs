@@ -21,7 +21,7 @@ use autotune_optimizer::{BayesianOptimizer, BoConfig, Observation, Optimizer};
 use autotune_space::{Config, Param, Space};
 use rand::rngs::StdRng;
 use rand::{Rng, RngCore, SeedableRng};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// LlamaTune settings.
 #[derive(Debug, Clone)]
@@ -54,8 +54,9 @@ pub struct LlamaTune {
     signs: Vec<f64>,
     /// Inner optimizer over the synthetic low-d space.
     inner: BayesianOptimizer,
-    /// Rendered full config -> low-d point, for observe().
-    pending: HashMap<String, Vec<f64>>,
+    /// Rendered full config -> low-d point, for observe(). Keyed lookups
+    /// only, but a BTreeMap keeps even accidental iteration ordered.
+    pending: BTreeMap<String, Vec<f64>>,
     best: Option<Observation>,
     n_observed: usize,
 }
@@ -76,7 +77,7 @@ fn low_space(k: usize) -> Space {
     for j in 0..k {
         b = b.add(Param::float(format!("z{j}"), 0.0, 1.0));
     }
-    b.build().expect("synthetic space is valid")
+    b.build().expect("synthetic space is valid") // lint: allow(D5) static synthetic space is always valid
 }
 
 impl LlamaTune {
@@ -99,7 +100,7 @@ impl LlamaTune {
             assignment,
             signs,
             inner,
-            pending: HashMap::new(),
+            pending: BTreeMap::new(),
             best: None,
             n_observed: 0,
         }
@@ -122,7 +123,7 @@ impl LlamaTune {
             .collect();
         self.full_space
             .decode_unit(&x)
-            .expect("projected vector has full dimension")
+            .expect("projected vector has full dimension") // lint: allow(D5) projection yields a full-dimension unit vector
     }
 
     /// Approximate inverse for foreign observations: average the low-d
@@ -131,7 +132,7 @@ impl LlamaTune {
         let x = self
             .full_space
             .encode_unit(config)
-            .expect("config belongs to the full space");
+            .expect("config belongs to the full space"); // lint: allow(D5) suggest() only emits configs of this space
         let k = self.config.low_dim;
         let mut sums = vec![0.0; k];
         let mut counts = vec![0usize; k];
@@ -166,7 +167,7 @@ impl Optimizer for LlamaTune {
         let z: Vec<f64> = (0..self.config.low_dim)
             .map(|j| {
                 low.get_f64(&format!("z{j}"))
-                    .expect("synthetic param present")
+                    .expect("synthetic param present") // lint: allow(D5) inner optimizer suggests over the synthetic space
             })
             .collect();
         let full = self.project_up(&z);

@@ -99,7 +99,7 @@ impl SuccessiveHalving {
             .final_scores()
             .first()
             .cloned()
-            .expect("top rung evaluated at least one config");
+            .expect("top rung evaluated at least one config"); // lint: allow(D5) top rung retains at least one config
         HalvingOutcome {
             best_config,
             best_cost,
@@ -181,7 +181,7 @@ impl Hyperband {
                 best = Some(outcome);
             }
         }
-        let mut best = best.expect("at least one bracket ran");
+        let mut best = best.expect("at least one bracket ran"); // lint: allow(D5) brackets() yields at least one bracket
         best.total_elapsed_s = total_elapsed;
         best.rung_sizes = rung_sizes;
         best

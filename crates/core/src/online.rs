@@ -248,7 +248,7 @@ impl TrialSource for OnlineSource<'_> {
             .pending
             .iter()
             .position(|p| p.id == outcome.id)
-            .expect("every outcome matches a pending serve");
+            .expect("every outcome matches a pending serve"); // lint: allow(D5) outcomes only come from pending dispatches
         let p = self.pending.swap_remove(pos);
         let cost = outcome.cost;
         let mut guarded = p.guarded;
@@ -358,7 +358,7 @@ impl ContextualOnlineTuner {
             let arm = self
                 .policy
                 .select(&ctx)
-                .expect("context built to dimension");
+                .expect("context built to dimension"); // lint: allow(D5) context resized to the policy dimension above
             let eval = target.evaluate_at(&self.candidates[arm], Some(workload), &mut rng);
             let cost = eval.cost;
             let reward = if cost.is_finite() && cost > 0.0 {
@@ -368,7 +368,7 @@ impl ContextualOnlineTuner {
             };
             self.policy
                 .update(arm, &ctx, reward)
-                .expect("context built to dimension");
+                .expect("context built to dimension"); // lint: allow(D5) context resized to the policy dimension above
             if !eval.result.telemetry.is_empty() {
                 let fp = Fingerprint::from_telemetry(&eval.result.telemetry);
                 let mut feats = fp.features().to_vec();

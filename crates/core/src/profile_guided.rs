@@ -85,7 +85,7 @@ impl KnobComponentMap {
                 (knob.clone(), score)
             })
             .collect();
-        ranking.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("profile shares are finite"));
+        ranking.sort_by(|a, b| b.1.total_cmp(&a.1));
         ranking
     }
 

@@ -237,9 +237,9 @@ impl SpanRecorder {
         // Greedy interval packing: lane i is free once its last span ends.
         let mut order: Vec<&TrialSpan> = self.spans.iter().collect();
         order.sort_by(|a, b| {
-            (a.suggested_at, a.id)
-                .partial_cmp(&(b.suggested_at, b.id))
-                .expect("virtual times are finite")
+            a.suggested_at
+                .total_cmp(&b.suggested_at)
+                .then_with(|| a.id.cmp(&b.id))
         });
         let mut lane_free: Vec<f64> = Vec::new();
         events.push(meta_name(

@@ -54,7 +54,7 @@ pub fn transfer_observations(
         .iter()
         .filter(|t| t.status == TrialStatus::Complete && t.cost.is_finite())
         .collect();
-    completed.sort_by(|a, b| a.cost.partial_cmp(&b.cost).expect("finite costs"));
+    completed.sort_by(|a, b| a.cost.total_cmp(&b.cost));
     let worst = completed.last().map_or(1.0, |t| t.cost);
 
     let mut out = Vec::new();

@@ -148,7 +148,7 @@ impl Cholesky {
     pub fn inverse(&self) -> Matrix {
         let n = self.dim();
         self.solve_matrix(&Matrix::identity(n))
-            .expect("identity always matches dimension")
+            .expect("identity always matches dimension") // lint: allow(D5) identity matches the factor dimension
     }
 
     /// Rank-1 extension: given the factor of the leading n×n principal

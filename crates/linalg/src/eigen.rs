@@ -93,11 +93,7 @@ fn sorted(m: Matrix, v: Matrix) -> SymmetricEigen {
     let n = m.rows();
     let mut order: Vec<usize> = (0..n).collect();
     let diag = m.diag();
-    order.sort_by(|&a, &b| {
-        diag[b]
-            .partial_cmp(&diag[a])
-            .expect("eigenvalues are finite")
-    });
+    order.sort_by(|&a, &b| diag[b].total_cmp(&diag[a]));
     let values: Vec<f64> = order.iter().map(|&i| diag[i]).collect();
     let vectors = Matrix::from_fn(n, n, |i, j| v[(i, order[j])]);
     SymmetricEigen { values, vectors }

@@ -54,10 +54,10 @@ where
             .collect();
         handles
             .into_iter()
-            .flat_map(|h| h.join().expect("par_map worker panicked"))
+            .flat_map(|h| h.join().expect("par_map worker panicked")) // lint: allow(D5) worker panics are propagated deliberately
             .collect()
     })
-    .expect("par_map scope panicked")
+    .expect("par_map scope panicked") // lint: allow(D5) scope panics are propagated deliberately
 }
 
 #[cfg(test)]

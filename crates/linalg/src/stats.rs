@@ -40,7 +40,9 @@ pub fn quantile(xs: &[f64], q: f64) -> f64 {
         return f64::NAN;
     }
     let mut sorted = xs.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("quantile: NaN in data"));
+    // total_cmp orders NaN above +inf, so NaN inputs land at the top
+    // quantiles deterministically instead of panicking the sort.
+    sorted.sort_by(|a, b| a.total_cmp(b));
     let q = q.clamp(0.0, 1.0);
     let rank = q * (sorted.len() - 1) as f64;
     let lo = rank.floor() as usize;

@@ -167,7 +167,7 @@ impl BayesianOptimizer {
             SurrogateChoice::GaussianProcess => self.space.encode_onehot(config),
             SurrogateChoice::RandomForest => self.space.encode_unit(config),
         };
-        r.expect("configs produced against this space must encode")
+        r.expect("configs produced against this space must encode") // lint: allow(D5) configs originate from this space
     }
 
     /// Imports prior observations (knowledge transfer / warm start,
@@ -299,7 +299,8 @@ impl BayesianOptimizer {
         let (mut cfg, mut x, mut score) = if acquisition.consumes_rng() {
             // Sequential sample-then-score keeps the draw interleaving.
             let mut best_cfg: Option<(Config, Vec<f64>, f64)> = None;
-            for _ in 0..self.config.n_candidates {
+            // Clamp so a zero candidate budget still yields one draw.
+            for _ in 0..self.config.n_candidates.max(1) {
                 let cand = self.space.sample(&mut rng);
                 let cx = self.encode(&cand);
                 let s = acquisition.score(&self.model.predict(&cx), best_val, &mut rng);
@@ -307,7 +308,7 @@ impl BayesianOptimizer {
                     best_cfg = Some((cand, cx, s));
                 }
             }
-            best_cfg.expect("n_candidates >= 1 guarantees a candidate")
+            best_cfg.expect("n_candidates >= 1 guarantees a candidate") // lint: allow(D5) loop above clamps to at least one draw
         } else {
             let mut cands: Vec<(Config, Vec<f64>)> = Vec::with_capacity(self.config.n_candidates);
             for _ in 0..self.config.n_candidates {

@@ -80,13 +80,14 @@ impl GeneticAlgorithm {
     /// Tournament selection from the scored population.
     fn select<'a>(&'a self, rng: &mut dyn RngCore) -> &'a Config {
         let mut best: Option<&(Config, f64)> = None;
-        for _ in 0..self.config.tournament {
+        // A zero tournament size would select nothing; clamp to one draw.
+        for _ in 0..self.config.tournament.max(1) {
             let c = &self.scored[rng.gen_range(0..self.scored.len())];
             if best.is_none_or(|b| c.1 < b.1) {
                 best = Some(c);
             }
         }
-        &best.expect("tournament >= 1").0
+        &best.expect("tournament >= 1").0 // lint: allow(D5) loop above clamps to at least one draw
     }
 
     /// Uniform crossover of two parents at the parameter level.
@@ -113,15 +114,14 @@ impl GeneticAlgorithm {
         let x = self
             .space
             .encode_unit(&child)
-            .expect("crossover child covers all params");
-        self.space.decode_unit(&x).expect("encoded child decodes")
+            .expect("crossover child covers all params"); // lint: allow(D5) child covers every param of the space
+        self.space.decode_unit(&x).expect("encoded child decodes") // lint: allow(D5) encoded child always decodes
     }
 
     /// Builds the next generation from the scored one.
     fn breed(&mut self, rng: &mut dyn RngCore) {
         let mut rng = rng;
-        self.scored
-            .sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal));
+        self.scored.sort_by(|a, b| a.1.total_cmp(&b.1));
         let mut next: Vec<Config> = self
             .scored
             .iter()

@@ -108,7 +108,7 @@ impl ParetoFront {
             })
             .filter(|&(a, b)| a < reference.0 && b < reference.1)
             .collect();
-        pts.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("objectives are finite"));
+        pts.sort_by(|a, b| a.0.total_cmp(&b.0));
         // Sweep left→right; each point contributes a rectangle down to the
         // previous point's second objective.
         let mut hv = 0.0;

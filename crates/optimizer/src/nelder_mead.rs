@@ -50,7 +50,7 @@ impl NelderMead {
     pub fn new(space: Space, start: &Config, step: f64) -> Self {
         let x0 = space
             .encode_unit(start)
-            .expect("start config must belong to the space");
+            .expect("start config must belong to the space"); // lint: allow(D5) documented precondition on the start config
         let d = x0.len();
         let mut simplex = vec![(x0.clone(), f64::NAN)];
         for i in 0..d {
@@ -75,7 +75,7 @@ impl NelderMead {
     fn decode(&self, x: &[f64]) -> Config {
         self.space
             .decode_unit(x)
-            .expect("unit points of space dimension decode")
+            .expect("unit points of space dimension decode") // lint: allow(D5) unit points carry the space dimension
     }
 
     /// Centroid of all vertices except the worst (last after sorting).
@@ -95,7 +95,7 @@ impl NelderMead {
     fn point_along(&self, coeff: f64) -> Vec<f64> {
         // centroid + coeff * (centroid - worst), clamped.
         let c = self.centroid();
-        let worst = &self.simplex.last().expect("simplex non-empty").0;
+        let worst = &self.simplex.last().expect("simplex non-empty").0; // lint: allow(D5) simplex holds d+1 points by construction
         c.iter()
             .zip(worst.iter())
             .map(|(&ci, &wi)| (ci + coeff * (ci - wi)).clamp(0.0, 1.0))
@@ -103,8 +103,7 @@ impl NelderMead {
     }
 
     fn sort_simplex(&mut self) {
-        self.simplex
-            .sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal));
+        self.simplex.sort_by(|a, b| a.1.total_cmp(&b.1));
     }
 
     /// Decides the next probe after the simplex is fully evaluated.
@@ -170,7 +169,7 @@ impl Optimizer for NelderMead {
             }
             Phase::Expand => {
                 let worst = self.simplex.len() - 1;
-                let (rx, rv) = self.reflected.take().expect("expand follows reflect");
+                let (rx, rv) = self.reflected.take().expect("expand follows reflect"); // lint: allow(D5) state machine sets reflected before Expand
                 if value < rv {
                     self.simplex[worst] = (self.probe.clone(), value);
                 } else {

@@ -136,11 +136,7 @@ impl NsgaII {
             if members.len() > remaining {
                 let crowd = crowding_distance(&members);
                 let mut order: Vec<usize> = (0..members.len()).collect();
-                order.sort_by(|&a, &b| {
-                    crowd[b]
-                        .partial_cmp(&crowd[a])
-                        .unwrap_or(std::cmp::Ordering::Equal)
-                });
+                order.sort_by(|&a, &b| crowd[b].total_cmp(&crowd[a]));
                 members = order
                     .into_iter()
                     .take(remaining)
@@ -197,8 +193,8 @@ impl NsgaII {
         let x = self
             .space
             .encode_unit(&child)
-            .expect("child covers all params");
-        self.space.decode_unit(&x).expect("encoded child decodes")
+            .expect("child covers all params"); // lint: allow(D5) child covers every param of the space
+        self.space.decode_unit(&x).expect("encoded child decodes") // lint: allow(D5) encoded child always decodes
     }
 }
 
@@ -247,11 +243,7 @@ fn crowding_distance(front: &[MultiObservation]) -> Vec<f64> {
     let mut dist = vec![0.0; n];
     for m in 0..k {
         let mut order: Vec<usize> = (0..n).collect();
-        order.sort_by(|&a, &b| {
-            front[a].objectives[m]
-                .partial_cmp(&front[b].objectives[m])
-                .unwrap_or(std::cmp::Ordering::Equal)
-        });
+        order.sort_by(|&a, &b| front[a].objectives[m].total_cmp(&front[b].objectives[m]));
         dist[order[0]] = f64::INFINITY;
         dist[order[n - 1]] = f64::INFINITY;
         let lo = front[order[0]].objectives[m];

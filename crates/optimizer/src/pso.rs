@@ -84,7 +84,7 @@ impl ParticleSwarm {
                 let position = self
                     .space
                     .encode_unit(&cfg)
-                    .expect("sampled config encodes");
+                    .expect("sampled config encodes"); // lint: allow(D5) sampled configs always encode
                 let velocity: Vec<f64> = (0..d)
                     .map(|_| rng.gen_range(-self.config.v_max..self.config.v_max))
                     .collect();
@@ -133,7 +133,7 @@ impl Optimizer for ParticleSwarm {
         self.step_particle(i, rng);
         self.space
             .decode_unit(&self.particles[i].position)
-            .expect("particle positions have space dimension")
+            .expect("particle positions have space dimension") // lint: allow(D5) particle positions have the space dimension
     }
 
     fn observe(&mut self, config: &Config, value: f64) {
@@ -144,14 +144,14 @@ impl Optimizer for ParticleSwarm {
         let x = self
             .space
             .encode_unit(config)
-            .expect("configs against this space encode");
-        // Attribute the observation to the nearest particle.
+            .expect("configs against this space encode"); // lint: allow(D5) observed configs originate from this space
+                                                          // Attribute the observation to the nearest particle.
         if let Some((i, _)) = self
             .particles
             .iter()
             .enumerate()
             .map(|(i, p)| (i, autotune_linalg::squared_distance(&p.position, &x)))
-            .min_by(|a, b| a.1.partial_cmp(&b.1).expect("distances are finite"))
+            .min_by(|a, b| a.1.total_cmp(&b.1))
         {
             let p = &mut self.particles[i];
             if value < p.best_value {

@@ -88,12 +88,8 @@ impl Table {
 
     fn greedy(&self, s: usize) -> usize {
         (0..self.n_actions)
-            .max_by(|&a, &b| {
-                self.q(s, a)
-                    .partial_cmp(&self.q(s, b))
-                    .expect("Q values are finite")
-            })
-            .expect("n_actions > 0")
+            .max_by(|&a, &b| self.q(s, a).total_cmp(&self.q(s, b)))
+            .expect("n_actions > 0") // lint: allow(D5) n_actions asserted nonzero at construction
     }
 
     fn select(&self, s: usize, rng: &mut impl Rng) -> usize {
@@ -161,6 +157,14 @@ impl QLearning {
     ) -> Result<()> {
         self.table.check(state, action)?;
         self.table.check(next_state, 0)?;
+        // A crashed trial reports a NaN reward; folding it into the table
+        // would poison Q(s,a) (and every value bootstrapped from it) and
+        // leave greedy() undefined. Skip the update, matching the
+        // contextual-bandit convention.
+        if reward.is_nan() {
+            self.table.decay_epsilon();
+            return Ok(());
+        }
         let target = reward + self.table.config.gamma * self.table.max_q(next_state);
         let alpha = self.table.config.alpha;
         let q = self.table.q_mut(state, action);
@@ -212,6 +216,12 @@ impl Sarsa {
     ) -> Result<()> {
         self.table.check(state, action)?;
         self.table.check(next_state, next_action)?;
+        // Same NaN guard as Q-learning: crashed-trial rewards must not
+        // poison the table.
+        if reward.is_nan() {
+            self.table.decay_epsilon();
+            return Ok(());
+        }
         let target = reward + self.table.config.gamma * self.table.q(next_state, next_action);
         let alpha = self.table.config.alpha;
         let q = self.table.q_mut(state, action);
@@ -325,6 +335,36 @@ mod tests {
         for s in 0..5 {
             assert_eq!(agent.greedy_action(s), back.greedy_action(s));
         }
+    }
+
+    #[test]
+    fn nan_reward_does_not_poison_the_table() {
+        // Regression (lint D4/D5 satellite): a crashed trial reports its
+        // objective as NaN. Before the guard, one such reward made Q(s,a)
+        // NaN, every later target bootstrapped the poison across the
+        // table, and greedy()'s argmax — then `partial_cmp(..).expect()` —
+        // panicked. The NaN update must be a no-op on the policy.
+        let mut agent = run_chain_qlearning(300, 1);
+        let before: Vec<usize> = (0..5).map(|s| agent.greedy_action(s)).collect();
+        agent.update(2, 1, f64::NAN, 3).expect("indices in range");
+        let after: Vec<usize> = (0..5).map(|s| agent.greedy_action(s)).collect();
+        assert_eq!(before, after, "NaN reward must not change the policy");
+        assert!(
+            (0..5).all(|s| (0..2).all(|a| agent.q_value(s, a).is_finite())),
+            "Q table must stay finite after a NaN reward"
+        );
+    }
+
+    #[test]
+    fn nan_reward_is_noop_for_sarsa() {
+        let mut agent = Sarsa::new(5, 2, QLearningConfig::default());
+        agent.update(0, 1, 1.0, 1, 1).expect("indices in range");
+        let q = agent.q_value(0, 1);
+        agent
+            .update(0, 1, f64::NAN, 1, 1)
+            .expect("indices in range");
+        assert_eq!(agent.q_value(0, 1), q);
+        assert_eq!(agent.greedy_action(0), 1);
     }
 
     #[test]

@@ -139,7 +139,7 @@ impl SafeTuner {
         let (current, streak) = self
             .candidate
             .clone()
-            .expect("observe_candidate without an admitted candidate");
+            .expect("observe_candidate without an admitted candidate"); // lint: allow(D5) documented panic: admit() must precede
         assert_eq!(current, key, "observation for a non-admitted candidate");
         let breach = !cost.is_finite() || (self.baseline.count() > 0 && cost > self.guardrail());
         if breach {

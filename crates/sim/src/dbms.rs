@@ -102,7 +102,7 @@ impl DbmsSim {
                 },
             ))
             .build()
-            .expect("static space definition is valid");
+            .expect("static space definition is valid"); // lint: allow(D5) static space definition is valid
         DbmsSim { space }
     }
 

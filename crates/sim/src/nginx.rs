@@ -56,7 +56,7 @@ impl NginxSim {
             )
             .condition(Condition::equals("gzip_level", "gzip", true))
             .build()
-            .expect("static space definition is valid");
+            .expect("static space definition is valid"); // lint: allow(D5) static space definition is valid
         NginxSim { space }
     }
 }

@@ -83,7 +83,7 @@ impl CloudNoise {
         assert!(n_machines > 0, "fleet needs at least one machine");
         let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
         let dist =
-            LogNormal::new(0.0, config.machine_sigma.max(1e-12)).expect("sigma validated positive");
+            LogNormal::new(0.0, config.machine_sigma.max(1e-12)).expect("sigma validated positive"); // lint: allow(D5) sigma clamped positive on the same line
         let machines = (0..n_machines)
             .map(|id| Machine {
                 id,

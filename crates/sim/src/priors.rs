@@ -119,7 +119,7 @@ pub fn apply_hints(space: &Space, hints: &[KnobHint]) -> Space {
     for c in space.constraints() {
         builder = builder.constraint(c.clone());
     }
-    builder.build().expect("narrowing preserves validity")
+    builder.build().expect("narrowing preserves validity") // lint: allow(D5) narrowing preserves a valid space
 }
 
 /// Narrows one parameter to a hint's sub-range (numeric domains only).

@@ -46,7 +46,7 @@ impl RedisSim {
                 .default_value("noeviction"),
             )
             .build()
-            .expect("static space definition is valid");
+            .expect("static space definition is valid"); // lint: allow(D5) static space definition is valid
         RedisSim {
             space,
             optimum_ns: 25_000.0,

@@ -42,7 +42,7 @@ impl SparkSim {
             )
             .add(Param::bool("broadcast_join").default_value(false))
             .build()
-            .expect("static space definition is valid");
+            .expect("static space definition is valid"); // lint: allow(D5) static space definition is valid
         SparkSim { space }
     }
 }

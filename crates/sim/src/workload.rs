@@ -211,7 +211,7 @@ impl WorkloadSchedule {
                 return w;
             }
         }
-        &self.phases.last().expect("non-empty").1
+        &self.phases.last().expect("non-empty").1 // lint: allow(D5) constructor asserts at least one phase
     }
 
     /// Total scheduled steps.

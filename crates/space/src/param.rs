@@ -199,7 +199,7 @@ impl Param {
                 assert!(*low > 0, "log scale requires positive lower bound");
                 *log = true;
             }
-            _ => panic!("log_scale only applies to float/int parameters"),
+            _ => panic!("log_scale only applies to float/int parameters"), // lint: allow(D5) builder-time validation, panics by design
         }
         self
     }

@@ -322,7 +322,7 @@ impl Space {
                     let best = group
                         .iter()
                         .enumerate()
-                        .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite encoding"))
+                        .max_by(|a, b| a.1.total_cmp(b.1))
                         .map(|(i, _)| i)
                         .unwrap_or(0);
                     config.set(p.name.clone(), Value::Cat(choices[best].clone()));
@@ -413,7 +413,7 @@ impl Space {
     pub fn neighbor(&self, config: &Config, scale: f64, rng: &mut impl Rng) -> Config {
         let x = self
             .encode_unit(config)
-            .expect("config produced by this space must encode");
+            .expect("config produced by this space must encode"); // lint: allow(D5) documented precondition on config origin
         for _ in 0..100 {
             let mut y = x.clone();
             let d = y.len().max(1);
@@ -441,7 +441,7 @@ impl Space {
             }
             let cfg = self
                 .decode_unit(&y)
-                .expect("vector of correct length must decode");
+                .expect("vector of correct length must decode"); // lint: allow(D5) perturbed vector keeps the space dimension
             if self.is_feasible(&cfg) {
                 return cfg;
             }

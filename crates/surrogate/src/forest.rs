@@ -116,11 +116,7 @@ impl Tree {
         for &f in &features[..n_features.min(d)] {
             // Sort indices by this feature and scan split points.
             let mut order: Vec<usize> = idx.to_vec();
-            order.sort_by(|&a, &b| {
-                xs[a][f]
-                    .partial_cmp(&xs[b][f])
-                    .expect("training inputs are finite")
-            });
+            order.sort_by(|&a, &b| xs[a][f].total_cmp(&xs[b][f]));
             // Prefix sums for O(1) variance evaluation per split.
             let n = order.len();
             let values: Vec<f64> = order.iter().map(|&i| ys[i]).collect();

@@ -182,7 +182,7 @@ impl GaussianProcess {
     /// Re-runs the factorization against the stored training data.
     fn refit(&mut self) -> Result<()> {
         self.ensure_k_cache();
-        let mut k = self.k_cache.as_ref().expect("cache just ensured").k.clone();
+        let mut k = self.k_cache.as_ref().expect("cache just ensured").k.clone(); // lint: allow(D5) cache ensured on the previous line
         k.add_diag(self.noise.max(1e-12));
         let chol = Cholesky::new(&k).map_err(|_| SurrogateError::NumericalFailure)?;
         self.alpha = chol.solve_vec(&self.y_std);
@@ -330,9 +330,9 @@ impl GaussianProcess {
 
     /// Posterior covariance between two query points.
     fn posterior_cov(&self, a: &[f64], b: &[f64], ka: &[f64], kb: &[f64]) -> f64 {
-        let chol = self.chol.as_ref().expect("called only after fit");
-        // cov(a,b) = k(a,b) - k(a,X) K⁻¹ k(X,b), computed via the factor:
-        // v_a = L⁻¹ k(X,a), v_b = L⁻¹ k(X,b), cov = k(a,b) - v_a·v_b.
+        let chol = self.chol.as_ref().expect("called only after fit"); // lint: allow(D5) private helper called only after fit
+                                                                       // cov(a,b) = k(a,b) - k(a,X) K⁻¹ k(X,b), computed via the factor:
+                                                                       // v_a = L⁻¹ k(X,a), v_b = L⁻¹ k(X,b), cov = k(a,b) - v_a·v_b.
         let va = chol.solve_lower(ka);
         let vb = chol.solve_lower(kb);
         self.kernel.eval(a, b) - autotune_linalg::dot(&va, &vb)
@@ -380,7 +380,7 @@ impl GaussianProcess {
             }
         }
         cov.add_diag(1e-9);
-        let chol = Cholesky::new(&cov).expect("posterior covariance is PSD with jitter");
+        let chol = Cholesky::new(&cov).expect("posterior covariance is PSD with jitter"); // lint: allow(D5) jitter makes the covariance SPD
         let z: Vec<f64> = (0..m)
             .map(|_| {
                 let u1: f64 = rng.gen::<f64>().max(1e-12);
@@ -391,7 +391,7 @@ impl GaussianProcess {
         let lz = chol
             .l()
             .matvec(&z)
-            .expect("dimensions match by construction");
+            .expect("dimensions match by construction"); // lint: allow(D5) factor dims match by construction
         let (ym, ys) = self.y_shift;
         mean.iter()
             .zip(&lz)
@@ -492,7 +492,7 @@ impl Surrogate for GaussianProcess {
         let saved_shift = self.y_shift;
         self.restandardize();
         if extended {
-            let chol = self.chol.as_ref().expect("factor present when extended");
+            let chol = self.chol.as_ref().expect("factor present when extended"); // lint: allow(D5) extend success implies factor present
             self.alpha = chol.solve_vec(&self.y_std);
             return Ok(());
         }

@@ -177,7 +177,7 @@ impl MultiTaskGp {
             None => false,
         };
         self.obs.push(obs);
-        let task = self.obs.last().expect("just pushed").task;
+        let task = self.obs.last().expect("just pushed").task; // lint: allow(D5) element pushed on the previous line
         let saved_shift = self.shifts[task];
         let ys: Vec<f64> = self
             .obs
@@ -189,7 +189,7 @@ impl MultiTaskGp {
         let s = autotune_linalg::stats::std_dev(&ys);
         self.shifts[task] = (m, if s > 1e-12 { s } else { 1.0 });
         if extended {
-            let chol = self.chol.as_ref().expect("factor present when extended");
+            let chol = self.chol.as_ref().expect("factor present when extended"); // lint: allow(D5) extend success implies factor present
             let y: Vec<f64> = self.obs.iter().map(|o| self.y_std(o)).collect();
             self.alpha = chol.solve_vec(&y);
             return Ok(());

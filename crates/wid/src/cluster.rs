@@ -71,9 +71,9 @@ impl KMeans {
                 .max_by(|a, b| {
                     let da = nearest(&centroids, a).1;
                     let db = nearest(&centroids, b).1;
-                    da.partial_cmp(&db).expect("distances are finite")
+                    da.total_cmp(&db)
                 })
-                .expect("points non-empty")
+                .expect("points non-empty") // lint: allow(D5) fit() rejects empty inputs at entry
                 .clone();
             for (c, (sum, &count)) in centroids.iter_mut().zip(sums.iter().zip(&counts)) {
                 if count > 0 {

@@ -146,8 +146,8 @@ impl Embedder {
             (Some(pca), _) => pca.transform_one(&standardized),
             (_, Some(proj)) => proj
                 .matvec(&standardized)
-                .expect("projection matches feature dim"),
-            _ => unreachable!("embedder always has a backing model"),
+                .expect("projection matches feature dim"), // lint: allow(D5) projection built for this feature dimension
+            _ => unreachable!("embedder always has a backing model"), // lint: allow(D5) constructor always sets pca or projection
         })
     }
 

@@ -63,7 +63,7 @@ impl ConfigStore {
                 let d = autotune_linalg::squared_distance(&e.embedding, embedding).sqrt();
                 (e, d)
             })
-            .min_by(|a, b| a.1.partial_cmp(&b.1).expect("distances are finite"))
+            .min_by(|a, b| a.1.total_cmp(&b.1))
     }
 
     /// Recommends a configuration for a new workload: `Some` when the
@@ -85,7 +85,7 @@ impl ConfigStore {
                 (e, d)
             })
             .collect();
-        scored.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("distances are finite"));
+        scored.sort_by(|a, b| a.1.total_cmp(&b.1));
         scored.truncate(k);
         scored
     }

@@ -98,7 +98,7 @@ fn residual(basis: &[Vec<f64>], target: &[f64], w: &[f64]) -> f64 {
 fn project_to_simplex(w: &mut [f64]) {
     let n = w.len();
     let mut sorted = w.to_vec();
-    sorted.sort_by(|a, b| b.partial_cmp(a).expect("weights are finite"));
+    sorted.sort_by(|a, b| b.total_cmp(a));
     let mut cum = 0.0;
     let mut theta = 0.0;
     let mut found = false;

@@ -15,19 +15,20 @@ echo "== rustfmt =="
 cargo fmt --check
 
 echo "== clippy =="
-cargo clippy --workspace --all-targets -- -D warnings
+# unwrap_used stays a warning in editors (per-crate [lints] tables); the
+# enforcing gate for panic sites is autotune-lint's D5 below, so keep
+# -D warnings from tripping on the documented allow-listed survivors.
+cargo clippy --workspace --all-targets -- -D warnings -A clippy::unwrap_used
 
 echo "== rustdoc (warnings are errors) =="
 RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
 
-echo "== no wall-clock reads in core =="
-# Core derives every timestamp from the virtual clock; real time enters
-# only through an injected WallTimer. A stray Instant::now() would break
-# byte-identical replay.
-if grep -rn "Instant::now\|SystemTime::now" crates/core/src | grep -v "^[^:]*:[0-9]*: *//"; then
-  echo "wall-clock read in crates/core — inject a WallTimer instead" >&2
-  exit 1
-fi
+echo "== static invariants (autotune-lint) =="
+# Machine-checks the determinism and panic-safety contracts across every
+# crates/*/src file: no wall-clock reads, no hash-ordered containers, no
+# unseeded randomness, no NaN-panicking comparisons, no panics or stdout
+# in library paths (D1-D6; see DESIGN.md "Static invariants").
+cargo run -q --release -p autotune-lint -- --deny-all
 
 echo "== fault determinism (release) =="
 # The resilience stack (retries, timeouts, quarantine) must keep the

@@ -1,0 +1,331 @@
+//! A small, lossy-but-safe Rust lexer.
+//!
+//! The analyzer does not need a full grammar: every diagnostic in
+//! [`crate::rules`] is a pattern over identifier/punctuation sequences
+//! plus item-level scope. What it *does* need is to never misread source
+//! text — a `partial_cmp` inside a string literal or a doc comment must
+//! not fire a diagnostic, and a `// lint: allow(..)` comment must be
+//! recoverable with its exact line. So the lexer handles the full literal
+//! syntax (nested block comments, raw strings with arbitrary `#` fences,
+//! byte/char literals, lifetimes) and degrades to single-character
+//! punctuation for everything it does not care about.
+
+/// What a token is; only the distinctions the rules need.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword.
+    Ident,
+    /// Single punctuation character (`::` arrives as two `:` tokens).
+    Punct,
+    /// String / raw-string / byte-string literal (content dropped).
+    Str,
+    /// Character or byte literal.
+    Char,
+    /// Lifetime such as `'a`.
+    Lifetime,
+    /// Numeric literal (lexed loosely; never matched by rules).
+    Num,
+    /// `// ...` comment, including doc comments; text retained.
+    LineComment,
+    /// `/* ... */` comment (nesting handled); text dropped.
+    BlockComment,
+}
+
+/// One lexed token with its 1-based source line.
+#[derive(Debug, Clone)]
+pub struct Tok {
+    /// Token class.
+    pub kind: TokKind,
+    /// Source text for idents, puncts and line comments; empty for
+    /// literal kinds whose content the rules never inspect.
+    pub text: String,
+    /// 1-based line of the token's first character.
+    pub line: u32,
+}
+
+impl Tok {
+    fn new(kind: TokKind, text: impl Into<String>, line: u32) -> Self {
+        Tok {
+            kind,
+            text: text.into(),
+            line,
+        }
+    }
+
+    /// True when this token is an identifier equal to `s`.
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == s
+    }
+
+    /// True when this token is the punctuation character `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokKind::Punct && self.text.len() == c.len_utf8() && self.text.starts_with(c)
+    }
+
+    /// True for comment tokens (skipped by rule matching).
+    pub fn is_comment(&self) -> bool {
+        matches!(self.kind, TokKind::LineComment | TokKind::BlockComment)
+    }
+}
+
+/// Lexes `src` into tokens. Never fails: unterminated literals consume
+/// the rest of the file, which is the safe direction for an analyzer
+/// (nothing after them can fire a false diagnostic).
+pub fn lex(src: &str) -> Vec<Tok> {
+    let chars: Vec<char> = src.chars().collect();
+    let mut toks = Vec::new();
+    let mut i = 0usize;
+    let mut line: u32 = 1;
+    let n = chars.len();
+
+    // Advances past a quoted body, honouring backslash escapes; returns
+    // the index just after the closing quote (or `n`).
+    let scan_quoted = |chars: &[char], mut j: usize, quote: char, line: &mut u32| -> usize {
+        while j < n {
+            match chars[j] {
+                '\\' => j += 2,
+                '\n' => {
+                    *line += 1;
+                    j += 1;
+                }
+                c if c == quote => return j + 1,
+                _ => j += 1,
+            }
+        }
+        n
+    };
+
+    while i < n {
+        let c = chars[i];
+        let start_line = line;
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_whitespace() => i += 1,
+            '/' if i + 1 < n && chars[i + 1] == '/' => {
+                let mut j = i;
+                while j < n && chars[j] != '\n' {
+                    j += 1;
+                }
+                let text: String = chars[i..j].iter().collect();
+                toks.push(Tok::new(TokKind::LineComment, text, start_line));
+                i = j;
+            }
+            '/' if i + 1 < n && chars[i + 1] == '*' => {
+                let mut depth = 1usize;
+                let mut j = i + 2;
+                while j < n && depth > 0 {
+                    if chars[j] == '\n' {
+                        line += 1;
+                        j += 1;
+                    } else if chars[j] == '/' && j + 1 < n && chars[j + 1] == '*' {
+                        depth += 1;
+                        j += 2;
+                    } else if chars[j] == '*' && j + 1 < n && chars[j + 1] == '/' {
+                        depth -= 1;
+                        j += 2;
+                    } else {
+                        j += 1;
+                    }
+                }
+                toks.push(Tok::new(TokKind::BlockComment, "", start_line));
+                i = j;
+            }
+            '"' => {
+                i = scan_quoted(&chars, i + 1, '"', &mut line);
+                toks.push(Tok::new(TokKind::Str, "", start_line));
+            }
+            '\'' => {
+                // Lifetime vs char literal: `'ident` not closed by a quote
+                // is a lifetime; everything else is a char literal.
+                let is_lifetime = i + 1 < n
+                    && (chars[i + 1].is_alphabetic() || chars[i + 1] == '_')
+                    && chars[i + 1] != '\\'
+                    && !(i + 2 < n && chars[i + 2] == '\'');
+                if is_lifetime {
+                    let mut j = i + 1;
+                    while j < n && (chars[j].is_alphanumeric() || chars[j] == '_') {
+                        j += 1;
+                    }
+                    toks.push(Tok::new(TokKind::Lifetime, "", start_line));
+                    i = j;
+                } else {
+                    i = scan_quoted(&chars, i + 1, '\'', &mut line);
+                    toks.push(Tok::new(TokKind::Char, "", start_line));
+                }
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                // Raw / byte string prefixes: r"..", r#".."#, b"..", br#".."#.
+                if let Some(skip) = raw_or_byte_literal(&chars, i, &mut line) {
+                    let kind = if chars[i] == 'b' && i + 1 < n && chars[i + 1] == '\'' {
+                        TokKind::Char
+                    } else {
+                        TokKind::Str
+                    };
+                    toks.push(Tok::new(kind, "", start_line));
+                    i = skip;
+                    continue;
+                }
+                let mut j = i;
+                while j < n && (chars[j].is_alphanumeric() || chars[j] == '_') {
+                    j += 1;
+                }
+                let text: String = chars[i..j].iter().collect();
+                toks.push(Tok::new(TokKind::Ident, text, start_line));
+                i = j;
+            }
+            c if c.is_ascii_digit() => {
+                let mut j = i;
+                while j < n && (chars[j].is_alphanumeric() || chars[j] == '_') {
+                    j += 1;
+                }
+                // A fraction part only when followed by a digit, so method
+                // calls on integers (`1.max(2)`) stay separate tokens.
+                if j < n && chars[j] == '.' && j + 1 < n && chars[j + 1].is_ascii_digit() {
+                    j += 1;
+                    while j < n && (chars[j].is_alphanumeric() || chars[j] == '_') {
+                        j += 1;
+                    }
+                }
+                toks.push(Tok::new(TokKind::Num, "", start_line));
+                i = j;
+            }
+            c => {
+                toks.push(Tok::new(TokKind::Punct, c.to_string(), start_line));
+                i += 1;
+            }
+        }
+    }
+    toks
+}
+
+/// If position `i` starts a raw-string or byte literal (`r"`, `r#"`,
+/// `b"`, `b'`, `br#"` ...), returns the index just past it.
+fn raw_or_byte_literal(chars: &[char], i: usize, line: &mut u32) -> Option<usize> {
+    let n = chars.len();
+    let (raw, mut j) = match chars[i] {
+        'r' => (true, i + 1),
+        'b' if i + 1 < n && chars[i + 1] == 'r' => (true, i + 2),
+        'b' => (false, i + 1),
+        _ => return None,
+    };
+    if raw {
+        let mut hashes = 0usize;
+        while j < n && chars[j] == '#' {
+            hashes += 1;
+            j += 1;
+        }
+        if j >= n || chars[j] != '"' {
+            return None;
+        }
+        j += 1;
+        // Scan for `"` followed by `hashes` hash characters; no escapes
+        // inside raw strings.
+        while j < n {
+            if chars[j] == '\n' {
+                *line += 1;
+                j += 1;
+            } else if chars[j] == '"'
+                && n - (j + 1) >= hashes
+                && chars[j + 1..].iter().take(hashes).all(|&c| c == '#')
+            {
+                return Some(j + 1 + hashes);
+            } else {
+                j += 1;
+            }
+        }
+        Some(n)
+    } else {
+        // b"..." or b'...'
+        if j >= n || (chars[j] != '"' && chars[j] != '\'') {
+            return None;
+        }
+        let quote = chars[j];
+        j += 1;
+        while j < n {
+            match chars[j] {
+                '\\' => j += 2,
+                '\n' => {
+                    *line += 1;
+                    j += 1;
+                }
+                c if c == quote => return Some(j + 1),
+                _ => j += 1,
+            }
+        }
+        Some(n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .into_iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn idents_and_puncts() {
+        let toks = lex("Instant::now()");
+        let texts: Vec<&str> = toks.iter().map(|t| t.text.as_str()).collect();
+        assert_eq!(texts, vec!["Instant", ":", ":", "now", "(", ")"]);
+    }
+
+    #[test]
+    fn strings_hide_their_content() {
+        assert_eq!(idents(r#"let x = "Instant::now()";"#), vec!["let", "x"]);
+    }
+
+    #[test]
+    fn raw_strings_with_fences() {
+        assert_eq!(
+            idents(r###"let x = r#"unwrap() "quoted" "#;"###),
+            vec!["let", "x"]
+        );
+    }
+
+    #[test]
+    fn char_vs_lifetime() {
+        let toks = lex("fn f<'a>(x: &'a str) { let c = 'x'; let nl = '\\n'; }");
+        assert_eq!(
+            toks.iter().filter(|t| t.kind == TokKind::Lifetime).count(),
+            2
+        );
+        assert_eq!(toks.iter().filter(|t| t.kind == TokKind::Char).count(), 2);
+    }
+
+    #[test]
+    fn comments_keep_lines_and_text() {
+        let toks = lex("a\n// lint: allow(D5) reason\nb /* block\nspanning */ c");
+        let comment = toks
+            .iter()
+            .find(|t| t.kind == TokKind::LineComment)
+            .expect("line comment lexed");
+        assert_eq!(comment.line, 2);
+        assert_eq!(comment.text, "// lint: allow(D5) reason");
+        let c = toks.iter().find(|t| t.is_ident("c")).expect("c survives");
+        assert_eq!(c.line, 4);
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        assert_eq!(
+            idents("/* outer /* inner */ still comment */ real"),
+            vec!["real"]
+        );
+    }
+
+    #[test]
+    fn numeric_literals_do_not_eat_method_calls() {
+        let toks = lex("1.max(2); 1.5_f64.total_cmp(&x)");
+        assert!(toks.iter().any(|t| t.is_ident("max")));
+        assert!(toks.iter().any(|t| t.is_ident("total_cmp")));
+    }
+}

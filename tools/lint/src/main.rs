@@ -1,0 +1,84 @@
+//! CLI for the workspace invariant analyzer.
+//!
+//! ```text
+//! autotune-lint [--deny-all] [--quiet] [PATH ...]
+//! ```
+//!
+//! With no paths, lints every `crates/*/src` file of the enclosing
+//! workspace. Explicit paths are linted as library code (useful for
+//! one-off checks). `--deny-all` exits nonzero when any violation
+//! remains after allows — that is the CI gate.
+
+use autotune_lint::{find_workspace_root, lint_source, lint_workspace, CrateKind, Report};
+use std::path::Path;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut deny_all = false;
+    let mut quiet = false;
+    let mut paths: Vec<String> = Vec::new();
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--deny-all" => deny_all = true,
+            "--quiet" => quiet = true,
+            "--help" | "-h" => {
+                eprintln!("usage: autotune-lint [--deny-all] [--quiet] [PATH ...]");
+                return ExitCode::SUCCESS;
+            }
+            other if other.starts_with('-') => {
+                eprintln!("autotune-lint: unknown flag {other}");
+                return ExitCode::FAILURE;
+            }
+            other => paths.push(other.to_string()),
+        }
+    }
+
+    let report = if paths.is_empty() {
+        let cwd = match std::env::current_dir() {
+            Ok(d) => d,
+            Err(e) => {
+                eprintln!("autotune-lint: cannot read current dir: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let Some(root) = find_workspace_root(&cwd) else {
+            eprintln!("autotune-lint: no workspace root (Cargo.toml + crates/) above {cwd:?}");
+            return ExitCode::FAILURE;
+        };
+        match lint_workspace(&root) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("autotune-lint: walk failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    } else {
+        let mut r = Report::default();
+        for p in &paths {
+            match std::fs::read_to_string(Path::new(p)) {
+                Ok(src) => r.absorb(lint_source(p, CrateKind::Library, &src)),
+                Err(e) => {
+                    eprintln!("autotune-lint: {p}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        r
+    };
+
+    for v in &report.violations {
+        println!("{v}");
+    }
+    if !quiet {
+        eprintln!("{}", report.summary());
+    }
+    if deny_all && !report.violations.is_empty() {
+        eprintln!(
+            "autotune-lint: {} violation(s) — fix them or annotate with \
+             `// lint: allow(Dx) <reason>`",
+            report.violations.len()
+        );
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,406 @@
+//! The six invariant diagnostics, matched over the token stream.
+//!
+//! | code | invariant | exempt |
+//! |------|-----------|--------|
+//! | D1 | no wall-clock reads (`Instant::now`, `SystemTime::now`) — time enters through an injected `WallTimer` | bench, tests |
+//! | D2 | no `HashMap`/`HashSet` — hash iteration order leaks into RNG-consuming paths; use `BTreeMap`/`BTreeSet` | bench, tests |
+//! | D3 | no unseeded randomness (`thread_rng`, `from_entropy`, `rand::random`, `OsRng`) | bench, tests |
+//! | D4 | no NaN-panicking float comparisons (`partial_cmp(..).unwrap()/expect()/unwrap_or(..)`) — use `total_cmp` | tests |
+//! | D5 | no `.unwrap()`/`.expect()`/`panic!`-family in library paths — return `Result` or allow with a reason | bench, tests |
+//! | D6 | no `println!`/`eprintln!`/`dbg!` in library crates — route through telemetry | bench, tests |
+//!
+//! Each rule reports at the line of its anchor token and honours the
+//! `// lint: allow(Dx) <reason>` escape hatch on that exact line.
+
+use crate::allow::Allows;
+use crate::lexer::{Tok, TokKind};
+use crate::report::Violation;
+
+/// How a crate is classified for exemption purposes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CrateKind {
+    /// A library crate that feeds deterministic campaigns; all rules on.
+    Library,
+    /// The bench/experiment crate: wall-clock, randomness, panics and
+    /// stdout are its job. Only D4 (NaN-safe comparisons) applies.
+    Bench,
+}
+
+/// Static description of one diagnostic.
+struct Rule {
+    code: &'static str,
+    applies_to_bench: bool,
+}
+
+const RULES: [Rule; 6] = [
+    Rule {
+        code: "D1",
+        applies_to_bench: false,
+    },
+    Rule {
+        code: "D2",
+        applies_to_bench: false,
+    },
+    Rule {
+        code: "D3",
+        applies_to_bench: false,
+    },
+    Rule {
+        code: "D4",
+        applies_to_bench: true,
+    },
+    Rule {
+        code: "D5",
+        applies_to_bench: false,
+    },
+    Rule {
+        code: "D6",
+        applies_to_bench: false,
+    },
+];
+
+/// Runs every applicable rule over a lexed file.
+///
+/// `mask[i]` is the in-test flag for `toks[i]` (see [`crate::scope`]);
+/// `allows` records which findings were suppressed.
+pub fn check(
+    file: &str,
+    kind: CrateKind,
+    toks: &[Tok],
+    mask: &[bool],
+    allows: &mut Allows,
+) -> (Vec<Violation>, Vec<(&'static str, u32)>) {
+    let mut violations = Vec::new();
+    let mut allowed = Vec::new();
+    // Dense index of non-comment tokens for sequence matching.
+    let sig: Vec<usize> = (0..toks.len()).filter(|&i| !toks[i].is_comment()).collect();
+
+    let mut emit = |code: &'static str, line: u32, message: String| {
+        if allows.permits(code, line) {
+            allowed.push((code, line));
+        } else {
+            violations.push(Violation {
+                file: file.to_string(),
+                line,
+                code,
+                message,
+            });
+        }
+    };
+
+    for (si, &ti) in sig.iter().enumerate() {
+        if mask[ti] {
+            continue; // test code is exempt from every rule
+        }
+        let t = &toks[ti];
+        let enabled = |code: &str| {
+            kind == CrateKind::Library || RULES.iter().any(|r| r.code == code && r.applies_to_bench)
+        };
+
+        // D1: wall-clock reads.
+        if enabled("D1")
+            && (t.is_ident("Instant") || t.is_ident("SystemTime"))
+            && seq_is(toks, &sig, si + 1, &[":", ":", "now"])
+        {
+            emit(
+                "D1",
+                t.line,
+                format!(
+                    "wall-clock read `{}::now()` — inject a WallTimer (core::telemetry) instead",
+                    t.text
+                ),
+            );
+        }
+
+        // D2: hash-ordered containers.
+        if enabled("D2") && (t.is_ident("HashMap") || t.is_ident("HashSet")) {
+            emit(
+                "D2",
+                t.line,
+                format!(
+                    "`{}` in a deterministic crate — hash iteration order leaks into \
+                     RNG-consuming paths; use BTreeMap/BTreeSet or a sorted drain",
+                    t.text
+                ),
+            );
+        }
+
+        // D3: unseeded randomness.
+        if enabled("D3") {
+            if t.is_ident("thread_rng") || t.is_ident("from_entropy") || t.is_ident("OsRng") {
+                emit(
+                    "D3",
+                    t.line,
+                    format!(
+                        "unseeded randomness `{}` — derive every stream from the campaign seed",
+                        t.text
+                    ),
+                );
+            } else if t.is_ident("rand") && seq_is(toks, &sig, si + 1, &[":", ":", "random"]) {
+                emit(
+                    "D3",
+                    t.line,
+                    "unseeded randomness `rand::random` — derive every stream from the campaign \
+                     seed"
+                        .to_string(),
+                );
+            }
+        }
+
+        // D4: NaN-panicking (or NaN-inconsistent) float comparisons.
+        if enabled("D4") && t.is_ident("partial_cmp") {
+            if let Some(method) = panicky_suffix(toks, &sig, si) {
+                emit(
+                    "D4",
+                    t.line,
+                    format!(
+                        "`partial_cmp(..).{method}(..)` is NaN-unsafe — use `f64::total_cmp` \
+                         (or filter non-finite values first)"
+                    ),
+                );
+            }
+        }
+
+        // D5: panicking calls in library paths.
+        if enabled("D5") {
+            if (t.is_ident("unwrap") || t.is_ident("expect"))
+                && si > 0
+                && toks[sig[si - 1]].is_punct('.')
+                && seq_is(toks, &sig, si + 1, &["("])
+                && !follows_partial_cmp(toks, &sig, si)
+            {
+                emit(
+                    "D5",
+                    t.line,
+                    format!(
+                        "`.{}()` in a library code path — return a Result, or allow with a \
+                         proven-infallible reason",
+                        t.text
+                    ),
+                );
+            }
+            if t.kind == TokKind::Ident
+                && matches!(
+                    t.text.as_str(),
+                    "panic" | "unreachable" | "todo" | "unimplemented"
+                )
+                && seq_is(toks, &sig, si + 1, &["!"])
+            {
+                emit(
+                    "D5",
+                    t.line,
+                    format!(
+                        "`{}!` in a library code path — return a Result, or allow with a \
+                         proven-infallible reason",
+                        t.text
+                    ),
+                );
+            }
+        }
+
+        // D6: stdout/stderr writes from library crates.
+        if enabled("D6")
+            && t.kind == TokKind::Ident
+            && matches!(
+                t.text.as_str(),
+                "println" | "eprintln" | "print" | "eprint" | "dbg"
+            )
+            && seq_is(toks, &sig, si + 1, &["!"])
+        {
+            emit(
+                "D6",
+                t.line,
+                format!(
+                    "`{}!` in a library crate — route output through telemetry",
+                    t.text
+                ),
+            );
+        }
+    }
+
+    // Allow hygiene: malformed allows and allows that suppressed nothing
+    // are violations themselves, so suppressions cannot rot in place.
+    for m in &allows.malformed {
+        violations.push(Violation {
+            file: file.to_string(),
+            line: m.line,
+            code: "A1",
+            message: format!("malformed lint allow: {}", m.problem),
+        });
+    }
+    for (a, dead) in allows.unused() {
+        violations.push(Violation {
+            file: file.to_string(),
+            line: a.line,
+            code: "A2",
+            message: format!(
+                "unused lint allow({}) — the diagnostic no longer fires on this line",
+                dead.join(", ")
+            ),
+        });
+    }
+    violations.sort_by(|a, b| (a.line, a.code).cmp(&(b.line, b.code)));
+    (violations, allowed)
+}
+
+/// True when the non-comment tokens starting at dense index `si` spell the
+/// given texts (idents or single-char puncts).
+fn seq_is(toks: &[Tok], sig: &[usize], si: usize, texts: &[&str]) -> bool {
+    texts.iter().enumerate().all(|(k, want)| {
+        sig.get(si + k).is_some_and(|&ti| {
+            let t = &toks[ti];
+            match t.kind {
+                TokKind::Ident | TokKind::Punct => t.text == *want,
+                _ => false,
+            }
+        })
+    })
+}
+
+/// If `partial_cmp` at dense index `si` is followed by its argument list
+/// and then `.unwrap/.expect/.unwrap_or/.unwrap_or_else`, returns that
+/// method name.
+fn panicky_suffix(toks: &[Tok], sig: &[usize], si: usize) -> Option<&'static str> {
+    let mut j = si + 1;
+    if !sig.get(j).is_some_and(|&ti| toks[ti].is_punct('(')) {
+        return None;
+    }
+    let mut depth = 0usize;
+    while let Some(&ti) = sig.get(j) {
+        if toks[ti].is_punct('(') {
+            depth += 1;
+        } else if toks[ti].is_punct(')') {
+            depth -= 1;
+            if depth == 0 {
+                j += 1;
+                break;
+            }
+        }
+        j += 1;
+    }
+    if !sig.get(j).is_some_and(|&ti| toks[ti].is_punct('.')) {
+        return None;
+    }
+    let ti = *sig.get(j + 1)?;
+    for m in ["unwrap_or_else", "unwrap_or", "unwrap", "expect"] {
+        if toks[ti].is_ident(m) {
+            return Some(match m {
+                "unwrap_or_else" => "unwrap_or_else",
+                "unwrap_or" => "unwrap_or",
+                "unwrap" => "unwrap",
+                _ => "expect",
+            });
+        }
+    }
+    None
+}
+
+/// True when the `.unwrap`/`.expect` at dense index `si` terminates a
+/// `partial_cmp(..)` chain — that site is already reported as D4 (the fix
+/// is `total_cmp`, not a Result), so D5 stays quiet to avoid demanding two
+/// allows for one defect.
+fn follows_partial_cmp(toks: &[Tok], sig: &[usize], si: usize) -> bool {
+    // sig[si] is `unwrap`/`expect`; sig[si-1] is `.`; sig[si-2] should be
+    // the `)` closing the partial_cmp argument list.
+    if si < 2 {
+        return false;
+    }
+    let mut j = si - 2;
+    if !toks[sig[j]].is_punct(')') {
+        return false;
+    }
+    let mut depth = 0usize;
+    loop {
+        let t = &toks[sig[j]];
+        if t.is_punct(')') {
+            depth += 1;
+        } else if t.is_punct('(') {
+            depth -= 1;
+            if depth == 0 {
+                break;
+            }
+        }
+        if j == 0 {
+            return false;
+        }
+        j -= 1;
+    }
+    j > 0 && toks[sig[j - 1]].is_ident("partial_cmp")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{allow, lexer, scope};
+
+    fn run(kind: CrateKind, src: &str) -> Vec<String> {
+        let toks = lexer::lex(src);
+        let mask = scope::test_mask(&toks);
+        let mut allows = allow::collect(&toks);
+        let (violations, _) = check("f.rs", kind, &toks, &mask, &mut allows);
+        violations.into_iter().map(|v| format!("{v}")).collect()
+    }
+
+    fn codes(kind: CrateKind, src: &str) -> Vec<String> {
+        run(kind, src)
+            .iter()
+            .map(|l| l.split(": ").nth(1).expect("code field").to_string())
+            .collect()
+    }
+
+    #[test]
+    fn d1_fires_outside_tests_only() {
+        let src = "fn f() { let t = Instant::now(); }\n#[cfg(test)]\nmod tests { fn g() { let t = Instant::now(); } }";
+        assert_eq!(codes(CrateKind::Library, src), vec!["D1"]);
+    }
+
+    #[test]
+    fn d4_applies_to_bench_but_d5_does_not() {
+        let src = "fn f() { xs.sort_by(|a, b| a.partial_cmp(b).unwrap()); ys.last().unwrap(); }";
+        assert_eq!(codes(CrateKind::Bench, src), vec!["D4"]);
+        assert_eq!(codes(CrateKind::Library, src), vec!["D4", "D5"]);
+    }
+
+    #[test]
+    fn d4_subsumes_the_trailing_unwrap() {
+        // One defect, one diagnostic: the unwrap that terminates a
+        // partial_cmp chain is not double-reported as D5.
+        let src = "fn f() { xs.sort_by(|a, b| a.partial_cmp(b).expect(\"finite\")); }";
+        assert_eq!(codes(CrateKind::Library, src), vec!["D4"]);
+    }
+
+    #[test]
+    fn d4_catches_unwrap_or_equal() {
+        let src = "fn f() { xs.sort_by(|a, b| a.partial_cmp(b).unwrap_or(Ordering::Equal)); }";
+        assert_eq!(codes(CrateKind::Library, src), vec!["D4"]);
+    }
+
+    #[test]
+    fn allow_suppresses_only_its_line() {
+        let src = "fn f() {\n a.unwrap(); // lint: allow(D5) proven nonempty\n b.unwrap();\n}";
+        let out = run(CrateKind::Library, src);
+        assert_eq!(out.len(), 1);
+        assert!(out[0].starts_with("f.rs:3: D5"), "{out:?}");
+    }
+
+    #[test]
+    fn unused_allow_is_reported() {
+        let src = "fn f() { x(); } // lint: allow(D5) nothing here\n";
+        assert_eq!(codes(CrateKind::Library, src), vec!["A2"]);
+    }
+
+    #[test]
+    fn strings_and_comments_never_fire() {
+        let src =
+            "fn f() { let s = \"Instant::now() .unwrap() panic!\"; }\n// Instant::now() in prose\n";
+        assert!(run(CrateKind::Library, src).is_empty());
+    }
+
+    #[test]
+    fn d2_d3_d6_basics() {
+        let src =
+            "use std::collections::HashMap;\nfn f() { let r = thread_rng(); println!(\"x\"); }";
+        assert_eq!(codes(CrateKind::Library, src), vec!["D2", "D3", "D6"]);
+        assert!(run(CrateKind::Bench, src).is_empty());
+    }
+}

@@ -1,0 +1,181 @@
+//! Test-scope tracking over the token stream.
+//!
+//! Every diagnostic exempts test code: a `#[cfg(test)]` module, a
+//! `#[test]` function, or anything nested inside either. Rather than
+//! building a full item tree, this pass walks the tokens once, arms on a
+//! test-gating attribute, and marks the brace-delimited body of the next
+//! item as a test region (tracked by brace depth, so nested braces and
+//! nested regions work out naturally).
+
+use crate::lexer::{Tok, TokKind};
+
+/// Returns, per token, whether that token sits inside test-gated code.
+pub fn test_mask(toks: &[Tok]) -> Vec<bool> {
+    let mut mask = vec![false; toks.len()];
+    let mut depth: usize = 0;
+    // Brace depths at which an active test region started; non-empty =>
+    // currently inside test code.
+    let mut regions: Vec<usize> = Vec::new();
+    // Set after seeing a test-gating attribute, until the gated item's
+    // opening `{` (or a `;` for a braceless item, which disarms).
+    let mut armed = false;
+
+    let mut i = 0usize;
+    while i < toks.len() {
+        let t = &toks[i];
+        if t.is_comment() {
+            mask[i] = !regions.is_empty();
+            i += 1;
+            continue;
+        }
+        // Attribute: `#[...]` or `#![...]` — scan its bracketed tokens.
+        if t.is_punct('#') {
+            let mut j = i + 1;
+            if j < toks.len() && toks[j].is_punct('!') {
+                j += 1;
+            }
+            if j < toks.len() && toks[j].is_punct('[') {
+                let (end, is_test) = scan_attribute(toks, j);
+                if is_test {
+                    armed = true;
+                }
+                let in_test = !regions.is_empty();
+                for m in &mut mask[i..end.min(toks.len())] {
+                    *m = in_test;
+                }
+                i = end;
+                continue;
+            }
+        }
+        mask[i] = !regions.is_empty();
+        match t.kind {
+            TokKind::Punct if t.is_punct('{') => {
+                if armed {
+                    regions.push(depth);
+                    armed = false;
+                    // The body of the gated item is test code even though
+                    // the brace itself was marked with the outer scope.
+                }
+                depth += 1;
+            }
+            TokKind::Punct if t.is_punct('}') => {
+                depth = depth.saturating_sub(1);
+                if regions.last() == Some(&depth) {
+                    regions.pop();
+                }
+            }
+            TokKind::Punct if t.is_punct(';') => {
+                // `#[cfg(test)] use ...;` — attribute on a braceless item.
+                armed = false;
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    mask
+}
+
+/// Scans the attribute starting at the `[` token `open`; returns the index
+/// just past the matching `]` and whether the attribute gates test code.
+///
+/// "Gates test code" means `#[test]`-like (`test` as the sole path
+/// segment) or a `cfg`/`cfg_attr` whose predicate mentions `test` without
+/// a `not(..)` (so `#[cfg(not(test))]` does not arm).
+fn scan_attribute(toks: &[Tok], open: usize) -> (usize, bool) {
+    let mut depth = 0usize;
+    let mut j = open;
+    let mut saw_cfg = false;
+    let mut saw_test = false;
+    let mut saw_not = false;
+    let mut ident_count = 0usize;
+    let mut first_ident_is_test = false;
+    while j < toks.len() {
+        let t = &toks[j];
+        if t.is_punct('[') {
+            depth += 1;
+        } else if t.is_punct(']') {
+            depth -= 1;
+            if depth == 0 {
+                j += 1;
+                break;
+            }
+        } else if t.kind == TokKind::Ident {
+            ident_count += 1;
+            match t.text.as_str() {
+                "cfg" | "cfg_attr" => saw_cfg = true,
+                "not" => saw_not = true,
+                "test" => {
+                    saw_test = true;
+                    if ident_count == 1 {
+                        first_ident_is_test = true;
+                    }
+                }
+                _ => {}
+            }
+        }
+        j += 1;
+    }
+    let bare_test = first_ident_is_test && ident_count == 1;
+    let cfg_test = saw_cfg && saw_test && !saw_not;
+    (j, bare_test || cfg_test)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    /// Returns the in-test flag for the first token matching `ident`.
+    fn flag_of(src: &str, ident: &str) -> bool {
+        let toks = lex(src);
+        let mask = test_mask(&toks);
+        let idx = toks
+            .iter()
+            .position(|t| t.is_ident(ident))
+            .unwrap_or_else(|| panic!("ident {ident} not found"));
+        mask[idx]
+    }
+
+    #[test]
+    fn cfg_test_module_is_exempt() {
+        let src =
+            "fn lib() { a(); }\n#[cfg(test)]\nmod tests { fn t() { b(); } }\nfn lib2() { c(); }";
+        assert!(!flag_of(src, "a"));
+        assert!(flag_of(src, "b"));
+        assert!(!flag_of(src, "c"));
+    }
+
+    #[test]
+    fn test_fn_is_exempt() {
+        let src = "#[test]\nfn check() { inner(); }\nfn lib() { outer(); }";
+        assert!(flag_of(src, "inner"));
+        assert!(!flag_of(src, "outer"));
+    }
+
+    #[test]
+    fn cfg_not_test_is_library_code() {
+        let src = "#[cfg(not(test))]\nfn lib() { a(); }";
+        assert!(!flag_of(src, "a"));
+    }
+
+    #[test]
+    fn braceless_gated_item_disarms() {
+        let src = "#[cfg(test)]\nuse std::collections::HashMap;\nfn lib() { a(); }";
+        assert!(!flag_of(src, "a"));
+    }
+
+    #[test]
+    fn nested_braces_stay_inside_region() {
+        let src = "#[cfg(test)]\nmod tests {\n fn t() { if x { y(); } }\n}\nfn lib() { z(); }";
+        assert!(flag_of(src, "y"));
+        assert!(!flag_of(src, "z"));
+    }
+
+    #[test]
+    fn should_panic_attr_does_not_arm() {
+        // `#[should_panic(expected = "boom")]` mentions neither cfg nor a
+        // bare `test` path; it must not exempt following library code.
+        let src = "#[should_panic(expected = \"x\")]\nfn lib() { a(); }";
+        assert!(!flag_of(src, "a"));
+    }
+}

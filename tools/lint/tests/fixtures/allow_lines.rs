@@ -1,0 +1,8 @@
+//! Allow-hatch fixture: the allow on line 4 suppresses exactly that
+//! line; the identical call on line 5 still fires.
+
+pub fn pair(xs: &[u32]) -> (u32, u32) {
+    let a = *xs.first().unwrap(); // lint: allow(D5) caller asserts non-empty
+    let b = *xs.last().unwrap();
+    (a, b)
+}

@@ -1,0 +1,14 @@
+//! D1 clean fixture: time arrives as an injected value; only tests may
+//! read the wall clock.
+
+pub fn elapsed_s(now_s: f64, start_s: f64) -> f64 {
+    now_s - start_s
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_read_the_clock() {
+        let _ = std::time::Instant::now();
+    }
+}

@@ -1,0 +1,11 @@
+//! D1 fixture: wall-clock reads in library code.
+use std::time::{Instant, SystemTime};
+
+pub fn elapsed_s(start: Instant) -> f64 {
+    let now = Instant::now();
+    now.duration_since(start).as_secs_f64()
+}
+
+pub fn stamp() -> SystemTime {
+    SystemTime::now()
+}

@@ -1,0 +1,10 @@
+//! D2 fixture: hash-ordered containers in a deterministic crate.
+use std::collections::HashMap;
+
+pub fn histogram(keys: &[u32]) -> HashMap<u32, usize> {
+    let mut m = HashMap::new();
+    for &k in keys {
+        *m.entry(k).or_insert(0) += 1;
+    }
+    m
+}

@@ -1,0 +1,8 @@
+//! D3 clean fixture: every stream derives from the campaign seed.
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+pub fn noise(seed: u64) -> f64 {
+    let mut rng = StdRng::seed_from_u64(seed);
+    rng.gen()
+}

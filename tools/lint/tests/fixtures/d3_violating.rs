@@ -1,0 +1,7 @@
+//! D3 fixture: unseeded randomness.
+use rand::Rng;
+
+pub fn noise() -> f64 {
+    let mut rng = rand::thread_rng();
+    rng.gen::<f64>() + rand::random::<f64>()
+}

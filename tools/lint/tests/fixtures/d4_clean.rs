@@ -1,0 +1,10 @@
+//! D4 clean fixture: `total_cmp` gives a total order — NaN sorts high
+//! instead of panicking.
+
+pub fn sort_scores(xs: &mut [f64]) {
+    xs.sort_by(|a, b| a.total_cmp(b));
+}
+
+pub fn max_score(xs: &[f64]) -> Option<f64> {
+    xs.iter().copied().max_by(|a, b| a.total_cmp(b))
+}

@@ -1,0 +1,11 @@
+//! D4 fixture: NaN-panicking (or NaN-inconsistent) float comparisons.
+
+pub fn sort_scores(xs: &mut [f64]) {
+    xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+}
+
+pub fn max_score(xs: &[f64]) -> Option<f64> {
+    xs.iter()
+        .copied()
+        .max_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal))
+}

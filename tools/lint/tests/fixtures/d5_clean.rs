@@ -1,0 +1,16 @@
+//! D5 clean fixture: fallible paths return Option/Result; tests may
+//! unwrap freely.
+
+pub fn first(xs: &[u32]) -> Option<u32> {
+    xs.first().copied()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unwrap_is_fine_here() {
+        assert_eq!(first(&[7]).unwrap(), 7);
+    }
+}

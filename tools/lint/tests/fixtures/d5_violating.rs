@@ -1,0 +1,13 @@
+//! D5 fixture: panicking calls in library code paths.
+
+pub fn first(xs: &[u32]) -> u32 {
+    *xs.first().unwrap()
+}
+
+pub fn parse(s: &str) -> u32 {
+    s.parse().expect("caller provides digits")
+}
+
+pub fn unsupported() -> ! {
+    panic!("not implemented")
+}

@@ -1,0 +1,5 @@
+//! D6 clean fixture: library output goes through a log the caller owns.
+
+pub fn report(cost: f64, log: &mut Vec<String>) {
+    log.push(format!("cost = {cost}"));
+}

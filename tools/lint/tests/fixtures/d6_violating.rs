@@ -1,0 +1,9 @@
+//! D6 fixture: stdout/stderr writes from a library crate.
+
+pub fn report(cost: f64) {
+    println!("cost = {cost}");
+    if cost.is_nan() {
+        eprintln!("crashed trial");
+    }
+    let _ = dbg!(cost);
+}
