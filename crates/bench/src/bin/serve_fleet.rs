@@ -1,0 +1,136 @@
+//! Perf trajectory for the serving layer: campaigns/sec vs. worker count.
+//!
+//! Drives the E33 mixed fleet (256 campaigns; see
+//! `experiments::e33_serve::fleet_specs`) through a [`CampaignRegistry`]
+//! at several pool sizes and records a machine-readable trajectory:
+//!
+//! * `BENCH_serve.json` — per worker count: the deterministic virtual
+//!   makespan and speedup (reproducible on any host), the serving rate in
+//!   campaigns per virtual kilosecond, real wall seconds for the whole
+//!   drive, and real mean suggest/observe nanoseconds measured by an
+//!   injected wall timer.
+//! * `BENCH_bo.json` — seeded from the committed `perf_smoke` baseline
+//!   (`tools/perf_baseline.json`), so the optimizer hot-path trend lives
+//!   next to the serving trend for future PRs to extend.
+//!
+//! ```text
+//! cargo run -p autotune-bench --release --bin serve_fleet
+//! ```
+
+use autotune::telemetry::WallTimer;
+use autotune_bench::experiments::e33_serve::{fleet_specs, FLEET_N};
+use autotune_serve::CampaignRegistry;
+use std::time::Instant;
+
+const WORKER_COUNTS: [usize; 5] = [1, 2, 4, 8, 16];
+
+/// A real wall timer for overhead attribution (core itself never reads
+/// real time; the bench harness injects this).
+struct StdTimer(Instant);
+
+impl WallTimer for StdTimer {
+    fn now_ns(&mut self) -> u64 {
+        self.0.elapsed().as_nanos() as u64
+    }
+}
+
+struct Point {
+    workers: usize,
+    virtual_makespan_s: f64,
+    pool_speedup: f64,
+    campaigns_per_ks: f64,
+    real_elapsed_s: f64,
+    mean_suggest_ns: f64,
+    mean_observe_ns: f64,
+}
+
+fn drive(workers: usize) -> Point {
+    let specs = fleet_specs(FLEET_N);
+    let mut reg = CampaignRegistry::new(workers);
+    for spec in &specs {
+        let campaign = spec.build().with_timer(Box::new(StdTimer(Instant::now())));
+        reg.register(spec.name.clone(), campaign);
+    }
+    let start = Instant::now();
+    reg.run_all().expect("fleet drive failed");
+    let real_elapsed_s = start.elapsed().as_secs_f64();
+    let fs = reg.fleet_stats();
+    let m = reg.merged_metrics();
+    Point {
+        workers,
+        virtual_makespan_s: fs.virtual_makespan_s,
+        pool_speedup: fs.pool_speedup,
+        campaigns_per_ks: FLEET_N as f64 * 1_000.0 / fs.virtual_makespan_s.max(1e-9),
+        real_elapsed_s,
+        mean_suggest_ns: m.suggest_ns.mean(),
+        mean_observe_ns: m.observe_ns.mean(),
+    }
+}
+
+/// Pulls `"<key>": <number>` out of a flat JSON object (same two-line
+/// scan as `perf_smoke`; keeps the bench crate free of a JSON parser).
+fn parse_flat_number(text: &str, key: &str) -> Option<f64> {
+    let start = text.find(&format!("\"{key}\""))? + key.len() + 2;
+    let rest = text[start..].trim_start().strip_prefix(':')?.trim_start();
+    let end = rest
+        .find(|c: char| c == ',' || c == '}' || c.is_whitespace())
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+fn main() {
+    let mut points = Vec::new();
+    for workers in WORKER_COUNTS {
+        eprintln!("driving {FLEET_N}-campaign fleet at {workers} workers...");
+        let p = drive(workers);
+        println!(
+            "workers={:>2}  makespan={:>8.0}s  speedup={:>5.2}x  rate={:>6.2} campaigns/ks  real={:>5.2}s  suggest={:>9.0}ns  observe={:>9.0}ns",
+            p.workers,
+            p.virtual_makespan_s,
+            p.pool_speedup,
+            p.campaigns_per_ks,
+            p.real_elapsed_s,
+            p.mean_suggest_ns,
+            p.mean_observe_ns
+        );
+        points.push(p);
+    }
+
+    let rows: Vec<String> = points
+        .iter()
+        .map(|p| {
+            format!(
+                "    {{ \"workers\": {}, \"virtual_makespan_s\": {:.1}, \"pool_speedup\": {:.3}, \"campaigns_per_virtual_ks\": {:.3}, \"real_elapsed_s\": {:.3}, \"mean_suggest_ns\": {:.0}, \"mean_observe_ns\": {:.0} }}",
+                p.workers,
+                p.virtual_makespan_s,
+                p.pool_speedup,
+                p.campaigns_per_ks,
+                p.real_elapsed_s,
+                p.mean_suggest_ns,
+                p.mean_observe_ns
+            )
+        })
+        .collect();
+    let serve_json = format!(
+        "{{\n  \"benchmark\": \"serve_fleet: E33 mixed fleet of {FLEET_N} campaigns through CampaignRegistry\",\n  \"note\": \"virtual_* fields are deterministic (virtual pool model); real_* and *_ns fields are host-dependent\",\n  \"points\": [\n{}\n  ]\n}}\n",
+        rows.join(",\n")
+    );
+    std::fs::write("BENCH_serve.json", &serve_json).expect("write BENCH_serve.json");
+    println!("wrote BENCH_serve.json ({} worker counts)", points.len());
+
+    // Seed the optimizer hot-path trajectory from the committed
+    // perf_smoke baseline so both trends are machine-readable.
+    let baseline = std::fs::read_to_string("tools/perf_baseline.json")
+        .ok()
+        .and_then(|t| parse_flat_number(&t, "suggest_ns_per_trial_n500"));
+    if let Some(ns) = baseline {
+        let bo_json = format!(
+            "{{\n  \"benchmark\": \"incremental BO mean suggest ns per trial at n=500 (perf_smoke / bench e32 A/B arm)\",\n  \"points\": [\n    {{ \"source\": \"tools/perf_baseline.json (2x headroom over reference)\", \"suggest_ns_per_trial_n500\": {ns:.0} }}\n  ]\n}}\n"
+        );
+        std::fs::write("BENCH_bo.json", bo_json).expect("write BENCH_bo.json");
+        println!("wrote BENCH_bo.json (seeded from tools/perf_baseline.json)");
+    } else {
+        eprintln!("tools/perf_baseline.json missing or unparsable; BENCH_bo.json not written");
+        std::process::exit(1);
+    }
+}

@@ -31,6 +31,7 @@ pub mod e29_async;
 pub mod e30_faults;
 pub mod e31_overhead;
 pub mod e32_hotpath;
+pub mod e33_serve;
 
 use autotune::{Objective, Target};
 use autotune_optimizer::Optimizer;

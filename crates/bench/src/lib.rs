@@ -53,6 +53,7 @@ pub fn all_experiments() -> Vec<Experiment> {
         ("e30", experiments::e30_faults::run),
         ("e31", experiments::e31_overhead::run),
         ("e32", experiments::e32_hotpath::run),
+        ("e33", experiments::e33_serve::run),
         ("ablations", experiments::ablations::run),
     ]
 }

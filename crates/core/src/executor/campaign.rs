@@ -1,0 +1,1240 @@
+//! The resumable campaign state machine.
+//!
+//! A [`Campaign`] owns everything one tuning run needs — target, source,
+//! middleware, telemetry fan-out, virtual clock — and advances in
+//! discrete **ticks**: stage a wave of trial requests, measure it,
+//! absorb the results. [`Executor::run`](super::Executor::run) drives
+//! the very same [`CampaignState`] in a loop, so a campaign advanced
+//! tick-by-tick (e.g. multiplexed with thousands of others by
+//! `autotune-serve`) produces byte-identical trial histories to a
+//! standalone executor run.
+//!
+//! # The event log and the replay contract
+//!
+//! Every campaign appends to an append-only, serde-serializable event
+//! log ([`CampaignEvent`]): the dispatched [`TrialRequest`]s, every raw
+//! [`Measurement`] (keyed by `(trial, attempt)`), the finalized
+//! [`TrialOutcome`]s, and the optimizer-side [`OptEvent`]s (with
+//! `wall_ns` zeroed — real time never enters the log). Only the raw
+//! measurements are *inputs*; everything else is deterministically
+//! recomputable from the campaign seed and the determinism contract:
+//!
+//! * suggestions re-draw from `StdRng::seed_from_u64(seed)`,
+//! * fault rolls are a pure function of `(trial, attempt, machine, time)`,
+//! * middleware transforms replay identically over identical inputs.
+//!
+//! [`Campaign::snapshot`] therefore only persists `(seed, policy, log)`,
+//! and [`Campaign::resume`] replays the log through a freshly built
+//! campaign — re-running suggestion and middleware code live while
+//! serving recorded measurements instead of touching the target — then
+//! verifies the rebuilt log is byte-identical to the snapshot before
+//! handing the campaign back, mid-flight state and all.
+
+use super::event::{Measurement, TrialEvent, TrialOutcome, TrialRequest};
+use super::policy::SchedulePolicy;
+use super::source::{SourceStep, TrialSource};
+use super::{apply_fault, measure_request, measure_wave, trial_seed, ExecReport, FanOut};
+use crate::telemetry::{
+    MetricsCollector, MetricsSnapshot, NullTimer, OptEvent, Subscriber, WallTimer,
+};
+use crate::{Middleware, NoiseStrategy, Objective, Target, Trial, TrialStatus, TrialStorage};
+use autotune_sim::FailureKind;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+use std::sync::Arc;
+
+/// Snapshot format version, bumped on incompatible log changes.
+pub const SNAPSHOT_VERSION: u32 = 1;
+
+/// A dispatched trial awaiting measurement: the request plus the private
+/// evaluation seed its measurement must draw from. Pure data — a worker
+/// pool can measure items from many campaigns in any order or thread
+/// without perturbing any campaign's history.
+#[derive(Debug, Clone)]
+pub struct WorkItem {
+    /// Trial id within its campaign (dispatch order).
+    pub id: u64,
+    /// What to run.
+    pub req: TrialRequest,
+    /// Seed of the trial's private measurement RNG stream.
+    pub eval_seed: u64,
+}
+
+/// A measured trial waiting for its virtual finish time.
+pub(crate) struct Scheduled {
+    pub(crate) id: u64,
+    pub(crate) req: TrialRequest,
+    pub(crate) m: Measurement,
+    pub(crate) finish: f64,
+    pub(crate) retries: u32,
+}
+
+/// One record of a campaign's append-only event log.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum CampaignEvent {
+    /// A trial was dispatched (request as finalized by `before_dispatch`
+    /// middleware).
+    Suggested {
+        /// Trial id.
+        id: u64,
+        /// The dispatched request.
+        request: TrialRequest,
+    },
+    /// A raw measurement came back from the target — the only
+    /// non-recomputable input in the log. `attempt` 0 is the first
+    /// measurement; retries append their re-measurements.
+    Measured {
+        /// Trial id.
+        id: u64,
+        /// Attempt index (0 = first try).
+        attempt: u32,
+        /// The raw measurement, before fault injection and middleware.
+        m: Measurement,
+    },
+    /// A trial was finalized and reported to the source.
+    Outcome {
+        /// The finalized outcome, after the middleware chain.
+        outcome: TrialOutcome,
+    },
+    /// An optimizer-side lifecycle event (`wall_ns` zeroed: real time
+    /// never enters the log).
+    Opt {
+        /// The event.
+        event: OptEvent,
+    },
+}
+
+/// A serializable point-in-time capture of a campaign: seed, policy and
+/// the event log. Everything else — optimizer state, middleware state,
+/// in-flight trials, metrics — is rebuilt by [`Campaign::resume`]'s
+/// deterministic replay.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CampaignSnapshot {
+    /// Snapshot format version ([`SNAPSHOT_VERSION`]).
+    pub version: u32,
+    /// The campaign seed.
+    pub seed: u64,
+    /// The schedule policy.
+    pub policy: SchedulePolicy,
+    /// Ticks completed when the snapshot was taken (diagnostics).
+    pub n_ticks: u64,
+    /// Position of the target's temporal-drift clock at the snapshot
+    /// point. Replay serves recorded measurements instead of evaluating,
+    /// so resume fast-forwards the fresh target's clock here to keep the
+    /// continuation on the original drift trajectory.
+    #[serde(default)]
+    pub target_clock: u64,
+    /// The append-only event log up to the snapshot point.
+    pub log: Vec<CampaignEvent>,
+}
+
+impl CampaignSnapshot {
+    /// Serializes to JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).unwrap_or_default()
+    }
+
+    /// Parses a snapshot back from [`CampaignSnapshot::to_json`] output.
+    pub fn from_json(s: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(s)
+    }
+}
+
+/// Why a campaign operation failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CampaignError {
+    /// The campaign was built with its event log disabled.
+    LogDisabled,
+    /// Snapshot requested while a staged wave is awaiting measurements.
+    MidTick,
+    /// [`Campaign::complete_wave`] got the wrong number of measurements.
+    WaveSizeMismatch {
+        /// Unmeasured staged items.
+        expected: usize,
+        /// Measurements supplied.
+        got: usize,
+    },
+    /// The snapshot doesn't match the freshly built campaign (version,
+    /// seed or policy).
+    SnapshotMismatch {
+        /// What differed.
+        reason: String,
+    },
+    /// Resume was handed a campaign that has already run ticks.
+    NotPristine,
+    /// The snapshot log lacks a measurement the replay needs.
+    MissingMeasurement {
+        /// Trial id.
+        id: u64,
+        /// Attempt index.
+        attempt: u32,
+    },
+    /// Replaying the log did not reproduce it byte-identically — the
+    /// rebuilt campaign was constructed over a different target, source
+    /// or middleware chain than the snapshotted one.
+    ReplayDiverged {
+        /// What diverged.
+        reason: String,
+    },
+}
+
+impl fmt::Display for CampaignError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CampaignError::LogDisabled => write!(f, "campaign event log is disabled"),
+            CampaignError::MidTick => {
+                write!(f, "operation requires a tick boundary (wave staged)")
+            }
+            CampaignError::WaveSizeMismatch { expected, got } => {
+                write!(f, "expected {expected} measurements, got {got}")
+            }
+            CampaignError::SnapshotMismatch { reason } => {
+                write!(f, "snapshot mismatch: {reason}")
+            }
+            CampaignError::NotPristine => {
+                write!(f, "resume requires a freshly built campaign")
+            }
+            CampaignError::MissingMeasurement { id, attempt } => {
+                write!(
+                    f,
+                    "snapshot log lacks the measurement for trial {id} attempt {attempt}"
+                )
+            }
+            CampaignError::ReplayDiverged { reason } => {
+                write!(f, "replay diverged from snapshot: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CampaignError {}
+
+/// The mutable per-campaign loop state, extracted from what used to live
+/// in `Executor::run`'s stack frame. [`super::Executor`] and [`Campaign`]
+/// both drive it tick by tick, so the two paths cannot drift apart.
+pub(crate) struct CampaignState {
+    seed: u64,
+    policy: SchedulePolicy,
+    cost_is_elapsed: bool,
+    suggest_rng: StdRng,
+    clock: f64,
+    machine_seconds: f64,
+    n_trials: usize,
+    n_aborted: usize,
+    n_transient: usize,
+    n_retried: usize,
+    quarantined: BTreeSet<usize>,
+    saved_s: f64,
+    next_id: u64,
+    in_flight: Vec<Scheduled>,
+    exhausted: bool,
+    done: bool,
+    primed: bool,
+    last_refits: usize,
+    last_updates: usize,
+    events: Vec<TrialEvent>,
+    log: Option<Vec<CampaignEvent>>,
+    replay: BTreeMap<(u64, u32), Measurement>,
+    pub(crate) staged: Vec<(WorkItem, Option<Measurement>)>,
+    n_ticks: u64,
+}
+
+/// The live measurement for the next unreplayed staged item.
+fn next_live(live: &mut std::vec::IntoIter<Measurement>) -> Measurement {
+    live.next().expect("one live measurement per staged item") // lint: allow(D5) merge_staged callers measure exactly `staged_live()`
+}
+
+impl CampaignState {
+    pub(crate) fn new(
+        seed: u64,
+        policy: SchedulePolicy,
+        cost_is_elapsed: bool,
+        log_enabled: bool,
+    ) -> Self {
+        CampaignState {
+            seed,
+            policy,
+            cost_is_elapsed,
+            suggest_rng: StdRng::seed_from_u64(seed),
+            clock: 0.0,
+            machine_seconds: 0.0,
+            n_trials: 0,
+            n_aborted: 0,
+            n_transient: 0,
+            n_retried: 0,
+            quarantined: BTreeSet::new(),
+            saved_s: 0.0,
+            next_id: 0,
+            in_flight: Vec::new(),
+            exhausted: false,
+            done: false,
+            primed: false,
+            last_refits: 0,
+            last_updates: 0,
+            events: Vec::new(),
+            log: log_enabled.then(Vec::new),
+            replay: BTreeMap::new(),
+            staged: Vec::new(),
+            n_ticks: 0,
+        }
+    }
+
+    pub(crate) fn is_done(&self) -> bool {
+        self.done
+    }
+
+    fn log_push(&mut self, f: impl FnOnce() -> CampaignEvent) {
+        if let Some(log) = &mut self.log {
+            log.push(f());
+        }
+    }
+
+    fn emit_trial(&mut self, fan: &mut FanOut<'_>, at_s: f64, ev: TrialEvent) {
+        fan.trial(at_s, &ev);
+        self.events.push(ev);
+    }
+
+    /// Fans an optimizer-side event out and logs it with `wall_ns`
+    /// zeroed, keeping the log independent of any injected real timer.
+    fn emit_opt(&mut self, fan: &mut FanOut<'_>, ev: &OptEvent) {
+        fan.opt(self.clock, ev);
+        if self.log.is_some() {
+            let mut e = *ev;
+            match &mut e {
+                OptEvent::SuggestEnd { wall_ns, .. } | OptEvent::ObserveEnd { wall_ns, .. } => {
+                    *wall_ns = 0;
+                }
+                _ => {}
+            }
+            self.log_push(|| CampaignEvent::Opt { event: e });
+        }
+    }
+
+    /// Announces increases of the source's cumulative refit/update
+    /// counters, attributed to trial `id`.
+    fn poll_model_counters(&mut self, source: &dyn TrialSource, fan: &mut FanOut<'_>, id: u64) {
+        let refits = source.n_refits();
+        if refits > self.last_refits {
+            self.last_refits = refits;
+            self.emit_opt(
+                fan,
+                &OptEvent::SurrogateRefit {
+                    id,
+                    n_refits: refits,
+                },
+            );
+        }
+        let updates = source.n_model_updates();
+        if updates > self.last_updates {
+            self.last_updates = updates;
+            self.emit_opt(
+                fan,
+                &OptEvent::ModelUpdate {
+                    id,
+                    n_updates: updates,
+                },
+            );
+        }
+    }
+
+    /// Admission: fills free slots from the source and stages the wave,
+    /// serving any replayed measurements from the log. No-op when a wave
+    /// is already staged or the campaign is done.
+    pub(crate) fn stage(
+        &mut self,
+        source: &mut dyn TrialSource,
+        middleware: &mut [Box<dyn Middleware + '_>],
+        fan: &mut FanOut<'_>,
+        timer: &mut dyn WallTimer,
+    ) {
+        if self.done || !self.staged.is_empty() {
+            return;
+        }
+        if !self.primed {
+            // Mirror the executor's pre-loop baseline read of the
+            // source's cumulative counters.
+            self.last_refits = source.n_refits();
+            self.last_updates = source.n_model_updates();
+            self.primed = true;
+        }
+        let capacity = self.policy.capacity();
+        let mut wave: Vec<WorkItem> = Vec::new();
+        while !self.exhausted && self.in_flight.len() + wave.len() < capacity {
+            let prospective = self.next_id;
+            self.emit_opt(fan, &OptEvent::SuggestBegin { id: prospective });
+            let t0 = timer.now_ns();
+            let step = source.next(&mut self.suggest_rng);
+            let wall_ns = timer.now_ns().saturating_sub(t0);
+            self.emit_opt(
+                fan,
+                &OptEvent::SuggestEnd {
+                    id: prospective,
+                    wall_ns,
+                    dispatched: matches!(step, SourceStep::Dispatch(_)),
+                },
+            );
+            self.poll_model_counters(&*source, fan, prospective);
+            match step {
+                SourceStep::Dispatch(mut req) => {
+                    for mw in middleware.iter_mut() {
+                        mw.before_dispatch(&mut req, &mut self.suggest_rng);
+                    }
+                    let id = self.next_id;
+                    self.next_id += 1;
+                    let ev = TrialEvent::Suggested {
+                        id,
+                        config: req.config.clone(),
+                    };
+                    self.emit_trial(fan, self.clock, ev);
+                    self.log_push(|| CampaignEvent::Suggested {
+                        id,
+                        request: req.clone(),
+                    });
+                    wave.push(WorkItem {
+                        id,
+                        req,
+                        eval_seed: trial_seed(self.seed, id),
+                    });
+                }
+                SourceStep::Wait => break,
+                SourceStep::Exhausted => {
+                    self.exhausted = true;
+                    break;
+                }
+            }
+        }
+        for (config, rung) in source.take_promotions() {
+            let ev = TrialEvent::Promoted { config, rung };
+            self.emit_trial(fan, self.clock, ev);
+        }
+        self.staged = Vec::with_capacity(wave.len());
+        for w in wave {
+            let m = self.replay.remove(&(w.id, 0));
+            self.staged.push((w, m));
+        }
+    }
+
+    /// The staged items that still need a live measurement (in wave
+    /// order); the rest were served from the replay queue.
+    pub(crate) fn staged_live(&self) -> Vec<&WorkItem> {
+        self.staged
+            .iter()
+            .filter(|(_, m)| m.is_none())
+            .map(|(w, _)| w)
+            .collect()
+    }
+
+    /// Pairs the staged wave with its measurements: replayed ones from
+    /// the stage step, live ones from `live` in wave order.
+    pub(crate) fn merge_staged(&mut self, live: Vec<Measurement>) -> Vec<(WorkItem, Measurement)> {
+        let staged = std::mem::take(&mut self.staged);
+        let mut live = live.into_iter();
+        staged
+            .into_iter()
+            .map(|(w, m)| {
+                let m = m.unwrap_or_else(|| next_live(&mut live));
+                (w, m)
+            })
+            .collect()
+    }
+
+    /// The back half of one tick: absorb the measured wave (fault rolls,
+    /// middleware, retries), advance the virtual clock to the next
+    /// completion, finalize completed trials and report them to the
+    /// source. Sets `done` when the campaign has drained.
+    #[allow(clippy::too_many_arguments)] // the executor's collaborators, threaded explicitly
+    pub(crate) fn finish_tick(
+        &mut self,
+        target: &Target,
+        noise: &NoiseStrategy,
+        source: &mut dyn TrialSource,
+        middleware: &mut [Box<dyn Middleware + '_>],
+        fan: &mut FanOut<'_>,
+        timer: &mut dyn WallTimer,
+        storage: &mut TrialStorage,
+        merged: Vec<(WorkItem, Measurement)>,
+    ) {
+        if self.done {
+            return;
+        }
+        self.n_ticks += 1;
+        let barrier = self.policy.barrier();
+
+        // Measurement absorption: per trial, log the raw measurement,
+        // inject any planned fault, run censoring middleware, and loop on
+        // retries — a retry re-measures with a fresh per-attempt seed and
+        // a fresh fault roll, charging the failed attempt plus backoff to
+        // the trial's elapsed time.
+        for (p, m) in merged {
+            self.log_push(|| CampaignEvent::Measured {
+                id: p.id,
+                attempt: 0,
+                m: m.clone(),
+            });
+            let ev = TrialEvent::Started {
+                id: p.id,
+                at_s: self.clock,
+                machine_id: m.machine_id.or(p.req.machine_id),
+            };
+            self.emit_trial(fan, self.clock, ev);
+            let mut m = m;
+            let mut attempt: u32 = 0;
+            let mut carried_s = 0.0_f64;
+            loop {
+                if m.fault.is_none() {
+                    // ConfigCrash already set by the target; otherwise
+                    // roll this attempt's infrastructure fate.
+                    if let Some(plan) = target.faults() {
+                        let machine = m.machine_id.or(p.req.machine_id);
+                        if let Some(f) = plan.roll(p.id, attempt, machine, self.clock + carried_s) {
+                            apply_fault(&f, &mut m, self.cost_is_elapsed);
+                        }
+                    }
+                }
+                for mw in middleware.iter_mut() {
+                    mw.after_measure(&mut m, self.cost_is_elapsed);
+                }
+                let backoff = middleware
+                    .iter_mut()
+                    .find_map(|mw| mw.retry_after(&m, attempt));
+                match backoff {
+                    Some(backoff_s) => {
+                        carried_s += m.elapsed_s + backoff_s;
+                        attempt += 1;
+                        let ev = TrialEvent::Retried {
+                            id: p.id,
+                            attempt,
+                            backoff_s,
+                            at_s: self.clock + carried_s,
+                        };
+                        self.emit_trial(fan, self.clock + carried_s, ev);
+                        m = match self.replay.remove(&(p.id, attempt)) {
+                            Some(m) => m,
+                            None => measure_request(
+                                target,
+                                noise,
+                                &p.req,
+                                trial_seed(p.eval_seed, u64::from(attempt)),
+                            ),
+                        };
+                        self.log_push(|| CampaignEvent::Measured {
+                            id: p.id,
+                            attempt,
+                            m: m.clone(),
+                        });
+                    }
+                    None => break,
+                }
+            }
+            m.elapsed_s += carried_s;
+            self.in_flight.push(Scheduled {
+                id: p.id,
+                req: p.req,
+                finish: self.clock + m.elapsed_s,
+                retries: attempt,
+                m,
+            });
+        }
+
+        if self.in_flight.is_empty() {
+            // Exhausted and drained — or a source that waits with
+            // nothing in flight, which would never unblock.
+            self.done = true;
+            fan.end(self.clock);
+            return;
+        }
+
+        // Completion: a full wave under a batch barrier, else the
+        // earliest virtual finisher (ties go to dispatch order).
+        let completed: Vec<Scheduled> = if barrier {
+            let batch_max = self
+                .in_flight
+                .iter()
+                .map(|s| s.m.elapsed_s)
+                .fold(0.0_f64, f64::max);
+            self.clock += batch_max;
+            std::mem::take(&mut self.in_flight)
+        } else {
+            let i = self
+                .in_flight
+                .iter()
+                .enumerate()
+                .min_by(|(_, a), (_, b)| a.finish.total_cmp(&b.finish))
+                .map(|(i, _)| i)
+                .expect("in_flight nonempty"); // lint: allow(D5) emptiness handled above
+            let s = self.in_flight.remove(i);
+            self.clock = self.clock.max(s.finish);
+            vec![s]
+        };
+
+        for s in completed {
+            let status = if s.m.aborted {
+                TrialStatus::Aborted
+            } else if s.m.cost.is_nan() && s.m.fault.is_some_and(|f| f.is_transient()) {
+                TrialStatus::TransientFailure
+            } else if !s.m.cost.is_finite() {
+                TrialStatus::Crashed
+            } else {
+                TrialStatus::Complete
+            };
+            let mut outcome = TrialOutcome {
+                id: s.id,
+                config: s.req.config,
+                cost: s.m.cost,
+                learn_cost: s.m.cost,
+                elapsed_s: s.m.elapsed_s,
+                fidelity: s.req.fidelity,
+                machine_id: s.m.machine_id,
+                status,
+                retries: s.retries,
+                fault: s.m.fault,
+                telemetry: s.m.telemetry,
+            };
+            for mw in middleware.iter_mut() {
+                mw.on_outcome(&mut outcome);
+            }
+            self.log_push(|| CampaignEvent::Outcome {
+                outcome: outcome.clone(),
+            });
+            self.emit_opt(fan, &OptEvent::ObserveBegin { id: outcome.id });
+            let t0 = timer.now_ns();
+            source.report(&outcome);
+            let wall_ns = timer.now_ns().saturating_sub(t0);
+            self.emit_opt(
+                fan,
+                &OptEvent::ObserveEnd {
+                    id: outcome.id,
+                    wall_ns,
+                },
+            );
+            self.poll_model_counters(&*source, fan, outcome.id);
+            self.machine_seconds += outcome.elapsed_s;
+            self.n_trials += 1;
+            self.n_retried += s.retries as usize;
+            self.saved_s += s.m.saved_s;
+            let ev = match status {
+                TrialStatus::Crashed => TrialEvent::Crashed {
+                    id: outcome.id,
+                    elapsed_s: outcome.elapsed_s,
+                },
+                TrialStatus::Aborted => {
+                    self.n_aborted += 1;
+                    TrialEvent::Aborted {
+                        id: outcome.id,
+                        cost: outcome.cost,
+                        elapsed_s: outcome.elapsed_s,
+                    }
+                }
+                TrialStatus::TransientFailure => {
+                    self.n_transient += 1;
+                    TrialEvent::FailedTransient {
+                        id: outcome.id,
+                        kind: outcome.fault.unwrap_or(FailureKind::Transient),
+                        elapsed_s: outcome.elapsed_s,
+                    }
+                }
+                TrialStatus::Complete => TrialEvent::Finished {
+                    id: outcome.id,
+                    cost: outcome.cost,
+                    elapsed_s: outcome.elapsed_s,
+                },
+            };
+            self.emit_trial(fan, self.clock, ev);
+            fan.outcome(self.clock, &outcome);
+            let mut trial = match status {
+                TrialStatus::Aborted => {
+                    Trial::aborted(outcome.config, outcome.cost, outcome.elapsed_s)
+                }
+                TrialStatus::TransientFailure => {
+                    Trial::transient_failure(outcome.config, outcome.elapsed_s)
+                }
+                TrialStatus::Crashed => {
+                    let mut t = Trial::crashed(outcome.config, outcome.elapsed_s);
+                    t.cost = outcome.cost; // preserve ±inf vs NaN
+                    t
+                }
+                TrialStatus::Complete => {
+                    Trial::complete(outcome.config, outcome.cost, outcome.elapsed_s)
+                }
+            }
+            .at_fidelity(outcome.fidelity)
+            .with_retries(outcome.retries);
+            if let Some(m) = outcome.machine_id {
+                trial = trial.on_machine(m);
+            }
+            storage.record(trial);
+        }
+
+        // Drain middleware lifecycle events (quarantines, releases).
+        for mw in middleware.iter_mut() {
+            for ev in mw.take_events() {
+                if let TrialEvent::Quarantined { machine_id } = ev {
+                    self.quarantined.insert(machine_id);
+                }
+                self.emit_trial(fan, self.clock, ev);
+            }
+        }
+    }
+
+    fn report_fields(&self, metrics: MetricsSnapshot, events: Vec<TrialEvent>) -> ExecReport {
+        ExecReport {
+            events,
+            wall_clock_s: self.clock,
+            machine_seconds: self.machine_seconds,
+            n_trials: self.n_trials,
+            n_aborted: self.n_aborted,
+            n_transient: self.n_transient,
+            n_retried: self.n_retried,
+            n_quarantined_machines: self.quarantined.len(),
+            saved_s: self.saved_s,
+            metrics,
+        }
+    }
+
+    /// Builds a report, cloning the event stream.
+    pub(crate) fn report(&self, metrics: MetricsSnapshot) -> ExecReport {
+        self.report_fields(metrics, self.events.clone())
+    }
+
+    /// Builds a report, consuming the state.
+    pub(crate) fn into_report(mut self, metrics: MetricsSnapshot) -> ExecReport {
+        let events = std::mem::take(&mut self.events);
+        self.report_fields(metrics, events)
+    }
+}
+
+/// An owned, resumable tuning campaign.
+///
+/// Unlike [`super::Executor`] (which borrows its target and is driven in
+/// one blocking `run` call), a `Campaign` owns its whole world behind an
+/// [`Arc<Target>`] and advances in discrete ticks, so thousands can be
+/// interleaved by a scheduler. With `'static` collaborators (an owned
+/// source, owned middleware) the campaign itself is `'static` and can be
+/// parked in a registry indefinitely.
+///
+/// ```
+/// use autotune::executor::{Campaign, OptimizerSource, SchedulePolicy};
+/// use autotune::{Objective, Target};
+/// use autotune_optimizer::RandomSearch;
+/// use autotune_sim::{Environment, RedisSim, Workload};
+///
+/// let target = Target::simulated(
+///     Box::new(RedisSim::new()),
+///     Workload::kv_cache(10_000.0),
+///     Environment::medium(),
+///     Objective::MinimizeLatencyP95,
+/// );
+/// let mut opt = RandomSearch::new(target.space().clone());
+/// let mut campaign = Campaign::new(
+///     target,
+///     Box::new(OptimizerSource::new(&mut opt, 8)),
+///     SchedulePolicy::AsyncSlots { k: 4 },
+///     1,
+/// );
+/// let report = campaign.run();
+/// assert_eq!(report.n_trials, 8);
+/// let snapshot = campaign.snapshot().expect("log is on by default");
+/// assert!(!snapshot.log.is_empty());
+/// ```
+pub struct Campaign<'a> {
+    target: Arc<Target>,
+    noise_strategy: NoiseStrategy,
+    source: Box<dyn TrialSource + 'a>,
+    middleware: Vec<Box<dyn Middleware + 'a>>,
+    fan: FanOut<'a>,
+    timer: Box<dyn WallTimer + 'a>,
+    storage: TrialStorage,
+    state: CampaignState,
+}
+
+impl<'a> Campaign<'a> {
+    /// A campaign over `target` drawing trials from `source` under the
+    /// given scheduling policy and campaign seed. The event log is
+    /// enabled by default ([`Campaign::with_event_log`] turns it off for
+    /// fleets that never snapshot).
+    pub fn new(
+        target: impl Into<Arc<Target>>,
+        source: Box<dyn TrialSource + 'a>,
+        policy: SchedulePolicy,
+        seed: u64,
+    ) -> Self {
+        let target = target.into();
+        let cost_is_elapsed = matches!(target.objective(), Objective::MinimizeElapsed);
+        Campaign {
+            target,
+            noise_strategy: NoiseStrategy::Single,
+            source,
+            middleware: Vec::new(),
+            fan: FanOut {
+                collector: MetricsCollector::new(),
+                subs: Vec::new(),
+            },
+            timer: Box::new(NullTimer),
+            storage: TrialStorage::new(),
+            state: CampaignState::new(seed, policy, cost_is_elapsed, true),
+        }
+    }
+
+    /// Sets the measurement policy per trial (default: one raw run).
+    pub fn with_noise_strategy(mut self, strategy: NoiseStrategy) -> Self {
+        self.noise_strategy = strategy;
+        self
+    }
+
+    /// Appends a middleware to the chain (applied in insertion order).
+    pub fn with_middleware(mut self, mw: Box<dyn Middleware + 'a>) -> Self {
+        self.middleware.push(mw);
+        self
+    }
+
+    /// Attaches a telemetry subscriber (pure observer; see
+    /// [`super::Executor::with_subscriber`]).
+    pub fn with_subscriber(mut self, sub: Box<dyn Subscriber + 'a>) -> Self {
+        self.fan.subs.push(sub);
+        self
+    }
+
+    /// Injects a real-time source for optimizer overhead attribution
+    /// (default: [`NullTimer`]). Readings flow only into subscriber-side
+    /// metrics — the event log records them as 0.
+    pub fn with_timer(mut self, timer: Box<dyn WallTimer + 'a>) -> Self {
+        self.timer = timer;
+        self
+    }
+
+    /// Enables or disables the append-only event log (default: on).
+    /// Snapshots require it; a fleet that never snapshots can turn it
+    /// off to drop the bookkeeping.
+    pub fn with_event_log(mut self, enabled: bool) -> Self {
+        self.state.log = enabled.then(Vec::new);
+        self
+    }
+
+    /// The target under tuning.
+    pub fn target(&self) -> &Arc<Target> {
+        &self.target
+    }
+
+    /// The per-trial measurement policy.
+    pub fn noise_strategy(&self) -> &NoiseStrategy {
+        &self.noise_strategy
+    }
+
+    /// The campaign seed.
+    pub fn seed(&self) -> u64 {
+        self.state.seed
+    }
+
+    /// The scheduling policy.
+    pub fn policy(&self) -> SchedulePolicy {
+        self.state.policy
+    }
+
+    /// Whether the campaign has drained.
+    pub fn is_done(&self) -> bool {
+        self.state.done
+    }
+
+    /// Ticks completed so far.
+    pub fn n_ticks(&self) -> u64 {
+        self.state.n_ticks
+    }
+
+    /// The trial history so far.
+    pub fn storage(&self) -> &TrialStorage {
+        &self.storage
+    }
+
+    /// Consumes the campaign, returning its trial history.
+    pub fn into_storage(self) -> TrialStorage {
+        self.storage
+    }
+
+    /// The rolled-up telemetry so far (`wall_clock_s` is final once the
+    /// campaign is done).
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.fan.collector.snapshot()
+    }
+
+    /// The event log, when enabled.
+    pub fn log(&self) -> Option<&[CampaignEvent]> {
+        self.state.log.as_deref()
+    }
+
+    fn log_len(&self) -> usize {
+        self.state.log.as_ref().map_or(0, Vec::len)
+    }
+
+    /// Accounting report of the campaign so far (clones the event
+    /// stream; final once [`Campaign::is_done`]).
+    pub fn report(&self) -> ExecReport {
+        self.state.report(self.fan.collector.snapshot())
+    }
+
+    /// Stages the next wave and returns the items needing a **live**
+    /// measurement (replayed items are filled internally). The caller
+    /// measures them — in any order, on any thread, via
+    /// [`measure_request`](super::measure_request) with each item's
+    /// `eval_seed` — and hands the results back to
+    /// [`Campaign::complete_wave`] in the returned order. Idempotent
+    /// until the wave completes; empty when the campaign is done or the
+    /// tick needs no live measurement.
+    pub fn ready_wave(&mut self) -> Vec<WorkItem> {
+        self.state.stage(
+            self.source.as_mut(),
+            &mut self.middleware,
+            &mut self.fan,
+            self.timer.as_mut(),
+        );
+        self.state.staged_live().into_iter().cloned().collect()
+    }
+
+    /// Completes the staged wave with the live measurements for
+    /// [`Campaign::ready_wave`]'s items, in that order. Returns whether
+    /// the campaign is done.
+    pub fn complete_wave(&mut self, live: Vec<Measurement>) -> Result<bool, CampaignError> {
+        let expected = self.state.staged_live().len();
+        if live.len() != expected {
+            return Err(CampaignError::WaveSizeMismatch {
+                expected,
+                got: live.len(),
+            });
+        }
+        self.apply_wave(live);
+        Ok(self.state.done)
+    }
+
+    fn apply_wave(&mut self, live: Vec<Measurement>) {
+        let merged = self.state.merge_staged(live);
+        self.state.finish_tick(
+            &self.target,
+            &self.noise_strategy,
+            self.source.as_mut(),
+            &mut self.middleware,
+            &mut self.fan,
+            self.timer.as_mut(),
+            &mut self.storage,
+            merged,
+        );
+    }
+
+    /// Advances one tick inline (stage, measure, absorb), measuring the
+    /// wave on scoped worker threads exactly like [`super::Executor`].
+    /// Returns whether the campaign is done.
+    pub fn tick(&mut self) -> bool {
+        if self.state.done {
+            return true;
+        }
+        self.state.stage(
+            self.source.as_mut(),
+            &mut self.middleware,
+            &mut self.fan,
+            self.timer.as_mut(),
+        );
+        let live = measure_wave(
+            &self.target,
+            &self.noise_strategy,
+            &self.state.staged_live(),
+        );
+        self.apply_wave(live);
+        self.state.done
+    }
+
+    /// Drives the campaign to exhaustion and reports. Byte-identical to
+    /// [`super::Executor::run`] over the same collaborators and seed.
+    pub fn run(&mut self) -> ExecReport {
+        while !self.tick() {}
+        self.report()
+    }
+
+    /// Captures the campaign as `(seed, policy, event log)`. Requires
+    /// the event log and a tick boundary (no wave staged via
+    /// [`Campaign::ready_wave`] awaiting completion).
+    pub fn snapshot(&self) -> Result<CampaignSnapshot, CampaignError> {
+        let log = self.state.log.as_ref().ok_or(CampaignError::LogDisabled)?;
+        if !self.state.staged.is_empty() {
+            return Err(CampaignError::MidTick);
+        }
+        Ok(CampaignSnapshot {
+            version: SNAPSHOT_VERSION,
+            seed: self.state.seed,
+            policy: self.state.policy,
+            n_ticks: self.state.n_ticks,
+            target_clock: self.target.noise_clock(),
+            log: log.clone(),
+        })
+    }
+
+    /// Rebuilds a snapshotted campaign into `fresh` — a pristine campaign
+    /// constructed over the *same* target, source, middleware and seed as
+    /// the original — by replaying the snapshot's event log: suggestions,
+    /// fault rolls and middleware transforms are recomputed live under
+    /// the determinism contract while recorded measurements substitute
+    /// for the target. The rebuilt log is verified byte-identical to the
+    /// snapshot before the campaign is handed back; continuing it then
+    /// produces exactly what the original campaign would have produced.
+    pub fn resume(
+        snapshot: &CampaignSnapshot,
+        fresh: Campaign<'a>,
+    ) -> Result<Campaign<'a>, CampaignError> {
+        let mut c = fresh;
+        if snapshot.version != SNAPSHOT_VERSION {
+            return Err(CampaignError::SnapshotMismatch {
+                reason: format!(
+                    "snapshot version {} != supported {}",
+                    snapshot.version, SNAPSHOT_VERSION
+                ),
+            });
+        }
+        if c.state.policy != snapshot.policy {
+            return Err(CampaignError::SnapshotMismatch {
+                reason: format!(
+                    "policy {} != snapshot {}",
+                    c.state.policy.label(),
+                    snapshot.policy.label()
+                ),
+            });
+        }
+        if c.state.seed != snapshot.seed {
+            return Err(CampaignError::SnapshotMismatch {
+                reason: format!("seed {} != snapshot {}", c.state.seed, snapshot.seed),
+            });
+        }
+        if c.state.n_ticks != 0 || c.state.next_id != 0 {
+            return Err(CampaignError::NotPristine);
+        }
+        if c.state.log.is_none() {
+            return Err(CampaignError::LogDisabled);
+        }
+        for ev in &snapshot.log {
+            if let CampaignEvent::Measured { id, attempt, m } = ev {
+                c.state.replay.insert((*id, *attempt), m.clone());
+            }
+        }
+        // Drive whole ticks until the rebuilt log catches up with the
+        // snapshot. Snapshots are taken at tick boundaries, so a healthy
+        // replay lands exactly on the snapshot length and never needs a
+        // live measurement.
+        let target_len = snapshot.log.len();
+        while c.log_len() < target_len && !c.state.done {
+            let before = c.log_len();
+            let wave = c.ready_wave();
+            if let Some(w) = wave.first() {
+                return Err(CampaignError::MissingMeasurement {
+                    id: w.id,
+                    attempt: 0,
+                });
+            }
+            c.complete_wave(Vec::new())?;
+            if c.log_len() == before && !c.state.done {
+                return Err(CampaignError::ReplayDiverged {
+                    reason: "replay stalled without appending events".into(),
+                });
+            }
+        }
+        if !c.state.replay.is_empty() {
+            return Err(CampaignError::ReplayDiverged {
+                reason: format!(
+                    "{} recorded measurements were never consumed",
+                    c.state.replay.len()
+                ),
+            });
+        }
+        if c.log_len() != target_len {
+            return Err(CampaignError::ReplayDiverged {
+                reason: format!(
+                    "rebuilt log has {} events, snapshot has {target_len}",
+                    c.log_len()
+                ),
+            });
+        }
+        let rebuilt = serde_json::to_string(&c.state.log).unwrap_or_default();
+        let original = serde_json::to_string(&Some(snapshot.log.clone())).unwrap_or_default();
+        if rebuilt != original {
+            return Err(CampaignError::ReplayDiverged {
+                reason: "replayed log differs from the snapshot (different target, source \
+                         or middleware than the original campaign)"
+                    .into(),
+            });
+        }
+        // Replay served recorded measurements without evaluating, so the
+        // fresh target's drift clock lags the original's; fast-forward it
+        // so the continuation sees the same drift trajectory.
+        c.target.set_noise_clock(snapshot.target_clock);
+        Ok(c)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::executor::{EarlyAbortMw, Executor, OptimizerSource, OwnedOptimizerSource, RetryMw};
+    use crate::test_fixtures::redis_target;
+    use autotune_optimizer::RandomSearch;
+
+    fn campaign_for(policy: SchedulePolicy, budget: usize, seed: u64) -> Campaign<'static> {
+        let target = redis_target();
+        let opt = RandomSearch::new(target.space().clone());
+        Campaign::new(
+            target,
+            Box::new(OwnedOptimizerSource::new(Box::new(opt), budget)),
+            policy,
+            seed,
+        )
+    }
+
+    fn exec_run(policy: SchedulePolicy, budget: usize, seed: u64) -> (String, ExecReport) {
+        let target = redis_target();
+        let mut opt = RandomSearch::new(target.space().clone());
+        let mut source = OptimizerSource::new(&mut opt, budget);
+        let mut storage = TrialStorage::new();
+        let report = Executor::new(&target, policy).run(&mut source, &mut storage, seed);
+        (storage.to_json(), report)
+    }
+
+    #[test]
+    fn campaign_run_matches_executor_byte_for_byte() {
+        for policy in [
+            SchedulePolicy::Sequential,
+            SchedulePolicy::SyncBatch { k: 3 },
+            SchedulePolicy::AsyncSlots { k: 3 },
+        ] {
+            let (exec_json, exec_report) = exec_run(policy, 14, 33);
+            let mut campaign = campaign_for(policy, 14, 33);
+            let report = campaign.run();
+            assert_eq!(campaign.storage().to_json(), exec_json, "{policy:?}");
+            assert_eq!(
+                report.wall_clock_s.to_bits(),
+                exec_report.wall_clock_s.to_bits()
+            );
+            assert_eq!(report.n_trials, exec_report.n_trials);
+        }
+    }
+
+    #[test]
+    fn wave_api_matches_inline_ticks() {
+        // Driving via ready_wave/complete_wave (what a registry does)
+        // must equal the inline tick path byte for byte.
+        let mut inline = campaign_for(SchedulePolicy::AsyncSlots { k: 2 }, 10, 9);
+        let inline_report = inline.run();
+        let mut waved = campaign_for(SchedulePolicy::AsyncSlots { k: 2 }, 10, 9);
+        loop {
+            let wave = waved.ready_wave();
+            let live: Vec<Measurement> = wave
+                .iter()
+                .map(|w| {
+                    measure_request(waved.target(), waved.noise_strategy(), &w.req, w.eval_seed)
+                })
+                .collect();
+            if waved.complete_wave(live).expect("sizes match") {
+                break;
+            }
+        }
+        assert_eq!(inline.storage().to_json(), waved.storage().to_json());
+        assert_eq!(
+            inline_report.wall_clock_s.to_bits(),
+            waved.report().wall_clock_s.to_bits()
+        );
+    }
+
+    #[test]
+    fn snapshot_resume_mid_campaign_is_byte_identical() {
+        let mut straight = campaign_for(SchedulePolicy::AsyncSlots { k: 2 }, 12, 5);
+        straight.run();
+
+        let mut half = campaign_for(SchedulePolicy::AsyncSlots { k: 2 }, 12, 5);
+        for _ in 0..5 {
+            half.tick();
+        }
+        let snap = half.snapshot().expect("log enabled");
+        let json = snap.to_json();
+        let parsed = CampaignSnapshot::from_json(&json).expect("round-trips");
+
+        let fresh = campaign_for(SchedulePolicy::AsyncSlots { k: 2 }, 12, 5);
+        let mut resumed = Campaign::resume(&parsed, fresh).expect("replay succeeds");
+        assert_eq!(resumed.n_ticks(), half.n_ticks());
+        assert_eq!(resumed.storage().to_json(), half.storage().to_json());
+        resumed.run();
+        assert_eq!(resumed.storage().to_json(), straight.storage().to_json());
+        assert_eq!(
+            resumed.report().wall_clock_s.to_bits(),
+            straight.report().wall_clock_s.to_bits()
+        );
+    }
+
+    #[test]
+    fn resume_rejects_mismatched_campaigns() {
+        let mut c = campaign_for(SchedulePolicy::Sequential, 6, 1);
+        c.run();
+        let snap = c.snapshot().expect("log enabled");
+
+        let wrong_seed = campaign_for(SchedulePolicy::Sequential, 6, 2);
+        assert!(matches!(
+            Campaign::resume(&snap, wrong_seed),
+            Err(CampaignError::SnapshotMismatch { .. })
+        ));
+        let wrong_policy = campaign_for(SchedulePolicy::SyncBatch { k: 2 }, 6, 1);
+        assert!(matches!(
+            Campaign::resume(&snap, wrong_policy),
+            Err(CampaignError::SnapshotMismatch { .. })
+        ));
+        let mut stale = campaign_for(SchedulePolicy::Sequential, 6, 1);
+        stale.tick();
+        assert!(matches!(
+            Campaign::resume(&snap, stale),
+            Err(CampaignError::NotPristine)
+        ));
+    }
+
+    #[test]
+    fn resume_detects_divergent_construction() {
+        // Resuming over a different budget changes the suggestion
+        // stream's exhaustion point — the rebuilt log must not silently
+        // pass verification.
+        let mut c = campaign_for(SchedulePolicy::Sequential, 8, 3);
+        c.run();
+        let snap = c.snapshot().expect("log enabled");
+        let shorter = campaign_for(SchedulePolicy::Sequential, 4, 3);
+        assert!(Campaign::resume(&snap, shorter).is_err());
+    }
+
+    #[test]
+    fn event_log_survives_faults_and_retries() {
+        use autotune_sim::{CloudNoise, FaultPlan, NoiseConfig};
+        let build = || {
+            let target = redis_target()
+                .with_noise(CloudNoise::new_fleet(4, NoiseConfig::default(), 5))
+                .with_faults(FaultPlan::aggressive(5));
+            let opt = RandomSearch::new(target.space().clone());
+            Campaign::new(
+                target,
+                Box::new(OwnedOptimizerSource::new(Box::new(opt), 16)),
+                SchedulePolicy::Sequential,
+                5,
+            )
+            .with_middleware(Box::new(RetryMw::new(3, 5.0)))
+            .with_middleware(Box::new(EarlyAbortMw::new(1.3)))
+        };
+        let mut straight = build();
+        let report = straight.run();
+        assert!(report.n_retried > 0, "aggressive plan should retry");
+        // Retry re-measurements land in the log with attempt > 0.
+        assert!(straight
+            .log()
+            .expect("enabled")
+            .iter()
+            .any(|e| matches!(e, CampaignEvent::Measured { attempt, .. } if *attempt > 0)));
+
+        let mut half = build();
+        for _ in 0..7 {
+            half.tick();
+        }
+        let snap = half.snapshot().expect("log enabled");
+        let mut resumed = Campaign::resume(&snap, build()).expect("replay succeeds");
+        resumed.run();
+        assert_eq!(resumed.storage().to_json(), straight.storage().to_json());
+    }
+}

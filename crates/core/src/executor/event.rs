@@ -3,12 +3,14 @@
 //! what a completed trial looks like to the source ([`TrialOutcome`]),
 //! and the event stream a campaign emits ([`TrialEvent`]).
 
+use crate::trial::nan_as_null;
 use crate::TrialStatus;
 use autotune_sim::{FailureKind, TelemetrySample, Workload};
 use autotune_space::Config;
+use serde::{Deserialize, Serialize};
 
 /// A trial a [`super::TrialSource`] wants executed.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct TrialRequest {
     /// The configuration to evaluate.
     pub config: Config,
@@ -36,9 +38,11 @@ impl TrialRequest {
 /// What one measurement produced, before and after the middleware chain
 /// transforms it (early-abort censoring adjusts `cost`/`elapsed_s` and
 /// sets `aborted`).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Measurement {
-    /// Scalar cost (NaN = crashed).
+    /// Scalar cost (NaN = crashed). JSON has no NaN, so crashes
+    /// serialize as `null` and round-trip back to NaN.
+    #[serde(with = "nan_as_null")]
     pub cost: f64,
     /// Benchmark seconds charged for the trial.
     pub elapsed_s: f64,
@@ -73,16 +77,19 @@ impl Measurement {
 }
 
 /// A finalized trial as reported back to the [`super::TrialSource`].
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct TrialOutcome {
     /// Trial id within the campaign (dispatch order).
     pub id: u64,
     /// The evaluated configuration.
     pub config: Config,
-    /// Recorded cost (NaN = crashed, censored when aborted).
+    /// Recorded cost (NaN = crashed, censored when aborted; NaN
+    /// serializes as JSON `null`).
+    #[serde(with = "nan_as_null")]
     pub cost: f64,
     /// Cost fed to the learner. Defaults to `cost`; crash-penalty
     /// middleware may replace NaN with a large finite penalty.
+    #[serde(with = "nan_as_null")]
     pub learn_cost: f64,
     /// Benchmark seconds charged.
     pub elapsed_s: f64,

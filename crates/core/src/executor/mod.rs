@@ -18,26 +18,30 @@
 //! perturb results, and `Sequential`, `SyncBatch{k:1}` and
 //! `AsyncSlots{k:1}` produce byte-identical trial histories.
 
+mod campaign;
 mod event;
 mod middleware;
 mod policy;
 mod source;
 
+pub use campaign::{
+    Campaign, CampaignError, CampaignEvent, CampaignSnapshot, WorkItem, SNAPSHOT_VERSION,
+};
 pub use event::{Measurement, TrialEvent, TrialOutcome, TrialRequest};
 pub use middleware::{
     CrashPenaltyMw, EarlyAbortMw, MachineAssignMw, Middleware, QuarantineMw, RetryMw, TimeoutMw,
 };
 pub use policy::SchedulePolicy;
-pub use source::{OptimizerSource, RungSource, SourceStep, TrialSource};
+pub use source::{OptimizerSource, OwnedOptimizerSource, RungSource, SourceStep, TrialSource};
 
 use crate::telemetry::{
     MetricsCollector, MetricsSnapshot, NullTimer, OptEvent, Subscriber, WallTimer,
 };
-use crate::{NoiseStrategy, Objective, Target, Trial, TrialStatus, TrialStorage};
+use crate::{NoiseStrategy, Objective, Target, TrialStorage};
 use autotune_sim::{FailureKind, Fault};
+use campaign::CampaignState;
 use rand::rngs::StdRng;
 use rand::{RngCore, SeedableRng};
-use std::collections::BTreeSet;
 
 /// Derives a trial's private evaluation seed from the campaign seed and
 /// the trial id (SplitMix64-style finalizer: adjacent ids land far apart).
@@ -74,22 +78,6 @@ pub struct ExecReport {
     /// histograms, per-machine utilization) — collected by the always-on
     /// internal [`MetricsCollector`].
     pub metrics: MetricsSnapshot,
-}
-
-/// A trial admitted but not yet measured.
-struct Pending {
-    id: u64,
-    req: TrialRequest,
-    eval_seed: u64,
-}
-
-/// A measured trial waiting for its virtual finish time.
-struct Scheduled {
-    id: u64,
-    req: TrialRequest,
-    m: Measurement,
-    finish: f64,
-    retries: u32,
 }
 
 /// The event-driven trial executor.
@@ -172,339 +160,34 @@ impl<'a> Executor<'a> {
         storage: &mut TrialStorage,
         seed: u64,
     ) -> ExecReport {
-        let mut suggest_rng = StdRng::seed_from_u64(seed);
-        let mut events = Vec::new();
-        let mut clock = 0.0_f64;
-        let mut machine_seconds = 0.0;
-        let mut n_trials = 0usize;
-        let mut n_aborted = 0usize;
-        let mut n_transient = 0usize;
-        let mut n_retried = 0usize;
-        let mut quarantined: BTreeSet<usize> = BTreeSet::new();
-        let mut saved_s = 0.0;
-        let mut next_id: u64 = 0;
-        let mut in_flight: Vec<Scheduled> = Vec::new();
-        let mut exhausted = false;
-        let capacity = self.policy.capacity();
-        let barrier = self.policy.barrier();
         let cost_is_elapsed = matches!(self.target.objective(), Objective::MinimizeElapsed);
         let mut fan = FanOut {
             collector: MetricsCollector::new(),
             subs: std::mem::take(&mut self.subscribers),
         };
         let mut timer = std::mem::replace(&mut self.timer, Box::new(NullTimer));
-        let mut last_refits = source.n_refits();
-        let mut last_updates = source.n_model_updates();
-
-        loop {
-            // Admission: fill free slots from the source.
-            let mut wave: Vec<Pending> = Vec::new();
-            while !exhausted && in_flight.len() + wave.len() < capacity {
-                let prospective = next_id;
-                fan.opt(clock, &OptEvent::SuggestBegin { id: prospective });
-                let t0 = timer.now_ns();
-                let step = source.next(&mut suggest_rng);
-                let wall_ns = timer.now_ns().saturating_sub(t0);
-                fan.opt(
-                    clock,
-                    &OptEvent::SuggestEnd {
-                        id: prospective,
-                        wall_ns,
-                        dispatched: matches!(step, SourceStep::Dispatch(_)),
-                    },
-                );
-                let refits = source.n_refits();
-                if refits > last_refits {
-                    last_refits = refits;
-                    fan.opt(
-                        clock,
-                        &OptEvent::SurrogateRefit {
-                            id: prospective,
-                            n_refits: refits,
-                        },
-                    );
-                }
-                let updates = source.n_model_updates();
-                if updates > last_updates {
-                    last_updates = updates;
-                    fan.opt(
-                        clock,
-                        &OptEvent::ModelUpdate {
-                            id: prospective,
-                            n_updates: updates,
-                        },
-                    );
-                }
-                match step {
-                    SourceStep::Dispatch(mut req) => {
-                        for mw in &mut self.middleware {
-                            mw.before_dispatch(&mut req, &mut suggest_rng);
-                        }
-                        let id = next_id;
-                        next_id += 1;
-                        let ev = TrialEvent::Suggested {
-                            id,
-                            config: req.config.clone(),
-                        };
-                        fan.trial(clock, &ev);
-                        events.push(ev);
-                        wave.push(Pending {
-                            id,
-                            req,
-                            eval_seed: trial_seed(seed, id),
-                        });
-                    }
-                    SourceStep::Wait => break,
-                    SourceStep::Exhausted => {
-                        exhausted = true;
-                        break;
-                    }
-                }
-            }
-            for (config, rung) in source.take_promotions() {
-                let ev = TrialEvent::Promoted { config, rung };
-                fan.trial(clock, &ev);
-                events.push(ev);
-            }
-
-            // Measurement: evaluate the wave (concurrently when >1), then
-            // per trial: inject any planned fault, run censoring
-            // middleware, and loop on retries — a retry re-measures with a
-            // fresh per-attempt seed and a fresh fault roll, charging the
-            // failed attempt plus backoff to the trial's elapsed time.
-            let measured = measure_wave(self.target, &self.noise_strategy, &wave);
-            for (p, m) in wave.into_iter().zip(measured) {
-                let ev = TrialEvent::Started {
-                    id: p.id,
-                    at_s: clock,
-                    machine_id: m.machine_id.or(p.req.machine_id),
-                };
-                fan.trial(clock, &ev);
-                events.push(ev);
-                let mut m = m;
-                let mut attempt: u32 = 0;
-                let mut carried_s = 0.0_f64;
-                loop {
-                    if m.fault.is_none() {
-                        // ConfigCrash already set by the target; otherwise
-                        // roll this attempt's infrastructure fate.
-                        if let Some(plan) = self.target.faults() {
-                            let machine = m.machine_id.or(p.req.machine_id);
-                            if let Some(f) = plan.roll(p.id, attempt, machine, clock + carried_s) {
-                                apply_fault(&f, &mut m, cost_is_elapsed);
-                            }
-                        }
-                    }
-                    for mw in &mut self.middleware {
-                        mw.after_measure(&mut m, cost_is_elapsed);
-                    }
-                    let backoff = self
-                        .middleware
-                        .iter_mut()
-                        .find_map(|mw| mw.retry_after(&m, attempt));
-                    match backoff {
-                        Some(backoff_s) => {
-                            carried_s += m.elapsed_s + backoff_s;
-                            attempt += 1;
-                            let ev = TrialEvent::Retried {
-                                id: p.id,
-                                attempt,
-                                backoff_s,
-                                at_s: clock + carried_s,
-                            };
-                            fan.trial(clock + carried_s, &ev);
-                            events.push(ev);
-                            m = measure_one(
-                                self.target,
-                                &self.noise_strategy,
-                                &p.req,
-                                trial_seed(p.eval_seed, u64::from(attempt)),
-                            );
-                        }
-                        None => break,
-                    }
-                }
-                m.elapsed_s += carried_s;
-                in_flight.push(Scheduled {
-                    id: p.id,
-                    req: p.req,
-                    finish: clock + m.elapsed_s,
-                    retries: attempt,
-                    m,
-                });
-            }
-
-            if in_flight.is_empty() {
-                // Exhausted and drained — or a source that waits with
-                // nothing in flight, which would never unblock.
-                break;
-            }
-
-            // Completion: a full wave under a batch barrier, else the
-            // earliest virtual finisher (ties go to dispatch order).
-            let completed: Vec<Scheduled> = if barrier {
-                let batch_max = in_flight
-                    .iter()
-                    .map(|s| s.m.elapsed_s)
-                    .fold(0.0_f64, f64::max);
-                clock += batch_max;
-                std::mem::take(&mut in_flight)
-            } else {
-                let i = in_flight
-                    .iter()
-                    .enumerate()
-                    .min_by(|(_, a), (_, b)| a.finish.total_cmp(&b.finish))
-                    .map(|(i, _)| i)
-                    .expect("in_flight nonempty"); // lint: allow(D5) empty in_flight breaks the loop above
-                let s = in_flight.remove(i);
-                clock = clock.max(s.finish);
-                vec![s]
-            };
-
-            for s in completed {
-                let status = if s.m.aborted {
-                    TrialStatus::Aborted
-                } else if s.m.cost.is_nan() && s.m.fault.is_some_and(|f| f.is_transient()) {
-                    TrialStatus::TransientFailure
-                } else if !s.m.cost.is_finite() {
-                    TrialStatus::Crashed
-                } else {
-                    TrialStatus::Complete
-                };
-                let mut outcome = TrialOutcome {
-                    id: s.id,
-                    config: s.req.config,
-                    cost: s.m.cost,
-                    learn_cost: s.m.cost,
-                    elapsed_s: s.m.elapsed_s,
-                    fidelity: s.req.fidelity,
-                    machine_id: s.m.machine_id,
-                    status,
-                    retries: s.retries,
-                    fault: s.m.fault,
-                    telemetry: s.m.telemetry,
-                };
-                for mw in &mut self.middleware {
-                    mw.on_outcome(&mut outcome);
-                }
-                fan.opt(clock, &OptEvent::ObserveBegin { id: outcome.id });
-                let t0 = timer.now_ns();
-                source.report(&outcome);
-                let wall_ns = timer.now_ns().saturating_sub(t0);
-                fan.opt(
-                    clock,
-                    &OptEvent::ObserveEnd {
-                        id: outcome.id,
-                        wall_ns,
-                    },
-                );
-                let refits = source.n_refits();
-                if refits > last_refits {
-                    last_refits = refits;
-                    fan.opt(
-                        clock,
-                        &OptEvent::SurrogateRefit {
-                            id: outcome.id,
-                            n_refits: refits,
-                        },
-                    );
-                }
-                let updates = source.n_model_updates();
-                if updates > last_updates {
-                    last_updates = updates;
-                    fan.opt(
-                        clock,
-                        &OptEvent::ModelUpdate {
-                            id: outcome.id,
-                            n_updates: updates,
-                        },
-                    );
-                }
-                machine_seconds += outcome.elapsed_s;
-                n_trials += 1;
-                n_retried += s.retries as usize;
-                saved_s += s.m.saved_s;
-                let ev = match status {
-                    TrialStatus::Crashed => TrialEvent::Crashed {
-                        id: outcome.id,
-                        elapsed_s: outcome.elapsed_s,
-                    },
-                    TrialStatus::Aborted => {
-                        n_aborted += 1;
-                        TrialEvent::Aborted {
-                            id: outcome.id,
-                            cost: outcome.cost,
-                            elapsed_s: outcome.elapsed_s,
-                        }
-                    }
-                    TrialStatus::TransientFailure => {
-                        n_transient += 1;
-                        TrialEvent::FailedTransient {
-                            id: outcome.id,
-                            kind: outcome.fault.unwrap_or(FailureKind::Transient),
-                            elapsed_s: outcome.elapsed_s,
-                        }
-                    }
-                    TrialStatus::Complete => TrialEvent::Finished {
-                        id: outcome.id,
-                        cost: outcome.cost,
-                        elapsed_s: outcome.elapsed_s,
-                    },
-                };
-                fan.trial(clock, &ev);
-                events.push(ev);
-                fan.outcome(clock, &outcome);
-                let mut trial = match status {
-                    TrialStatus::Aborted => {
-                        Trial::aborted(outcome.config, outcome.cost, outcome.elapsed_s)
-                    }
-                    TrialStatus::TransientFailure => {
-                        Trial::transient_failure(outcome.config, outcome.elapsed_s)
-                    }
-                    TrialStatus::Crashed => {
-                        let mut t = Trial::crashed(outcome.config, outcome.elapsed_s);
-                        t.cost = outcome.cost; // preserve ±inf vs NaN
-                        t
-                    }
-                    TrialStatus::Complete => {
-                        Trial::complete(outcome.config, outcome.cost, outcome.elapsed_s)
-                    }
-                }
-                .at_fidelity(outcome.fidelity)
-                .with_retries(outcome.retries);
-                if let Some(m) = outcome.machine_id {
-                    trial = trial.on_machine(m);
-                }
-                storage.record(trial);
-            }
-
-            // Drain middleware lifecycle events (quarantines, releases).
-            for mw in &mut self.middleware {
-                for ev in mw.take_events() {
-                    if let TrialEvent::Quarantined { machine_id } = ev {
-                        quarantined.insert(machine_id);
-                    }
-                    fan.trial(clock, &ev);
-                    events.push(ev);
-                }
-            }
+        // The executor never snapshots, so the campaign event log stays
+        // off; everything else is the shared per-campaign state machine.
+        let mut state = CampaignState::new(seed, self.policy, cost_is_elapsed, false);
+        while !state.is_done() {
+            state.stage(source, &mut self.middleware, &mut fan, timer.as_mut());
+            let live = measure_wave(self.target, &self.noise_strategy, &state.staged_live());
+            let merged = state.merge_staged(live);
+            state.finish_tick(
+                self.target,
+                &self.noise_strategy,
+                source,
+                &mut self.middleware,
+                &mut fan,
+                timer.as_mut(),
+                storage,
+                merged,
+            );
         }
-
-        fan.end(clock);
+        let metrics = fan.collector.snapshot();
         self.subscribers = fan.subs;
         self.timer = timer;
-        ExecReport {
-            events,
-            wall_clock_s: clock,
-            machine_seconds,
-            n_trials,
-            n_aborted,
-            n_transient,
-            n_retried,
-            n_quarantined_machines: quarantined.len(),
-            saved_s,
-            metrics: fan.collector.snapshot(),
-        }
+        state.into_report(metrics)
     }
 }
 
@@ -581,10 +264,12 @@ fn apply_fault(f: &Fault, m: &mut Measurement, cost_is_elapsed: bool) {
     }
 }
 
-/// Measures one request with its private RNG stream. Workload overrides
-/// and machine pins evaluate directly (keeping telemetry); everything
-/// else goes through the campaign's noise strategy.
-fn measure_one(
+/// Measures one request with its private RNG stream (the worker-side
+/// half of the campaign tick: pure, reentrant, callable from any
+/// thread). Workload overrides and machine pins evaluate directly
+/// (keeping telemetry); everything else goes through the campaign's
+/// noise strategy.
+pub fn measure_request(
     target: &Target,
     strategy: &NoiseStrategy,
     req: &TrialRequest,
@@ -617,9 +302,9 @@ fn measure_one(
 /// the wave has genuine parallelism (shared [`autotune_linalg::par_map`]
 /// machinery). Per-trial RNG streams make the result independent of
 /// thread scheduling.
-fn measure_wave(target: &Target, strategy: &NoiseStrategy, wave: &[Pending]) -> Vec<Measurement> {
+fn measure_wave(target: &Target, strategy: &NoiseStrategy, wave: &[&WorkItem]) -> Vec<Measurement> {
     autotune_linalg::par_map(wave, 2, |_, p| {
-        measure_one(target, strategy, &p.req, p.eval_seed)
+        measure_request(target, strategy, &p.req, p.eval_seed)
     })
 }
 
@@ -627,6 +312,7 @@ fn measure_wave(target: &Target, strategy: &NoiseStrategy, wave: &[Pending]) -> 
 mod tests {
     use super::*;
     use crate::test_fixtures::redis_target;
+    use crate::TrialStatus;
     use autotune_optimizer::{BayesianOptimizer, Optimizer, RandomSearch};
     use autotune_space::Config;
 

@@ -1,8 +1,10 @@
 //! Pluggable scheduling policies: how many trials run at once and where
 //! the synchronization barriers sit.
 
+use serde::{Deserialize, Serialize};
+
 /// How the executor admits and completes trials (tutorial slide 57).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum SchedulePolicy {
     /// One trial at a time, the classic sequential loop (slide 33).
     Sequential,

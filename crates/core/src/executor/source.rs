@@ -114,6 +114,62 @@ impl TrialSource for OptimizerSource<'_> {
     }
 }
 
+/// The owning twin of [`OptimizerSource`]: same budgeted ask/tell
+/// adapter, but it owns its optimizer, so a
+/// [`Campaign`](super::Campaign) built over it is `'static` and can be
+/// parked in a long-lived registry (the serve layer's normal case).
+pub struct OwnedOptimizerSource {
+    optimizer: Box<dyn Optimizer>,
+    budget: usize,
+    suggested: usize,
+}
+
+impl OwnedOptimizerSource {
+    /// Wraps `optimizer` with a budget of `budget` trials.
+    pub fn new(optimizer: Box<dyn Optimizer>, budget: usize) -> Self {
+        OwnedOptimizerSource {
+            optimizer,
+            budget,
+            suggested: 0,
+        }
+    }
+
+    /// The wrapped optimizer (e.g. to export observations for transfer).
+    pub fn optimizer(&self) -> &dyn Optimizer {
+        self.optimizer.as_ref()
+    }
+}
+
+impl TrialSource for OwnedOptimizerSource {
+    // Keep in lockstep with OptimizerSource above: the two adapters must
+    // produce identical suggestion/report behaviour.
+    fn next(&mut self, rng: &mut dyn RngCore) -> SourceStep {
+        if self.suggested >= self.budget {
+            return SourceStep::Exhausted;
+        }
+        self.suggested += 1;
+        let config = self.optimizer.suggest(rng);
+        self.optimizer.mark_pending(&config);
+        SourceStep::Dispatch(TrialRequest::new(config))
+    }
+
+    fn report(&mut self, outcome: &TrialOutcome) {
+        if outcome.learn_cost.is_nan() && outcome.fault.is_some_and(|f| f.is_transient()) {
+            self.optimizer.unmark_pending(&outcome.config);
+            return;
+        }
+        self.optimizer.observe(&outcome.config, outcome.learn_cost);
+    }
+
+    fn n_refits(&self) -> usize {
+        self.optimizer.n_refits()
+    }
+
+    fn n_model_updates(&self) -> usize {
+        self.optimizer.n_model_updates()
+    }
+}
+
 /// Successive-halving source: dispatches a pool of configurations through
 /// a fidelity ladder, holding a barrier at every rung and promoting the
 /// top `1/eta` fraction to the next (more expensive) rung.

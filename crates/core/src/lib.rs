@@ -90,9 +90,10 @@ mod test_fixtures;
 
 pub use early_abort::EarlyAbort;
 pub use executor::{
-    CrashPenaltyMw, EarlyAbortMw, ExecReport, Executor, MachineAssignMw, Middleware,
-    OptimizerSource, QuarantineMw, RetryMw, RungSource, SchedulePolicy, TimeoutMw, TrialEvent,
-    TrialOutcome, TrialRequest, TrialSource,
+    measure_request, Campaign, CampaignError, CampaignEvent, CampaignSnapshot, CrashPenaltyMw,
+    EarlyAbortMw, ExecReport, Executor, MachineAssignMw, Measurement, Middleware, OptimizerSource,
+    OwnedOptimizerSource, QuarantineMw, RetryMw, RungSource, SchedulePolicy, SourceStep, TimeoutMw,
+    TrialEvent, TrialOutcome, TrialRequest, TrialSource, WorkItem,
 };
 pub use importance::{lasso_path, permutation_importance, KnobImportance};
 pub use llamatune::{LlamaTune, LlamaTuneConfig};

@@ -1,17 +1,19 @@
 //! The tuning session: the sequential experiment loop of slide 33,
 //! hardened with the systems machinery of slides 55-71.
 //!
-//! Since the executor refactor this is a thin binding layer: `run`
-//! assembles an [`Executor`] with a [`SchedulePolicy::Sequential`] policy,
-//! the session's noise strategy, and an early-abort middleware borrowing
-//! the session's long-lived policy, then drives an [`OptimizerSource`]
-//! through it.
+//! Since the campaign refactor this is a thin single-campaign adapter:
+//! `run` assembles a [`Campaign`] with a [`SchedulePolicy::Sequential`]
+//! policy, the session's noise strategy, and an early-abort middleware
+//! borrowing the session's long-lived policy, drives it to exhaustion,
+//! and folds the campaign's history and telemetry back into the
+//! session's long-lived storage and metrics.
 
-use crate::executor::{EarlyAbortMw, Executor, OptimizerSource, SchedulePolicy};
+use crate::executor::{Campaign, EarlyAbortMw, OptimizerSource, SchedulePolicy};
 use crate::telemetry::{MetricsSnapshot, Subscriber};
 use crate::{EarlyAbort, NoiseStrategy, Objective, Target, Trial, TrialStatus, TrialStorage};
 use autotune_optimizer::Optimizer;
 use rand::rngs::StdRng;
+use std::sync::Arc;
 
 /// Session-level options.
 #[derive(Debug, Clone)]
@@ -55,14 +57,15 @@ pub struct SessionSummary {
     pub n_quarantined_machines: usize,
     /// Benchmark seconds saved by early abort.
     pub saved_s: f64,
-    /// Rolled-up telemetry across every executor run of this session
-    /// (empty for legacy [`TuningSession::step`]-only sessions).
+    /// Rolled-up telemetry across everything this session ran — campaign
+    /// runs and legacy [`TuningSession::step`] calls alike contribute
+    /// uniformly.
     pub metrics: MetricsSnapshot,
 }
 
 /// A sequential tuning campaign binding a target and an optimizer.
 pub struct TuningSession {
-    target: Target,
+    target: Arc<Target>,
     optimizer: Box<dyn Optimizer>,
     storage: TrialStorage,
     config: SessionConfig,
@@ -76,7 +79,7 @@ impl TuningSession {
     pub fn new(target: Target, optimizer: Box<dyn Optimizer>, config: SessionConfig) -> Self {
         let early_abort = config.early_abort_ratio.map(EarlyAbort::new);
         TuningSession {
-            target,
+            target: Arc::new(target),
             optimizer,
             storage: TrialStorage::new(),
             config,
@@ -129,6 +132,23 @@ impl TuningSession {
         };
 
         self.optimizer.observe(&config, cost);
+
+        // Roll the step into the session metrics exactly as a campaign
+        // tick would, so step-driven and run-driven sessions report
+        // through one uniform MetricsSnapshot.
+        self.metrics.n_suggested += 1;
+        self.metrics.n_started += 1;
+        if aborted {
+            self.metrics.n_aborted += 1;
+        } else if cost.is_finite() {
+            self.metrics.n_finished += 1;
+        } else {
+            self.metrics.n_crashed += 1;
+        }
+        self.metrics.trial_latency_s.record(charged_elapsed);
+        self.metrics.queue_wait_s.record(0.0);
+        self.metrics.wall_clock_s += charged_elapsed;
+
         if aborted {
             self.storage
                 .record(Trial::aborted(config, cost, charged_elapsed))
@@ -155,16 +175,24 @@ impl TuningSession {
         subscribers: &mut [&mut dyn Subscriber],
     ) -> Option<SessionSummary> {
         {
-            let mut source = OptimizerSource::new(self.optimizer.as_mut(), budget);
-            let mut exec = Executor::new(&self.target, SchedulePolicy::Sequential)
-                .with_noise_strategy(self.config.noise_strategy.clone());
+            let mut campaign = Campaign::new(
+                Arc::clone(&self.target),
+                Box::new(OptimizerSource::new(self.optimizer.as_mut(), budget)),
+                SchedulePolicy::Sequential,
+                seed,
+            )
+            .with_noise_strategy(self.config.noise_strategy.clone())
+            .with_event_log(false); // one-shot campaign, never snapshotted
             if let Some(ea) = self.early_abort.as_mut() {
-                exec = exec.with_middleware(Box::new(EarlyAbortMw::over(ea)));
+                campaign = campaign.with_middleware(Box::new(EarlyAbortMw::over(ea)));
             }
             for sub in subscribers.iter_mut() {
-                exec = exec.with_subscriber(Box::new(&mut **sub));
+                campaign = campaign.with_subscriber(Box::new(&mut **sub));
             }
-            let report = exec.run(&mut source, &mut self.storage, seed);
+            let report = campaign.run();
+            for trial in campaign.into_storage().into_trials() {
+                self.storage.record(trial);
+            }
             self.n_quarantined_machines += report.n_quarantined_machines;
             self.metrics.merge(&report.metrics);
         }
@@ -344,6 +372,35 @@ mod tests {
             repeat.total_elapsed_s,
             single.total_elapsed_s
         );
+    }
+
+    #[test]
+    fn step_sessions_report_metrics_uniformly() {
+        // Regression: `summary().metrics` used to stay empty for sessions
+        // driven only through the legacy `step` path, splitting consumers
+        // into legacy/observed cases. Steps now roll up like campaign
+        // ticks do.
+        let target = crate::test_fixtures::redis_target();
+        let opt = RandomSearch::new(target.space().clone());
+        let mut session = TuningSession::new(target, Box::new(opt), SessionConfig::default());
+        let mut rng = StdRng::seed_from_u64(29);
+        for _ in 0..4 {
+            session.step(&mut rng);
+        }
+        let summary = session.summary().expect("trials");
+        assert_eq!(summary.metrics.n_suggested, 4);
+        assert_eq!(summary.metrics.n_started, 4);
+        assert_eq!(
+            summary.metrics.n_finished + summary.metrics.n_crashed + summary.metrics.n_aborted,
+            4
+        );
+        assert_eq!(summary.metrics.trial_latency_s.count(), 4);
+        assert!(summary.metrics.wall_clock_s > 0.0);
+        // A subsequent campaign run merges on top instead of replacing.
+        session.run(5, 29).expect("trials");
+        let summary = session.summary().expect("trials");
+        assert_eq!(summary.metrics.n_suggested, 9);
+        assert_eq!(summary.metrics.trial_latency_s.count(), 9);
     }
 
     #[test]

@@ -131,6 +131,22 @@ impl Target {
         &self.name
     }
 
+    /// Current position of the temporal-drift clock: the number of
+    /// evaluations this target has served. Captured by
+    /// [`Campaign::snapshot`](crate::Campaign::snapshot) so a resumed
+    /// campaign's continuation sees the same drift trajectory.
+    pub fn noise_clock(&self) -> u64 {
+        self.clock.load(Ordering::Relaxed)
+    }
+
+    /// Repositions the temporal-drift clock (used by
+    /// [`Campaign::resume`](crate::Campaign::resume), whose replay serves
+    /// recorded measurements instead of evaluating and must fast-forward
+    /// the clock past them).
+    pub fn set_noise_clock(&self, t: u64) {
+        self.clock.store(t, Ordering::Relaxed);
+    }
+
     /// The objective.
     pub fn objective(&self) -> &Objective {
         &self.objective

@@ -43,19 +43,22 @@ pub use progress::ProgressReporter;
 pub use span::{MachineMark, SpanRecorder, SpanSegment, TrialSpan};
 
 use crate::executor::{TrialEvent, TrialOutcome};
+use serde::{Deserialize, Serialize};
 
 /// Optimizer-side lifecycle events, delivered to subscribers alongside
 /// the trial stream. They are *not* recorded in
 /// [`ExecReport::events`](crate::executor::ExecReport::events): the
 /// `wall_ns` payloads come from an injected [`WallTimer`] and would make
-/// the event log non-deterministic.
+/// the event log non-deterministic. (The resumable
+/// [`Campaign`](crate::executor::Campaign) event log *does* record them,
+/// with `wall_ns` zeroed for the same reason.)
 ///
 /// Suggestion and observation are instantaneous on the virtual clock
 /// (the simulated cluster never waits for the tuner), so a begin/end
 /// pair shares one virtual timestamp; the pair's `wall_ns` carries the
 /// *real* overhead the tuner spent, which is exactly the quantity the
 /// "tuning the tuner" literature asks campaigns to measure.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub enum OptEvent {
     /// The executor is about to ask the source for trial `id` (the id the
     /// suggestion will receive if one is dispatched).

@@ -10,7 +10,10 @@ use autotune_space::Config;
 use serde::{Deserialize, Serialize};
 
 /// Serializes NaN as JSON `null` (and back), since JSON has no NaN.
-mod nan_as_null {
+/// Shared with the executor's event types ([`crate::executor::Measurement`],
+/// [`crate::executor::TrialOutcome`]), whose cost fields are NaN for
+/// crashed trials.
+pub(crate) mod nan_as_null {
     use serde::{Deserialize, Deserializer, Serializer};
 
     pub fn serialize<S: Serializer>(v: &f64, s: S) -> Result<S::Ok, S::Error> {
@@ -122,6 +125,13 @@ impl TrialStorage {
     /// All trials in execution order.
     pub fn trials(&self) -> &[Trial] {
         &self.trials
+    }
+
+    /// Consumes the storage, yielding the trials in execution order
+    /// (e.g. to merge a campaign's history into a longer-lived store —
+    /// [`TrialStorage::record`] renumbers ids on the way in).
+    pub fn into_trials(self) -> Vec<Trial> {
+        self.trials
     }
 
     /// Number of trials.

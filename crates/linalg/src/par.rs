@@ -33,6 +33,22 @@ where
     F: Fn(usize, &T) -> R + Sync,
 {
     let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+    par_map_threads(items, min_parallel, threads, f)
+}
+
+/// [`par_map`] with an explicit worker-thread cap instead of the host's
+/// reported parallelism — for callers that own a sized worker pool (e.g.
+/// a campaign registry multiplexing many campaigns over `w` workers).
+/// Output is bitwise identical for every `threads` value, including 1.
+///
+/// # Panics
+/// Propagates a panic from any worker thread.
+pub fn par_map_threads<T, R, F>(items: &[T], min_parallel: usize, threads: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
     if threads < 2 || items.len() < min_parallel.max(2) {
         return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
     }
@@ -92,6 +108,20 @@ mod tests {
         let items = vec!["a", "b", "c", "d", "e"];
         let idx = par_map(&items, 2, |i, _| i);
         assert_eq!(idx, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn thread_cap_never_changes_output() {
+        let items: Vec<u64> = (0..257).collect();
+        let want: Vec<u64> = items
+            .iter()
+            .enumerate()
+            .map(|(i, x)| x.wrapping_mul(31) ^ i as u64)
+            .collect();
+        for threads in [1, 2, 3, 8, 64] {
+            let got = par_map_threads(&items, 2, threads, |i, x| x.wrapping_mul(31) ^ i as u64);
+            assert_eq!(got, want, "threads={threads}");
+        }
     }
 
     #[test]

@@ -1,0 +1,49 @@
+//! `autotune-serve` — serve thousands of tuning campaigns concurrently.
+//!
+//! The core crate's [`Campaign`](autotune::Campaign) is an owned,
+//! resumable state machine: it stages waves of trials, accepts their
+//! measurements from any thread, and logs everything needed to snapshot
+//! and byte-identically resume. This crate is the layer above it, for
+//! the "autotuning as a service" deployments the tutorial surveys
+//! (SageDB-style fleets, per-tenant database tuners): many campaigns,
+//! one bounded measurement pool, fair progress for all of them.
+//!
+//! Three pieces:
+//!
+//! * [`CampaignSpec`] — a fully serializable campaign description
+//!   (system, workload, objective, optimizer, schedule, seed) that
+//!   builds an owned `'static` campaign. Spec + snapshot is the durable
+//!   representation of a tenant's tuner.
+//! * [`CampaignRegistry`] — owns N campaigns and advances them in
+//!   deficit-round-robin rounds over a worker pool; each campaign's
+//!   history is byte-identical to running it alone, for any worker
+//!   count (see the `registry` module docs for the argument).
+//! * [`Server`]/[`Client`] — a typed request/response control protocol
+//!   (register, step, snapshot, stats, stop) over any framed byte
+//!   stream; [`pipe`] and [`spawn_server`] give an in-process deployment.
+//!
+//! ```
+//! use autotune_serve::{spawn_server, CampaignRegistry, CampaignSpec, SystemKind};
+//!
+//! let (mut client, server) = spawn_server(|| CampaignRegistry::new(4));
+//! let id = client
+//!     .register(&CampaignSpec::minimal("tenant-0", SystemKind::Redis, 6, 42))
+//!     .unwrap();
+//! client.run_all().unwrap();
+//! let stats = client.stats(id).unwrap();
+//! assert!(stats.done && stats.n_trials > 0);
+//! let snapshot = client.snapshot(id).unwrap(); // durable: spec + snapshot resumes
+//! assert!(!snapshot.log.is_empty());
+//! client.shutdown().unwrap();
+//! server.join().unwrap().unwrap();
+//! ```
+
+mod protocol;
+mod registry;
+mod spec;
+
+pub use protocol::{
+    pipe, read_frame, spawn_server, write_frame, Client, PipeEnd, Request, Response, Server,
+};
+pub use registry::{CampaignRegistry, CampaignStats, FleetStats, RoundReport, ServeError};
+pub use spec::{CampaignSpec, NoiseSpec, OptimizerKind, SystemKind};

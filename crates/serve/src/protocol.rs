@@ -1,0 +1,527 @@
+//! Typed request/response control protocol for a campaign server.
+//!
+//! The serving layer exposes the registry over a byte stream: requests
+//! and responses are JSON documents framed by a little-endian `u32`
+//! length prefix, so any ordered transport works. This module provides
+//! the message types, the framing ([`write_frame`] / [`read_frame`]),
+//! an in-process duplex [`pipe`] built on a pair of blocking byte
+//! queues, and a [`Server`] loop plus [`Client`] handle.
+//!
+//! [`Campaign`](autotune::Campaign) is deliberately not `Send` (it may
+//! borrow thread-local subscribers), so the registry is constructed
+//! *inside* the server thread by a `Send` builder closure; only spec
+//! descriptions, snapshots and stats — plain serializable data — cross
+//! the pipe.
+
+use crate::registry::{CampaignRegistry, CampaignStats, FleetStats, ServeError};
+use crate::spec::CampaignSpec;
+use autotune::CampaignSnapshot;
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+use std::io::{Read, Write};
+use std::sync::{Arc, Condvar, Mutex};
+
+/// A control request to the campaign server.
+// Register dominates the enum size by carrying a whole CampaignSpec, but
+// requests are transient (framed, handled, dropped) and never stored in
+// bulk, so the usual boxing remedy buys nothing here.
+#[allow(clippy::large_enum_variant)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum Request {
+    /// Build and register a campaign from a spec; answers
+    /// [`Response::Registered`].
+    Register {
+        /// The campaign description.
+        spec: CampaignSpec,
+    },
+    /// Execute scheduling rounds; answers [`Response::Stepped`].
+    Step {
+        /// How many rounds (each round services every eligible campaign).
+        rounds: u32,
+    },
+    /// Run rounds until the whole fleet is done or stopped; answers
+    /// [`Response::Stepped`].
+    RunAll,
+    /// Snapshot one campaign; answers [`Response::Snapshot`].
+    Snapshot {
+        /// Registry id.
+        id: u64,
+    },
+    /// Per-campaign stats; answers [`Response::Stats`].
+    Stats {
+        /// Registry id.
+        id: u64,
+    },
+    /// Aggregate stats; answers [`Response::Fleet`].
+    FleetStats,
+    /// Stop serving one campaign; answers [`Response::Stopped`].
+    Stop {
+        /// Registry id.
+        id: u64,
+    },
+    /// Shut the server down; answers [`Response::Bye`].
+    Shutdown,
+}
+
+/// A server reply. Every request gets exactly one response, in order.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum Response {
+    /// Campaign registered under this id.
+    Registered {
+        /// Registry-assigned id.
+        id: u64,
+    },
+    /// Rounds executed.
+    Stepped {
+        /// Rounds actually run.
+        rounds: u64,
+        /// Campaigns still active afterwards.
+        n_active: u64,
+    },
+    /// A campaign snapshot (seed + policy + event log + drift clock).
+    Snapshot {
+        /// The snapshot.
+        snapshot: CampaignSnapshot,
+    },
+    /// Per-campaign stats.
+    Stats {
+        /// The stats.
+        stats: CampaignStats,
+    },
+    /// Aggregate fleet stats.
+    Fleet {
+        /// The stats.
+        stats: FleetStats,
+    },
+    /// Campaign stopped.
+    Stopped {
+        /// Whether it was active before the stop.
+        was_active: bool,
+    },
+    /// Server is shutting down.
+    Bye,
+    /// The request failed; the connection stays usable.
+    Error {
+        /// Human-readable failure description.
+        message: String,
+    },
+}
+
+/// Writes one length-prefixed JSON frame.
+pub fn write_frame<T: Serialize>(w: &mut impl Write, msg: &T) -> Result<(), ServeError> {
+    let body = serde_json::to_string(msg).map_err(|e| ServeError::Protocol(e.to_string()))?;
+    let bytes = body.as_bytes();
+    let len =
+        u32::try_from(bytes.len()).map_err(|_| ServeError::Protocol("frame over 4 GiB".into()))?;
+    w.write_all(&len.to_le_bytes())
+        .and_then(|()| w.write_all(bytes))
+        .and_then(|()| w.flush())
+        .map_err(|e| ServeError::Protocol(e.to_string()))
+}
+
+/// Reads one length-prefixed JSON frame; `Ok(None)` on clean EOF at a
+/// frame boundary.
+pub fn read_frame<T: for<'de> Deserialize<'de>>(
+    r: &mut impl Read,
+) -> Result<Option<T>, ServeError> {
+    let mut len = [0u8; 4];
+    match r.read_exact(&mut len) {
+        Ok(()) => {}
+        Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => return Ok(None),
+        Err(e) => return Err(ServeError::Protocol(e.to_string())),
+    }
+    let mut body = vec![0u8; u32::from_le_bytes(len) as usize];
+    r.read_exact(&mut body)
+        .map_err(|e| ServeError::Protocol(e.to_string()))?;
+    let text = std::str::from_utf8(&body).map_err(|e| ServeError::Protocol(e.to_string()))?;
+    serde_json::from_str(text)
+        .map(Some)
+        .map_err(|e| ServeError::Protocol(e.to_string()))
+}
+
+/// One direction of the in-process pipe: a blocking bounded-by-nothing
+/// byte queue. `Read` blocks until bytes arrive or the write side hangs
+/// up.
+#[derive(Default)]
+struct ByteQueue {
+    state: Mutex<QueueState>,
+    ready: Condvar,
+}
+
+#[derive(Default)]
+struct QueueState {
+    buf: VecDeque<u8>,
+    closed: bool,
+}
+
+impl ByteQueue {
+    fn push(&self, bytes: &[u8]) -> std::io::Result<()> {
+        let mut st = lock_queue(&self.state);
+        if st.closed {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::BrokenPipe,
+                "pipe closed",
+            ));
+        }
+        st.buf.extend(bytes);
+        self.ready.notify_all();
+        Ok(())
+    }
+
+    fn pop(&self, out: &mut [u8]) -> std::io::Result<usize> {
+        let mut st = lock_queue(&self.state);
+        while st.buf.is_empty() {
+            if st.closed {
+                return Ok(0);
+            }
+            st = wait_queue(&self.ready, st);
+        }
+        let n = out.len().min(st.buf.len());
+        for slot in out.iter_mut().take(n) {
+            // The loop guard guarantees the queue is non-empty here.
+            *slot = st.buf.pop_front().unwrap_or(0);
+        }
+        Ok(n)
+    }
+
+    fn close(&self) {
+        lock_queue(&self.state).closed = true;
+        self.ready.notify_all();
+    }
+}
+
+/// Mutex poisoning only happens after a panic in a peer thread; at that
+/// point the pipe is dead anyway, so recover the guard and let the
+/// closed/EOF paths surface the failure.
+fn lock_queue(m: &Mutex<QueueState>) -> std::sync::MutexGuard<'_, QueueState> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+fn wait_queue<'a>(
+    cv: &Condvar,
+    guard: std::sync::MutexGuard<'a, QueueState>,
+) -> std::sync::MutexGuard<'a, QueueState> {
+    cv.wait(guard)
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// One end of an in-process duplex byte pipe. `Send`, so either end can
+/// move into a thread. Dropping an end closes both directions it owns.
+pub struct PipeEnd {
+    rx: Arc<ByteQueue>,
+    tx: Arc<ByteQueue>,
+}
+
+impl Read for PipeEnd {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        self.rx.pop(buf)
+    }
+}
+
+impl Write for PipeEnd {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        self.tx.push(buf).map(|()| buf.len())
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+impl Drop for PipeEnd {
+    fn drop(&mut self) {
+        self.tx.close();
+        self.rx.close();
+    }
+}
+
+/// Creates a connected duplex pipe: bytes written to one end are read
+/// from the other.
+pub fn pipe() -> (PipeEnd, PipeEnd) {
+    let a = Arc::new(ByteQueue::default());
+    let b = Arc::new(ByteQueue::default());
+    (
+        PipeEnd {
+            rx: Arc::clone(&a),
+            tx: Arc::clone(&b),
+        },
+        PipeEnd { rx: b, tx: a },
+    )
+}
+
+/// Serves a registry over a framed byte stream until `Shutdown`, clean
+/// EOF, or a transport error. Request-level failures (unknown id,
+/// campaign errors) are answered with [`Response::Error`] and the loop
+/// continues.
+pub struct Server<S: Read + Write> {
+    stream: S,
+    registry: CampaignRegistry,
+}
+
+impl<S: Read + Write> Server<S> {
+    /// A server over `stream` driving `registry`.
+    pub fn new(stream: S, registry: CampaignRegistry) -> Self {
+        Server { stream, registry }
+    }
+
+    /// Runs the request loop to completion, returning the registry (for
+    /// post-mortem inspection in tests and tools).
+    pub fn serve(mut self) -> Result<CampaignRegistry, ServeError> {
+        while let Some(req) = read_frame::<Request>(&mut self.stream)? {
+            let shutdown = matches!(req, Request::Shutdown);
+            let resp = self.handle(req);
+            write_frame(&mut self.stream, &resp)?;
+            if shutdown {
+                break;
+            }
+        }
+        Ok(self.registry)
+    }
+
+    fn handle(&mut self, req: Request) -> Response {
+        match self.try_handle(req) {
+            Ok(resp) => resp,
+            Err(e) => Response::Error {
+                message: e.to_string(),
+            },
+        }
+    }
+
+    fn try_handle(&mut self, req: Request) -> Result<Response, ServeError> {
+        Ok(match req {
+            Request::Register { spec } => Response::Registered {
+                id: self.registry.register_spec(&spec),
+            },
+            Request::Step { rounds } => {
+                let mut run = 0;
+                for _ in 0..rounds {
+                    if self.registry.n_active() == 0 {
+                        break;
+                    }
+                    self.registry.step_round()?;
+                    run += 1;
+                }
+                Response::Stepped {
+                    rounds: run,
+                    n_active: self.registry.n_active() as u64,
+                }
+            }
+            Request::RunAll => {
+                let rounds = self.registry.run_all()?;
+                Response::Stepped {
+                    rounds,
+                    n_active: self.registry.n_active() as u64,
+                }
+            }
+            Request::Snapshot { id } => Response::Snapshot {
+                snapshot: self.registry.snapshot(id)?,
+            },
+            Request::Stats { id } => Response::Stats {
+                stats: self.registry.stats(id)?,
+            },
+            Request::FleetStats => Response::Fleet {
+                stats: self.registry.fleet_stats(),
+            },
+            Request::Stop { id } => Response::Stopped {
+                was_active: self.registry.stop(id)?,
+            },
+            Request::Shutdown => Response::Bye,
+        })
+    }
+}
+
+/// Client handle over a framed byte stream. One in-flight request at a
+/// time; responses arrive in request order.
+pub struct Client<S: Read + Write> {
+    stream: S,
+}
+
+impl<S: Read + Write> Client<S> {
+    /// A client over `stream`.
+    pub fn new(stream: S) -> Self {
+        Client { stream }
+    }
+
+    /// Sends `req` and blocks for its response.
+    pub fn request(&mut self, req: &Request) -> Result<Response, ServeError> {
+        write_frame(&mut self.stream, req)?;
+        read_frame(&mut self.stream)?.ok_or_else(|| ServeError::Protocol("server hung up".into()))
+    }
+
+    /// Registers a spec, returning the assigned id.
+    pub fn register(&mut self, spec: &CampaignSpec) -> Result<u64, ServeError> {
+        match self.request(&Request::Register { spec: spec.clone() })? {
+            Response::Registered { id } => Ok(id),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Runs `rounds` scheduling rounds; returns (rounds run, active
+    /// campaigns remaining).
+    pub fn step(&mut self, rounds: u32) -> Result<(u64, u64), ServeError> {
+        match self.request(&Request::Step { rounds })? {
+            Response::Stepped { rounds, n_active } => Ok((rounds, n_active)),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Runs the fleet to completion; returns rounds run.
+    pub fn run_all(&mut self) -> Result<u64, ServeError> {
+        match self.request(&Request::RunAll)? {
+            Response::Stepped { rounds, .. } => Ok(rounds),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Snapshots a campaign.
+    pub fn snapshot(&mut self, id: u64) -> Result<CampaignSnapshot, ServeError> {
+        match self.request(&Request::Snapshot { id })? {
+            Response::Snapshot { snapshot } => Ok(snapshot),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Fetches per-campaign stats.
+    pub fn stats(&mut self, id: u64) -> Result<CampaignStats, ServeError> {
+        match self.request(&Request::Stats { id })? {
+            Response::Stats { stats } => Ok(stats),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Fetches aggregate fleet stats.
+    pub fn fleet_stats(&mut self) -> Result<FleetStats, ServeError> {
+        match self.request(&Request::FleetStats)? {
+            Response::Fleet { stats } => Ok(stats),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Stops serving a campaign.
+    pub fn stop(&mut self, id: u64) -> Result<bool, ServeError> {
+        match self.request(&Request::Stop { id })? {
+            Response::Stopped { was_active } => Ok(was_active),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Shuts the server down.
+    pub fn shutdown(&mut self) -> Result<(), ServeError> {
+        match self.request(&Request::Shutdown)? {
+            Response::Bye => Ok(()),
+            other => Err(unexpected(&other)),
+        }
+    }
+}
+
+fn unexpected(resp: &Response) -> ServeError {
+    match resp {
+        Response::Error { message } => ServeError::Protocol(message.clone()),
+        other => ServeError::Protocol(format!("unexpected response: {other:?}")),
+    }
+}
+
+/// Spawns a server thread over an in-process pipe and returns the
+/// connected client plus the server's join handle, which yields the
+/// final fleet stats (campaigns themselves are not `Send`, so the
+/// registry cannot cross back; `builder` runs inside the server thread
+/// for the same reason).
+pub fn spawn_server(
+    builder: impl FnOnce() -> CampaignRegistry + Send + 'static,
+) -> (
+    Client<PipeEnd>,
+    std::thread::JoinHandle<Result<FleetStats, ServeError>>,
+) {
+    let (client_end, server_end) = pipe();
+    let handle = std::thread::spawn(move || {
+        Server::new(server_end, builder())
+            .serve()
+            .map(|registry| registry.fleet_stats())
+    });
+    (Client::new(client_end), handle)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{CampaignSpec, SystemKind};
+    use autotune::SchedulePolicy;
+
+    fn spec(i: u64) -> CampaignSpec {
+        let mut s = CampaignSpec::minimal(format!("p{i}"), SystemKind::Redis, 5, 100 + i);
+        s.policy = SchedulePolicy::AsyncSlots { k: 2 };
+        s
+    }
+
+    #[test]
+    fn frame_round_trip() {
+        let mut buf = Vec::new();
+        let req = Request::Step { rounds: 3 };
+        write_frame(&mut buf, &req).unwrap();
+        let mut r = &buf[..];
+        let back: Request = read_frame(&mut r).unwrap().unwrap();
+        assert!(matches!(back, Request::Step { rounds: 3 }));
+        let eof: Option<Request> = read_frame(&mut r).unwrap();
+        assert!(eof.is_none());
+    }
+
+    #[test]
+    fn pipe_moves_bytes_across_threads() {
+        let (mut a, mut b) = pipe();
+        let t = std::thread::spawn(move || {
+            let mut buf = [0u8; 5];
+            b.read_exact(&mut buf).unwrap();
+            buf
+        });
+        a.write_all(b"hello").unwrap();
+        assert_eq!(&t.join().unwrap(), b"hello");
+    }
+
+    #[test]
+    fn server_round_trip_determinism_matches_direct_registry() {
+        // Drive the same fleet through the protocol and directly; the
+        // served histories must be byte-identical to direct serving.
+        let mut direct = CampaignRegistry::new(2);
+        let direct_ids: Vec<u64> = (0..3).map(|i| direct.register_spec(&spec(i))).collect();
+        direct.run_all().unwrap();
+
+        let (mut client, handle) = spawn_server(|| CampaignRegistry::new(2));
+        let ids: Vec<u64> = (0..3).map(|i| client.register(&spec(i)).unwrap()).collect();
+        client.run_all().unwrap();
+        for (id, direct_id) in ids.iter().zip(&direct_ids) {
+            let st = client.stats(*id).unwrap();
+            let want = direct.stats(*direct_id).unwrap();
+            assert!(st.done);
+            assert_eq!(st.n_trials, want.n_trials);
+            assert_eq!(st.best_cost.to_bits(), want.best_cost.to_bits());
+            assert_eq!(st.virtual_busy_s.to_bits(), want.virtual_busy_s.to_bits());
+        }
+        let snap = client.snapshot(ids[1]).unwrap();
+        assert_eq!(
+            serde_json::to_string(&snap).unwrap(),
+            serde_json::to_string(&direct.snapshot(direct_ids[1]).unwrap()).unwrap()
+        );
+        client.shutdown().unwrap();
+        let fleet = handle.join().unwrap().unwrap();
+        assert_eq!(fleet.n_active, 0);
+        assert_eq!(fleet.n_done, 3);
+    }
+
+    #[test]
+    fn request_errors_keep_connection_usable() {
+        let (mut client, handle) = spawn_server(|| CampaignRegistry::new(1));
+        assert!(client.stats(99).is_err());
+        let id = client.register(&spec(0)).unwrap();
+        client.run_all().unwrap();
+        assert!(client.stats(id).unwrap().done);
+        client.shutdown().unwrap();
+        handle.join().unwrap().unwrap();
+    }
+
+    #[test]
+    fn dropping_client_ends_server_cleanly() {
+        let (client, handle) = spawn_server(|| CampaignRegistry::new(1));
+        drop(client);
+        assert!(handle.join().unwrap().is_ok());
+    }
+}

@@ -1,0 +1,647 @@
+//! Multi-campaign registry with fair scheduling over a bounded pool.
+//!
+//! A [`CampaignRegistry`] owns many [`Campaign`]s and advances them in
+//! *rounds* of deficit round-robin: each active campaign accrues credit
+//! every round, and once its credit covers its policy's wave capacity it
+//! is serviced — its ready wave is staged, measured, and absorbed. Waves
+//! from all serviced campaigns in a round are measured together on a
+//! bounded worker pool ([`par_map_threads`]), one worker per wave.
+//!
+//! # Determinism
+//!
+//! Each campaign owns its target, so the only cross-campaign coupling is
+//! *which* waves get measured in a round — a pure function of credits and
+//! policies. Within a wave, measurements run sequentially in wave order
+//! on a single worker, because a noisy target's drift clock advances per
+//! evaluation: splitting one campaign's wave across threads would make
+//! the clock order scheduling-dependent. Parallelism therefore comes
+//! from servicing *different* campaigns concurrently, which touches
+//! disjoint targets. The result: every campaign's history is
+//! byte-identical to running it alone, for any worker count and any
+//! fleet composition.
+//!
+//! # Virtual pool accounting
+//!
+//! Real wall-clock on the test host says little about serving capacity
+//! (and reading it is banned in library code). Instead the registry
+//! keeps a deterministic *virtual* pool model: each round, the benchmark
+//! seconds of every measured trial are assigned greedily to the
+//! least-loaded of `workers` virtual workers; the round's makespan is
+//! the maximum worker load. Serial seconds divided by summed makespans
+//! gives the pool speedup a real fleet of that size would see.
+
+use crate::spec::CampaignSpec;
+use autotune::{measure_request, Campaign, CampaignError, CampaignSnapshot, MetricsSnapshot};
+use autotune_linalg::par_map_threads;
+
+/// Errors from registry operations.
+#[derive(Debug)]
+pub enum ServeError {
+    /// No campaign with the given id.
+    UnknownCampaign(u64),
+    /// The campaign rejected the operation (snapshot/resume/wave error).
+    Campaign(CampaignError),
+    /// A protocol-level failure (framing, serde, closed pipe).
+    Protocol(String),
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::UnknownCampaign(id) => write!(f, "unknown campaign id {id}"),
+            ServeError::Campaign(e) => write!(f, "campaign error: {e}"),
+            ServeError::Protocol(msg) => write!(f, "protocol error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<CampaignError> for ServeError {
+    fn from(e: CampaignError) -> Self {
+        ServeError::Campaign(e)
+    }
+}
+
+/// Point-in-time stats for one registered campaign. Flat and
+/// serializable so it can cross the serving protocol.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct CampaignStats {
+    /// Registry-assigned id.
+    pub id: u64,
+    /// Display name.
+    pub name: String,
+    /// Schedule label (e.g. `sync-batch(4)`).
+    pub policy: String,
+    /// Whether the campaign has drained its source.
+    pub done: bool,
+    /// Whether serving was stopped administratively.
+    pub stopped: bool,
+    /// Ticks completed.
+    pub n_ticks: u64,
+    /// Trials recorded in storage.
+    pub n_trials: usize,
+    /// Best finite cost so far (infinity if none).
+    pub best_cost: f64,
+    /// Waves serviced by the registry.
+    pub waves_served: u64,
+    /// Live measurements performed by the registry.
+    pub live_measurements: u64,
+    /// Benchmark seconds this campaign consumed on the virtual pool.
+    pub virtual_busy_s: f64,
+    /// Trials suggested (from the campaign's telemetry).
+    pub n_suggested: u64,
+    /// Trials crashed (from the campaign's telemetry).
+    pub n_crashed: u64,
+    /// Virtual campaign wall-clock seconds (from telemetry).
+    pub wall_clock_s: f64,
+    /// Mean suggest latency in real nanoseconds (0 without a timer).
+    pub mean_suggest_ns: f64,
+    /// Mean observe latency in real nanoseconds (0 without a timer).
+    pub mean_observe_ns: f64,
+}
+
+/// Aggregate stats for the whole registry.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct FleetStats {
+    /// Worker-pool size the registry schedules for.
+    pub workers: usize,
+    /// Scheduling rounds executed.
+    pub rounds: u64,
+    /// Registered campaigns.
+    pub n_campaigns: usize,
+    /// Campaigns still running (not done, not stopped).
+    pub n_active: usize,
+    /// Completed campaigns.
+    pub n_done: usize,
+    /// Live measurements performed across all campaigns.
+    pub live_measurements: u64,
+    /// Total benchmark seconds if measured strictly serially.
+    pub virtual_serial_s: f64,
+    /// Deterministic makespan of the same work on the virtual pool.
+    pub virtual_makespan_s: f64,
+    /// `virtual_serial_s / virtual_makespan_s` (1.0 when no work yet).
+    pub pool_speedup: f64,
+    /// Trials suggested across the fleet.
+    pub n_suggested: u64,
+    /// Trials crashed across the fleet.
+    pub n_crashed: u64,
+}
+
+struct Entry {
+    id: u64,
+    name: String,
+    campaign: Campaign<'static>,
+    credit: f64,
+    stopped: bool,
+    waves_served: u64,
+    live_measurements: u64,
+    virtual_busy_s: f64,
+}
+
+impl Entry {
+    fn active(&self) -> bool {
+        !self.stopped && !self.campaign.is_done()
+    }
+}
+
+/// Outcome of one [`CampaignRegistry::step_round`].
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct RoundReport {
+    /// Campaigns whose waves were measured this round.
+    pub campaigns_serviced: usize,
+    /// Live measurements performed this round.
+    pub live_measurements: usize,
+    /// Drain ticks (no live work) absorbed this round.
+    pub drain_ticks: usize,
+    /// Virtual makespan of this round's measurements on the pool.
+    pub makespan_s: f64,
+}
+
+/// Owns and fairly advances a fleet of campaigns. See the module docs
+/// for the scheduling and determinism story.
+pub struct CampaignRegistry {
+    entries: Vec<Entry>,
+    workers: usize,
+    quantum: f64,
+    next_id: u64,
+    rounds: u64,
+    virtual_serial_s: f64,
+    virtual_makespan_s: f64,
+}
+
+impl CampaignRegistry {
+    /// A registry scheduling for a pool of `workers` (clamped to ≥ 1).
+    pub fn new(workers: usize) -> Self {
+        CampaignRegistry {
+            entries: Vec::new(),
+            workers: workers.max(1),
+            quantum: 1.0,
+            next_id: 0,
+            rounds: 0,
+            virtual_serial_s: 0.0,
+            virtual_makespan_s: 0.0,
+        }
+    }
+
+    /// Credit accrued per campaign per round (default 1.0). Larger
+    /// quanta service wide-wave campaigns more eagerly; the value only
+    /// shifts interleaving order, never any campaign's own history.
+    pub fn with_quantum(mut self, quantum: f64) -> Self {
+        self.quantum = quantum.max(f64::MIN_POSITIVE);
+        self
+    }
+
+    /// Registers an owned campaign under `name`; returns its id.
+    pub fn register(&mut self, name: impl Into<String>, campaign: Campaign<'static>) -> u64 {
+        let id = self.next_id;
+        self.next_id += 1;
+        self.entries.push(Entry {
+            id,
+            name: name.into(),
+            campaign,
+            credit: 0.0,
+            stopped: false,
+            waves_served: 0,
+            live_measurements: 0,
+            virtual_busy_s: 0.0,
+        });
+        id
+    }
+
+    /// Builds and registers a campaign from a declarative spec.
+    pub fn register_spec(&mut self, spec: &CampaignSpec) -> u64 {
+        self.register(spec.name.clone(), spec.build())
+    }
+
+    /// Number of registered campaigns.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the registry is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Campaigns still running (not done, not stopped).
+    pub fn n_active(&self) -> usize {
+        self.entries.iter().filter(|e| e.active()).count()
+    }
+
+    /// Pool size this registry schedules for.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    fn entry(&self, id: u64) -> Result<&Entry, ServeError> {
+        self.entries
+            .iter()
+            .find(|e| e.id == id)
+            .ok_or(ServeError::UnknownCampaign(id))
+    }
+
+    fn entry_mut(&mut self, id: u64) -> Result<&mut Entry, ServeError> {
+        self.entries
+            .iter_mut()
+            .find(|e| e.id == id)
+            .ok_or(ServeError::UnknownCampaign(id))
+    }
+
+    /// Read access to a campaign (history, metrics, log).
+    pub fn campaign(&self, id: u64) -> Result<&Campaign<'static>, ServeError> {
+        Ok(&self.entry(id)?.campaign)
+    }
+
+    /// Stops serving a campaign (its state is kept and can still be
+    /// snapshotted). Returns whether it was previously active.
+    pub fn stop(&mut self, id: u64) -> Result<bool, ServeError> {
+        let entry = self.entry_mut(id)?;
+        let was_active = entry.active();
+        entry.stopped = true;
+        Ok(was_active)
+    }
+
+    /// Snapshots a campaign at its current tick boundary.
+    pub fn snapshot(&self, id: u64) -> Result<CampaignSnapshot, ServeError> {
+        Ok(self.entry(id)?.campaign.snapshot()?)
+    }
+
+    /// Removes a campaign from the registry, returning it.
+    pub fn deregister(&mut self, id: u64) -> Result<Campaign<'static>, ServeError> {
+        let idx = self
+            .entries
+            .iter()
+            .position(|e| e.id == id)
+            .ok_or(ServeError::UnknownCampaign(id))?;
+        Ok(self.entries.remove(idx).campaign)
+    }
+
+    /// Executes one deficit-round-robin round: accrues credit, stages
+    /// ready waves of every campaign whose credit covers its wave
+    /// capacity, measures all staged waves on the worker pool (one
+    /// worker per wave), and absorbs the results. Drain ticks — ticks
+    /// with no live measurement, e.g. barrier completions or replay
+    /// fills — are absorbed for free so a stalled campaign never blocks
+    /// the fleet.
+    pub fn step_round(&mut self) -> Result<RoundReport, ServeError> {
+        self.rounds += 1;
+        let mut report = RoundReport::default();
+        // Phase 1: accrue credit and stage waves.
+        let mut staged: Vec<(usize, Vec<autotune::WorkItem>)> = Vec::new();
+        for idx in 0..self.entries.len() {
+            let quantum = self.quantum;
+            let entry = &mut self.entries[idx];
+            if !entry.active() {
+                continue;
+            }
+            entry.credit += quantum;
+            let capacity = entry.campaign.policy().capacity() as f64;
+            if entry.credit < capacity {
+                continue;
+            }
+            // Absorb drain ticks for free until live work (or done).
+            loop {
+                let wave = entry.campaign.ready_wave();
+                if wave.is_empty() {
+                    if entry.campaign.is_done() {
+                        break;
+                    }
+                    entry.campaign.complete_wave(Vec::new())?;
+                    report.drain_ticks += 1;
+                    if entry.campaign.is_done() {
+                        break;
+                    }
+                    continue;
+                }
+                entry.credit -= (wave.len() as f64).max(1.0);
+                staged.push((idx, wave));
+                break;
+            }
+        }
+        // Phase 2: measure all staged waves on the pool — one worker
+        // per wave, sequential in wave order within a wave (see module
+        // docs for why splitting a wave would break determinism).
+        let jobs: Vec<_> = staged
+            .iter()
+            .map(|(idx, wave)| {
+                let c = &self.entries[*idx].campaign;
+                (
+                    std::sync::Arc::clone(c.target()),
+                    c.noise_strategy().clone(),
+                    wave.clone(),
+                )
+            })
+            .collect();
+        let measured: Vec<Vec<autotune::Measurement>> =
+            par_map_threads(&jobs, 2, self.workers, |_, (target, strategy, wave)| {
+                wave.iter()
+                    .map(|w| measure_request(target, strategy, &w.req, w.eval_seed))
+                    .collect()
+            });
+        // Phase 3: virtual-pool accounting, then absorb results in
+        // staging order.
+        let mut loads = vec![0.0f64; self.workers];
+        for m in measured.iter().flatten() {
+            let slot = least_loaded(&loads);
+            loads[slot] += m.elapsed_s;
+            self.virtual_serial_s += m.elapsed_s;
+        }
+        report.makespan_s = loads.iter().fold(0.0f64, |a, &b| a.max(b));
+        self.virtual_makespan_s += report.makespan_s;
+        for ((idx, _), live) in staged.iter().zip(measured) {
+            let entry = &mut self.entries[*idx];
+            let elapsed: f64 = live.iter().map(|m| m.elapsed_s).sum();
+            entry.waves_served += 1;
+            entry.live_measurements += live.len() as u64;
+            entry.virtual_busy_s += elapsed;
+            report.live_measurements += live.len();
+            report.campaigns_serviced += 1;
+            entry.campaign.complete_wave(live)?;
+        }
+        Ok(report)
+    }
+
+    /// Runs rounds until every campaign is done or stopped; returns the
+    /// number of rounds executed.
+    pub fn run_all(&mut self) -> Result<u64, ServeError> {
+        let start = self.rounds;
+        while self.n_active() > 0 {
+            self.step_round()?;
+        }
+        Ok(self.rounds - start)
+    }
+
+    /// Stats for one campaign.
+    pub fn stats(&self, id: u64) -> Result<CampaignStats, ServeError> {
+        let entry = self.entry(id)?;
+        let m = entry.campaign.metrics();
+        Ok(CampaignStats {
+            id: entry.id,
+            name: entry.name.clone(),
+            policy: entry.campaign.policy().label(),
+            done: entry.campaign.is_done(),
+            stopped: entry.stopped,
+            n_ticks: entry.campaign.n_ticks(),
+            n_trials: entry.campaign.storage().len(),
+            best_cost: entry
+                .campaign
+                .storage()
+                .best()
+                .map_or(f64::INFINITY, |t| t.cost),
+            waves_served: entry.waves_served,
+            live_measurements: entry.live_measurements,
+            virtual_busy_s: entry.virtual_busy_s,
+            n_suggested: m.n_suggested,
+            n_crashed: m.n_crashed,
+            wall_clock_s: m.wall_clock_s,
+            mean_suggest_ns: m.suggest_ns.mean(),
+            mean_observe_ns: m.observe_ns.mean(),
+        })
+    }
+
+    /// Merged telemetry across every registered campaign (wall clocks
+    /// add, as for sequential concatenation).
+    pub fn merged_metrics(&self) -> MetricsSnapshot {
+        let mut merged = MetricsSnapshot::default();
+        for entry in &self.entries {
+            merged.merge(&entry.campaign.metrics());
+        }
+        merged
+    }
+
+    /// Aggregate fleet stats.
+    pub fn fleet_stats(&self) -> FleetStats {
+        let merged = self.merged_metrics();
+        FleetStats {
+            workers: self.workers,
+            rounds: self.rounds,
+            n_campaigns: self.entries.len(),
+            n_active: self.n_active(),
+            n_done: self.entries.iter().filter(|e| e.campaign.is_done()).count(),
+            live_measurements: self.entries.iter().map(|e| e.live_measurements).sum(),
+            virtual_serial_s: self.virtual_serial_s,
+            virtual_makespan_s: self.virtual_makespan_s,
+            pool_speedup: if self.virtual_makespan_s > 0.0 {
+                self.virtual_serial_s / self.virtual_makespan_s
+            } else {
+                1.0
+            },
+            n_suggested: merged.n_suggested,
+            n_crashed: merged.n_crashed,
+        }
+    }
+
+    /// Ids of all registered campaigns, in registration order.
+    pub fn ids(&self) -> Vec<u64> {
+        self.entries.iter().map(|e| e.id).collect()
+    }
+}
+
+/// Index of the least-loaded virtual worker (first wins ties, so the
+/// assignment is deterministic).
+fn least_loaded(loads: &[f64]) -> usize {
+    let mut best = 0;
+    for (i, &l) in loads.iter().enumerate().skip(1) {
+        if l < loads[best] {
+            best = i;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{CampaignSpec, NoiseSpec, OptimizerKind, SystemKind};
+    use autotune::{Objective, SchedulePolicy};
+    use autotune_sim::{Environment, FaultPlan, NoiseConfig, Workload};
+
+    fn mixed_specs(n: usize) -> Vec<CampaignSpec> {
+        (0..n)
+            .map(|i| {
+                let mut s = CampaignSpec::minimal(
+                    format!("c{i}"),
+                    match i % 4 {
+                        0 => SystemKind::Redis,
+                        1 => SystemKind::Dbms,
+                        2 => SystemKind::Spark,
+                        _ => SystemKind::Nginx,
+                    },
+                    6 + i % 3,
+                    1_000 + i as u64,
+                );
+                s.workload = match i % 4 {
+                    0 => Workload::kv_cache(60_000.0),
+                    1 => Workload::tpcc(1_500.0),
+                    2 => Workload::tpch(8.0),
+                    _ => Workload::ycsb_b(40_000.0),
+                };
+                s.environment = Environment::small();
+                s.objective = if i % 2 == 0 {
+                    Objective::MinimizeLatencyAvg
+                } else {
+                    Objective::MinimizeLatencyP99
+                };
+                s.policy = match i % 3 {
+                    0 => SchedulePolicy::Sequential,
+                    1 => SchedulePolicy::SyncBatch { k: 3 },
+                    _ => SchedulePolicy::AsyncSlots { k: 2 },
+                };
+                s.optimizer = if i % 5 == 0 {
+                    OptimizerKind::BoGp
+                } else {
+                    OptimizerKind::Random
+                };
+                if i % 3 == 2 {
+                    s.noise = Some(NoiseSpec {
+                        n_machines: 3,
+                        config: NoiseConfig::default(),
+                        seed: 70 + i as u64,
+                    });
+                    s.faults = Some(FaultPlan::new(500 + i as u64));
+                }
+                s
+            })
+            .collect()
+    }
+
+    fn sequential_histories(specs: &[CampaignSpec]) -> Vec<String> {
+        specs
+            .iter()
+            .map(|s| {
+                let mut c = s.build();
+                c.run();
+                c.storage().to_json()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn interleaved_serving_determinism_matches_standalone_runs() {
+        let specs = mixed_specs(12);
+        let want = sequential_histories(&specs);
+        for workers in [1, 4] {
+            let mut reg = CampaignRegistry::new(workers);
+            let ids: Vec<u64> = specs.iter().map(|s| reg.register_spec(s)).collect();
+            reg.run_all().unwrap();
+            for (id, want) in ids.iter().zip(&want) {
+                let got = reg.campaign(*id).unwrap().storage().to_json();
+                assert_eq!(&got, want, "campaign {id} diverged (workers={workers})");
+            }
+        }
+    }
+
+    #[test]
+    fn round_determinism_same_fleet_same_round_reports() {
+        let specs = mixed_specs(6);
+        let run = |workers| {
+            let mut reg = CampaignRegistry::new(workers);
+            for s in &specs {
+                reg.register_spec(s);
+            }
+            let mut reports = Vec::new();
+            while reg.n_active() > 0 {
+                reports.push(reg.step_round().unwrap());
+            }
+            (reports, reg.fleet_stats().virtual_serial_s)
+        };
+        let (a, serial_a) = run(1);
+        let (b, serial_b) = run(1);
+        assert_eq!(a, b);
+        assert_eq!(serial_a.to_bits(), serial_b.to_bits());
+        // A bigger pool changes makespans but not the work done.
+        let (_, serial_c) = run(8);
+        assert_eq!(serial_a.to_bits(), serial_c.to_bits());
+    }
+
+    #[test]
+    fn snapshot_resume_determinism_through_registry() {
+        let specs = mixed_specs(4);
+        let want = sequential_histories(&specs);
+        let mut reg = CampaignRegistry::new(2);
+        let ids: Vec<u64> = specs.iter().map(|s| reg.register_spec(s)).collect();
+        for _ in 0..3 {
+            reg.step_round().unwrap();
+        }
+        // Snapshot every campaign mid-flight, resume into fresh builds,
+        // finish them standalone: histories must match the straight runs.
+        for (i, id) in ids.iter().enumerate() {
+            let snap = reg.snapshot(*id).unwrap();
+            let fresh = specs[i].build();
+            let mut resumed = autotune::Campaign::resume(&snap, fresh).unwrap();
+            resumed.run();
+            assert_eq!(
+                resumed.storage().to_json(),
+                want[i],
+                "campaign {i} resume diverged"
+            );
+        }
+    }
+
+    #[test]
+    fn fairness_no_campaign_starves() {
+        let specs = mixed_specs(9);
+        let mut reg = CampaignRegistry::new(2);
+        let ids: Vec<u64> = specs.iter().map(|s| reg.register_spec(s)).collect();
+        for _ in 0..4 {
+            reg.step_round().unwrap();
+        }
+        for id in &ids {
+            let st = reg.stats(*id).unwrap();
+            assert!(
+                st.waves_served > 0 || st.done,
+                "campaign {id} starved after 4 rounds: {st:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn stop_freezes_a_campaign_and_keeps_it_snapshotable() {
+        let specs = mixed_specs(3);
+        let mut reg = CampaignRegistry::new(2);
+        let ids: Vec<u64> = specs.iter().map(|s| reg.register_spec(s)).collect();
+        reg.step_round().unwrap();
+        assert!(reg.stop(ids[0]).unwrap());
+        let ticks = reg.stats(ids[0]).unwrap().n_ticks;
+        reg.run_all().unwrap();
+        assert_eq!(reg.stats(ids[0]).unwrap().n_ticks, ticks);
+        assert!(reg.snapshot(ids[0]).is_ok());
+        assert!(reg.stats(ids[1]).unwrap().done);
+        assert!(reg.stats(ids[2]).unwrap().done);
+    }
+
+    #[test]
+    fn virtual_pool_speedup_grows_with_workers() {
+        let specs = mixed_specs(12);
+        let makespan = |workers| {
+            let mut reg = CampaignRegistry::new(workers);
+            for s in &specs {
+                reg.register_spec(s);
+            }
+            reg.run_all().unwrap();
+            let fs = reg.fleet_stats();
+            (fs.virtual_serial_s, fs.virtual_makespan_s)
+        };
+        let (serial_1, mk_1) = makespan(1);
+        let (serial_8, mk_8) = makespan(8);
+        assert_eq!(serial_1.to_bits(), serial_8.to_bits());
+        assert!(
+            (mk_1 - serial_1).abs() < 1e-9,
+            "1 worker ⇒ makespan = serial"
+        );
+        assert!(
+            mk_8 < mk_1 / 2.0,
+            "8 virtual workers should at least halve the makespan: {mk_8} vs {mk_1}"
+        );
+    }
+
+    #[test]
+    fn unknown_ids_error() {
+        let mut reg = CampaignRegistry::new(1);
+        assert!(matches!(reg.stats(7), Err(ServeError::UnknownCampaign(7))));
+        assert!(reg.stop(0).is_err());
+        assert!(reg.snapshot(0).is_err());
+        assert!(reg.deregister(0).is_err());
+    }
+}

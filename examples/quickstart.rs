@@ -9,6 +9,31 @@
 //! ```text
 //! cargo run -p autotune-examples --bin quickstart --release
 //! ```
+//!
+//! # serve_demo: from one session to a served fleet
+//!
+//! A [`TuningSession`] drives exactly one campaign. When one process
+//! must tune many tenants, the `autotune-serve` layer runs each as an
+//! owned, snapshot-resumable campaign multiplexed over a bounded worker
+//! pool — without changing any campaign's outcome (this snippet is
+//! compile-checked as the `autotune_serve` crate-level doctest):
+//!
+//! ```text
+//! use autotune_serve::{spawn_server, CampaignRegistry, CampaignSpec, SystemKind};
+//!
+//! let (mut client, server) = spawn_server(|| CampaignRegistry::new(4));
+//! let id = client
+//!     .register(&CampaignSpec::minimal("tenant-0", SystemKind::Redis, 6, 42))
+//!     .unwrap();
+//! client.run_all().unwrap();
+//! let stats = client.stats(id).unwrap();          // per-campaign telemetry
+//! let snapshot = client.snapshot(id).unwrap();    // spec + snapshot = durable tuner
+//! client.shutdown().unwrap();
+//! server.join().unwrap().unwrap();
+//! ```
+//!
+//! See `workload_fleet.rs` for the registry used directly (no protocol)
+//! and `crates/serve` for the scheduling and determinism contract.
 
 use autotune::{Objective, SessionConfig, Target, TuningSession};
 use autotune_optimizer::{BayesianOptimizer, GridSearch, Optimizer, RandomSearch};

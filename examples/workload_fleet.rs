@@ -13,8 +13,8 @@
 //! cargo run -p autotune-examples --bin workload_fleet --release
 //! ```
 
-use autotune::{Objective, SessionConfig, Target, TuningSession};
-use autotune_optimizer::BayesianOptimizer;
+use autotune::Objective;
+use autotune_serve::{CampaignRegistry, CampaignSpec, OptimizerKind, SystemKind};
 use autotune_sim::{DbmsSim, Environment, SimSystem, Workload};
 use autotune_wid::{
     purity, ConfigStore, Embedder, EmbedderKind, Fingerprint, KMeans, StoredConfig,
@@ -65,23 +65,39 @@ fn main() {
         pur
     );
 
-    // 3. Tune one representative per family; store tuned configs.
+    // 3. Tune one representative per family — concurrently, through the
+    // serving layer: one registry multiplexes all three campaigns over a
+    // bounded worker pool, and each campaign's history stays
+    // byte-identical to tuning it alone.
+    let mut registry = CampaignRegistry::new(4);
+    let ids: Vec<u64> = families
+        .iter()
+        .enumerate()
+        .map(|(fam_idx, (name, w))| {
+            let mut spec = CampaignSpec::minimal(*name, SystemKind::Dbms, 30, 100 + fam_idx as u64);
+            spec.workload = w.clone();
+            spec.environment = env.clone();
+            spec.objective = Objective::MinimizeLatencyAvg;
+            spec.optimizer = OptimizerKind::BoGp;
+            registry.register_spec(&spec)
+        })
+        .collect();
+    registry.run_all().expect("fleet serves to completion");
+    let fleet = registry.fleet_stats();
+    println!(
+        "served {} campaigns in {} rounds ({:.1} virtual pool speedup)",
+        fleet.n_campaigns, fleet.rounds, fleet.pool_speedup
+    );
+
     let mut store = ConfigStore::new();
-    for (fam_idx, (name, w)) in families.iter().enumerate() {
-        let target = Target::simulated(
-            Box::new(DbmsSim::new()),
-            w.clone(),
-            env.clone(),
-            Objective::MinimizeLatencyAvg,
-        );
-        let opt = BayesianOptimizer::gp(target.space().clone());
-        let mut session = TuningSession::new(target, Box::new(opt), SessionConfig::default());
-        let summary = session
-            .run(30, 100 + fam_idx as u64)
-            .expect("at least one successful trial");
+    for (fam_idx, (name, _)) in families.iter().enumerate() {
+        let campaign = registry
+            .campaign(ids[fam_idx])
+            .expect("campaign registered above");
+        let best = campaign.storage().best().expect("budget > 0 trials ran");
         println!(
             "tuned representative '{name}': latency {:.3} ms after 30 trials",
-            summary.best_cost
+            best.cost
         );
         // Index the tuned config by the family's centroid embedding.
         let members: Vec<Vec<f64>> = points
@@ -98,8 +114,8 @@ fn main() {
         store.insert(StoredConfig {
             label: name.to_string(),
             embedding: centroid,
-            config: summary.best_config,
-            score: summary.best_cost,
+            config: best.config.clone(),
+            score: best.cost,
         });
     }
 

@@ -1,0 +1,177 @@
+//! Snapshot round-trip coverage for the resumable [`Campaign`] state
+//! machine: a golden serde fixture of a mid-campaign event log, plus a
+//! property test that `resume(snapshot(k))` equals running straight
+//! through, for arbitrary k across every schedule policy (Sequential,
+//! SyncBatch, AsyncSlots, Rungs).
+
+use autotune::{
+    Campaign, CampaignSnapshot, FidelityLevel, Objective, OwnedOptimizerSource, RetryMw,
+    RungSource, SchedulePolicy, Target,
+};
+use autotune_optimizer::RandomSearch;
+use autotune_sim::{CloudNoise, Environment, FaultPlan, NoiseConfig, RedisSim, Workload};
+use autotune_space::Config;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn redis_target(hostile: bool) -> Target {
+    let mut t = Target::simulated(
+        Box::new(RedisSim::new()),
+        Workload::kv_cache(20_000.0),
+        Environment::small(),
+        Objective::MinimizeLatencyP95,
+    );
+    if hostile {
+        t = t
+            .with_noise(CloudNoise::new_fleet(3, NoiseConfig::default(), 77))
+            .with_faults(FaultPlan::aggressive(5));
+    }
+    t
+}
+
+/// An owned campaign over random search; hostile targets get a retry
+/// middleware so transient faults exercise the attempt>0 log records.
+fn opt_campaign(
+    policy: SchedulePolicy,
+    seed: u64,
+    budget: usize,
+    hostile: bool,
+) -> Campaign<'static> {
+    let target = redis_target(hostile);
+    let opt = RandomSearch::new(target.space().clone());
+    let source = OwnedOptimizerSource::new(Box::new(opt), budget);
+    let mut c = Campaign::new(target, Box::new(source), policy, seed);
+    if hostile {
+        c = c.with_middleware(Box::new(RetryMw::new(2, 5.0)));
+    }
+    c
+}
+
+fn tpch_levels() -> Vec<FidelityLevel> {
+    vec![
+        FidelityLevel {
+            label: "SF-2".into(),
+            workload: Workload::tpch(2.0),
+        },
+        FidelityLevel {
+            label: "SF-8".into(),
+            workload: Workload::tpch(8.0),
+        },
+    ]
+}
+
+fn rung_pool(target: &Target, n: usize, seed: u64) -> Vec<Config> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n).map(|_| target.space().sample(&mut rng)).collect()
+}
+
+/// A campaign over a successive-halving rung ladder (borrowed source).
+fn rung_campaign<'a>(levels: &'a [FidelityLevel], seed: u64, slots: usize) -> Campaign<'a> {
+    let target = redis_target(false);
+    let pool = rung_pool(&target, 6, seed ^ 0x5eed);
+    let source = RungSource::new(levels, 2, pool);
+    Campaign::new(
+        target,
+        Box::new(source),
+        SchedulePolicy::Rungs { k: slots },
+        seed,
+    )
+}
+
+/// Drives to completion; returns (storage JSON, event-log JSON).
+fn finish(c: &mut Campaign<'_>) -> (String, String) {
+    c.run();
+    let log = serde_json::to_string(c.log().expect("log enabled")).unwrap();
+    (c.storage().to_json(), log)
+}
+
+/// Ticks `k` times (stopping early if done), snapshots, resumes the
+/// snapshot into `fresh`, finishes both, and asserts byte-identity.
+fn assert_resume_matches(mut half: Campaign<'_>, fresh: Campaign<'_>, k: usize) {
+    for _ in 0..k {
+        if half.tick() {
+            break;
+        }
+    }
+    let snap = half.snapshot().expect("snapshot at tick boundary");
+    // JSON round-trip the snapshot itself: resume must work from the
+    // parsed form, exactly as a service restoring persisted state would.
+    let parsed = CampaignSnapshot::from_json(&snap.to_json()).expect("snapshot parses");
+    let mut resumed = Campaign::resume(&parsed, fresh).expect("resume accepts fresh twin");
+    let (resumed_storage, resumed_log) = finish(&mut resumed);
+    let (straight_storage, straight_log) = finish(&mut half);
+    assert_eq!(
+        resumed_storage, straight_storage,
+        "trial histories diverged"
+    );
+    assert_eq!(resumed_log, straight_log, "event logs diverged");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// `resume(snapshot(k))` == straight run, for arbitrary k, every
+    /// schedule policy, benign and hostile (noise + faults + retries)
+    /// targets.
+    #[test]
+    fn resume_equals_straight_run(seed in 0u64..300, k in 0usize..14, scenario in 0usize..7) {
+        let (policy, hostile) = match scenario {
+            0 => (SchedulePolicy::Sequential, false),
+            1 => (SchedulePolicy::Sequential, true),
+            2 => (SchedulePolicy::SyncBatch { k: 3 }, false),
+            3 => (SchedulePolicy::SyncBatch { k: 2 }, true),
+            4 => (SchedulePolicy::AsyncSlots { k: 3 }, false),
+            _ => (SchedulePolicy::AsyncSlots { k: 2 }, true),
+        };
+        if scenario < 6 {
+            let half = opt_campaign(policy, seed, 10, hostile);
+            let fresh = opt_campaign(policy, seed, 10, hostile);
+            assert_resume_matches(half, fresh, k);
+        } else {
+            let levels = tpch_levels();
+            let half = rung_campaign(&levels, seed, 2);
+            let fresh = rung_campaign(&levels, seed, 2);
+            assert_resume_matches(half, fresh, k);
+        }
+    }
+}
+
+/// Golden fixture: the serialized snapshot of a fixed mid-campaign state
+/// (hostile AsyncSlots campaign, 4 ticks in) is byte-stable across
+/// releases. Regenerate deliberately with
+/// `UPDATE_GOLDEN=1 cargo test -p autotune-tests --test campaign_snapshot`.
+#[test]
+fn snapshot_serde_matches_golden_fixture() {
+    let mut c = opt_campaign(SchedulePolicy::AsyncSlots { k: 2 }, 7, 10, true);
+    for _ in 0..4 {
+        if c.tick() {
+            break;
+        }
+    }
+    let json = c.snapshot().expect("snapshot at tick boundary").to_json();
+
+    let golden_path =
+        std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("golden/campaign_snapshot.json");
+    if std::env::var("UPDATE_GOLDEN").is_ok() {
+        std::fs::create_dir_all(golden_path.parent().unwrap()).unwrap();
+        std::fs::write(&golden_path, &json).unwrap();
+        return;
+    }
+    let golden = std::fs::read_to_string(&golden_path)
+        .expect("golden file missing — run with UPDATE_GOLDEN=1 to create it");
+    assert_eq!(
+        json, golden,
+        "snapshot serialization drifted from the golden fixture; if the \
+         change is intentional (and SNAPSHOT_VERSION was bumped for any \
+         incompatible change), regenerate with UPDATE_GOLDEN=1"
+    );
+
+    // The committed fixture must remain loadable and resumable.
+    let parsed = CampaignSnapshot::from_json(&golden).expect("golden snapshot parses");
+    let fresh = opt_campaign(SchedulePolicy::AsyncSlots { k: 2 }, 7, 10, true);
+    let mut resumed = Campaign::resume(&parsed, fresh).expect("golden snapshot resumes");
+    let (resumed_storage, _) = finish(&mut resumed);
+    let (straight_storage, _) = finish(&mut c);
+    assert_eq!(resumed_storage, straight_storage);
+}

@@ -37,6 +37,14 @@ echo "== fault determinism (release) =="
 # would surface.
 cargo test -q --release -p autotune-tests --test fault_resilience
 
+echo "== serve determinism (release) =="
+# ISSUE 6 acceptance: interleaving campaigns through the serving layer —
+# any worker count, any round schedule, snapshot/resume mid-flight,
+# through the wire protocol — must leave every campaign's history
+# byte-identical to running it alone. Checked against the optimized
+# build, where a thread-order leak in the wave fan-out would surface.
+cargo test -q --release -p autotune-serve -- determinism
+
 echo "== telemetry purity (release) =="
 # ISSUE 3 acceptance: enabling every telemetry subscriber leaves k=1
 # campaigns byte-identical.
