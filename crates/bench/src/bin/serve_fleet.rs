@@ -19,7 +19,8 @@
 
 use autotune::telemetry::WallTimer;
 use autotune_bench::experiments::e33_serve::{fleet_specs, FLEET_N};
-use autotune_serve::CampaignRegistry;
+use autotune_bench::experiments::e34_chaos::{chaos_drive, overload_drive, CHAOS_N};
+use autotune_serve::{AdmissionConfig, CampaignRegistry};
 use std::time::Instant;
 
 const WORKER_COUNTS: [usize; 5] = [1, 2, 4, 8, 16];
@@ -111,8 +112,53 @@ fn main() {
             )
         })
         .collect();
+    // Robustness trajectory (E34): WAL recovery latency under chaos
+    // crashes and the shed rate under bounded admission.
+    eprintln!("driving {CHAOS_N}-campaign fleet under chaos for recovery latency...");
+    let specs = fleet_specs(CHAOS_N);
+    let chaos = chaos_drive(&specs, 0xE34, 0.002, 0.004);
+    let want: Vec<String> = specs
+        .iter()
+        .map(|s| {
+            let mut c = s.build();
+            c.run();
+            c.storage().to_json()
+        })
+        .collect();
+    let overload = overload_drive(
+        &specs,
+        &want,
+        AdmissionConfig {
+            max_active: 24,
+            max_pending: 40,
+        },
+    );
+    let shed_rate = overload.shed as f64 / overload.offered as f64;
+    println!(
+        "chaos: {} crashes, {} panic recoveries, {} torn bytes, mean open {:.1} ms; overload: {}/{} shed ({:.1}%)",
+        chaos.crashes,
+        chaos.panic_recoveries,
+        chaos.torn_bytes,
+        chaos.mean_open_ms,
+        overload.shed,
+        overload.offered,
+        shed_rate * 100.0
+    );
+    let robustness = format!(
+        "  \"robustness\": {{\n    \"campaigns\": {CHAOS_N},\n    \"crashes\": {},\n    \"panic_recoveries\": {},\n    \"torn_bytes_truncated\": {},\n    \"mean_recovery_open_ms\": {:.2},\n    \"wal_appends\": {},\n    \"overload_offered\": {},\n    \"overload_accepted\": {},\n    \"overload_shed\": {},\n    \"shed_rate\": {:.4}\n  }},\n",
+        chaos.crashes,
+        chaos.panic_recoveries,
+        chaos.torn_bytes,
+        chaos.mean_open_ms,
+        chaos.wal_appends,
+        overload.offered,
+        overload.accepted,
+        overload.shed,
+        shed_rate
+    );
+
     let serve_json = format!(
-        "{{\n  \"benchmark\": \"serve_fleet: E33 mixed fleet of {FLEET_N} campaigns through CampaignRegistry\",\n  \"note\": \"virtual_* fields are deterministic (virtual pool model); real_* and *_ns fields are host-dependent\",\n  \"points\": [\n{}\n  ]\n}}\n",
+        "{{\n  \"benchmark\": \"serve_fleet: E33 mixed fleet of {FLEET_N} campaigns through CampaignRegistry\",\n  \"note\": \"virtual_* fields are deterministic (virtual pool model); real_* and *_ns fields are host-dependent; robustness block is the E34 chaos/overload arm\",\n{robustness}  \"points\": [\n{}\n  ]\n}}\n",
         rows.join(",\n")
     );
     std::fs::write("BENCH_serve.json", &serve_json).expect("write BENCH_serve.json");

@@ -32,6 +32,7 @@ pub mod e30_faults;
 pub mod e31_overhead;
 pub mod e32_hotpath;
 pub mod e33_serve;
+pub mod e34_chaos;
 
 use autotune::{Objective, Target};
 use autotune_optimizer::Optimizer;

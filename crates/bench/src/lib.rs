@@ -54,6 +54,7 @@ pub fn all_experiments() -> Vec<Experiment> {
         ("e31", experiments::e31_overhead::run),
         ("e32", experiments::e32_hotpath::run),
         ("e33", experiments::e33_serve::run),
+        ("e34", experiments::e34_chaos::run),
         ("ablations", experiments::ablations::run),
     ]
 }

@@ -427,6 +427,18 @@ impl CampaignState {
             .collect()
     }
 
+    /// Latest drift-clock position among the staged wave's replayed
+    /// measurements (0 when none carry a stamp). Measurements within a
+    /// wave run in wave order, so the max is the clock after the last
+    /// replayed one — where live measurement of the rest must begin.
+    pub(crate) fn staged_replayed_clock(&self) -> u64 {
+        self.staged
+            .iter()
+            .filter_map(|(_, m)| m.as_ref().map(|m| m.clock))
+            .max()
+            .unwrap_or(0)
+    }
+
     /// Pairs the staged wave with its measurements: replayed ones from
     /// the stage step, live ones from `live` in wave order.
     pub(crate) fn merge_staged(&mut self, live: Vec<Measurement>) -> Vec<(WorkItem, Measurement)> {
@@ -512,7 +524,17 @@ impl CampaignState {
                         };
                         self.emit_trial(fan, self.clock + carried_s, ev);
                         m = match self.replay.remove(&(p.id, attempt)) {
-                            Some(m) => m,
+                            Some(m) => {
+                                // A replayed re-measurement advanced the
+                                // original target's drift clock; keep the
+                                // fresh target in step so any *live*
+                                // measurement later in this replay starts
+                                // from the recorded trajectory.
+                                if m.clock > target.noise_clock() {
+                                    target.set_noise_clock(m.clock);
+                                }
+                                m
+                            }
                             None => measure_request(
                                 target,
                                 noise,
@@ -883,13 +905,26 @@ impl<'a> Campaign<'a> {
     /// until the wave completes; empty when the campaign is done or the
     /// tick needs no live measurement.
     pub fn ready_wave(&mut self) -> Vec<WorkItem> {
+        self.stage_synced();
+        self.state.staged_live().into_iter().cloned().collect()
+    }
+
+    /// Stages the next wave and fast-forwards the target's drift clock
+    /// past any measurements served from the replay queue, so a
+    /// partially replayed wave's remaining items measure live from the
+    /// recorded trajectory. A no-op outside replay (the queue is empty
+    /// and stamped clocks never run ahead of a live target's).
+    fn stage_synced(&mut self) {
         self.state.stage(
             self.source.as_mut(),
             &mut self.middleware,
             &mut self.fan,
             self.timer.as_mut(),
         );
-        self.state.staged_live().into_iter().cloned().collect()
+        let replayed = self.state.staged_replayed_clock();
+        if replayed > self.target.noise_clock() {
+            self.target.set_noise_clock(replayed);
+        }
     }
 
     /// Completes the staged wave with the live measurements for
@@ -928,12 +963,7 @@ impl<'a> Campaign<'a> {
         if self.state.done {
             return true;
         }
-        self.state.stage(
-            self.source.as_mut(),
-            &mut self.middleware,
-            &mut self.fan,
-            self.timer.as_mut(),
-        );
+        self.stage_synced();
         let live = measure_wave(
             &self.target,
             &self.noise_strategy,
@@ -976,11 +1006,11 @@ impl<'a> Campaign<'a> {
     /// for the target. The rebuilt log is verified byte-identical to the
     /// snapshot before the campaign is handed back; continuing it then
     /// produces exactly what the original campaign would have produced.
-    pub fn resume(
-        snapshot: &CampaignSnapshot,
-        fresh: Campaign<'a>,
-    ) -> Result<Campaign<'a>, CampaignError> {
-        let mut c = fresh;
+    /// Shared front half of [`Campaign::resume`] and
+    /// [`Campaign::resume_prefix`]: header compatibility checks plus
+    /// loading the snapshot's recorded measurements into the replay
+    /// queue.
+    fn prepare_replay(&mut self, snapshot: &CampaignSnapshot) -> Result<(), CampaignError> {
         if snapshot.version != SNAPSHOT_VERSION {
             return Err(CampaignError::SnapshotMismatch {
                 reason: format!(
@@ -989,31 +1019,40 @@ impl<'a> Campaign<'a> {
                 ),
             });
         }
-        if c.state.policy != snapshot.policy {
+        if self.state.policy != snapshot.policy {
             return Err(CampaignError::SnapshotMismatch {
                 reason: format!(
                     "policy {} != snapshot {}",
-                    c.state.policy.label(),
+                    self.state.policy.label(),
                     snapshot.policy.label()
                 ),
             });
         }
-        if c.state.seed != snapshot.seed {
+        if self.state.seed != snapshot.seed {
             return Err(CampaignError::SnapshotMismatch {
-                reason: format!("seed {} != snapshot {}", c.state.seed, snapshot.seed),
+                reason: format!("seed {} != snapshot {}", self.state.seed, snapshot.seed),
             });
         }
-        if c.state.n_ticks != 0 || c.state.next_id != 0 {
+        if self.state.n_ticks != 0 || self.state.next_id != 0 {
             return Err(CampaignError::NotPristine);
         }
-        if c.state.log.is_none() {
+        if self.state.log.is_none() {
             return Err(CampaignError::LogDisabled);
         }
         for ev in &snapshot.log {
             if let CampaignEvent::Measured { id, attempt, m } = ev {
-                c.state.replay.insert((*id, *attempt), m.clone());
+                self.state.replay.insert((*id, *attempt), m.clone());
             }
         }
+        Ok(())
+    }
+
+    pub fn resume(
+        snapshot: &CampaignSnapshot,
+        fresh: Campaign<'a>,
+    ) -> Result<Campaign<'a>, CampaignError> {
+        let mut c = fresh;
+        c.prepare_replay(snapshot)?;
         // Drive whole ticks until the rebuilt log catches up with the
         // snapshot. Snapshots are taken at tick boundaries, so a healthy
         // replay lands exactly on the snapshot length and never needs a
@@ -1066,6 +1105,132 @@ impl<'a> Campaign<'a> {
         c.target.set_noise_clock(snapshot.target_clock);
         Ok(c)
     }
+
+    /// Rebuilds as much of a snapshotted campaign as its (possibly
+    /// torn) event log supports. Where [`Campaign::resume`] demands a
+    /// complete tick-boundary log and fails on any shortfall,
+    /// `resume_prefix` replays the longest replayable prefix and hands
+    /// back a *live* campaign:
+    ///
+    /// * a log cut at a tick boundary resumes exactly like `resume`;
+    /// * a log cut mid-tick (e.g. a write-ahead log whose tail was
+    ///   truncated after a crash) replays every complete tick, stages
+    ///   the partial tick's wave, serves whatever measurements the log
+    ///   still holds, and returns with the remaining items awaiting
+    ///   live measurement through the normal
+    ///   [`ready_wave`](Campaign::ready_wave)/[`complete_wave`](Campaign::complete_wave)
+    ///   cycle — the stamped [`Measurement::clock`] values keep the
+    ///   target's drift trajectory aligned so the continuation is
+    ///   byte-identical to a run that never crashed;
+    /// * a log cut between a tick's last measurement and its outcomes
+    ///   recomputes the missing suffix deterministically (the rebuilt
+    ///   log then *extends* the snapshot's — callers persisting the log
+    ///   should re-sync from [`Campaign::log`]).
+    ///
+    /// Every event the snapshot does carry is verified byte-identical
+    /// against the rebuilt log; divergence still fails, exactly as in
+    /// `resume`. Returns the campaign and a [`ResumeReport`].
+    pub fn resume_prefix(
+        snapshot: &CampaignSnapshot,
+        fresh: Campaign<'a>,
+    ) -> Result<(Campaign<'a>, ResumeReport), CampaignError> {
+        let mut c = fresh;
+        c.prepare_replay(snapshot)?;
+        let target_len = snapshot.log.len();
+        let mut mid_tick = false;
+        while c.log_len() < target_len && !c.state.done {
+            let before = c.log_len();
+            let wave = c.ready_wave();
+            if !wave.is_empty() {
+                // The log ran out inside this tick: its wave needs live
+                // measurements the snapshot never recorded. Stop here
+                // and leave the wave staged for the caller.
+                mid_tick = true;
+                break;
+            }
+            c.complete_wave(Vec::new())?;
+            if c.log_len() == before && !c.state.done {
+                return Err(CampaignError::ReplayDiverged {
+                    reason: "replay stalled without appending events".into(),
+                });
+            }
+        }
+        // Verify the rebuilt log against the snapshot over their common
+        // prefix. The rebuilt side may be shorter (stopped mid-tick) or
+        // longer (a cut between measurements and outcomes recomputed the
+        // tick's tail); either way every event both sides hold must
+        // agree byte-for-byte.
+        let rebuilt_len = c.log_len();
+        let matched = rebuilt_len.min(target_len);
+        if let Some(log) = &c.state.log {
+            for (i, (got, want)) in log.iter().zip(&snapshot.log).enumerate() {
+                let got = serde_json::to_string(got).unwrap_or_default();
+                let want = serde_json::to_string(want).unwrap_or_default();
+                if got != want {
+                    return Err(CampaignError::ReplayDiverged {
+                        reason: format!(
+                            "event {i} differs from the snapshot (different target, source \
+                             or middleware than the original campaign)"
+                        ),
+                    });
+                }
+            }
+        }
+        if !mid_tick && !c.state.replay.is_empty() {
+            // Leftover measurements are only legitimate mid-tick (they
+            // belong to the staged wave's retries and will be consumed
+            // as the caller completes it).
+            return Err(CampaignError::ReplayDiverged {
+                reason: format!(
+                    "{} recorded measurements were never consumed",
+                    c.state.replay.len()
+                ),
+            });
+        }
+        if !mid_tick && rebuilt_len < target_len {
+            // The campaign drained before reproducing the whole log: the
+            // snapshot describes more history than this construction can
+            // generate (e.g. a larger budget than the fresh build's).
+            return Err(CampaignError::ReplayDiverged {
+                reason: format!(
+                    "campaign drained after {rebuilt_events} events but the snapshot \
+                     holds {target_len}",
+                    rebuilt_events = rebuilt_len
+                ),
+            });
+        }
+        // The per-measurement clock stamps already fast-forwarded the
+        // drift clock through everything replayed; the snapshot's
+        // boundary clock only ever adds information for legacy logs
+        // without stamps.
+        if snapshot.target_clock > c.target.noise_clock() {
+            c.target.set_noise_clock(snapshot.target_clock);
+        }
+        Ok((
+            c,
+            ResumeReport {
+                snapshot_events: target_len,
+                rebuilt_events: rebuilt_len,
+                matched_events: matched,
+                mid_tick,
+            },
+        ))
+    }
+}
+
+/// What [`Campaign::resume_prefix`] managed to rebuild.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ResumeReport {
+    /// Events the snapshot log carried.
+    pub snapshot_events: usize,
+    /// Events in the rebuilt log when replay stopped (may exceed
+    /// `snapshot_events` when a cut tick's tail was recomputed).
+    pub rebuilt_events: usize,
+    /// Events verified byte-identical between the two logs.
+    pub matched_events: usize,
+    /// Whether the campaign resumed with a staged wave awaiting live
+    /// measurement (the log was cut inside a tick).
+    pub mid_tick: bool,
 }
 
 #[cfg(test)]
@@ -1163,6 +1328,56 @@ mod tests {
             resumed.report().wall_clock_s.to_bits(),
             straight.report().wall_clock_s.to_bits()
         );
+    }
+
+    #[test]
+    fn resume_prefix_recovers_any_truncation_point() {
+        let mut straight = campaign_for(SchedulePolicy::AsyncSlots { k: 2 }, 12, 7);
+        straight.run();
+        let full = straight.snapshot().expect("log enabled");
+        // A log torn at any event boundary: the prefix replays, the
+        // partially-covered wave finishes live on the recorded drift
+        // trajectory, and the continuation is byte-identical.
+        for cut in 0..=full.log.len() {
+            let mut torn = full.clone();
+            torn.log.truncate(cut);
+            torn.target_clock = 0; // stamps on replayed measurements carry the clock
+            let fresh = campaign_for(SchedulePolicy::AsyncSlots { k: 2 }, 12, 7);
+            let (mut resumed, report) =
+                Campaign::resume_prefix(&torn, fresh).expect("prefix replays");
+            assert_eq!(report.snapshot_events, cut);
+            assert!(report.matched_events <= cut);
+            resumed.run();
+            assert_eq!(
+                resumed.storage().to_json(),
+                straight.storage().to_json(),
+                "cut at {cut}"
+            );
+            assert_eq!(
+                resumed.report().wall_clock_s.to_bits(),
+                straight.report().wall_clock_s.to_bits(),
+                "cut at {cut}"
+            );
+        }
+    }
+
+    #[test]
+    fn resume_prefix_rejects_foreign_history() {
+        let mut a = campaign_for(SchedulePolicy::Sequential, 8, 3);
+        a.run();
+        let mut snap = a.snapshot().expect("log enabled");
+        // Graft one event from a different campaign's history into the
+        // log: replay must notice the divergence, not absorb it.
+        let mut b = campaign_for(SchedulePolicy::Sequential, 8, 4);
+        b.run();
+        let foreign = b.snapshot().expect("log enabled");
+        snap.log[2] = foreign.log[2].clone();
+        snap.seed = 3; // keep the header valid; only the body lies
+        let fresh = campaign_for(SchedulePolicy::Sequential, 8, 3);
+        assert!(matches!(
+            Campaign::resume_prefix(&snap, fresh),
+            Err(CampaignError::ReplayDiverged { .. })
+        ));
     }
 
     #[test]

@@ -59,6 +59,13 @@ pub struct Measurement {
     /// this attempt. Stragglers and corruptions keep their (suspect)
     /// measurement; the transient kinds carry a NaN cost.
     pub fault: Option<FailureKind>,
+    /// Position of the target's temporal-drift clock immediately after
+    /// this measurement (0 when unstamped, e.g. legacy logs). Replaying
+    /// a *partial* event log uses it to fast-forward the fresh target to
+    /// exactly where the recorded history ends, so live measurement can
+    /// take over mid-tick on the original drift trajectory.
+    #[serde(default)]
+    pub clock: u64,
 }
 
 impl Measurement {
@@ -72,6 +79,7 @@ impl Measurement {
             aborted: false,
             saved_s: 0.0,
             fault: e.failure,
+            clock: 0,
         }
     }
 }

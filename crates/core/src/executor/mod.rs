@@ -25,7 +25,8 @@ mod policy;
 mod source;
 
 pub use campaign::{
-    Campaign, CampaignError, CampaignEvent, CampaignSnapshot, WorkItem, SNAPSHOT_VERSION,
+    Campaign, CampaignError, CampaignEvent, CampaignSnapshot, ResumeReport, WorkItem,
+    SNAPSHOT_VERSION,
 };
 pub use event::{Measurement, TrialEvent, TrialOutcome, TrialRequest};
 pub use middleware::{
@@ -277,7 +278,7 @@ pub fn measure_request(
 ) -> Measurement {
     let mut rng = StdRng::seed_from_u64(eval_seed);
     let rng: &mut dyn RngCore = &mut rng;
-    if let Some(w) = &req.workload {
+    let mut m = if let Some(w) = &req.workload {
         Measurement::from_eval(target.evaluate_at(&req.config, Some(w), rng))
     } else if let Some(m) = req.machine_id {
         Measurement::from_eval(target.evaluate_on_machine(&req.config, m, rng))
@@ -294,8 +295,14 @@ pub fn measure_request(
             aborted: false,
             saved_s: 0.0,
             fault: None,
+            clock: 0,
         }
-    }
+    };
+    // Stamp the post-evaluation drift-clock position so a recorded
+    // measurement carries everything partial-log replay needs to hand
+    // the target back at the right point in its drift trajectory.
+    m.clock = target.noise_clock();
+    m
 }
 
 /// Evaluates a wave of dispatched trials, on scoped worker threads when

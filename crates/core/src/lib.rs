@@ -92,8 +92,8 @@ pub use early_abort::EarlyAbort;
 pub use executor::{
     measure_request, Campaign, CampaignError, CampaignEvent, CampaignSnapshot, CrashPenaltyMw,
     EarlyAbortMw, ExecReport, Executor, MachineAssignMw, Measurement, Middleware, OptimizerSource,
-    OwnedOptimizerSource, QuarantineMw, RetryMw, RungSource, SchedulePolicy, SourceStep, TimeoutMw,
-    TrialEvent, TrialOutcome, TrialRequest, TrialSource, WorkItem,
+    OwnedOptimizerSource, QuarantineMw, ResumeReport, RetryMw, RungSource, SchedulePolicy,
+    SourceStep, TimeoutMw, TrialEvent, TrialOutcome, TrialRequest, TrialSource, WorkItem,
 };
 pub use importance::{lasso_path, permutation_importance, KnobImportance};
 pub use llamatune::{LlamaTune, LlamaTuneConfig};

@@ -168,6 +168,16 @@ pub struct MetricsSnapshot {
     pub machine_busy_s: BTreeMap<usize, f64>,
     /// Virtual wall clock covered by this snapshot, seconds.
     pub wall_clock_s: f64,
+    /// Records appended to a durable write-ahead log (serving layer).
+    pub wal_appends: u64,
+    /// Bytes discarded as torn WAL tails during recovery.
+    pub wal_truncated_bytes: u64,
+    /// Crash/panic recoveries that rebuilt state from the WAL.
+    pub recoveries: u64,
+    /// Requests shed by admission control (`Response::Overloaded`).
+    pub shed_requests: u64,
+    /// Idempotent request retries absorbed without duplicating work.
+    pub retried_requests: u64,
 }
 
 impl MetricsSnapshot {
@@ -213,6 +223,11 @@ impl MetricsSnapshot {
             *self.machine_busy_s.entry(*m).or_insert(0.0) += s;
         }
         self.wall_clock_s += other.wall_clock_s;
+        self.wal_appends += other.wal_appends;
+        self.wal_truncated_bytes += other.wal_truncated_bytes;
+        self.recoveries += other.recoveries;
+        self.shed_requests += other.shed_requests;
+        self.retried_requests += other.retried_requests;
     }
 }
 

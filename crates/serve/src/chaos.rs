@@ -1,0 +1,371 @@
+//! Deterministic chaos injection for the serving layer.
+//!
+//! The durability story (`durability.rs`) only counts if it survives
+//! failures *at every byte boundary*: a process killed before, during,
+//! or after a WAL append; a worker thread panicking mid-round; a peer
+//! feeding the protocol corrupt, truncated, or oversized frames. This
+//! module is the fault schedule for all of it, built on the same
+//! discipline as [`autotune_sim::FaultPlan`]: every decision is a pure
+//! splitmix hash of `(seed, domain, index)`, so a chaos run replays
+//! byte-for-byte — which is exactly what lets CI assert that recovery
+//! from an injected crash reproduces the uninterrupted history.
+//!
+//! Crashes are *simulated*, not real `abort()`s: the WAL consults
+//! [`ChaosPlan::crash_at`] per append and, when a crash fires, leaves
+//! the file in the matching state (nothing written / a torn half-record
+//! / the full record) and reports [`Crashed`](crate::ServeError) so the
+//! harness can drop every in-memory structure and recover from disk —
+//! the same observable sequence as `kill -9` at that instant, but
+//! testable in-process.
+
+use serde::{Deserialize, Serialize};
+
+/// Where, relative to one WAL append, a simulated process crash lands.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CrashPoint {
+    /// The process dies before any byte of the record reaches the file:
+    /// recovery sees the previous append as the durable frontier.
+    PreAppend,
+    /// The process dies mid-write, leaving a torn record — a length
+    /// prefix with a short or corrupt body — that recovery must
+    /// truncate, not trip over.
+    MidAppend,
+    /// The record is fully durable but the process dies before the
+    /// append is acknowledged: recovery sees state the caller was never
+    /// told about, the classic "uncertain outcome" window.
+    PostAppendPreAck,
+}
+
+impl CrashPoint {
+    /// Short label for reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            CrashPoint::PreAppend => "pre-append",
+            CrashPoint::MidAppend => "mid-append",
+            CrashPoint::PostAppendPreAck => "post-append-pre-ack",
+        }
+    }
+}
+
+/// What chaos does to one protocol frame in flight.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrameFault {
+    /// Flip one byte of the encoded frame body.
+    CorruptByte {
+        /// Hash driving which byte flips (reduced modulo the body len).
+        roll: u64,
+    },
+    /// Drop the tail of the frame after the length prefix went out.
+    Truncate {
+        /// Hash driving how much of the body survives.
+        roll: u64,
+    },
+    /// Rewrite the length prefix to an absurd value.
+    OversizePrefix,
+    /// The read side stalls; surfaces as a timeout-kind transport error.
+    Stall,
+}
+
+/// A seeded schedule of serving-layer faults. All-zero probabilities
+/// (the [`ChaosPlan::new`] default) inject nothing; builders switch on
+/// each fault family. Decisions are pure functions of `(seed, domain,
+/// index)` — no RNG state, so concurrent consumers can share a plan and
+/// a recovered process re-rolls identically.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct ChaosPlan {
+    /// Seed for every hash below.
+    pub seed: u64,
+    /// Probability an append dies before writing.
+    pub p_crash_pre_append: f64,
+    /// Probability an append dies mid-write (torn record).
+    pub p_crash_mid_append: f64,
+    /// Probability an append dies after writing, before the ack.
+    pub p_crash_post_append: f64,
+    /// Probability a (round, campaign) measurement worker panics.
+    pub p_worker_panic: f64,
+    /// Probability a frame gets one byte corrupted.
+    pub p_frame_corrupt: f64,
+    /// Probability a frame is truncated.
+    pub p_frame_truncate: f64,
+    /// Probability a frame's length prefix is rewritten oversized.
+    pub p_frame_oversize: f64,
+    /// Probability a read stalls (surfaces as a timeout error).
+    pub p_stall: f64,
+}
+
+/// Hash domains, so the same index rolls independently per fault family.
+const D_CRASH: u64 = 1;
+const D_PANIC: u64 = 2;
+const D_FRAME: u64 = 3;
+const D_STALL: u64 = 4;
+const D_AUX: u64 = 5;
+
+impl ChaosPlan {
+    /// A quiet plan: nothing injected until a builder turns a family on.
+    pub fn new(seed: u64) -> Self {
+        ChaosPlan {
+            seed,
+            p_crash_pre_append: 0.0,
+            p_crash_mid_append: 0.0,
+            p_crash_post_append: 0.0,
+            p_worker_panic: 0.0,
+            p_frame_corrupt: 0.0,
+            p_frame_truncate: 0.0,
+            p_frame_oversize: 0.0,
+            p_stall: 0.0,
+        }
+    }
+
+    /// Enables process-crash points around WAL appends, `p` each.
+    pub fn with_crashes(mut self, p: f64) -> Self {
+        self.p_crash_pre_append = p;
+        self.p_crash_mid_append = p;
+        self.p_crash_post_append = p;
+        self
+    }
+
+    /// Enables worker panics with probability `p` per (round, campaign).
+    pub fn with_worker_panics(mut self, p: f64) -> Self {
+        self.p_worker_panic = p;
+        self
+    }
+
+    /// Enables frame corruption/truncation/oversizing, `p` each, and
+    /// read stalls at `p`.
+    pub fn with_frame_faults(mut self, p: f64) -> Self {
+        self.p_frame_corrupt = p;
+        self.p_frame_truncate = p;
+        self.p_frame_oversize = p;
+        self.p_stall = p;
+        self
+    }
+
+    fn hash(&self, domain: u64, index: u64, salt: u64) -> u64 {
+        splitmix(
+            self.seed
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                .wrapping_add(domain)
+                .wrapping_mul(0x2545_F491_4F6C_DD1D)
+                .wrapping_add(index)
+                .wrapping_mul(0xD6E8_FEB8_6659_FD93)
+                .wrapping_add(salt),
+        )
+    }
+
+    fn unit_roll(&self, domain: u64, index: u64, salt: u64) -> f64 {
+        unit(self.hash(domain, index, salt))
+    }
+
+    /// Whether (and where) the process crashes around append number
+    /// `append_index` of the WAL's lifetime. The index is a monotone
+    /// operation counter owned by the chaos handle — *not* derived from
+    /// WAL contents — so a recovered process does not re-roll the crash
+    /// that killed it and loop forever.
+    pub fn crash_at(&self, append_index: u64) -> Option<CrashPoint> {
+        let r = self.unit_roll(D_CRASH, append_index, 0);
+        if r < self.p_crash_pre_append {
+            return Some(CrashPoint::PreAppend);
+        }
+        if r < self.p_crash_pre_append + self.p_crash_mid_append {
+            return Some(CrashPoint::MidAppend);
+        }
+        if r < self.p_crash_pre_append + self.p_crash_mid_append + self.p_crash_post_append {
+            return Some(CrashPoint::PostAppendPreAck);
+        }
+        None
+    }
+
+    /// For a torn ([`CrashPoint::MidAppend`]) write of a `record_len`-byte
+    /// record: how many bytes actually reached the file (at least 1,
+    /// strictly fewer than the whole record).
+    pub fn torn_len(&self, append_index: u64, record_len: usize) -> usize {
+        if record_len <= 1 {
+            return record_len.min(1);
+        }
+        let h = self.hash(D_AUX, append_index, 1);
+        1 + (h as usize) % (record_len - 1)
+    }
+
+    /// Whether the measurement worker servicing `campaign_id` in
+    /// scheduling round `round` panics.
+    pub fn worker_panics(&self, round: u64, campaign_id: u64) -> bool {
+        self.unit_roll(D_PANIC, round, campaign_id) < self.p_worker_panic
+    }
+
+    /// What happens to outbound frame number `frame_index`.
+    pub fn frame_fault(&self, frame_index: u64) -> Option<FrameFault> {
+        let r = self.unit_roll(D_FRAME, frame_index, 0);
+        if r < self.p_frame_corrupt {
+            return Some(FrameFault::CorruptByte {
+                roll: self.hash(D_AUX, frame_index, 2),
+            });
+        }
+        if r < self.p_frame_corrupt + self.p_frame_truncate {
+            return Some(FrameFault::Truncate {
+                roll: self.hash(D_AUX, frame_index, 3),
+            });
+        }
+        if r < self.p_frame_corrupt + self.p_frame_truncate + self.p_frame_oversize {
+            return Some(FrameFault::OversizePrefix);
+        }
+        None
+    }
+
+    /// Whether inbound read number `read_index` stalls.
+    pub fn read_stalls(&self, read_index: u64) -> bool {
+        self.unit_roll(D_STALL, read_index, 0) < self.p_stall
+    }
+}
+
+/// A stream wrapper injecting [`ChaosPlan`] protocol faults. Writes are
+/// buffered until `flush` — the framing layer flushes exactly once per
+/// frame, so each flush is one frame and gets one fault roll. Faulted
+/// frames still go out (mangled); the *peer's* decoder is what the
+/// fault exercises. Reads pass through except for injected stalls,
+/// which surface as `TimedOut` errors without consuming bytes.
+pub struct ChaosStream<S> {
+    inner: S,
+    plan: ChaosPlan,
+    pending: Vec<u8>,
+    frames_out: u64,
+    reads_in: u64,
+    /// Frames mangled so far (for test assertions).
+    pub faults_injected: u64,
+}
+
+impl<S> ChaosStream<S> {
+    /// Wraps `inner`, mangling traffic according to `plan`.
+    pub fn new(inner: S, plan: ChaosPlan) -> Self {
+        ChaosStream {
+            inner,
+            plan,
+            pending: Vec::new(),
+            frames_out: 0,
+            reads_in: 0,
+            faults_injected: 0,
+        }
+    }
+
+    /// Unwraps the inner stream.
+    pub fn into_inner(self) -> S {
+        self.inner
+    }
+}
+
+impl<S: std::io::Write> std::io::Write for ChaosStream<S> {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        self.pending.extend_from_slice(buf);
+        Ok(buf.len())
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        let mut frame = std::mem::take(&mut self.pending);
+        let fault = self.plan.frame_fault(self.frames_out);
+        self.frames_out += 1;
+        match fault {
+            Some(FrameFault::CorruptByte { roll }) if frame.len() > 4 => {
+                // Flip a body byte (never the prefix: a corrupt prefix
+                // is the oversize case below).
+                let i = 4 + (roll as usize) % (frame.len() - 4);
+                frame[i] ^= 0x40;
+                self.faults_injected += 1;
+            }
+            Some(FrameFault::Truncate { roll }) if frame.len() > 5 => {
+                let keep = 5 + (roll as usize) % (frame.len() - 5);
+                frame.truncate(keep);
+                self.faults_injected += 1;
+            }
+            Some(FrameFault::OversizePrefix) if frame.len() >= 4 => {
+                frame[..4].copy_from_slice(&u32::MAX.to_le_bytes());
+                self.faults_injected += 1;
+            }
+            _ => {}
+        }
+        self.inner.write_all(&frame)?;
+        self.inner.flush()
+    }
+}
+
+impl<S: std::io::Read> std::io::Read for ChaosStream<S> {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        let idx = self.reads_in;
+        self.reads_in += 1;
+        if self.plan.read_stalls(idx) {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::TimedOut,
+                "chaos: stalled read",
+            ));
+        }
+        self.inner.read(buf)
+    }
+}
+
+fn splitmix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Uniform `[0, 1)` from a hash.
+fn unit(h: u64) -> f64 {
+    (h >> 11) as f64 / (1u64 << 53) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rolls_are_deterministic_and_seed_sensitive() {
+        let a = ChaosPlan::new(7).with_crashes(0.2).with_worker_panics(0.1);
+        let b = ChaosPlan::new(7).with_crashes(0.2).with_worker_panics(0.1);
+        let c = ChaosPlan::new(8).with_crashes(0.2).with_worker_panics(0.1);
+        let seq = |p: &ChaosPlan| -> Vec<Option<CrashPoint>> {
+            (0..200).map(|i| p.crash_at(i)).collect()
+        };
+        assert_eq!(seq(&a), seq(&b));
+        assert_ne!(seq(&a), seq(&c));
+        let panics =
+            |p: &ChaosPlan| -> Vec<bool> { (0..100).map(|r| p.worker_panics(r, r % 7)).collect() };
+        assert_eq!(panics(&a), panics(&b));
+    }
+
+    #[test]
+    fn crash_points_cover_all_three_windows() {
+        let plan = ChaosPlan::new(3).with_crashes(0.15);
+        let mut seen = [false; 3];
+        for i in 0..500 {
+            match plan.crash_at(i) {
+                Some(CrashPoint::PreAppend) => seen[0] = true,
+                Some(CrashPoint::MidAppend) => seen[1] = true,
+                Some(CrashPoint::PostAppendPreAck) => seen[2] = true,
+                None => {}
+            }
+        }
+        assert_eq!(seen, [true; 3], "500 rolls at 45% should hit every window");
+    }
+
+    #[test]
+    fn torn_len_is_a_strict_prefix() {
+        let plan = ChaosPlan::new(11).with_crashes(0.5);
+        for i in 0..100 {
+            let n = plan.torn_len(i, 64);
+            assert!(
+                (1..64).contains(&n),
+                "torn write must be a strict prefix: {n}"
+            );
+        }
+    }
+
+    #[test]
+    fn quiet_plan_injects_nothing() {
+        let plan = ChaosPlan::new(9);
+        for i in 0..500 {
+            assert!(plan.crash_at(i).is_none());
+            assert!(plan.frame_fault(i).is_none());
+            assert!(!plan.worker_panics(i, 0));
+            assert!(!plan.read_stalls(i));
+        }
+    }
+}

@@ -1,0 +1,1091 @@
+//! Durable write-ahead log + snapshot store for the campaign fleet.
+//!
+//! PR 6 made campaigns *resumable* (snapshot → byte-verified replay);
+//! this module makes the whole serving layer *crash-safe*: every
+//! [`CampaignEvent`] a campaign emits is appended to an on-disk WAL
+//! before the round is acknowledged, periodic [`CampaignSnapshot`]
+//! checkpoints bound replay time, and [`DurableRegistry::open`] rebuilds
+//! the exact fleet from whatever the filesystem holds — including a
+//! torn final record from a crash mid-write.
+//!
+//! # Record format
+//!
+//! A WAL is a directory of numbered segments (`wal-000001.seg`, …).
+//! Each segment is a sequence of length-prefixed, CRC-checked records:
+//!
+//! ```text
+//! ┌──────────┬──────────┬───────────────────┐
+//! │ len: u32 │ crc: u32 │ payload (JSON)    │   little-endian header,
+//! └──────────┴──────────┴───────────────────┘   crc32(payload)
+//! ```
+//!
+//! The payload is a [`WalRecord`]: a campaign registration (spec +
+//! assigned id), a batch of events, a self-contained checkpoint, or an
+//! administrative stop. Recovery reads segments in order and stops at
+//! the first record whose header or CRC fails *in the final segment* —
+//! that tail is a torn write from the crash and is truncated, not
+//! fatal. The same failure in an earlier segment means real corruption
+//! and is reported as [`ServeError::Storage`].
+//!
+//! # Recovery invariant
+//!
+//! For every campaign, `checkpoint snapshot + logged events` is a
+//! (possibly mid-tick) prefix of its deterministic history, so
+//! [`Campaign::resume_prefix`] rebuilds it byte-identically and live
+//! measurement takes over exactly where the durable log ends. If replay
+//! regenerates events past the durable frontier (a cut between a tick's
+//! measurements and its outcomes), the delta is healed back into the
+//! WAL on open.
+//!
+//! # Chaos
+//!
+//! Arm a [`ChaosPlan`] with [`DurableRegistry::set_chaos`] and every
+//! append consults [`ChaosPlan::crash_at`] on a monotone operation
+//! counter: `PreAppend` kills the process before any byte lands,
+//! `MidAppend` leaves a torn record, `PostAppendPreAck` persists the
+//! record but loses the acknowledgement. A fired crash poisons the
+//! handle (every later call returns the same error) — the in-process
+//! analogue of being dead — and the harness recovers with
+//! [`DurableRegistry::open`]. Worker panics are injected inside the
+//! measurement pool and caught here at the `step_round` boundary: the
+//! suspect in-memory fleet is discarded and rebuilt from the WAL.
+
+use crate::chaos::{ChaosPlan, CrashPoint};
+use crate::registry::{AdmissionConfig, CampaignRegistry, RoundReport, ServeError};
+use crate::spec::CampaignSpec;
+use autotune::executor::SNAPSHOT_VERSION;
+use autotune::{Campaign, CampaignEvent, CampaignSnapshot};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+/// One durable WAL record.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+enum WalRecord {
+    /// A campaign was admitted: everything needed to rebuild it from
+    /// scratch plus the idempotency key that created it.
+    Register {
+        id: u64,
+        name: String,
+        spec: CampaignSpec,
+        request_id: Option<u64>,
+    },
+    /// Events appended to a campaign's log since its last record.
+    Events { id: u64, events: Vec<CampaignEvent> },
+    /// A self-contained checkpoint: spec + snapshot supersede all
+    /// earlier records for this campaign.
+    Checkpoint {
+        id: u64,
+        name: String,
+        spec: CampaignSpec,
+        request_id: Option<u64>,
+        stopped: bool,
+        snapshot: CampaignSnapshot,
+    },
+    /// The campaign was stopped administratively.
+    Stop { id: u64 },
+}
+
+/// WAL sizing and cadence knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct WalConfig {
+    /// Rotate to a new segment once the current one exceeds this.
+    pub segment_bytes: u64,
+    /// Checkpoint + compact every this many scheduling rounds.
+    pub checkpoint_every_rounds: u64,
+}
+
+impl Default for WalConfig {
+    fn default() -> Self {
+        WalConfig {
+            segment_bytes: 4 * 1024 * 1024,
+            checkpoint_every_rounds: 32,
+        }
+    }
+}
+
+/// What [`DurableRegistry::open`] found and rebuilt.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Segments read.
+    pub segments_read: usize,
+    /// Valid records replayed.
+    pub records_read: u64,
+    /// Torn-tail bytes truncated from the final segment.
+    pub truncated_bytes: u64,
+    /// Campaigns rebuilt.
+    pub campaigns: usize,
+    /// Campaigns whose durable log ended inside a tick (live
+    /// measurement resumed mid-wave).
+    pub mid_tick_campaigns: usize,
+    /// Events regenerated past the durable frontier and healed back
+    /// into the WAL.
+    pub healed_events: u64,
+}
+
+/// Outcome of one [`DurableRegistry::step_round`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DurableRound {
+    /// The scheduling round's report (zeroed when the round was lost to
+    /// a recovery).
+    pub report: RoundReport,
+    /// Whether a worker panic forced a rebuild from the WAL instead of
+    /// a normal round.
+    pub recovered: bool,
+}
+
+/// A [`CampaignRegistry`] whose state survives `kill -9`: every event
+/// is WAL-appended before the round is acknowledged, worker panics are
+/// caught and recovered at this boundary, and [`DurableRegistry::open`]
+/// rebuilds the fleet byte-identically from disk.
+pub struct DurableRegistry {
+    registry: CampaignRegistry,
+    dir: PathBuf,
+    config: WalConfig,
+    admission: AdmissionConfig,
+    chaos: Option<ChaosPlan>,
+    /// Monotone append counter driving chaos rolls. Owned by the
+    /// handle, not derived from WAL contents, so a recovered process
+    /// does not re-roll the crash that killed it.
+    ops: u64,
+    seg_index: u64,
+    seg: Option<std::fs::File>,
+    seg_bytes: u64,
+    /// Per-campaign count of events already durable.
+    durable_len: BTreeMap<u64, usize>,
+    /// Per-campaign registration info, for checkpoints.
+    specs: BTreeMap<u64, (String, CampaignSpec, Option<u64>)>,
+    rounds_since_checkpoint: u64,
+    /// Set once a simulated crash fires; every later call fails.
+    crashed: Option<CrashPoint>,
+}
+
+impl DurableRegistry {
+    /// Creates a fresh durable registry writing to `dir` (created if
+    /// missing; must not already hold WAL segments).
+    pub fn create(
+        dir: impl Into<PathBuf>,
+        workers: usize,
+        config: WalConfig,
+    ) -> Result<Self, ServeError> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir).map_err(io_err)?;
+        if !list_segments(&dir)?.is_empty() {
+            return Err(ServeError::Storage(format!(
+                "{} already holds WAL segments; use open",
+                dir.display()
+            )));
+        }
+        let mut s = DurableRegistry {
+            registry: CampaignRegistry::new(workers),
+            dir,
+            config,
+            admission: AdmissionConfig::default(),
+            chaos: None,
+            ops: 0,
+            seg_index: 0,
+            seg: None,
+            seg_bytes: 0,
+            durable_len: BTreeMap::new(),
+            specs: BTreeMap::new(),
+            rounds_since_checkpoint: 0,
+            crashed: None,
+        };
+        s.rotate_segment()?;
+        Ok(s)
+    }
+
+    /// Rebuilds the fleet from the WAL in `dir`: reads every segment,
+    /// truncates a torn tail, replays each campaign through
+    /// [`Campaign::resume_prefix`], and heals regenerated events back
+    /// into the log. Chaos is disarmed on the recovered handle.
+    pub fn open(
+        dir: impl Into<PathBuf>,
+        workers: usize,
+        config: WalConfig,
+    ) -> Result<(Self, RecoveryReport), ServeError> {
+        let dir = dir.into();
+        let (registry, durable_len, specs, seg_index, report) = recover_dir(&dir, workers)?;
+        let mut s = DurableRegistry {
+            registry,
+            dir,
+            config,
+            admission: AdmissionConfig::default(),
+            chaos: None,
+            ops: 0,
+            seg_index,
+            seg: None,
+            seg_bytes: 0,
+            durable_len,
+            specs,
+            rounds_since_checkpoint: 0,
+            crashed: None,
+        };
+        s.registry.note_fleet_recovery();
+        s.registry.note_wal_truncated(report.truncated_bytes);
+        s.rotate_segment()?;
+        // Heal: any events replay regenerated past the durable frontier
+        // become durable now, so the next crash recovers to this exact
+        // state.
+        s.flush_events()?;
+        let mut healed_report = report;
+        healed_report.healed_events = report.healed_events;
+        Ok((s, healed_report))
+    }
+
+    /// Applies admission limits (also re-applied after panic recovery).
+    pub fn set_admission(&mut self, admission: AdmissionConfig) {
+        self.admission = admission;
+        self.registry.set_admission(admission);
+    }
+
+    /// Arms chaos injection: WAL crash points on this handle's append
+    /// counter and worker panics inside the measurement pool.
+    pub fn set_chaos(&mut self, plan: ChaosPlan) {
+        self.chaos = Some(plan);
+        self.registry.inject_worker_panics(plan);
+    }
+
+    /// The wrapped registry (stats, snapshots, campaign access).
+    pub fn registry(&self) -> &CampaignRegistry {
+        &self.registry
+    }
+
+    /// The WAL directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The crash point that poisoned this handle, if any.
+    pub fn crashed(&self) -> Option<CrashPoint> {
+        self.crashed
+    }
+
+    fn check_alive(&self) -> Result<(), ServeError> {
+        match self.crashed {
+            Some(p) => Err(ServeError::Storage(format!(
+                "simulated crash ({}); reopen from the WAL",
+                p.label()
+            ))),
+            None => Ok(()),
+        }
+    }
+
+    /// Admission-controlled, WAL-backed registration. The campaign is
+    /// durable before the id is returned; a crash in between poisons
+    /// the handle and the client's idempotent retry lands on the
+    /// recovered fleet without double-creating.
+    pub fn admit_spec(
+        &mut self,
+        spec: &CampaignSpec,
+        request_id: Option<u64>,
+    ) -> Result<u64, ServeError> {
+        self.check_alive()?;
+        let known = request_id.map(|_| self.registry.len()).unwrap_or_default();
+        let id = self.registry.admit_spec(spec, request_id)?;
+        if request_id.is_some() && self.registry.len() == known {
+            // Idempotent replay of an existing registration: nothing
+            // new to persist.
+            return Ok(id);
+        }
+        self.specs
+            .insert(id, (spec.name.clone(), spec.clone(), request_id));
+        self.durable_len.insert(id, 0);
+        self.append(&WalRecord::Register {
+            id,
+            name: spec.name.clone(),
+            spec: spec.clone(),
+            request_id,
+        })?;
+        self.registry.note_wal_appends(id, 1);
+        Ok(id)
+    }
+
+    /// Registers without admission control or idempotency key.
+    pub fn register_spec(&mut self, spec: &CampaignSpec) -> Result<u64, ServeError> {
+        self.admit_spec(spec, None)
+    }
+
+    /// Stops a campaign, durably.
+    pub fn stop(&mut self, id: u64) -> Result<bool, ServeError> {
+        self.check_alive()?;
+        let was_active = self.registry.stop(id)?;
+        self.append(&WalRecord::Stop { id })?;
+        self.registry.note_wal_appends(id, 1);
+        Ok(was_active)
+    }
+
+    /// One scheduling round with durability: the round runs, its new
+    /// events are WAL-appended, and only then is the round
+    /// acknowledged. A worker panic is caught here; the suspect
+    /// in-memory fleet is discarded and rebuilt from the WAL (losing
+    /// only the unacknowledged round, which re-executes identically).
+    pub fn step_round(&mut self) -> Result<DurableRound, ServeError> {
+        self.check_alive()?;
+        // With chaos armed, injected worker panics are expected control
+        // flow; silence the default hook's backtrace spray for the
+        // duration of the guarded call.
+        let silence = self.chaos.is_some();
+        let prev_hook = silence.then(std::panic::take_hook);
+        if silence {
+            std::panic::set_hook(Box::new(|_| {}));
+        }
+        let caught =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| self.registry.step_round()));
+        if let Some(hook) = prev_hook {
+            std::panic::set_hook(hook);
+        }
+        match caught {
+            Ok(report) => {
+                let report = report?;
+                self.flush_events()?;
+                self.rounds_since_checkpoint += 1;
+                if self.rounds_since_checkpoint >= self.config.checkpoint_every_rounds {
+                    self.checkpoint()?;
+                }
+                Ok(DurableRound {
+                    report,
+                    recovered: false,
+                })
+            }
+            Err(_) => {
+                self.recover_in_place()?;
+                Ok(DurableRound {
+                    report: RoundReport::default(),
+                    recovered: true,
+                })
+            }
+        }
+    }
+
+    /// Runs rounds until the fleet drains; returns rounds executed
+    /// (recoveries count as rounds).
+    pub fn run_all(&mut self) -> Result<u64, ServeError> {
+        let mut rounds = 0;
+        while self.registry.has_runnable() {
+            self.step_round()?;
+            rounds += 1;
+        }
+        Ok(rounds)
+    }
+
+    /// Forces a checkpoint + compaction: every campaign's spec and
+    /// snapshot-at-boundary is written to a fresh segment, then older
+    /// segments are deleted. Mid-tick campaigns (between `ready_wave`
+    /// and `complete_wave`) cannot snapshot and keep their event-log
+    /// representation instead.
+    pub fn checkpoint(&mut self) -> Result<(), ServeError> {
+        self.check_alive()?;
+        self.rounds_since_checkpoint = 0;
+        self.rotate_segment()?;
+        let keep_from = self.seg_index;
+        for id in self.registry.ids() {
+            let Some((name, spec, request_id)) = self.specs.get(&id).cloned() else {
+                continue;
+            };
+            let campaign = self.registry.campaign(id)?;
+            let Ok(snapshot) = campaign.snapshot() else {
+                // Mid-tick or log-disabled: re-register + replay events
+                // instead of checkpointing this one.
+                let events = campaign.log().unwrap_or_default().to_vec();
+                let stopped_len = events.len();
+                self.append(&WalRecord::Register {
+                    id,
+                    name,
+                    spec,
+                    request_id,
+                })?;
+                self.append(&WalRecord::Events { id, events })?;
+                self.registry.note_wal_appends(id, 2);
+                self.durable_len.insert(id, stopped_len);
+                continue;
+            };
+            let stopped = {
+                let stats = self.registry.stats(id)?;
+                stats.stopped
+            };
+            let len = snapshot.log.len();
+            self.append(&WalRecord::Checkpoint {
+                id,
+                name,
+                spec,
+                request_id,
+                stopped,
+                snapshot,
+            })?;
+            self.registry.note_wal_appends(id, 1);
+            self.durable_len.insert(id, len);
+        }
+        // Checkpoints are durable; older segments are now redundant.
+        for (idx, path) in list_segments(&self.dir)? {
+            if idx < keep_from {
+                std::fs::remove_file(&path).map_err(io_err)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Appends every campaign's events past its durable frontier.
+    fn flush_events(&mut self) -> Result<(), ServeError> {
+        for id in self.registry.ids() {
+            let campaign = self.registry.campaign(id)?;
+            let Some(log) = campaign.log() else { continue };
+            let durable = self.durable_len.get(&id).copied().unwrap_or(0);
+            if log.len() <= durable {
+                continue;
+            }
+            let events: Vec<CampaignEvent> = log[durable..].to_vec();
+            let new_len = log.len();
+            self.append(&WalRecord::Events { id, events })?;
+            self.registry.note_wal_appends(id, 1);
+            self.durable_len.insert(id, new_len);
+        }
+        Ok(())
+    }
+
+    /// Discards the in-memory fleet after a worker panic and rebuilds
+    /// it from the WAL — quarantine-and-restart-from-snapshot at the
+    /// pool boundary. The panicked round was never acknowledged, so the
+    /// rebuilt fleet re-executes it identically; the round counter is
+    /// preserved so round-keyed chaos rolls never re-fire.
+    fn recover_in_place(&mut self) -> Result<(), ServeError> {
+        let rounds = self.registry.rounds();
+        let (shed, retried, truncated, recoveries) = self.registry.robustness_counters();
+        // Per-campaign recovery marks survive the rebuild.
+        let prior_marks: Vec<(u64, u64)> = self
+            .registry
+            .ids()
+            .into_iter()
+            .filter_map(|id| {
+                let n = self.registry.stats(id).ok()?.recoveries;
+                (n > 0).then_some((id, n))
+            })
+            .collect();
+        // Identify the campaigns whose workers panicked this round (a
+        // pure re-roll of the same chaos decision).
+        let panicked: Vec<u64> = match self.chaos {
+            Some(plan) => self
+                .registry
+                .ids()
+                .into_iter()
+                .filter(|id| plan.worker_panics(rounds, *id))
+                .collect(),
+            None => Vec::new(),
+        };
+        let workers = self.registry.workers();
+        let (mut rebuilt, durable_len, specs, _, report) = recover_dir(&self.dir, workers)?;
+        rebuilt.set_rounds(rounds);
+        rebuilt.set_admission(self.admission);
+        rebuilt.set_robustness_counters(
+            shed,
+            retried,
+            truncated + report.truncated_bytes,
+            recoveries + 1,
+        );
+        if let Some(plan) = self.chaos {
+            rebuilt.inject_worker_panics(plan);
+        }
+        for (id, n) in prior_marks {
+            for _ in 0..n {
+                rebuilt.note_campaign_recovery(id);
+            }
+        }
+        for id in panicked {
+            rebuilt.note_campaign_recovery(id);
+        }
+        self.registry = rebuilt;
+        self.durable_len = durable_len;
+        self.specs = specs;
+        // The open segment handle survived the panic; keep appending to
+        // it. Heal any regenerated tail so disk matches memory.
+        self.flush_events()
+    }
+
+    /// Appends one record, consulting the chaos plan for crash points.
+    fn append(&mut self, record: &WalRecord) -> Result<(), ServeError> {
+        let op = self.ops;
+        self.ops += 1;
+        let encoded = encode_record(record)?;
+        let crash = self.chaos.and_then(|p| p.crash_at(op));
+        match crash {
+            Some(CrashPoint::PreAppend) => {
+                self.crashed = Some(CrashPoint::PreAppend);
+                return self.check_alive();
+            }
+            Some(CrashPoint::MidAppend) => {
+                let torn = self
+                    .chaos
+                    .map(|p| p.torn_len(op, encoded.len()))
+                    .unwrap_or(1);
+                self.write_bytes(&encoded[..torn])?;
+                self.crashed = Some(CrashPoint::MidAppend);
+                return self.check_alive();
+            }
+            Some(CrashPoint::PostAppendPreAck) => {
+                self.write_bytes(&encoded)?;
+                self.crashed = Some(CrashPoint::PostAppendPreAck);
+                return self.check_alive();
+            }
+            None => {}
+        }
+        self.write_bytes(&encoded)?;
+        if self.seg_bytes >= self.config.segment_bytes {
+            self.rotate_segment()?;
+        }
+        Ok(())
+    }
+
+    fn write_bytes(&mut self, bytes: &[u8]) -> Result<(), ServeError> {
+        let seg = self
+            .seg
+            .as_mut()
+            .ok_or_else(|| ServeError::Storage("no open segment".into()))?;
+        seg.write_all(bytes).map_err(io_err)?;
+        seg.flush().map_err(io_err)?;
+        self.seg_bytes += bytes.len() as u64;
+        Ok(())
+    }
+
+    fn rotate_segment(&mut self) -> Result<(), ServeError> {
+        self.seg_index += 1;
+        let path = segment_path(&self.dir, self.seg_index);
+        let file = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&path)
+            .map_err(io_err)?;
+        self.seg = Some(file);
+        self.seg_bytes = 0;
+        Ok(())
+    }
+}
+
+/// Reads the WAL in `dir` and rebuilds the registry. Returns the
+/// registry, per-campaign durable event counts, registration info, the
+/// highest segment index seen, and the recovery report.
+#[allow(clippy::type_complexity)]
+fn recover_dir(
+    dir: &Path,
+    workers: usize,
+) -> Result<
+    (
+        CampaignRegistry,
+        BTreeMap<u64, usize>,
+        BTreeMap<u64, (String, CampaignSpec, Option<u64>)>,
+        u64,
+        RecoveryReport,
+    ),
+    ServeError,
+> {
+    let segments = list_segments(dir)?;
+    if segments.is_empty() {
+        return Err(ServeError::Storage(format!(
+            "no WAL segments in {}",
+            dir.display()
+        )));
+    }
+    let mut report = RecoveryReport::default();
+    let last_idx = segments.len() - 1;
+    // Accumulated per-campaign durable state.
+    struct Rebuild {
+        name: String,
+        spec: CampaignSpec,
+        request_id: Option<u64>,
+        base: Option<CampaignSnapshot>,
+        events: Vec<CampaignEvent>,
+        stopped: bool,
+        records: u64,
+    }
+    let mut fleet: BTreeMap<u64, Rebuild> = BTreeMap::new();
+    let mut max_seg = 0;
+    for (i, (seg_no, path)) in segments.iter().enumerate() {
+        max_seg = max_seg.max(*seg_no);
+        report.segments_read += 1;
+        let bytes = std::fs::read(path).map_err(io_err)?;
+        let (records, consumed) = decode_segment(&bytes);
+        let torn = bytes.len() as u64 - consumed;
+        if torn > 0 {
+            if i != last_idx {
+                return Err(ServeError::Storage(format!(
+                    "corrupt record mid-WAL in {} (not the final segment)",
+                    path.display()
+                )));
+            }
+            // Torn tail from the crash: truncate it so future appends
+            // start at a clean record boundary.
+            report.truncated_bytes += torn;
+            let file = std::fs::OpenOptions::new()
+                .write(true)
+                .open(path)
+                .map_err(io_err)?;
+            file.set_len(consumed).map_err(io_err)?;
+        }
+        for record in records {
+            report.records_read += 1;
+            match record {
+                WalRecord::Register {
+                    id,
+                    name,
+                    spec,
+                    request_id,
+                } => {
+                    fleet.insert(
+                        id,
+                        Rebuild {
+                            name,
+                            spec,
+                            request_id,
+                            base: None,
+                            events: Vec::new(),
+                            stopped: false,
+                            records: 1,
+                        },
+                    );
+                }
+                WalRecord::Events { id, events } => {
+                    if let Some(r) = fleet.get_mut(&id) {
+                        r.events.extend(events);
+                        r.records += 1;
+                    }
+                }
+                WalRecord::Checkpoint {
+                    id,
+                    name,
+                    spec,
+                    request_id,
+                    stopped,
+                    snapshot,
+                } => {
+                    let records = fleet.get(&id).map(|r| r.records + 1).unwrap_or(1);
+                    fleet.insert(
+                        id,
+                        Rebuild {
+                            name,
+                            spec,
+                            request_id,
+                            base: Some(snapshot),
+                            events: Vec::new(),
+                            stopped,
+                            records,
+                        },
+                    );
+                }
+                WalRecord::Stop { id } => {
+                    if let Some(r) = fleet.get_mut(&id) {
+                        r.stopped = true;
+                        r.records += 1;
+                    }
+                }
+            }
+        }
+    }
+    let mut registry = CampaignRegistry::new(workers);
+    let mut durable_len = BTreeMap::new();
+    let mut specs = BTreeMap::new();
+    for (id, r) in fleet {
+        let mut snapshot = r.base.unwrap_or(CampaignSnapshot {
+            version: SNAPSHOT_VERSION,
+            seed: r.spec.seed,
+            policy: r.spec.policy,
+            n_ticks: 0,
+            target_clock: 0,
+            log: Vec::new(),
+        });
+        snapshot.log.extend(r.events);
+        let durable_events = snapshot.log.len();
+        let fresh = r.spec.build();
+        let (campaign, resume) = Campaign::resume_prefix(&snapshot, fresh)?;
+        if resume.mid_tick {
+            report.mid_tick_campaigns += 1;
+        }
+        if resume.rebuilt_events > durable_events {
+            report.healed_events += (resume.rebuilt_events - durable_events) as u64;
+        }
+        // Events the fleet already re-emitted are durable; events still
+        // pending in a staged wave stay at the recorded count (replay
+        // re-emits them identically, so they are never re-appended).
+        durable_len.insert(id, durable_events.max(resume.rebuilt_events));
+        if resume.mid_tick {
+            durable_len.insert(id, durable_events);
+        }
+        registry.restore_entry(id, r.name.clone(), campaign, r.stopped, r.records, 0);
+        if let Some(rid) = r.request_id {
+            registry.restore_request_id(rid, id);
+        }
+        specs.insert(id, (r.name, r.spec, r.request_id));
+        report.campaigns += 1;
+    }
+    Ok((registry, durable_len, specs, max_seg, report))
+}
+
+/// Decodes records until the bytes run out or a record fails its
+/// header/CRC check. Returns the records and the clean byte count.
+fn decode_segment(bytes: &[u8]) -> (Vec<WalRecord>, u64) {
+    let mut records = Vec::new();
+    let mut at = 0usize;
+    while at + 8 <= bytes.len() {
+        let len =
+            u32::from_le_bytes([bytes[at], bytes[at + 1], bytes[at + 2], bytes[at + 3]]) as usize;
+        let crc = u32::from_le_bytes([bytes[at + 4], bytes[at + 5], bytes[at + 6], bytes[at + 7]]);
+        let start = at + 8;
+        let end = match start.checked_add(len) {
+            Some(e) if e <= bytes.len() => e,
+            _ => break, // short body: torn tail
+        };
+        let payload = &bytes[start..end];
+        if crc32(payload) != crc {
+            break; // corrupt body: torn tail
+        }
+        let Ok(text) = std::str::from_utf8(payload) else {
+            break; // CRC passed but payload unreadable: treat as torn
+        };
+        match serde_json::from_str::<WalRecord>(text) {
+            Ok(r) => records.push(r),
+            Err(_) => break, // CRC passed but JSON broken: treat as torn
+        }
+        at = end;
+    }
+    (records, at as u64)
+}
+
+fn encode_record(record: &WalRecord) -> Result<Vec<u8>, ServeError> {
+    let payload = serde_json::to_string(record)
+        .map_err(|e| ServeError::Storage(e.to_string()))?
+        .into_bytes();
+    let len = u32::try_from(payload.len())
+        .map_err(|_| ServeError::Storage("WAL record over 4 GiB".into()))?;
+    let mut out = Vec::with_capacity(payload.len() + 8);
+    out.extend_from_slice(&len.to_le_bytes());
+    out.extend_from_slice(&crc32(&payload).to_le_bytes());
+    out.extend_from_slice(&payload);
+    Ok(out)
+}
+
+fn segment_path(dir: &Path, index: u64) -> PathBuf {
+    dir.join(format!("wal-{index:06}.seg"))
+}
+
+/// Numbered WAL segments in `dir`, sorted by index.
+fn list_segments(dir: &Path) -> Result<Vec<(u64, PathBuf)>, ServeError> {
+    let mut out = Vec::new();
+    let entries = match std::fs::read_dir(dir) {
+        Ok(e) => e,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(out),
+        Err(e) => return Err(io_err(e)),
+    };
+    for entry in entries {
+        let entry = entry.map_err(io_err)?;
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        let Some(num) = name
+            .strip_prefix("wal-")
+            .and_then(|s| s.strip_suffix(".seg"))
+        else {
+            continue;
+        };
+        if let Ok(idx) = num.parse::<u64>() {
+            out.push((idx, entry.path()));
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+fn io_err(e: std::io::Error) -> ServeError {
+    ServeError::Storage(e.to_string())
+}
+
+const fn crc32_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+const CRC_TABLE: [u32; 256] = crc32_table();
+
+/// CRC-32 (IEEE 802.3), the WAL's record integrity check.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        c = CRC_TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    c ^ 0xFFFF_FFFF
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::SystemKind;
+    use autotune::SchedulePolicy;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    static DIR_SEQ: AtomicU64 = AtomicU64::new(0);
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let n = DIR_SEQ.fetch_add(1, Ordering::Relaxed);
+        let dir =
+            std::env::temp_dir().join(format!("autotune-wal-{}-{}-{}", std::process::id(), tag, n));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn spec(i: u64) -> CampaignSpec {
+        let mut s = CampaignSpec::minimal(format!("c{i}"), SystemKind::Redis, 6, 300 + i);
+        s.policy = SchedulePolicy::AsyncSlots { k: 2 };
+        s
+    }
+
+    fn straight_history(s: &CampaignSpec) -> String {
+        let mut c = s.build();
+        c.run();
+        c.storage().to_json()
+    }
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        assert_eq!(crc32(b""), 0x0000_0000);
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+    }
+
+    #[test]
+    fn wal_round_trip_rebuilds_identical_fleet() {
+        let dir = temp_dir("roundtrip");
+        let specs: Vec<CampaignSpec> = (0..4).map(spec).collect();
+        let mut durable = DurableRegistry::create(&dir, 2, WalConfig::default()).unwrap();
+        let ids: Vec<u64> = specs
+            .iter()
+            .map(|s| durable.register_spec(s).unwrap())
+            .collect();
+        for _ in 0..5 {
+            durable.step_round().unwrap();
+        }
+        let live: Vec<String> = ids
+            .iter()
+            .map(|id| {
+                durable
+                    .registry()
+                    .campaign(*id)
+                    .unwrap()
+                    .storage()
+                    .to_json()
+            })
+            .collect();
+        drop(durable);
+        let (recovered, report) = DurableRegistry::open(&dir, 2, WalConfig::default()).unwrap();
+        assert_eq!(report.campaigns, 4);
+        assert_eq!(report.truncated_bytes, 0);
+        for (id, want) in ids.iter().zip(&live) {
+            let got = recovered
+                .registry()
+                .campaign(*id)
+                .unwrap()
+                .storage()
+                .to_json();
+            assert_eq!(&got, want, "campaign {id} diverged across reopen");
+        }
+        // And the recovered fleet finishes to the straight-run history.
+        let mut recovered = recovered;
+        recovered.run_all().unwrap();
+        for (i, id) in ids.iter().enumerate() {
+            let got = recovered
+                .registry()
+                .campaign(*id)
+                .unwrap()
+                .storage()
+                .to_json();
+            assert_eq!(
+                got,
+                straight_history(&specs[i]),
+                "campaign {i} final history"
+            );
+        }
+        assert!(recovered.registry().fleet_stats().recoveries >= 1);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_not_fatal() {
+        let dir = temp_dir("torn");
+        let specs: Vec<CampaignSpec> = (0..2).map(spec).collect();
+        let mut durable = DurableRegistry::create(&dir, 1, WalConfig::default()).unwrap();
+        for s in &specs {
+            durable.register_spec(s).unwrap();
+        }
+        for _ in 0..3 {
+            durable.step_round().unwrap();
+        }
+        drop(durable);
+        // Tear the last segment by hand: append garbage half-record.
+        let (_, last) = list_segments(&dir).unwrap().pop().unwrap();
+        let mut f = std::fs::OpenOptions::new()
+            .append(true)
+            .open(&last)
+            .unwrap();
+        f.write_all(&[0x55u8; 13]).unwrap();
+        drop(f);
+        let (recovered, report) = DurableRegistry::open(&dir, 1, WalConfig::default()).unwrap();
+        assert_eq!(report.truncated_bytes, 13);
+        assert_eq!(report.campaigns, 2);
+        assert_eq!(recovered.registry().fleet_stats().wal_truncated_bytes, 13);
+        // The file is clean again: a second open sees no torn bytes.
+        drop(recovered);
+        let (_, report2) = DurableRegistry::open(&dir, 1, WalConfig::default()).unwrap();
+        assert_eq!(report2.truncated_bytes, 0);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn checkpoint_compacts_segments_and_preserves_history() {
+        let dir = temp_dir("ckpt");
+        let specs: Vec<CampaignSpec> = (0..3).map(spec).collect();
+        let config = WalConfig {
+            segment_bytes: 16 * 1024,
+            checkpoint_every_rounds: 2,
+        };
+        let mut durable = DurableRegistry::create(&dir, 2, config).unwrap();
+        let ids: Vec<u64> = specs
+            .iter()
+            .map(|s| durable.register_spec(s).unwrap())
+            .collect();
+        durable.run_all().unwrap();
+        // Compaction ran (cadence 2): early segments are gone.
+        let segments = list_segments(&dir).unwrap();
+        assert!(segments[0].0 > 1, "expected first segments compacted away");
+        drop(durable);
+        let (recovered, _) = DurableRegistry::open(&dir, 2, config).unwrap();
+        for (i, id) in ids.iter().enumerate() {
+            let got = recovered
+                .registry()
+                .campaign(*id)
+                .unwrap()
+                .storage()
+                .to_json();
+            assert_eq!(
+                got,
+                straight_history(&specs[i]),
+                "campaign {i} after compaction"
+            );
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn chaos_crash_points_all_recover_byte_identically() {
+        // For each crash window, run with an aggressive chaos plan until
+        // a crash fires, recover, finish, and compare to straight runs.
+        let specs: Vec<CampaignSpec> = (0..3).map(spec).collect();
+        let want: Vec<String> = specs.iter().map(straight_history).collect();
+        for seed in [1u64, 2, 3, 4, 5, 6] {
+            let dir = temp_dir(&format!("chaos{seed}"));
+            let mut durable = DurableRegistry::create(&dir, 2, WalConfig::default()).unwrap();
+            durable.set_chaos(ChaosPlan::new(seed).with_crashes(0.02));
+            let mut crashed = None;
+            for s in &specs {
+                match durable.register_spec(s) {
+                    Ok(_) => {}
+                    Err(_) => {
+                        crashed = durable.crashed();
+                        break;
+                    }
+                }
+            }
+            while crashed.is_none() && durable.registry().has_runnable() {
+                if durable.step_round().is_err() {
+                    crashed = durable.crashed();
+                }
+            }
+            drop(durable);
+            let (mut recovered, _) = DurableRegistry::open(&dir, 2, WalConfig::default()).unwrap();
+            // Re-register anything that never became durable, then run
+            // to completion with chaos off.
+            for s in &specs {
+                let present = recovered.registry().ids().iter().any(|id| {
+                    recovered
+                        .registry()
+                        .stats(*id)
+                        .map(|st| st.name == s.name)
+                        .unwrap_or(false)
+                });
+                if !present {
+                    recovered.register_spec(s).unwrap();
+                }
+            }
+            recovered.run_all().unwrap();
+            for (i, s) in specs.iter().enumerate() {
+                let id = recovered
+                    .registry()
+                    .ids()
+                    .into_iter()
+                    .find(|id| {
+                        recovered
+                            .registry()
+                            .stats(*id)
+                            .map(|st| st.name == s.name)
+                            .unwrap_or(false)
+                    })
+                    .expect("campaign present after recovery");
+                let got = recovered
+                    .registry()
+                    .campaign(id)
+                    .unwrap()
+                    .storage()
+                    .to_json();
+                assert_eq!(
+                    got, want[i],
+                    "seed {seed} campaign {i} diverged after crash recovery"
+                );
+            }
+            std::fs::remove_dir_all(&dir).unwrap();
+        }
+    }
+
+    #[test]
+    fn worker_panics_recover_at_the_pool_boundary() {
+        let dir = temp_dir("panic");
+        let specs: Vec<CampaignSpec> = (0..3).map(spec).collect();
+        let want: Vec<String> = specs.iter().map(straight_history).collect();
+        let mut durable = DurableRegistry::create(&dir, 2, WalConfig::default()).unwrap();
+        let ids: Vec<u64> = specs
+            .iter()
+            .map(|s| durable.register_spec(s).unwrap())
+            .collect();
+        durable.set_chaos(ChaosPlan::new(77).with_worker_panics(0.15));
+        let mut recoveries = 0;
+        let mut guard = 0;
+        while durable.registry().has_runnable() {
+            let round = durable.step_round().unwrap();
+            if round.recovered {
+                recoveries += 1;
+            }
+            guard += 1;
+            assert!(guard < 10_000, "fleet failed to converge under panics");
+        }
+        assert!(recoveries > 0, "panic plan at 15% never fired");
+        assert_eq!(durable.registry().fleet_stats().recoveries, recoveries);
+        for (i, id) in ids.iter().enumerate() {
+            let got = durable
+                .registry()
+                .campaign(*id)
+                .unwrap()
+                .storage()
+                .to_json();
+            assert_eq!(got, want[i], "campaign {i} diverged across panic recovery");
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

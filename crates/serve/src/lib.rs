@@ -38,12 +38,19 @@
 //! server.join().unwrap().unwrap();
 //! ```
 
+mod chaos;
+mod durability;
 mod protocol;
 mod registry;
 mod spec;
 
+pub use chaos::{ChaosPlan, ChaosStream, CrashPoint, FrameFault};
+pub use durability::{DurableRegistry, DurableRound, RecoveryReport, WalConfig};
 pub use protocol::{
-    pipe, read_frame, spawn_server, write_frame, Client, PipeEnd, Request, Response, Server,
+    pipe, read_frame, spawn_server, write_frame, Backoff, Client, PipeEnd, ReconnectClient,
+    Request, Response, Server, ServerConfig, MAX_FRAME_LEN,
 };
-pub use registry::{CampaignRegistry, CampaignStats, FleetStats, RoundReport, ServeError};
+pub use registry::{
+    AdmissionConfig, CampaignRegistry, CampaignStats, FleetStats, RoundReport, ServeError,
+};
 pub use spec::{CampaignSpec, NoiseSpec, OptimizerKind, SystemKind};

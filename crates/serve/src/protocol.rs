@@ -29,10 +29,16 @@ use std::sync::{Arc, Condvar, Mutex};
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub enum Request {
     /// Build and register a campaign from a spec; answers
-    /// [`Response::Registered`].
+    /// [`Response::Registered`] (or [`Response::Overloaded`] when
+    /// admission control sheds the request).
     Register {
         /// The campaign description.
         spec: CampaignSpec,
+        /// Client-chosen idempotency key. A retried `Register` carrying
+        /// the same id returns the originally assigned campaign id
+        /// instead of creating a duplicate.
+        #[serde(default)]
+        request_id: Option<u64>,
     },
     /// Execute scheduling rounds; answers [`Response::Stepped`].
     Step {
@@ -100,12 +106,23 @@ pub enum Response {
     },
     /// Server is shutting down.
     Bye,
+    /// The request was shed by admission control; the connection stays
+    /// usable and the client should back off.
+    Overloaded {
+        /// Suggested backoff before retrying, in scheduling rounds.
+        retry_after_rounds: u64,
+    },
     /// The request failed; the connection stays usable.
     Error {
         /// Human-readable failure description.
         message: String,
     },
 }
+
+/// Hard cap on a frame body. A corrupt length prefix yields a typed
+/// [`ServeError::FrameTooLarge`] instead of an attempt to allocate up to
+/// 4 GiB; honest frames (specs, snapshots, stats) sit far below this.
+pub const MAX_FRAME_LEN: usize = 64 * 1024 * 1024;
 
 /// Writes one length-prefixed JSON frame.
 pub fn write_frame<T: Serialize>(w: &mut impl Write, msg: &T) -> Result<(), ServeError> {
@@ -121,6 +138,13 @@ pub fn write_frame<T: Serialize>(w: &mut impl Write, msg: &T) -> Result<(), Serv
 
 /// Reads one length-prefixed JSON frame; `Ok(None)` on clean EOF at a
 /// frame boundary.
+///
+/// Error taxonomy matters for connection reuse: a prefix over
+/// [`MAX_FRAME_LEN`] or a short read is [`ServeError::FrameTooLarge`] /
+/// [`ServeError::Protocol`] — the stream position is lost and the
+/// connection is dead. A fully read body that fails UTF-8 or JSON
+/// decoding is [`ServeError::Decode`] — the stream is still at a frame
+/// boundary and the next frame can be read normally.
 pub fn read_frame<T: for<'de> Deserialize<'de>>(
     r: &mut impl Read,
 ) -> Result<Option<T>, ServeError> {
@@ -130,13 +154,20 @@ pub fn read_frame<T: for<'de> Deserialize<'de>>(
         Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => return Ok(None),
         Err(e) => return Err(ServeError::Protocol(e.to_string())),
     }
-    let mut body = vec![0u8; u32::from_le_bytes(len) as usize];
+    let len = u32::from_le_bytes(len) as usize;
+    if len > MAX_FRAME_LEN {
+        return Err(ServeError::FrameTooLarge {
+            len: len as u64,
+            max: MAX_FRAME_LEN as u64,
+        });
+    }
+    let mut body = vec![0u8; len];
     r.read_exact(&mut body)
         .map_err(|e| ServeError::Protocol(e.to_string()))?;
-    let text = std::str::from_utf8(&body).map_err(|e| ServeError::Protocol(e.to_string()))?;
+    let text = std::str::from_utf8(&body).map_err(|e| ServeError::Decode(e.to_string()))?;
     serde_json::from_str(text)
         .map(Some)
-        .map_err(|e| ServeError::Protocol(e.to_string()))
+        .map_err(|e| ServeError::Decode(e.to_string()))
 }
 
 /// One direction of the in-process pipe: a blocking bounded-by-nothing
@@ -249,25 +280,68 @@ pub fn pipe() -> (PipeEnd, PipeEnd) {
     )
 }
 
+/// Per-request resource limits for a [`Server`].
+#[derive(Debug, Clone, Copy)]
+pub struct ServerConfig {
+    /// Deadline on a single `Step`/`RunAll` request, in scheduling
+    /// rounds. A `RunAll` over a fleet that needs more rounds returns
+    /// `Stepped { n_active > 0 }` and the client re-issues, so one
+    /// request can never pin the server indefinitely.
+    pub max_rounds_per_request: u64,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            max_rounds_per_request: 100_000,
+        }
+    }
+}
+
 /// Serves a registry over a framed byte stream until `Shutdown`, clean
 /// EOF, or a transport error. Request-level failures (unknown id,
-/// campaign errors) are answered with [`Response::Error`] and the loop
-/// continues.
+/// campaign errors, undecodable-but-well-framed payloads) are answered
+/// with [`Response::Error`] and the loop continues.
 pub struct Server<S: Read + Write> {
     stream: S,
     registry: CampaignRegistry,
+    config: ServerConfig,
 }
 
 impl<S: Read + Write> Server<S> {
-    /// A server over `stream` driving `registry`.
+    /// A server over `stream` driving `registry` with default limits.
     pub fn new(stream: S, registry: CampaignRegistry) -> Self {
-        Server { stream, registry }
+        Server::with_config(stream, registry, ServerConfig::default())
+    }
+
+    /// A server with explicit per-request limits.
+    pub fn with_config(stream: S, registry: CampaignRegistry, config: ServerConfig) -> Self {
+        Server {
+            stream,
+            registry,
+            config,
+        }
     }
 
     /// Runs the request loop to completion, returning the registry (for
     /// post-mortem inspection in tests and tools).
     pub fn serve(mut self) -> Result<CampaignRegistry, ServeError> {
-        while let Some(req) = read_frame::<Request>(&mut self.stream)? {
+        loop {
+            let req = match read_frame::<Request>(&mut self.stream) {
+                Ok(Some(req)) => req,
+                Ok(None) => break,
+                Err(ServeError::Decode(msg)) => {
+                    // The frame was complete — only its payload was
+                    // garbage — so the stream is still at a boundary:
+                    // answer with a typed error and keep serving.
+                    let resp = Response::Error {
+                        message: format!("undecodable request: {msg}"),
+                    };
+                    write_frame(&mut self.stream, &resp)?;
+                    continue;
+                }
+                Err(e) => return Err(e),
+            };
             let shutdown = matches!(req, Request::Shutdown);
             let resp = self.handle(req);
             write_frame(&mut self.stream, &resp)?;
@@ -281,38 +355,37 @@ impl<S: Read + Write> Server<S> {
     fn handle(&mut self, req: Request) -> Response {
         match self.try_handle(req) {
             Ok(resp) => resp,
+            Err(ServeError::Overloaded { retry_after_rounds }) => {
+                Response::Overloaded { retry_after_rounds }
+            }
             Err(e) => Response::Error {
                 message: e.to_string(),
             },
         }
     }
 
+    fn run_rounds(&mut self, budget: u64) -> Result<Response, ServeError> {
+        let mut run = 0;
+        while run < budget && self.registry.has_runnable() {
+            self.registry.step_round()?;
+            run += 1;
+        }
+        Ok(Response::Stepped {
+            rounds: run,
+            n_active: self.registry.n_active() as u64,
+        })
+    }
+
     fn try_handle(&mut self, req: Request) -> Result<Response, ServeError> {
         Ok(match req {
-            Request::Register { spec } => Response::Registered {
-                id: self.registry.register_spec(&spec),
+            Request::Register { spec, request_id } => Response::Registered {
+                id: self.registry.admit_spec(&spec, request_id)?,
             },
             Request::Step { rounds } => {
-                let mut run = 0;
-                for _ in 0..rounds {
-                    if self.registry.n_active() == 0 {
-                        break;
-                    }
-                    self.registry.step_round()?;
-                    run += 1;
-                }
-                Response::Stepped {
-                    rounds: run,
-                    n_active: self.registry.n_active() as u64,
-                }
+                let budget = u64::from(rounds).min(self.config.max_rounds_per_request);
+                self.run_rounds(budget)?
             }
-            Request::RunAll => {
-                let rounds = self.registry.run_all()?;
-                Response::Stepped {
-                    rounds,
-                    n_active: self.registry.n_active() as u64,
-                }
-            }
+            Request::RunAll => self.run_rounds(self.config.max_rounds_per_request)?,
             Request::Snapshot { id } => Response::Snapshot {
                 snapshot: self.registry.snapshot(id)?,
             },
@@ -350,7 +423,21 @@ impl<S: Read + Write> Client<S> {
 
     /// Registers a spec, returning the assigned id.
     pub fn register(&mut self, spec: &CampaignSpec) -> Result<u64, ServeError> {
-        match self.request(&Request::Register { spec: spec.clone() })? {
+        self.register_idempotent(spec, None)
+    }
+
+    /// Registers a spec under an idempotency key: resending the same
+    /// `request_id` (after a timeout or reconnect) returns the
+    /// originally assigned id instead of creating a second campaign.
+    pub fn register_idempotent(
+        &mut self,
+        spec: &CampaignSpec,
+        request_id: Option<u64>,
+    ) -> Result<u64, ServeError> {
+        match self.request(&Request::Register {
+            spec: spec.clone(),
+            request_id,
+        })? {
             Response::Registered { id } => Ok(id),
             other => Err(unexpected(&other)),
         }
@@ -417,7 +504,147 @@ impl<S: Read + Write> Client<S> {
 fn unexpected(resp: &Response) -> ServeError {
     match resp {
         Response::Error { message } => ServeError::Protocol(message.clone()),
+        Response::Overloaded { retry_after_rounds } => ServeError::Overloaded {
+            retry_after_rounds: *retry_after_rounds,
+        },
         other => ServeError::Protocol(format!("unexpected response: {other:?}")),
+    }
+}
+
+/// Deterministic exponential backoff schedule. Delays are *virtual*
+/// seconds — this crate never touches the wall clock; a real transport
+/// binding decides whether a delay becomes an actual sleep.
+#[derive(Debug, Clone)]
+pub struct Backoff {
+    base_s: f64,
+    factor: f64,
+    cap_s: f64,
+    attempt: u32,
+}
+
+impl Backoff {
+    /// A schedule starting at `base_s`, multiplying by `factor` per
+    /// attempt, clamped at `cap_s`.
+    pub fn new(base_s: f64, factor: f64, cap_s: f64) -> Self {
+        Backoff {
+            base_s,
+            factor,
+            cap_s,
+            attempt: 0,
+        }
+    }
+
+    /// The delay before the next attempt; advances the schedule. The
+    /// sequence is a pure function of the constructor arguments, so
+    /// every rebuilt client backs off identically.
+    pub fn next_delay_s(&mut self) -> f64 {
+        let d = (self.base_s * self.factor.powi(self.attempt.min(62) as i32)).min(self.cap_s);
+        self.attempt += 1;
+        d
+    }
+
+    /// Attempts consumed so far.
+    pub fn attempts(&self) -> u32 {
+        self.attempt
+    }
+
+    /// Starts the schedule over (after a successful request).
+    pub fn reset(&mut self) {
+        self.attempt = 0;
+    }
+}
+
+impl Default for Backoff {
+    fn default() -> Self {
+        Backoff::new(0.5, 2.0, 30.0)
+    }
+}
+
+/// A [`Client`] that survives transport failures: on a broken stream it
+/// redials via the supplied connector and re-sends the request after a
+/// deterministic exponential [`Backoff`]. Pair re-sent `Register`s with
+/// [`Client::register_idempotent`]-style request ids so a retry never
+/// double-creates a campaign.
+pub struct ReconnectClient<S: Read + Write, F: FnMut() -> Option<S>> {
+    connect: F,
+    session: Option<Client<S>>,
+    backoff: Backoff,
+    max_attempts: u32,
+    backoff_total_s: f64,
+    retried_requests: u64,
+}
+
+impl<S: Read + Write, F: FnMut() -> Option<S>> ReconnectClient<S, F> {
+    /// A reconnecting client redialing through `connect`, giving up on a
+    /// single request after `max_attempts` transport failures.
+    pub fn new(connect: F, backoff: Backoff, max_attempts: u32) -> Self {
+        ReconnectClient {
+            connect,
+            session: None,
+            backoff,
+            max_attempts: max_attempts.max(1),
+            backoff_total_s: 0.0,
+            retried_requests: 0,
+        }
+    }
+
+    /// Virtual seconds spent backing off across all reconnects.
+    pub fn backoff_total_s(&self) -> f64 {
+        self.backoff_total_s
+    }
+
+    /// Requests that were re-sent after a transport failure.
+    pub fn retried_requests(&self) -> u64 {
+        self.retried_requests
+    }
+
+    /// Sends `req`, redialing and re-sending on transport failure.
+    /// Request-level outcomes ([`Response::Error`],
+    /// [`Response::Overloaded`], decode failures) are returned to the
+    /// caller, not retried — only a broken stream triggers the loop.
+    pub fn request(&mut self, req: &Request) -> Result<Response, ServeError> {
+        let mut last_err = ServeError::Protocol("no connection attempts made".into());
+        for attempt in 0..self.max_attempts {
+            if attempt > 0 {
+                self.backoff_total_s += self.backoff.next_delay_s();
+                self.retried_requests += 1;
+            }
+            if self.session.is_none() {
+                self.session = (self.connect)().map(Client::new);
+            }
+            let Some(client) = self.session.as_mut() else {
+                last_err = ServeError::Protocol("reconnect failed".into());
+                continue;
+            };
+            match client.request(req) {
+                Ok(resp) => {
+                    self.backoff.reset();
+                    return Ok(resp);
+                }
+                Err(e @ (ServeError::Decode(_) | ServeError::Overloaded { .. })) => {
+                    // The connection is fine; the outcome is the
+                    // caller's to handle.
+                    return Err(e);
+                }
+                Err(e) => {
+                    self.session = None;
+                    last_err = e;
+                }
+            }
+        }
+        Err(last_err)
+    }
+
+    /// Registers a spec under an idempotency key, retrying across
+    /// reconnects without ever double-creating the campaign.
+    pub fn register(&mut self, spec: &CampaignSpec, request_id: u64) -> Result<u64, ServeError> {
+        match self.request(&Request::Register {
+            spec: spec.clone(),
+            request_id: Some(request_id),
+        })? {
+            Response::Registered { id } => Ok(id),
+            other => Err(unexpected(&other)),
+        }
     }
 }
 
@@ -463,6 +690,172 @@ mod tests {
         assert!(matches!(back, Request::Step { rounds: 3 }));
         let eof: Option<Request> = read_frame(&mut r).unwrap();
         assert!(eof.is_none());
+    }
+
+    #[test]
+    fn oversized_prefix_is_a_typed_error_not_an_allocation() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&u32::MAX.to_le_bytes());
+        buf.extend_from_slice(b"junk");
+        let mut r = &buf[..];
+        let got: Result<Option<Request>, _> = read_frame(&mut r);
+        assert!(matches!(got, Err(ServeError::FrameTooLarge { .. })));
+    }
+
+    #[test]
+    fn garbage_payload_is_a_decode_error() {
+        let mut buf = Vec::new();
+        let body = b"{\"NotARequest\":true}";
+        buf.extend_from_slice(&(body.len() as u32).to_le_bytes());
+        buf.extend_from_slice(body);
+        let mut r = &buf[..];
+        let got: Result<Option<Request>, _> = read_frame(&mut r);
+        assert!(matches!(got, Err(ServeError::Decode(_))));
+    }
+
+    #[test]
+    fn server_survives_garbage_frames() {
+        let (mut end, handle) = {
+            let (client_end, server_end) = pipe();
+            let handle = std::thread::spawn(move || {
+                Server::new(server_end, CampaignRegistry::new(1))
+                    .serve()
+                    .map(|r| r.fleet_stats())
+            });
+            (client_end, handle)
+        };
+        // A well-framed but undecodable payload: the server answers
+        // with a typed error frame and keeps serving.
+        let body = b"\"garbage\"";
+        end.write_all(&(body.len() as u32).to_le_bytes()).unwrap();
+        end.write_all(body).unwrap();
+        let resp: Response = read_frame(&mut end).unwrap().unwrap();
+        assert!(matches!(resp, Response::Error { .. }));
+        // The connection still works for real requests afterwards.
+        let mut client = Client::new(end);
+        let id = client.register(&spec(0)).unwrap();
+        client.run_all().unwrap();
+        assert!(client.stats(id).unwrap().done);
+        client.shutdown().unwrap();
+        handle.join().unwrap().unwrap();
+    }
+
+    #[test]
+    fn deadline_bounds_rounds_per_request() {
+        let (client_end, server_end) = pipe();
+        let handle = std::thread::spawn(move || {
+            let config = ServerConfig {
+                max_rounds_per_request: 2,
+            };
+            Server::with_config(server_end, CampaignRegistry::new(1), config)
+                .serve()
+                .map(|r| r.fleet_stats())
+        });
+        let mut client = Client::new(client_end);
+        client.register(&spec(0)).unwrap();
+        // RunAll is clipped to the per-request deadline; the client
+        // re-issues until the fleet drains.
+        let mut total = 0;
+        loop {
+            match client.request(&Request::RunAll).unwrap() {
+                Response::Stepped { rounds, n_active } => {
+                    assert!(rounds <= 2);
+                    total += rounds;
+                    if n_active == 0 {
+                        break;
+                    }
+                }
+                other => panic!("unexpected response: {other:?}"),
+            }
+        }
+        assert!(total > 2, "fleet needed more than one deadline window");
+        client.shutdown().unwrap();
+        handle.join().unwrap().unwrap();
+    }
+
+    #[test]
+    fn reconnect_client_retries_idempotently_across_broken_streams() {
+        use crate::registry::AdmissionConfig;
+        use std::sync::mpsc;
+        // A "flaky dialer": the first connection is already closed, the
+        // second works. Registers with a fixed request id must land
+        // exactly one campaign.
+        let (tx, rx) = mpsc::channel::<PipeEnd>();
+        let handle = std::thread::spawn(move || {
+            let registry = CampaignRegistry::new(1).with_admission(AdmissionConfig::default());
+            let end = rx.recv().expect("a live connection");
+            Server::new(end, registry).serve().map(|r| r.fleet_stats())
+        });
+        let mut dials = 0;
+        let mut client = ReconnectClient::new(
+            move || {
+                dials += 1;
+                let (a, b) = pipe();
+                if dials == 1 {
+                    // Dead on arrival: the peer end drops immediately.
+                    drop(b);
+                } else {
+                    tx.send(b).expect("server accepts");
+                }
+                Some(a)
+            },
+            Backoff::new(0.5, 2.0, 8.0),
+            4,
+        );
+        let id = client.register(&spec(0), 42).unwrap();
+        let id_again = client.register(&spec(0), 42).unwrap();
+        assert_eq!(id, id_again);
+        assert!(client.retried_requests() >= 1);
+        assert!(client.backoff_total_s() > 0.0);
+        match client.request(&Request::FleetStats).unwrap() {
+            Response::Fleet { stats } => {
+                assert_eq!(stats.n_campaigns, 1, "retry double-created a campaign");
+                assert_eq!(stats.retried_requests, 1);
+            }
+            other => panic!("unexpected response: {other:?}"),
+        }
+        client.request(&Request::Shutdown).unwrap();
+        handle.join().unwrap().unwrap();
+    }
+
+    #[test]
+    fn overloaded_registry_sheds_through_the_protocol() {
+        use crate::registry::AdmissionConfig;
+        let (client_end, server_end) = pipe();
+        let handle = std::thread::spawn(move || {
+            let registry = CampaignRegistry::new(1).with_admission(AdmissionConfig {
+                max_active: 1,
+                max_pending: 0,
+            });
+            Server::new(server_end, registry)
+                .serve()
+                .map(|r| r.fleet_stats())
+        });
+        let mut client = Client::new(client_end);
+        client.register(&spec(0)).unwrap();
+        match client.register(&spec(1)) {
+            Err(ServeError::Overloaded { retry_after_rounds }) => {
+                assert!(retry_after_rounds >= 1)
+            }
+            other => panic!("expected Overloaded, got {other:?}"),
+        }
+        // The connection survives the shed; the accepted campaign runs.
+        client.run_all().unwrap();
+        client.shutdown().unwrap();
+        let fleet = handle.join().unwrap().unwrap();
+        assert_eq!(fleet.shed_requests, 1);
+        assert_eq!(fleet.n_done, 1);
+    }
+
+    #[test]
+    fn backoff_schedule_is_deterministic_and_capped() {
+        let mut a = Backoff::new(0.5, 2.0, 4.0);
+        let got: Vec<f64> = (0..6).map(|_| a.next_delay_s()).collect();
+        assert_eq!(got, vec![0.5, 1.0, 2.0, 4.0, 4.0, 4.0]);
+        let mut b = Backoff::new(0.5, 2.0, 4.0);
+        assert_eq!(b.next_delay_s().to_bits(), 0.5f64.to_bits());
+        a.reset();
+        assert_eq!(a.next_delay_s().to_bits(), 0.5f64.to_bits());
     }
 
     #[test]

@@ -30,9 +30,11 @@
 //! the maximum worker load. Serial seconds divided by summed makespans
 //! gives the pool speedup a real fleet of that size would see.
 
+use crate::chaos::ChaosPlan;
 use crate::spec::CampaignSpec;
 use autotune::{measure_request, Campaign, CampaignError, CampaignSnapshot, MetricsSnapshot};
 use autotune_linalg::par_map_threads;
+use std::collections::BTreeMap;
 
 /// Errors from registry operations.
 #[derive(Debug)]
@@ -43,6 +45,27 @@ pub enum ServeError {
     Campaign(CampaignError),
     /// A protocol-level failure (framing, serde, closed pipe).
     Protocol(String),
+    /// A frame's length prefix exceeds [`crate::protocol::MAX_FRAME_LEN`];
+    /// the body was never read (let alone allocated) and the stream is no
+    /// longer at a frame boundary.
+    FrameTooLarge {
+        /// The advertised body length.
+        len: u64,
+        /// The cap it violated.
+        max: u64,
+    },
+    /// A complete, well-framed payload failed to decode (garbage JSON,
+    /// unknown variant). The stream is still at a frame boundary, so the
+    /// connection remains usable.
+    Decode(String),
+    /// The server shed the request under overload; retry after the
+    /// indicated number of scheduling rounds.
+    Overloaded {
+        /// Suggested backoff before retrying, in scheduling rounds.
+        retry_after_rounds: u64,
+    },
+    /// Durable storage failure (WAL/snapshot I/O or corruption).
+    Storage(String),
 }
 
 impl std::fmt::Display for ServeError {
@@ -51,6 +74,14 @@ impl std::fmt::Display for ServeError {
             ServeError::UnknownCampaign(id) => write!(f, "unknown campaign id {id}"),
             ServeError::Campaign(e) => write!(f, "campaign error: {e}"),
             ServeError::Protocol(msg) => write!(f, "protocol error: {msg}"),
+            ServeError::FrameTooLarge { len, max } => {
+                write!(f, "frame of {len} bytes exceeds the {max}-byte cap")
+            }
+            ServeError::Decode(msg) => write!(f, "decode error: {msg}"),
+            ServeError::Overloaded { retry_after_rounds } => {
+                write!(f, "overloaded; retry after {retry_after_rounds} rounds")
+            }
+            ServeError::Storage(msg) => write!(f, "storage error: {msg}"),
         }
     }
 }
@@ -77,6 +108,10 @@ pub struct CampaignStats {
     pub done: bool,
     /// Whether serving was stopped administratively.
     pub stopped: bool,
+    /// Whether the campaign is admitted but still queued behind the
+    /// `max_active` admission limit.
+    #[serde(default)]
+    pub queued: bool,
     /// Ticks completed.
     pub n_ticks: u64,
     /// Trials recorded in storage.
@@ -99,6 +134,13 @@ pub struct CampaignStats {
     pub mean_suggest_ns: f64,
     /// Mean observe latency in real nanoseconds (0 without a timer).
     pub mean_observe_ns: f64,
+    /// WAL records appended for this campaign (durable serving only).
+    #[serde(default)]
+    pub wal_appends: u64,
+    /// Times this campaign was rebuilt from its durable log after a
+    /// crash or worker panic.
+    #[serde(default)]
+    pub recoveries: u64,
 }
 
 /// Aggregate stats for the whole registry.
@@ -126,6 +168,47 @@ pub struct FleetStats {
     pub n_suggested: u64,
     /// Trials crashed across the fleet.
     pub n_crashed: u64,
+    /// Campaigns admitted but queued behind the `max_active` limit.
+    #[serde(default)]
+    pub n_pending: usize,
+    /// Register requests shed by admission control.
+    #[serde(default)]
+    pub shed_requests: u64,
+    /// Idempotent request retries absorbed without duplicating work.
+    #[serde(default)]
+    pub retried_requests: u64,
+    /// WAL records appended across the fleet (durable serving only).
+    #[serde(default)]
+    pub wal_appends: u64,
+    /// Bytes discarded as torn WAL tails during recovery.
+    #[serde(default)]
+    pub wal_truncated_bytes: u64,
+    /// Crash/panic recoveries: whole-process WAL replays plus
+    /// per-campaign rebuilds after worker panics.
+    #[serde(default)]
+    pub recoveries: u64,
+}
+
+/// Admission limits for a registry. Defaults are unbounded, preserving
+/// the plain `register` behavior; a serving deployment sets both to put
+/// a hard ceiling on memory and scheduling load.
+#[derive(Debug, Clone, Copy)]
+pub struct AdmissionConfig {
+    /// Campaigns allowed to run concurrently; admissions beyond this
+    /// queue (FIFO) until capacity frees up.
+    pub max_active: usize,
+    /// Bound on that pending queue; admissions beyond it are shed with
+    /// [`ServeError::Overloaded`].
+    pub max_pending: usize,
+}
+
+impl Default for AdmissionConfig {
+    fn default() -> Self {
+        AdmissionConfig {
+            max_active: usize::MAX,
+            max_pending: usize::MAX,
+        }
+    }
 }
 
 struct Entry {
@@ -134,14 +217,17 @@ struct Entry {
     campaign: Campaign<'static>,
     credit: f64,
     stopped: bool,
+    queued: bool,
     waves_served: u64,
     live_measurements: u64,
     virtual_busy_s: f64,
+    wal_appends: u64,
+    recoveries: u64,
 }
 
 impl Entry {
     fn active(&self) -> bool {
-        !self.stopped && !self.campaign.is_done()
+        !self.stopped && !self.queued && !self.campaign.is_done()
     }
 }
 
@@ -168,6 +254,13 @@ pub struct CampaignRegistry {
     rounds: u64,
     virtual_serial_s: f64,
     virtual_makespan_s: f64,
+    admission: AdmissionConfig,
+    request_ids: BTreeMap<u64, u64>,
+    shed_requests: u64,
+    retried_requests: u64,
+    wal_truncated_bytes: u64,
+    fleet_recoveries: u64,
+    worker_panic_plan: Option<ChaosPlan>,
 }
 
 impl CampaignRegistry {
@@ -181,7 +274,23 @@ impl CampaignRegistry {
             rounds: 0,
             virtual_serial_s: 0.0,
             virtual_makespan_s: 0.0,
+            admission: AdmissionConfig::default(),
+            request_ids: BTreeMap::new(),
+            shed_requests: 0,
+            retried_requests: 0,
+            wal_truncated_bytes: 0,
+            fleet_recoveries: 0,
+            worker_panic_plan: None,
         }
+    }
+
+    /// Arms deterministic worker-panic injection: each (round, campaign)
+    /// measurement job consults `plan` and may panic inside the pool.
+    /// The panic propagates out of [`CampaignRegistry::step_round`]; a
+    /// durability layer catches it at that boundary and rebuilds from
+    /// the WAL.
+    pub fn inject_worker_panics(&mut self, plan: ChaosPlan) {
+        self.worker_panic_plan = Some(plan);
     }
 
     /// Credit accrued per campaign per round (default 1.0). Larger
@@ -192,19 +301,103 @@ impl CampaignRegistry {
         self
     }
 
-    /// Registers an owned campaign under `name`; returns its id.
+    /// Caps concurrent and queued admissions (see [`AdmissionConfig`]).
+    pub fn with_admission(mut self, admission: AdmissionConfig) -> Self {
+        self.admission = admission;
+        self
+    }
+
+    /// Replaces the admission limits in place (recovery re-applies the
+    /// pre-crash configuration to a rebuilt registry).
+    pub fn set_admission(&mut self, admission: AdmissionConfig) {
+        self.admission = admission;
+    }
+
+    /// Scheduling rounds executed so far.
+    pub fn rounds(&self) -> u64 {
+        self.rounds
+    }
+
+    /// Restores the round counter on a rebuilt registry, so stats stay
+    /// monotone across a recovery and chaos rolls keyed on the round
+    /// number never re-roll a round that already fired.
+    pub(crate) fn set_rounds(&mut self, rounds: u64) {
+        self.rounds = rounds;
+    }
+
+    /// Re-inserts a campaign under its original id during recovery.
+    pub(crate) fn restore_entry(
+        &mut self,
+        id: u64,
+        name: String,
+        campaign: Campaign<'static>,
+        stopped: bool,
+        wal_appends: u64,
+        recoveries: u64,
+    ) {
+        self.next_id = self.next_id.max(id + 1);
+        self.entries.push(Entry {
+            id,
+            name,
+            campaign,
+            credit: 0.0,
+            stopped,
+            queued: false,
+            waves_served: 0,
+            live_measurements: 0,
+            virtual_busy_s: 0.0,
+            wal_appends,
+            recoveries,
+        });
+    }
+
+    /// Fleet-level robustness counters, for carrying across a rebuild:
+    /// `(shed, retried, wal_truncated_bytes, fleet_recoveries)`.
+    pub(crate) fn robustness_counters(&self) -> (u64, u64, u64, u64) {
+        (
+            self.shed_requests,
+            self.retried_requests,
+            self.wal_truncated_bytes,
+            self.fleet_recoveries,
+        )
+    }
+
+    /// Restores fleet-level robustness counters on a rebuilt registry.
+    pub(crate) fn set_robustness_counters(
+        &mut self,
+        shed: u64,
+        retried: u64,
+        truncated: u64,
+        recoveries: u64,
+    ) {
+        self.shed_requests = shed;
+        self.retried_requests = retried;
+        self.wal_truncated_bytes = truncated;
+        self.fleet_recoveries = recoveries;
+    }
+
+    /// Registers an owned campaign under `name`; returns its id. This
+    /// low-level path bypasses admission control — servers route
+    /// registrations through [`CampaignRegistry::admit_spec`] instead.
     pub fn register(&mut self, name: impl Into<String>, campaign: Campaign<'static>) -> u64 {
+        self.push_entry(name.into(), campaign, false)
+    }
+
+    fn push_entry(&mut self, name: String, campaign: Campaign<'static>, queued: bool) -> u64 {
         let id = self.next_id;
         self.next_id += 1;
         self.entries.push(Entry {
             id,
-            name: name.into(),
+            name,
             campaign,
             credit: 0.0,
             stopped: false,
+            queued,
             waves_served: 0,
             live_measurements: 0,
             virtual_busy_s: 0.0,
+            wal_appends: 0,
+            recoveries: 0,
         });
         id
     }
@@ -212,6 +405,37 @@ impl CampaignRegistry {
     /// Builds and registers a campaign from a declarative spec.
     pub fn register_spec(&mut self, spec: &CampaignSpec) -> u64 {
         self.register(spec.name.clone(), spec.build())
+    }
+
+    /// Admission-controlled registration. A `request_id` seen before
+    /// returns the originally assigned campaign id (idempotent retry);
+    /// past `max_active` the campaign is queued; past `max_pending` the
+    /// request is shed with [`ServeError::Overloaded`].
+    pub fn admit_spec(
+        &mut self,
+        spec: &CampaignSpec,
+        request_id: Option<u64>,
+    ) -> Result<u64, ServeError> {
+        if let Some(rid) = request_id {
+            if let Some(&id) = self.request_ids.get(&rid) {
+                self.retried_requests += 1;
+                return Ok(id);
+            }
+        }
+        let n_running = self.n_active();
+        let n_queued = self.n_pending();
+        if n_running >= self.admission.max_active && n_queued >= self.admission.max_pending {
+            self.shed_requests += 1;
+            return Err(ServeError::Overloaded {
+                retry_after_rounds: n_queued as u64 + 1,
+            });
+        }
+        let queued = n_running >= self.admission.max_active;
+        let id = self.push_entry(spec.name.clone(), spec.build(), queued);
+        if let Some(rid) = request_id {
+            self.request_ids.insert(rid, id);
+        }
+        Ok(id)
     }
 
     /// Number of registered campaigns.
@@ -224,9 +448,23 @@ impl CampaignRegistry {
         self.entries.is_empty()
     }
 
-    /// Campaigns still running (not done, not stopped).
+    /// Campaigns still running (not done, not stopped, not queued).
     pub fn n_active(&self) -> usize {
         self.entries.iter().filter(|e| e.active()).count()
+    }
+
+    /// Campaigns admitted but queued behind the `max_active` limit.
+    pub fn n_pending(&self) -> usize {
+        self.entries
+            .iter()
+            .filter(|e| e.queued && !e.stopped && !e.campaign.is_done())
+            .count()
+    }
+
+    /// Whether any campaign can still make progress (running now, or
+    /// queued and eligible for activation).
+    pub fn has_runnable(&self) -> bool {
+        self.n_active() > 0 || (self.n_pending() > 0 && self.admission.max_active > 0)
     }
 
     /// Pool size this registry schedules for.
@@ -287,6 +525,18 @@ impl CampaignRegistry {
     pub fn step_round(&mut self) -> Result<RoundReport, ServeError> {
         self.rounds += 1;
         let mut report = RoundReport::default();
+        // Phase 0: activate queued admissions FIFO as capacity frees up
+        // (registration order, so activation is deterministic).
+        let mut n_running = self.n_active();
+        for entry in &mut self.entries {
+            if n_running >= self.admission.max_active {
+                break;
+            }
+            if entry.queued && !entry.stopped && !entry.campaign.is_done() {
+                entry.queued = false;
+                n_running += 1;
+            }
+        }
         // Phase 1: accrue credit and stage waves.
         let mut staged: Vec<(usize, Vec<autotune::WorkItem>)> = Vec::new();
         for idx in 0..self.entries.len() {
@@ -325,20 +575,30 @@ impl CampaignRegistry {
         let jobs: Vec<_> = staged
             .iter()
             .map(|(idx, wave)| {
-                let c = &self.entries[*idx].campaign;
+                let e = &self.entries[*idx];
                 (
-                    std::sync::Arc::clone(c.target()),
-                    c.noise_strategy().clone(),
+                    e.id,
+                    std::sync::Arc::clone(e.campaign.target()),
+                    e.campaign.noise_strategy().clone(),
                     wave.clone(),
                 )
             })
             .collect();
-        let measured: Vec<Vec<autotune::Measurement>> =
-            par_map_threads(&jobs, 2, self.workers, |_, (target, strategy, wave)| {
+        let round = self.rounds;
+        let panic_plan = self.worker_panic_plan;
+        let measured: Vec<Vec<autotune::Measurement>> = par_map_threads(
+            &jobs,
+            2,
+            self.workers,
+            move |_, (id, target, strategy, wave)| {
+                if panic_plan.is_some_and(|p| p.worker_panics(round, *id)) {
+                    chaos_worker_panic(round, *id);
+                }
                 wave.iter()
                     .map(|w| measure_request(target, strategy, &w.req, w.eval_seed))
                     .collect()
-            });
+            },
+        );
         // Phase 3: virtual-pool accounting, then absorb results in
         // staging order.
         let mut loads = vec![0.0f64; self.workers];
@@ -366,10 +626,41 @@ impl CampaignRegistry {
     /// number of rounds executed.
     pub fn run_all(&mut self) -> Result<u64, ServeError> {
         let start = self.rounds;
-        while self.n_active() > 0 {
+        while self.has_runnable() {
             self.step_round()?;
         }
         Ok(self.rounds - start)
+    }
+
+    /// Attributes `n` durable WAL appends to campaign `id` (hook for
+    /// the durability layer; unknown ids count fleet-wide only).
+    pub fn note_wal_appends(&mut self, id: u64, n: u64) {
+        if let Ok(entry) = self.entry_mut(id) {
+            entry.wal_appends += n;
+        }
+    }
+
+    /// Records torn-tail bytes discarded during WAL recovery.
+    pub fn note_wal_truncated(&mut self, bytes: u64) {
+        self.wal_truncated_bytes += bytes;
+    }
+
+    /// Records a whole-process recovery (WAL replay after a crash).
+    pub fn note_fleet_recovery(&mut self) {
+        self.fleet_recoveries += 1;
+    }
+
+    /// Records a per-campaign rebuild (e.g. after a worker panic).
+    pub fn note_campaign_recovery(&mut self, id: u64) {
+        if let Ok(entry) = self.entry_mut(id) {
+            entry.recoveries += 1;
+        }
+    }
+
+    /// Restores the idempotency table after recovery, so retried
+    /// `Register`s from before the crash still map to their campaigns.
+    pub fn restore_request_id(&mut self, request_id: u64, campaign_id: u64) {
+        self.request_ids.insert(request_id, campaign_id);
     }
 
     /// Stats for one campaign.
@@ -382,6 +673,7 @@ impl CampaignRegistry {
             policy: entry.campaign.policy().label(),
             done: entry.campaign.is_done(),
             stopped: entry.stopped,
+            queued: entry.queued,
             n_ticks: entry.campaign.n_ticks(),
             n_trials: entry.campaign.storage().len(),
             best_cost: entry
@@ -397,16 +689,24 @@ impl CampaignRegistry {
             wall_clock_s: m.wall_clock_s,
             mean_suggest_ns: m.suggest_ns.mean(),
             mean_observe_ns: m.observe_ns.mean(),
+            wal_appends: entry.wal_appends,
+            recoveries: entry.recoveries,
         })
     }
 
     /// Merged telemetry across every registered campaign (wall clocks
-    /// add, as for sequential concatenation).
+    /// add, as for sequential concatenation), plus the registry's own
+    /// durability and overload counters.
     pub fn merged_metrics(&self) -> MetricsSnapshot {
         let mut merged = MetricsSnapshot::default();
         for entry in &self.entries {
             merged.merge(&entry.campaign.metrics());
         }
+        merged.wal_appends = self.entries.iter().map(|e| e.wal_appends).sum();
+        merged.wal_truncated_bytes = self.wal_truncated_bytes;
+        merged.recoveries = self.fleet_recoveries;
+        merged.shed_requests = self.shed_requests;
+        merged.retried_requests = self.retried_requests;
         merged
     }
 
@@ -429,6 +729,12 @@ impl CampaignRegistry {
             },
             n_suggested: merged.n_suggested,
             n_crashed: merged.n_crashed,
+            n_pending: self.n_pending(),
+            shed_requests: self.shed_requests,
+            retried_requests: self.retried_requests,
+            wal_appends: merged.wal_appends,
+            wal_truncated_bytes: self.wal_truncated_bytes,
+            recoveries: merged.recoveries,
         }
     }
 
@@ -436,6 +742,14 @@ impl CampaignRegistry {
     pub fn ids(&self) -> Vec<u64> {
         self.entries.iter().map(|e| e.id).collect()
     }
+}
+
+/// Deterministic chaos injection for the measurement pool: rolled by
+/// the armed [`ChaosPlan`] on (round, campaign id), and caught at the
+/// `step_round` boundary by the durability layer, which quarantines the
+/// in-memory fleet and rebuilds it from the WAL.
+fn chaos_worker_panic(round: u64, id: u64) -> ! {
+    panic!("chaos: injected worker panic (round {round}, campaign {id})") // lint: allow(D5) seeded chaos, caught at the pool boundary
 }
 
 /// Index of the least-loaded virtual worker (first wins ties, so the
@@ -634,6 +948,53 @@ mod tests {
             mk_8 < mk_1 / 2.0,
             "8 virtual workers should at least halve the makespan: {mk_8} vs {mk_1}"
         );
+    }
+
+    #[test]
+    fn admission_queues_then_sheds_and_stays_deterministic() {
+        let specs = mixed_specs(6);
+        let want = sequential_histories(&specs);
+        let mut reg = CampaignRegistry::new(2).with_admission(AdmissionConfig {
+            max_active: 2,
+            max_pending: 2,
+        });
+        // First two run, next two queue, the rest shed.
+        let mut ids = Vec::new();
+        for s in &specs[..4] {
+            ids.push(reg.admit_spec(s, None).unwrap());
+        }
+        assert_eq!(reg.n_active(), 2);
+        assert_eq!(reg.n_pending(), 2);
+        assert!(reg.stats(ids[2]).unwrap().queued);
+        for s in &specs[4..] {
+            assert!(matches!(
+                reg.admit_spec(s, None),
+                Err(ServeError::Overloaded { .. })
+            ));
+        }
+        assert_eq!(reg.fleet_stats().shed_requests, 2);
+        // Accepted campaigns drain to completion and match standalone
+        // histories byte for byte despite queueing.
+        reg.run_all().unwrap();
+        for (i, id) in ids.iter().enumerate() {
+            let got = reg.campaign(*id).unwrap().storage().to_json();
+            assert_eq!(&got, &want[i], "campaign {i} diverged under admission");
+        }
+    }
+
+    #[test]
+    fn idempotent_request_ids_never_double_create() {
+        let specs = mixed_specs(1);
+        let mut reg = CampaignRegistry::new(1);
+        let a = reg.admit_spec(&specs[0], Some(77)).unwrap();
+        let b = reg.admit_spec(&specs[0], Some(77)).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(reg.len(), 1);
+        assert_eq!(reg.fleet_stats().retried_requests, 1);
+        // A different request id is a genuinely new campaign.
+        let c = reg.admit_spec(&specs[0], Some(78)).unwrap();
+        assert_ne!(a, c);
+        assert_eq!(reg.len(), 2);
     }
 
     #[test]

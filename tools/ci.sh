@@ -45,6 +45,22 @@ echo "== serve determinism (release) =="
 # build, where a thread-order leak in the wave fan-out would surface.
 cargo test -q --release -p autotune-serve -- determinism
 
+echo "== chaos recovery determinism (release) =="
+# ISSUE 7 acceptance: crash the durable fleet at chaos-chosen WAL
+# appends (pre-append, mid-append/torn-write, post-append-pre-ack),
+# inject worker panics, recover from the log, and demand byte-identical
+# campaign histories; fuzz the frame codec (truncation, bit flips,
+# oversized prefixes must be typed errors, never panics); shed overload
+# without perturbing accepted campaigns.
+cargo test -q --release -p autotune-serve
+cargo test -q --release -p autotune-tests --test serve_robustness
+
+echo "== chaos recovery E34 (release, two chaos seeds) =="
+# The 128-campaign chaos drive: repeated simulated crashes + reopens
+# across two chaos seeds must leave 128/128 recovered histories
+# byte-identical, with torn WAL tails truncated, not fatal.
+cargo run -q --release -p autotune-bench --bin repro -- e34
+
 echo "== telemetry purity (release) =="
 # ISSUE 3 acceptance: enabling every telemetry subscriber leaves k=1
 # campaigns byte-identical.
