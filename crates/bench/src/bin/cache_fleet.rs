@@ -1,0 +1,129 @@
+//! Perf trajectory for the config cache: hit rate, regret-free serving
+//! counters, and raw concurrent lookup throughput.
+//!
+//! Drives the E35 Zipf tenant fleet (12 families, 300 tenants; see
+//! `experiments::e35_cache`) through a `TenantRouter`, then hammers
+//! the warmed [`ShardedCache`] from several thread counts and records a
+//! machine-readable trajectory:
+//!
+//! * `BENCH_cache.json` — the deterministic serving outcome (hit rate,
+//!   families, backfills, evictions — reproducible on any host) plus
+//!   real lookups/second per thread count, and a `trajectory` array that
+//!   `tools/bench_record.sh` appends one `{commit, date, metrics}` row
+//!   to on every CI run, arming the perf-regression tripwire.
+//!
+//! The release gate: single-process concurrent lookups must sustain
+//! ≥ 1 M/s, the tentpole's "sub-microsecond read path" claim. The bin
+//! exits nonzero when the gate fails (debug builds skip it).
+//!
+//! ```text
+//! cargo run -p autotune-bench --release --bin cache_fleet
+//! ```
+
+use autotune_bench::experiments::e35_cache::{
+    drive_stream, fleet_config, router_config, N_REQUESTS,
+};
+use autotune_cache::ShardedCache;
+use autotune_wid::TenantFleet;
+use std::sync::Arc;
+use std::time::Instant;
+
+const THREAD_COUNTS: [usize; 3] = [1, 2, 4];
+const LOOKUPS_PER_THREAD: usize = 500_000;
+
+fn throughput(cache: &Arc<ShardedCache>, hot: &[Vec<f64>], threads: usize) -> f64 {
+    let start = Instant::now();
+    let handles: Vec<_> = (0..threads)
+        .map(|ti| {
+            let cache = Arc::clone(cache);
+            let hot = hot.to_vec();
+            std::thread::spawn(move || {
+                for i in 0..LOOKUPS_PER_THREAD {
+                    let fp = &hot[(ti + i) % hot.len()];
+                    std::hint::black_box(cache.lookup(fp));
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("throughput thread");
+    }
+    (threads * LOOKUPS_PER_THREAD) as f64 / start.elapsed().as_secs_f64().max(1e-9)
+}
+
+fn main() {
+    let fleet_cfg = fleet_config();
+    let fleet = TenantFleet::generate(&fleet_cfg).expect("fleet");
+    let dir = std::env::temp_dir().join(format!("autotune-cache-fleet-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    eprintln!(
+        "driving {} Zipf requests over {} tenants / {} families...",
+        N_REQUESTS, fleet_cfg.n_tenants, fleet_cfg.n_families
+    );
+    let start = Instant::now();
+    let (router, hits, misses) = drive_stream(&dir, &fleet, router_config(&fleet_cfg), N_REQUESTS);
+    let drive_s = start.elapsed().as_secs_f64();
+    let hit_rate = hits as f64 / (hits + misses) as f64;
+    let stats = router.cache_stats();
+    println!(
+        "stream: {:.2}% hit rate ({hits} hits / {misses} misses), {} families, {} backfills, {} evictions, {:.2}s real",
+        hit_rate * 100.0,
+        stats.families,
+        stats.backfills,
+        stats.evictions,
+        drive_s
+    );
+
+    let cache = Arc::clone(router.cache());
+    let hot: Vec<Vec<f64>> = fleet
+        .tenants()
+        .iter()
+        .take(32)
+        .map(|t| t.fingerprint.features().to_vec())
+        .collect();
+    let mut points = Vec::new();
+    for threads in THREAD_COUNTS {
+        let rate = throughput(&cache, &hot, threads);
+        println!(
+            "lookup throughput: {threads} thread(s)  {:>8.2} M/s",
+            rate / 1e6
+        );
+        points.push((threads, rate));
+    }
+    drop(router);
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let best_rate = points.iter().map(|&(_, r)| r).fold(0.0, f64::max);
+    let rows: Vec<String> = points
+        .iter()
+        .map(|(threads, rate)| {
+            format!("    {{ \"threads\": {threads}, \"lookups_per_s\": {rate:.0} }}")
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"benchmark\": \"cache_fleet: E35 Zipf tenant fleet through TenantRouter + ShardedCache\",\n  \"note\": \"hit/miss/family counts are deterministic; lookups_per_s is host-dependent; trajectory rows are appended by tools/bench_record.sh\",\n  \"requests\": {N_REQUESTS},\n  \"tenants\": {},\n  \"families_ground_truth\": {},\n  \"hit_rate\": {hit_rate:.4},\n  \"hits\": {hits},\n  \"misses\": {misses},\n  \"families_spawned\": {},\n  \"backfills\": {},\n  \"evictions\": {},\n  \"lookup_points\": [\n{}\n  ],\n  \"trajectory\": []\n}}\n",
+        fleet_cfg.n_tenants,
+        fleet_cfg.n_families,
+        stats.families,
+        stats.backfills,
+        stats.evictions,
+        rows.join(",\n")
+    );
+    std::fs::write("BENCH_cache.json", &json).expect("write BENCH_cache.json");
+    println!("wrote BENCH_cache.json ({} thread counts)", points.len());
+
+    if hit_rate < 0.95 {
+        eprintln!("FAIL: hit rate {:.2}% below the 95% gate", hit_rate * 100.0);
+        std::process::exit(1);
+    }
+    if cfg!(debug_assertions) {
+        println!("debug build: skipping the 1 M lookups/s release gate");
+    } else if best_rate < 1_000_000.0 {
+        eprintln!(
+            "FAIL: best lookup throughput {:.0}/s below the 1 M/s release gate",
+            best_rate
+        );
+        std::process::exit(1);
+    }
+}

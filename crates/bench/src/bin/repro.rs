@@ -41,7 +41,7 @@ fn main() {
         }
     }
     if ran == 0 {
-        eprintln!("no experiment matches {filter:?}; available: e01..e34, ablations");
+        eprintln!("no experiment matches {filter:?}; available: e01..e35, ablations");
         std::process::exit(2);
     }
     if filter.is_empty() {

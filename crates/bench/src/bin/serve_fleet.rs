@@ -158,7 +158,7 @@ fn main() {
     );
 
     let serve_json = format!(
-        "{{\n  \"benchmark\": \"serve_fleet: E33 mixed fleet of {FLEET_N} campaigns through CampaignRegistry\",\n  \"note\": \"virtual_* fields are deterministic (virtual pool model); real_* and *_ns fields are host-dependent; robustness block is the E34 chaos/overload arm\",\n{robustness}  \"points\": [\n{}\n  ]\n}}\n",
+        "{{\n  \"benchmark\": \"serve_fleet: E33 mixed fleet of {FLEET_N} campaigns through CampaignRegistry\",\n  \"note\": \"virtual_* fields are deterministic (virtual pool model); real_* and *_ns fields are host-dependent; robustness block is the E34 chaos/overload arm; trajectory rows are appended by tools/bench_record.sh\",\n{robustness}  \"points\": [\n{}\n  ],\n  \"trajectory\": []\n}}\n",
         rows.join(",\n")
     );
     std::fs::write("BENCH_serve.json", &serve_json).expect("write BENCH_serve.json");
@@ -171,7 +171,7 @@ fn main() {
         .and_then(|t| parse_flat_number(&t, "suggest_ns_per_trial_n500"));
     if let Some(ns) = baseline {
         let bo_json = format!(
-            "{{\n  \"benchmark\": \"incremental BO mean suggest ns per trial at n=500 (perf_smoke / bench e32 A/B arm)\",\n  \"points\": [\n    {{ \"source\": \"tools/perf_baseline.json (2x headroom over reference)\", \"suggest_ns_per_trial_n500\": {ns:.0} }}\n  ]\n}}\n"
+            "{{\n  \"benchmark\": \"incremental BO mean suggest ns per trial at n=500 (perf_smoke / bench e32 A/B arm)\",\n  \"points\": [\n    {{ \"source\": \"tools/perf_baseline.json (2x headroom over reference)\", \"suggest_ns_per_trial_n500\": {ns:.0} }}\n  ],\n  \"trajectory\": []\n}}\n"
         );
         std::fs::write("BENCH_bo.json", bo_json).expect("write BENCH_bo.json");
         println!("wrote BENCH_bo.json (seeded from tools/perf_baseline.json)");

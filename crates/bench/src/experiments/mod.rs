@@ -33,6 +33,7 @@ pub mod e31_overhead;
 pub mod e32_hotpath;
 pub mod e33_serve;
 pub mod e34_chaos;
+pub mod e35_cache;
 
 use autotune::{Objective, Target};
 use autotune_optimizer::Optimizer;

@@ -55,6 +55,7 @@ pub fn all_experiments() -> Vec<Experiment> {
         ("e32", experiments::e32_hotpath::run),
         ("e33", experiments::e33_serve::run),
         ("e34", experiments::e34_chaos::run),
+        ("e35", experiments::e35_cache::run),
         ("ablations", experiments::ablations::run),
     ]
 }

@@ -1,0 +1,689 @@
+//! The sharded config cache.
+
+use crate::key::fingerprint_key;
+use crate::{CacheError, Result};
+use autotune_space::Config;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{PoisonError, RwLock};
+
+use autotune_wid::{Fingerprint, StreamAssignment, StreamingClusters};
+use serde::{Deserialize, Serialize};
+
+/// Snapshot format version, bumped on incompatible layout changes.
+const SNAPSHOT_VERSION: u32 = 1;
+
+/// Shape and policy of a [`ShardedCache`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CacheConfig {
+    /// Streaming-cluster spawn threshold (Euclidean distance): a lookup
+    /// farther than this from every family centroid is a new family.
+    pub threshold: f64,
+    /// Number of independent shards; families map to shards by
+    /// `family % n_shards`.
+    pub n_shards: usize,
+    /// Soft per-shard entry capacity. Exceeding it triggers eviction;
+    /// "soft" because protected entries (sole entry of a hot family) are
+    /// never evicted even if the shard stays over capacity.
+    pub capacity_per_shard: usize,
+    /// A family counts as *hot* (its last entry is protected) if it served
+    /// a hit within this many logical ticks.
+    pub hot_window: u64,
+}
+
+impl Default for CacheConfig {
+    fn default() -> Self {
+        CacheConfig {
+            threshold: 1.0,
+            n_shards: 16,
+            capacity_per_shard: 64,
+            hot_window: 4096,
+        }
+    }
+}
+
+/// A successful cache lookup.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CacheHit {
+    /// Workload family that served the hit.
+    pub family: usize,
+    /// Exact fingerprint key of the serving entry.
+    pub key: u64,
+    /// The cached configuration.
+    pub config: Config,
+    /// Cost observed when the entry was tuned (lower is better).
+    pub cost: f64,
+    /// True when the serving entry's key differs from the lookup's exact
+    /// key — the family incumbent answered for a sibling tenant.
+    pub borrowed: bool,
+}
+
+/// Outcome of [`ShardedCache::lookup`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum CacheLookup {
+    /// Served from cache.
+    Hit(CacheHit),
+    /// No usable entry.
+    Miss {
+        /// `Some(family)` when the fingerprint routed to an existing
+        /// family that has no entry yet (campaign in flight or evicted);
+        /// `None` when it would spawn a new family.
+        family: Option<usize>,
+    },
+}
+
+/// Monotonic counters describing cache behavior, mirrored into
+/// `MetricsSnapshot` by the serve layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct CacheStats {
+    /// Lookups served from cache.
+    pub hits: u64,
+    /// Lookups that found no usable entry.
+    pub misses: u64,
+    /// Entries evicted by the LRU + quality policy.
+    pub evictions: u64,
+    /// Entries inserted by campaign backfill.
+    pub backfills: u64,
+    /// Workload families spawned by the streaming clustering.
+    pub families: u64,
+    /// Live entries across all shards.
+    pub entries: u64,
+    /// Current logical tick (advances once per lookup).
+    pub tick: u64,
+}
+
+/// One cached entry. LRU bookkeeping is atomic so the hit path runs under
+/// a shard *read* lock: concurrent readers never block each other, and a
+/// writer (backfill/eviction) excludes them only for the insert itself.
+#[derive(Debug)]
+struct Entry {
+    features: Vec<f64>,
+    config: Config,
+    cost: f64,
+    hits: AtomicU64,
+    last_used: AtomicU64,
+    inserted_at: u64,
+}
+
+/// Mutable interior of one shard. `entries` is keyed `(family, key)` so a
+/// family's entries are contiguous under range scans; `incumbent` caches
+/// the lowest-cost entry per family so a hit is two `BTreeMap` gets.
+#[derive(Debug, Default)]
+struct ShardInner {
+    entries: BTreeMap<(u64, u64), Entry>,
+    /// family → (key, cost) of its lowest-cost entry.
+    incumbent: BTreeMap<u64, (u64, f64)>,
+    /// family → logical tick of its most recent hit. Atomic so the read
+    /// path can refresh heat without a write lock.
+    heat: BTreeMap<u64, AtomicU64>,
+}
+
+/// The fingerprint-keyed config cache. See the crate docs for the design;
+/// all methods take `&self` and the structure is `Sync`, so one instance
+/// can be shared across server threads behind an `Arc`.
+#[derive(Debug)]
+pub struct ShardedCache {
+    config: CacheConfig,
+    clusters: RwLock<StreamingClusters>,
+    shards: Vec<RwLock<ShardInner>>,
+    tick: AtomicU64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+    backfills: AtomicU64,
+}
+
+/// Recovers from lock poisoning instead of panicking: cache state is plain
+/// data (no invariants broken mid-write can outlive the writer because
+/// every mutation either fully inserts or fully removes an entry).
+fn read_lock<T>(lock: &RwLock<T>) -> std::sync::RwLockReadGuard<'_, T> {
+    lock.read().unwrap_or_else(PoisonError::into_inner)
+}
+
+fn write_lock<T>(lock: &RwLock<T>) -> std::sync::RwLockWriteGuard<'_, T> {
+    lock.write().unwrap_or_else(PoisonError::into_inner)
+}
+
+impl ShardedCache {
+    /// Creates an empty cache.
+    ///
+    /// # Panics
+    /// Panics if `n_shards` or `capacity_per_shard` is zero, or the
+    /// clustering threshold is not finite and positive.
+    pub fn new(config: CacheConfig) -> Self {
+        assert!(config.n_shards > 0, "cache needs at least one shard");
+        assert!(
+            config.capacity_per_shard > 0,
+            "cache shards need capacity for at least one entry"
+        );
+        let clusters = RwLock::new(StreamingClusters::new(config.threshold));
+        let shards = (0..config.n_shards)
+            .map(|_| RwLock::new(ShardInner::default()))
+            .collect();
+        ShardedCache {
+            config,
+            clusters,
+            shards,
+            tick: AtomicU64::new(0),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            backfills: AtomicU64::new(0),
+        }
+    }
+
+    /// The cache's configuration.
+    pub fn config(&self) -> &CacheConfig {
+        &self.config
+    }
+
+    fn shard_of(&self, family: u64) -> &RwLock<ShardInner> {
+        &self.shards[(family as usize) % self.shards.len()]
+    }
+
+    /// Looks up a fingerprint. Advances the logical tick, routes to the
+    /// nearest family within the threshold, and serves the family
+    /// incumbent (preferring an exact-key entry when one exists). Hits
+    /// refresh the entry's LRU tick and the family's heat; the clustering
+    /// model is *not* updated here — misses feed it via
+    /// [`ShardedCache::admit_family`], keeping this path read-only.
+    pub fn lookup(&self, features: &[f64]) -> CacheLookup {
+        let tick = self.tick.fetch_add(1, Ordering::Relaxed) + 1;
+        let fp = Fingerprint::from_features(features.to_vec());
+        let family = read_lock(&self.clusters).classify(&fp).map(|(f, _)| f);
+        let Some(family) = family else {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            return CacheLookup::Miss { family: None };
+        };
+        let f = family as u64;
+        let inner = read_lock(self.shard_of(f));
+        let key = fingerprint_key(features);
+        // Exact entry first, else the family incumbent.
+        let serving = if inner.entries.contains_key(&(f, key)) {
+            Some(key)
+        } else {
+            inner.incumbent.get(&f).map(|&(k, _)| k)
+        };
+        let Some(serve_key) = serving else {
+            drop(inner);
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            return CacheLookup::Miss {
+                family: Some(family),
+            };
+        };
+        let Some(entry) = inner.entries.get(&(f, serve_key)) else {
+            // Incumbent index pointing at a missing entry would be a bug;
+            // degrade to a miss rather than panic in the serve path.
+            drop(inner);
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            return CacheLookup::Miss {
+                family: Some(family),
+            };
+        };
+        entry.hits.fetch_add(1, Ordering::Relaxed);
+        entry.last_used.store(tick, Ordering::Relaxed);
+        if let Some(heat) = inner.heat.get(&f) {
+            heat.store(tick, Ordering::Relaxed);
+        }
+        let hit = CacheHit {
+            family,
+            key: serve_key,
+            config: entry.config.clone(),
+            cost: entry.cost,
+            borrowed: serve_key != key,
+        };
+        drop(inner);
+        self.hits.fetch_add(1, Ordering::Relaxed);
+        CacheLookup::Hit(hit)
+    }
+
+    /// Folds a missed fingerprint into the clustering model, spawning a
+    /// new family when it is past the threshold. Call exactly once per
+    /// miss (the router does) so replaying the same lookup sequence
+    /// rebuilds identical centroids.
+    pub fn admit_family(&self, features: &[f64]) -> StreamAssignment {
+        let fp = Fingerprint::from_features(features.to_vec());
+        write_lock(&self.clusters).assign(&fp)
+    }
+
+    /// Backfills a tuned config for `(family, exact fingerprint)` at the
+    /// given observed cost, then enforces the shard capacity via the
+    /// LRU + quality eviction policy.
+    pub fn insert(&self, family: usize, features: &[f64], config: Config, cost: f64) {
+        let f = family as u64;
+        let key = fingerprint_key(features);
+        let tick = self.tick.load(Ordering::Relaxed);
+        let mut inner = write_lock(self.shard_of(f));
+        let entry = Entry {
+            features: features.to_vec(),
+            config,
+            cost,
+            hits: AtomicU64::new(0),
+            last_used: AtomicU64::new(tick),
+            inserted_at: tick,
+        };
+        inner.entries.insert((f, key), entry);
+        inner.heat.entry(f).or_insert_with(|| AtomicU64::new(tick));
+        match inner.incumbent.get(&f) {
+            Some(&(_, best)) if best.total_cmp(&cost).is_le() => {}
+            _ => {
+                inner.incumbent.insert(f, (key, cost));
+            }
+        }
+        self.backfills.fetch_add(1, Ordering::Relaxed);
+        self.evict_over_capacity(&mut inner, tick);
+    }
+
+    /// Evicts until the shard is within capacity or only protected entries
+    /// remain. Victim order: least-recently-used among entries that
+    /// underperform their family incumbent, then least-recently-used
+    /// overall; the sole entry of a hot family is never a candidate.
+    fn evict_over_capacity(&self, inner: &mut ShardInner, tick: u64) {
+        while inner.entries.len() > self.config.capacity_per_shard {
+            let mut family_sizes: BTreeMap<u64, usize> = BTreeMap::new();
+            for &(f, _) in inner.entries.keys() {
+                *family_sizes.entry(f).or_insert(0) += 1;
+            }
+            let hot_floor = tick.saturating_sub(self.config.hot_window);
+            let protected = |f: u64| -> bool {
+                family_sizes.get(&f).copied().unwrap_or(0) <= 1
+                    && inner
+                        .heat
+                        .get(&f)
+                        .map(|h| h.load(Ordering::Relaxed) >= hot_floor)
+                        .unwrap_or(false)
+            };
+            // (underperforms_incumbent, last_used, key) — BTreeMap order
+            // makes the scan and tie-breaks deterministic.
+            let mut victim: Option<((u64, u64), bool, u64)> = None;
+            for (&k, e) in inner.entries.iter() {
+                let (f, key) = k;
+                if protected(f) {
+                    continue;
+                }
+                let is_incumbent = inner.incumbent.get(&f).map(|&(ik, _)| ik) == Some(key);
+                let underperforms = !is_incumbent;
+                let lu = e.last_used.load(Ordering::Relaxed);
+                let better = match victim {
+                    None => true,
+                    // Underperformers strictly outrank incumbents as
+                    // victims; within a class, older LRU tick wins, and
+                    // the BTreeMap scan order settles exact ties.
+                    Some((_, v_under, v_lu)) => {
+                        (underperforms && !v_under) || (underperforms == v_under && lu < v_lu)
+                    }
+                };
+                if better {
+                    victim = Some((k, underperforms, lu));
+                }
+            }
+            let Some(((f, key), _, _)) = victim else {
+                // Everything left is the sole entry of a hot family:
+                // accept the soft-capacity overflow.
+                return;
+            };
+            inner.entries.remove(&(f, key));
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+            // Repair the incumbent index if the victim held it.
+            if inner.incumbent.get(&f).map(|&(ik, _)| ik) == Some(key) {
+                let next = inner
+                    .entries
+                    .range((f, 0)..=(f, u64::MAX))
+                    .min_by(|(_, a), (_, b)| a.cost.total_cmp(&b.cost))
+                    .map(|(&(_, k), e)| (k, e.cost));
+                match next {
+                    Some((k, c)) => {
+                        inner.incumbent.insert(f, (k, c));
+                    }
+                    None => {
+                        inner.incumbent.remove(&f);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> CacheStats {
+        let entries = self
+            .shards
+            .iter()
+            .map(|s| read_lock(s).entries.len() as u64)
+            .sum();
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            backfills: self.backfills.load(Ordering::Relaxed),
+            families: read_lock(&self.clusters).len() as u64,
+            entries,
+            tick: self.tick.load(Ordering::Relaxed),
+        }
+    }
+
+    /// A copy of the clustering model (for inspection and tests).
+    pub fn clusters(&self) -> StreamingClusters {
+        read_lock(&self.clusters).clone()
+    }
+
+    /// Total live entries.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| read_lock(s).entries.len()).sum()
+    }
+
+    /// True when no entry is cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Serializable deep copy of the full cache state (entries in shard
+    /// then key order, so equal states snapshot to equal bytes).
+    pub fn snapshot(&self) -> CacheSnapshot {
+        let mut entries = Vec::new();
+        let mut heat = Vec::new();
+        for shard in &self.shards {
+            let inner = read_lock(shard);
+            for (&(family, key), e) in inner.entries.iter() {
+                entries.push(SnapshotEntry {
+                    family,
+                    key,
+                    features: e.features.clone(),
+                    config: e.config.clone(),
+                    cost: e.cost,
+                    hits: e.hits.load(Ordering::Relaxed),
+                    last_used: e.last_used.load(Ordering::Relaxed),
+                    inserted_at: e.inserted_at,
+                });
+            }
+            for (&f, h) in inner.heat.iter() {
+                heat.push((f, h.load(Ordering::Relaxed)));
+            }
+        }
+        CacheSnapshot {
+            version: SNAPSHOT_VERSION,
+            config: self.config.clone(),
+            clusters: read_lock(&self.clusters).clone(),
+            tick: self.tick.load(Ordering::Relaxed),
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            backfills: self.backfills.load(Ordering::Relaxed),
+            entries,
+            heat,
+        }
+    }
+
+    /// Rebuilds a cache from a snapshot, byte-identical to the original
+    /// (same counters, ticks, incumbents, and clustering state).
+    pub fn restore(snap: &CacheSnapshot) -> Result<Self> {
+        if snap.version != SNAPSHOT_VERSION {
+            return Err(CacheError::VersionMismatch {
+                expected: SNAPSHOT_VERSION,
+                got: snap.version,
+            });
+        }
+        let cache = ShardedCache::new(snap.config.clone());
+        *write_lock(&cache.clusters) = snap.clusters.clone();
+        cache.tick.store(snap.tick, Ordering::Relaxed);
+        cache.hits.store(snap.hits, Ordering::Relaxed);
+        cache.misses.store(snap.misses, Ordering::Relaxed);
+        cache.evictions.store(snap.evictions, Ordering::Relaxed);
+        cache.backfills.store(snap.backfills, Ordering::Relaxed);
+        for e in &snap.entries {
+            let mut inner = write_lock(cache.shard_of(e.family));
+            inner.entries.insert(
+                (e.family, e.key),
+                Entry {
+                    features: e.features.clone(),
+                    config: e.config.clone(),
+                    cost: e.cost,
+                    hits: AtomicU64::new(e.hits),
+                    last_used: AtomicU64::new(e.last_used),
+                    inserted_at: e.inserted_at,
+                },
+            );
+            match inner.incumbent.get(&e.family) {
+                Some(&(_, best)) if best.total_cmp(&e.cost).is_le() => {}
+                _ => {
+                    inner.incumbent.insert(e.family, (e.key, e.cost));
+                }
+            }
+        }
+        for &(f, h) in &snap.heat {
+            write_lock(cache.shard_of(f))
+                .heat
+                .insert(f, AtomicU64::new(h));
+        }
+        Ok(cache)
+    }
+}
+
+/// One entry of a [`CacheSnapshot`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SnapshotEntry {
+    /// Workload family id.
+    pub family: u64,
+    /// Exact fingerprint key.
+    pub key: u64,
+    /// Feature vector the entry was keyed from.
+    pub features: Vec<f64>,
+    /// Cached configuration.
+    pub config: Config,
+    /// Tuned cost.
+    pub cost: f64,
+    /// Hit count.
+    pub hits: u64,
+    /// LRU tick of the last hit (or insert).
+    pub last_used: u64,
+    /// Tick at insert time.
+    pub inserted_at: u64,
+}
+
+/// Full serializable cache state; see [`ShardedCache::snapshot`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CacheSnapshot {
+    /// Format version.
+    pub version: u32,
+    /// Cache shape and policy.
+    pub config: CacheConfig,
+    /// Streaming clustering model.
+    pub clusters: StreamingClusters,
+    /// Logical clock.
+    pub tick: u64,
+    /// Hit counter.
+    pub hits: u64,
+    /// Miss counter.
+    pub misses: u64,
+    /// Eviction counter.
+    pub evictions: u64,
+    /// Backfill counter.
+    pub backfills: u64,
+    /// All live entries, shard then key order.
+    pub entries: Vec<SnapshotEntry>,
+    /// Per-family heat ticks.
+    pub heat: Vec<(u64, u64)>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(threshold: f64, capacity: usize) -> CacheConfig {
+        CacheConfig {
+            threshold,
+            n_shards: 4,
+            capacity_per_shard: capacity,
+            hot_window: 100,
+        }
+    }
+
+    fn config_with(v: i64) -> Config {
+        Config::new().with("knob", v)
+    }
+
+    #[test]
+    fn miss_then_backfill_then_hit() {
+        let cache = ShardedCache::new(cfg(1.0, 8));
+        let fp = [5.0, 5.0];
+        assert_eq!(cache.lookup(&fp), CacheLookup::Miss { family: None });
+        let a = cache.admit_family(&fp);
+        assert!(a.spawned);
+        cache.insert(a.family, &fp, config_with(1), 10.0);
+        match cache.lookup(&fp) {
+            CacheLookup::Hit(h) => {
+                assert_eq!(h.family, a.family);
+                assert!(!h.borrowed);
+                assert_eq!(h.config, config_with(1));
+            }
+            other => panic!("expected hit, got {other:?}"),
+        }
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses, s.backfills), (1, 1, 1));
+    }
+
+    #[test]
+    fn sibling_tenant_borrows_incumbent() {
+        let cache = ShardedCache::new(cfg(1.0, 8));
+        let a = [0.0, 0.0];
+        let b = [0.2, 0.0]; // same family, different exact key
+        cache.lookup(&a);
+        let fam = cache.admit_family(&a).family;
+        cache.insert(fam, &a, config_with(1), 10.0);
+        match cache.lookup(&b) {
+            CacheLookup::Hit(h) => {
+                assert!(h.borrowed);
+                assert_eq!(h.config, config_with(1));
+            }
+            other => panic!("expected borrowed hit, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn incumbent_is_lowest_cost() {
+        let cache = ShardedCache::new(cfg(2.0, 8));
+        let a = [0.0];
+        let b = [0.5];
+        cache.lookup(&a);
+        let fam = cache.admit_family(&a).family;
+        cache.insert(fam, &a, config_with(1), 10.0);
+        cache.insert(fam, &b, config_with(2), 5.0);
+        // A third tenant in the family gets the cost-5 incumbent.
+        match cache.lookup(&[0.2]) {
+            CacheLookup::Hit(h) => assert_eq!(h.config, config_with(2)),
+            other => panic!("expected hit, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn eviction_prefers_underperformers_lru_first() {
+        let cache = ShardedCache::new(CacheConfig {
+            threshold: 0.4,
+            n_shards: 1,
+            capacity_per_shard: 2,
+            hot_window: 1000,
+        });
+        // Two families, far apart; family 0 has the incumbent + a worse entry.
+        let f0a = [0.0];
+        let f0b = [0.1];
+        let f1 = [10.0];
+        cache.lookup(&f0a);
+        let fam0 = cache.admit_family(&f0a).family;
+        cache.lookup(&f1);
+        let fam1 = cache.admit_family(&f1).family;
+        cache.insert(fam0, &f0a, config_with(1), 5.0); // incumbent
+        cache.insert(fam0, &f0b, config_with(2), 9.0); // underperformer
+        cache.insert(fam1, &f1, config_with(3), 7.0); // third entry: over capacity
+        assert_eq!(cache.stats().evictions, 1);
+        // The underperformer died; incumbent and family-1 entry live.
+        assert!(matches!(cache.lookup(&f0a), CacheLookup::Hit(_)));
+        assert!(matches!(cache.lookup(&f1), CacheLookup::Hit(_)));
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn sole_entry_of_hot_family_survives() {
+        let cache = ShardedCache::new(CacheConfig {
+            threshold: 0.4,
+            n_shards: 1,
+            capacity_per_shard: 1,
+            hot_window: 1000,
+        });
+        let f0 = [0.0];
+        let f1 = [10.0];
+        cache.lookup(&f0);
+        let fam0 = cache.admit_family(&f0).family;
+        cache.insert(fam0, &f0, config_with(1), 5.0);
+        assert!(matches!(cache.lookup(&f0), CacheLookup::Hit(_))); // keeps family 0 hot
+        cache.lookup(&f1);
+        let fam1 = cache.admit_family(&f1).family;
+        cache.insert(fam1, &f1, config_with(2), 7.0);
+        // Both families are sole + hot: soft overflow, no eviction.
+        assert_eq!(cache.stats().evictions, 0);
+        assert_eq!(cache.len(), 2);
+        assert!(matches!(cache.lookup(&f0), CacheLookup::Hit(_)));
+        assert!(matches!(cache.lookup(&f1), CacheLookup::Hit(_)));
+    }
+
+    #[test]
+    fn cold_sole_entry_is_evictable() {
+        let cache = ShardedCache::new(CacheConfig {
+            threshold: 0.4,
+            n_shards: 1,
+            capacity_per_shard: 1,
+            hot_window: 2,
+        });
+        let f0 = [0.0];
+        let f1 = [10.0];
+        cache.lookup(&f0);
+        let fam0 = cache.admit_family(&f0).family;
+        cache.insert(fam0, &f0, config_with(1), 5.0);
+        // Let family 0 go cold: many ticks with no hit on it.
+        for _ in 0..10 {
+            cache.lookup(&[20.0]);
+        }
+        cache.lookup(&f1);
+        let fam1 = cache.admit_family(&f1).family;
+        cache.insert(fam1, &f1, config_with(2), 7.0);
+        assert_eq!(cache.stats().evictions, 1);
+        assert_eq!(cache.len(), 1);
+        assert!(matches!(cache.lookup(&f1), CacheLookup::Hit(_)));
+    }
+
+    #[test]
+    fn snapshot_roundtrip_is_byte_identical() {
+        let cache = ShardedCache::new(cfg(1.0, 4));
+        for i in 0..6 {
+            let fp = [i as f64 * 5.0];
+            cache.lookup(&fp);
+            let fam = cache.admit_family(&fp).family;
+            cache.insert(fam, &fp, config_with(i), 10.0 - i as f64);
+            cache.lookup(&fp);
+        }
+        let snap = cache.snapshot();
+        let json = serde_json::to_string(&snap).unwrap();
+        let back: CacheSnapshot = serde_json::from_str(&json).unwrap();
+        let restored = ShardedCache::restore(&back).unwrap();
+        assert_eq!(restored.snapshot(), snap);
+        assert_eq!(
+            serde_json::to_string(&restored.snapshot()).unwrap(),
+            json,
+            "snapshot bytes must round-trip"
+        );
+        // Behavior equivalence: same lookups give same answers.
+        for i in 0..6 {
+            let fp = [i as f64 * 5.0];
+            assert_eq!(cache.lookup(&fp), restored.lookup(&fp));
+        }
+    }
+
+    #[test]
+    fn restore_rejects_future_versions() {
+        let cache = ShardedCache::new(cfg(1.0, 4));
+        let mut snap = cache.snapshot();
+        snap.version = 99;
+        assert!(matches!(
+            ShardedCache::restore(&snap),
+            Err(CacheError::VersionMismatch { got: 99, .. })
+        ));
+    }
+}

@@ -178,6 +178,14 @@ pub struct MetricsSnapshot {
     pub shed_requests: u64,
     /// Idempotent request retries absorbed without duplicating work.
     pub retried_requests: u64,
+    /// Lookups answered from the serve-time config cache.
+    pub cache_hits: u64,
+    /// Lookups that missed the config cache (campaign enqueued).
+    pub cache_misses: u64,
+    /// Config-cache entries evicted by the LRU + quality policy.
+    pub cache_evictions: u64,
+    /// Config-cache entries backfilled from completed campaigns.
+    pub cache_backfills: u64,
 }
 
 impl MetricsSnapshot {
@@ -228,6 +236,10 @@ impl MetricsSnapshot {
         self.recoveries += other.recoveries;
         self.shed_requests += other.shed_requests;
         self.retried_requests += other.retried_requests;
+        self.cache_hits += other.cache_hits;
+        self.cache_misses += other.cache_misses;
+        self.cache_evictions += other.cache_evictions;
+        self.cache_backfills += other.cache_backfills;
     }
 }
 

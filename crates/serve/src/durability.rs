@@ -85,6 +85,11 @@ enum WalRecord {
     },
     /// The campaign was stopped administratively.
     Stop { id: u64 },
+    /// An auxiliary journal record for a subsystem layered on the
+    /// registry (e.g. the config-cache router). Records are replayed to
+    /// the owner in append order on recovery; the WAL itself does not
+    /// interpret `json`.
+    Aux { key: String, json: String },
 }
 
 /// WAL sizing and cadence knobs.
@@ -156,6 +161,10 @@ pub struct DurableRegistry {
     durable_len: BTreeMap<u64, usize>,
     /// Per-campaign registration info, for checkpoints.
     specs: BTreeMap<u64, (String, CampaignSpec, Option<u64>)>,
+    /// Every auxiliary record in append order, kept in memory so
+    /// checkpoint compaction can re-emit the journal into the fresh
+    /// segment before older segments are deleted.
+    aux_log: Vec<(String, String)>,
     rounds_since_checkpoint: u64,
     /// Set once a simulated crash fires; every later call fails.
     crashed: Option<CrashPoint>,
@@ -189,6 +198,7 @@ impl DurableRegistry {
             seg_bytes: 0,
             durable_len: BTreeMap::new(),
             specs: BTreeMap::new(),
+            aux_log: Vec::new(),
             rounds_since_checkpoint: 0,
             crashed: None,
         };
@@ -206,7 +216,8 @@ impl DurableRegistry {
         config: WalConfig,
     ) -> Result<(Self, RecoveryReport), ServeError> {
         let dir = dir.into();
-        let (registry, durable_len, specs, seg_index, report) = recover_dir(&dir, workers)?;
+        let (registry, durable_len, specs, aux_log, seg_index, report) =
+            recover_dir(&dir, workers)?;
         let mut s = DurableRegistry {
             registry,
             dir,
@@ -219,6 +230,7 @@ impl DurableRegistry {
             seg_bytes: 0,
             durable_len,
             specs,
+            aux_log,
             rounds_since_checkpoint: 0,
             crashed: None,
         };
@@ -305,6 +317,30 @@ impl DurableRegistry {
     /// Registers without admission control or idempotency key.
     pub fn register_spec(&mut self, spec: &CampaignSpec) -> Result<u64, ServeError> {
         self.admit_spec(spec, None)
+    }
+
+    /// Appends one auxiliary journal record under `key`, durable before
+    /// return. Subsystems layered on the registry (the config-cache
+    /// router) journal their operations here and replay them in order
+    /// after [`DurableRegistry::open`] via [`DurableRegistry::aux_log`].
+    pub fn append_aux(&mut self, key: &str, json: String) -> Result<(), ServeError> {
+        self.check_alive()?;
+        self.append(&WalRecord::Aux {
+            key: key.to_string(),
+            json: json.clone(),
+        })?;
+        self.aux_log.push((key.to_string(), json));
+        Ok(())
+    }
+
+    /// All auxiliary records appended under `key`, in append order
+    /// (surviving crashes, recoveries, and checkpoint compaction).
+    pub fn aux_log(&self, key: &str) -> Vec<&str> {
+        self.aux_log
+            .iter()
+            .filter(|(k, _)| k == key)
+            .map(|(_, j)| j.as_str())
+            .collect()
     }
 
     /// Stops a campaign, durably.
@@ -417,6 +453,11 @@ impl DurableRegistry {
             self.registry.note_wal_appends(id, 1);
             self.durable_len.insert(id, len);
         }
+        // Re-emit the aux journal into the fresh segment so compaction
+        // never drops layered-subsystem state.
+        for (key, json) in self.aux_log.clone() {
+            self.append(&WalRecord::Aux { key, json })?;
+        }
         // Checkpoints are durable; older segments are now redundant.
         for (idx, path) in list_segments(&self.dir)? {
             if idx < keep_from {
@@ -474,7 +515,8 @@ impl DurableRegistry {
             None => Vec::new(),
         };
         let workers = self.registry.workers();
-        let (mut rebuilt, durable_len, specs, _, report) = recover_dir(&self.dir, workers)?;
+        let (mut rebuilt, durable_len, specs, aux_log, _, report) =
+            recover_dir(&self.dir, workers)?;
         rebuilt.set_rounds(rounds);
         rebuilt.set_admission(self.admission);
         rebuilt.set_robustness_counters(
@@ -497,6 +539,7 @@ impl DurableRegistry {
         self.registry = rebuilt;
         self.durable_len = durable_len;
         self.specs = specs;
+        self.aux_log = aux_log;
         // The open segment handle survived the panic; keep appending to
         // it. Heal any regenerated tail so disk matches memory.
         self.flush_events()
@@ -563,7 +606,8 @@ impl DurableRegistry {
 
 /// Reads the WAL in `dir` and rebuilds the registry. Returns the
 /// registry, per-campaign durable event counts, registration info, the
-/// highest segment index seen, and the recovery report.
+/// auxiliary journal in append order, the highest segment index seen,
+/// and the recovery report.
 #[allow(clippy::type_complexity)]
 fn recover_dir(
     dir: &Path,
@@ -573,6 +617,7 @@ fn recover_dir(
         CampaignRegistry,
         BTreeMap<u64, usize>,
         BTreeMap<u64, (String, CampaignSpec, Option<u64>)>,
+        Vec<(String, String)>,
         u64,
         RecoveryReport,
     ),
@@ -598,6 +643,7 @@ fn recover_dir(
         records: u64,
     }
     let mut fleet: BTreeMap<u64, Rebuild> = BTreeMap::new();
+    let mut aux_log: Vec<(String, String)> = Vec::new();
     let mut max_seg = 0;
     for (i, (seg_no, path)) in segments.iter().enumerate() {
         max_seg = max_seg.max(*seg_no);
@@ -677,6 +723,9 @@ fn recover_dir(
                         r.records += 1;
                     }
                 }
+                WalRecord::Aux { key, json } => {
+                    aux_log.push((key, json));
+                }
             }
         }
     }
@@ -716,7 +765,7 @@ fn recover_dir(
         specs.insert(id, (r.name, r.spec, r.request_id));
         report.campaigns += 1;
     }
-    Ok((registry, durable_len, specs, max_seg, report))
+    Ok((registry, durable_len, specs, aux_log, max_seg, report))
 }
 
 /// Decodes records until the bytes run out or a record fails its
@@ -1052,6 +1101,35 @@ mod tests {
             }
             std::fs::remove_dir_all(&dir).unwrap();
         }
+    }
+
+    #[test]
+    fn aux_journal_survives_reopen_and_compaction() {
+        let dir = temp_dir("aux");
+        let config = WalConfig {
+            segment_bytes: 16 * 1024,
+            checkpoint_every_rounds: 2,
+        };
+        let mut durable = DurableRegistry::create(&dir, 1, config).unwrap();
+        durable.register_spec(&spec(0)).unwrap();
+        durable
+            .append_aux("router", "{\"op\":1}".to_string())
+            .unwrap();
+        durable
+            .append_aux("other", "{\"x\":true}".to_string())
+            .unwrap();
+        durable
+            .append_aux("router", "{\"op\":2}".to_string())
+            .unwrap();
+        // Force checkpoint compaction: aux records must be re-emitted.
+        durable.run_all().unwrap();
+        durable.checkpoint().unwrap();
+        assert_eq!(durable.aux_log("router"), vec!["{\"op\":1}", "{\"op\":2}"]);
+        drop(durable);
+        let (reopened, _) = DurableRegistry::open(&dir, 1, config).unwrap();
+        assert_eq!(reopened.aux_log("router"), vec!["{\"op\":1}", "{\"op\":2}"]);
+        assert_eq!(reopened.aux_log("other"), vec!["{\"x\":true}"]);
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

@@ -42,15 +42,17 @@ mod chaos;
 mod durability;
 mod protocol;
 mod registry;
+mod router;
 mod spec;
 
 pub use chaos::{ChaosPlan, ChaosStream, CrashPoint, FrameFault};
 pub use durability::{DurableRegistry, DurableRound, RecoveryReport, WalConfig};
 pub use protocol::{
-    pipe, read_frame, spawn_server, write_frame, Backoff, Client, PipeEnd, ReconnectClient,
-    Request, Response, Server, ServerConfig, MAX_FRAME_LEN,
+    pipe, read_frame, spawn_server, write_frame, Backoff, Client, LookupReply, PipeEnd,
+    ReconnectClient, Request, Response, ServeBackend, Server, ServerConfig, MAX_FRAME_LEN,
 };
 pub use registry::{
     AdmissionConfig, CampaignRegistry, CampaignStats, FleetStats, RoundReport, ServeError,
 };
+pub use router::{spawn_router_server, RouterConfig, RouterLookup, TenantRouter};
 pub use spec::{CampaignSpec, NoiseSpec, OptimizerKind, SystemKind};

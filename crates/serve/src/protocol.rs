@@ -16,6 +16,7 @@
 use crate::registry::{CampaignRegistry, CampaignStats, FleetStats, ServeError};
 use crate::spec::CampaignSpec;
 use autotune::CampaignSnapshot;
+use autotune_space::Config;
 use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
 use std::io::{Read, Write};
@@ -65,6 +66,17 @@ pub enum Request {
         /// Registry id.
         id: u64,
     },
+    /// Cache-first tenant lookup (served by router backends): answers
+    /// [`Response::CacheHit`] with a tuned config, or
+    /// [`Response::CacheMiss`] after enqueuing `spec` to tune the
+    /// workload's family. A plain registry backend answers
+    /// [`Response::Error`].
+    Lookup {
+        /// The tenant's workload fingerprint features.
+        features: Vec<f64>,
+        /// Campaign to run if the fingerprint's family is untuned.
+        spec: CampaignSpec,
+    },
     /// Shut the server down; answers [`Response::Bye`].
     Shutdown,
 }
@@ -103,6 +115,27 @@ pub enum Response {
     Stopped {
         /// Whether it was active before the stop.
         was_active: bool,
+    },
+    /// Lookup served from the config cache.
+    CacheHit {
+        /// Workload family that answered.
+        family: u64,
+        /// The cached configuration.
+        config: Config,
+        /// Cost observed when the config was tuned.
+        cost: f64,
+        /// True when a sibling tenant's incumbent answered (no entry for
+        /// this exact fingerprint).
+        borrowed: bool,
+    },
+    /// Lookup missed the cache; a tuning campaign covers the family and
+    /// will backfill it.
+    CacheMiss {
+        /// The covering campaign's id.
+        campaign: u64,
+        /// True when this request admitted the campaign; false when it
+        /// joined one already in flight.
+        enqueued: bool,
     },
     /// Server is shutting down.
     Bye,
@@ -298,34 +331,100 @@ impl Default for ServerConfig {
     }
 }
 
-/// Serves a registry over a framed byte stream until `Shutdown`, clean
+/// What a [`Server`] drives: anything that can answer protocol
+/// requests. [`CampaignRegistry`] is the plain fleet backend;
+/// [`TenantRouter`](crate::TenantRouter) layers the config cache on
+/// top. Implementations return `Err` for request-level failures — the
+/// server loop maps [`ServeError::Overloaded`] to
+/// [`Response::Overloaded`] and everything else to [`Response::Error`],
+/// keeping the connection usable.
+pub trait ServeBackend {
+    /// Answers one request under the server's per-request limits.
+    fn handle_request(
+        &mut self,
+        req: Request,
+        config: &ServerConfig,
+    ) -> Result<Response, ServeError>;
+}
+
+impl ServeBackend for CampaignRegistry {
+    fn handle_request(
+        &mut self,
+        req: Request,
+        config: &ServerConfig,
+    ) -> Result<Response, ServeError> {
+        let run_rounds =
+            |reg: &mut CampaignRegistry, budget: u64| -> Result<Response, ServeError> {
+                let mut run = 0;
+                while run < budget && reg.has_runnable() {
+                    reg.step_round()?;
+                    run += 1;
+                }
+                Ok(Response::Stepped {
+                    rounds: run,
+                    n_active: reg.n_active() as u64,
+                })
+            };
+        Ok(match req {
+            Request::Register { spec, request_id } => Response::Registered {
+                id: self.admit_spec(&spec, request_id)?,
+            },
+            Request::Lookup { .. } => {
+                return Err(ServeError::Protocol(
+                    "this server has no config cache; serve a TenantRouter to answer lookups"
+                        .into(),
+                ))
+            }
+            Request::Step { rounds } => {
+                let budget = u64::from(rounds).min(config.max_rounds_per_request);
+                run_rounds(self, budget)?
+            }
+            Request::RunAll => run_rounds(self, config.max_rounds_per_request)?,
+            Request::Snapshot { id } => Response::Snapshot {
+                snapshot: self.snapshot(id)?,
+            },
+            Request::Stats { id } => Response::Stats {
+                stats: self.stats(id)?,
+            },
+            Request::FleetStats => Response::Fleet {
+                stats: self.fleet_stats(),
+            },
+            Request::Stop { id } => Response::Stopped {
+                was_active: self.stop(id)?,
+            },
+            Request::Shutdown => Response::Bye,
+        })
+    }
+}
+
+/// Serves a backend over a framed byte stream until `Shutdown`, clean
 /// EOF, or a transport error. Request-level failures (unknown id,
 /// campaign errors, undecodable-but-well-framed payloads) are answered
 /// with [`Response::Error`] and the loop continues.
-pub struct Server<S: Read + Write> {
+pub struct Server<S: Read + Write, B: ServeBackend = CampaignRegistry> {
     stream: S,
-    registry: CampaignRegistry,
+    backend: B,
     config: ServerConfig,
 }
 
-impl<S: Read + Write> Server<S> {
-    /// A server over `stream` driving `registry` with default limits.
-    pub fn new(stream: S, registry: CampaignRegistry) -> Self {
-        Server::with_config(stream, registry, ServerConfig::default())
+impl<S: Read + Write, B: ServeBackend> Server<S, B> {
+    /// A server over `stream` driving `backend` with default limits.
+    pub fn new(stream: S, backend: B) -> Self {
+        Server::with_config(stream, backend, ServerConfig::default())
     }
 
     /// A server with explicit per-request limits.
-    pub fn with_config(stream: S, registry: CampaignRegistry, config: ServerConfig) -> Self {
+    pub fn with_config(stream: S, backend: B, config: ServerConfig) -> Self {
         Server {
             stream,
-            registry,
+            backend,
             config,
         }
     }
 
-    /// Runs the request loop to completion, returning the registry (for
+    /// Runs the request loop to completion, returning the backend (for
     /// post-mortem inspection in tests and tools).
-    pub fn serve(mut self) -> Result<CampaignRegistry, ServeError> {
+    pub fn serve(mut self) -> Result<B, ServeError> {
         loop {
             let req = match read_frame::<Request>(&mut self.stream) {
                 Ok(Some(req)) => req,
@@ -349,11 +448,11 @@ impl<S: Read + Write> Server<S> {
                 break;
             }
         }
-        Ok(self.registry)
+        Ok(self.backend)
     }
 
     fn handle(&mut self, req: Request) -> Response {
-        match self.try_handle(req) {
+        match self.backend.handle_request(req, &self.config) {
             Ok(resp) => resp,
             Err(ServeError::Overloaded { retry_after_rounds }) => {
                 Response::Overloaded { retry_after_rounds }
@@ -363,44 +462,29 @@ impl<S: Read + Write> Server<S> {
             },
         }
     }
+}
 
-    fn run_rounds(&mut self, budget: u64) -> Result<Response, ServeError> {
-        let mut run = 0;
-        while run < budget && self.registry.has_runnable() {
-            self.registry.step_round()?;
-            run += 1;
-        }
-        Ok(Response::Stepped {
-            rounds: run,
-            n_active: self.registry.n_active() as u64,
-        })
-    }
-
-    fn try_handle(&mut self, req: Request) -> Result<Response, ServeError> {
-        Ok(match req {
-            Request::Register { spec, request_id } => Response::Registered {
-                id: self.registry.admit_spec(&spec, request_id)?,
-            },
-            Request::Step { rounds } => {
-                let budget = u64::from(rounds).min(self.config.max_rounds_per_request);
-                self.run_rounds(budget)?
-            }
-            Request::RunAll => self.run_rounds(self.config.max_rounds_per_request)?,
-            Request::Snapshot { id } => Response::Snapshot {
-                snapshot: self.registry.snapshot(id)?,
-            },
-            Request::Stats { id } => Response::Stats {
-                stats: self.registry.stats(id)?,
-            },
-            Request::FleetStats => Response::Fleet {
-                stats: self.registry.fleet_stats(),
-            },
-            Request::Stop { id } => Response::Stopped {
-                was_active: self.registry.stop(id)?,
-            },
-            Request::Shutdown => Response::Bye,
-        })
-    }
+/// Typed outcome of [`Client::lookup`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum LookupReply {
+    /// Served from the server's config cache.
+    Hit {
+        /// Workload family that answered.
+        family: u64,
+        /// The cached configuration.
+        config: Config,
+        /// Cost observed when the config was tuned.
+        cost: f64,
+        /// True when a sibling tenant's incumbent answered.
+        borrowed: bool,
+    },
+    /// Missed; a tuning campaign covers the family.
+    Miss {
+        /// The covering campaign's id.
+        campaign: u64,
+        /// True when this request admitted the campaign.
+        enqueued: bool,
+    },
 }
 
 /// Client handle over a framed byte stream. One in-flight request at a
@@ -439,6 +523,37 @@ impl<S: Read + Write> Client<S> {
             request_id,
         })? {
             Response::Registered { id } => Ok(id),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Cache-first tenant lookup against a router server: a hit carries
+    /// the tuned config, a miss the campaign id that will backfill it.
+    /// Requires the server to drive a
+    /// [`TenantRouter`](crate::TenantRouter) backend.
+    pub fn lookup(
+        &mut self,
+        features: &[f64],
+        spec: &CampaignSpec,
+    ) -> Result<LookupReply, ServeError> {
+        match self.request(&Request::Lookup {
+            features: features.to_vec(),
+            spec: spec.clone(),
+        })? {
+            Response::CacheHit {
+                family,
+                config,
+                cost,
+                borrowed,
+            } => Ok(LookupReply::Hit {
+                family,
+                config,
+                cost,
+                borrowed,
+            }),
+            Response::CacheMiss { campaign, enqueued } => {
+                Ok(LookupReply::Miss { campaign, enqueued })
+            }
             other => Err(unexpected(&other)),
         }
     }

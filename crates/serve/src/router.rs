@@ -1,0 +1,724 @@
+//! Cache-first tenant routing over a durable campaign registry.
+//!
+//! The paper's amortization premise: in a fleet, most incoming workloads
+//! resemble one already tuned, so request-time serving should consult a
+//! config cache first and fall back to a fresh campaign only on a genuine
+//! miss. [`TenantRouter`] is that front door:
+//!
+//! * a lookup carries a workload fingerprint; the
+//!   [`ShardedCache`] routes it to a workload family and answers hits
+//!   instantly with the family's tuned incumbent;
+//! * a miss enqueues the supplied [`CampaignSpec`] through the
+//!   [`DurableRegistry`] admission path (durable before the miss is
+//!   acknowledged) and the campaign's best trial is **backfilled** into
+//!   the cache when it completes;
+//! * misses are **single-flight per family**: concurrent tenants of the
+//!   same family share one in-flight campaign instead of stampeding the
+//!   worker pool.
+//!
+//! # Durability and replay
+//!
+//! Cache state is not checkpointed — it is *re-derived*. Every routing
+//! operation is journaled as a compact [`RouterOp`] in the registry WAL's
+//! auxiliary stream ([`DurableRegistry::append_aux`]), and
+//! [`TenantRouter::open`] replays the ops in order against a fresh cache.
+//! Because the cache is a pure function of its operation sequence
+//! (seeded clustering, logical-tick LRU, `BTreeMap` shards), replay
+//! rebuilds the exact pre-crash hit/miss behavior — including tick
+//! counters and eviction decisions — as long as hits are journaled
+//! ([`RouterConfig::journal_hits`], the default).
+//!
+//! Crash windows are safe by ordering: the `Lookup` op lands before the
+//! admission write (so a shed request replays as the same clustering
+//! mutation), the campaign registration is durable before the `Admit` op
+//! (an orphaned campaign self-heals because the fingerprint-derived
+//! idempotency key makes the retry land on it), and the `Backfill` op is
+//! journaled only after the campaign's completion is durable (a finished
+//! campaign's best trial is stable, so replay at any position agrees).
+
+use crate::durability::{DurableRegistry, DurableRound, RecoveryReport, WalConfig};
+use crate::protocol::{
+    pipe, Client, PipeEnd, Request, Response, ServeBackend, Server, ServerConfig,
+};
+use crate::registry::{AdmissionConfig, CampaignRegistry, FleetStats, ServeError};
+use crate::spec::CampaignSpec;
+use autotune::MetricsSnapshot;
+use autotune_cache::{fingerprint_key, CacheHit, CacheLookup, CacheStats, ShardedCache};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+pub use autotune_cache::CacheConfig;
+
+/// Auxiliary-journal key for the router's op stream.
+const OPS_KEY: &str = "router-ops";
+/// Auxiliary-journal key for the router's pinned configuration.
+const CONFIG_KEY: &str = "router-config";
+/// Salt folded into the fingerprint key to form campaign idempotency
+/// keys, so router-issued request ids cannot collide with client-chosen
+/// ones built from small integers.
+const REQUEST_SALT: u64 = 0x9e37_79b9_7f4a_7c15;
+
+/// Shape and policy of a [`TenantRouter`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RouterConfig {
+    /// The config cache's shape (clustering threshold, shards, capacity,
+    /// eviction policy). Pinned into the WAL at create time; `open`
+    /// reads it back, so a recovered router cannot silently diverge.
+    pub cache: CacheConfig,
+    /// Journal cache hits too, not just misses. Required for byte-exact
+    /// replay (hits advance the LRU clock and entry heat, which eviction
+    /// decisions depend on); turn off only when recovery fidelity of
+    /// *eviction order* does not matter and journal volume does.
+    pub journal_hits: bool,
+}
+
+impl Default for RouterConfig {
+    fn default() -> Self {
+        RouterConfig {
+            cache: CacheConfig::default(),
+            journal_hits: true,
+        }
+    }
+}
+
+/// One journaled routing operation. Replayed in append order by
+/// [`TenantRouter::open`] to rebuild cache + routing state.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+enum RouterOp {
+    /// A lookup was served (hit) or classified (miss). Replay re-runs
+    /// the cache lookup, which re-derives the same hit/miss and, on a
+    /// miss, the same clustering mutation.
+    Lookup { features: Vec<f64> },
+    /// A miss admitted (or idempotently re-joined) a tuning campaign
+    /// for a family.
+    Admit {
+        campaign: u64,
+        family: u64,
+        features: Vec<f64>,
+    },
+    /// A completed campaign's best trial was folded into the cache.
+    Backfill { campaign: u64 },
+}
+
+/// A pending cache fill: the family and exact fingerprint a campaign
+/// was admitted for.
+#[derive(Debug, Clone)]
+struct PendingFill {
+    family: u64,
+    features: Vec<f64>,
+}
+
+/// Outcome of [`TenantRouter::lookup`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum RouterLookup {
+    /// Served from the config cache.
+    Hit(CacheHit),
+    /// No cached config; a tuning campaign covers this family.
+    Miss {
+        /// The covering campaign's registry id.
+        campaign: u64,
+        /// True when this miss admitted the campaign; false when it
+        /// joined one already in flight for the family.
+        enqueued: bool,
+    },
+}
+
+/// Cache-first request router over a [`DurableRegistry`]. See the
+/// module docs for the serving flow and the durability argument.
+pub struct TenantRouter {
+    durable: DurableRegistry,
+    cache: Arc<ShardedCache>,
+    config: RouterConfig,
+    /// campaign id → the fill it owes the cache.
+    pending: BTreeMap<u64, PendingFill>,
+    /// family → campaign currently tuning it (single-flight).
+    inflight: BTreeMap<u64, u64>,
+}
+
+impl TenantRouter {
+    /// Creates a fresh router writing its WAL to `dir` (created if
+    /// missing; must not already hold segments). The router config is
+    /// pinned into the journal so recovery rebuilds the same cache.
+    pub fn create(
+        dir: impl Into<PathBuf>,
+        workers: usize,
+        wal: WalConfig,
+        config: RouterConfig,
+    ) -> Result<Self, ServeError> {
+        let mut durable = DurableRegistry::create(dir, workers, wal)?;
+        let json = serde_json::to_string(&config)
+            .map_err(|e| ServeError::Storage(format!("encode router config: {e}")))?;
+        durable.append_aux(CONFIG_KEY, json)?;
+        let cache = Arc::new(ShardedCache::new(config.cache.clone()));
+        Ok(TenantRouter {
+            durable,
+            cache,
+            config,
+            pending: BTreeMap::new(),
+            inflight: BTreeMap::new(),
+        })
+    }
+
+    /// Reopens a router from its WAL: recovers the campaign fleet, reads
+    /// the pinned [`RouterConfig`], and replays the journaled op stream
+    /// against a fresh cache, rebuilding the exact pre-crash hit/miss
+    /// state (see the module docs).
+    pub fn open(
+        dir: impl Into<PathBuf>,
+        workers: usize,
+        wal: WalConfig,
+    ) -> Result<(Self, RecoveryReport), ServeError> {
+        let (durable, report) = DurableRegistry::open(dir, workers, wal)?;
+        let config_json = durable
+            .aux_log(CONFIG_KEY)
+            .first()
+            .copied()
+            .ok_or_else(|| {
+                ServeError::Storage("WAL holds no router config record; not a router WAL".into())
+            })?
+            .to_string();
+        let config: RouterConfig = serde_json::from_str(&config_json)
+            .map_err(|e| ServeError::Storage(format!("decode router config: {e}")))?;
+        let ops = durable
+            .aux_log(OPS_KEY)
+            .iter()
+            .map(|json| serde_json::from_str::<RouterOp>(json))
+            .collect::<Result<Vec<_>, _>>()
+            .map_err(|e| ServeError::Storage(format!("decode router op: {e}")))?;
+        let cache = Arc::new(ShardedCache::new(config.cache.clone()));
+        let mut router = TenantRouter {
+            durable,
+            cache,
+            config,
+            pending: BTreeMap::new(),
+            inflight: BTreeMap::new(),
+        };
+        for op in ops {
+            router.replay(op)?;
+        }
+        Ok((router, report))
+    }
+
+    /// Applies admission limits to the underlying registry.
+    pub fn set_admission(&mut self, admission: AdmissionConfig) {
+        self.durable.set_admission(admission);
+    }
+
+    /// The shared config cache. Clone the `Arc` to serve lookups from
+    /// other threads while this handle drives campaigns.
+    pub fn cache(&self) -> &Arc<ShardedCache> {
+        &self.cache
+    }
+
+    /// The router's pinned configuration.
+    pub fn config(&self) -> &RouterConfig {
+        &self.config
+    }
+
+    /// The underlying durable registry.
+    pub fn durable(&self) -> &DurableRegistry {
+        &self.durable
+    }
+
+    /// The wrapped campaign registry (stats, snapshots).
+    pub fn registry(&self) -> &CampaignRegistry {
+        self.durable.registry()
+    }
+
+    /// Current cache counters.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    /// Campaigns admitted but not yet backfilled into the cache.
+    pub fn pending_backfills(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Merged campaign telemetry with the cache counters folded in.
+    pub fn merged_metrics(&self) -> MetricsSnapshot {
+        let mut merged = self.durable.registry().merged_metrics();
+        let stats = self.cache.stats();
+        merged.cache_hits = stats.hits;
+        merged.cache_misses = stats.misses;
+        merged.cache_evictions = stats.evictions;
+        merged.cache_backfills = stats.backfills;
+        merged
+    }
+
+    fn journal_op(&mut self, op: &RouterOp) -> Result<(), ServeError> {
+        let json = serde_json::to_string(op)
+            .map_err(|e| ServeError::Storage(format!("encode router op: {e}")))?;
+        self.durable.append_aux(OPS_KEY, json)
+    }
+
+    /// Serves one tenant request: a cache hit answers instantly; a miss
+    /// admits `spec` through the durable registry (or joins the family's
+    /// in-flight campaign) and the cache is backfilled when it completes.
+    ///
+    /// Admission sheds surface as [`ServeError::Overloaded`]; the
+    /// clustering mutation is journaled before admission, so a shed
+    /// request still replays identically.
+    pub fn lookup(
+        &mut self,
+        features: &[f64],
+        spec: &CampaignSpec,
+    ) -> Result<RouterLookup, ServeError> {
+        if let CacheLookup::Hit(hit) = self.cache.lookup(features) {
+            if self.config.journal_hits {
+                self.journal_op(&RouterOp::Lookup {
+                    features: features.to_vec(),
+                })?;
+            }
+            return Ok(RouterLookup::Hit(hit));
+        }
+        self.journal_op(&RouterOp::Lookup {
+            features: features.to_vec(),
+        })?;
+        let assignment = self.cache.admit_family(features);
+        let family = assignment.family as u64;
+        if let Some(&campaign) = self.inflight.get(&family) {
+            return Ok(RouterLookup::Miss {
+                campaign,
+                enqueued: false,
+            });
+        }
+        // The idempotency key is a pure function of the fingerprint: a
+        // crash between the (durable) registration and the Admit op
+        // leaves an orphan campaign that the next miss of this tenant
+        // re-joins instead of double-creating.
+        let request_id = fingerprint_key(features) ^ REQUEST_SALT;
+        let campaign = self.durable.admit_spec(spec, Some(request_id))?;
+        self.journal_op(&RouterOp::Admit {
+            campaign,
+            family,
+            features: features.to_vec(),
+        })?;
+        self.pending.insert(
+            campaign,
+            PendingFill {
+                family,
+                features: features.to_vec(),
+            },
+        );
+        self.inflight.insert(family, campaign);
+        Ok(RouterLookup::Miss {
+            campaign,
+            enqueued: true,
+        })
+    }
+
+    /// One durable scheduling round, then backfills the cache from every
+    /// pending campaign that completed during it.
+    pub fn step_round(&mut self) -> Result<DurableRound, ServeError> {
+        let round = self.durable.step_round()?;
+        self.backfill_completed()?;
+        Ok(round)
+    }
+
+    /// Runs rounds until the fleet drains; returns rounds executed.
+    pub fn run_all(&mut self) -> Result<u64, ServeError> {
+        let mut rounds = 0;
+        while self.durable.registry().has_runnable() {
+            self.step_round()?;
+            rounds += 1;
+        }
+        Ok(rounds)
+    }
+
+    /// Folds every completed-but-pending campaign's best trial into the
+    /// cache; returns how many fills landed.
+    fn backfill_completed(&mut self) -> Result<u64, ServeError> {
+        let completed: Vec<u64> = self
+            .pending
+            .keys()
+            .copied()
+            .filter(|&id| {
+                self.durable
+                    .registry()
+                    .stats(id)
+                    .map(|s| s.done || s.stopped)
+                    .unwrap_or(false)
+            })
+            .collect();
+        let mut filled = 0;
+        for id in completed {
+            if self.apply_backfill(id, true)? {
+                filled += 1;
+            }
+        }
+        Ok(filled)
+    }
+
+    /// Applies one backfill. When `journal` is set the op is made
+    /// durable *before* the cache mutation: a completed campaign's best
+    /// trial is stable, so replaying the op at any later position
+    /// re-derives the same fill.
+    fn apply_backfill(&mut self, campaign: u64, journal: bool) -> Result<bool, ServeError> {
+        let Some(fill) = self.pending.get(&campaign).cloned() else {
+            return Ok(false);
+        };
+        let best = self
+            .durable
+            .registry()
+            .campaign(campaign)?
+            .storage()
+            .best()
+            .map(|t| (t.config.clone(), t.cost));
+        if journal {
+            self.journal_op(&RouterOp::Backfill { campaign })?;
+        }
+        let filled = if let Some((config, cost)) = best {
+            self.cache
+                .insert(fill.family as usize, &fill.features, config, cost);
+            true
+        } else {
+            // Every trial crashed or the campaign was stopped empty:
+            // nothing to cache, but the family's single-flight slot must
+            // free so a later miss can retry.
+            false
+        };
+        self.pending.remove(&campaign);
+        if self.inflight.get(&fill.family) == Some(&campaign) {
+            self.inflight.remove(&fill.family);
+        }
+        Ok(filled)
+    }
+
+    /// Re-applies one recovered journal op. Mirrors the live paths with
+    /// journaling disabled (the op is already durable).
+    fn replay(&mut self, op: RouterOp) -> Result<(), ServeError> {
+        match op {
+            RouterOp::Lookup { features } => {
+                if matches!(self.cache.lookup(&features), CacheLookup::Miss { .. }) {
+                    self.cache.admit_family(&features);
+                }
+            }
+            RouterOp::Admit {
+                campaign,
+                family,
+                features,
+            } => {
+                self.pending
+                    .insert(campaign, PendingFill { family, features });
+                self.inflight.insert(family, campaign);
+            }
+            RouterOp::Backfill { campaign } => {
+                self.apply_backfill(campaign, false)?;
+            }
+        }
+        Ok(())
+    }
+
+    fn serve_rounds(&mut self, budget: u64) -> Result<Response, ServeError> {
+        let mut run = 0;
+        while run < budget && self.durable.registry().has_runnable() {
+            self.step_round()?;
+            run += 1;
+        }
+        Ok(Response::Stepped {
+            rounds: run,
+            n_active: self.durable.registry().n_active() as u64,
+        })
+    }
+}
+
+impl ServeBackend for TenantRouter {
+    fn handle_request(
+        &mut self,
+        req: Request,
+        config: &ServerConfig,
+    ) -> Result<Response, ServeError> {
+        Ok(match req {
+            Request::Register { spec, request_id } => Response::Registered {
+                id: self.durable.admit_spec(&spec, request_id)?,
+            },
+            Request::Lookup { features, spec } => match self.lookup(&features, &spec)? {
+                RouterLookup::Hit(hit) => Response::CacheHit {
+                    family: hit.family as u64,
+                    config: hit.config,
+                    cost: hit.cost,
+                    borrowed: hit.borrowed,
+                },
+                RouterLookup::Miss { campaign, enqueued } => {
+                    Response::CacheMiss { campaign, enqueued }
+                }
+            },
+            Request::Step { rounds } => {
+                let budget = u64::from(rounds).min(config.max_rounds_per_request);
+                self.serve_rounds(budget)?
+            }
+            Request::RunAll => self.serve_rounds(config.max_rounds_per_request)?,
+            Request::Snapshot { id } => Response::Snapshot {
+                snapshot: self.durable.registry().snapshot(id)?,
+            },
+            Request::Stats { id } => Response::Stats {
+                stats: self.durable.registry().stats(id)?,
+            },
+            Request::FleetStats => Response::Fleet {
+                stats: self.durable.registry().fleet_stats(),
+            },
+            Request::Stop { id } => Response::Stopped {
+                was_active: self.durable.stop(id)?,
+            },
+            Request::Shutdown => Response::Bye,
+        })
+    }
+}
+
+/// What [`spawn_router_server`]'s thread yields on join: the final fleet
+/// and cache stats, or the error that stopped the server.
+pub type RouterServerHandle = std::thread::JoinHandle<Result<(FleetStats, CacheStats), ServeError>>;
+
+/// Spawns a router server thread over an in-process pipe; the join
+/// handle yields the final fleet and cache stats. `builder` runs inside
+/// the server thread (campaigns are not `Send`) and may fail — e.g. a
+/// WAL directory that refuses to open — which surfaces through the
+/// handle.
+pub fn spawn_router_server(
+    builder: impl FnOnce() -> Result<TenantRouter, ServeError> + Send + 'static,
+) -> (Client<PipeEnd>, RouterServerHandle) {
+    let (client_end, server_end) = pipe();
+    let handle = std::thread::spawn(move || {
+        let router = builder()?;
+        Server::new(server_end, router)
+            .serve()
+            .map(|r| (r.registry().fleet_stats(), r.cache_stats()))
+    });
+    (Client::new(client_end), handle)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::LookupReply;
+    use crate::spec::SystemKind;
+    use autotune::SchedulePolicy;
+    use std::path::PathBuf;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    static DIR_SEQ: AtomicU64 = AtomicU64::new(0);
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let n = DIR_SEQ.fetch_add(1, Ordering::Relaxed);
+        let dir = std::env::temp_dir().join(format!(
+            "autotune-router-{}-{}-{}",
+            std::process::id(),
+            tag,
+            n
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn spec(name: &str, seed: u64) -> CampaignSpec {
+        let mut s = CampaignSpec::minimal(name.to_string(), SystemKind::Redis, 6, seed);
+        s.policy = SchedulePolicy::AsyncSlots { k: 2 };
+        s
+    }
+
+    fn tight_config() -> RouterConfig {
+        RouterConfig {
+            cache: CacheConfig {
+                threshold: 1.0,
+                n_shards: 4,
+                capacity_per_shard: 8,
+                hot_window: 1000,
+            },
+            journal_hits: true,
+        }
+    }
+
+    #[test]
+    fn miss_tunes_then_hit_serves_best_config() {
+        let dir = temp_dir("miss-hit");
+        let mut router =
+            TenantRouter::create(&dir, 2, WalConfig::default(), tight_config()).unwrap();
+        let fp = [3.0, 3.0];
+        let out = router.lookup(&fp, &spec("t0", 7)).unwrap();
+        let RouterLookup::Miss { campaign, enqueued } = out else {
+            panic!("expected miss, got {out:?}");
+        };
+        assert!(enqueued);
+        router.run_all().unwrap();
+        assert_eq!(router.pending_backfills(), 0);
+        let best = router.registry().stats(campaign).unwrap().best_cost;
+        match router.lookup(&fp, &spec("t0", 7)).unwrap() {
+            RouterLookup::Hit(hit) => {
+                assert_eq!(hit.cost.to_bits(), best.to_bits());
+                assert!(!hit.borrowed);
+            }
+            other => panic!("expected hit, got {other:?}"),
+        }
+        let m = router.merged_metrics();
+        assert_eq!(m.cache_hits, 1);
+        assert_eq!(m.cache_misses, 1);
+        assert_eq!(m.cache_backfills, 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn misses_are_single_flight_per_family() {
+        let dir = temp_dir("single-flight");
+        let mut router =
+            TenantRouter::create(&dir, 1, WalConfig::default(), tight_config()).unwrap();
+        // Two tenants of the same family (within threshold of each other).
+        let a = [0.0, 0.0];
+        let b = [0.2, 0.0];
+        let RouterLookup::Miss {
+            campaign: c1,
+            enqueued: e1,
+        } = router.lookup(&a, &spec("a", 1)).unwrap()
+        else {
+            panic!("expected miss");
+        };
+        let RouterLookup::Miss {
+            campaign: c2,
+            enqueued: e2,
+        } = router.lookup(&b, &spec("b", 2)).unwrap()
+        else {
+            panic!("expected miss");
+        };
+        assert!(e1);
+        assert!(!e2, "second miss must join the in-flight campaign");
+        assert_eq!(c1, c2);
+        assert_eq!(router.registry().fleet_stats().n_campaigns, 1);
+        router.run_all().unwrap();
+        // The borrowed incumbent now answers both tenants.
+        assert!(matches!(
+            router.lookup(&a, &spec("a", 1)).unwrap(),
+            RouterLookup::Hit(_)
+        ));
+        match router.lookup(&b, &spec("b", 2)).unwrap() {
+            RouterLookup::Hit(hit) => assert!(hit.borrowed),
+            other => panic!("expected borrowed hit, got {other:?}"),
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn reopen_replays_byte_identical_cache_state() {
+        let dir = temp_dir("replay");
+        let mut router =
+            TenantRouter::create(&dir, 2, WalConfig::default(), tight_config()).unwrap();
+        let tenants = [[0.0, 0.0], [5.0, 0.0], [0.2, 0.0], [0.0, 5.0]];
+        for (i, fp) in tenants.iter().enumerate() {
+            router
+                .lookup(fp, &spec(&format!("t{i}"), i as u64))
+                .unwrap();
+        }
+        router.run_all().unwrap();
+        // A mixed hit/miss tail so the journal carries hits too.
+        for fp in tenants.iter().chain(tenants.iter()) {
+            router.lookup(fp, &spec("tail", 99)).unwrap();
+        }
+        let live = router.cache.snapshot();
+        drop(router);
+        let (reopened, report) = TenantRouter::open(&dir, 2, WalConfig::default()).unwrap();
+        assert!(report.records_read > 0);
+        assert_eq!(
+            serde_json::to_string(&reopened.cache.snapshot()).unwrap(),
+            serde_json::to_string(&live).unwrap(),
+            "replayed cache must be byte-identical"
+        );
+        assert_eq!(reopened.pending_backfills(), 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn reopen_mid_campaign_resumes_pending_backfill() {
+        let dir = temp_dir("mid");
+        let mut router =
+            TenantRouter::create(&dir, 1, WalConfig::default(), tight_config()).unwrap();
+        let fp = [1.0, 1.0];
+        router.lookup(&fp, &spec("t0", 3)).unwrap();
+        // One round only: the campaign is still live, the fill pending.
+        router.step_round().unwrap();
+        assert_eq!(router.pending_backfills(), 1);
+        drop(router);
+        let (mut reopened, _) = TenantRouter::open(&dir, 1, WalConfig::default()).unwrap();
+        assert_eq!(reopened.pending_backfills(), 1);
+        // A repeat miss joins the recovered in-flight campaign.
+        assert!(matches!(
+            reopened.lookup(&fp, &spec("t0", 3)).unwrap(),
+            RouterLookup::Miss {
+                enqueued: false,
+                ..
+            }
+        ));
+        reopened.run_all().unwrap();
+        assert_eq!(reopened.pending_backfills(), 0);
+        assert!(matches!(
+            reopened.lookup(&fp, &spec("t0", 3)).unwrap(),
+            RouterLookup::Hit(_)
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn shed_miss_replays_consistently() {
+        let dir = temp_dir("shed");
+        let mut router =
+            TenantRouter::create(&dir, 1, WalConfig::default(), tight_config()).unwrap();
+        router.set_admission(AdmissionConfig {
+            max_active: 1,
+            max_pending: 0,
+        });
+        let a = [0.0, 0.0];
+        let b = [8.0, 0.0]; // different family → wants a second campaign
+        assert!(matches!(
+            router.lookup(&a, &spec("a", 1)).unwrap(),
+            RouterLookup::Miss { .. }
+        ));
+        match router.lookup(&b, &spec("b", 2)) {
+            Err(ServeError::Overloaded { .. }) => {}
+            other => panic!("expected Overloaded, got {other:?}"),
+        }
+        let families_live = router.cache_stats().families;
+        drop(router);
+        // The shed lookup's clustering mutation was journaled before
+        // admission, so the replayed model matches the live one.
+        let (reopened, _) = TenantRouter::open(&dir, 1, WalConfig::default()).unwrap();
+        assert_eq!(reopened.cache_stats().families, families_live);
+        assert_eq!(reopened.pending_backfills(), 1, "only the admitted miss");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn lookup_flows_through_the_protocol() {
+        let dir = temp_dir("proto");
+        let (mut client, handle) = spawn_router_server(move || {
+            TenantRouter::create(&dir, 2, WalConfig::default(), tight_config())
+        });
+        let fp = [2.0, 2.0];
+        let miss = client.lookup(&fp, &spec("t0", 11)).unwrap();
+        let LookupReply::Miss { campaign, enqueued } = miss else {
+            panic!("expected miss, got {miss:?}");
+        };
+        assert!(enqueued);
+        client.run_all().unwrap();
+        let best = client.stats(campaign).unwrap().best_cost;
+        match client.lookup(&fp, &spec("t0", 11)).unwrap() {
+            LookupReply::Hit { cost, borrowed, .. } => {
+                assert_eq!(cost.to_bits(), best.to_bits());
+                assert!(!borrowed);
+            }
+            other => panic!("expected hit, got {other:?}"),
+        }
+        client.shutdown().unwrap();
+        let (fleet, cache) = handle.join().unwrap().unwrap();
+        assert_eq!(fleet.n_done, 1);
+        assert_eq!((cache.hits, cache.misses), (1, 1));
+    }
+
+    #[test]
+    fn plain_registry_server_rejects_lookup() {
+        let (mut client, handle) = crate::protocol::spawn_server(|| CampaignRegistry::new(1));
+        let err = client.lookup(&[1.0], &spec("t", 1)).unwrap_err();
+        assert!(matches!(err, ServeError::Protocol(_)));
+        client.shutdown().unwrap();
+        handle.join().unwrap().unwrap();
+    }
+}

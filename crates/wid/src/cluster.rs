@@ -4,8 +4,9 @@
 //! whole cluster (slide 88: "optimize one system, reuse on similar ones").
 //! K-means++ seeding plus Lloyd iterations; deterministic under a seed.
 
-use crate::{Result, WidError};
+use crate::{Fingerprint, Result, WidError};
 use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
 
 /// A fitted k-means model.
 #[derive(Debug, Clone)]
@@ -109,6 +110,164 @@ impl KMeans {
     pub fn predict(&self, point: &[f64]) -> usize {
         nearest(&self.centroids, point).0
     }
+}
+
+/// One centroid of a [`StreamingClusters`] model: a running mean over the
+/// fingerprints assigned to it so far.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StreamCentroid {
+    mean: Vec<f64>,
+    /// Number of fingerprints folded into the running mean.
+    n: u64,
+}
+
+impl StreamCentroid {
+    /// Current centroid position.
+    pub fn mean(&self) -> &[f64] {
+        &self.mean
+    }
+
+    /// Number of assignments absorbed.
+    pub fn n(&self) -> u64 {
+        self.n
+    }
+}
+
+/// Result of assigning one fingerprint to a [`StreamingClusters`] model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StreamAssignment {
+    /// Index of the workload family the fingerprint was assigned to.
+    pub family: usize,
+    /// Euclidean distance to the family centroid *before* the running-mean
+    /// update (0 for a freshly spawned family).
+    pub distance: f64,
+    /// True if this assignment spawned a new family.
+    pub spawned: bool,
+}
+
+/// Streaming online clustering of workload fingerprints.
+///
+/// Each incoming fingerprint is assigned to its nearest existing centroid
+/// (Euclidean distance, lowest index wins ties); when the nearest centroid
+/// is farther than `threshold` — or no centroid exists yet — a new family
+/// is spawned at the fingerprint. Assigned centroids track the running mean
+/// of their members, so families drift toward the true workload center.
+///
+/// The model is a pure function of the assignment order: no randomness, no
+/// hash iteration, no clocks. Replaying the same fingerprint sequence
+/// reproduces byte-identical state, which is what lets the serve layer
+/// journal assignments in its WAL and rebuild the model on recovery.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StreamingClusters {
+    threshold: f64,
+    centroids: Vec<StreamCentroid>,
+}
+
+impl StreamingClusters {
+    /// Creates an empty model that spawns a new family whenever the
+    /// nearest centroid is farther than `threshold` (Euclidean).
+    ///
+    /// # Panics
+    /// Panics if `threshold` is not finite and positive.
+    pub fn new(threshold: f64) -> Self {
+        assert!(
+            threshold.is_finite() && threshold > 0.0,
+            "streaming cluster threshold must be finite and positive"
+        );
+        StreamingClusters {
+            threshold,
+            centroids: Vec::new(),
+        }
+    }
+
+    /// The spawn threshold.
+    pub fn threshold(&self) -> f64 {
+        self.threshold
+    }
+
+    /// Number of families spawned so far.
+    pub fn len(&self) -> usize {
+        self.centroids.len()
+    }
+
+    /// True if no fingerprint has been assigned yet.
+    pub fn is_empty(&self) -> bool {
+        self.centroids.is_empty()
+    }
+
+    /// The centroids, indexed by family id.
+    pub fn centroids(&self) -> &[StreamCentroid] {
+        &self.centroids
+    }
+
+    /// Non-mutating nearest-family query: `(family, distance)` of the
+    /// closest centroid within the threshold, or `None` if the fingerprint
+    /// would spawn a new family. Used by read-only cache lookups that must
+    /// not perturb the model.
+    pub fn classify(&self, fp: &Fingerprint) -> Option<(usize, f64)> {
+        let (family, d2) = nearest_checked(&self.centroids, fp.features())?;
+        let dist = d2.sqrt();
+        if dist <= self.threshold {
+            Some((family, dist))
+        } else {
+            None
+        }
+    }
+
+    /// Assigns `fp` to its nearest family, spawning a new one past the
+    /// threshold, and folds it into the winning centroid's running mean.
+    ///
+    /// # Panics
+    /// Panics if `fp`'s dimension disagrees with existing centroids.
+    pub fn assign(&mut self, fp: &Fingerprint) -> StreamAssignment {
+        let x = fp.features();
+        match nearest_checked(&self.centroids, x) {
+            Some((family, d2)) if d2.sqrt() <= self.threshold => {
+                let c = &mut self.centroids[family];
+                c.n += 1;
+                let inv = 1.0 / c.n as f64;
+                for (m, &xi) in c.mean.iter_mut().zip(x) {
+                    *m += (xi - *m) * inv;
+                }
+                StreamAssignment {
+                    family,
+                    distance: d2.sqrt(),
+                    spawned: false,
+                }
+            }
+            _ => {
+                self.centroids.push(StreamCentroid {
+                    mean: x.to_vec(),
+                    n: 1,
+                });
+                StreamAssignment {
+                    family: self.centroids.len() - 1,
+                    distance: 0.0,
+                    spawned: true,
+                }
+            }
+        }
+    }
+}
+
+/// Returns `(index, squared_distance)` of the nearest streaming centroid,
+/// or `None` when there are no centroids. Lowest index wins exact ties
+/// because the scan keeps the first strict minimum.
+fn nearest_checked(centroids: &[StreamCentroid], x: &[f64]) -> Option<(usize, f64)> {
+    let mut best: Option<(usize, f64)> = None;
+    for (i, c) in centroids.iter().enumerate() {
+        assert_eq!(
+            c.mean.len(),
+            x.len(),
+            "fingerprint dimension mismatch against centroid"
+        );
+        let d = autotune_linalg::squared_distance(&c.mean, x);
+        match best {
+            Some((_, bd)) if d >= bd => {}
+            _ => best = Some((i, d)),
+        }
+    }
+    best
 }
 
 /// Returns `(index, squared_distance)` of the nearest centroid.
@@ -256,5 +415,76 @@ mod tests {
         let km = KMeans::fit(&pts, 2, 8).unwrap();
         assert_eq!(km.assignments().len(), 10);
         assert!(km.inertia() < 1e-12);
+    }
+
+    fn fp(v: &[f64]) -> Fingerprint {
+        Fingerprint::from_features(v.to_vec())
+    }
+
+    #[test]
+    fn streaming_spawns_and_assigns() {
+        let mut sc = StreamingClusters::new(1.0);
+        assert!(sc.is_empty());
+        let a = sc.assign(&fp(&[0.0, 0.0]));
+        assert!(a.spawned);
+        assert_eq!(a.family, 0);
+        // Within threshold: joins family 0.
+        let b = sc.assign(&fp(&[0.5, 0.0]));
+        assert!(!b.spawned);
+        assert_eq!(b.family, 0);
+        // Far away: spawns family 1.
+        let c = sc.assign(&fp(&[10.0, 0.0]));
+        assert!(c.spawned);
+        assert_eq!(c.family, 1);
+        assert_eq!(sc.len(), 2);
+    }
+
+    #[test]
+    fn streaming_running_mean_updates() {
+        let mut sc = StreamingClusters::new(10.0);
+        sc.assign(&fp(&[0.0]));
+        sc.assign(&fp(&[2.0]));
+        assert_eq!(sc.centroids()[0].mean(), &[1.0]);
+        assert_eq!(sc.centroids()[0].n(), 2);
+        sc.assign(&fp(&[4.0]));
+        assert_eq!(sc.centroids()[0].mean(), &[2.0]);
+    }
+
+    #[test]
+    fn streaming_classify_is_pure() {
+        let mut sc = StreamingClusters::new(1.0);
+        sc.assign(&fp(&[0.0, 0.0]));
+        let before = sc.clone();
+        assert_eq!(sc.classify(&fp(&[0.5, 0.0])).map(|(f, _)| f), Some(0));
+        assert_eq!(sc.classify(&fp(&[5.0, 0.0])), None);
+        assert_eq!(sc, before, "classify must not mutate the model");
+    }
+
+    #[test]
+    fn streaming_tie_breaks_to_lowest_index() {
+        let mut sc = StreamingClusters::new(0.5);
+        sc.assign(&fp(&[0.0]));
+        sc.assign(&fp(&[0.8])); // spawns family 1 (distance 0.8 > 0.5)
+                                // Equidistant point: family 0 must win.
+        let a = sc.classify(&fp(&[0.4]));
+        assert_eq!(a.map(|(f, _)| f), Some(0));
+    }
+
+    #[test]
+    fn streaming_replay_is_byte_identical() {
+        let seq: Vec<Fingerprint> = (0..50)
+            .map(|i| fp(&[(i % 7) as f64 * 3.0, (i % 5) as f64]))
+            .collect();
+        let mut a = StreamingClusters::new(2.0);
+        let mut b = StreamingClusters::new(2.0);
+        let ra: Vec<_> = seq.iter().map(|f| a.assign(f)).collect();
+        let rb: Vec<_> = seq.iter().map(|f| b.assign(f)).collect();
+        assert_eq!(ra, rb);
+        assert_eq!(a, b);
+        let ja = serde_json::to_string(&a).unwrap();
+        let jb = serde_json::to_string(&b).unwrap();
+        assert_eq!(ja, jb);
+        let back: StreamingClusters = serde_json::from_str(&ja).unwrap();
+        assert_eq!(back, a);
     }
 }

@@ -15,7 +15,12 @@
 //!   time (slide 92's "workload shift detection");
 //! * [`synthesize_mixture`] — synthetic benchmark generation: find the
 //!   mixture of base benchmarks whose fingerprint best matches production
-//!   telemetry (slide 92, Stitcher-style).
+//!   telemetry (slide 92, Stitcher-style);
+//! * [`StreamingClusters`] — online nearest-centroid assignment of incoming
+//!   fingerprints to workload families, spawning a new family past a
+//!   distance threshold (the routing layer of the serve-time config cache);
+//! * [`TenantFleet`] — synthetic Zipf-popularity tenant populations drawn
+//!   from workload-family mixtures, for exercising cache hit rates.
 
 mod cluster;
 mod embedding;
@@ -24,12 +29,12 @@ mod shift;
 mod store;
 mod synth;
 
-pub use cluster::{purity, KMeans};
+pub use cluster::{purity, KMeans, StreamAssignment, StreamCentroid, StreamingClusters};
 pub use embedding::{Embedder, EmbedderKind};
 pub use fingerprint::Fingerprint;
 pub use shift::{ShiftDetector, ShiftDetectorConfig};
 pub use store::{ConfigStore, StoredConfig};
-pub use synth::synthesize_mixture;
+pub use synth::{synthesize_mixture, Tenant, TenantFleet, TenantFleetConfig};
 
 /// Errors produced by workload-identification components.
 #[derive(Debug, Clone, PartialEq)]

@@ -12,6 +12,183 @@
 //! sophistication.
 
 use crate::{Fingerprint, Result, WidError};
+use rand::{Rng, SeedableRng};
+
+/// Shape of a synthetic multi-tenant fleet (see [`TenantFleet`]).
+#[derive(Debug, Clone)]
+pub struct TenantFleetConfig {
+    /// Number of workload families (distinct fingerprint anchors).
+    pub n_families: usize,
+    /// Number of tenants drawn from those families.
+    pub n_tenants: usize,
+    /// Fingerprint dimensionality (must be ≥ `n_families` so anchors can
+    /// sit on orthogonal axes).
+    pub dim: usize,
+    /// Zipf popularity exponent: tenant at popularity rank `r` gets weight
+    /// `1/(r+1)^zipf_exponent`.
+    pub zipf_exponent: f64,
+    /// Distance of each family anchor from the origin; inter-anchor
+    /// distance is `separation * sqrt(2)`.
+    pub separation: f64,
+    /// Per-coordinate uniform jitter applied to each tenant's fingerprint
+    /// around its family anchor (within-family spread).
+    pub jitter: f64,
+    /// Relative spread of per-tenant workload intensity around 1.0
+    /// (`rate_scale ∈ [1-spread, 1+spread]`).
+    pub rate_spread: f64,
+    /// Seed for family assignment, jitter, and popularity ranks.
+    pub seed: u64,
+}
+
+impl Default for TenantFleetConfig {
+    fn default() -> Self {
+        TenantFleetConfig {
+            n_families: 8,
+            n_tenants: 200,
+            dim: 8,
+            zipf_exponent: 1.1,
+            separation: 10.0,
+            jitter: 0.25,
+            rate_spread: 0.03,
+            seed: 0,
+        }
+    }
+}
+
+/// One tenant of a synthetic fleet.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Tenant {
+    /// Tenant index in `[0, n_tenants)`.
+    pub id: usize,
+    /// Ground-truth workload family the tenant was drawn from.
+    pub family: usize,
+    /// The tenant's observable fingerprint (family anchor + jitter).
+    pub fingerprint: Fingerprint,
+    /// Workload intensity multiplier near 1.0 — same-family tenants have
+    /// slightly different optima, which is what the "within 5 % of
+    /// per-tenant tuned" regret gate measures.
+    pub rate_scale: f64,
+    /// Normalized Zipf popularity weight (sums to 1 over the fleet).
+    pub weight: f64,
+}
+
+/// A synthetic multi-tenant population: `n_tenants` tenants drawn from
+/// `n_families` workload families, with Zipf-distributed request
+/// popularity. Models the paper's production premise that most incoming
+/// workloads repeat: a handful of hot tenants (and hot families) dominate
+/// the request stream, so a fingerprint-keyed config cache amortizes
+/// tuning cost across the fleet.
+///
+/// Generation is deterministic per seed; [`TenantFleet::sample`] is a pure
+/// function of the caller's RNG.
+#[derive(Debug, Clone)]
+pub struct TenantFleet {
+    tenants: Vec<Tenant>,
+    /// Cumulative popularity weights for inverse-CDF sampling.
+    cumulative: Vec<f64>,
+}
+
+impl TenantFleet {
+    /// Generates a fleet from `cfg`, deterministically per `cfg.seed`.
+    pub fn generate(cfg: &TenantFleetConfig) -> Result<Self> {
+        if cfg.n_families == 0 || cfg.n_tenants == 0 {
+            return Err(WidError::NotEnoughData {
+                what: "tenant fleet",
+                needed: 1,
+                got: 0,
+            });
+        }
+        if cfg.dim < cfg.n_families {
+            return Err(WidError::DimensionMismatch {
+                expected: cfg.n_families,
+                actual: cfg.dim,
+            });
+        }
+        let geometry_ok = cfg.separation.is_finite()
+            && cfg.separation > 0.0
+            && cfg.jitter.is_finite()
+            && cfg.jitter >= 0.0
+            && cfg.jitter * 4.0 < cfg.separation;
+        if !geometry_ok {
+            return Err(WidError::Numerical(format!(
+                "tenant fleet needs 0 <= 4*jitter < separation, got jitter {} separation {}",
+                cfg.jitter, cfg.separation
+            )));
+        }
+        let mut rng = rand::rngs::StdRng::seed_from_u64(cfg.seed);
+        // Family anchors on orthogonal axes: pairwise distance
+        // separation * sqrt(2), far outside the jitter ball.
+        let anchors: Vec<Vec<f64>> = (0..cfg.n_families)
+            .map(|f| {
+                let mut a = vec![0.0; cfg.dim];
+                a[f] = cfg.separation;
+                a
+            })
+            .collect();
+        // Popularity ranks: a seeded shuffle of tenant ids, so the hot
+        // tenants are not always the low ids (and not always family 0).
+        let mut ranks: Vec<usize> = (0..cfg.n_tenants).collect();
+        for i in (1..ranks.len()).rev() {
+            let j = rng.gen_range(0..=i);
+            ranks.swap(i, j);
+        }
+        let mut weights = vec![0.0; cfg.n_tenants];
+        for (rank, &id) in ranks.iter().enumerate() {
+            weights[id] = 1.0 / ((rank + 1) as f64).powf(cfg.zipf_exponent);
+        }
+        let total: f64 = weights.iter().sum();
+        let tenants: Vec<Tenant> = (0..cfg.n_tenants)
+            .map(|id| {
+                let family = rng.gen_range(0..cfg.n_families);
+                let features: Vec<f64> = anchors[family]
+                    .iter()
+                    .map(|&a| a + cfg.jitter * (rng.gen::<f64>() - 0.5) * 2.0)
+                    .collect();
+                let rate_scale = 1.0 + cfg.rate_spread * (rng.gen::<f64>() - 0.5) * 2.0;
+                Tenant {
+                    id,
+                    family,
+                    fingerprint: Fingerprint::from_features(features),
+                    rate_scale,
+                    weight: weights[id] / total,
+                }
+            })
+            .collect();
+        let mut cumulative = Vec::with_capacity(tenants.len());
+        let mut acc = 0.0;
+        for t in &tenants {
+            acc += t.weight;
+            cumulative.push(acc);
+        }
+        // Pin the last edge so sampling never falls off the end.
+        if let Some(last) = cumulative.last_mut() {
+            *last = 1.0;
+        }
+        Ok(TenantFleet {
+            tenants,
+            cumulative,
+        })
+    }
+
+    /// The tenants, indexed by id.
+    pub fn tenants(&self) -> &[Tenant] {
+        &self.tenants
+    }
+
+    /// Draws one tenant according to the Zipf popularity weights.
+    pub fn sample(&self, rng: &mut impl Rng) -> &Tenant {
+        let u = rng.gen::<f64>();
+        let idx = self.cumulative.partition_point(|&c| c < u);
+        &self.tenants[idx.min(self.tenants.len() - 1)]
+    }
+
+    /// A streaming-cluster spawn threshold that cleanly separates this
+    /// fleet's families: comfortably above the within-family spread
+    /// (`jitter * sqrt(dim)`) and far below the inter-anchor distance.
+    pub fn recommended_threshold(cfg: &TenantFleetConfig) -> f64 {
+        (2.0 * cfg.jitter * (cfg.dim as f64).sqrt()).max(cfg.separation * 0.2)
+    }
+}
 
 /// Finds mixture weights over `basis` fingerprints approximating `target`.
 ///
@@ -199,6 +376,108 @@ mod tests {
         assert!(matches!(
             synthesize_mixture(&basis, &fp(&[1.0])),
             Err(WidError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn tenant_fleet_shape_and_determinism() {
+        let cfg = TenantFleetConfig {
+            n_families: 4,
+            n_tenants: 50,
+            dim: 4,
+            seed: 9,
+            ..TenantFleetConfig::default()
+        };
+        let a = TenantFleet::generate(&cfg).unwrap();
+        let b = TenantFleet::generate(&cfg).unwrap();
+        assert_eq!(a.tenants(), b.tenants());
+        assert_eq!(a.tenants().len(), 50);
+        let wsum: f64 = a.tenants().iter().map(|t| t.weight).sum();
+        assert!((wsum - 1.0).abs() < 1e-9);
+        assert!(a.tenants().iter().all(|t| t.family < 4));
+        assert!(a
+            .tenants()
+            .iter()
+            .all(|t| (t.rate_scale - 1.0).abs() <= cfg.rate_spread + 1e-12));
+    }
+
+    #[test]
+    fn tenant_fleet_families_are_separable() {
+        use crate::StreamingClusters;
+        let cfg = TenantFleetConfig {
+            n_families: 6,
+            n_tenants: 120,
+            dim: 8,
+            seed: 3,
+            ..TenantFleetConfig::default()
+        };
+        let fleet = TenantFleet::generate(&cfg).unwrap();
+        let mut sc = StreamingClusters::new(TenantFleet::recommended_threshold(&cfg));
+        // Streaming assignment must recover exactly the ground-truth
+        // families (same family ↔ same cluster).
+        let mut cluster_of_family = std::collections::BTreeMap::new();
+        for t in fleet.tenants() {
+            let a = sc.assign(&t.fingerprint);
+            let c = cluster_of_family.entry(t.family).or_insert(a.family);
+            assert_eq!(*c, a.family, "family {} split across clusters", t.family);
+        }
+        assert_eq!(sc.len(), cluster_of_family.len());
+    }
+
+    #[test]
+    fn tenant_fleet_sampling_is_zipf_skewed() {
+        use rand::SeedableRng;
+        let cfg = TenantFleetConfig {
+            n_families: 4,
+            n_tenants: 100,
+            dim: 4,
+            seed: 5,
+            ..TenantFleetConfig::default()
+        };
+        let fleet = TenantFleet::generate(&cfg).unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+        let mut counts = vec![0usize; 100];
+        for _ in 0..5000 {
+            counts[fleet.sample(&mut rng).id] += 1;
+        }
+        // The top-10 most popular tenants must dominate the stream.
+        let mut by_weight: Vec<usize> = (0..100).collect();
+        by_weight.sort_by(|&a, &b| {
+            fleet.tenants()[b]
+                .weight
+                .total_cmp(&fleet.tenants()[a].weight)
+        });
+        let top10: usize = by_weight[..10].iter().map(|&i| counts[i]).sum();
+        assert!(top10 > 2500, "zipf head too light: {top10}/5000");
+    }
+
+    #[test]
+    fn tenant_fleet_rejects_bad_shapes() {
+        let cfg = TenantFleetConfig {
+            n_families: 10,
+            dim: 4,
+            ..Default::default()
+        };
+        assert!(matches!(
+            TenantFleet::generate(&cfg),
+            Err(WidError::DimensionMismatch { .. })
+        ));
+        let cfg2 = TenantFleetConfig {
+            // jitter ball swallows the anchors
+            jitter: TenantFleetConfig::default().separation,
+            ..Default::default()
+        };
+        assert!(matches!(
+            TenantFleet::generate(&cfg2),
+            Err(WidError::Numerical(_))
+        ));
+        let cfg3 = TenantFleetConfig {
+            n_tenants: 0,
+            ..Default::default()
+        };
+        assert!(matches!(
+            TenantFleet::generate(&cfg3),
+            Err(WidError::NotEnoughData { .. })
         ));
     }
 

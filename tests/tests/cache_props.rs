@@ -1,0 +1,288 @@
+//! Property tests for the fingerprint-keyed config cache and its
+//! durable router (ISSUE 8 acceptance):
+//!
+//! 1. The eviction policy never removes the sole entry of a family with
+//!    live traffic, under arbitrary insert/lookup interleavings on an
+//!    over-committed cache.
+//! 2. Concurrent lookups racing a backfill writer never observe a torn
+//!    entry: every hit's `(config, cost)` pair is one the writer
+//!    actually inserted.
+//! 3. Crashing a `TenantRouter` mid-stream and reopening from the WAL
+//!    reproduces the exact hit/miss sequence (and final cache state) of
+//!    an uninterrupted run, for arbitrary crash points and streams.
+
+use autotune_cache::{CacheConfig, CacheLookup, ShardedCache};
+use autotune_serve::{
+    CampaignSpec, RouterConfig, RouterLookup, SystemKind, TenantRouter, WalConfig,
+};
+use autotune_space::Config;
+use proptest::prelude::*;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+static DIR_SEQ: AtomicU64 = AtomicU64::new(0);
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let n = DIR_SEQ.fetch_add(1, Ordering::Relaxed);
+    let dir = std::env::temp_dir().join(format!(
+        "autotune-cacheprops-{}-{}-{}",
+        std::process::id(),
+        tag,
+        n
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Family anchors far apart relative to the clustering threshold, so the
+/// family an op names is the family the cache routes it to.
+fn anchor(family: usize) -> Vec<f64> {
+    vec![100.0 * family as f64, 0.0]
+}
+
+/// A distinct fingerprint near `family`'s anchor (distinct cache key,
+/// same family under a threshold of 5).
+fn member(family: usize, i: usize) -> Vec<f64> {
+    vec![100.0 * family as f64 + (i % 7) as f64 * 0.25, 0.1]
+}
+
+#[derive(Debug, Clone)]
+enum Op {
+    /// Backfill one entry for the family (admitting it on first touch).
+    Insert { family: usize, variant: usize },
+    /// Serve the family's anchor fingerprint, keeping the family hot.
+    Lookup { family: usize },
+}
+
+fn op_strategy(n_families: usize) -> impl Strategy<Value = Op> {
+    (0..2usize, 0..n_families, 0..16usize).prop_map(|(kind, family, variant)| {
+        if kind == 0 {
+            Op::Insert { family, variant }
+        } else {
+            Op::Lookup { family }
+        }
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Property 1: whatever the interleaving, a family that both (a) had
+    /// at least one cached entry and (b) served or received traffic
+    /// within the hot window keeps at least one entry across any
+    /// eviction the next insert triggers. The cache is deliberately
+    /// over-committed (capacity 3, up to 6 families) so evictions fire
+    /// constantly.
+    #[test]
+    fn eviction_never_orphans_a_hot_family(
+        ops in proptest::collection::vec(op_strategy(6), 1..200),
+        hot_window in 8u64..200,
+    ) {
+        let cache = ShardedCache::new(CacheConfig {
+            threshold: 5.0,
+            n_shards: 1,
+            capacity_per_shard: 3,
+            hot_window,
+        });
+        for op in &ops {
+            // Pre-op view: which families hold entries, and how warm.
+            let before = cache.snapshot();
+            let mut had_entries: Vec<u64> = before.entries.iter().map(|e| e.family).collect();
+            had_entries.dedup();
+            match *op {
+                Op::Insert { family, variant } => {
+                    let features = member(family, variant);
+                    // Route through the public miss path so the
+                    // clustering model owns family identity.
+                    let fam = match cache.lookup(&features) {
+                        CacheLookup::Hit(h) => h.family,
+                        CacheLookup::Miss { family: Some(f) } => f,
+                        CacheLookup::Miss { family: None } => cache.admit_family(&features).family,
+                    };
+                    let cost = 10.0 + variant as f64;
+                    cache.insert(fam, &features, Config::new().with("v", variant as i64), cost);
+                }
+                Op::Lookup { family } => {
+                    let _ = cache.lookup(&anchor(family));
+                }
+            }
+            let after = cache.snapshot();
+            let heat: std::collections::BTreeMap<u64, u64> = before.heat.iter().copied().collect();
+            for f in had_entries {
+                let was_hot = heat
+                    .get(&f)
+                    .is_some_and(|&h| h >= after.tick.saturating_sub(hot_window));
+                if was_hot {
+                    prop_assert!(
+                        after.entries.iter().any(|e| e.family == f),
+                        "hot family {f} lost its last entry (op {op:?}, tick {})",
+                        after.tick
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Property 2: readers hammering the shared cache while a writer
+/// backfills never see a torn entry. The writer inserts entries whose
+/// cost is a function of the config (`cost = 5000 - v`), so any hit
+/// pairing one insert's config with another's cost is detectable.
+#[test]
+fn concurrent_lookups_never_observe_torn_entries() {
+    const WRITES: usize = 2_000;
+    const READERS: usize = 3;
+    let cache = Arc::new(ShardedCache::new(CacheConfig {
+        threshold: 5.0,
+        n_shards: 2,
+        capacity_per_shard: 8,
+        hot_window: 1 << 40,
+    }));
+    // Establish the family before the race so readers always route.
+    let fam = cache.admit_family(&anchor(0)).family;
+    cache.insert(fam, &anchor(0), Config::new().with("v", 5000i64), 0.0);
+
+    let stop = Arc::new(AtomicU64::new(0));
+    let readers: Vec<_> = (0..READERS)
+        .map(|_| {
+            let cache = Arc::clone(&cache);
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let mut checked = 0u64;
+                while stop.load(Ordering::Relaxed) == 0 {
+                    match cache.lookup(&anchor(0)) {
+                        CacheLookup::Hit(hit) => {
+                            let v = hit.config.get_i64("v").expect("config missing knob");
+                            let want = (5000 - v) as f64;
+                            assert!(
+                                hit.cost.to_bits() == want.to_bits(),
+                                "torn entry: knob {v} paired with cost {}",
+                                hit.cost
+                            );
+                            checked += 1;
+                        }
+                        CacheLookup::Miss { .. } => panic!("family vanished mid-race"),
+                    }
+                }
+                checked
+            })
+        })
+        .collect();
+    // Writer: successively better incumbents (cost 5000-v falls as v
+    // rises), each under a distinct key, racing the readers above.
+    for i in 1..=WRITES {
+        let v = i as i64;
+        cache.insert(
+            fam,
+            &member(0, i),
+            Config::new().with("v", v),
+            (5000 - v) as f64,
+        );
+    }
+    stop.store(1, Ordering::Relaxed);
+    let mut total = 0;
+    for r in readers {
+        total += r.join().expect("reader panicked");
+    }
+    assert!(total > 0, "readers never observed a hit");
+}
+
+/// One lookup outcome, flattened for sequence comparison.
+fn outcome_sig(out: &RouterLookup) -> String {
+    match out {
+        RouterLookup::Hit(h) => format!(
+            "H:{}:{}:{:x}:{}",
+            h.family,
+            h.key,
+            h.cost.to_bits(),
+            h.borrowed
+        ),
+        RouterLookup::Miss { campaign, enqueued } => format!("M:{campaign}:{enqueued}"),
+    }
+}
+
+fn stream_spec(family: usize) -> CampaignSpec {
+    CampaignSpec::minimal(
+        format!("fam-{family}"),
+        SystemKind::Redis,
+        6,
+        9_000 + family as u64,
+    )
+}
+
+fn stream_router_config() -> RouterConfig {
+    RouterConfig {
+        cache: CacheConfig {
+            threshold: 5.0,
+            n_shards: 2,
+            capacity_per_shard: 8,
+            hot_window: 4096,
+        },
+        journal_hits: true,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Property 3: for an arbitrary request stream and an arbitrary
+    /// crash point, [crash + reopen-from-WAL + continue] produces the
+    /// same hit/miss sequence — and the same final cache state — as the
+    /// uninterrupted run. One scheduling round advances per request in
+    /// both runs, so in-flight campaigns straddle the crash.
+    #[test]
+    fn crash_and_resume_reproduces_hit_miss_sequence(
+        stream in proptest::collection::vec((0..3usize, 0..5usize), 12..48),
+        split_frac in 0.1f64..0.9,
+    ) {
+        let split = ((stream.len() as f64) * split_frac) as usize;
+
+        // Uninterrupted run.
+        let dir_a = temp_dir("resume-a");
+        let mut router_a =
+            TenantRouter::create(&dir_a, 2, WalConfig::default(), stream_router_config())
+                .expect("create A");
+        let mut seq_a = Vec::new();
+        for &(family, variant) in &stream {
+            let out = router_a
+                .lookup(&member(family, variant), &stream_spec(family))
+                .expect("lookup A");
+            seq_a.push(outcome_sig(&out));
+            router_a.step_round().expect("round A");
+        }
+        let snap_a = router_a.cache().snapshot();
+        drop(router_a);
+        let _ = std::fs::remove_dir_all(&dir_a);
+
+        // Same stream, crashed after `split` requests and reopened.
+        let dir_b = temp_dir("resume-b");
+        let mut router_b =
+            TenantRouter::create(&dir_b, 2, WalConfig::default(), stream_router_config())
+                .expect("create B");
+        let mut seq_b = Vec::new();
+        for &(family, variant) in &stream[..split] {
+            let out = router_b
+                .lookup(&member(family, variant), &stream_spec(family))
+                .expect("lookup B pre-crash");
+            seq_b.push(outcome_sig(&out));
+            router_b.step_round().expect("round B pre-crash");
+        }
+        drop(router_b); // crash
+        let (mut router_b, _report) =
+            TenantRouter::open(&dir_b, 2, WalConfig::default()).expect("reopen B");
+        for &(family, variant) in &stream[split..] {
+            let out = router_b
+                .lookup(&member(family, variant), &stream_spec(family))
+                .expect("lookup B post-crash");
+            seq_b.push(outcome_sig(&out));
+            router_b.step_round().expect("round B post-crash");
+        }
+        let snap_b = router_b.cache().snapshot();
+        drop(router_b);
+        let _ = std::fs::remove_dir_all(&dir_b);
+
+        prop_assert_eq!(seq_a, seq_b);
+        prop_assert_eq!(snap_a, snap_b);
+    }
+}

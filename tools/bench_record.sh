@@ -1,0 +1,152 @@
+#!/usr/bin/env bash
+#
+# Perf-trajectory recorder + regression gate (the CI perf entry point).
+#
+# Runs the three perf bins — `perf_smoke` (incremental suggest path,
+# keeps its own 2x-vs-baseline tripwire), `serve_fleet` (registry
+# throughput + E34 robustness arm), and `cache_fleet` (config-cache hit
+# rate + concurrent lookup throughput) — then appends one
+# `{commit, date, metrics}` row to the `trajectory` array of each
+# BENCH_*.json, carrying the committed history forward so the files
+# accumulate a per-PR perf record.
+#
+# Regression gate: fails when a gated metric moves more than
+# REGRESSION_LIMIT (default 20%) in the bad direction against the
+# committed baseline. Deterministic metrics (campaign rate in virtual
+# time, cache hit rate) are gated against the committed headline even
+# with no history; host-dependent metrics (nanoseconds, lookups/s) are
+# only gated against committed trajectory rows, which CI records on its
+# own runners — a laptop-vs-runner delta never trips the gate.
+#
+#   tools/bench_record.sh                      # record + gate
+#   REGRESSION_LIMIT=0.5 tools/bench_record.sh # looser gate
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+export REGRESSION_LIMIT="${REGRESSION_LIMIT:-0.2}"
+export BENCH_COMMIT="$(git rev-parse --short HEAD 2>/dev/null || echo unknown)"
+export BENCH_DATE="$(date -u +%Y-%m-%dT%H:%M:%SZ)"
+
+STASH="$(mktemp -d)"
+trap 'rm -rf "$STASH"' EXIT
+export BENCH_STASH="$STASH"
+
+# Snapshot the committed BENCH files (trajectory history + baseline)
+# before the bins overwrite the working copies.
+for f in BENCH_serve.json BENCH_bo.json BENCH_cache.json; do
+  git show "HEAD:$f" >"$STASH/$f" 2>/dev/null || cp "$f" "$STASH/$f" 2>/dev/null || true
+done
+
+echo "== perf_smoke (incremental suggest path) =="
+cargo run -q --release -p autotune-bench --bin perf_smoke | tee "$STASH/perf_smoke.out"
+SUGGEST_NS="$(sed -n 's/^measured: \([0-9][0-9]*\) ns\/trial$/\1/p' "$STASH/perf_smoke.out")"
+export BENCH_SUGGEST_NS="${SUGGEST_NS:-0}"
+
+echo
+echo "== serve_fleet (registry throughput + robustness) =="
+cargo run -q --release -p autotune-bench --bin serve_fleet
+
+echo
+echo "== cache_fleet (config cache hit rate + lookup throughput) =="
+cargo run -q --release -p autotune-bench --bin cache_fleet
+
+echo
+python3 - <<'PY'
+"""Appends a trajectory row to each BENCH_*.json and gates regressions."""
+import json, os, sys
+
+stash = os.environ["BENCH_STASH"]
+commit = os.environ["BENCH_COMMIT"]
+date = os.environ["BENCH_DATE"]
+limit = float(os.environ["REGRESSION_LIMIT"])
+suggest_ns = float(os.environ["BENCH_SUGGEST_NS"])
+
+def load(path):
+    try:
+        with open(path) as f:
+            return json.load(f)
+    except (OSError, ValueError):
+        return None
+
+def serve_metrics(doc):
+    w8 = next(p for p in doc["points"] if p["workers"] == 8)
+    rb = doc["robustness"]
+    return {
+        "campaigns_per_virtual_ks_w8": w8["campaigns_per_virtual_ks"],
+        "mean_suggest_ns_w8": w8["mean_suggest_ns"],
+        "real_elapsed_s_w8": w8["real_elapsed_s"],
+        "mean_recovery_open_ms": rb["mean_recovery_open_ms"],
+        "shed_rate": rb["shed_rate"],
+    }
+
+def bo_metrics(_doc):
+    return {"suggest_ns_per_trial_n500": suggest_ns}
+
+def cache_metrics(doc):
+    return {
+        "hit_rate": doc["hit_rate"],
+        "families_spawned": doc["families_spawned"],
+        "backfills": doc["backfills"],
+        "best_lookups_per_s": max(p["lookups_per_s"] for p in doc["lookup_points"]),
+    }
+
+# (file, metrics fn, gates). A gate is (metric, direction, deterministic):
+# direction "higher"/"lower" is the good direction; deterministic metrics
+# fall back to the committed headline when no trajectory row exists yet,
+# host-dependent ones are skipped until CI has recorded a row.
+FILES = [
+    ("BENCH_serve.json", serve_metrics, [
+        ("campaigns_per_virtual_ks_w8", "higher", True),
+        ("mean_recovery_open_ms", "lower", False),
+    ]),
+    ("BENCH_bo.json", bo_metrics, [
+        ("suggest_ns_per_trial_n500", "lower", False),
+    ]),
+    ("BENCH_cache.json", cache_metrics, [
+        ("hit_rate", "higher", True),
+        ("best_lookups_per_s", "higher", False),
+    ]),
+]
+
+failures = []
+print(f"== trajectory gate (limit {limit:.0%}) ==")
+for path, extract, gates in FILES:
+    fresh = load(path)
+    if fresh is None:
+        failures.append(f"{path}: bin did not produce a readable file")
+        continue
+    committed = load(os.path.join(stash, path))
+    metrics = extract(fresh)
+
+    history = (committed or {}).get("trajectory", [])
+    fresh["trajectory"] = history + [{"commit": commit, "date": date, "metrics": metrics}]
+    with open(path, "w") as f:
+        json.dump(fresh, f, indent=2)
+        f.write("\n")
+
+    baseline_row = history[-1]["metrics"] if history else None
+    for metric, good, deterministic in gates:
+        new = metrics[metric]
+        if baseline_row is not None and metric in baseline_row:
+            old, src = baseline_row[metric], "trajectory"
+        elif deterministic and committed is not None:
+            old, src = extract(committed)[metric], "headline"
+        else:
+            print(f"  {path}:{metric}: {new:.4g} (no committed baseline; recorded, not gated)")
+            continue
+        if old <= 0:
+            continue
+        ratio = new / old
+        bad = ratio < 1.0 - limit if good == "higher" else ratio > 1.0 + limit
+        verdict = "REGRESSED" if bad else "ok"
+        print(f"  {path}:{metric}: {old:.4g} -> {new:.4g} ({ratio:.2f}x vs {src}) {verdict}")
+        if bad:
+            failures.append(f"{path}:{metric} moved {ratio:.2f}x vs {src} baseline")
+
+if failures:
+    print("\nFAIL: perf trajectory regression", file=sys.stderr)
+    for f in failures:
+        print(f"  {f}", file=sys.stderr)
+    sys.exit(1)
+print("trajectory rows appended; no regression beyond the limit")
+PY

@@ -1,75 +1,141 @@
 #!/usr/bin/env bash
 # The tier-1 gate, runnable locally; CI runs the same steps split across
-# the build-test / lint / determinism matrix jobs in
+# the build-test / lint / determinism / perf-trajectory matrix jobs in
 # .github/workflows/ci.yml. Everything must pass before a change lands.
-set -euo pipefail
+#
+#   tools/ci.sh          # the full gate, release determinism + perf included
+#   tools/ci.sh --fast   # inner-loop subset: skips the release-build gates
+#                        # (release tests, chaos/E34, perf trajectory)
+#
+# Every step runs even after a failure, so one invocation reports the
+# whole picture; the trailing summary table shows pass/fail per step and
+# the script exits nonzero when anything failed.
+set -uo pipefail
 cd "$(dirname "$0")/.."
 
-echo "== build (release) =="
-cargo build --release
+FAST=0
+for arg in "$@"; do
+  case "$arg" in
+    --fast) FAST=1 ;;
+    *)
+      echo "usage: tools/ci.sh [--fast]" >&2
+      exit 2
+      ;;
+  esac
+done
 
-echo "== tests =="
-cargo test -q
+STEP_NAMES=()
+STEP_RESULTS=()
+FAILED=0
 
-echo "== rustfmt =="
-cargo fmt --check
+run_step() {
+  local name="$1"
+  shift
+  echo
+  echo "== $name =="
+  if "$@"; then
+    STEP_RESULTS+=("pass")
+  else
+    STEP_RESULTS+=("FAIL")
+    FAILED=1
+  fi
+  STEP_NAMES+=("$name")
+}
 
-echo "== clippy =="
+skip_step() {
+  STEP_NAMES+=("$1")
+  STEP_RESULTS+=("skip")
+}
+
+if [ "$FAST" -eq 1 ]; then
+  run_step "build (debug)" cargo build
+else
+  run_step "build (release)" cargo build --release
+fi
+
+run_step "tests" cargo test -q
+
+run_step "rustfmt" cargo fmt --check
+
 # unwrap_used stays a warning in editors (per-crate [lints] tables); the
 # enforcing gate for panic sites is autotune-lint's D5 below, so keep
 # -D warnings from tripping on the documented allow-listed survivors.
-cargo clippy --workspace --all-targets -- -D warnings -A clippy::unwrap_used
+run_step "clippy" cargo clippy --workspace --all-targets -- -D warnings -A clippy::unwrap_used
 
-echo "== rustdoc (warnings are errors) =="
-RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
+rustdoc_step() {
+  RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
+}
+run_step "rustdoc (warnings are errors)" rustdoc_step
 
-echo "== static invariants (autotune-lint) =="
 # Machine-checks the determinism and panic-safety contracts across every
 # crates/*/src file: no wall-clock reads, no hash-ordered containers, no
 # unseeded randomness, no NaN-panicking comparisons, no panics or stdout
 # in library paths (D1-D6; see DESIGN.md "Static invariants").
-cargo run -q --release -p autotune-lint -- --deny-all
+run_step "static invariants (autotune-lint)" \
+  cargo run -q --release -p autotune-lint -- --deny-all
 
-echo "== fault determinism (release) =="
-# The resilience stack (retries, timeouts, quarantine) must keep the
-# byte-identical k=1 schedule-policy contract; run its regression test
-# against the optimized build, where any wall-clock/thread-timing leak
-# would surface.
-cargo test -q --release -p autotune-tests --test fault_resilience
+if [ "$FAST" -eq 1 ]; then
+  skip_step "fault determinism (release)"
+  skip_step "serve determinism (release)"
+  skip_step "chaos recovery determinism (release)"
+  skip_step "chaos recovery E34 (release)"
+  skip_step "telemetry purity (release)"
+  skip_step "perf trajectory (bench_record)"
+else
+  # The resilience stack (retries, timeouts, quarantine) must keep the
+  # byte-identical k=1 schedule-policy contract; run its regression test
+  # against the optimized build, where any wall-clock/thread-timing leak
+  # would surface.
+  run_step "fault determinism (release)" \
+    cargo test -q --release -p autotune-tests --test fault_resilience
 
-echo "== serve determinism (release) =="
-# ISSUE 6 acceptance: interleaving campaigns through the serving layer —
-# any worker count, any round schedule, snapshot/resume mid-flight,
-# through the wire protocol — must leave every campaign's history
-# byte-identical to running it alone. Checked against the optimized
-# build, where a thread-order leak in the wave fan-out would surface.
-cargo test -q --release -p autotune-serve -- determinism
+  # ISSUE 6 acceptance: interleaving campaigns through the serving layer —
+  # any worker count, any round schedule, snapshot/resume mid-flight,
+  # through the wire protocol — must leave every campaign's history
+  # byte-identical to running it alone.
+  run_step "serve determinism (release)" \
+    cargo test -q --release -p autotune-serve -- determinism
 
-echo "== chaos recovery determinism (release) =="
-# ISSUE 7 acceptance: crash the durable fleet at chaos-chosen WAL
-# appends (pre-append, mid-append/torn-write, post-append-pre-ack),
-# inject worker panics, recover from the log, and demand byte-identical
-# campaign histories; fuzz the frame codec (truncation, bit flips,
-# oversized prefixes must be typed errors, never panics); shed overload
-# without perturbing accepted campaigns.
-cargo test -q --release -p autotune-serve
-cargo test -q --release -p autotune-tests --test serve_robustness
+  # ISSUE 7 acceptance: crash the durable fleet at chaos-chosen WAL
+  # appends, inject worker panics, recover from the log, and demand
+  # byte-identical campaign histories; fuzz the frame codec; shed
+  # overload without perturbing accepted campaigns.
+  chaos_step() {
+    cargo test -q --release -p autotune-serve &&
+      cargo test -q --release -p autotune-tests --test serve_robustness
+  }
+  run_step "chaos recovery determinism (release)" chaos_step
 
-echo "== chaos recovery E34 (release, two chaos seeds) =="
-# The 128-campaign chaos drive: repeated simulated crashes + reopens
-# across two chaos seeds must leave 128/128 recovered histories
-# byte-identical, with torn WAL tails truncated, not fatal.
-cargo run -q --release -p autotune-bench --bin repro -- e34
+  # The 128-campaign chaos drive: repeated simulated crashes + reopens
+  # across two chaos seeds must leave 128/128 recovered histories
+  # byte-identical, with torn WAL tails truncated, not fatal.
+  run_step "chaos recovery E34 (release)" \
+    cargo run -q --release -p autotune-bench --bin repro -- e34
 
-echo "== telemetry purity (release) =="
-# ISSUE 3 acceptance: enabling every telemetry subscriber leaves k=1
-# campaigns byte-identical.
-cargo test -q --release -p autotune-tests --test telemetry
+  # ISSUE 3 acceptance: enabling every telemetry subscriber leaves k=1
+  # campaigns byte-identical.
+  run_step "telemetry purity (release)" \
+    cargo test -q --release -p autotune-tests --test telemetry
 
-echo "== perf smoke (incremental suggest path) =="
-# ISSUE 4 acceptance: mean suggest time per trial at n=500 on the
-# incremental path must stay within 2x of tools/perf_baseline.json —
-# a cheap tripwire against reintroducing an O(n³) fit per suggestion.
-cargo run -q --release -p autotune-bench --bin perf_smoke
+  # Perf trajectory: perf_smoke (ISSUE 4's 2x suggest-path tripwire) +
+  # serve_fleet + cache_fleet, appending {commit, date, metrics} rows to
+  # the BENCH_*.json trajectories and failing on a >20% regression vs
+  # the committed baseline. See tools/bench_record.sh.
+  run_step "perf trajectory (bench_record)" tools/bench_record.sh
+fi
 
-echo "CI gate passed."
+echo
+echo "== summary =="
+for i in "${!STEP_NAMES[@]}"; do
+  printf '  %-42s %s\n' "${STEP_NAMES[$i]}" "${STEP_RESULTS[$i]}"
+done
+
+if [ "$FAILED" -ne 0 ]; then
+  echo "CI gate FAILED."
+  exit 1
+fi
+if [ "$FAST" -eq 1 ]; then
+  echo "CI gate passed (--fast: release gates skipped)."
+else
+  echo "CI gate passed."
+fi
