@@ -1,0 +1,89 @@
+//! Perf trajectory for surrogate scaling: suggest/observe latency vs n.
+//!
+//! Runs the E36 scaling arm (`experiments::e36_scale::scale_points`):
+//! sparse-GP and trust-region surrogates grown to n = 100k through their
+//! incremental paths with latency sampled at n ∈ {1k, 10k, 100k}, plus
+//! the dense GP measured at {1k, 2k} and extrapolated to 100k from its
+//! fitted scaling exponent. Rewrites `BENCH_bo.json` with:
+//!
+//! * `points` — the committed `perf_smoke` baseline headline (the n=500
+//!   incremental suggest tripwire this file has always carried),
+//! * `scale_points` — one row per (surrogate, n) latency sample,
+//! * `speedup_100k` — sparse/trust-region suggest advantage over the
+//!   dense GP's extrapolated cost at n = 100k (the E36 ≥10x claim).
+//!
+//! `tools/bench_record.sh` appends the per-commit trajectory row and
+//! gates the host-dependent metrics against CI-recorded history.
+//!
+//! ```text
+//! cargo run -p autotune-bench --release --bin bo_scale
+//! ```
+
+use autotune_bench::experiments::e36_scale::scale_points;
+
+/// Pulls `"<key>": <number>` out of a flat JSON object (same two-line
+/// scan as `perf_smoke`; keeps the bench crate free of a JSON parser).
+fn parse_flat_number(text: &str, key: &str) -> Option<f64> {
+    let start = text.find(&format!("\"{key}\""))? + key.len() + 2;
+    let rest = text[start..].trim_start().strip_prefix(':')?.trim_start();
+    let end = rest
+        .find(|c: char| c == ',' || c == '}' || c.is_whitespace())
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+fn main() {
+    let baseline = std::fs::read_to_string("tools/perf_baseline.json")
+        .ok()
+        .and_then(|t| parse_flat_number(&t, "suggest_ns_per_trial_n500"));
+    let Some(baseline_ns) = baseline else {
+        eprintln!("tools/perf_baseline.json missing or unparsable; BENCH_bo.json not written");
+        std::process::exit(1);
+    };
+
+    eprintln!("growing sparse/trust-region surrogates to n=100k (dense measured to 2k)...");
+    let points = scale_points();
+    for p in &points {
+        println!(
+            "{:>12} n={:>6}  suggest={:>12.0}ns  observe={:>10.0}ns{}",
+            p.surrogate,
+            p.n,
+            p.suggest_ns,
+            p.observe_ns,
+            if p.extrapolated {
+                "  (extrapolated)"
+            } else {
+                ""
+            }
+        );
+    }
+
+    let find = |surrogate: &str, n: usize| {
+        points
+            .iter()
+            .find(|p| p.surrogate == surrogate && p.n == n)
+            .expect("scale_points covers every (surrogate, n) pair")
+    };
+    let dense_100k = find("dense_gp", 100_000);
+    let sparse_speedup = dense_100k.suggest_ns / find("sparse_gp", 100_000).suggest_ns.max(1.0);
+    let tr_speedup = dense_100k.suggest_ns / find("trust_region", 100_000).suggest_ns.max(1.0);
+    println!(
+        "suggest speedup at n=100k vs dense (extrapolated): sparse {sparse_speedup:.0}x, trust-region {tr_speedup:.0}x"
+    );
+
+    let scale_rows: Vec<String> = points
+        .iter()
+        .map(|p| {
+            format!(
+                "    {{ \"surrogate\": \"{}\", \"n\": {}, \"suggest_ns\": {:.0}, \"observe_ns\": {:.0}, \"extrapolated\": {} }}",
+                p.surrogate, p.n, p.suggest_ns, p.observe_ns, p.extrapolated
+            )
+        })
+        .collect();
+    let bo_json = format!(
+        "{{\n  \"benchmark\": \"BO surrogate latency: incremental suggest at n=500 (perf_smoke / e32) plus sparse/trust-region scaling to n=100k (bo_scale / e36)\",\n  \"note\": \"scale_points suggest_ns is the model-side cost of one suggestion (256 posterior predictions); dense_gp at n=100k is extrapolated from its measured 1k->2k scaling exponent; all *_ns fields are host-dependent; trajectory rows are appended by tools/bench_record.sh\",\n  \"points\": [\n    {{ \"source\": \"tools/perf_baseline.json (2x headroom over reference)\", \"suggest_ns_per_trial_n500\": {baseline_ns:.0} }}\n  ],\n  \"scale_points\": [\n{}\n  ],\n  \"speedup_100k\": {{ \"sparse_vs_dense_extrap\": {sparse_speedup:.1}, \"trust_region_vs_dense_extrap\": {tr_speedup:.1} }},\n  \"trajectory\": []\n}}\n",
+        scale_rows.join(",\n")
+    );
+    std::fs::write("BENCH_bo.json", bo_json).expect("write BENCH_bo.json");
+    println!("wrote BENCH_bo.json ({} scale points)", points.len());
+}

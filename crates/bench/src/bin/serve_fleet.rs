@@ -9,9 +9,9 @@
 //!   campaigns per virtual kilosecond, real wall seconds for the whole
 //!   drive, and real mean suggest/observe nanoseconds measured by an
 //!   injected wall timer.
-//! * `BENCH_bo.json` — seeded from the committed `perf_smoke` baseline
-//!   (`tools/perf_baseline.json`), so the optimizer hot-path trend lives
-//!   next to the serving trend for future PRs to extend.
+//!
+//! (`BENCH_bo.json` is owned by the `bo_scale` bin, which carries both
+//! the perf_smoke baseline headline and the E36 scaling points.)
 //!
 //! ```text
 //! cargo run -p autotune-bench --release --bin serve_fleet
@@ -66,17 +66,6 @@ fn drive(workers: usize) -> Point {
         mean_suggest_ns: m.suggest_ns.mean(),
         mean_observe_ns: m.observe_ns.mean(),
     }
-}
-
-/// Pulls `"<key>": <number>` out of a flat JSON object (same two-line
-/// scan as `perf_smoke`; keeps the bench crate free of a JSON parser).
-fn parse_flat_number(text: &str, key: &str) -> Option<f64> {
-    let start = text.find(&format!("\"{key}\""))? + key.len() + 2;
-    let rest = text[start..].trim_start().strip_prefix(':')?.trim_start();
-    let end = rest
-        .find(|c: char| c == ',' || c == '}' || c.is_whitespace())
-        .unwrap_or(rest.len());
-    rest[..end].parse().ok()
 }
 
 fn main() {
@@ -163,20 +152,4 @@ fn main() {
     );
     std::fs::write("BENCH_serve.json", &serve_json).expect("write BENCH_serve.json");
     println!("wrote BENCH_serve.json ({} worker counts)", points.len());
-
-    // Seed the optimizer hot-path trajectory from the committed
-    // perf_smoke baseline so both trends are machine-readable.
-    let baseline = std::fs::read_to_string("tools/perf_baseline.json")
-        .ok()
-        .and_then(|t| parse_flat_number(&t, "suggest_ns_per_trial_n500"));
-    if let Some(ns) = baseline {
-        let bo_json = format!(
-            "{{\n  \"benchmark\": \"incremental BO mean suggest ns per trial at n=500 (perf_smoke / bench e32 A/B arm)\",\n  \"points\": [\n    {{ \"source\": \"tools/perf_baseline.json (2x headroom over reference)\", \"suggest_ns_per_trial_n500\": {ns:.0} }}\n  ],\n  \"trajectory\": []\n}}\n"
-        );
-        std::fs::write("BENCH_bo.json", bo_json).expect("write BENCH_bo.json");
-        println!("wrote BENCH_bo.json (seeded from tools/perf_baseline.json)");
-    } else {
-        eprintln!("tools/perf_baseline.json missing or unparsable; BENCH_bo.json not written");
-        std::process::exit(1);
-    }
 }

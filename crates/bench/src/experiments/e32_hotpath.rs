@@ -142,10 +142,12 @@ pub fn run() -> Report {
 
     // Shape: (a) at n=500 the incremental path suggests ≥5x faster than
     // refitting per suggestion; (b) the scaling campaigns absorbed ≥90% of
-    // trials in place with zero hyper refits (crashed trials report NaN
-    // and legitimately skip absorption); (c) doubling the budget
-    // multiplies mean observe time by ~4 (O(n²)), well under the ~8x a
-    // cubic per-observe cost would show.
+    // trials in place with zero full refits — hyper refits are disabled
+    // and the GP never takes the refused-incremental fallback that
+    // `n_refits` also counts since PR 9 (crashed trials report NaN and
+    // legitimately skip absorption); (c) doubling the budget multiplies
+    // mean observe time by ~4 (O(n²)), well under the ~8x a cubic
+    // per-observe cost would show.
     let faster = speedup >= 5.0;
     let absorbed = scale
         .iter()
@@ -168,13 +170,14 @@ pub fn run() -> Report {
                       cubic, so optimizer overhead stays tractable as campaign histories grow",
         measured: format!(
             "suggest at n=500: {} us -> {} us ({}x); observe mean 2000-vs-1000 budget ratio \
-             {} (~4 = quadratic, ~8 = cubic); in-place updates {}/{} with 0 refits",
+             {} (~4 = quadratic, ~8 = cubic); in-place updates {}/{} with {} refits",
             f(seed_path.suggest_ns.mean() / 1e3, 1),
             f(incremental.suggest_ns.mean() / 1e3, 1),
             f(speedup, 1),
             f(observe_ratio, 2),
             scale[1].n_model_updates,
             SCALE_BUDGETS[1],
+            scale[1].n_refits,
         ),
         shape_holds: faster && absorbed && quadratic,
     }

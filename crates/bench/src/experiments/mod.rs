@@ -34,6 +34,7 @@ pub mod e32_hotpath;
 pub mod e33_serve;
 pub mod e34_chaos;
 pub mod e35_cache;
+pub mod e36_scale;
 
 use autotune::{Objective, Target};
 use autotune_optimizer::Optimizer;

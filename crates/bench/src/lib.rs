@@ -56,6 +56,7 @@ pub fn all_experiments() -> Vec<Experiment> {
         ("e33", experiments::e33_serve::run),
         ("e34", experiments::e34_chaos::run),
         ("e35", experiments::e35_cache::run),
+        ("e36", experiments::e36_scale::run),
         ("ablations", experiments::ablations::run),
     ]
 }

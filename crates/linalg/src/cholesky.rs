@@ -50,6 +50,101 @@ impl Cholesky {
         Err(LinalgError::NotPositiveDefinite)
     }
 
+    /// Factorizes a symmetric positive-definite matrix with a cache-blocked
+    /// (tiled) right-looking algorithm.
+    ///
+    /// Identical contract to [`Cholesky::new`] — same jitter-retry ladder,
+    /// same error — but the O(n³) work is organized as block-column panels:
+    /// factor a `block`×`block` diagonal tile, triangular-solve the panel
+    /// below it, then apply the trailing SYRK update tile-by-tile so every
+    /// tile is reused from cache. At a few thousand rows this runs several
+    /// times faster than the naive loop; the factor agrees with the naive
+    /// one to rounding (the trailing updates are regrouped per panel, so
+    /// agreement is tolerance-level, not bitwise).
+    pub fn new_blocked(a: &Matrix, block: usize) -> Result<Self> {
+        if !a.is_square() {
+            return Err(LinalgError::ShapeMismatch {
+                context: "cholesky: matrix must be square",
+            });
+        }
+        let n = a.rows();
+        let mean_diag = if n == 0 {
+            1.0
+        } else {
+            a.diag().iter().map(|d| d.abs()).sum::<f64>() / n as f64
+        };
+        let mut jitter = 0.0;
+        for attempt in 0..=9 {
+            if attempt > 0 {
+                jitter = mean_diag.max(1e-300) * 1e-12 * 10f64.powi(attempt - 1);
+            }
+            if let Some(l) = Self::try_factor_blocked(a, jitter, block) {
+                return Ok(Cholesky { l, jitter });
+            }
+        }
+        Err(LinalgError::NotPositiveDefinite)
+    }
+
+    /// One blocked factorization attempt; `None` when a pivot is
+    /// non-positive. Works on a lower-triangle copy in place: factor the
+    /// diagonal tile, panel-solve the rows below, subtract the panel's
+    /// outer product from the trailing triangle.
+    fn try_factor_blocked(a: &Matrix, jitter: f64, block: usize) -> Option<Matrix> {
+        let n = a.rows();
+        let b = block.max(1);
+        let mut l = Matrix::zeros(n, n);
+        for i in 0..n {
+            l.row_mut(i)[..=i].copy_from_slice(&a.row(i)[..=i]);
+            l[(i, i)] += jitter;
+        }
+        for kk in (0..n).step_by(b) {
+            let ke = (kk + b).min(n);
+            // Factor the diagonal block in place (unblocked, it's small).
+            for j in kk..ke {
+                let s = crate::vector::dot(&l.row(j)[kk..j], &l.row(j)[kk..j]);
+                let d = l[(j, j)] - s;
+                if d <= 0.0 || !d.is_finite() {
+                    return None;
+                }
+                let ljj = d.sqrt();
+                l[(j, j)] = ljj;
+                for i in (j + 1)..ke {
+                    let s = crate::vector::dot(&l.row(i)[kk..j], &l.row(j)[kk..j]);
+                    l[(i, j)] = (l[(i, j)] - s) / ljj;
+                }
+            }
+            // Panel solve: L21 = A21 * L11⁻ᵀ, row by row against the block.
+            for i in ke..n {
+                for j in kk..ke {
+                    let s = crate::vector::dot(&l.row(i)[kk..j], &l.row(j)[kk..j]);
+                    l[(i, j)] = (l[(i, j)] - s) / l[(j, j)];
+                }
+            }
+            if ke == n {
+                break;
+            }
+            // Trailing update: A22 -= L21 * L21ᵀ, tiled over the lower
+            // triangle. The panel is copied out once so the tile loops can
+            // read it contiguously while writing into `l`.
+            let kb = ke - kk;
+            let panel = Matrix::from_fn(n - ke, kb, |r, c| l[(ke + r, kk + c)]);
+            for ii in (ke..n).step_by(b) {
+                let ie = (ii + b).min(n);
+                for jj in (ke..=ii).step_by(b) {
+                    let je = (jj + b).min(n);
+                    for i in ii..ie {
+                        let pi = panel.row(i - ke);
+                        for j in jj..je.min(i + 1) {
+                            let s = crate::vector::dot(pi, panel.row(j - ke));
+                            l[(i, j)] -= s;
+                        }
+                    }
+                }
+            }
+        }
+        Some(l)
+    }
+
     /// Single factorization attempt with the given diagonal jitter;
     /// returns `None` when a pivot is non-positive.
     fn try_factor(a: &Matrix, jitter: f64) -> Option<Matrix> {
@@ -165,6 +260,45 @@ impl Cholesky {
     /// is rejected with [`LinalgError::NotPositiveDefinite`] and the factor
     /// is left untouched — callers should fall back to a full, re-jittered
     /// factorization.
+    /// Rank-1 *update*: replaces this factor of `A` with the factor of
+    /// `A + v vᵀ` in O(n²) (the classic `cholupdate` Givens sweep).
+    ///
+    /// Unlike [`Cholesky::extend`] the dimension does not change — this is
+    /// the workhorse of fixed-size information-matrix maintenance (e.g. a
+    /// sparse GP absorbing one observation into `σ²K_mm + Σ k kᵀ`).
+    /// Because `v vᵀ` is PSD the update cannot leave the SPD cone, so
+    /// failures only arise from non-finite input; on any error the factor
+    /// is left exactly as it was.
+    pub fn rank_one_update(&mut self, v: &[f64]) -> Result<()> {
+        let n = self.dim();
+        if v.len() != n {
+            return Err(LinalgError::ShapeMismatch {
+                context: "cholesky rank_one_update: vector length must match dimension",
+            });
+        }
+        let mut w = v.to_vec();
+        let mut l = self.l.clone();
+        for j in 0..n {
+            let ljj = l[(j, j)];
+            let r2 = ljj * ljj + w[j] * w[j];
+            // NaN falls through to the finiteness check.
+            if r2 <= 0.0 || !r2.is_finite() {
+                return Err(LinalgError::NotPositiveDefinite);
+            }
+            let r = r2.sqrt();
+            let c = r / ljj;
+            let s = w[j] / ljj;
+            l[(j, j)] = r;
+            for i in (j + 1)..n {
+                let lij = (l[(i, j)] + s * w[i]) / c;
+                w[i] = c * w[i] - s * lij;
+                l[(i, j)] = lij;
+            }
+        }
+        self.l = l;
+        Ok(())
+    }
+
     pub fn extend(&mut self, col: &[f64], diag: f64) -> Result<()> {
         let n = self.dim();
         if col.len() != n {
@@ -341,6 +475,121 @@ mod tests {
         let mut want = Matrix::from_rows(&[&[1.0, 1.0, 0.5], &[1.0, 1.0, 0.5], &[0.5, 0.5, 2.0]]);
         want.add_diag(j);
         assert!(back.approx_eq(&want, 1e-9));
+    }
+
+    fn random_spd(n: usize, seed: u64) -> Matrix {
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        let b = Matrix::from_fn(n, n, |_, _| rng.gen_range(-1.0..1.0));
+        let mut a = b.syrk_blocked(32);
+        a.add_diag(n as f64);
+        a
+    }
+
+    #[test]
+    fn blocked_factor_matches_naive_across_block_sizes() {
+        // Including blocks of 1, blocks that don't divide n, and blocks
+        // larger than n (which degenerates to the unblocked algorithm).
+        for n in [1, 2, 7, 33, 64, 97] {
+            let a = random_spd(n, 500 + n as u64);
+            let naive = Cholesky::new(&a).unwrap();
+            for block in [1, 5, 16, 64, 256] {
+                let blocked = Cholesky::new_blocked(&a, block).unwrap();
+                assert_eq!(blocked.jitter(), 0.0, "n={n} block={block}");
+                assert!(
+                    blocked.l().approx_eq(naive.l(), 1e-9 * n as f64),
+                    "n={n} block={block}: blocked factor diverged from naive"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn blocked_factor_reconstructs_and_solves() {
+        let a = random_spd(50, 9);
+        let c = Cholesky::new_blocked(&a, 16).unwrap();
+        let back = c.l().matmul(&c.l().transpose()).unwrap();
+        assert!(back.approx_eq(&a, 1e-8));
+        let x_true: Vec<f64> = (0..50).map(|i| (i as f64 * 0.7).sin()).collect();
+        let b = a.matvec(&x_true).unwrap();
+        let x = c.solve_vec(&b);
+        for (got, want) in x.iter().zip(&x_true) {
+            assert!((got - want).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn blocked_factor_rejects_indefinite_and_rescues_semidefinite() {
+        let indef = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 1.0]]);
+        assert_eq!(
+            Cholesky::new_blocked(&indef, 8).unwrap_err(),
+            LinalgError::NotPositiveDefinite
+        );
+        let psd = Matrix::from_rows(&[&[1.0, 1.0], &[1.0, 1.0]]);
+        let c = Cholesky::new_blocked(&psd, 8).unwrap();
+        assert!(c.jitter() > 0.0);
+        let non_square = Matrix::zeros(2, 3);
+        assert!(matches!(
+            Cholesky::new_blocked(&non_square, 8),
+            Err(LinalgError::ShapeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn blocked_factor_extends_like_naive() {
+        // A blocked factor must keep working with the O(n²) rank-1
+        // extension the incremental GP path uses.
+        let a = random_spd(20, 31);
+        let lead = Matrix::from_fn(19, 19, |i, j| a[(i, j)]);
+        let mut inc = Cholesky::new_blocked(&lead, 7).unwrap();
+        let col: Vec<f64> = (0..19).map(|i| a[(i, 19)]).collect();
+        inc.extend(&col, a[(19, 19)]).unwrap();
+        let full = Cholesky::new(&a).unwrap();
+        assert!(inc.l().approx_eq(full.l(), 1e-8));
+    }
+
+    #[test]
+    fn rank_one_update_matches_from_scratch() {
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        for seed in 0..20u64 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let n = 2 + (seed % 7) as usize;
+            let a = random_spd(n, 900 + seed);
+            let v: Vec<f64> = (0..n).map(|_| rng.gen_range(-2.0..2.0)).collect();
+            let mut c = Cholesky::new(&a).unwrap();
+            c.rank_one_update(&v).unwrap();
+            let mut updated = a.clone();
+            for i in 0..n {
+                for j in 0..n {
+                    updated[(i, j)] += v[i] * v[j];
+                }
+            }
+            let scratch = Cholesky::new(&updated).unwrap();
+            assert!(
+                c.l().approx_eq(scratch.l(), 1e-8 * n as f64),
+                "seed {seed}: rank-1 update diverged from scratch factor"
+            );
+        }
+    }
+
+    #[test]
+    fn rank_one_update_rejects_bad_input_atomically() {
+        let a = spd3();
+        let mut c = Cholesky::new(&a).unwrap();
+        let before = c.l().clone();
+        assert!(matches!(
+            c.rank_one_update(&[1.0]),
+            Err(LinalgError::ShapeMismatch { .. })
+        ));
+        assert_eq!(
+            c.rank_one_update(&[1.0, f64::NAN, 0.0]).unwrap_err(),
+            LinalgError::NotPositiveDefinite
+        );
+        assert_eq!(
+            c.l(),
+            &before,
+            "failed update must leave the factor untouched"
+        );
     }
 
     #[test]

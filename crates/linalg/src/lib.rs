@@ -25,6 +25,7 @@
 //! assert!((x[1] - 1.5).abs() < 1e-12);
 //! ```
 
+mod blocked;
 mod cholesky;
 mod eigen;
 mod lu;
@@ -35,6 +36,7 @@ mod qr;
 pub mod stats;
 mod vector;
 
+pub use blocked::DEFAULT_BLOCK;
 pub use cholesky::Cholesky;
 pub use eigen::{symmetric_eigen, SymmetricEigen};
 pub use lu::Lu;

@@ -170,11 +170,17 @@ impl Matrix {
                 context: "matmul: self.cols must equal other.rows",
             });
         }
+        // The zero-skip fast path is only sound when `other` is entirely
+        // finite: IEEE gives `0.0 * NaN = NaN` and `0.0 * inf = NaN`, so
+        // skipping a zero row against a non-finite operand would silently
+        // replace a NaN result with 0. One upfront scan keeps the skip
+        // O(1) per row instead of re-checking inside the hot loop.
+        let other_finite = other.data.iter().all(|v| v.is_finite());
         let mut out = Matrix::zeros(self.rows, other.cols);
         for i in 0..self.rows {
             for k in 0..self.cols {
                 let aik = self[(i, k)];
-                if aik == 0.0 {
+                if aik == 0.0 && other_finite {
                     continue;
                 }
                 let orow = other.row(k);
@@ -360,6 +366,31 @@ mod tests {
             a.matmul(&b),
             Err(LinalgError::ShapeMismatch { .. })
         ));
+    }
+
+    #[test]
+    fn matmul_zero_times_nonfinite_propagates() {
+        // Regression: the zero-skip fast path used to silently drop
+        // non-finite entries of `other` — `0 * NaN` and `0 * inf` must
+        // produce NaN, exactly as an unskipped IEEE accumulation would.
+        let a = Matrix::from_rows(&[&[0.0, 1.0], &[2.0, 0.0]]);
+        let b = Matrix::from_rows(&[&[f64::NAN, 5.0], &[6.0, f64::INFINITY]]);
+        let c = a.matmul(&b).unwrap();
+        assert!(c[(0, 0)].is_nan(), "0*NaN + 1*6 must be NaN");
+        assert!(c[(0, 1)].is_infinite(), "0*5 + 1*inf is inf");
+        assert!(c[(1, 0)].is_nan(), "2*NaN + 0*6 must be NaN");
+        assert!(c[(1, 1)].is_nan(), "2*5 + 0*inf must be NaN");
+    }
+
+    #[test]
+    fn matmul_zero_skip_still_exact_on_finite_operands() {
+        // A zero-heavy left operand against a finite right operand must
+        // give the exact same result the dense accumulation would.
+        let a = Matrix::from_rows(&[&[0.0, 0.0, 3.0], &[0.0, 2.0, 0.0]]);
+        let b = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0], &[5.0, 6.0]]);
+        let c = a.matmul(&b).unwrap();
+        let expected = Matrix::from_rows(&[&[15.0, 18.0], &[6.0, 8.0]]);
+        assert!(c.approx_eq(&expected, 0.0));
     }
 
     #[test]

@@ -16,7 +16,8 @@
 use crate::{AcquisitionFunction, BestTracker, Observation, Optimizer};
 use autotune_space::{Config, Space};
 use autotune_surrogate::{
-    GaussianProcess, HyperFitConfig, Matern52, RandomForest, RandomForestConfig, Surrogate,
+    GaussianProcess, HyperFitConfig, Matern52, RandomForest, RandomForestConfig,
+    SparseGaussianProcess, SparseGpConfig, Surrogate, TrustRegionConfig, TrustRegionSurrogate,
 };
 use rand::{RngCore, SeedableRng};
 
@@ -28,6 +29,14 @@ pub enum SurrogateChoice {
     GaussianProcess,
     /// Random forest over the unit encoding (SMAC).
     RandomForest,
+    /// Sparse (inducing-point) GP over the one-hot encoding: O(m²)
+    /// suggest/observe independent of n — for campaigns that outlive the
+    /// dense GP's O(n²)/O(n³) costs.
+    SparseGaussianProcess,
+    /// TuRBO-style local trust-region GP over the one-hot encoding:
+    /// models only the incumbent's neighborhood, capped at a fixed local
+    /// size.
+    TrustRegion,
 }
 
 /// Tunables of the BO loop itself.
@@ -125,6 +134,28 @@ impl BayesianOptimizer {
             SurrogateChoice::RandomForest => {
                 Box::new(RandomForest::new(RandomForestConfig::default()))
             }
+            SurrogateChoice::SparseGaussianProcess => {
+                let d = space.onehot_dim().max(1);
+                Box::new(SparseGaussianProcess::new(
+                    Box::new(Matern52::ard(vec![0.5; d], 1.0)),
+                    SparseGpConfig::default(),
+                ))
+            }
+            SurrogateChoice::TrustRegion => {
+                let d = space.onehot_dim().max(1);
+                Box::new(TrustRegionSurrogate::new(
+                    Box::new(Matern52::ard(vec![0.5; d], 1.0)),
+                    TrustRegionConfig {
+                        // A one-hot categorical flip moves two encoded
+                        // coordinates by 1.0 (L∞ = 1.0); any sub-1.0
+                        // radius would freeze every categorical at the
+                        // incumbent's value. Start with single flips
+                        // in-region and let the shrink dynamics tighten.
+                        init_radius: 1.0,
+                        ..TrustRegionConfig::default()
+                    },
+                ))
+            }
         };
         BayesianOptimizer {
             space,
@@ -161,10 +192,36 @@ impl BayesianOptimizer {
         )
     }
 
+    /// Sparse-GP BO: inducing-point surrogate with O(m²) suggest/observe
+    /// independent of n — the long-campaign (100k-observation) variant.
+    pub fn sparse_gp(space: Space) -> Self {
+        BayesianOptimizer::new(
+            space,
+            BoConfig {
+                surrogate: SurrogateChoice::SparseGaussianProcess,
+                ..Default::default()
+            },
+        )
+    }
+
+    /// TuRBO-style BO: local trust-region GP around the incumbent with a
+    /// capped local model, so per-step cost is flat in campaign length.
+    pub fn turbo(space: Space) -> Self {
+        BayesianOptimizer::new(
+            space,
+            BoConfig {
+                surrogate: SurrogateChoice::TrustRegion,
+                ..Default::default()
+            },
+        )
+    }
+
     /// Encodes a config per the surrogate's preferred layout.
     fn encode(&self, config: &Config) -> Vec<f64> {
         let r = match self.config.surrogate {
-            SurrogateChoice::GaussianProcess => self.space.encode_onehot(config),
+            SurrogateChoice::GaussianProcess
+            | SurrogateChoice::SparseGaussianProcess
+            | SurrogateChoice::TrustRegion => self.space.encode_onehot(config),
             SurrogateChoice::RandomForest => self.space.encode_unit(config),
         };
         r.expect("configs produced against this space must encode") // lint: allow(D5) configs originate from this space
@@ -197,6 +254,7 @@ impl BayesianOptimizer {
         // Incremental catch-up: when the model holds a clean prefix of the
         // data, absorb the appended observations in place (O(n²) each)
         // instead of refactorizing the whole kernel matrix (O(n³)).
+        let mut fallback = false;
         if self.can_extend_model() && self.model_n < self.xs.len() {
             let mut ok = true;
             for i in self.model_n..self.xs.len() {
@@ -212,8 +270,13 @@ impl BayesianOptimizer {
                 self.dirty = false;
                 return;
             }
-            // A point refused the in-place update (unsupported model or
-            // numerical rollback); fall through to the full fit.
+            // A point refused the in-place update (a model without an
+            // incremental path, like the random forest, or a numerical
+            // rollback); fall through to the full fit — and count it, so
+            // the silent O(full-refit) cost of "incremental" campaigns on
+            // such models shows up in `n_refits` / campaign telemetry
+            // instead of hiding.
+            fallback = true;
         }
         // Include constant liars while a batch is in flight.
         let (xs, ys): (Vec<Vec<f64>>, Vec<f64>) = if self.liars.is_empty() {
@@ -237,6 +300,9 @@ impl BayesianOptimizer {
         } else {
             self.model_n = self.xs.len();
             self.model_liars = !self.liars.is_empty();
+            if fallback {
+                self.n_refits += 1;
+            }
         }
         self.dirty = false;
     }
@@ -295,13 +361,25 @@ impl BayesianOptimizer {
             None => AcquisitionFunction::LowerConfidenceBound { beta: 1.0 },
         };
         let best_val = incumbent.unwrap_or(0.0);
+        // The trust-region surrogate only models the neighborhood of the
+        // incumbent; a purely global candidate pool mostly lands where its
+        // local GP has reverted to the prior, wasting the acquisition
+        // budget. Mirror TuRBO's in-region candidate generation by drawing
+        // every other candidate as a neighbor of the incumbent config.
+        let local_anchor = match self.config.surrogate {
+            SurrogateChoice::TrustRegion => self.tracker.best().map(|b| b.config.clone()),
+            _ => None,
+        };
         let mut rng = rng;
         let (mut cfg, mut x, mut score) = if acquisition.consumes_rng() {
             // Sequential sample-then-score keeps the draw interleaving.
             let mut best_cfg: Option<(Config, Vec<f64>, f64)> = None;
             // Clamp so a zero candidate budget still yields one draw.
-            for _ in 0..self.config.n_candidates.max(1) {
-                let cand = self.space.sample(&mut rng);
+            for i in 0..self.config.n_candidates.max(1) {
+                let cand = match &local_anchor {
+                    Some(anchor) if i % 2 == 1 => self.space.neighbor(anchor, 0.2, &mut rng),
+                    _ => self.space.sample(&mut rng),
+                };
                 let cx = self.encode(&cand);
                 let s = acquisition.score(&self.model.predict(&cx), best_val, &mut rng);
                 if best_cfg.as_ref().is_none_or(|(_, _, b)| s > *b) {
@@ -311,8 +389,11 @@ impl BayesianOptimizer {
             best_cfg.expect("n_candidates >= 1 guarantees a candidate") // lint: allow(D5) loop above clamps to at least one draw
         } else {
             let mut cands: Vec<(Config, Vec<f64>)> = Vec::with_capacity(self.config.n_candidates);
-            for _ in 0..self.config.n_candidates {
-                let cand = self.space.sample(&mut rng);
+            for i in 0..self.config.n_candidates {
+                let cand = match &local_anchor {
+                    Some(anchor) if i % 2 == 1 => self.space.neighbor(anchor, 0.2, &mut rng),
+                    _ => self.space.sample(&mut rng),
+                };
                 let cx = self.encode(&cand);
                 cands.push((cand, cx));
             }
@@ -424,6 +505,8 @@ impl Optimizer for BayesianOptimizer {
         match self.config.surrogate {
             SurrogateChoice::GaussianProcess => "bo_gp",
             SurrogateChoice::RandomForest => "smac",
+            SurrogateChoice::SparseGaussianProcess => "bo_sparse_gp",
+            SurrogateChoice::TrustRegion => "bo_turbo",
         }
     }
 
@@ -485,6 +568,73 @@ mod tests {
         let mut opt = BayesianOptimizer::smac(sphere_space());
         let best = run_loop(&mut opt, sphere, 60, 12);
         assert!(best < 0.15, "SMAC best {best} after 60 trials");
+    }
+
+    #[test]
+    fn sparse_gp_bo_solves_sphere() {
+        let mut opt = BayesianOptimizer::sparse_gp(sphere_space());
+        assert_eq!(opt.name(), "bo_sparse_gp");
+        let best = run_loop(&mut opt, sphere, 50, 14);
+        assert!(best < 0.1, "sparse-GP BO best {best} after 50 trials");
+    }
+
+    #[test]
+    fn turbo_bo_solves_sphere() {
+        let mut opt = BayesianOptimizer::turbo(sphere_space());
+        assert_eq!(opt.name(), "bo_turbo");
+        let best = run_loop(&mut opt, sphere, 60, 15);
+        assert!(best < 0.1, "TuRBO BO best {best} after 60 trials");
+    }
+
+    #[test]
+    fn forest_fallback_refits_are_counted() {
+        // Satellite regression: RandomForest has no incremental `observe`,
+        // so with incremental=true every post-init model sync is silently
+        // a full refit. That cost must surface in `n_refits` instead of
+        // hiding behind the incremental flag.
+        let mut opt = BayesianOptimizer::smac(sphere_space());
+        assert!(opt.config.incremental);
+        let mut rng = StdRng::seed_from_u64(23);
+        let n_init = opt.config.n_init;
+        for _ in 0..n_init + 10 {
+            let c = opt.suggest(&mut rng);
+            let v = sphere(&c);
+            opt.observe(&c, v);
+        }
+        // Each model-phase suggestion past the first full fit re-syncs the
+        // forest through the refused-incremental fallback path.
+        assert!(
+            opt.n_refits() >= 8,
+            "forest fallback refits must be counted: {}",
+            opt.n_refits()
+        );
+        assert_eq!(
+            opt.n_model_updates(),
+            0,
+            "the forest has no incremental path to credit"
+        );
+    }
+
+    #[test]
+    fn gp_incremental_path_counts_no_fallback_refits() {
+        // The dense GP absorbs everything in place: its campaigns must not
+        // be charged any fallback refits (hyper-refit cycles are disabled
+        // here to isolate the fallback counter).
+        let mut opt = BayesianOptimizer::new(
+            sphere_space(),
+            BoConfig {
+                refit_every: 0,
+                ..BoConfig::default()
+            },
+        );
+        let mut rng = StdRng::seed_from_u64(29);
+        for _ in 0..30 {
+            let c = opt.suggest(&mut rng);
+            let v = sphere(&c);
+            opt.observe(&c, v);
+        }
+        assert_eq!(opt.n_refits(), 0, "GP incremental path never falls back");
+        assert!(opt.n_model_updates() > 10);
     }
 
     #[test]

@@ -115,10 +115,14 @@ pub trait Optimizer: Send {
     /// Number of observations reported so far.
     fn n_observed(&self) -> usize;
 
-    /// Number of surrogate hyperparameter refits performed so far. The
-    /// default is 0 for optimizers without a refitted model; model-based
-    /// optimizers override it so campaign telemetry can attribute tuner
-    /// overhead to refit cycles (executors poll this counter after each
+    /// Number of full surrogate refits performed so far: hyperparameter
+    /// refit cycles, plus full fits forced because the model refused an
+    /// incremental update (e.g. the random forest has no `observe` path,
+    /// so every "incremental" step is silently a full O(trees · n log n)
+    /// refit — this counter is where that cost surfaces). The default is 0
+    /// for optimizers without a refitted model; model-based optimizers
+    /// override it so campaign telemetry can attribute tuner overhead to
+    /// refit cycles (executors poll this counter after each
     /// `observe`/`suggest` round and emit a refit event when it advances).
     fn n_refits(&self) -> usize {
         0

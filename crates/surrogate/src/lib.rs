@@ -3,7 +3,7 @@
 //! Sequential model-based optimization replaces the expensive target
 //! function with a cheap statistical model fitted to the trials observed so
 //! far (tutorial slides 32-44). This crate provides the two model families
-//! the tutorial covers:
+//! the tutorial covers, plus two scalable variants for long campaigns:
 //!
 //! * [`GaussianProcess`] — the classic Bayesian-optimization surrogate:
 //!   closed-form posterior mean and variance under a positive-definite
@@ -13,8 +13,15 @@
 //!   randomized regression trees whose spread estimates predictive
 //!   variance. Handles conditional/categorical spaces gracefully where a
 //!   GP's distance metric struggles.
+//! * [`SparseGaussianProcess`] — an inducing-point (SoR/DTC) sparse GP
+//!   whose per-observe and per-predict cost is O(m²) in the inducing-set
+//!   size, independent of the campaign length; the 100k-observation
+//!   global model.
+//! * [`TrustRegionSurrogate`] — a TuRBO-style local GP over the incumbent
+//!   region with deterministic expand/shrink dynamics; the cheapest
+//!   per-suggestion model, for very long campaigns that refine locally.
 //!
-//! Both implement the common [`Surrogate`] trait that the optimizer crate
+//! All implement the common [`Surrogate`] trait that the optimizer crate
 //! programs against.
 //!
 //! # Example
@@ -34,6 +41,8 @@ mod forest;
 mod gp;
 mod kernel;
 mod multitask;
+mod sparse;
+mod turbo;
 
 pub use forest::{RandomForest, RandomForestConfig};
 pub use gp::{GaussianProcess, HyperFitConfig};
@@ -42,6 +51,8 @@ pub use kernel::{
     ProductKernel, Rbf, SumKernel,
 };
 pub use multitask::{MultiTaskGp, TaskObservation};
+pub use sparse::{SparseGaussianProcess, SparseGpConfig};
+pub use turbo::{TrustRegionConfig, TrustRegionSurrogate};
 
 /// A predictive distribution at a query point.
 #[derive(Debug, Clone, Copy, PartialEq)]

@@ -2,10 +2,12 @@
 #
 # Perf-trajectory recorder + regression gate (the CI perf entry point).
 #
-# Runs the three perf bins — `perf_smoke` (incremental suggest path,
-# keeps its own 2x-vs-baseline tripwire), `serve_fleet` (registry
-# throughput + E34 robustness arm), and `cache_fleet` (config-cache hit
-# rate + concurrent lookup throughput) — then appends one
+# Runs the four perf bins — `perf_smoke` (incremental suggest path,
+# keeps its own 2x-vs-baseline tripwire), `bo_scale` (sparse/trust-region
+# surrogate latency at n in {1k, 10k, 100k}, the E36 scaling arm),
+# `serve_fleet` (registry throughput + E34 robustness arm), and
+# `cache_fleet` (config-cache hit rate + concurrent lookup throughput) —
+# then appends one
 # `{commit, date, metrics}` row to the `trajectory` array of each
 # BENCH_*.json, carrying the committed history forward so the files
 # accumulate a per-PR perf record.
@@ -41,6 +43,10 @@ echo "== perf_smoke (incremental suggest path) =="
 cargo run -q --release -p autotune-bench --bin perf_smoke | tee "$STASH/perf_smoke.out"
 SUGGEST_NS="$(sed -n 's/^measured: \([0-9][0-9]*\) ns\/trial$/\1/p' "$STASH/perf_smoke.out")"
 export BENCH_SUGGEST_NS="${SUGGEST_NS:-0}"
+
+echo
+echo "== bo_scale (surrogate scaling to n=100k) =="
+cargo run -q --release -p autotune-bench --bin bo_scale
 
 echo
 echo "== serve_fleet (registry throughput + robustness) =="
@@ -79,8 +85,15 @@ def serve_metrics(doc):
         "shed_rate": rb["shed_rate"],
     }
 
-def bo_metrics(_doc):
-    return {"suggest_ns_per_trial_n500": suggest_ns}
+def bo_metrics(doc):
+    out = {"suggest_ns_per_trial_n500": suggest_ns}
+    for p in doc.get("scale_points", []):
+        key = f"{p['surrogate']}_n{p['n'] // 1000}k"
+        out[f"{key}_suggest_ns"] = p["suggest_ns"]
+        out[f"{key}_observe_ns"] = p["observe_ns"]
+    for k, v in doc.get("speedup_100k", {}).items():
+        out[f"speedup_100k_{k}"] = v
+    return out
 
 def cache_metrics(doc):
     return {
@@ -101,6 +114,12 @@ FILES = [
     ]),
     ("BENCH_bo.json", bo_metrics, [
         ("suggest_ns_per_trial_n500", "lower", False),
+        ("sparse_gp_n100k_suggest_ns", "lower", False),
+        ("sparse_gp_n100k_observe_ns", "lower", False),
+        ("trust_region_n100k_suggest_ns", "lower", False),
+        ("trust_region_n100k_observe_ns", "lower", False),
+        ("speedup_100k_sparse_vs_dense_extrap", "higher", False),
+        ("speedup_100k_trust_region_vs_dense_extrap", "higher", False),
     ]),
     ("BENCH_cache.json", cache_metrics, [
         ("hit_rate", "higher", True),
