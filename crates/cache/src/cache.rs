@@ -2,10 +2,11 @@
 
 use crate::key::fingerprint_key;
 use crate::{CacheError, Result};
+use autotune::sync::PoisonFree;
 use autotune_space::Config;
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{PoisonError, RwLock};
+use std::sync::RwLock;
 
 use autotune_wid::{Fingerprint, StreamAssignment, StreamingClusters};
 use serde::{Deserialize, Serialize};
@@ -133,16 +134,10 @@ pub struct ShardedCache {
     backfills: AtomicU64,
 }
 
-/// Recovers from lock poisoning instead of panicking: cache state is plain
-/// data (no invariants broken mid-write can outlive the writer because
-/// every mutation either fully inserts or fully removes an entry).
-fn read_lock<T>(lock: &RwLock<T>) -> std::sync::RwLockReadGuard<'_, T> {
-    lock.read().unwrap_or_else(PoisonError::into_inner)
-}
-
-fn write_lock<T>(lock: &RwLock<T>) -> std::sync::RwLockWriteGuard<'_, T> {
-    lock.write().unwrap_or_else(PoisonError::into_inner)
-}
+// Lock poisoning recovery went through per-crate helpers here until PR 10;
+// acquisitions now use `autotune::sync::PoisonFree` (`.pread()`/`.pwrite()`),
+// which is sound for the same reason the helpers were: cache state is plain
+// data, and every mutation either fully inserts or fully removes an entry.
 
 impl ShardedCache {
     /// Creates an empty cache.
@@ -190,13 +185,13 @@ impl ShardedCache {
     pub fn lookup(&self, features: &[f64]) -> CacheLookup {
         let tick = self.tick.fetch_add(1, Ordering::Relaxed) + 1;
         let fp = Fingerprint::from_features(features.to_vec());
-        let family = read_lock(&self.clusters).classify(&fp).map(|(f, _)| f);
+        let family = self.clusters.pread().classify(&fp).map(|(f, _)| f);
         let Some(family) = family else {
             self.misses.fetch_add(1, Ordering::Relaxed);
             return CacheLookup::Miss { family: None };
         };
         let f = family as u64;
-        let inner = read_lock(self.shard_of(f));
+        let inner = self.shard_of(f).pread();
         let key = fingerprint_key(features);
         // Exact entry first, else the family incumbent.
         let serving = if inner.entries.contains_key(&(f, key)) {
@@ -221,9 +216,14 @@ impl ShardedCache {
             };
         };
         entry.hits.fetch_add(1, Ordering::Relaxed);
-        entry.last_used.store(tick, Ordering::Relaxed);
+        // LRU tick and family heat feed eviction decisions (a control
+        // path), so the stores are Release, pairing with the Acquire
+        // loads in `evict_over_capacity`. The shard RwLock alone would
+        // already order them (eviction holds the write lock), but the
+        // explicit pairing keeps the invariant independent of the lock.
+        entry.last_used.store(tick, Ordering::Release);
         if let Some(heat) = inner.heat.get(&f) {
-            heat.store(tick, Ordering::Relaxed);
+            heat.store(tick, Ordering::Release);
         }
         let hit = CacheHit {
             family,
@@ -243,7 +243,7 @@ impl ShardedCache {
     /// rebuilds identical centroids.
     pub fn admit_family(&self, features: &[f64]) -> StreamAssignment {
         let fp = Fingerprint::from_features(features.to_vec());
-        write_lock(&self.clusters).assign(&fp)
+        self.clusters.pwrite().assign(&fp)
     }
 
     /// Backfills a tuned config for `(family, exact fingerprint)` at the
@@ -252,8 +252,8 @@ impl ShardedCache {
     pub fn insert(&self, family: usize, features: &[f64], config: Config, cost: f64) {
         let f = family as u64;
         let key = fingerprint_key(features);
-        let tick = self.tick.load(Ordering::Relaxed);
-        let mut inner = write_lock(self.shard_of(f));
+        let tick = self.tick.load(Ordering::Acquire);
+        let mut inner = self.shard_of(f).pwrite();
         let entry = Entry {
             features: features.to_vec(),
             config,
@@ -285,12 +285,15 @@ impl ShardedCache {
                 *family_sizes.entry(f).or_insert(0) += 1;
             }
             let hot_floor = tick.saturating_sub(self.config.hot_window);
+            // Acquire pairs with the Release stores on the lookup hit
+            // path: a heat/LRU refresh published before the evictor took
+            // the shard write lock is always observed here.
             let protected = |f: u64| -> bool {
                 family_sizes.get(&f).copied().unwrap_or(0) <= 1
                     && inner
                         .heat
                         .get(&f)
-                        .map(|h| h.load(Ordering::Relaxed) >= hot_floor)
+                        .map(|h| h.load(Ordering::Acquire) >= hot_floor)
                         .unwrap_or(false)
             };
             // (underperforms_incumbent, last_used, key) — BTreeMap order
@@ -303,7 +306,7 @@ impl ShardedCache {
                 }
                 let is_incumbent = inner.incumbent.get(&f).map(|&(ik, _)| ik) == Some(key);
                 let underperforms = !is_incumbent;
-                let lu = e.last_used.load(Ordering::Relaxed);
+                let lu = e.last_used.load(Ordering::Acquire);
                 let better = match victim {
                     None => true,
                     // Underperformers strictly outrank incumbents as
@@ -348,27 +351,27 @@ impl ShardedCache {
         let entries = self
             .shards
             .iter()
-            .map(|s| read_lock(s).entries.len() as u64)
+            .map(|s| s.pread().entries.len() as u64)
             .sum();
         CacheStats {
-            hits: self.hits.load(Ordering::Relaxed),
-            misses: self.misses.load(Ordering::Relaxed),
-            evictions: self.evictions.load(Ordering::Relaxed),
-            backfills: self.backfills.load(Ordering::Relaxed),
-            families: read_lock(&self.clusters).len() as u64,
+            hits: self.hits.load(Ordering::Relaxed), // lint: allow(D9) monotone counter; reporting only, no decision reads it
+            misses: self.misses.load(Ordering::Relaxed), // lint: allow(D9) monotone counter; reporting only, no decision reads it
+            evictions: self.evictions.load(Ordering::Relaxed), // lint: allow(D9) monotone counter; reporting only, no decision reads it
+            backfills: self.backfills.load(Ordering::Relaxed), // lint: allow(D9) monotone counter; reporting only, no decision reads it
+            families: self.clusters.pread().len() as u64,
             entries,
-            tick: self.tick.load(Ordering::Relaxed),
+            tick: self.tick.load(Ordering::Acquire),
         }
     }
 
     /// A copy of the clustering model (for inspection and tests).
     pub fn clusters(&self) -> StreamingClusters {
-        read_lock(&self.clusters).clone()
+        self.clusters.pread().clone()
     }
 
     /// Total live entries.
     pub fn len(&self) -> usize {
-        self.shards.iter().map(|s| read_lock(s).entries.len()).sum()
+        self.shards.iter().map(|s| s.pread().entries.len()).sum()
     }
 
     /// True when no entry is cached.
@@ -382,7 +385,7 @@ impl ShardedCache {
         let mut entries = Vec::new();
         let mut heat = Vec::new();
         for shard in &self.shards {
-            let inner = read_lock(shard);
+            let inner = shard.pread();
             for (&(family, key), e) in inner.entries.iter() {
                 entries.push(SnapshotEntry {
                     family,
@@ -390,24 +393,24 @@ impl ShardedCache {
                     features: e.features.clone(),
                     config: e.config.clone(),
                     cost: e.cost,
-                    hits: e.hits.load(Ordering::Relaxed),
-                    last_used: e.last_used.load(Ordering::Relaxed),
+                    hits: e.hits.load(Ordering::Relaxed), // lint: allow(D9) monotone per-entry counter; serialized for reporting, ordered by the shard lock
+                    last_used: e.last_used.load(Ordering::Acquire),
                     inserted_at: e.inserted_at,
                 });
             }
             for (&f, h) in inner.heat.iter() {
-                heat.push((f, h.load(Ordering::Relaxed)));
+                heat.push((f, h.load(Ordering::Acquire)));
             }
         }
         CacheSnapshot {
             version: SNAPSHOT_VERSION,
             config: self.config.clone(),
-            clusters: read_lock(&self.clusters).clone(),
-            tick: self.tick.load(Ordering::Relaxed),
-            hits: self.hits.load(Ordering::Relaxed),
-            misses: self.misses.load(Ordering::Relaxed),
-            evictions: self.evictions.load(Ordering::Relaxed),
-            backfills: self.backfills.load(Ordering::Relaxed),
+            clusters: self.clusters.pread().clone(),
+            tick: self.tick.load(Ordering::Acquire),
+            hits: self.hits.load(Ordering::Relaxed), // lint: allow(D9) monotone counter; snapshot equality rests on quiescence (no concurrent ops), not counter ordering
+            misses: self.misses.load(Ordering::Relaxed), // lint: allow(D9) monotone counter; snapshot equality rests on quiescence (no concurrent ops), not counter ordering
+            evictions: self.evictions.load(Ordering::Relaxed), // lint: allow(D9) monotone counter; snapshot equality rests on quiescence (no concurrent ops), not counter ordering
+            backfills: self.backfills.load(Ordering::Relaxed), // lint: allow(D9) monotone counter; snapshot equality rests on quiescence (no concurrent ops), not counter ordering
             entries,
             heat,
         }
@@ -423,14 +426,14 @@ impl ShardedCache {
             });
         }
         let cache = ShardedCache::new(snap.config.clone());
-        *write_lock(&cache.clusters) = snap.clusters.clone();
-        cache.tick.store(snap.tick, Ordering::Relaxed);
-        cache.hits.store(snap.hits, Ordering::Relaxed);
-        cache.misses.store(snap.misses, Ordering::Relaxed);
-        cache.evictions.store(snap.evictions, Ordering::Relaxed);
-        cache.backfills.store(snap.backfills, Ordering::Relaxed);
+        *cache.clusters.pwrite() = snap.clusters.clone();
+        cache.tick.store(snap.tick, Ordering::Release);
+        cache.hits.store(snap.hits, Ordering::Relaxed); // lint: allow(D9) restore runs before the cache is shared; publication happens-before comes from handing out the Arc
+        cache.misses.store(snap.misses, Ordering::Relaxed); // lint: allow(D9) restore runs before the cache is shared; publication happens-before comes from handing out the Arc
+        cache.evictions.store(snap.evictions, Ordering::Relaxed); // lint: allow(D9) restore runs before the cache is shared; publication happens-before comes from handing out the Arc
+        cache.backfills.store(snap.backfills, Ordering::Relaxed); // lint: allow(D9) restore runs before the cache is shared; publication happens-before comes from handing out the Arc
         for e in &snap.entries {
-            let mut inner = write_lock(cache.shard_of(e.family));
+            let mut inner = cache.shard_of(e.family).pwrite();
             inner.entries.insert(
                 (e.family, e.key),
                 Entry {
@@ -450,9 +453,7 @@ impl ShardedCache {
             }
         }
         for &(f, h) in &snap.heat {
-            write_lock(cache.shard_of(f))
-                .heat
-                .insert(f, AtomicU64::new(h));
+            cache.shard_of(f).pwrite().heat.insert(f, AtomicU64::new(h));
         }
         Ok(cache)
     }

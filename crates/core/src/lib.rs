@@ -69,6 +69,7 @@
 //! ```
 
 pub mod executor;
+pub mod sync;
 pub mod telemetry;
 
 mod early_abort;
@@ -106,6 +107,7 @@ pub use online::{
 pub use parallel::{run_async_parallel, run_parallel, ParallelSummary};
 pub use profile_guided::KnobComponentMap;
 pub use session::{SessionConfig, SessionSummary, TuningSession};
+pub use sync::{pwait, PoisonFree, PoisonFreeMutex};
 pub use target::Target;
 pub use telemetry::{
     LogHistogram, MetricsCollector, MetricsSnapshot, NullTimer, OptEvent, ProgressReporter,

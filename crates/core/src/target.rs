@@ -136,7 +136,7 @@ impl Target {
     /// [`Campaign::snapshot`](crate::Campaign::snapshot) so a resumed
     /// campaign's continuation sees the same drift trajectory.
     pub fn noise_clock(&self) -> u64 {
-        self.clock.load(Ordering::Relaxed)
+        self.clock.load(Ordering::Relaxed) // lint: allow(D9) monotone eval counter; snapshots run between waves after worker joins, which give the happens-before
     }
 
     /// Repositions the temporal-drift clock (used by
@@ -144,7 +144,7 @@ impl Target {
     /// recorded measurements instead of evaluating and must fast-forward
     /// the clock past them).
     pub fn set_noise_clock(&self, t: u64) {
-        self.clock.store(t, Ordering::Relaxed);
+        self.clock.store(t, Ordering::Relaxed); // lint: allow(D9) resume fast-forwards the clock before replay begins; thread::spawn gives the happens-before
     }
 
     /// The objective.

@@ -41,7 +41,7 @@ pub use cholesky::Cholesky;
 pub use eigen::{symmetric_eigen, SymmetricEigen};
 pub use lu::Lu;
 pub use matrix::Matrix;
-pub use par::{par_map, par_map_threads};
+pub use par::{ordered_mean, ordered_sum, par_map, par_map_threads};
 pub use pca::Pca;
 pub use qr::{least_squares, Qr};
 pub use vector::{axpy, dot, norm2, normalize, scaled_add, squared_distance};

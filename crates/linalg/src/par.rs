@@ -76,9 +76,64 @@ where
     .expect("par_map scope panicked") // lint: allow(D5) scope panics are propagated deliberately
 }
 
+/// Sums floats strictly left-to-right in index order.
+///
+/// Float addition is not associative, so a reduction whose grouping
+/// depends on chunking or thread count is not byte-stable. This helper
+/// (and [`ordered_mean`]) is the blessed way to reduce [`par_map`]
+/// output — the lint's D11 rule rejects ad-hoc `.sum()`/captured `+=`
+/// accumulation inside `par_map*` closures. The map stays parallel; the
+/// fold is sequential and O(n), which is never the hot part.
+pub fn ordered_sum(xs: &[f64]) -> f64 {
+    let mut acc = 0.0;
+    for &x in xs {
+        acc += x;
+    }
+    acc
+}
+
+/// Arithmetic mean via [`ordered_sum`]; `0.0` for an empty slice.
+pub fn ordered_mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    ordered_sum(xs) / xs.len() as f64
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn ordered_sum_is_left_to_right() {
+        // A sequence engineered so grouping changes the rounding: the
+        // left-to-right fold must match the manual sequential fold
+        // bit-for-bit.
+        let xs: Vec<f64> = (0..1000)
+            .map(|i| if i % 2 == 0 { 1e16 } else { 1.0 })
+            .collect();
+        let mut want = 0.0;
+        for &x in &xs {
+            want += x;
+        }
+        assert_eq!(ordered_sum(&xs).to_bits(), want.to_bits());
+    }
+
+    #[test]
+    fn ordered_mean_handles_empty() {
+        assert_eq!(ordered_mean(&[]), 0.0);
+        assert_eq!(ordered_mean(&[2.0, 4.0]), 3.0);
+    }
+
+    #[test]
+    fn ordered_sum_of_par_map_output_is_thread_invariant() {
+        let items: Vec<f64> = (0..513).map(|i| (i as f64).sin() * 1e8).collect();
+        let base = ordered_sum(&par_map_threads(&items, 2, 1, |_, x| x * 1.000001));
+        for threads in [2, 3, 8] {
+            let got = ordered_sum(&par_map_threads(&items, 2, threads, |_, x| x * 1.000001));
+            assert_eq!(got.to_bits(), base.to_bits(), "threads={threads}");
+        }
+    }
 
     #[test]
     fn matches_sequential_map_in_order() {

@@ -15,6 +15,7 @@
 
 use crate::registry::{CampaignRegistry, CampaignStats, FleetStats, ServeError};
 use crate::spec::CampaignSpec;
+use autotune::sync::{pwait, PoisonFreeMutex};
 use autotune::CampaignSnapshot;
 use autotune_space::Config;
 use serde::{Deserialize, Serialize};
@@ -219,8 +220,11 @@ struct QueueState {
 }
 
 impl ByteQueue {
+    // Poisoning only happens after a panic in a peer thread; at that
+    // point the pipe is dead anyway, so `plock`/`pwait` recover the
+    // guard and let the closed/EOF paths surface the failure.
     fn push(&self, bytes: &[u8]) -> std::io::Result<()> {
-        let mut st = lock_queue(&self.state);
+        let mut st = self.state.plock();
         if st.closed {
             return Err(std::io::Error::new(
                 std::io::ErrorKind::BrokenPipe,
@@ -233,12 +237,12 @@ impl ByteQueue {
     }
 
     fn pop(&self, out: &mut [u8]) -> std::io::Result<usize> {
-        let mut st = lock_queue(&self.state);
+        let mut st = self.state.plock();
         while st.buf.is_empty() {
             if st.closed {
                 return Ok(0);
             }
-            st = wait_queue(&self.ready, st);
+            st = pwait(&self.ready, st);
         }
         let n = out.len().min(st.buf.len());
         for slot in out.iter_mut().take(n) {
@@ -249,24 +253,9 @@ impl ByteQueue {
     }
 
     fn close(&self) {
-        lock_queue(&self.state).closed = true;
+        self.state.plock().closed = true;
         self.ready.notify_all();
     }
-}
-
-/// Mutex poisoning only happens after a panic in a peer thread; at that
-/// point the pipe is dead anyway, so recover the guard and let the
-/// closed/EOF paths surface the failure.
-fn lock_queue(m: &Mutex<QueueState>) -> std::sync::MutexGuard<'_, QueueState> {
-    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
-}
-
-fn wait_queue<'a>(
-    cv: &Condvar,
-    guard: std::sync::MutexGuard<'a, QueueState>,
-) -> std::sync::MutexGuard<'a, QueueState> {
-    cv.wait(guard)
-        .unwrap_or_else(std::sync::PoisonError::into_inner)
 }
 
 /// One end of an in-process duplex byte pipe. `Send`, so either end can

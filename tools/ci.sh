@@ -67,14 +67,21 @@ rustdoc_step() {
 }
 run_step "rustdoc (warnings are errors)" rustdoc_step
 
-# Machine-checks the determinism and panic-safety contracts across every
-# crates/*/src file: no wall-clock reads, no hash-ordered containers, no
-# unseeded randomness, no NaN-panicking comparisons, no panics or stdout
-# in library paths (D1-D6; see DESIGN.md "Static invariants").
+# Machine-checks the determinism, panic-safety, and concurrency
+# contracts across every crates/*/src file: no wall-clock reads, no
+# hash-ordered containers, no unseeded randomness, no NaN-panicking
+# comparisons, no panics or stdout in library paths (D1-D6), plus the
+# crash-safety pack — acyclic cross-crate lock order, no guard held
+# across catch_unwind/par_map*/WAL appends, justified Relaxed atomics,
+# append-before-ack in crates/serve, ordered float reductions, and
+# PoisonFree lock recovery (D7-D12; see DESIGN.md "Static invariants").
 run_step "static invariants (autotune-lint)" \
   cargo run -q --release -p autotune-lint -- --deny-all
 
 if [ "$FAST" -eq 1 ]; then
+  # The "tests" step above already ran the interleaving harness at its
+  # 8-seed debug default; only the 64-seed release sweep is skipped.
+  skip_step "race interleavings (release, 64 seeds)"
   skip_step "fault determinism (release)"
   skip_step "serve determinism (release)"
   skip_step "chaos recovery determinism (release)"
@@ -82,6 +89,16 @@ if [ "$FAST" -eq 1 ]; then
   skip_step "telemetry purity (release)"
   skip_step "perf trajectory (bench_record)"
 else
+  # Seeded two-thread interleavings over the sharded cache and the
+  # tenant router: every schedule must produce byte-identical snapshots
+  # and hit/miss sequences, match its serial replay, and keep
+  # single-flight admission schedule-invariant. 64 seeds, optimized
+  # build, where real races would actually bite.
+  race_step() {
+    RACE_SEEDS=64 cargo test -q --release -p autotune-tests --test race_harness
+  }
+  run_step "race interleavings (release, 64 seeds)" race_step
+
   # The resilience stack (retries, timeouts, quarantine) must keep the
   # byte-identical k=1 schedule-policy contract; run its regression test
   # against the optimized build, where any wall-clock/thread-timing leak

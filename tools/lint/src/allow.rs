@@ -112,12 +112,14 @@ pub fn collect(toks: &[Tok]) -> Allows {
             .collect();
         let valid = !codes.is_empty()
             && codes.iter().all(|c| {
-                c.len() == 2 && c.starts_with('D') && c[1..].chars().all(|d| d.is_ascii_digit())
+                c.starts_with('D')
+                    && c[1..].chars().all(|d| d.is_ascii_digit())
+                    && c[1..].parse::<u32>().is_ok_and(|n| (1..=12).contains(&n))
             });
         if !valid {
             out.malformed.push(MalformedAllow {
                 line: t.line,
-                problem: "codes must be D1..D6 (comma-separated)",
+                problem: "codes must be D1..D12 (comma-separated)",
             });
             continue;
         }

@@ -1,0 +1,225 @@
+//! The cross-crate lock-order graph (D7's global half).
+//!
+//! Every nested acquisition `a` → `b` the flow pass sees (guard on `a`
+//! still live when `b` is taken) becomes a directed edge keyed by the
+//! unified lock names. A cycle in that graph is a potential deadlock:
+//! two threads can each hold one lock of the cycle and wait on the next.
+//! The per-file pass collects edges (dropping ones suppressed by
+//! `// lint: allow(D7)`); [`cycle_violations`] runs Tarjan's SCC over
+//! the union and reports **every edge inside a non-trivial SCC**, so the
+//! finding points at each acquisition site participating in the cycle.
+
+use crate::report::Violation;
+use std::collections::BTreeMap;
+
+/// One nested-acquisition edge in the lock-order graph.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LockEdge {
+    /// Lock held first.
+    pub from: String,
+    /// Lock acquired while `from` is held.
+    pub to: String,
+    /// File of the inner acquisition.
+    pub file: String,
+    /// 1-based line of the inner acquisition.
+    pub line: u32,
+    /// Function the nesting occurs in.
+    pub func: String,
+}
+
+/// Tarjan's strongly-connected components over the edge union.
+///
+/// Returns, per node index, its component id. Components are numbered in
+/// reverse topological order; the numbering itself is unused — only
+/// same-component membership matters.
+fn scc(n: usize, adj: &[Vec<usize>]) -> Vec<usize> {
+    struct State<'a> {
+        adj: &'a [Vec<usize>],
+        index: Vec<Option<usize>>,
+        low: Vec<usize>,
+        on_stack: Vec<bool>,
+        stack: Vec<usize>,
+        next_index: usize,
+        comp: Vec<usize>,
+        next_comp: usize,
+    }
+    fn strongconnect(s: &mut State, v: usize) {
+        s.index[v] = Some(s.next_index);
+        s.low[v] = s.next_index;
+        s.next_index += 1;
+        s.stack.push(v);
+        s.on_stack[v] = true;
+        let neighbors = s.adj[v].clone();
+        for &w in &neighbors {
+            if s.index[w].is_none() {
+                strongconnect(s, w);
+                s.low[v] = s.low[v].min(s.low[w]);
+            } else if s.on_stack[w] {
+                s.low[v] = s.low[v].min(s.index[w].unwrap_or(0));
+            }
+        }
+        if Some(s.low[v]) == s.index[v] {
+            loop {
+                let w = s.stack.pop().unwrap_or(v);
+                s.on_stack[w] = false;
+                s.comp[w] = s.next_comp;
+                if w == v {
+                    break;
+                }
+            }
+            s.next_comp += 1;
+        }
+    }
+    let mut s = State {
+        adj,
+        index: vec![None; n],
+        low: vec![0; n],
+        on_stack: vec![false; n],
+        stack: Vec::new(),
+        next_index: 0,
+        comp: vec![0; n],
+        next_comp: 0,
+    };
+    for v in 0..n {
+        if s.index[v].is_none() {
+            strongconnect(&mut s, v);
+        }
+    }
+    s.comp
+}
+
+/// Reports every edge participating in a lock-order cycle, sorted and
+/// deduplicated by site.
+pub fn cycle_violations(edges: &[LockEdge]) -> Vec<Violation> {
+    let mut ids: BTreeMap<&str, usize> = BTreeMap::new();
+    for e in edges {
+        let n = ids.len();
+        ids.entry(e.from.as_str()).or_insert(n);
+        let n = ids.len();
+        ids.entry(e.to.as_str()).or_insert(n);
+    }
+    let n = ids.len();
+    let mut adj = vec![Vec::new(); n];
+    for e in edges {
+        let (f, t) = (ids[e.from.as_str()], ids[e.to.as_str()]);
+        if !adj[f].contains(&t) {
+            adj[f].push(t);
+        }
+    }
+    let comp = scc(n, &adj);
+    // A component is cyclic when it has >1 node, or a self-edge.
+    let mut comp_size = vec![0usize; n];
+    for &c in &comp {
+        comp_size[c] += 1;
+    }
+    let mut out: Vec<Violation> = Vec::new();
+    let mut seen: Vec<(String, u32, String, String)> = Vec::new();
+    for e in edges {
+        let (f, t) = (ids[e.from.as_str()], ids[e.to.as_str()]);
+        let cyclic = (comp[f] == comp[t] && comp_size[comp[f]] > 1) || e.from == e.to;
+        if !cyclic {
+            continue;
+        }
+        let key = (e.file.clone(), e.line, e.from.clone(), e.to.clone());
+        if seen.contains(&key) {
+            continue;
+        }
+        seen.push(key);
+        let members: Vec<&str> = ids
+            .iter()
+            .filter(|(_, &id)| comp[id] == comp[f])
+            .map(|(&name, _)| name)
+            .collect();
+        out.push(Violation {
+            file: e.file.clone(),
+            line: e.line,
+            code: "D7",
+            message: format!(
+                "lock-order inversion: `{}` taken while `{}` is held (in `{}`) closes a cycle \
+                 among locks {{{}}} — pick one global order",
+                e.to,
+                e.from,
+                e.func,
+                members.join(", ")
+            ),
+        });
+    }
+    out.sort_by(|a, b| (a.file.as_str(), a.line).cmp(&(b.file.as_str(), b.line)));
+    out
+}
+
+/// Renders the edge union as a deterministic DOT digraph, one edge per
+/// distinct (from, to) pair labelled with its first site.
+pub fn to_dot(edges: &[LockEdge]) -> String {
+    let mut uniq: BTreeMap<(String, String), String> = BTreeMap::new();
+    for e in edges {
+        uniq.entry((e.from.clone(), e.to.clone()))
+            .or_insert_with(|| format!("{}:{} ({})", e.file, e.line, e.func));
+    }
+    let mut out = String::from("digraph lock_order {\n  rankdir=LR;\n");
+    for ((from, to), label) in &uniq {
+        out.push_str(&format!("  \"{from}\" -> \"{to}\" [label=\"{label}\"];\n"));
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn edge(from: &str, to: &str, line: u32) -> LockEdge {
+        LockEdge {
+            from: from.into(),
+            to: to.into(),
+            file: "f.rs".into(),
+            line,
+            func: "f".into(),
+        }
+    }
+
+    #[test]
+    fn acyclic_graph_is_clean() {
+        let edges = vec![edge("a", "b", 1), edge("b", "c", 2), edge("a", "c", 3)];
+        assert!(cycle_violations(&edges).is_empty());
+    }
+
+    #[test]
+    fn two_cycle_reports_both_edges() {
+        let edges = vec![edge("a", "b", 1), edge("b", "a", 2), edge("b", "c", 3)];
+        let v = cycle_violations(&edges);
+        assert_eq!(v.len(), 2);
+        assert!(v.iter().all(|v| v.code == "D7"));
+        assert!(v[0].message.contains("a, b"), "{}", v[0].message);
+    }
+
+    #[test]
+    fn three_cycle_across_files() {
+        let mut edges = vec![edge("a", "b", 1), edge("b", "c", 2)];
+        edges.push(LockEdge {
+            from: "c".into(),
+            to: "a".into(),
+            file: "g.rs".into(),
+            line: 9,
+            func: "g".into(),
+        });
+        let v = cycle_violations(&edges);
+        assert_eq!(v.len(), 3);
+        assert!(v.iter().any(|v| v.file == "g.rs" && v.line == 9));
+    }
+
+    #[test]
+    fn duplicate_sites_dedup() {
+        let edges = vec![edge("a", "b", 1), edge("a", "b", 1), edge("b", "a", 2)];
+        assert_eq!(cycle_violations(&edges).len(), 2);
+    }
+
+    #[test]
+    fn dot_is_deterministic() {
+        let edges = vec![edge("b", "c", 2), edge("a", "b", 1)];
+        let dot = to_dot(&edges);
+        let a = dot.find("\"a\" -> \"b\"").unwrap();
+        let b = dot.find("\"b\" -> \"c\"").unwrap();
+        assert!(a < b);
+    }
+}

@@ -5,9 +5,13 @@
 //! trials replay byte-identically, every random draw derives from the
 //! campaign seed, time flows only through the virtual clock, and the
 //! tuner never panics mid-campaign. This crate machine-checks those
-//! invariants as six named diagnostics (see [`rules`]) over every
+//! invariants as twelve named diagnostics (see [`rules`]) over every
 //! `crates/*/src` file, with an inline `// lint: allow(Dx) <reason>`
-//! escape hatch for the sites that are proven safe.
+//! escape hatch for the sites that are proven safe. D1–D6 are per-token
+//! determinism/panic-safety rules; D7–D12 are the concurrency and
+//! crash-safety pack, driven by a second pass ([`flow`]) that recovers
+//! per-function lock acquisitions, guard lifetimes, and protocol events,
+//! and by a cross-crate lock-order graph ([`graph`]).
 //!
 //! Run it from anywhere in the workspace:
 //!
@@ -21,22 +25,27 @@
 //! never misfire inside strings or docs.
 
 pub mod allow;
+pub mod flow;
+pub mod graph;
 pub mod lexer;
 pub mod report;
 pub mod rules;
 pub mod scope;
 
+pub use graph::LockEdge;
 pub use report::{Report, Violation};
 pub use rules::CrateKind;
 
 use std::path::{Path, PathBuf};
 
-/// Lints one source file's text; `file` is used only for reporting.
-pub fn lint_source(file: &str, kind: CrateKind, src: &str) -> Report {
+/// Lints one source file's text without the global graph pass; `file` is
+/// used only for reporting. Returns the file's report plus its
+/// contribution to the cross-crate lock-order graph.
+pub fn analyze_source(file: &str, kind: CrateKind, src: &str) -> (Report, Vec<LockEdge>) {
     let toks = lexer::lex(src);
     let mask = scope::test_mask(&toks);
     let mut allows = allow::collect(&toks);
-    let (violations, allowed) = rules::check(file, kind, &toks, &mask, &mut allows);
+    let (violations, allowed, edges) = rules::check(file, kind, &toks, &mask, &mut allows);
     let mut report = Report {
         files: 1,
         ..Report::default()
@@ -45,25 +54,45 @@ pub fn lint_source(file: &str, kind: CrateKind, src: &str) -> Report {
     for (code, _line) in allowed {
         *report.allowed.entry(code).or_insert(0) += 1;
     }
+    (report, edges)
+}
+
+/// Lints one source file's text, including a lock-order cycle check over
+/// the file's own edges (the workspace walk runs that check globally
+/// instead, so cross-file cycles are seen).
+pub fn lint_source(file: &str, kind: CrateKind, src: &str) -> Report {
+    let (mut report, edges) = analyze_source(file, kind, src);
+    report.violations.extend(graph::cycle_violations(&edges));
+    report
+        .violations
+        .sort_by(|a, b| (a.file.as_str(), a.line, a.code).cmp(&(b.file.as_str(), b.line, b.code)));
     report
 }
 
 /// Classifies a crate directory name.
 pub fn crate_kind(name: &str) -> CrateKind {
-    if name == "bench" {
-        CrateKind::Bench
-    } else {
-        CrateKind::Library
+    match name {
+        "bench" => CrateKind::Bench,
+        "serve" => CrateKind::Serve,
+        _ => CrateKind::Library,
     }
 }
 
 /// Walks `<root>/crates/*/src` and lints every `.rs` file.
+pub fn lint_workspace(root: &Path) -> std::io::Result<Report> {
+    lint_workspace_graph(root).map(|(report, _)| report)
+}
+
+/// Walks `<root>/crates/*/src`, lints every `.rs` file, and runs the
+/// lock-order cycle check over the union of all files' edges. The edge
+/// union is returned too (for `--lock-graph` DOT output).
 ///
 /// Paths in the returned report are workspace-relative. Read failures on
 /// individual files surface as `A1` violations rather than aborting the
 /// run, so CI output always shows everything it could check.
-pub fn lint_workspace(root: &Path) -> std::io::Result<Report> {
+pub fn lint_workspace_graph(root: &Path) -> std::io::Result<(Report, Vec<LockEdge>)> {
     let mut report = Report::default();
+    let mut edges: Vec<LockEdge> = Vec::new();
     let crates_dir = root.join("crates");
     let mut crate_dirs: Vec<PathBuf> = std::fs::read_dir(&crates_dir)?
         .filter_map(|e| e.ok())
@@ -91,7 +120,11 @@ pub fn lint_workspace(root: &Path) -> std::io::Result<Report> {
                 .to_string_lossy()
                 .into_owned();
             match std::fs::read_to_string(&f) {
-                Ok(src) => report.absorb(lint_source(&rel, kind, &src)),
+                Ok(src) => {
+                    let (r, mut e) = analyze_source(&rel, kind, &src);
+                    report.absorb(r);
+                    edges.append(&mut e);
+                }
                 Err(e) => report.violations.push(Violation {
                     file: rel,
                     line: 0,
@@ -101,7 +134,9 @@ pub fn lint_workspace(root: &Path) -> std::io::Result<Report> {
             }
         }
     }
-    Ok(report)
+    let mut cycle = graph::cycle_violations(&edges);
+    report.violations.append(&mut cycle);
+    Ok((report, edges))
 }
 
 fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {

@@ -1,28 +1,34 @@
 //! CLI for the workspace invariant analyzer.
 //!
 //! ```text
-//! autotune-lint [--deny-all] [--quiet] [PATH ...]
+//! autotune-lint [--deny-all] [--quiet] [--lock-graph] [PATH ...]
 //! ```
 //!
 //! With no paths, lints every `crates/*/src` file of the enclosing
 //! workspace. Explicit paths are linted as library code (useful for
 //! one-off checks). `--deny-all` exits nonzero when any violation
-//! remains after allows — that is the CI gate.
+//! remains after allows — that is the CI gate. `--lock-graph` prints the
+//! cross-crate lock-order graph as DOT instead of the violation list
+//! (violations still gate the exit code under `--deny-all`).
 
-use autotune_lint::{find_workspace_root, lint_source, lint_workspace, CrateKind, Report};
+use autotune_lint::{
+    analyze_source, find_workspace_root, graph, lint_workspace_graph, CrateKind, LockEdge, Report,
+};
 use std::path::Path;
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
     let mut deny_all = false;
     let mut quiet = false;
+    let mut lock_graph = false;
     let mut paths: Vec<String> = Vec::new();
     for arg in std::env::args().skip(1) {
         match arg.as_str() {
             "--deny-all" => deny_all = true,
             "--quiet" => quiet = true,
+            "--lock-graph" => lock_graph = true,
             "--help" | "-h" => {
-                eprintln!("usage: autotune-lint [--deny-all] [--quiet] [PATH ...]");
+                eprintln!("usage: autotune-lint [--deny-all] [--quiet] [--lock-graph] [PATH ...]");
                 return ExitCode::SUCCESS;
             }
             other if other.starts_with('-') => {
@@ -33,7 +39,7 @@ fn main() -> ExitCode {
         }
     }
 
-    let report = if paths.is_empty() {
+    let (report, edges) = if paths.is_empty() {
         let cwd = match std::env::current_dir() {
             Ok(d) => d,
             Err(e) => {
@@ -45,8 +51,8 @@ fn main() -> ExitCode {
             eprintln!("autotune-lint: no workspace root (Cargo.toml + crates/) above {cwd:?}");
             return ExitCode::FAILURE;
         };
-        match lint_workspace(&root) {
-            Ok(r) => r,
+        match lint_workspace_graph(&root) {
+            Ok(pair) => pair,
             Err(e) => {
                 eprintln!("autotune-lint: walk failed: {e}");
                 return ExitCode::FAILURE;
@@ -54,20 +60,33 @@ fn main() -> ExitCode {
         }
     } else {
         let mut r = Report::default();
+        let mut edges: Vec<LockEdge> = Vec::new();
         for p in &paths {
             match std::fs::read_to_string(Path::new(p)) {
-                Ok(src) => r.absorb(lint_source(p, CrateKind::Library, &src)),
+                Ok(src) => {
+                    let (fr, mut fe) = analyze_source(p, CrateKind::Library, &src);
+                    r.absorb(fr);
+                    edges.append(&mut fe);
+                }
                 Err(e) => {
                     eprintln!("autotune-lint: {p}: {e}");
                     return ExitCode::FAILURE;
                 }
             }
         }
-        r
+        r.violations.extend(graph::cycle_violations(&edges));
+        r.violations.sort_by(|a, b| {
+            (a.file.as_str(), a.line, a.code).cmp(&(b.file.as_str(), b.line, b.code))
+        });
+        (r, edges)
     };
 
-    for v in &report.violations {
-        println!("{v}");
+    if lock_graph {
+        print!("{}", graph::to_dot(&edges));
+    } else {
+        for v in &report.violations {
+            println!("{v}");
+        }
     }
     if !quiet {
         eprintln!("{}", report.summary());

@@ -1,4 +1,5 @@
-//! The six invariant diagnostics, matched over the token stream.
+//! The invariant diagnostics, matched over the token stream and the
+//! statement-flow pass.
 //!
 //! | code | invariant | exempt |
 //! |------|-----------|--------|
@@ -8,19 +9,33 @@
 //! | D4 | no NaN-panicking float comparisons (`partial_cmp(..).unwrap()/expect()/unwrap_or(..)`) — use `total_cmp` | tests |
 //! | D5 | no `.unwrap()`/`.expect()`/`panic!`-family in library paths — return `Result` or allow with a reason | bench, tests |
 //! | D6 | no `println!`/`eprintln!`/`dbg!` in library crates — route through telemetry | bench, tests |
+//! | D7 | consistent lock order — nested acquisitions feed a cross-crate graph that must stay acyclic; re-acquiring a held lock is flagged at the site | bench, tests |
+//! | D8 | no lock guard held across `catch_unwind`, `par_map*`, or WAL `append`/`append_aux` | bench, tests |
+//! | D9 | no `Ordering::Relaxed` on non-counter atomics (`fetch_add`/`fetch_sub` are counters) without a happens-before argument | bench, tests |
+//! | D10 | in `crates/serve`, every durable-state ack (`Response::{Registered,Stopped,CacheHit,CacheMiss}`) must be dominated by a durable append/journal call | library, bench, tests |
+//! | D11 | no non-associative float reductions (`.sum()`, captured `+=`) inside `par_map*` closures — use the ordered-reduction helpers | bench, tests |
+//! | D12 | no poison-panicking `.lock()/.read()/.write()` adapters in library paths — go through `autotune::sync::PoisonFree` | bench, tests |
 //!
 //! Each rule reports at the line of its anchor token and honours the
-//! `// lint: allow(Dx) <reason>` escape hatch on that exact line.
+//! `// lint: allow(Dx) <reason>` escape hatch on that exact line. D7's
+//! graph half is special: an allow on a nested-acquisition line drops
+//! that *edge* from the global graph (see [`crate::graph`]).
 
 use crate::allow::Allows;
+use crate::flow::{self, EventKind, LockMode};
+use crate::graph::LockEdge;
 use crate::lexer::{Tok, TokKind};
 use crate::report::Violation;
 
 /// How a crate is classified for exemption purposes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum CrateKind {
-    /// A library crate that feeds deterministic campaigns; all rules on.
+    /// A library crate that feeds deterministic campaigns; all rules on
+    /// except the serve-only D10.
     Library,
+    /// `crates/serve`: everything a library gets, plus the D10
+    /// append-before-ack protocol check.
+    Serve,
     /// The bench/experiment crate: wall-clock, randomness, panics and
     /// stdout are its job. Only D4 (NaN-safe comparisons) applies.
     Bench,
@@ -32,7 +47,7 @@ struct Rule {
     applies_to_bench: bool,
 }
 
-const RULES: [Rule; 6] = [
+const RULES: [Rule; 12] = [
     Rule {
         code: "D1",
         applies_to_bench: false,
@@ -57,35 +72,93 @@ const RULES: [Rule; 6] = [
         code: "D6",
         applies_to_bench: false,
     },
+    Rule {
+        code: "D7",
+        applies_to_bench: false,
+    },
+    Rule {
+        code: "D8",
+        applies_to_bench: false,
+    },
+    Rule {
+        code: "D9",
+        applies_to_bench: false,
+    },
+    Rule {
+        code: "D10",
+        applies_to_bench: false,
+    },
+    Rule {
+        code: "D11",
+        applies_to_bench: false,
+    },
+    Rule {
+        code: "D12",
+        applies_to_bench: false,
+    },
 ];
+
+/// Durable-state acks: the server must not send these before the
+/// corresponding WAL append. Read-only and terminal responses
+/// (`Stepped`, `Snapshot`, `Stats`, `Fleet`, `Error`, `Overloaded`,
+/// `Bye`) carry no new durable state.
+const ACK_VARIANTS: [&str; 4] = ["Registered", "Stopped", "CacheHit", "CacheMiss"];
+
+/// Receivers that make a bare `append(..)` a WAL call rather than
+/// `Vec::append`.
+const WAL_RECEIVERS: [&str; 4] = ["durable", "wal", "journal", "log"];
+
+/// Violation sink: routes findings through the allow table.
+struct Sink<'a> {
+    file: &'a str,
+    allows: &'a mut Allows,
+    violations: Vec<Violation>,
+    allowed: Vec<(&'static str, u32)>,
+}
+
+impl Sink<'_> {
+    fn emit(&mut self, code: &'static str, line: u32, message: String) {
+        if self.permits(code, line) {
+            return;
+        }
+        self.violations.push(Violation {
+            file: self.file.to_string(),
+            line,
+            code,
+            message,
+        });
+    }
+
+    /// True (recording the use) when `code` is allowed on `line`.
+    fn permits(&mut self, code: &'static str, line: u32) -> bool {
+        if self.allows.permits(code, line) {
+            self.allowed.push((code, line));
+            return true;
+        }
+        false
+    }
+}
 
 /// Runs every applicable rule over a lexed file.
 ///
 /// `mask[i]` is the in-test flag for `toks[i]` (see [`crate::scope`]);
-/// `allows` records which findings were suppressed.
+/// `allows` records which findings were suppressed. The third return is
+/// the file's contribution to the global lock-order graph (D7 edges not
+/// suppressed by an allow).
 pub fn check(
     file: &str,
     kind: CrateKind,
     toks: &[Tok],
     mask: &[bool],
     allows: &mut Allows,
-) -> (Vec<Violation>, Vec<(&'static str, u32)>) {
-    let mut violations = Vec::new();
-    let mut allowed = Vec::new();
+) -> (Vec<Violation>, Vec<(&'static str, u32)>, Vec<LockEdge>) {
     // Dense index of non-comment tokens for sequence matching.
     let sig: Vec<usize> = (0..toks.len()).filter(|&i| !toks[i].is_comment()).collect();
-
-    let mut emit = |code: &'static str, line: u32, message: String| {
-        if allows.permits(code, line) {
-            allowed.push((code, line));
-        } else {
-            violations.push(Violation {
-                file: file.to_string(),
-                line,
-                code,
-                message,
-            });
-        }
+    let mut sink = Sink {
+        file,
+        allows,
+        violations: Vec::new(),
+        allowed: Vec::new(),
     };
 
     for (si, &ti) in sig.iter().enumerate() {
@@ -93,8 +166,10 @@ pub fn check(
             continue; // test code is exempt from every rule
         }
         let t = &toks[ti];
-        let enabled = |code: &str| {
-            kind == CrateKind::Library || RULES.iter().any(|r| r.code == code && r.applies_to_bench)
+        let enabled = |code: &str| match kind {
+            CrateKind::Bench => RULES.iter().any(|r| r.code == code && r.applies_to_bench),
+            CrateKind::Serve => true,
+            CrateKind::Library => code != "D10",
         };
 
         // D1: wall-clock reads.
@@ -102,7 +177,7 @@ pub fn check(
             && (t.is_ident("Instant") || t.is_ident("SystemTime"))
             && seq_is(toks, &sig, si + 1, &[":", ":", "now"])
         {
-            emit(
+            sink.emit(
                 "D1",
                 t.line,
                 format!(
@@ -114,7 +189,7 @@ pub fn check(
 
         // D2: hash-ordered containers.
         if enabled("D2") && (t.is_ident("HashMap") || t.is_ident("HashSet")) {
-            emit(
+            sink.emit(
                 "D2",
                 t.line,
                 format!(
@@ -128,7 +203,7 @@ pub fn check(
         // D3: unseeded randomness.
         if enabled("D3") {
             if t.is_ident("thread_rng") || t.is_ident("from_entropy") || t.is_ident("OsRng") {
-                emit(
+                sink.emit(
                     "D3",
                     t.line,
                     format!(
@@ -137,7 +212,7 @@ pub fn check(
                     ),
                 );
             } else if t.is_ident("rand") && seq_is(toks, &sig, si + 1, &[":", ":", "random"]) {
-                emit(
+                sink.emit(
                     "D3",
                     t.line,
                     "unseeded randomness `rand::random` — derive every stream from the campaign \
@@ -150,7 +225,7 @@ pub fn check(
         // D4: NaN-panicking (or NaN-inconsistent) float comparisons.
         if enabled("D4") && t.is_ident("partial_cmp") {
             if let Some(method) = panicky_suffix(toks, &sig, si) {
-                emit(
+                sink.emit(
                     "D4",
                     t.line,
                     format!(
@@ -161,15 +236,18 @@ pub fn check(
             }
         }
 
-        // D5: panicking calls in library paths.
+        // D5: panicking calls in library paths. Sites already owned by a
+        // more specific diagnostic stay quiet: D4 owns
+        // `partial_cmp(..).unwrap()`, D12 owns `.lock().unwrap()`.
         if enabled("D5") {
             if (t.is_ident("unwrap") || t.is_ident("expect"))
                 && si > 0
                 && toks[sig[si - 1]].is_punct('.')
                 && seq_is(toks, &sig, si + 1, &["("])
                 && !follows_partial_cmp(toks, &sig, si)
+                && !follows_lock_acquire(toks, &sig, si)
             {
-                emit(
+                sink.emit(
                     "D5",
                     t.line,
                     format!(
@@ -186,7 +264,7 @@ pub fn check(
                 )
                 && seq_is(toks, &sig, si + 1, &["!"])
             {
-                emit(
+                sink.emit(
                     "D5",
                     t.line,
                     format!(
@@ -207,7 +285,7 @@ pub fn check(
             )
             && seq_is(toks, &sig, si + 1, &["!"])
         {
-            emit(
+            sink.emit(
                 "D6",
                 t.line,
                 format!(
@@ -217,6 +295,156 @@ pub fn check(
             );
         }
     }
+
+    // Pass 2: the statement-flow rules (D7–D12) over per-function
+    // acquisitions and events.
+    let mut edges: Vec<LockEdge> = Vec::new();
+    if kind != CrateKind::Bench {
+        let flows = flow::analyze(toks, &sig, mask);
+        for f in &flows {
+            // D7, local half: overlapping acquisitions. Same lock while
+            // held is an immediate self-deadlock finding; distinct locks
+            // become an order edge for the global graph.
+            for (i, a) in f.acquires.iter().enumerate() {
+                for b in f.acquires.iter().skip(i + 1) {
+                    if b.di >= a.release {
+                        continue;
+                    }
+                    if a.lock == b.lock && a.lock != "?" {
+                        if a.mode == LockMode::Read && b.mode == LockMode::Read {
+                            // Shared re-entry: still an edge-free hazard
+                            // under writer-priority, but the repo's
+                            // RwLocks are std (no priority policy); the
+                            // graph stays quiet here.
+                            continue;
+                        }
+                        sink.emit(
+                            "D7",
+                            b.line,
+                            format!(
+                                "lock `{}` (held since line {}) re-acquired in `{}` — \
+                                 self-deadlock; drop the first guard before re-locking",
+                                a.lock, a.line, f.name
+                            ),
+                        );
+                    } else if a.lock != "?" && b.lock != "?" {
+                        if sink.permits("D7", b.line) {
+                            continue;
+                        }
+                        edges.push(LockEdge {
+                            from: a.lock.clone(),
+                            to: b.lock.clone(),
+                            file: file.to_string(),
+                            line: b.line,
+                            func: f.name.clone(),
+                        });
+                    }
+                }
+            }
+            // D8: risky calls under a live guard.
+            for a in &f.acquires {
+                for e in &f.events {
+                    if e.di <= a.di || e.di >= a.release {
+                        continue;
+                    }
+                    if let EventKind::Risky { callee, receiver } = &e.kind {
+                        if callee == "append"
+                            && !receiver
+                                .as_deref()
+                                .is_some_and(|r| WAL_RECEIVERS.contains(&r))
+                        {
+                            continue; // Vec::append etc., not the WAL
+                        }
+                        sink.emit(
+                            "D8",
+                            e.line,
+                            format!(
+                                "`{}` called while the guard on `{}` (line {}) is held in `{}` — \
+                                 a panic or slow append poisons/blocks the lock; drop the guard \
+                                 first",
+                                callee, a.lock, a.line, f.name
+                            ),
+                        );
+                    }
+                }
+            }
+            for e in &f.events {
+                match &e.kind {
+                    // D9: Relaxed on non-counter atomics.
+                    EventKind::RelaxedAtomic { method } => {
+                        sink.emit(
+                            "D9",
+                            e.line,
+                            format!(
+                                "`{method}(Ordering::Relaxed)` on a non-counter atomic in `{}` — \
+                                 upgrade to Acquire/Release or allow with a written \
+                                 happens-before argument",
+                                f.name
+                            ),
+                        );
+                    }
+                    // D11: non-associative reductions in par_map closures.
+                    EventKind::Reduction { what } => {
+                        sink.emit(
+                            "D11",
+                            e.line,
+                            format!(
+                                "non-associative float reduction ({what}) inside a `par_map*` \
+                                 closure in `{}` — use the ordered helpers \
+                                 (autotune_linalg::par::ordered_sum/ordered_mean)",
+                                f.name
+                            ),
+                        );
+                    }
+                    // D12: poison-panicking lock adapters.
+                    EventKind::PoisonUnwrap { method, lock } => {
+                        sink.emit(
+                            "D12",
+                            e.line,
+                            format!(
+                                "`.{lock}().{method}(..)` panics (or hand-recovers) on poisoning \
+                                 in `{}` — go through autotune::sync::PoisonFree \
+                                 (`.p{lock}()`)",
+                                f.name
+                            ),
+                        );
+                    }
+                    // D10: durable-state acks must follow a durable call.
+                    EventKind::Ack { variant, end } if kind == CrateKind::Serve => {
+                        if !ACK_VARIANTS.contains(&variant.as_str()) {
+                            continue;
+                        }
+                        // A durable call anywhere before the construction
+                        // closes dominates it — field expressions run
+                        // before the Response value exists.
+                        let dominated = f
+                            .events
+                            .iter()
+                            .any(|d| matches!(d.kind, EventKind::Durable { .. }) && d.di < *end);
+                        if !dominated {
+                            sink.emit(
+                                "D10",
+                                e.line,
+                                format!(
+                                    "`Response::{variant}` built in `{}` with no durable \
+                                     append/journal call before it — the ack must not outrun \
+                                     the WAL (append-before-ack)",
+                                    f.name
+                                ),
+                            );
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }
+    }
+
+    let Sink {
+        mut violations,
+        allowed,
+        ..
+    } = sink;
 
     // Allow hygiene: malformed allows and allows that suppressed nothing
     // are violations themselves, so suppressions cannot rot in place.
@@ -240,7 +468,8 @@ pub fn check(
         });
     }
     violations.sort_by(|a, b| (a.line, a.code).cmp(&(b.line, b.code)));
-    (violations, allowed)
+    violations.dedup_by(|a, b| a.line == b.line && a.code == b.code && a.message == b.message);
+    (violations, allowed, edges)
 }
 
 /// True when the non-comment tokens starting at dense index `si` spell the
@@ -295,19 +524,17 @@ fn panicky_suffix(toks: &[Tok], sig: &[usize], si: usize) -> Option<&'static str
     None
 }
 
-/// True when the `.unwrap`/`.expect` at dense index `si` terminates a
-/// `partial_cmp(..)` chain — that site is already reported as D4 (the fix
-/// is `total_cmp`, not a Result), so D5 stays quiet to avoid demanding two
-/// allows for one defect.
-fn follows_partial_cmp(toks: &[Tok], sig: &[usize], si: usize) -> bool {
-    // sig[si] is `unwrap`/`expect`; sig[si-1] is `.`; sig[si-2] should be
-    // the `)` closing the partial_cmp argument list.
+/// Walks back from the `.unwrap`/`.expect` at dense index `si` to the
+/// call whose result it adapts; returns the callee identifier's dense
+/// index (the ident before the matching `(`), if the shape is
+/// `ident(..).unwrap()`.
+fn adapted_callee(toks: &[Tok], sig: &[usize], si: usize) -> Option<usize> {
     if si < 2 {
-        return false;
+        return None;
     }
     let mut j = si - 2;
     if !toks[sig[j]].is_punct(')') {
-        return false;
+        return None;
     }
     let mut depth = 0usize;
     loop {
@@ -321,11 +548,34 @@ fn follows_partial_cmp(toks: &[Tok], sig: &[usize], si: usize) -> bool {
             }
         }
         if j == 0 {
-            return false;
+            return None;
         }
         j -= 1;
     }
-    j > 0 && toks[sig[j - 1]].is_ident("partial_cmp")
+    j.checked_sub(1)
+}
+
+/// True when the `.unwrap`/`.expect` at dense index `si` terminates a
+/// `partial_cmp(..)` chain — that site is already reported as D4 (the fix
+/// is `total_cmp`, not a Result), so D5 stays quiet to avoid demanding two
+/// allows for one defect.
+fn follows_partial_cmp(toks: &[Tok], sig: &[usize], si: usize) -> bool {
+    adapted_callee(toks, sig, si).is_some_and(|j| toks[sig[j]].is_ident("partial_cmp"))
+}
+
+/// True when the `.unwrap`/`.expect` at dense index `si` adapts an
+/// empty-argument `.lock()/.read()/.write()` call — that site is already
+/// reported as D12 (the fix is `PoisonFree`, not a Result), so D5 stays
+/// quiet.
+fn follows_lock_acquire(toks: &[Tok], sig: &[usize], si: usize) -> bool {
+    let Some(j) = adapted_callee(toks, sig, si) else {
+        return false;
+    };
+    let t = &toks[sig[j]];
+    let is_lock = t.is_ident("lock") || t.is_ident("read") || t.is_ident("write");
+    // Empty args: callee at j, `(` at j+1, `)` at j+2 == si-2, `.` at
+    // j+3, adapter at j+4 == si.
+    is_lock && j + 4 == si
 }
 
 #[cfg(test)]
@@ -337,7 +587,7 @@ mod tests {
         let toks = lexer::lex(src);
         let mask = scope::test_mask(&toks);
         let mut allows = allow::collect(&toks);
-        let (violations, _) = check("f.rs", kind, &toks, &mask, &mut allows);
+        let (violations, _, _) = check("f.rs", kind, &toks, &mask, &mut allows);
         violations.into_iter().map(|v| format!("{v}")).collect()
     }
 
@@ -346,6 +596,14 @@ mod tests {
             .iter()
             .map(|l| l.split(": ").nth(1).expect("code field").to_string())
             .collect()
+    }
+
+    fn edges_of(kind: CrateKind, src: &str) -> Vec<(String, String)> {
+        let toks = lexer::lex(src);
+        let mask = scope::test_mask(&toks);
+        let mut allows = allow::collect(&toks);
+        let (_, _, edges) = check("f.rs", kind, &toks, &mask, &mut allows);
+        edges.into_iter().map(|e| (e.from, e.to)).collect()
     }
 
     #[test]
@@ -402,5 +660,111 @@ mod tests {
             "use std::collections::HashMap;\nfn f() { let r = thread_rng(); println!(\"x\"); }";
         assert_eq!(codes(CrateKind::Library, src), vec!["D2", "D3", "D6"]);
         assert!(run(CrateKind::Bench, src).is_empty());
+    }
+
+    #[test]
+    fn d7_same_lock_reacquired() {
+        let src = "fn f() { let g = m.plock(); let h = m.plock(); }";
+        assert_eq!(codes(CrateKind::Library, src), vec!["D7"]);
+    }
+
+    #[test]
+    fn d7_read_read_overlap_is_quiet() {
+        let src = "fn f() { let g = m.pread(); let h = m.pread(); }";
+        assert!(run(CrateKind::Library, src).is_empty());
+    }
+
+    #[test]
+    fn d7_nested_distinct_locks_make_an_edge_not_a_violation() {
+        let src = "fn f() { let g = a.plock(); let h = b.plock(); }";
+        assert!(run(CrateKind::Library, src).is_empty());
+        assert_eq!(
+            edges_of(CrateKind::Library, src),
+            vec![("a".to_string(), "b".to_string())]
+        );
+    }
+
+    #[test]
+    fn d7_released_guard_makes_no_edge() {
+        let src = "fn f() { { let g = a.plock(); } let h = b.plock(); }";
+        assert!(edges_of(CrateKind::Library, src).is_empty());
+        let src2 = "fn f() { let g = a.plock(); drop(g); let h = b.plock(); }";
+        assert!(edges_of(CrateKind::Library, src2).is_empty());
+    }
+
+    #[test]
+    fn d7_allow_drops_the_edge_and_counts_used() {
+        let src = "fn f() { let g = a.plock();\n let h = b.plock(); // lint: allow(D7) a before b is the blessed order here\n }";
+        assert!(edges_of(CrateKind::Library, src).is_empty());
+        // No A2: the allow was consumed by the edge.
+        assert!(run(CrateKind::Library, src).is_empty());
+    }
+
+    #[test]
+    fn d8_guard_across_catch_unwind() {
+        let src = "fn f() { let g = m.plock(); let r = catch_unwind(|| work()); }";
+        assert_eq!(codes(CrateKind::Library, src), vec!["D8"]);
+        let ok = "fn f() { { let g = m.plock(); } let r = catch_unwind(|| work()); }";
+        assert!(run(CrateKind::Library, ok).is_empty());
+    }
+
+    #[test]
+    fn d8_vec_append_is_not_wal_append() {
+        let src = "fn f() { let g = m.plock(); out.append(&mut xs); }";
+        assert!(run(CrateKind::Library, src).is_empty());
+        let bad = "fn f() { let g = m.plock(); self.durable.append(rec)?; }";
+        assert_eq!(codes(CrateKind::Library, bad), vec!["D8"]);
+    }
+
+    #[test]
+    fn d9_relaxed_store_flagged_counter_exempt() {
+        let src =
+            "fn f() { hits.fetch_add(1, Ordering::Relaxed); heat.store(t, Ordering::Relaxed); }";
+        assert_eq!(codes(CrateKind::Library, src), vec!["D9"]);
+        let allowed = "fn f() { heat.store(t, Ordering::Relaxed); // lint: allow(D9) heat is advisory; eviction re-reads under the shard write lock\n }";
+        assert!(run(CrateKind::Library, allowed).is_empty());
+    }
+
+    #[test]
+    fn d10_only_in_serve_and_wants_domination() {
+        let bad = "fn f() -> Response { Response::Registered { id: 7 } }";
+        assert_eq!(codes(CrateKind::Serve, bad), vec!["D10"]);
+        assert!(run(CrateKind::Library, bad).is_empty());
+        let ok = "fn f() -> R { self.durable.append_aux(op)?; Ok(Response::Registered { id: 7 }) }";
+        assert!(run(CrateKind::Serve, ok).is_empty());
+        let field_expr =
+            "fn f() -> R { Ok(Response::Registered { id: self.admit_spec(&spec, rid)? }) }";
+        assert!(run(CrateKind::Serve, field_expr).is_empty());
+    }
+
+    #[test]
+    fn d10_patterns_are_not_acks() {
+        let src =
+            "fn f(r: Response) { match r { Response::Registered { id } => go(id), _ => {} } }";
+        assert!(run(CrateKind::Serve, src).is_empty());
+    }
+
+    #[test]
+    fn d11_captured_accumulator() {
+        let src = "fn f() { par_map(&pool, xs, |x| { total += x; x }); }";
+        assert_eq!(codes(CrateKind::Library, src), vec!["D11"]);
+        let ok = "fn f() { par_map(&pool, xs, |x| { let mut acc = 0.0; acc += x; acc }); }";
+        assert!(run(CrateKind::Library, ok).is_empty());
+    }
+
+    #[test]
+    fn d12_subsumes_d5_on_lock_unwraps() {
+        let src = "fn f() { let g = m.lock().unwrap(); }";
+        assert_eq!(codes(CrateKind::Library, src), vec!["D12"]);
+        let src2 = "fn f() { let g = m.read().unwrap_or_else(PoisonError::into_inner); }";
+        assert_eq!(codes(CrateKind::Library, src2), vec!["D12"]);
+    }
+
+    #[test]
+    fn new_rules_exempt_in_bench_and_tests() {
+        let src = "fn f() { let g = m.lock().unwrap(); heat.store(t, Ordering::Relaxed); }";
+        assert!(run(CrateKind::Bench, src).is_empty());
+        let test_src = "#[cfg(test)]\nmod tests { fn f() { let g = m.lock().unwrap(); } }";
+        assert!(run(CrateKind::Library, test_src).is_empty());
     }
 }

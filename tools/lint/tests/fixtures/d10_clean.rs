@@ -1,0 +1,18 @@
+//! D10 clean fixture: append-before-ack — a durable append/journal call
+//! dominates every durable-state ack; read-only responses need none.
+
+pub fn handle_register(&mut self, spec: CampaignSpec) -> Result<Response, ServeError> {
+    Ok(Response::Registered {
+        id: self.durable.admit_spec(&spec, None)?,
+    })
+}
+
+pub fn handle_lookup(&mut self, features: Vec<f64>) -> Result<Response, ServeError> {
+    self.journal_op(&RouterOp::Lookup {
+        features: features.clone(),
+    })?;
+    match self.cache.lookup(&features) {
+        Some(hit) => Ok(Response::CacheHit { config: hit }),
+        None => Ok(Response::Stats { tick: 0 }),
+    }
+}

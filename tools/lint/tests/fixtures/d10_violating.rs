@@ -1,0 +1,12 @@
+//! D10 fixture (linted as `crates/serve`): durable-state acks built with
+//! no durable append before them — the ack outruns the WAL.
+
+pub fn handle_register(&mut self, spec: CampaignSpec) -> Response {
+    let id = self.registry.admit(spec);
+    Response::Registered { id }
+}
+
+pub fn handle_halt(&mut self, id: u64) -> Response {
+    let was_active = self.registry.remove(id);
+    Response::Stopped { id, was_active }
+}

@@ -1,0 +1,16 @@
+//! D11 fixture: non-associative float reductions inside `par_map*`
+//! closures — the grouping (and therefore the rounding) would depend on
+//! chunking and thread count.
+
+pub fn mean_cost(xs: &[f64]) -> f64 {
+    let mut total = 0.0;
+    par_map(xs, 2, |_, x| {
+        total += x;
+        *x
+    });
+    total / xs.len() as f64
+}
+
+pub fn chunk_sums(chunks: &[Vec<f64>]) -> Vec<f64> {
+    par_map_threads(chunks, 2, 4, |_, c| c.iter().sum::<f64>())
+}

@@ -1,0 +1,16 @@
+//! D12 clean fixture: every acquisition goes through the PoisonFree
+//! wrapper, so poisoning recovers deterministically at one blessed site.
+
+use autotune::sync::{PoisonFree, PoisonFreeMutex};
+
+pub fn read_state(m: &std::sync::Mutex<State>) -> u64 {
+    m.plock().value
+}
+
+pub fn write_state(l: &std::sync::RwLock<State>, v: u64) {
+    l.pwrite().value = v;
+}
+
+pub fn snapshot(l: &std::sync::RwLock<State>) -> State {
+    l.pread().clone()
+}

@@ -1,0 +1,16 @@
+//! D12 fixture: poison-handling at lock sites — panicking adapters and
+//! hand-rolled recovery both belong in `autotune::sync::PoisonFree`.
+
+pub fn read_state(m: &std::sync::Mutex<State>) -> u64 {
+    m.lock().unwrap().value
+}
+
+pub fn write_state(l: &std::sync::RwLock<State>, v: u64) {
+    l.write().expect("not poisoned").value = v;
+}
+
+pub fn hand_rolled(l: &std::sync::RwLock<State>) -> u64 {
+    l.read()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+        .value
+}

@@ -1,0 +1,31 @@
+//! D7 clean fixture: one global order (clusters before shards), guards
+//! dropped before the next acquisition, and shared read re-entry.
+
+pub fn consistent_read(shards: &Shards, clusters: &Clusters) {
+    let c = clusters.pread();
+    let s = shards.pread();
+    merge(s, c);
+}
+
+pub fn consistent_write(shards: &Shards, clusters: &Clusters) {
+    let c = clusters.pwrite();
+    let s = shards.pwrite();
+    merge(s, c);
+}
+
+pub fn sequential(shards: &Shards, clusters: &Clusters) {
+    {
+        let c = clusters.pwrite();
+        touch(c);
+    }
+    let s = shards.pwrite();
+    touch(s);
+}
+
+pub fn explicit_drop(shards: &Shards, clusters: &Clusters) {
+    let s = shards.pwrite();
+    touch(&s);
+    drop(s);
+    let c = clusters.pwrite();
+    touch(&c);
+}

@@ -1,0 +1,21 @@
+//! D7 fixture: lock-order discipline — a self re-acquire and a pair of
+//! functions that nest the same two locks in opposite orders.
+
+pub fn double_acquire(m: &std::sync::Mutex<u32>) {
+    let first = m.plock();
+    let second = m.plock();
+    drop(second);
+    drop(first);
+}
+
+pub fn shards_then_clusters(shards: &Shards, clusters: &Clusters) {
+    let s = shards.pwrite();
+    let c = clusters.pread();
+    merge(s, c);
+}
+
+pub fn clusters_then_shards(shards: &Shards, clusters: &Clusters) {
+    let c = clusters.pwrite();
+    let s = shards.pread();
+    merge(s, c);
+}

@@ -1,0 +1,16 @@
+//! D9 clean fixture: Release/Acquire pairing for decision-feeding
+//! atomics, counter `fetch_add` exempt by construction, and a justified
+//! Relaxed load carrying its happens-before argument in an allow.
+
+pub fn record_hit(heat: &AtomicU64, hits: &AtomicU64, tick: u64) {
+    hits.fetch_add(1, Ordering::Relaxed);
+    heat.store(tick, Ordering::Release);
+}
+
+pub fn is_hot(heat: &AtomicU64, floor: u64) -> bool {
+    heat.load(Ordering::Acquire) >= floor
+}
+
+pub fn report(hits: &AtomicU64) -> u64 {
+    hits.load(Ordering::Relaxed) // lint: allow(D9) monotone counter; reporting only, no decision reads it
+}

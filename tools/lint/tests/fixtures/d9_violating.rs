@@ -1,0 +1,10 @@
+//! D9 fixture: `Ordering::Relaxed` on atomics whose values feed control
+//! decisions (eviction heat, LRU ticks) — not mere counters.
+
+pub fn refresh_heat(heat: &AtomicU64, tick: u64) {
+    heat.store(tick, Ordering::Relaxed);
+}
+
+pub fn is_hot(last_used: &AtomicU64, floor: u64) -> bool {
+    last_used.load(Ordering::Relaxed) >= floor
+}
